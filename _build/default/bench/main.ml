@@ -1,0 +1,214 @@
+(* Benchmark harness.
+
+   Two parts, both emitted on a plain `dune exec bench/main.exe`:
+
+   1. the full reproduction of every table and figure in the paper's
+      evaluation section (virtual device time, paper scale), exactly the
+      rows/series the paper reports, plus the shape checks;
+   2. a bechamel microbenchmark suite: one Test.make per paper artifact
+      measuring the wall-clock cost of the simulator machinery that
+      regenerates it, plus ablation benches for the design choices called
+      out in DESIGN.md (pairlist / cell list vs the paper's on-the-fly
+      kernel, f32 vs double arithmetic, branchy vs branchless search).
+
+   Environment knobs:
+     MDSIM_BENCH_QUICK=1        use the small scale for part 1
+     MDSIM_BENCH_SKIP_REPRO=1   only run the microbenchmarks *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: reproduction                                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_reproduction () =
+  let quick = Sys.getenv_opt "MDSIM_BENCH_QUICK" = Some "1" in
+  let scale =
+    if quick then Harness.Context.quick_scale else Harness.Context.paper_scale
+  in
+  let ctx = Harness.Context.create ~scale () in
+  let outcomes = Harness.Report.run_all ctx in
+  print_endline "==================================================";
+  print_endline " Reproduction: every table & figure of the paper";
+  print_endline "==================================================";
+  print_newline ();
+  print_endline (Harness.Report.render_all outcomes);
+  print_endline (Harness.Report.summary_line outcomes)
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: microbenchmarks                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Shared small workload (wall-clock friendly). *)
+let bench_atoms = 128
+let bench_system = lazy (Mdcore.Init.build ~n:bench_atoms ())
+let bench_profile =
+  lazy (Mdports.Cell_port.profile_run ~steps:2 (Lazy.force bench_system))
+
+(* One Test.make per paper artifact: the simulator machinery whose output
+   regenerates that artifact. *)
+let test_table1 =
+  Test.make ~name:"table1/cell-8spe-timing"
+    (Staged.stage (fun () ->
+         Mdports.Cell_port.time_with (Lazy.force bench_profile)
+           Mdports.Cell_port.default_config))
+
+let test_fig5 =
+  Test.make ~name:"fig5/spe-ladder-scheduling"
+    (Staged.stage (fun () ->
+         List.map
+           (fun v ->
+             Isa.Spe_pipe.per_iteration_cycles (Mdports.Kernels.spe_base v)
+               ~overlap:Mdports.Kernels.spe_overlap)
+           Mdports.Cell_variant.all))
+
+let test_fig6 =
+  Test.make ~name:"fig6/launch-accounting"
+    (Staged.stage (fun () ->
+         let profile = Lazy.force bench_profile in
+         ( Mdports.Cell_port.time_with profile
+             { Mdports.Cell_port.default_config with
+               launch = Mdports.Cell_port.Respawn },
+           Mdports.Cell_port.time_with profile
+             Mdports.Cell_port.default_config )))
+
+let test_fig7 =
+  Test.make ~name:"fig7/gpu-step"
+    (Staged.stage (fun () ->
+         Mdports.Gpu_port.run ~steps:1 (Lazy.force bench_system)))
+
+let test_fig8 =
+  Test.make ~name:"fig8/mta-step"
+    (Staged.stage (fun () ->
+         Mdports.Mta_port.run ~steps:1 (Lazy.force bench_system)))
+
+let test_fig9 =
+  Test.make ~name:"fig9/opteron-cache-step"
+    (Staged.stage (fun () ->
+         Mdports.Opteron_port.run ~steps:1 (Lazy.force bench_system)))
+
+(* Ablations. *)
+let test_ablation_engines =
+  let gather_sys = lazy (Mdcore.System.copy (Lazy.force bench_system)) in
+  let big_sys = lazy (Mdcore.Init.build ~n:512 ()) in
+  let pl = lazy (Mdcore.Pairlist.create (Lazy.force big_sys)) in
+  Test.make_grouped ~name:"ablation-engines"
+    [ Test.make ~name:"gather-N2"
+        (Staged.stage (fun () ->
+             Mdcore.Forces.compute_gather (Lazy.force gather_sys)));
+      Test.make ~name:"newton3-halved"
+        (Staged.stage (fun () ->
+             Mdcore.Forces.compute_newton3 (Lazy.force gather_sys)));
+      Test.make ~name:"cell-list"
+        (Staged.stage (fun () -> Mdcore.Cell_list.compute (Lazy.force big_sys)));
+      Test.make ~name:"pairlist"
+        (Staged.stage (fun () ->
+             (Mdcore.Pairlist.engine (Lazy.force pl)).Mdcore.Engine.compute
+               (Lazy.force big_sys))) ]
+
+let test_ablation_precision =
+  Test.make_grouped ~name:"ablation-precision"
+    [ Test.make ~name:"double-gather"
+        (Staged.stage (fun () ->
+             Mdcore.Forces.compute_gather (Lazy.force bench_system)));
+      Test.make ~name:"f32-gather"
+        (Staged.stage (fun () ->
+             let s = Lazy.force bench_system in
+             (Mdports.Cell_port.apply_f32_engine s).Mdcore.Engine.compute s))
+    ]
+
+let test_ablation_search =
+  Test.make_grouped ~name:"ablation-min-image"
+    [ Test.make ~name:"closed-form"
+        (Staged.stage (fun () ->
+             let acc = ref 0.0 in
+             for i = 0 to 999 do
+               acc :=
+                 !acc +. Mdcore.Min_image.delta ~box:10.0 (float_of_int i)
+             done;
+             !acc));
+      Test.make ~name:"search"
+        (Staged.stage (fun () ->
+             let acc = ref 0.0 in
+             for i = 0 to 999 do
+               acc :=
+                 !acc
+                 +. Mdcore.Min_image.delta_search ~box:10.0 (float_of_int i)
+             done;
+             !acc));
+      Test.make ~name:"branchless-copysign"
+        (Staged.stage (fun () ->
+             let acc = ref 0.0 in
+             for i = 0 to 999 do
+               acc :=
+                 !acc
+                 +. Mdcore.Min_image.delta_search_branchless ~box:10.0
+                      (float_of_int i)
+             done;
+             !acc)) ]
+
+let test_substrates =
+  let rng = Sim_util.Rng.create 7 in
+  let seq_a = Seqalign.Dna.random rng ~length:64 in
+  let seq_b = Seqalign.Dna.random rng ~length:64 in
+  Test.make_grouped ~name:"substrates"
+    [ Test.make ~name:"smith-waterman-scalar"
+        (Staged.stage (fun () -> Seqalign.Reference.align seq_a seq_b));
+      Test.make ~name:"smith-waterman-mta-wavefront"
+        (Staged.stage (fun () ->
+             Seqalign.Mta_sw.align
+               ~machine:(Mta.Machine.create (Mta.Config.mta2 ()))
+               seq_a seq_b));
+      Test.make ~name:"streamdsl-map-reduce"
+        (Staged.stage (fun () ->
+             let ctx = Streamdsl.Ctx.create () in
+             let s =
+               Streamdsl.Stream.of_floats ctx (Array.make 256 1.0)
+             in
+             Streamdsl.Stream.reduce_sum s)) ]
+
+let all_tests =
+  Test.make_grouped ~name:"repro"
+    [ test_table1; test_fig5; test_fig6; test_fig7; test_fig8; test_fig9;
+      test_ablation_engines; test_ablation_precision; test_ablation_search;
+      test_substrates ]
+
+let run_microbenchmarks () =
+  print_newline ();
+  print_endline "==================================================";
+  print_endline " Microbenchmarks (bechamel, wall-clock of models)";
+  print_endline "==================================================";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] all_tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  let table =
+    Sim_util.Table.create ~headers:[ "benchmark"; "time/run"; "r^2" ]
+  in
+  List.iter
+    (fun (name, ols_result) ->
+      let estimate =
+        match Analyze.OLS.estimates ols_result with
+        | Some (e :: _) -> Sim_util.Table.fmt_seconds (e *. 1e-9)
+        | _ -> "n/a"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols_result with
+        | Some r -> Printf.sprintf "%.3f" r
+        | None -> "n/a"
+      in
+      Sim_util.Table.add_row table [ name; estimate; r2 ])
+    rows;
+  print_endline (Sim_util.Table.render table)
+
+let () =
+  if Sys.getenv_opt "MDSIM_BENCH_SKIP_REPRO" <> Some "1" then
+    run_reproduction ();
+  run_microbenchmarks ()

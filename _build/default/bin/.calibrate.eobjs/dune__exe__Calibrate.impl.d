@@ -1,0 +1,1 @@
+bin/calibrate.ml: Isa List Mdports Printf

@@ -1,0 +1,1 @@
+bin/mdsim.ml: Arg Cmd Cmdliner Format Fun Gpustream Harness List Mdcore Mdports Mta Printf Seqalign Sim_util String Term

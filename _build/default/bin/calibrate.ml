@@ -1,0 +1,81 @@
+(* Developer tool: print the per-pair cycle figures that emerge from the
+   kernel blocks and pipeline models, next to the ratios the paper's prose
+   demands.  Used to sanity-check calibration; the authoritative checks
+   are the harness shape tests. *)
+
+let () =
+  let hit_fraction = 0.025 in
+  Printf.printf "SPE variants (hit fraction %.3f, overlap %.2f):\n"
+    hit_fraction Mdports.Kernels.spe_overlap;
+  List.iter
+    (fun v ->
+      let c = Mdports.Kernels.spe_pair_cycles v ~hit_fraction in
+      Printf.printf "  %-32s %8.1f cycles/pair\n" (Mdports.Cell_variant.name v)
+        c)
+    Mdports.Cell_variant.all;
+  let v0 =
+    Mdports.Kernels.spe_pair_cycles Mdports.Cell_variant.Original ~hit_fraction
+  in
+  let cyc v = Mdports.Kernels.spe_pair_cycles v ~hit_fraction in
+  Printf.printf "\n  ladder ratios (want: copysign small; reflect cum ~1.55x; \
+                 direction ~1.21x; length ~1.15x; accel ~1.03x)\n";
+  let prev = ref v0 in
+  List.iter
+    (fun v ->
+      let c = cyc v in
+      Printf.printf "  %-32s step %.3fx cumulative %.3fx\n"
+        (Mdports.Cell_variant.name v) (!prev /. c) (v0 /. c);
+      prev := c)
+    Mdports.Cell_variant.all;
+  let opteron_pair =
+    Isa.Opteron_pipe.per_iteration_cycles Mdports.Kernels.opteron_base
+      ~overlap:Mdports.Kernels.opteron_overlap
+    +. hit_fraction
+       *. Isa.Opteron_pipe.per_iteration_cycles Mdports.Kernels.opteron_hit
+            ~overlap:Mdports.Kernels.opteron_overlap
+  in
+  Printf.printf "\nOpteron: %.1f cycles/pair -> %.3f s at 2048 atoms x 10 \
+                 steps (paper ~4.5 s)\n"
+    opteron_pair
+    (2048.0 *. 2047.0 *. 10.0 *. opteron_pair /. 2.2e9);
+  let spe_v5 = cyc Mdports.Cell_variant.Simd_acceleration in
+  Printf.printf "SPE v5 : %.1f cycles/pair -> %.3f s on 1 SPE (want ~= \
+                 Opteron)\n"
+    spe_v5
+    (2048.0 *. 2047.0 *. 10.0 *. spe_v5 /. 3.2e9);
+  let gpu_cand = Isa.Gpu_pipe.cycles_per_fragment Mdports.Kernels.gpu_candidate in
+  Printf.printf "GPU    : %.1f slots/candidate -> %.4f s shader time at 2048 \
+                 x 10 steps (24 pipes, 650 MHz)\n"
+    gpu_cand
+    (2048.0 *. 2048.0 *. 10.0 *. gpu_cand /. 24.0 /. 650e6);
+  let mta_instr = Isa.Block.length Mdports.Kernels.mta_pair_body in
+  let mta_mem =
+    Isa.Block.count_if Mdports.Kernels.mta_pair_body Isa.Op.is_memory
+  in
+  Printf.printf "MTA    : %d instrs (%d mem) per pair -> fully-MT %.2f s, \
+                 serial %.2f s at 2048 x 10 steps\n"
+    mta_instr mta_mem
+    (2048.0 *. 2047.0 *. 10.0 *. float_of_int mta_instr /. 200e6)
+    (2048.0 *. 2047.0 *. 10.0
+     *. float_of_int (mta_instr + (mta_mem * 100))
+     /. 200e6)
+
+let () =
+  Printf.printf "\nSPE block diagnostics (tp = throughput bound, cp = critical path):\n";
+  List.iter
+    (fun v ->
+      let base = Mdports.Kernels.spe_base v in
+      let hit = Mdports.Kernels.spe_hit v in
+      Printf.printf
+        "  %-32s base tp %3d cp %3d | hit tp %3d cp %3d\n"
+        (Mdports.Cell_variant.name v)
+        (Isa.Spe_pipe.throughput_cycles base)
+        (Isa.Spe_pipe.critical_path_cycles base)
+        (Isa.Spe_pipe.throughput_cycles hit)
+        (Isa.Spe_pipe.critical_path_cycles hit))
+    Mdports.Cell_variant.all;
+  Printf.printf "Opteron base: res %.1f cp %d | hit res %.1f cp %d\n"
+    (Isa.Opteron_pipe.resource_cycles Mdports.Kernels.opteron_base)
+    (Isa.Opteron_pipe.critical_path_cycles Mdports.Kernels.opteron_base)
+    (Isa.Opteron_pipe.resource_cycles Mdports.Kernels.opteron_hit)
+    (Isa.Opteron_pipe.critical_path_cycles Mdports.Kernels.opteron_hit)

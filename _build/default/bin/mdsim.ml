@@ -1,0 +1,267 @@
+(* mdsim: command-line front end for the reproduction.
+
+   Subcommands:
+     run         -- integrate an MD system on a chosen device model
+     experiment  -- regenerate one paper table/figure (or "all")
+     list        -- list available experiments
+     devices     -- describe the modelled devices *)
+
+open Cmdliner
+
+let atoms_arg =
+  let doc = "Number of atoms." in
+  Arg.(value & opt int 2048 & info [ "n"; "atoms" ] ~docv:"N" ~doc)
+
+let steps_arg =
+  let doc = "Number of simulation time steps." in
+  Arg.(value & opt int 10 & info [ "s"; "steps" ] ~docv:"STEPS" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed for the initial configuration." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let density_arg =
+  let doc = "Reduced number density." in
+  Arg.(value & opt float 0.8 & info [ "density" ] ~docv:"RHO" ~doc)
+
+let temperature_arg =
+  let doc = "Initial reduced temperature." in
+  Arg.(value & opt float 1.0 & info [ "temperature" ] ~docv:"T" ~doc)
+
+let device_arg =
+  let devices =
+    [ ("opteron", `Opteron); ("cell", `Cell); ("cell-1spe", `Cell1);
+      ("ppe", `Ppe); ("gpu", `Gpu); ("mta", `Mta);
+      ("mta-partial", `Mta_partial) ]
+  in
+  let doc =
+    "Device model: " ^ String.concat ", " (List.map fst devices) ^ "."
+  in
+  Arg.(
+    value
+    & opt (enum devices) `Opteron
+    & info [ "d"; "device" ] ~docv:"DEVICE" ~doc)
+
+let quick_arg =
+  let doc = "Use the small test scale instead of the paper's sizes." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let csv_dir_arg =
+  let doc = "Also write each experiment's data as CSV into $(docv)." in
+  Arg.(
+    value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
+
+let markdown_arg =
+  let doc = "Also write a Markdown report to $(docv)." in
+  Arg.(
+    value & opt (some string) None & info [ "markdown" ] ~docv:"FILE" ~doc)
+
+let xyz_arg =
+  let doc = "Write the trajectory (one frame per step) as XYZ to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "dump-xyz" ] ~docv:"FILE" ~doc)
+
+let build_system ~atoms ~seed ~density ~temperature =
+  Mdcore.Init.build ~seed ~density ~temperature ~n:atoms ()
+
+let print_result (r : Mdports.Run_result.t) =
+  Format.printf "%a@." Mdports.Run_result.pp_summary r;
+  List.iter
+    (fun (k, v) ->
+      if v > 0.0 then
+        Printf.printf "  %-10s %s\n" k (Sim_util.Table.fmt_seconds v))
+    r.Mdports.Run_result.breakdown;
+  (match (List.rev r.Mdports.Run_result.records, r.Mdports.Run_result.records)
+   with
+  | last :: _, first :: _ ->
+    Printf.printf
+      "  energy: initial %.4f, final %.4f (drift %.2e); final T %.4f\n"
+      first.Mdcore.Verlet.total_energy last.Mdcore.Verlet.total_energy
+      (Mdports.Run_result.energy_drift r)
+      last.Mdcore.Verlet.temperature
+  | _ -> ());
+  Printf.printf "  virtual runtime: %s\n"
+    (Sim_util.Table.fmt_seconds r.Mdports.Run_result.seconds)
+
+let run_cmd =
+  let action atoms steps seed density temperature device xyz_path =
+    let system = build_system ~atoms ~seed ~density ~temperature in
+    (match xyz_path with
+    | Some path ->
+      (* The timing ports integrate internal copies, so dump the
+         trajectory from a plain reference run with the same start. *)
+      let traj_system = Mdcore.System.copy system in
+      let frames = ref [] in
+      ignore
+        (Mdcore.Verlet.run traj_system ~engine:Mdcore.Forces.gather_engine
+           ~steps
+           ~record:(fun _ ->
+             frames := Mdcore.System.copy traj_system :: !frames)
+           ());
+      Mdcore.Xyz.write_trajectory ~path ~frames:(List.rev !frames) ();
+      Printf.printf "wrote %d frames to %s\n" (steps + 1) path
+    | None -> ());
+    let result =
+      match device with
+      | `Opteron -> Mdports.Opteron_port.run ~steps system
+      | `Cell -> Mdports.Cell_port.run ~steps system
+      | `Cell1 ->
+        Mdports.Cell_port.run ~steps
+          ~config:{ Mdports.Cell_port.default_config with n_spes = 1 }
+          system
+      | `Ppe -> Mdports.Cell_port.run_ppe_only ~steps system
+      | `Gpu -> Mdports.Gpu_port.run ~steps system
+      | `Mta -> Mdports.Mta_port.run ~steps system
+      | `Mta_partial ->
+        Mdports.Mta_port.run ~steps
+          ~mode:Mdports.Mta_port.Partially_multithreaded system
+    in
+    print_result result
+  in
+  let term =
+    Term.(
+      const action $ atoms_arg $ steps_arg $ seed_arg $ density_arg
+      $ temperature_arg $ device_arg $ xyz_arg)
+  in
+  let doc = "Run the MD kernel on one device model." in
+  Cmd.v (Cmd.info "run" ~doc) term
+
+let experiment_cmd =
+  let id_arg =
+    let doc =
+      "Experiment id (table1, fig5 ... fig9, ext-precision, ...), 'all'        (the paper's six artifacts), 'extensions', or 'everything'."
+    in
+    Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc)
+  in
+  let action id quick csv_dir markdown =
+    let scale =
+      if quick then Harness.Context.quick_scale
+      else Harness.Context.paper_scale
+    in
+    let ctx = Harness.Context.create ~scale () in
+    let run_list es = List.map (Harness.Report.run_one ctx) es in
+    let outcomes =
+      match id with
+      | "all" -> Harness.Report.run_all ctx
+      | "extensions" -> run_list Harness.Registry.extensions
+      | "everything" ->
+        Harness.Report.run_all ctx @ run_list Harness.Registry.extensions
+      | id -> begin
+        match Harness.Registry.find id with
+        | Some e -> [ Harness.Report.run_one ctx e ]
+        | None ->
+          Printf.eprintf
+            "unknown experiment %S; available: %s | %s | all, extensions,              everything\n"
+            id
+            (String.concat ", " Harness.Registry.ids)
+            (String.concat ", " Harness.Registry.extension_ids);
+          exit 2
+      end
+    in
+    print_endline (Harness.Report.render_all outcomes);
+    print_endline (Harness.Report.summary_line outcomes);
+    (match csv_dir with
+    | Some dir ->
+      let files = Harness.Report.write_csvs ~dir outcomes in
+      List.iter (Printf.printf "wrote %s\n") files
+    | None -> ());
+    (match markdown with
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Harness.Report.to_markdown outcomes));
+      Printf.printf "wrote %s\n" path
+    | None -> ());
+    if not (List.for_all Harness.Experiment.all_passed outcomes) then exit 1
+  in
+  let term =
+    Term.(const action $ id_arg $ quick_arg $ csv_dir_arg $ markdown_arg)
+  in
+  let doc = "Regenerate a table or figure from the paper." in
+  Cmd.v (Cmd.info "experiment" ~doc) term
+
+let list_cmd =
+  let action () =
+    print_endline "Paper artifacts:";
+    List.iter
+      (fun (e : Harness.Experiment.t) ->
+        Printf.printf "  %-18s %s (%s)\n" e.id e.title e.paper_ref)
+      Harness.Registry.all;
+    print_endline "Extensions:";
+    List.iter
+      (fun (e : Harness.Experiment.t) ->
+        Printf.printf "  %-18s %s (%s)\n" e.id e.title e.paper_ref)
+      Harness.Registry.extensions
+  in
+  let doc = "List reproducible experiments." in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const action $ const ())
+
+let devices_cmd =
+  let action () =
+    print_endline
+      "opteron      2.2 GHz AMD Opteron reference (double precision, \
+       cache-simulated memory)";
+    print_endline
+      "cell         STI Cell BE, 8 SPEs, persistent threads, all SIMD \
+       optimizations (single precision)";
+    print_endline "cell-1spe    Cell BE restricted to one SPE";
+    print_endline
+      "ppe          Cell BE PPE only (no SPE offload, single precision)";
+    print_endline
+      "gpu          NVIDIA GeForce 7900GTX-class stream processor (single \
+       precision)";
+    print_endline
+      "mta          Cray MTA-2, fully multithreaded (double precision)";
+    print_endline
+      "mta-partial  Cray MTA-2 with the reduction-blocked serial hot loop"
+  in
+  let doc = "Describe the modelled devices." in
+  Cmd.v (Cmd.info "devices" ~doc) Term.(const action $ const ())
+
+let align_cmd =
+  let len_arg index name =
+    let doc = Printf.sprintf "Length of the %s sequence." name in
+    Arg.(value & pos index int 64 & info [] ~docv:"LEN" ~doc)
+  in
+  let action seed la lb =
+    let rng = Sim_util.Rng.create seed in
+    let a = Seqalign.Dna.random rng ~length:la in
+    let b =
+      Seqalign.Dna.mutate (Sim_util.Rng.split rng) ~rate:0.15
+        (if lb = la then a else Seqalign.Dna.random rng ~length:lb)
+    in
+    let reference = Seqalign.Reference.align a b in
+    let mta_machine = Mta.Machine.create (Mta.Config.mta2 ()) in
+    let mta = Seqalign.Mta_sw.align ~machine:mta_machine a b in
+    let gpu_machine =
+      Gpustream.Machine.create Gpustream.Config.geforce_7900gtx
+    in
+    let gpu =
+      Seqalign.Gpu_sw.align (Seqalign.Gpu_sw.create gpu_machine) a b
+    in
+    Printf.printf "Smith-Waterman, %d x %d bases (%d DP cells)\n" la lb
+      (Seqalign.Reference.cells a b);
+    Printf.printf "  reference score: %d\n" reference.Seqalign.Reference.score;
+    Printf.printf "  MTA-2 wavefront: score %d, %s device time\n"
+      mta.Seqalign.Reference.score
+      (Sim_util.Table.fmt_seconds (Mta.Machine.time mta_machine));
+    Printf.printf "  GPU diagonals:   score %d, %s device time\n"
+      gpu.Seqalign.Reference.score
+      (Sim_util.Table.fmt_seconds (Gpustream.Machine.time gpu_machine));
+    let tb = Seqalign.Reference.align_traceback a b in
+    Printf.printf "\n  %s\n  %s\n" tb.Seqalign.Reference.aligned_a
+      tb.Seqalign.Reference.aligned_b
+  in
+  let doc = "Align two synthetic DNA sequences on every device model." in
+  Cmd.v (Cmd.info "align" ~doc)
+    Term.(const action $ seed_arg $ len_arg 0 "first" $ len_arg 1 "second")
+
+let main_cmd =
+  let doc =
+    "Reproduction of 'Analysis of a Computational Biology Simulation \
+     Technique on Emerging Processing Architectures' (IPDPS 2007)"
+  in
+  Cmd.group (Cmd.info "mdsim" ~version:"1.0.0" ~doc)
+    [ run_cmd; experiment_cmd; list_cmd; devices_cmd; align_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/argon_melt.ml: Array List Mdcore Printf Sim_util String

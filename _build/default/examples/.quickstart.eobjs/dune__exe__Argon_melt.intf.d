@@ -1,0 +1,1 @@
+examples/argon_melt.mli:

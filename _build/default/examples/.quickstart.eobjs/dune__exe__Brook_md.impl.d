@@ -1,0 +1,1 @@
+examples/brook_md.ml: Array Float Gpustream Mdcore Mdports Printf Sim_util Streamdsl Sys Vecmath

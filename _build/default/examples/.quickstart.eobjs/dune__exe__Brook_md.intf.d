@@ -1,0 +1,1 @@
+examples/brook_md.mli:

@@ -1,0 +1,1 @@
+examples/device_comparison.ml: Array List Mdcore Mdports Printf Sim_util Sys

@@ -1,0 +1,1 @@
+examples/polymer_chains.ml: Array List Mdcore Printf Sim_util

@@ -1,0 +1,1 @@
+examples/polymer_chains.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Mdcore Printf Sim_util Vecmath

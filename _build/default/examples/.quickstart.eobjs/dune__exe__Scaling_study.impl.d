@@ -1,0 +1,1 @@
+examples/scaling_study.ml: Array List Mdcore Mdports Printf Sim_util

@@ -1,0 +1,1 @@
+examples/sequence_alignment.ml: Gpustream List Mta Printf Seqalign Sim_util String

@@ -1,0 +1,1 @@
+examples/simd_ladder.ml: Array Isa List Mdcore Mdports Printf Sim_util Sys

@@ -1,0 +1,1 @@
+examples/simd_ladder.mli:

@@ -1,0 +1,84 @@
+(* Argon melt: the classic bio/chem-adjacent MD scenario the paper's kernel
+   class serves.  We simulate solid argon heated through its melting point,
+   reporting observables in real units (the LJ parameters for argon are
+   epsilon/kB = 119.8 K, sigma = 3.405 A, tau = 2.156 ps), and use the
+   neighbour-list engine — the standard optimization the paper's kernel
+   deliberately omits — to make the longer run cheap.
+
+     dune exec examples/argon_melt.exe *)
+
+let argon_epsilon_k = 119.8 (* K *)
+let argon_sigma_angstrom = 3.405
+let argon_tau_ps = 2.156
+
+let kelvin t_reduced = t_reduced *. argon_epsilon_k
+let picoseconds t_reduced = t_reduced *. argon_tau_ps
+
+let () =
+  (* Solid argon: FCC at reduced density 1.0, cold start (T* = 0.3 ~ 36 K;
+     argon melts around T* ~ 0.7 at this density). *)
+  let system =
+    Mdcore.Init.build ~n:500 ~density:1.0 ~temperature:0.3
+      ~params:{ Mdcore.Params.default with Mdcore.Params.dt = 0.002 }
+      ()
+  in
+  let pairlist = Mdcore.Pairlist.create ~skin:0.4 system in
+  let engine = Mdcore.Pairlist.engine pairlist in
+  Printf.printf
+    "Argon: %d atoms, box %.2f A, starting at %.0f K (solid FCC)\n\n"
+    system.Mdcore.System.n
+    (system.Mdcore.System.box *. argon_sigma_angstrom)
+    (kelvin (Mdcore.Observables.temperature system));
+  let table =
+    Sim_util.Table.create
+      ~headers:[ "t (ps)"; "target T (K)"; "actual T (K)"; "PE/atom (eps)" ]
+  in
+  let steps_per_stage = 50 in
+  let stages = [ 0.3; 0.5; 0.7; 0.9; 1.1 ] in
+  let elapsed = ref 0.0 in
+  List.iter
+    (fun target ->
+      Mdcore.Thermostat.rescale system ~target;
+      let last = ref None in
+      let records =
+        Mdcore.Verlet.run system ~engine ~steps:steps_per_stage ()
+      in
+      List.iter (fun r -> last := Some r) records;
+      elapsed := !elapsed +. (float_of_int steps_per_stage *. 0.002);
+      match !last with
+      | Some r ->
+        Sim_util.Table.add_row table
+          [ Printf.sprintf "%.2f" (picoseconds !elapsed);
+            Printf.sprintf "%.0f" (kelvin target);
+            Printf.sprintf "%.0f" (kelvin r.Mdcore.Verlet.temperature);
+            Printf.sprintf "%.3f"
+              (r.Mdcore.Verlet.pe /. float_of_int system.Mdcore.System.n) ]
+      | None -> ())
+    stages;
+  print_endline (Sim_util.Table.render table);
+  (* Structural fingerprint: the radial distribution function after the
+     melt.  A solid shows sharp, well-separated shells; a liquid keeps
+     only a broad first peak. *)
+  let bins = 16 in
+  let rmax = system.Mdcore.System.box /. 2.0 in
+  let g = Mdcore.Observables.radial_distribution system ~bins ~rmax in
+  let centers = Mdcore.Observables.bin_centers ~bins ~rmax in
+  Printf.printf "\ng(r) after the run (ASCII, each # = 0.25):\n";
+  Array.iteri
+    (fun b r ->
+      if r > 0.7 then
+        Printf.printf "  r=%4.2f A %5.2f %s\n" (r *. argon_sigma_angstrom)
+          g.(b)
+          (String.concat ""
+             (List.init
+                (min 40 (int_of_float (g.(b) /. 0.25)))
+                (fun _ -> "#"))))
+    centers;
+  Printf.printf
+    "\nneighbour list rebuilt %d times (%d stored pairs at the end)\n"
+    (Mdcore.Pairlist.rebuild_count pairlist)
+    (Mdcore.Pairlist.neighbour_count pairlist);
+  print_endline
+    "The PE/atom rise with temperature and the loss of the deep solid\n\
+     minimum past ~85 K mark the melt; the same kernel the paper ports is\n\
+     doing all force work here."

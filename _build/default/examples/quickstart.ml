@@ -1,0 +1,39 @@
+(* Quickstart: build a small Lennard-Jones system, integrate it with the
+   reference double-precision engine, and watch energy conservation.
+
+     dune exec examples/quickstart.exe *)
+
+let () =
+  (* 256 atoms of LJ fluid at reduced density 0.8 and temperature 1.0. *)
+  let system = Mdcore.Init.build ~n:256 ~density:0.8 ~temperature:1.0 () in
+  Printf.printf "System: %d atoms, box %.3f sigma, density %.2f\n\n"
+    system.Mdcore.System.n system.Mdcore.System.box
+    (Mdcore.System.density system);
+  let table =
+    Sim_util.Table.create
+      ~headers:[ "step"; "time"; "PE"; "KE"; "total"; "T" ]
+  in
+  let record (r : Mdcore.Verlet.step_record) =
+    if r.Mdcore.Verlet.step mod 10 = 0 then
+      Sim_util.Table.add_row table
+        [ string_of_int r.Mdcore.Verlet.step;
+          Printf.sprintf "%.3f" r.Mdcore.Verlet.sim_time;
+          Printf.sprintf "%.3f" r.Mdcore.Verlet.pe;
+          Printf.sprintf "%.3f" r.Mdcore.Verlet.ke;
+          Printf.sprintf "%.4f" r.Mdcore.Verlet.total_energy;
+          Printf.sprintf "%.3f" r.Mdcore.Verlet.temperature ]
+  in
+  let records =
+    Mdcore.Verlet.run system ~engine:Mdcore.Forces.gather_engine ~steps:100
+      ~record ()
+  in
+  print_endline (Sim_util.Table.render table);
+  let first = List.hd records and last = List.nth records 100 in
+  let drift =
+    abs_float
+      ((last.Mdcore.Verlet.total_energy -. first.Mdcore.Verlet.total_energy)
+      /. first.Mdcore.Verlet.total_energy)
+  in
+  Printf.printf "\nrelative energy drift over 100 steps: %.2e\n" drift;
+  Printf.printf "net momentum: %g (conserved)\n"
+    (Vecmath.Vec3.norm (Mdcore.Observables.total_momentum system))

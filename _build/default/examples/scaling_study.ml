@@ -1,0 +1,49 @@
+(* Scaling study: how each device's runtime grows with the atom count —
+   the Fig. 8/9 analysis plus fitted power-law exponents.  The MTA-2
+   tracks the N^2 pair count almost exactly; the Opteron's exponent creeps
+   above 2 once the arrays outgrow its L1.
+
+     dune exec examples/scaling_study.exe *)
+
+let sizes = [ 256; 512; 1024; 2048; 4096 ]
+
+let () =
+  let steps = 5 in
+  let table =
+    Sim_util.Table.create
+      ~headers:[ "Atoms"; "Opteron (s)"; "MTA-2 (s)"; "GPU (s)" ]
+  in
+  let opt = ref [] and mta = ref [] and gpu = ref [] in
+  List.iter
+    (fun n ->
+      let system = Mdcore.Init.build ~n () in
+      let o = (Mdports.Opteron_port.run ~steps system).Mdports.Run_result.seconds in
+      let m = (Mdports.Mta_port.run ~steps system).Mdports.Run_result.seconds in
+      let g = (Mdports.Gpu_port.run ~steps system).Mdports.Run_result.seconds in
+      opt := o :: !opt;
+      mta := m :: !mta;
+      gpu := g :: !gpu;
+      Sim_util.Table.add_row table
+        [ string_of_int n;
+          Sim_util.Table.fmt_sig4 o;
+          Sim_util.Table.fmt_sig4 m;
+          Sim_util.Table.fmt_sig4 g ])
+    sizes;
+  print_endline (Sim_util.Table.render table);
+  let x = Array.of_list (List.map float_of_int sizes) in
+  let exponent series =
+    Sim_util.Stats.power_law_exponent ~x
+      ~y:(Array.of_list (List.rev series))
+  in
+  let k_opt = exponent !opt and k_mta = exponent !mta and k_gpu = exponent !gpu in
+  Printf.printf "\nfitted runtime ~ N^k exponents over this sweep:\n";
+  Printf.printf "  Opteron  k = %.3f\n" k_opt;
+  Printf.printf "  MTA-2    k = %.3f\n" k_mta;
+  Printf.printf "  GPU      k = %.3f\n" k_gpu;
+  Printf.printf
+    "\nReading them: the falling interaction fraction pulls every device \
+     slightly\nbelow 2; the Opteron ends ABOVE the MTA-2 (%+.3f) because its \
+     caches run\nout at the top of the sweep, while the MTA-2 tracks pure \
+     flops — Fig. 9's\npoint.  The GPU sits lowest: its fixed per-step bus \
+     costs are still\namortizing.\n"
+    (k_opt -. k_mta)

@@ -1,0 +1,105 @@
+(* Sequence alignment on the emerging architectures — the other
+   computational-biology workload the paper's related work surveys
+   (Smith-Waterman on GPUs, full/empty-bit dynamic programming on the
+   MTA-2).  A query is aligned against a small synthetic database on the
+   scalar reference, the MTA-2 wavefront port and the GPU anti-diagonal
+   port; all three must agree on every score.
+
+     dune exec examples/sequence_alignment.exe *)
+
+module Dna = Seqalign.Dna
+module Reference = Seqalign.Reference
+module Rng = Sim_util.Rng
+
+let () =
+  let rng = Rng.create 2007 in
+  let query = Dna.random rng ~length:64 in
+  (* Database: mutated copies (homologs) and unrelated sequences. *)
+  let database =
+    List.init 6 (fun k ->
+        if k < 3 then
+          ( Printf.sprintf "homolog-%d (%d%% mutated)" k (10 * (k + 1)),
+            Dna.mutate (Rng.split rng)
+              ~rate:(0.1 *. float_of_int (k + 1))
+              query )
+        else
+          ( Printf.sprintf "unrelated-%d" (k - 3),
+            Dna.random (Rng.split rng) ~length:64 ))
+  in
+  let mta_machine = Mta.Machine.create (Mta.Config.mta2 ()) in
+  let gpu_machine =
+    Gpustream.Machine.create Gpustream.Config.geforce_7900gtx
+  in
+  let gpu_aligner = Seqalign.Gpu_sw.create gpu_machine in
+  let table =
+    Sim_util.Table.create
+      ~headers:[ "Subject"; "Score"; "MTA-2"; "GPU"; "Identity" ]
+  in
+  List.iter
+    (fun (name, subject) ->
+      let r = Reference.align query subject in
+      let mta = Seqalign.Mta_sw.align ~machine:mta_machine query subject in
+      let gpu = Seqalign.Gpu_sw.align gpu_aligner query subject in
+      let tb = Reference.align_traceback query subject in
+      let matches = ref 0 in
+      String.iteri
+        (fun k c -> if c = tb.Reference.aligned_b.[k] then incr matches)
+        tb.Reference.aligned_a;
+      let identity =
+        if String.length tb.Reference.aligned_a = 0 then 0.0
+        else
+          100.0 *. float_of_int !matches
+          /. float_of_int (String.length tb.Reference.aligned_a)
+      in
+      Sim_util.Table.add_row table
+        [ name;
+          string_of_int r.Reference.score;
+          (if mta.Reference.score = r.Reference.score then "agrees"
+           else "MISMATCH");
+          (if gpu.Reference.score = r.Reference.score then "agrees"
+           else "MISMATCH");
+          Printf.sprintf "%.0f%%" identity ])
+    database;
+  Printf.printf "Smith-Waterman: 64-base query vs a 6-sequence database\n\n";
+  print_endline (Sim_util.Table.render table);
+  Printf.printf "\ndevice time, whole database scan:\n";
+  Printf.printf "  MTA-2 (full/empty wavefront): %s\n"
+    (Sim_util.Table.fmt_seconds (Mta.Machine.time mta_machine));
+  let ledger = Gpustream.Machine.ledger gpu_machine in
+  Printf.printf "  GPU (anti-diagonal passes):   %s (excl. one-time JIT)\n"
+    (Sim_util.Table.fmt_seconds
+       (Gpustream.Machine.time gpu_machine
+       -. Gpustream.Ledger.get ledger Gpustream.Ledger.Setup));
+  Printf.printf
+    "  GPU breakdown: %.0f%% draw-call overhead — why the cited GPU \
+     Smith-Waterman\n\
+    \  papers batch thousands of database sequences per pass.\n"
+    (100.0
+    *. Gpustream.Ledger.fraction ledger Gpustream.Ledger.Dispatch);
+  (* The batching remedy: one set of passes for the whole database. *)
+  let batch_machine =
+    Gpustream.Machine.create Gpustream.Config.geforce_7900gtx
+  in
+  let batch_aligner = Seqalign.Gpu_sw.create batch_machine in
+  let batch =
+    Seqalign.Gpu_sw.align_batch batch_aligner ~query (List.map snd database)
+  in
+  let agree =
+    List.for_all2
+      (fun (_, subject) (r : Reference.result) ->
+        r.Reference.score = (Reference.align query subject).Reference.score)
+      database batch
+  in
+  let batch_ledger = Gpustream.Machine.ledger batch_machine in
+  Printf.printf
+    "  batched GPU scan (all 6 subjects in one pass set): %s — scores %s\n"
+    (Sim_util.Table.fmt_seconds
+       (Gpustream.Machine.time batch_machine
+       -. Gpustream.Ledger.get batch_ledger Gpustream.Ledger.Setup))
+    (if agree then "all agree" else "MISMATCH");
+  let best_name, best_seq =
+    List.hd database
+  in
+  let tb = Reference.align_traceback query best_seq in
+  Printf.printf "\nbest alignment (%s):\n  %s\n  %s\n" best_name
+    tb.Reference.aligned_a tb.Reference.aligned_b

@@ -1,0 +1,51 @@
+(* SIMD ladder: walk the paper's Fig. 5 optimization sequence on the SPE
+   model and show where each rung's cycles go.
+
+     dune exec examples/simd_ladder.exe -- [atoms] *)
+
+module Variant = Mdports.Cell_variant
+module Spe = Isa.Spe_pipe
+
+let () =
+  let atoms =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 1024
+  in
+  let system = Mdcore.Init.build ~n:atoms () in
+  let profile = Mdports.Cell_port.profile_run ~steps:10 system in
+  Printf.printf
+    "Fig. 5 ladder on one SPE, %d atoms x 10 steps (every rung keeps the \
+     previous ones):\n\n"
+    atoms;
+  let table =
+    Sim_util.Table.create
+      ~headers:
+        [ "Optimization"; "base tp"; "base cp"; "accel time"; "cumulative" ]
+  in
+  let original =
+    Mdports.Cell_port.accel_seconds
+      (Mdports.Cell_port.time_with profile
+         { Mdports.Cell_port.default_config with
+           n_spes = 1;
+           variant = Variant.Original })
+  in
+  List.iter
+    (fun v ->
+      let base = Mdports.Kernels.spe_base v in
+      let seconds =
+        Mdports.Cell_port.accel_seconds
+          (Mdports.Cell_port.time_with profile
+             { Mdports.Cell_port.default_config with n_spes = 1; variant = v })
+      in
+      Sim_util.Table.add_row table
+        [ Variant.name v;
+          string_of_int (Spe.throughput_cycles base);
+          string_of_int (Spe.critical_path_cycles base);
+          Sim_util.Table.fmt_seconds seconds;
+          Printf.sprintf "%.2fx" (original /. seconds) ])
+    Variant.all;
+  print_endline (Sim_util.Table.render table);
+  print_endline
+    "\n'base tp' is the dual-issue throughput bound and 'base cp' the\n\
+     dependence critical path of one candidate-pair iteration; the SIMD\n\
+     reflection rung collapses both, which is why the paper calls it\n\
+     'a very large speedup'."

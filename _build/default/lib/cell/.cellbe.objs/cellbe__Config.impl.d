@@ -1,0 +1,1 @@
+lib/cell/config.ml: Sim_util

@@ -1,0 +1,1 @@
+lib/cell/config.mli: Sim_util

@@ -1,0 +1,1 @@
+lib/cell/ledger.ml: Sim_util

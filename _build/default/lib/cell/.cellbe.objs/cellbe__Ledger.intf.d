@@ -1,0 +1,1 @@
+lib/cell/ledger.mli: Sim_util

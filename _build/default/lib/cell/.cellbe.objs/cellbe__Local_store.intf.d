@@ -1,0 +1,1 @@
+lib/cell/local_store.mli:

@@ -1,0 +1,1 @@
+lib/cell/machine.ml: Array Config Float Isa Ledger Local_store Printf Sim_util

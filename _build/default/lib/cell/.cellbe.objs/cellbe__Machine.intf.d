@@ -1,0 +1,1 @@
+lib/cell/machine.mli: Config Isa Ledger Local_store

@@ -1,0 +1,39 @@
+type t = {
+  clock : Sim_util.Units.clock;
+  n_spes : int;
+  ls_bytes : int;
+  dma_bandwidth : float;
+  mem_bandwidth : float;
+  dma_latency : float;
+  dma_max_request : int;
+  spawn_seconds : float;
+  mailbox_seconds : float;
+  ppe_slowdown : float;
+}
+
+let default =
+  { clock = Sim_util.Units.clock ~hz:3.2e9 ~label:"SPE 3.2 GHz";
+    n_spes = 8;
+    ls_bytes = Sim_util.Units.kib 256;
+    dma_bandwidth = Sim_util.Units.bytes_per_second ~gb_per_s:16.0;
+    mem_bandwidth = Sim_util.Units.bytes_per_second ~gb_per_s:25.6;
+    dma_latency = 1.0e-6 (* request setup incl. PPE-side MMIO *);
+    dma_max_request = Sim_util.Units.kib 16;
+    spawn_seconds = 0.010
+    (* 2.6-series-kernel SPE thread creation; calibrated so that
+       respawn-per-step makes 8 SPEs only ~1.5x faster than one (Fig. 6) *);
+    mailbox_seconds = 3.1e-4
+    (* blocking mailbox handshake incl. the PPE polling loop *);
+    ppe_slowdown = 6.7 }
+
+let validate t =
+  let check name ok = if not ok then invalid_arg ("Cellbe.Config: bad " ^ name) in
+  check "n_spes" (t.n_spes >= 1 && t.n_spes <= 16);
+  check "ls_bytes" (t.ls_bytes > 0);
+  check "dma_bandwidth" (t.dma_bandwidth > 0.0);
+  check "mem_bandwidth" (t.mem_bandwidth > 0.0);
+  check "dma_latency" (t.dma_latency >= 0.0);
+  check "dma_max_request" (t.dma_max_request > 0);
+  check "spawn_seconds" (t.spawn_seconds >= 0.0);
+  check "mailbox_seconds" (t.mailbox_seconds >= 0.0);
+  check "ppe_slowdown" (t.ppe_slowdown >= 1.0)

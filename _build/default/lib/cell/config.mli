@@ -1,0 +1,39 @@
+(** Cell Broadband Engine machine parameters.
+
+    Hardware constants come from the Cell BE Handbook / the paper's
+    description (3.2 GHz clock, 8 SPEs, 256 KB local stores, 25.6 GB/s
+    aggregate memory bandwidth).  The thread-spawn cost is the one genuinely
+    software-dependent parameter: the paper shows (Fig. 6) that on their
+    2.6-series kernel, launching an SPE thread was expensive enough that
+    respawning every time step destroyed the 8-SPE speedup, and mailboxes
+    had to be used instead.  It is calibrated in
+    {!Harness.Calibration} against the prose ratios and asserted by test. *)
+
+type t = {
+  clock : Sim_util.Units.clock;       (** SPE clock, 3.2 GHz *)
+  n_spes : int;                       (** 8 on the paper's blades *)
+  ls_bytes : int;                     (** 256 KB local store per SPE *)
+  dma_bandwidth : float;              (** bytes/s one SPE's DMA engine can
+                                          sustain alone *)
+  mem_bandwidth : float;              (** bytes/s of the shared memory
+                                          interface (25.6 GB/s XDR) — the
+                                          EIB itself is faster, so main
+                                          memory is the contended
+                                          resource when several SPEs
+                                          stream at once *)
+  dma_latency : float;                (** per-request setup time, seconds *)
+  dma_max_request : int;              (** 16 KB hardware limit per request *)
+  spawn_seconds : float;              (** PPE cost to create one SPE thread *)
+  mailbox_seconds : float;            (** one blocking mailbox send/recv *)
+  ppe_slowdown : float;
+      (** in-order PPE cycles-per-op handicap relative to the Opteron model
+          running the same block (the paper measures the PPE at roughly
+          5x the Opteron runtime) *)
+}
+
+val default : t
+(** Paper-era blade with the calibrated software costs. *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on nonsensical values (used by tests and by
+    [Machine.create]). *)

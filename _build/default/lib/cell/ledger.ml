@@ -1,0 +1,22 @@
+module Category = struct
+  type t = Spawn | Signal | Dma | Compute | Ppe | Sync
+
+  let all = [ Spawn; Signal; Dma; Compute; Ppe; Sync ]
+
+  let name = function
+    | Spawn -> "spawn"
+    | Signal -> "signal"
+    | Dma -> "dma"
+    | Compute -> "compute"
+    | Ppe -> "ppe"
+    | Sync -> "sync"
+end
+
+type category = Category.t = Spawn | Signal | Dma | Compute | Ppe | Sync
+
+include (
+  Sim_util.Ledger_f.Make (Category) :
+    Sim_util.Ledger_f.S with type category := category)
+
+let category_name = Category.name
+let all_categories = Category.all

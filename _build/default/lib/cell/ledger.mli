@@ -1,0 +1,19 @@
+(** Wall-clock decomposition ledger for the Cell machine.
+
+    Fig. 6 of the paper plots the total runtime next to the part of it
+    spent launching SPE threads; the machine model therefore accounts every
+    second of virtual wall time to a category so that the breakdown is a
+    measurement, not an estimate. *)
+
+type category =
+  | Spawn        (** PPE creating SPE threads *)
+  | Signal       (** mailbox handshakes *)
+  | Dma          (** data movement on the critical path *)
+  | Compute      (** SPE computation on the critical path *)
+  | Ppe          (** serial PPE work (integration, energy sums) *)
+  | Sync         (** barriers / completion waits *)
+
+val category_name : category -> string
+val all_categories : category list
+
+include Sim_util.Ledger_f.S with type category := category

@@ -1,0 +1,138 @@
+module Units = Sim_util.Units
+
+type t = {
+  cfg : Config.t;
+  ledger : Ledger.t;
+  stores : Local_store.t array;
+  mutable wall : float;
+  mutable spawned : int;
+}
+
+let create cfg =
+  Config.validate cfg;
+  { cfg;
+    ledger = Ledger.create ();
+    stores =
+      Array.init cfg.n_spes (fun _ ->
+          Local_store.create ~capacity_bytes:cfg.ls_bytes);
+    wall = 0.0;
+    spawned = 0 }
+
+let config t = t.cfg
+let time t = t.wall
+let ledger t = t.ledger
+
+let reset t =
+  t.wall <- 0.0;
+  t.spawned <- 0;
+  Ledger.reset t.ledger;
+  Array.iter Local_store.reset t.stores
+
+let spawned_spes t = t.spawned
+
+type spe_ctx = {
+  machine : t;
+  id : int;
+  active_spes : int; (* concurrency of the enclosing offload *)
+  store : Local_store.t;
+  mutable dma : float;
+  mutable compute : float;
+}
+
+let spe_id ctx = ctx.id
+let local_store ctx = ctx.store
+
+(* Effective per-SPE bandwidth: one engine's own limit, or a fair share
+   of the memory interface when several SPEs stream concurrently. *)
+let effective_bandwidth t ~active_spes =
+  Float.min t.cfg.dma_bandwidth
+    (t.cfg.mem_bandwidth /. float_of_int (max 1 active_spes))
+
+let dma_seconds ?(active_spes = 1) t ~bytes =
+  if bytes < 0 then invalid_arg "Machine.dma_seconds: negative size";
+  let chunk = t.cfg.dma_max_request in
+  let requests = (bytes + chunk - 1) / chunk in
+  let requests = max requests (if bytes = 0 then 0 else 1) in
+  (float_of_int requests *. t.cfg.dma_latency)
+  +. (float_of_int bytes /. effective_bandwidth t ~active_spes)
+
+let dma_get ctx ~src ~src_pos ~dst ~dst_pos ~len =
+  Local_store.blit_from_array ~src ~src_pos ~dst ~dst_pos ~len;
+  ctx.dma <-
+    ctx.dma
+    +. dma_seconds ~active_spes:ctx.active_spes ctx.machine ~bytes:(len * 4)
+
+let dma_put ctx ~src ~src_pos ~dst ~dst_pos ~len =
+  Local_store.blit_to_array ~src ~src_pos ~dst ~dst_pos ~len;
+  ctx.dma <-
+    ctx.dma
+    +. dma_seconds ~active_spes:ctx.active_spes ctx.machine ~bytes:(len * 4)
+
+let charge_cycles ctx cycles =
+  if cycles < 0.0 then invalid_arg "Machine.charge_cycles: negative";
+  ctx.compute <-
+    ctx.compute +. Units.seconds_of_cycles ctx.machine.cfg.clock cycles
+
+let charge_block ctx block ~iterations ~overlap =
+  charge_cycles ctx (Isa.Spe_pipe.loop_cycles block ~iterations ~overlap)
+
+let dma_busy ctx = ctx.dma
+let compute_busy ctx = ctx.compute
+
+type launch_mode = Respawn | Persistent
+
+let offload t ~spes ~mode kernel =
+  if spes < 1 || spes > t.cfg.n_spes then
+    invalid_arg
+      (Printf.sprintf "Machine.offload: spes=%d not in [1, %d]" spes
+         t.cfg.n_spes);
+  (* Launch cost, serialized on the PPE. *)
+  let spawn_count, signal_count =
+    match mode with
+    | Respawn ->
+      t.spawned <- 0;
+      (spes, 0)
+    | Persistent ->
+      let fresh = max 0 (spes - t.spawned) in
+      t.spawned <- max t.spawned spes;
+      (* Two blocking mailbox operations per SPE per offload: "go" and
+         completion notification. *)
+      (fresh, 2 * spes)
+  in
+  let spawn_time = float_of_int spawn_count *. t.cfg.spawn_seconds in
+  let signal_time = float_of_int signal_count *. t.cfg.mailbox_seconds in
+  (* Run the kernels; virtual time advances by the slowest SPE. *)
+  let critical_dma = ref 0.0 and critical_compute = ref 0.0 in
+  let critical = ref (-1.0) in
+  for id = 0 to spes - 1 do
+    let store = t.stores.(id) in
+    Local_store.reset store;
+    let ctx =
+      { machine = t; id; active_spes = spes; store; dma = 0.0; compute = 0.0 }
+    in
+    kernel ctx;
+    let busy = ctx.dma +. ctx.compute in
+    if busy > !critical then begin
+      critical := busy;
+      critical_dma := ctx.dma;
+      critical_compute := ctx.compute
+    end
+  done;
+  t.wall <- t.wall +. spawn_time +. signal_time +. !critical_dma
+            +. !critical_compute;
+  Ledger.add t.ledger Spawn spawn_time;
+  Ledger.add t.ledger Signal signal_time;
+  Ledger.add t.ledger Dma !critical_dma;
+  Ledger.add t.ledger Compute !critical_compute
+
+let ppe_charge t ~seconds =
+  if seconds < 0.0 then invalid_arg "Machine.ppe_charge: negative";
+  t.wall <- t.wall +. seconds;
+  Ledger.add t.ledger Ppe seconds
+
+let ppe_block t block ~iterations =
+  let cycles =
+    Isa.Opteron_pipe.loop_cycles block ~iterations ~overlap:0.85
+    *. t.cfg.ppe_slowdown
+  in
+  ppe_charge t ~seconds:(Units.seconds_of_cycles t.cfg.clock cycles)

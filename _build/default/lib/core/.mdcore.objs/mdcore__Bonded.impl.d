@@ -1,0 +1,1 @@
+lib/core/bonded.ml: Array Engine Float Min_image Params System Topology

@@ -1,0 +1,1 @@
+lib/core/bonded.mli: Engine System Topology

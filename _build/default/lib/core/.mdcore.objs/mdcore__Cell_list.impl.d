@@ -1,0 +1,1 @@
+lib/core/cell_list.ml: Array Engine Min_image Params System

@@ -1,0 +1,1 @@
+lib/core/cell_list.mli: Engine System

@@ -1,0 +1,1 @@
+lib/core/forces.ml: Array Domain Engine List Min_image Params System Vecmath

@@ -1,0 +1,1 @@
+lib/core/forces.mli: Engine System Vecmath

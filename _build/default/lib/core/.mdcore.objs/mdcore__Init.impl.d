@@ -1,0 +1,1 @@
+lib/core/init.ml: Array Cell_list Float Forces Params Sim_util System Vecmath

@@ -1,0 +1,1 @@
+lib/core/init.mli: Params Sim_util System

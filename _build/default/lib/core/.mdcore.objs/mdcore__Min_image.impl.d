@@ -1,0 +1,1 @@
+lib/core/min_image.ml: Float Vecmath

@@ -1,0 +1,1 @@
+lib/core/min_image.mli: Vecmath

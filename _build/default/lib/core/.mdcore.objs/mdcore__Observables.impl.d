@@ -1,0 +1,1 @@
+lib/core/observables.ml: Array Float List Min_image Params System Vecmath

@@ -1,0 +1,1 @@
+lib/core/observables.mli: System Vecmath

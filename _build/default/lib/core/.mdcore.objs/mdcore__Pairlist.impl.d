@@ -1,0 +1,1 @@
+lib/core/pairlist.ml: Array Engine Float Min_image Params System

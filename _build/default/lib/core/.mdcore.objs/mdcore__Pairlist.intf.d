@@ -1,0 +1,1 @@
+lib/core/pairlist.mli: Engine System

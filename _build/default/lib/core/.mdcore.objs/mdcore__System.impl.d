@@ -1,0 +1,1 @@
+lib/core/system.ml: Array Float Params Printf Vecmath

@@ -1,0 +1,1 @@
+lib/core/thermostat.ml: Array Float Observables Params System Verlet

@@ -1,0 +1,1 @@
+lib/core/thermostat.mli: Engine System Verlet

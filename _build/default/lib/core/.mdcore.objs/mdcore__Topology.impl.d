@@ -1,0 +1,1 @@
+lib/core/topology.ml: Array Float Hashtbl Int List Printf

@@ -1,0 +1,1 @@
+lib/core/verlet.ml: Array Engine List Observables Params System

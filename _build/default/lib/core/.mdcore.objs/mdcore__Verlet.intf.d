@@ -1,0 +1,1 @@
+lib/core/verlet.mli: Engine System

@@ -1,0 +1,1 @@
+lib/core/xyz.ml: Array Fun List Printf String System

@@ -1,0 +1,1 @@
+lib/core/xyz.mli: System

@@ -1,0 +1,22 @@
+(** Bonded force terms — "calculation of forces between bonded atoms is
+    straightforward and less computationally intensive" (paper §3.5),
+    implemented here so the library covers the whole MD kernel its users
+    need, not only the paper's benchmarked half.
+
+    Both terms {e accumulate} into the acceleration arrays (callers zero
+    or pre-fill them) and return their potential-energy contribution. *)
+
+val accumulate_bonds : Topology.t -> System.t -> float
+(** Harmonic bonds, V = k/2 (r − r0)², with minimum-image displacements. *)
+
+val accumulate_angles : Topology.t -> System.t -> float
+(** Harmonic angles, V = k/2 (θ − θ0)²; the three forces sum to zero
+    (tested) and are the exact gradient of V (tested numerically). *)
+
+val molecular_engine : Topology.t -> Engine.t
+(** Full molecular force field: non-bonded LJ over all pairs {e except}
+    the topology's 1-2/1-3 exclusions, plus bonds and angles.  Returns
+    the total PE. *)
+
+val compute_nonbonded_excluded : Topology.t -> System.t -> float
+(** The LJ gather with exclusions only (exposed for tests). *)

@@ -1,0 +1,20 @@
+(** Linked-cell force engine — the O(N) companion ablation to {!Pairlist}.
+
+    The box is divided into cells at least one cutoff wide; an atom
+    interacts only with atoms in its own and the 26 surrounding cells.
+    (This is the other standard technique the paper's §3.4 declines to
+    use; note the pleasing coincidence that its 27-cell stencil mirrors
+    the 27-image minimum-image search the paper's kernel performs.)
+
+    The engine is stateless across calls: the cell assignment is rebuilt
+    on every force evaluation, which is O(N) and keeps the engine usable
+    on any system without lifetime bookkeeping. *)
+
+val engine : Engine.t
+
+val compute : System.t -> float
+(** Raises [Invalid_argument] if the box is smaller than 3 cells per axis
+    (the stencil would visit the same cell twice; fall back to
+    {!Forces.gather_engine} for such tiny systems). *)
+
+val cells_per_axis : System.t -> int

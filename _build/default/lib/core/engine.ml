@@ -1,0 +1,3 @@
+type t = { name : string; compute : System.t -> float }
+
+let make ~name ~compute = { name; compute }

@@ -1,0 +1,15 @@
+(** A force engine: the pluggable "step 2" of the paper's kernel.
+
+    Each architecture port (and each optimization ladder rung) is an
+    engine: given the current positions it fills the acceleration arrays
+    and returns the potential energy.  The integrator ({!Verlet}) is
+    engine-agnostic, which is exactly the paper's structure — only the
+    acceleration computation was offloaded to the SPEs / GPU. *)
+
+type t = {
+  name : string;
+  compute : System.t -> float;
+      (** Overwrites [acc_*]; returns the total potential energy. *)
+}
+
+val make : name:string -> compute:(System.t -> float) -> t

@@ -1,0 +1,48 @@
+(** Reference double-precision force evaluation.
+
+    Two shapes of the same O(N²) Lennard-Jones sum:
+
+    - {!gather_engine}: for each atom, scan all N−1 others — the paper's
+      pseudocode ("compute distance with all other N−1 atoms"), and the
+      only shape expressible on the GPU/SPE/MTA ports.  Each pair is
+      evaluated twice; the potential energy is halved accordingly.
+    - {!newton3_engine}: half the pairs with action–reaction — the
+      standard serial-CPU optimization, kept as an ablation to quantify
+      what the gather formulation costs.
+
+    Both evaluate distances on the fly with no neighbour list: "We do not
+    employ any optimization technique that has been proposed for
+    cache-based systems.  Instead, we calculate the distances on the fly". *)
+
+val gather_engine : Engine.t
+val newton3_engine : Engine.t
+
+val compute_gather : System.t -> float
+val compute_newton3 : System.t -> float
+
+val compute_gather_stats : System.t -> float * int
+(** Like {!compute_gather}, additionally returning the number of
+    in-cutoff interactions found (each unordered pair counted twice, as
+    the gather loop encounters it) — the quantity the architecture ports
+    charge their hit-path cycles by. *)
+
+val compute_gather_domains : ?domains:int -> System.t -> float
+(** {!compute_gather} with the rows split across OCaml 5 domains (shared-
+    memory parallelism on the host running this simulator).  The gather
+    formulation makes rows independent — each domain writes only its own
+    acceleration slice, so the accelerations are bit-identical to the
+    serial version, and per-domain PE partials combine in a fixed order,
+    so the PE is deterministic (equal to serial up to floating-point
+    summation order; both tested).  [domains] defaults to
+    [Domain.recommended_domain_count ()]. *)
+
+val compute_gather_searched : System.t -> float
+(** {!compute_gather} with the minimum image found by the paper's literal
+    neighbouring-image *search* ({!Min_image.delta_search}) instead of
+    the closed form — the formulation every port actually executes.
+    Results are identical (tested); kept separate so the equivalence is
+    exercised in the physics path, not only at the Min_image unit level. *)
+
+val acceleration_on : System.t -> int -> Vecmath.Vec3.t * float
+(** [acceleration_on s i] recomputes atom [i]'s acceleration and its PE
+    contribution independently (for spot-check tests). *)

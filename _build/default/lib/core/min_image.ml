@@ -1,0 +1,28 @@
+let wrap ~box x =
+  let r = Float.rem x box in
+  if r < 0.0 then r +. box else r
+
+let delta ~box dx = dx -. (box *. Float.round (dx /. box))
+
+let delta_search ~box dx =
+  let best = ref dx in
+  let consider cand = if abs_float cand < abs_float !best then best := cand in
+  consider (dx -. box);
+  consider (dx +. box);
+  !best
+
+let delta_search_branchless ~box dx =
+  (* |dx| > box/2 means the image one box away (in the direction opposite
+     dx's sign) is closer; copysign selects that direction without a
+     branch.  The multiply by the comparison result mirrors the SPE's
+     mask-and-select idiom. *)
+  let needs_shift = if abs_float dx > 0.5 *. box then 1.0 else 0.0 in
+  dx -. (needs_shift *. Float.copy_sign box dx)
+
+let pair_delta ~box ~xi ~xj = delta ~box (xi -. xj)
+
+let dist2 ~box (a : Vecmath.Vec3.t) (b : Vecmath.Vec3.t) =
+  let dx = delta ~box (a.x -. b.x)
+  and dy = delta ~box (a.y -. b.y)
+  and dz = delta ~box (a.z -. b.z) in
+  (dx *. dx) +. (dy *. dy) +. (dz *. dz)

@@ -1,0 +1,37 @@
+(** Physical observables: the quantities step 5 of the paper's kernel
+    computes ("calculate new kinetic and total energies") and the
+    conservation laws the test suite checks. *)
+
+val kinetic_energy : System.t -> float
+(** KE = ½ m Σ v². *)
+
+val temperature : System.t -> float
+(** T = 2·KE / (3·(N−1)) in reduced units (N−1: three momentum constraints
+    remove one atom's worth of degrees of freedom). *)
+
+val total_momentum : System.t -> Vecmath.Vec3.t
+(** Σ m·v — conserved (≈0 after {!Init.maxwell_velocities}). *)
+
+val total_energy : System.t -> pe:float -> float
+(** KE + PE for a PE the force engine just returned. *)
+
+val radial_distribution : System.t -> bins:int -> rmax:float -> float array
+(** g(r): the pair-correlation histogram over [\[0, rmax)], normalized so
+    an ideal gas gives 1 in every bin — the standard structural probe
+    that distinguishes the solid's sharp shells from the liquid's broad
+    first peak.  Requires [0 < rmax <= box/2] (minimum image) and
+    [bins > 0].  O(N^2). *)
+
+val bin_centers : bins:int -> rmax:float -> float array
+(** The r value at each bin's midpoint, for plotting alongside
+    {!radial_distribution}. *)
+
+val velocity_autocorrelation : System.t list -> float array
+(** Normalized velocity autocorrelation function from a list of
+    trajectory snapshots (equal [n], chronological):
+    C(k) = <v(0)·v(k)> / <v(0)·v(0)>, so C(0) = 1.  Raises on an empty
+    list or mismatched sizes. *)
+
+val diffusion_coefficient : System.t list -> dt:float -> float
+(** Green–Kubo estimate D = (1/3) ∫ <v(0)·v(t)> dt over the snapshot
+    window (trapezoidal rule, [dt] = time between snapshots). *)

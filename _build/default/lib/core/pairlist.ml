@@ -1,0 +1,112 @@
+type t = {
+  system : System.t;
+  skin : float;
+  (* Half-list: for each i, neighbours j > i within cutoff+skin. *)
+  mutable neighbours : int array array;
+  ref_x : float array;  (* positions at last build *)
+  ref_y : float array;
+  ref_z : float array;
+  mutable built : bool;
+  mutable rebuilds : int;
+  mutable last_hits : int;
+}
+
+let create ?(skin = 0.4) (s : System.t) =
+  if skin <= 0.0 then invalid_arg "Pairlist.create: skin must be positive";
+  let reach = s.System.params.Params.cutoff +. skin in
+  if s.System.box < 2.0 *. reach then
+    invalid_arg "Pairlist.create: box too small for cutoff + skin";
+  { system = s;
+    skin;
+    neighbours = Array.make s.System.n [||];
+    ref_x = Array.make s.System.n 0.0;
+    ref_y = Array.make s.System.n 0.0;
+    ref_z = Array.make s.System.n 0.0;
+    built = false;
+    rebuilds = 0;
+    last_hits = 0 }
+
+let build t =
+  let s = t.system in
+  let { System.n; box; pos_x; pos_y; pos_z; _ } = s in
+  let reach = s.System.params.Params.cutoff +. t.skin in
+  let reach2 = reach *. reach in
+  t.neighbours <-
+    Array.init n (fun i ->
+        let acc = ref [] in
+        for j = n - 1 downto i + 1 do
+          let dx = Min_image.delta ~box (pos_x.(i) -. pos_x.(j))
+          and dy = Min_image.delta ~box (pos_y.(i) -. pos_y.(j))
+          and dz = Min_image.delta ~box (pos_z.(i) -. pos_z.(j)) in
+          if (dx *. dx) +. (dy *. dy) +. (dz *. dz) < reach2 then
+            acc := j :: !acc
+        done;
+        Array.of_list !acc);
+  Array.blit pos_x 0 t.ref_x 0 n;
+  Array.blit pos_y 0 t.ref_y 0 n;
+  Array.blit pos_z 0 t.ref_z 0 n;
+  t.built <- true;
+  t.rebuilds <- t.rebuilds + 1
+
+let max_drift t =
+  let s = t.system in
+  let { System.n; box; pos_x; pos_y; pos_z; _ } = s in
+  let worst = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dx = Min_image.delta ~box (pos_x.(i) -. t.ref_x.(i))
+    and dy = Min_image.delta ~box (pos_y.(i) -. t.ref_y.(i))
+    and dz = Min_image.delta ~box (pos_z.(i) -. t.ref_z.(i)) in
+    worst := Float.max !worst ((dx *. dx) +. (dy *. dy) +. (dz *. dz))
+  done;
+  sqrt !worst
+
+let needs_rebuild t = (not t.built) || max_drift t > 0.5 *. t.skin
+
+let compute t (s : System.t) =
+  if s != t.system then
+    invalid_arg "Pairlist: engine used with a different system";
+  if needs_rebuild t then build t;
+  let { System.n; box; params; pos_x; pos_y; pos_z; acc_x; acc_y; acc_z; _ } =
+    s
+  in
+  let rc2 = Params.cutoff2 params in
+  let inv_mass = 1.0 /. params.Params.mass in
+  let pe = ref 0.0 and hits = ref 0 in
+  System.clear_accelerations s;
+  for i = 0 to n - 1 do
+    let xi = pos_x.(i) and yi = pos_y.(i) and zi = pos_z.(i) in
+    Array.iter
+      (fun j ->
+        let dx = Min_image.delta ~box (xi -. pos_x.(j))
+        and dy = Min_image.delta ~box (yi -. pos_y.(j))
+        and dz = Min_image.delta ~box (zi -. pos_z.(j)) in
+        let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
+        if r2 < rc2 then begin
+          let f_over_r = Params.lj_force_over_r params r2 in
+          let ax = f_over_r *. dx *. inv_mass
+          and ay = f_over_r *. dy *. inv_mass
+          and az = f_over_r *. dz *. inv_mass in
+          acc_x.(i) <- acc_x.(i) +. ax;
+          acc_y.(i) <- acc_y.(i) +. ay;
+          acc_z.(i) <- acc_z.(i) +. az;
+          acc_x.(j) <- acc_x.(j) -. ax;
+          acc_y.(j) <- acc_y.(j) -. ay;
+          acc_z.(j) <- acc_z.(j) -. az;
+          pe := !pe +. Params.lj_potential params r2;
+          incr hits
+        end)
+      t.neighbours.(i)
+  done;
+  t.last_hits <- !hits;
+  !pe
+
+let engine t = Engine.make ~name:"pairlist" ~compute:(compute t)
+
+let rebuild_count t = t.rebuilds
+
+let last_interaction_count t = t.last_hits
+
+let neighbour_count t =
+  Array.fold_left (fun acc a -> acc + Array.length a) 0 t.neighbours
+
+let force_rebuild t = build t

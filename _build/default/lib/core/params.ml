@@ -1,0 +1,37 @@
+type t = {
+  epsilon : float;
+  sigma : float;
+  cutoff : float;
+  mass : float;
+  dt : float;
+}
+
+let default =
+  { epsilon = 1.0; sigma = 1.0; cutoff = 2.5; mass = 1.0; dt = 0.004 }
+
+let validate t =
+  let check name v =
+    if not (v > 0.0 && Float.is_finite v) then
+      invalid_arg ("Mdcore.Params: " ^ name ^ " must be positive and finite")
+  in
+  check "epsilon" t.epsilon;
+  check "sigma" t.sigma;
+  check "cutoff" t.cutoff;
+  check "mass" t.mass;
+  check "dt" t.dt
+
+let cutoff2 t = t.cutoff *. t.cutoff
+
+let lj_potential t r2 =
+  if r2 <= 0.0 then invalid_arg "Params.lj_potential: r2 must be positive";
+  let s2 = t.sigma *. t.sigma /. r2 in
+  let s6 = s2 *. s2 *. s2 in
+  4.0 *. t.epsilon *. ((s6 *. s6) -. s6)
+
+let lj_force_over_r t r2 =
+  if r2 <= 0.0 then invalid_arg "Params.lj_force_over_r: r2 must be positive";
+  let s2 = t.sigma *. t.sigma /. r2 in
+  let s6 = s2 *. s2 *. s2 in
+  24.0 *. t.epsilon *. ((2.0 *. s6 *. s6) -. s6) /. r2
+
+let lj_minimum t = t.sigma *. Float.pow 2.0 (1.0 /. 6.0)

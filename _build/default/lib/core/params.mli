@@ -1,0 +1,38 @@
+(** Physical parameters of the Lennard-Jones MD kernel, in reduced units
+    (σ = ε = m = k_B = 1 for argon-like systems, the conventional setting
+    for the paper's class of benchmark kernel).
+
+    The LJ 6-12 potential the paper gives:
+    V(r) = 4ε ((σ/r)^12 − (σ/r)^6),
+    truncated at [cutoff]: "It is assumed that atoms within a cutoff limit
+    contribute to the force and energy calculations on an atom." *)
+
+type t = {
+  epsilon : float;   (** well depth ε *)
+  sigma : float;     (** zero-crossing distance σ *)
+  cutoff : float;    (** interaction range r_c (absolute, not in σ) *)
+  mass : float;      (** atom mass m *)
+  dt : float;        (** integration time step Δt *)
+}
+
+val default : t
+(** ε = σ = m = 1, r_c = 2.5σ, Δt = 0.004 τ — the classic LJ-melt setup. *)
+
+val validate : t -> unit
+(** All quantities must be strictly positive; raises otherwise. *)
+
+val cutoff2 : t -> float
+(** r_c². *)
+
+val lj_potential : t -> float -> float
+(** [lj_potential p r2] is V at squared distance [r2] ({e without} cutoff
+    truncation — callers apply the cutoff test; this keeps the function
+    total and property-testable).  [r2] must be positive. *)
+
+val lj_force_over_r : t -> float -> float
+(** [lj_force_over_r p r2] is F(r)/r = 24ε(2(σ/r)^12 − (σ/r)^6)/r², the
+    scalar that multiplies the displacement vector to give the force.
+    Positive values are repulsive. *)
+
+val lj_minimum : t -> float
+(** r_min = 2^(1/6) σ, where the force changes sign (used by tests). *)

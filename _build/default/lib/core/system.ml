@@ -1,0 +1,98 @@
+module Vec3 = Vecmath.Vec3
+
+type t = {
+  n : int;
+  box : float;
+  params : Params.t;
+  pos_x : float array;
+  pos_y : float array;
+  pos_z : float array;
+  vel_x : float array;
+  vel_y : float array;
+  vel_z : float array;
+  acc_x : float array;
+  acc_y : float array;
+  acc_z : float array;
+}
+
+let create ~n ~box ~params =
+  Params.validate params;
+  if n <= 0 then invalid_arg "System.create: n must be positive";
+  if box < 2.0 *. params.Params.cutoff then
+    invalid_arg
+      (Printf.sprintf
+         "System.create: box %g violates the minimum-image criterion (needs \
+          >= 2 * cutoff = %g)"
+         box
+         (2.0 *. params.Params.cutoff));
+  let z () = Array.make n 0.0 in
+  { n; box; params;
+    pos_x = z (); pos_y = z (); pos_z = z ();
+    vel_x = z (); vel_y = z (); vel_z = z ();
+    acc_x = z (); acc_y = z (); acc_z = z () }
+
+let copy t =
+  { t with
+    pos_x = Array.copy t.pos_x; pos_y = Array.copy t.pos_y;
+    pos_z = Array.copy t.pos_z;
+    vel_x = Array.copy t.vel_x; vel_y = Array.copy t.vel_y;
+    vel_z = Array.copy t.vel_z;
+    acc_x = Array.copy t.acc_x; acc_y = Array.copy t.acc_y;
+    acc_z = Array.copy t.acc_z }
+
+let position t i = Vec3.make t.pos_x.(i) t.pos_y.(i) t.pos_z.(i)
+let velocity t i = Vec3.make t.vel_x.(i) t.vel_y.(i) t.vel_z.(i)
+let acceleration t i = Vec3.make t.acc_x.(i) t.acc_y.(i) t.acc_z.(i)
+
+(* Fold a coordinate into [0, box).  A single fmod plus correction is
+   enough because the integrator moves atoms far less than a box length
+   per step; arbitrary inputs are handled for robustness. *)
+let wrap_coord box x =
+  let r = Float.rem x box in
+  if r < 0.0 then r +. box else r
+
+let wrap_atom t i =
+  t.pos_x.(i) <- wrap_coord t.box t.pos_x.(i);
+  t.pos_y.(i) <- wrap_coord t.box t.pos_y.(i);
+  t.pos_z.(i) <- wrap_coord t.box t.pos_z.(i)
+
+let set_position t i (v : Vec3.t) =
+  t.pos_x.(i) <- v.x;
+  t.pos_y.(i) <- v.y;
+  t.pos_z.(i) <- v.z;
+  wrap_atom t i
+
+let set_velocity t i (v : Vec3.t) =
+  t.vel_x.(i) <- v.x;
+  t.vel_y.(i) <- v.y;
+  t.vel_z.(i) <- v.z
+
+let clear_accelerations t =
+  Array.fill t.acc_x 0 t.n 0.0;
+  Array.fill t.acc_y 0 t.n 0.0;
+  Array.fill t.acc_z 0 t.n 0.0
+
+let check_compatible a b =
+  if a.n <> b.n then invalid_arg "System: size mismatch"
+
+let max_delta3 n ax ay az bx by bz =
+  let worst = ref 0.0 in
+  for i = 0 to n - 1 do
+    worst := Float.max !worst (abs_float (ax.(i) -. bx.(i)));
+    worst := Float.max !worst (abs_float (ay.(i) -. by.(i)));
+    worst := Float.max !worst (abs_float (az.(i) -. bz.(i)))
+  done;
+  !worst
+
+let max_position_delta a b =
+  check_compatible a b;
+  max_delta3 a.n a.pos_x a.pos_y a.pos_z b.pos_x b.pos_y b.pos_z
+
+let max_acceleration_delta a b =
+  check_compatible a b;
+  max_delta3 a.n a.acc_x a.acc_y a.acc_z b.acc_x b.acc_y b.acc_z
+
+let equal_positions ?(eps = 0.0) a b =
+  a.n = b.n && max_position_delta a b <= eps
+
+let density t = float_of_int t.n /. (t.box ** 3.0)

@@ -1,0 +1,51 @@
+(** The simulated collection of atoms, in structure-of-arrays layout.
+
+    SoA is the layout every port in the paper works against: "the positions
+    of atoms are usually stored in arrays" — the Opteron walks them
+    linearly, the Cell DMAs contiguous spans of them into local stores,
+    the GPU uploads them as a texture.  Positions are kept inside the
+    periodic box [\[0, box)³] at all times (enforced by {!wrap_atom}). *)
+
+type t = {
+  n : int;
+  box : float;                  (** cubic box side length *)
+  params : Params.t;
+  pos_x : float array;
+  pos_y : float array;
+  pos_z : float array;
+  vel_x : float array;
+  vel_y : float array;
+  vel_z : float array;
+  acc_x : float array;
+  acc_y : float array;
+  acc_z : float array;
+}
+
+val create : n:int -> box:float -> params:Params.t -> t
+(** Zero-initialized arrays.  Requires [n > 0] and [box >= 2 * cutoff]
+    (the minimum-image criterion — with a smaller box an atom would
+    interact with two images of the same neighbour). *)
+
+val copy : t -> t
+
+val position : t -> int -> Vecmath.Vec3.t
+val velocity : t -> int -> Vecmath.Vec3.t
+val acceleration : t -> int -> Vecmath.Vec3.t
+val set_position : t -> int -> Vecmath.Vec3.t -> unit
+(** Wraps into the box. *)
+
+val set_velocity : t -> int -> Vecmath.Vec3.t -> unit
+
+val wrap_atom : t -> int -> unit
+(** Re-impose periodic boundary conditions on atom [i]'s stored position. *)
+
+val clear_accelerations : t -> unit
+
+val equal_positions : ?eps:float -> t -> t -> bool
+val max_position_delta : t -> t -> float
+(** Largest absolute componentwise position difference (for port
+    tolerance checks); systems must have equal [n]. *)
+
+val max_acceleration_delta : t -> t -> float
+val density : t -> float
+(** n / box³. *)

@@ -1,0 +1,35 @@
+let scale_velocities (s : System.t) factor =
+  for i = 0 to s.System.n - 1 do
+    s.System.vel_x.(i) <- factor *. s.System.vel_x.(i);
+    s.System.vel_y.(i) <- factor *. s.System.vel_y.(i);
+    s.System.vel_z.(i) <- factor *. s.System.vel_z.(i)
+  done
+
+let rescale s ~target =
+  if target < 0.0 then invalid_arg "Thermostat.rescale: negative target";
+  let current = Observables.temperature s in
+  if current > 0.0 then scale_velocities s (sqrt (target /. current))
+
+let berendsen s ~target ~tau =
+  if target < 0.0 then invalid_arg "Thermostat.berendsen: negative target";
+  if tau <= 0.0 then invalid_arg "Thermostat.berendsen: tau must be positive";
+  let current = Observables.temperature s in
+  if current > 0.0 then begin
+    let dt = s.System.params.Params.dt in
+    let lambda2 = 1.0 +. (dt /. tau *. ((target /. current) -. 1.0)) in
+    (* Guard against pathological overshoot on tiny tau or cold systems. *)
+    let lambda2 = Float.max 0.25 (Float.min 4.0 lambda2) in
+    scale_velocities s (sqrt lambda2)
+  end
+
+let equilibrate s ~engine ~target ~steps ?tau () =
+  if steps < 0 then invalid_arg "Thermostat.equilibrate: steps < 0";
+  let tau =
+    match tau with
+    | Some t -> t
+    | None -> 20.0 *. s.System.params.Params.dt
+  in
+  Verlet.run s ~engine ~steps
+    ~record:(fun r ->
+      if r.Verlet.step > 0 then berendsen s ~target ~tau)
+    ()

@@ -1,0 +1,22 @@
+(** Temperature control for NVT-style runs.
+
+    The paper's kernel is pure NVE (no thermostat), but any downstream
+    user equilibrating a system needs one; these are the two standard
+    weak-coupling schemes. *)
+
+val rescale : System.t -> target:float -> unit
+(** Velocity rescaling: scale all velocities so the instantaneous
+    temperature equals [target] exactly.  No-op on a zero-temperature
+    system.  [target] must be nonnegative. *)
+
+val berendsen : System.t -> target:float -> tau:float -> unit
+(** One Berendsen weak-coupling step: velocities scale by
+    sqrt(1 + (dt/tau)(target/T - 1)), relaxing T toward [target] with
+    time constant [tau] (> 0, in reduced time units).  Gentler than
+    {!rescale}; the standard equilibration choice. *)
+
+val equilibrate : System.t -> engine:Engine.t -> target:float ->
+  steps:int -> ?tau:float -> unit -> Verlet.step_record list
+(** Integrate [steps] velocity-Verlet steps applying a Berendsen step
+    after each (default [tau] = 20·dt), returning the records.  Leaves
+    the system near [target] temperature. *)

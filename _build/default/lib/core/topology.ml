@@ -1,0 +1,94 @@
+type bond = { i : int; j : int; r0 : float; k_bond : float }
+
+type angle = {
+  a : int;
+  center : int;
+  c : int;
+  theta0 : float;
+  k_angle : float;
+}
+
+type t = {
+  bond_list : bond array;
+  angle_list : angle array;
+  (* per-atom sorted exclusion lists (1-2 and 1-3 partners) *)
+  exclusions : int array array;
+}
+
+let empty = { bond_list = [||]; angle_list = [||]; exclusions = [||] }
+
+let validate_index n_atoms what idx =
+  if idx < 0 || idx >= n_atoms then
+    invalid_arg (Printf.sprintf "Topology: %s index %d out of range" what idx)
+
+let create ?(bonds = []) ?(angles = []) ~n_atoms () =
+  if n_atoms <= 0 then invalid_arg "Topology.create: n_atoms";
+  List.iter
+    (fun b ->
+      validate_index n_atoms "bond" b.i;
+      validate_index n_atoms "bond" b.j;
+      if b.i = b.j then invalid_arg "Topology.create: bond to self";
+      if b.r0 <= 0.0 || b.k_bond <= 0.0 then
+        invalid_arg "Topology.create: bond parameters must be positive")
+    bonds;
+  List.iter
+    (fun a ->
+      validate_index n_atoms "angle" a.a;
+      validate_index n_atoms "angle" a.center;
+      validate_index n_atoms "angle" a.c;
+      if a.a = a.center || a.c = a.center || a.a = a.c then
+        invalid_arg "Topology.create: angle members must be distinct";
+      if a.k_angle <= 0.0 || a.theta0 <= 0.0 || a.theta0 > Float.pi then
+        invalid_arg "Topology.create: angle parameters out of range")
+    angles;
+  let pairs = Hashtbl.create (2 * List.length bonds) in
+  let add_pair i j =
+    if i <> j then begin
+      Hashtbl.replace pairs (i, j) ();
+      Hashtbl.replace pairs (j, i) ()
+    end
+  in
+  List.iter (fun b -> add_pair b.i b.j) bonds;
+  (* 1-3 exclusions: the outer atoms of every angle. *)
+  List.iter (fun a -> add_pair a.a a.c) angles;
+  let per_atom = Array.make n_atoms [] in
+  Hashtbl.iter (fun (i, j) () -> per_atom.(i) <- j :: per_atom.(i)) pairs;
+  { bond_list = Array.of_list bonds;
+    angle_list = Array.of_list angles;
+    exclusions =
+      Array.map
+        (fun l ->
+          let arr = Array.of_list l in
+          Array.sort compare arr;
+          arr)
+        per_atom }
+
+let bonds t = Array.copy t.bond_list
+let angles t = Array.copy t.angle_list
+let n_bonds t = Array.length t.bond_list
+let n_angles t = Array.length t.angle_list
+
+let excluded t i j =
+  i < Array.length t.exclusions
+  && Array.exists (Int.equal j) t.exclusions.(i)
+
+let linear_chains ~n_chains ~length ~r0 ~k_bond ?angle () =
+  if n_chains <= 0 || length <= 0 then
+    invalid_arg "Topology.linear_chains: counts must be positive";
+  let bonds = ref [] and angles = ref [] in
+  for c = 0 to n_chains - 1 do
+    let base = c * length in
+    for k = 0 to length - 2 do
+      bonds := { i = base + k; j = base + k + 1; r0; k_bond } :: !bonds
+    done;
+    match angle with
+    | None -> ()
+    | Some (theta0, k_angle) ->
+      for k = 1 to length - 2 do
+        angles :=
+          { a = base + k - 1; center = base + k; c = base + k + 1; theta0;
+            k_angle }
+          :: !angles
+      done
+  done;
+  create ~bonds:!bonds ~angles:!angles ~n_atoms:(n_chains * length) ()

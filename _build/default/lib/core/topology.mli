@@ -1,0 +1,48 @@
+(** Molecular topology: the bonded structure of the system.
+
+    The paper's kernel treats only the non-bonded part ("there are only a
+    very small number of bonded interactions as compared to the non-bonded
+    interactions"), but a bio-molecular simulation needs both; this module
+    carries the bond/angle lists and the resulting non-bonded exclusions
+    (directly bonded pairs must not also feel the LJ wall, or molecules
+    blow apart — the standard 1-2 exclusion rule). *)
+
+type bond = {
+  i : int;
+  j : int;
+  r0 : float;       (** equilibrium length *)
+  k_bond : float;   (** harmonic stiffness, V = k/2 (r - r0)^2 *)
+}
+
+type angle = {
+  a : int;
+  center : int;
+  c : int;
+  theta0 : float;   (** equilibrium angle, radians *)
+  k_angle : float;  (** V = k/2 (theta - theta0)^2 *)
+}
+
+type t
+
+val empty : t
+val create : ?bonds:bond list -> ?angles:angle list -> n_atoms:int -> unit -> t
+(** Validates every index against [n_atoms], bond endpoints distinct,
+    angle members distinct, and positive [r0]/[k] parameters. *)
+
+val bonds : t -> bond array
+val angles : t -> angle array
+val n_bonds : t -> int
+val n_angles : t -> int
+
+val excluded : t -> int -> int -> bool
+(** [excluded t i j] — are atoms [i] and [j] directly bonded (1-2) or
+    separated by one bond (1-3, the two ends of an angle)?  Such pairs
+    are skipped by the non-bonded engine. *)
+
+val linear_chains : n_chains:int -> length:int -> r0:float -> k_bond:float ->
+  ?angle:float * float -> unit -> t
+(** Topology for [n_chains] bead–spring chains of [length] atoms each
+    (atom ids assigned chain-major: chain c owns
+    [c*length .. (c+1)*length - 1]).  [angle = (theta0, k_angle)] adds a
+    bending term at every interior bead.  The classic coarse-grained
+    polymer workload. *)

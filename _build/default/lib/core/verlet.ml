@@ -1,0 +1,57 @@
+type step_record = {
+  step : int;
+  sim_time : float;
+  pe : float;
+  ke : float;
+  total_energy : float;
+  temperature : float;
+}
+
+let half_kick (s : System.t) =
+  let h = 0.5 *. s.System.params.Params.dt in
+  for i = 0 to s.System.n - 1 do
+    s.System.vel_x.(i) <- s.System.vel_x.(i) +. (h *. s.System.acc_x.(i));
+    s.System.vel_y.(i) <- s.System.vel_y.(i) +. (h *. s.System.acc_y.(i));
+    s.System.vel_z.(i) <- s.System.vel_z.(i) +. (h *. s.System.acc_z.(i))
+  done
+
+let drift (s : System.t) =
+  let dt = s.System.params.Params.dt in
+  for i = 0 to s.System.n - 1 do
+    s.System.pos_x.(i) <- s.System.pos_x.(i) +. (dt *. s.System.vel_x.(i));
+    s.System.pos_y.(i) <- s.System.pos_y.(i) +. (dt *. s.System.vel_y.(i));
+    s.System.pos_z.(i) <- s.System.pos_z.(i) +. (dt *. s.System.vel_z.(i));
+    System.wrap_atom s i
+  done
+
+let prepare s ~engine = engine.Engine.compute s
+
+let step s ~engine =
+  half_kick s;
+  drift s;
+  let pe = engine.Engine.compute s in
+  half_kick s;
+  pe
+
+let make_record s ~step:n ~pe =
+  let ke = Observables.kinetic_energy s in
+  { step = n;
+    sim_time = float_of_int n *. s.System.params.Params.dt;
+    pe;
+    ke;
+    total_energy = ke +. pe;
+    temperature = Observables.temperature s }
+
+let run s ~engine ~steps ?(record = fun _ -> ()) () =
+  if steps < 0 then invalid_arg "Verlet.run: steps < 0";
+  let pe0 = prepare s ~engine in
+  let first = make_record s ~step:0 ~pe:pe0 in
+  record first;
+  let rest =
+    List.init steps (fun k ->
+        let pe = step s ~engine in
+        let r = make_record s ~step:(k + 1) ~pe in
+        record r;
+        r)
+  in
+  first :: rest

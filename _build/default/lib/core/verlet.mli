@@ -1,0 +1,44 @@
+(** Velocity-Verlet integration — the paper's 5-step kernel (Fig. 4):
+
+    {v 1. advance velocities
+       2. calculate forces on each of the N atoms
+       3. move atoms based on their position, velocities & forces
+       4. update positions
+       5. calculate new kinetic and total energies v}
+
+    arranged in the standard velocity-Verlet order: the half-kick with the
+    previous accelerations, the drift, the force evaluation at the new
+    positions, the second half-kick, and the energy bookkeeping.  The force
+    evaluation is pluggable (an {!Engine.t}) — offloading it is the entire
+    subject of the paper. *)
+
+type step_record = {
+  step : int;
+  sim_time : float;         (** step · Δt *)
+  pe : float;
+  ke : float;
+  total_energy : float;
+  temperature : float;
+}
+
+val prepare : System.t -> engine:Engine.t -> float
+(** Evaluate forces for the initial configuration (velocity Verlet needs
+    a(t) before the first step); returns the initial PE. *)
+
+val step : System.t -> engine:Engine.t -> float
+(** Advance one Δt.  Assumes accelerations correspond to current positions
+    (guaranteed after {!prepare} or a previous [step]).  Returns the new
+    PE. *)
+
+val half_kick : System.t -> unit
+(** v += a·Δt/2 — exposed so ports that offload only the force evaluation
+    can drive the integration themselves, as the paper's PPE/CPU does. *)
+
+val drift : System.t -> unit
+(** x += v·Δt, with periodic re-wrap. *)
+
+val run : System.t -> engine:Engine.t -> steps:int ->
+  ?record:(step_record -> unit) -> unit -> step_record list
+(** [run s ~engine ~steps ()] integrates [steps] steps and returns one
+    record per step (including a step-0 record for the initial state).
+    [record] is additionally called with each record as it is produced. *)

@@ -1,0 +1,40 @@
+let write_frame ?(element = "Ar") ?(comment = "") oc (s : System.t) =
+  Printf.fprintf oc "%d\n%s\n" s.System.n comment;
+  for i = 0 to s.System.n - 1 do
+    Printf.fprintf oc "%s %.8f %.8f %.8f\n" element s.System.pos_x.(i)
+      s.System.pos_y.(i) s.System.pos_z.(i)
+  done
+
+let write_trajectory ~path ?element ~frames () =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iteri
+        (fun k frame ->
+          write_frame ?element ~comment:(Printf.sprintf "frame %d" k) oc
+            frame)
+        frames)
+
+let frame_count ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let frames = ref 0 in
+      (try
+         while true do
+           let header = input_line ic in
+           let n =
+             match int_of_string_opt (String.trim header) with
+             | Some n when n >= 0 -> n
+             | _ -> failwith ("Xyz.frame_count: bad atom count: " ^ header)
+           in
+           ignore (input_line ic);
+           for _ = 1 to n do
+             ignore (input_line ic)
+           done;
+           incr frames
+         done
+       with End_of_file -> ());
+      !frames)

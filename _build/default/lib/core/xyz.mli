@@ -1,0 +1,18 @@
+(** XYZ trajectory output — the lingua-franca format every MD
+    visualization tool (VMD, OVITO, ...) reads, so runs from this library
+    can be inspected with standard tooling. *)
+
+val write_frame : ?element:string -> ?comment:string -> out_channel ->
+  System.t -> unit
+(** Append one frame: the atom count line, a comment line, then one
+    "EL x y z" line per atom (positions in reduced units; pass a
+    [comment] like "t = 0.40" to tag frames). *)
+
+val write_trajectory : path:string -> ?element:string ->
+  frames:System.t list -> unit -> unit
+(** Write a whole trajectory file (frames are snapshots, e.g. collected
+    with {!System.copy} during a run). *)
+
+val frame_count : path:string -> int
+(** Count the frames in an XYZ file (validates the atom-count headers;
+    raises [Failure] on a malformed file). *)

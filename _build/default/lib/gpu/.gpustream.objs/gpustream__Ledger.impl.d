@@ -1,0 +1,1 @@
+lib/gpu/ledger.ml: Sim_util

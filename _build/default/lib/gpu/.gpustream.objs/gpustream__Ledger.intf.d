@@ -1,0 +1,1 @@
+lib/gpu/ledger.mli: Sim_util

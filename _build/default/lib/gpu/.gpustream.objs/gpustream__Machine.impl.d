@@ -1,0 +1,1 @@
+lib/gpu/machine.ml: Array Config Isa Ledger List Printf Sim_util Vecmath

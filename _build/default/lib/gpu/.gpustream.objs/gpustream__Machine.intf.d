@@ -1,0 +1,1 @@
+lib/gpu/machine.mli: Config Isa Ledger Vecmath

@@ -1,0 +1,57 @@
+type t = {
+  clock : Sim_util.Units.clock;
+  pipes : int;
+  vram_bytes : int;
+  upload_bandwidth : float;
+  readback_bandwidth : float;
+  transfer_latency : float;
+  dispatch_overhead : float;
+  jit_seconds : float;
+  max_inputs : int;
+  max_outputs : int;
+  max_texels : int;
+  shader_efficiency : float;
+}
+
+let geforce_7900gtx =
+  { clock = Sim_util.Units.clock ~hz:650e6 ~label:"G71 650 MHz";
+    pipes = 24;
+    vram_bytes = Sim_util.Units.mib 512;
+    upload_bandwidth = Sim_util.Units.bytes_per_second ~gb_per_s:2.2;
+    readback_bandwidth = Sim_util.Units.bytes_per_second ~gb_per_s:1.0;
+    transfer_latency = 3.0e-4
+    (* driver/bus round trip; a synchronous glReadPixels of that era
+       stalls the pipeline for a fraction of a millisecond *);
+    dispatch_overhead = 2.0e-4;
+    jit_seconds = 0.25 (* "a fraction of a second ... occurs only once" *);
+    max_inputs = 16;
+    max_outputs = 4;
+    max_texels = 4096 * 4096 (* 4096^2 2D textures, addressed linearly *);
+    shader_efficiency = 0.32
+    (* achieved fraction of peak fragment issue rate for GPGPU shaders on
+       G7x-class parts (register pressure, texture stalls); calibrated
+       against the paper's ~6x-at-2048-atoms result *) }
+
+let geforce_8800_like =
+  { geforce_7900gtx with
+    clock = Sim_util.Units.clock ~hz:1.35e9 ~label:"G80 shader clock";
+    pipes = 128;
+    vram_bytes = Sim_util.Units.mib 768;
+    upload_bandwidth = Sim_util.Units.bytes_per_second ~gb_per_s:3.0;
+    readback_bandwidth = Sim_util.Units.bytes_per_second ~gb_per_s:1.5;
+    shader_efficiency = 0.5 }
+
+let validate t =
+  let check name ok = if not ok then invalid_arg ("Gpustream.Config: bad " ^ name) in
+  check "pipes" (t.pipes > 0);
+  check "vram_bytes" (t.vram_bytes > 0);
+  check "upload_bandwidth" (t.upload_bandwidth > 0.0);
+  check "readback_bandwidth" (t.readback_bandwidth > 0.0);
+  check "transfer_latency" (t.transfer_latency >= 0.0);
+  check "dispatch_overhead" (t.dispatch_overhead >= 0.0);
+  check "jit_seconds" (t.jit_seconds >= 0.0);
+  check "max_inputs" (t.max_inputs > 0);
+  check "max_outputs" (t.max_outputs > 0);
+  check "max_texels" (t.max_texels > 0);
+  check "shader_efficiency"
+    (t.shader_efficiency > 0.0 && t.shader_efficiency <= 1.0)

@@ -1,0 +1,37 @@
+(** GPU device parameters (GeForce 7900GTX-class, the card in the paper).
+
+    Hardware constants are public-record 2006 values: 650 MHz core clock,
+    24 pixel pipelines, 512 MB of local memory.  Bus costs are the
+    empirically dominant ones the paper discusses: "sending the position
+    array and reading the acceleration array across the PCIe bus every time
+    step ... make the GPU implementation take longer to run than the CPU
+    version at very small numbers of atoms". *)
+
+type t = {
+  clock : Sim_util.Units.clock;   (** shader core clock *)
+  pipes : int;                    (** parallel pixel pipelines *)
+  vram_bytes : int;
+  upload_bandwidth : float;       (** host->device, bytes/s *)
+  readback_bandwidth : float;     (** device->host, slower on that era *)
+  transfer_latency : float;       (** per-transfer driver/bus setup, s *)
+  dispatch_overhead : float;      (** per-draw-call setup, s *)
+  jit_seconds : float;            (** one-time shader JIT at startup *)
+  max_inputs : int;               (** bindable input arrays per shader *)
+  max_outputs : int;              (** bindable output arrays per shader *)
+  max_texels : int;
+      (** largest allocatable array: 2006 hardware capped textures at
+          4096x4096 texels (we address them linearly) *)
+  shader_efficiency : float;
+      (** achieved fraction of peak shader issue rate, in (0, 1] —
+          2006-era GPGPU code ran well below peak *)
+}
+
+val geforce_7900gtx : t
+
+val geforce_8800_like : t
+(** The "next generation" the paper gestures at ("the parallelism is
+    increasing ... and that number is growing"): a unified-shader
+    G80-class part — more, faster ALUs, better achieved efficiency
+    (scalar ALUs remove the vectorization penalty), same bus story. *)
+
+val validate : t -> unit

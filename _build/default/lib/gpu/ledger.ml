@@ -1,0 +1,22 @@
+module Category = struct
+  type t = Setup | Upload | Readback | Dispatch | Shader | Cpu
+
+  let all = [ Setup; Upload; Readback; Dispatch; Shader; Cpu ]
+
+  let name = function
+    | Setup -> "setup"
+    | Upload -> "upload"
+    | Readback -> "readback"
+    | Dispatch -> "dispatch"
+    | Shader -> "shader"
+    | Cpu -> "cpu"
+end
+
+type category = Category.t = Setup | Upload | Readback | Dispatch | Shader | Cpu
+
+include (
+  Sim_util.Ledger_f.Make (Category) :
+    Sim_util.Ledger_f.S with type category := category)
+
+let category_name = Category.name
+let all_categories = Category.all

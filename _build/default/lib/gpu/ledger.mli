@@ -1,0 +1,16 @@
+(** Wall-clock decomposition for the GPU machine.  Fig. 7's small-N
+    behaviour is entirely an Upload/Readback/Dispatch-vs-Shader story, so
+    the split is kept explicit. *)
+
+type category =
+  | Setup      (** one-time JIT compilation / context creation *)
+  | Upload     (** host-to-device transfers *)
+  | Readback   (** device-to-host transfers *)
+  | Dispatch   (** per-draw-call driver overhead *)
+  | Shader     (** shader-core execution *)
+  | Cpu        (** host-side work between dispatches *)
+
+val category_name : category -> string
+val all_categories : category list
+
+include Sim_util.Ledger_f.S with type category := category

@@ -1,0 +1,144 @@
+module Units = Sim_util.Units
+
+type texture = { tex_name : string; data : Vecmath.Vec4f.t array }
+type render_target = { rt_name : string; pixels : Vecmath.Vec4f.t array }
+type shader = {
+  shader_name : string;
+  body : Isa.Block.t;
+  prologue : Isa.Block.t;
+}
+
+type t = {
+  cfg : Config.t;
+  ledger : Ledger.t;
+  mutable wall : float;
+  mutable vram : int;
+}
+
+let create cfg =
+  Config.validate cfg;
+  { cfg; ledger = Ledger.create (); wall = 0.0; vram = 0 }
+
+let config t = t.cfg
+let time t = t.wall
+let ledger t = t.ledger
+
+let reset t =
+  t.wall <- 0.0;
+  t.vram <- 0;
+  Ledger.reset t.ledger
+
+let vram_used t = t.vram
+
+let charge t cat seconds =
+  t.wall <- t.wall +. seconds;
+  Ledger.add t.ledger cat seconds
+
+let texel_bytes = 16 (* float4 *)
+
+let claim_vram t bytes what =
+  if t.vram + bytes > t.cfg.vram_bytes then
+    invalid_arg
+      (Printf.sprintf "Gpustream: out of device memory allocating %s" what);
+  t.vram <- t.vram + bytes
+
+let check_texels t ~name texels =
+  if texels < 0 then
+    invalid_arg (Printf.sprintf "Gpustream: negative size for %s" name);
+  if texels > t.cfg.max_texels then
+    invalid_arg
+      (Printf.sprintf
+         "Gpustream: %s (%d texels) exceeds the hardware texture limit (%d)"
+         name texels t.cfg.max_texels)
+
+let create_texture t ~name ~texels =
+  check_texels t ~name texels;
+  claim_vram t (texels * texel_bytes) name;
+  { tex_name = name; data = Array.make texels Vecmath.Vec4f.zero }
+
+let create_render_target t ~name ~texels =
+  check_texels t ~name texels;
+  claim_vram t (texels * texel_bytes) name;
+  { rt_name = name; pixels = Array.make texels Vecmath.Vec4f.zero }
+
+let texture_size tex = Array.length tex.data
+let render_target_size rt = Array.length rt.pixels
+
+let transfer_seconds t ~bytes ~bandwidth =
+  Units.transfer_seconds ~bytes ~bandwidth ~latency:t.cfg.transfer_latency
+
+let upload t tex data =
+  if Array.length data <> Array.length tex.data then
+    invalid_arg
+      (Printf.sprintf "Gpustream.upload: size mismatch for %s" tex.tex_name);
+  Array.blit data 0 tex.data 0 (Array.length data);
+  charge t Upload
+    (transfer_seconds t
+       ~bytes:(Array.length data * texel_bytes)
+       ~bandwidth:t.cfg.upload_bandwidth)
+
+let readback t rt =
+  charge t Readback
+    (transfer_seconds t
+       ~bytes:(Array.length rt.pixels * texel_bytes)
+       ~bandwidth:t.cfg.readback_bandwidth);
+  Array.copy rt.pixels
+
+let release t bytes =
+  t.vram <- max 0 (t.vram - bytes)
+
+let free_texture t tex = release t (Array.length tex.data * texel_bytes)
+let free_render_target t rt = release t (Array.length rt.pixels * texel_bytes)
+
+let texture_contents tex = Array.copy tex.data
+
+let resolve_to_texture t rt tex =
+  if Array.length rt.pixels <> Array.length tex.data then
+    invalid_arg
+      (Printf.sprintf "Gpustream.resolve_to_texture: %s and %s differ in size"
+         rt.rt_name tex.tex_name);
+  Array.blit rt.pixels 0 tex.data 0 (Array.length rt.pixels);
+  charge t Dispatch t.cfg.dispatch_overhead
+
+type sampler = { bound : texture array }
+
+let sample s ~input i =
+  if input < 0 || input >= Array.length s.bound then
+    invalid_arg "Gpustream.sample: input slot out of range";
+  let tex = s.bound.(input) in
+  if i < 0 || i >= Array.length tex.data then
+    invalid_arg
+      (Printf.sprintf "Gpustream.sample: texel %d out of range for %s" i
+         tex.tex_name);
+  tex.data.(i)
+
+let compile t ~name ~body ~prologue =
+  charge t Setup t.cfg.jit_seconds;
+  { shader_name = name; body; prologue }
+
+let dispatch t shader ~inputs ~target ?(loop_trip = 1) ~f () =
+  if List.length inputs > t.cfg.max_inputs then
+    invalid_arg
+      (Printf.sprintf "Gpustream.dispatch: %d inputs exceeds limit %d"
+         (List.length inputs) t.cfg.max_inputs);
+  if loop_trip < 0 then invalid_arg "Gpustream.dispatch: loop_trip < 0";
+  let sampler = { bound = Array.of_list inputs } in
+  let n = Array.length target.pixels in
+  (* Functional execution: one invocation per output texel; the shader can
+     only write its own location because the API takes its return value. *)
+  for i = 0 to n - 1 do
+    target.pixels.(i) <- f sampler i
+  done;
+  charge t Dispatch t.cfg.dispatch_overhead;
+  let cycles =
+    (Isa.Gpu_pipe.dispatch_cycles shader.body ~fragments:(n * loop_trip)
+       ~pipes:t.cfg.pipes
+    +. Isa.Gpu_pipe.dispatch_cycles shader.prologue ~fragments:n
+         ~pipes:t.cfg.pipes)
+    /. t.cfg.shader_efficiency
+  in
+  charge t Shader (Units.seconds_of_cycles t.cfg.clock cycles)
+
+let cpu_charge t ~seconds =
+  if seconds < 0.0 then invalid_arg "Gpustream.cpu_charge: negative";
+  charge t Cpu seconds

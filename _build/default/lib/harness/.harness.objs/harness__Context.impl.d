@@ -1,0 +1,1 @@
+lib/harness/context.ml: Hashtbl Mdcore Mdports

@@ -1,0 +1,1 @@
+lib/harness/context.mli: Mdcore Mdports

@@ -1,0 +1,1 @@
+lib/harness/exp_ext_cutoff.ml: Context Experiment List Mdcore Mdports Printf Sim_util String

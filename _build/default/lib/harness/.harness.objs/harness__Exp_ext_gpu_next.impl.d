@@ -1,0 +1,1 @@
+lib/harness/exp_ext_gpu_next.ml: Context Experiment Gpustream List Mdports Printf Sim_util

@@ -1,0 +1,1 @@
+lib/harness/exp_ext_gpu_reduction.ml: Context Experiment Float List Mdports Printf Sim_util

@@ -1,0 +1,1 @@
+lib/harness/exp_ext_pairlist.ml: Context Experiment List Mdports Printf Sim_util

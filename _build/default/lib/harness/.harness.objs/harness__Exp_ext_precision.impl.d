@@ -1,0 +1,1 @@
+lib/harness/exp_ext_precision.ml: Context Experiment Isa Mdports Printf Sim_util

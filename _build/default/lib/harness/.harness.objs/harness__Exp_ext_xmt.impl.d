@@ -1,0 +1,1 @@
+lib/harness/exp_ext_xmt.ml: Context Experiment List Mdports Mta Printf Sim_util

@@ -1,0 +1,1 @@
+lib/harness/exp_fig5.ml: Context Experiment List Mdports Paper_data Printf Sim_util

@@ -1,0 +1,1 @@
+lib/harness/exp_fig7.ml: Context Experiment List Paper_data Printf Sim_util

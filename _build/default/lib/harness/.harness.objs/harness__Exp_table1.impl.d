@@ -1,0 +1,1 @@
+lib/harness/exp_table1.ml: Context Experiment Mdports Paper_data Printf Sim_util

@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Context List Paper_data Sim_util

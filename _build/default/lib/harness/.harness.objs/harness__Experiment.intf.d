@@ -1,0 +1,1 @@
+lib/harness/experiment.mli: Context Paper_data Sim_util

@@ -1,0 +1,1 @@
+lib/harness/report.ml: Buffer Experiment Filename Fun List Printf Registry Sim_util String Sys

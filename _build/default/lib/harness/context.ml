@@ -1,0 +1,100 @@
+type scale = {
+  atoms : int;
+  steps : int;
+  gpu_sweep : int list;
+  mta_sweep : int list;
+  seed : int;
+}
+
+let paper_scale =
+  { atoms = 2048;
+    steps = 10;
+    gpu_sweep = [ 128; 256; 512; 1024; 2048; 4096 ];
+    mta_sweep = [ 256; 512; 1024; 2048; 4096 ];
+    seed = 42 }
+
+let quick_scale =
+  { atoms = 192;
+    steps = 3;
+    (* all sizes respect the minimum-image criterion at density 0.8 *)
+    gpu_sweep = [ 128; 160; 192 ];
+    mta_sweep = [ 128; 160; 192 ];
+    seed = 42 }
+
+type t = {
+  scale : scale;
+  systems : (int, Mdcore.System.t) Hashtbl.t;
+  mutable opteron_main : Mdports.Run_result.t option;
+  opteron_sweep : (int, float) Hashtbl.t;
+  gpu_sweep : (int, float) Hashtbl.t;
+  mta_sweep : (bool * int, float) Hashtbl.t;
+  mutable profile : Mdports.Cell_port.profile option;
+}
+
+let create ?(scale = paper_scale) () =
+  { scale;
+    systems = Hashtbl.create 8;
+    opteron_main = None;
+    opteron_sweep = Hashtbl.create 8;
+    gpu_sweep = Hashtbl.create 8;
+    mta_sweep = Hashtbl.create 8;
+    profile = None }
+
+let scale t = t.scale
+
+let system_of t ~n =
+  match Hashtbl.find_opt t.systems n with
+  | Some s -> s
+  | None ->
+    let s = Mdcore.Init.build ~seed:t.scale.seed ~n () in
+    Hashtbl.add t.systems n s;
+    s
+
+let system t = system_of t ~n:t.scale.atoms
+
+let opteron t =
+  match t.opteron_main with
+  | Some r -> r
+  | None ->
+    let r = Mdports.Opteron_port.run ~steps:t.scale.steps (system t) in
+    t.opteron_main <- Some r;
+    r
+
+let opteron_seconds_of t ~n =
+  if n = t.scale.atoms then (opteron t).Mdports.Run_result.seconds
+  else begin
+    match Hashtbl.find_opt t.opteron_sweep n with
+    | Some s -> s
+    | None ->
+      let r = Mdports.Opteron_port.run ~steps:t.scale.steps (system_of t ~n) in
+      Hashtbl.add t.opteron_sweep n r.Mdports.Run_result.seconds;
+      r.Mdports.Run_result.seconds
+  end
+
+let memo tbl key compute =
+  match Hashtbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+    let v = compute () in
+    Hashtbl.add tbl key v;
+    v
+
+let gpu_seconds_of t ~n =
+  memo t.gpu_sweep n (fun () ->
+      (Mdports.Gpu_port.run ~steps:t.scale.steps (system_of t ~n))
+        .Mdports.Run_result.seconds)
+
+let mta_seconds_of t ~mode ~n =
+  memo t.mta_sweep
+    (mode = Mdports.Mta_port.Fully_multithreaded, n)
+    (fun () ->
+      (Mdports.Mta_port.run ~steps:t.scale.steps ~mode (system_of t ~n))
+        .Mdports.Run_result.seconds)
+
+let cell_profile t =
+  match t.profile with
+  | Some p -> p
+  | None ->
+    let p = Mdports.Cell_port.profile_run ~steps:t.scale.steps (system t) in
+    t.profile <- Some p;
+    p

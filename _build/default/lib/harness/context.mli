@@ -1,0 +1,50 @@
+(** Shared state for a reproduction session.
+
+    Several experiments need the same expensive artifacts — the 2048-atom
+    system, its Opteron reference run, the Cell single-precision profile —
+    so the context computes each lazily, once.  A context also fixes the
+    experiment scale: the paper's sizes by default, a small
+    {!quick_scale} for tests and smoke runs. *)
+
+type scale = {
+  atoms : int;          (** Table 1 / Fig. 5 / Fig. 6 system size *)
+  steps : int;          (** simulation time steps ("10 simulation time
+                            steps" in Table 1) *)
+  gpu_sweep : int list; (** Fig. 7 atom counts *)
+  mta_sweep : int list; (** Fig. 8 / Fig. 9 atom counts (first entry is
+                            Fig. 9's normalization baseline) *)
+  seed : int;
+}
+
+val paper_scale : scale
+(** 2048 atoms, 10 steps, sweeps 128..4096 (GPU) and 256..4096 (MTA). *)
+
+val quick_scale : scale
+(** 192 atoms, 3 steps, tiny sweeps — for tests. *)
+
+type t
+
+val create : ?scale:scale -> unit -> t
+val scale : t -> scale
+
+val system : t -> Mdcore.System.t
+(** The [scale.atoms] system (never mutated; ports copy it). *)
+
+val system_of : t -> n:int -> Mdcore.System.t
+(** Memoized systems for sweep points. *)
+
+val opteron : t -> Mdports.Run_result.t
+(** Reference run at [scale.atoms]. *)
+
+val opteron_seconds_of : t -> n:int -> float
+(** Memoized Opteron runtimes for sweep points. *)
+
+val cell_profile : t -> Mdports.Cell_port.profile
+(** The single-precision physics profile at [scale.atoms], shared by
+    Table 1, Fig. 5 and Fig. 6. *)
+
+val gpu_seconds_of : t -> n:int -> float
+(** Memoized GPU runtimes for Fig. 7 sweep points. *)
+
+val mta_seconds_of : t -> mode:Mdports.Mta_port.mode -> n:int -> float
+(** Memoized MTA-2 runtimes, shared between Fig. 8 and Fig. 9. *)

@@ -1,0 +1,69 @@
+(* Extension: what the paper's methodology leaves on the table.  Section
+   3.4 describes the standard neighbour-pairlist optimization and then
+   explicitly does not use it ("We do not employ any optimization
+   technique that has been proposed for cache-based systems").  This
+   experiment runs the Opteron model both ways, so the cost of that
+   methodological choice — and hence how much of the Cell/GPU speedup
+   survives against a *tuned* CPU baseline — is a number, not a remark. *)
+
+module Table = Sim_util.Table
+module Opteron = Mdports.Opteron_port
+
+let run ctx =
+  let scale = Context.scale ctx in
+  let steps = scale.Context.steps in
+  let sizes =
+    List.filter (fun n -> n >= 512) scale.Context.mta_sweep
+  in
+  let sizes = if sizes = [] then [ scale.Context.atoms ] else sizes in
+  let rows =
+    List.map
+      (fun n ->
+        let system = Context.system_of ctx ~n in
+        let n2 = Context.opteron_seconds_of ctx ~n in
+        let pl = (Opteron.run_pairlist ~steps system).Mdports.Run_result.seconds in
+        (n, n2, pl))
+      sizes
+  in
+  let t =
+    Table.create
+      ~headers:
+        [ "Atoms"; "On-the-fly N^2 (s)"; "Pairlist (s)"; "Pairlist speedup" ]
+  in
+  List.iter
+    (fun (n, n2, pl) ->
+      Table.add_row t
+        [ string_of_int n; Table.fmt_sig4 n2; Table.fmt_sig4 pl;
+          Printf.sprintf "%.2fx" (n2 /. pl) ])
+    rows;
+  let _, top_n2, top_pl = List.nth rows (List.length rows - 1) in
+  let speedups = List.map (fun (_, n2, pl) -> n2 /. pl) rows in
+  let rec nondecreasing = function
+    | a :: (b :: _ as rest) -> a <= b +. 1e-9 && nondecreasing rest
+    | _ -> true
+  in
+  { Experiment.id = "ext-pairlist";
+    title = "Extension: the pairlist the paper declined (Opteron)";
+    table = t;
+    checks =
+      [ Experiment.check_pred ~name:"pairlist wins at scale"
+          ~detail:
+            (Printf.sprintf "at the largest size: %.2f s vs %.2f s (%.1fx)"
+               top_n2 top_pl (top_n2 /. top_pl))
+          (top_n2 /. top_pl > 2.0);
+        Experiment.check_pred
+          ~name:"pairlist advantage grows with N"
+          ~detail:"amortized rebuilds make the win larger at larger sizes"
+          (nondecreasing speedups) ];
+    figure = None;
+    notes =
+      [ "The pairlist run still pays full O(N^2) scans on rebuild steps \
+         (every few steps, displacement-triggered); its win comes from \
+         skipping the 97%+ of candidate pairs outside cutoff+skin on the \
+         other steps." ] }
+
+let experiment =
+  { Experiment.id = "ext-pairlist";
+    title = "Extension: neighbour-list ablation on the Opteron";
+    paper_ref = "Section 3.4 (optimizations deliberately not used)";
+    run }

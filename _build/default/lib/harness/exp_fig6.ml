@@ -1,0 +1,95 @@
+(* Fig. 6: "SPE launch overhead on MD" — total runtime and the share of it
+   spent launching SPE threads, for {1, 8} SPEs x {respawn every time step,
+   launch only on the first time step}. *)
+
+module Table = Sim_util.Table
+module Cell = Mdports.Cell_port
+
+let run ctx =
+  let scale = Context.scale ctx in
+  let profile = Context.cell_profile ctx in
+  let configs =
+    [ ("1 SPE, respawn every step", 1, Cell.Respawn);
+      ("8 SPEs, respawn every step", 8, Cell.Respawn);
+      ("1 SPE, launch first step only", 1, Cell.Persistent);
+      ("8 SPEs, launch first step only", 8, Cell.Persistent) ]
+  in
+  let results =
+    List.map
+      (fun (label, n_spes, launch) ->
+        let r =
+          Cell.time_with profile
+            { Cell.default_config with n_spes; launch }
+        in
+        (label, n_spes, launch, r))
+      configs
+  in
+  let t =
+    Table.create
+      ~headers:
+        [ "Configuration"; "Total (s)"; "Launch overhead (s)"; "Overhead %" ]
+  in
+  List.iter
+    (fun (label, _, _, r) ->
+      let total = r.Mdports.Run_result.seconds in
+      let overhead = Cell.launch_overhead_seconds r in
+      Table.add_row t
+        [ label;
+          Table.fmt_sig4 total;
+          Table.fmt_sig4 overhead;
+          Printf.sprintf "%.1f%%" (100.0 *. overhead /. total) ])
+    results;
+  let seconds n_spes launch =
+    let _, _, _, r =
+      List.find (fun (_, s, l, _) -> s = n_spes && l = launch) results
+    in
+    r.Mdports.Run_result.seconds
+  in
+  let overhead n_spes launch =
+    let _, _, _, r =
+      List.find (fun (_, s, l, _) -> s = n_spes && l = launch) results
+    in
+    Cell.launch_overhead_seconds r
+  in
+  { Experiment.id = "fig6";
+    title =
+      Printf.sprintf "Fig. 6: SPE launch overhead, %d atoms x %d steps"
+        scale.Context.atoms scale.Context.steps;
+    table = t;
+    checks =
+      [ Experiment.check_band ~name:"respawn: 8 SPEs vs 1 SPE"
+          Paper_data.respawn_8spe_vs_1spe
+          (seconds 1 Cell.Respawn /. seconds 8 Cell.Respawn);
+        Experiment.check_band ~name:"persistent: 8 SPEs vs 1 SPE"
+          Paper_data.persistent_8spe_vs_1spe
+          (seconds 1 Cell.Persistent /. seconds 8 Cell.Persistent);
+        Experiment.check_pred ~name:"overhead grows ~8x with 8 SPEs"
+          ~detail:
+            (Printf.sprintf "respawn overhead 1 SPE %.3f s -> 8 SPEs %.3f s"
+               (overhead 1 Cell.Respawn) (overhead 8 Cell.Respawn))
+          (let ratio = overhead 8 Cell.Respawn /. overhead 1 Cell.Respawn in
+           ratio > 6.0 && ratio < 10.0);
+        Experiment.check_pred
+          ~name:"persistent launch amortizes the overhead"
+          ~detail:
+            (Printf.sprintf "8-SPE overhead: respawn %.3f s vs persistent %.3f s"
+               (overhead 8 Cell.Respawn)
+               (overhead 8 Cell.Persistent))
+          (overhead 8 Cell.Persistent < 0.35 *. overhead 8 Cell.Respawn) ];
+    figure =
+      Some
+        (Sim_util.Chart.bar ~unit_label:"s"
+           (List.concat_map
+              (fun (label, _, _, r) ->
+                [ (label ^ " (total)", r.Mdports.Run_result.seconds);
+                  (label ^ " (launch)", Cell.launch_overhead_seconds r) ])
+              results));
+    notes =
+      [ "\"Launch overhead\" counts thread creation plus mailbox \
+         signalling, as accounted by the Cell machine ledger." ] }
+
+let experiment =
+  { Experiment.id = "fig6";
+    title = "Fig. 6: SPE thread-launch overhead";
+    paper_ref = "Section 5.1, Figure 6";
+    run }

@@ -1,0 +1,80 @@
+(* Fig. 7: "Performance results on GPU" — runtime vs atom count for the
+   Opteron and the GPU port.  The GPU loses at small N (per-step PCIe and
+   dispatch overheads) and wins almost 6x at 2048 atoms.  The one-time JIT
+   startup is excluded, as in the paper. *)
+
+module Table = Sim_util.Table
+
+let run ctx =
+  let scale = Context.scale ctx in
+  let sweep = scale.Context.gpu_sweep in
+  let rows =
+    List.map
+      (fun n ->
+        ( n,
+          Context.opteron_seconds_of ctx ~n,
+          Context.gpu_seconds_of ctx ~n ))
+      sweep
+  in
+  let t =
+    Table.create
+      ~headers:[ "Atoms"; "Opteron (s)"; "GPU (s)"; "GPU speedup" ]
+  in
+  List.iter
+    (fun (n, opt, gpu) ->
+      Table.add_row t
+        [ string_of_int n;
+          Table.fmt_sig4 opt;
+          Table.fmt_sig4 gpu;
+          Printf.sprintf "%.2fx" (opt /. gpu) ])
+    rows;
+  let smallest_n, smallest_opt, smallest_gpu = List.hd rows in
+  let largest_n, largest_opt, largest_gpu =
+    List.nth rows (List.length rows - 1)
+  in
+  let main_n = scale.Context.atoms in
+  let main_ratio =
+    match List.find_opt (fun (n, _, _) -> n = main_n) rows with
+    | Some (_, opt, gpu) -> opt /. gpu
+    | None ->
+      Context.opteron_seconds_of ctx ~n:main_n
+      /. Context.gpu_seconds_of ctx ~n:main_n
+  in
+  { Experiment.id = "fig7";
+    title = "Fig. 7: GPU vs Opteron across atom counts";
+    table = t;
+    checks =
+      [ Experiment.check_pred ~name:"GPU slower at the smallest size"
+          ~detail:
+            (Printf.sprintf "at %d atoms: GPU %.4f s vs Opteron %.4f s"
+               smallest_n smallest_gpu smallest_opt)
+          (smallest_n > Paper_data.gpu_crossover_max_atoms
+          || smallest_gpu > smallest_opt);
+        Experiment.check_band
+          ~name:(Printf.sprintf "GPU speedup at %d atoms" main_n)
+          Paper_data.gpu_vs_opteron_2048 main_ratio;
+        Experiment.check_pred ~name:"GPU faster at the largest size"
+          ~detail:
+            (Printf.sprintf "at %d atoms: GPU %.3f s vs Opteron %.3f s"
+               largest_n largest_gpu largest_opt)
+          (largest_gpu < largest_opt) ];
+    figure =
+      Some
+        (Sim_util.Chart.plot ~logx:true ~logy:true ~x_label:"atoms"
+           ~y_label:"runtime (s)"
+           [ { Sim_util.Chart.name = "Opteron";
+               points =
+                 List.map (fun (n, opt, _) -> (float_of_int n, opt)) rows };
+             { Sim_util.Chart.name = "GPU";
+               points =
+                 List.map (fun (n, _, gpu) -> (float_of_int n, gpu)) rows } ]);
+    notes =
+      [ "Per-step costs included: position upload, acceleration readback \
+         and draw-call dispatch; the one-time JIT setup is excluded, \
+         matching the paper's methodology." ] }
+
+let experiment =
+  { Experiment.id = "fig7";
+    title = "Fig. 7: GPU performance sweep";
+    paper_ref = "Section 5.2, Figure 7";
+    run }

@@ -1,0 +1,58 @@
+(* Table 1: "Performance comparison of MD calculations" — total runtime of
+   a 2048-atom, 10-step run on the Opteron, Cell with 1 SPE, Cell with 8
+   SPEs (persistent launch, all SIMD optimizations), and the PPE alone. *)
+
+module Table = Sim_util.Table
+module Cell = Mdports.Cell_port
+
+let run ctx =
+  let scale = Context.scale ctx in
+  let opteron = Context.opteron ctx in
+  let profile = Context.cell_profile ctx in
+  let cell spes =
+    Cell.time_with profile { Cell.default_config with n_spes = spes }
+  in
+  let one_spe = cell 1 in
+  let eight_spe = cell 8 in
+  let ppe = Cell.time_ppe_only profile in
+  let t =
+    Table.create ~headers:[ "Configuration"; "Runtime (s)"; "vs Opteron" ]
+  in
+  let opt_s = opteron.Mdports.Run_result.seconds in
+  let row label (r : Mdports.Run_result.t) =
+    Table.add_row t
+      [ label;
+        Table.fmt_sig4 r.Mdports.Run_result.seconds;
+        Printf.sprintf "%.2fx" (opt_s /. r.Mdports.Run_result.seconds) ]
+  in
+  row "Opteron" opteron;
+  row "Cell, 1 SPE" one_spe;
+  row "Cell, 8 SPEs" eight_spe;
+  row "Cell, PPE only" ppe;
+  let s r = r.Mdports.Run_result.seconds in
+  { Experiment.id = "table1";
+    title =
+      Printf.sprintf
+        "Table 1: total runtime, %d atoms x %d steps" scale.Context.atoms
+        scale.Context.steps;
+    table = t;
+    checks =
+      [ Experiment.check_band ~name:"8 SPEs vs Opteron"
+          Paper_data.cell_8spe_vs_opteron
+          (s opteron /. s eight_spe);
+        Experiment.check_band ~name:"1 SPE vs Opteron"
+          Paper_data.cell_1spe_vs_opteron
+          (s opteron /. s one_spe);
+        Experiment.check_band ~name:"8 SPEs vs PPE only"
+          Paper_data.cell_8spe_vs_ppe
+          (s ppe /. s eight_spe) ];
+    figure = None;
+    notes =
+      [ "Cell rows use the persistent-thread launch and all Fig. 5 \
+         optimizations, matching the paper's best configuration." ] }
+
+let experiment =
+  { Experiment.id = "table1";
+    title = "Table 1: MD runtime across Opteron / Cell configurations";
+    paper_ref = "Section 5.1, Table 1";
+    run }

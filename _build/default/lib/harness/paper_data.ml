@@ -1,0 +1,54 @@
+type band = { lo : float; hi : float; claim : string }
+
+let in_band b v = v >= b.lo && v <= b.hi
+
+let describe b v =
+  Printf.sprintf "%.3f %s [%.3f, %.3f] (%s)" v
+    (if in_band b v then "in" else "OUTSIDE")
+    b.lo b.hi b.claim
+
+let cell_8spe_vs_opteron =
+  { lo = 4.5; hi = 7.0; claim = "8 SPEs better than 5x over the Opteron" }
+
+let cell_1spe_vs_opteron =
+  { lo = 1.0; hi = 1.45; claim = "a single SPE just edges out the Opteron" }
+
+let cell_8spe_vs_ppe =
+  { lo = 18.0; hi = 34.0; claim = "8 SPEs 26x faster than the PPE alone" }
+
+let ladder_copysign =
+  { lo = 1.02; hi = 1.18; claim = "copysign: a small speedup" }
+
+let ladder_reflection =
+  { lo = 1.4; hi = 1.9;
+    claim = "SIMD reflection: over 1.5x faster than the original (cumulative)" }
+
+let ladder_direction =
+  { lo = 1.08; hi = 1.32; claim = "SIMD direction: ~21% improvement" }
+
+let ladder_length =
+  { lo = 1.04; hi = 1.25; claim = "SIMD length: ~15% improvement" }
+
+let ladder_acceleration =
+  { lo = 1.002; hi = 1.08; claim = "SIMD acceleration: only ~3%" }
+
+let respawn_8spe_vs_1spe =
+  { lo = 1.15; hi = 1.9;
+    claim = "respawning each step: only about 1.5x faster with all 8 SPEs" }
+
+let persistent_8spe_vs_1spe =
+  { lo = 3.5; hi = 5.8;
+    claim = "persistent threads: 8 SPEs 4.5x faster than a single SPE" }
+
+let gpu_vs_opteron_2048 =
+  { lo = 4.5; hi = 7.5; claim = "GPU almost 6x faster than the CPU at 2048" }
+
+let gpu_crossover_max_atoms = 256
+
+let mta_fully_vs_partially_2048 =
+  { lo = 3.0; hi = 15.0;
+    claim = "fully multithreaded significantly faster; gap grows with N" }
+
+let mta_increase_tolerance = 0.10
+
+let opteron_increase_excess_min = 1.02

@@ -1,0 +1,80 @@
+(** The paper's quantitative claims, as testable bands.
+
+    The OCR of the paper lost the exact Table 1 cell values, so the
+    authoritative targets are the prose statements (each quoted at its
+    band below).  Bands are deliberately wide enough to absorb the
+    model-vs-testbed gap and tight enough that the *shape* — who wins, by
+    roughly what factor, where crossovers fall — cannot silently invert.
+    Every band is asserted by the experiment checks and by the test
+    suite. *)
+
+type band = { lo : float; hi : float; claim : string }
+
+val in_band : band -> float -> bool
+val describe : band -> float -> string
+(** "<value> in [lo, hi] (claim)" or "... OUTSIDE ...". *)
+
+(** {1 Table 1 / Cell} *)
+
+val cell_8spe_vs_opteron : band
+(** "using all 8 SPEs results in a better than 5x performance improvement
+    relative to the Opteron" *)
+
+val cell_1spe_vs_opteron : band
+(** "even a single SPE just edges out the Opteron in total performance"
+    (ratio Opteron/1-SPE, slightly above 1) *)
+
+val cell_8spe_vs_ppe : band
+(** "26x faster than the PPE alone" *)
+
+(** {1 Fig. 5 — SIMD ladder, step speedups} *)
+
+(** "a small speedup" *)
+val ladder_copysign : band
+val ladder_reflection : band
+(** "running over 1.5x faster than the original" — cumulative vs V0 *)
+
+(** "21% improvement" *)
+val ladder_direction : band
+
+(** "15% improvement" *)
+val ladder_length : band
+val ladder_acceleration : band
+(** "the total improvement in runtime was only 3%" *)
+
+(** {1 Fig. 6 — launch overhead} *)
+
+val respawn_8spe_vs_1spe : band
+(** "makes even an efficient parallelization run only about 1.5x faster
+    using all SPEs" *)
+
+val persistent_8spe_vs_1spe : band
+(** "this eight-SPE version is now 4.5x faster than this single-SPE
+    version" *)
+
+(** {1 Fig. 7 — GPU} *)
+
+val gpu_vs_opteron_2048 : band
+(** "For a run of 2048 atoms, the GPU implementation is almost 6x faster
+    than the CPU" *)
+
+val gpu_crossover_max_atoms : int
+(** The GPU must be the slower device at some N at or below this size
+    ("these costs ... make the GPU implementation take longer to run than
+    the CPU version at very small numbers of atoms"). *)
+
+(** {1 Fig. 8 / Fig. 9 — MTA-2} *)
+
+val mta_fully_vs_partially_2048 : band
+(** Fully multithreaded wins by a large, N-growing margin (figure reads
+    roughly 5-15x at the top of the sweep). *)
+
+val mta_increase_tolerance : float
+(** Fig. 9: MTA runtime growth tracks the N^2 pair-count growth within
+    this relative tolerance ("proportional to the increase in the
+    floating-point computation requirements"). *)
+
+val opteron_increase_excess_min : float
+(** Fig. 9: at the top of the sweep the Opteron's normalized increase
+    must exceed the MTA's by at least this factor ("the runtime on the
+    Opteron processor increases at a relatively faster rate"). *)

@@ -1,0 +1,21 @@
+let all =
+  [ Exp_table1.experiment;
+    Exp_fig5.experiment;
+    Exp_fig6.experiment;
+    Exp_fig7.experiment;
+    Exp_fig8.experiment;
+    Exp_fig9.experiment ]
+
+let extensions =
+  [ Exp_ext_precision.experiment;
+    Exp_ext_xmt.experiment;
+    Exp_ext_pairlist.experiment;
+    Exp_ext_gpu_reduction.experiment;
+    Exp_ext_gpu_next.experiment;
+    Exp_ext_cutoff.experiment ]
+
+let find id =
+  List.find_opt (fun e -> e.Experiment.id = id) (all @ extensions)
+
+let ids = List.map (fun e -> e.Experiment.id) all
+let extension_ids = List.map (fun e -> e.Experiment.id) extensions

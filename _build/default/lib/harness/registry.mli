@@ -1,0 +1,15 @@
+(** All reproduced experiments, in paper order, plus the extension
+    studies (ablations and the paper's Section 6 what-ifs). *)
+
+val all : Experiment.t list
+(** The paper's six artifacts: table1, fig5 … fig9. *)
+
+val extensions : Experiment.t list
+(** Beyond the paper: ext-precision, ext-xmt, ext-pairlist,
+    ext-gpu-reduction, ext-gpu-next, ext-cutoff. *)
+
+val find : string -> Experiment.t option
+(** Look up by id across both lists. *)
+
+val ids : string list
+val extension_ids : string list

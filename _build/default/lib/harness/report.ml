@@ -1,0 +1,87 @@
+let render_outcome (o : Experiment.outcome) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("== " ^ o.title ^ " ==\n\n");
+  Buffer.add_string buf (Sim_util.Table.render o.table);
+  Buffer.add_string buf "\n\n";
+  (match o.figure with
+  | Some fig ->
+    Buffer.add_string buf fig;
+    Buffer.add_string buf "\n\n"
+  | None -> ());
+  List.iter
+    (fun (c : Experiment.check) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  [%s] %s: %s\n"
+           (if c.passed then "PASS" else "FAIL")
+           c.name c.detail))
+    o.checks;
+  List.iter (fun n -> Buffer.add_string buf ("  note: " ^ n ^ "\n")) o.notes;
+  Buffer.contents buf
+
+let run_one ctx (e : Experiment.t) = e.run ctx
+
+let run_all ctx = List.map (run_one ctx) Registry.all
+
+let render_all outcomes =
+  String.concat "\n" (List.map render_outcome outcomes)
+
+let write_csvs ~dir outcomes =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.map
+    (fun (o : Experiment.outcome) ->
+      let path = Filename.concat dir (o.id ^ ".csv") in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Sim_util.Table.to_csv o.table));
+      path)
+    outcomes
+
+let summary_line outcomes =
+  let total_checks =
+    List.fold_left
+      (fun acc (o : Experiment.outcome) -> acc + List.length o.checks)
+      0 outcomes
+  in
+  let passed_checks =
+    List.fold_left
+      (fun acc (o : Experiment.outcome) ->
+        acc + List.length (List.filter (fun c -> c.Experiment.passed) o.checks))
+      0 outcomes
+  in
+  let passed_exps =
+    List.length (List.filter Experiment.all_passed outcomes)
+  in
+  Printf.sprintf
+    "%d/%d experiments reproduce the paper's shape (%d/%d checks passed)"
+    passed_exps (List.length outcomes) passed_checks total_checks
+
+let to_markdown outcomes =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "# Reproduction report\n\n";
+  List.iter
+    (fun (o : Experiment.outcome) ->
+      Buffer.add_string buf (Printf.sprintf "## %s\n\n" o.title);
+      Buffer.add_string buf (Sim_util.Table.to_markdown o.table);
+      Buffer.add_char buf '\n';
+      (match o.figure with
+      | Some fig ->
+        Buffer.add_string buf "```\n";
+        Buffer.add_string buf fig;
+        Buffer.add_string buf "\n```\n\n"
+      | None -> ());
+      List.iter
+        (fun (c : Experiment.check) ->
+          Buffer.add_string buf
+            (Printf.sprintf "- %s **%s** — %s\n"
+               (if c.passed then "✅" else "❌")
+               c.name c.detail))
+        o.checks;
+      List.iter
+        (fun n -> Buffer.add_string buf (Printf.sprintf "- note: %s\n" n))
+        o.notes;
+      Buffer.add_char buf '\n')
+    outcomes;
+  Buffer.add_string buf (summary_line outcomes);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf

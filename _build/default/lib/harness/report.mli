@@ -1,0 +1,25 @@
+(** Running experiments and rendering their outcomes. *)
+
+val render_outcome : Experiment.outcome -> string
+(** Title, data table, per-check PASS/FAIL lines and notes, as plain
+    text. *)
+
+val run_one : Context.t -> Experiment.t -> Experiment.outcome
+
+val run_all : Context.t -> Experiment.outcome list
+(** Paper order. *)
+
+val render_all : Experiment.outcome list -> string
+
+val write_csvs : dir:string -> Experiment.outcome list -> string list
+(** Write one CSV per outcome into [dir] (created if missing); returns
+    the file paths. *)
+
+val to_markdown : Experiment.outcome list -> string
+(** A self-contained Markdown report: per-artifact section with the data
+    table, the rendered figure (fenced), check results and notes, plus
+    the summary line — ready to paste into an issue or EXPERIMENTS-style
+    document. *)
+
+val summary_line : Experiment.outcome list -> string
+(** e.g. "6/6 experiments reproduce the paper's shape (23/23 checks)". *)

@@ -1,0 +1,1 @@
+lib/isa/block.ml: Array Format List Op Printf String

@@ -1,0 +1,1 @@
+lib/isa/gpu_pipe.mli: Block Op

@@ -1,0 +1,1 @@
+lib/isa/opteron_pipe.ml: Array Block Float List Op

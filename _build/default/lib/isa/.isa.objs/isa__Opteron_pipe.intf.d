@@ -1,0 +1,1 @@
+lib/isa/opteron_pipe.mli: Block Op

@@ -1,0 +1,1 @@
+lib/isa/spe_pipe.ml: Array Block Float List Op

@@ -1,0 +1,1 @@
+lib/isa/spe_pipe.mli: Block Op

@@ -1,0 +1,63 @@
+type instr = { op : Op.t; deps : int list }
+
+type t = instr array
+
+let of_instrs l =
+  let arr = Array.of_list l in
+  Array.iteri
+    (fun i ins ->
+      List.iter
+        (fun d ->
+          if d < 0 || d >= i then
+            invalid_arg
+              (Printf.sprintf
+                 "Block.of_instrs: instruction %d depends on %d (must point \
+                  strictly backwards)"
+                 i d))
+        ins.deps)
+    arr;
+  arr
+
+let instrs t = Array.copy t
+let length t = Array.length t
+
+let count t op =
+  Array.fold_left (fun acc i -> if i.op = op then acc + 1 else acc) 0 t
+
+let count_if t pred =
+  Array.fold_left (fun acc i -> if pred i.op then acc + 1 else acc) 0 t
+
+let append a b =
+  let off = Array.length a in
+  let shifted =
+    Array.map (fun i -> { i with deps = List.map (( + ) off) i.deps }) b
+  in
+  Array.append a shifted
+
+let pp fmt t =
+  Array.iteri
+    (fun i ins ->
+      Format.fprintf fmt "%3d: %-16s deps=[%s]@." i (Op.to_string ins.op)
+        (String.concat "," (List.map string_of_int ins.deps)))
+    t
+
+module Builder = struct
+  type builder = { mutable rev : instr list; mutable n : int }
+  type t = builder
+
+  let create () = { rev = []; n = 0 }
+
+  let push b op ~deps =
+    List.iter
+      (fun d ->
+        if d < 0 || d >= b.n then
+          invalid_arg "Block.Builder.push: dependence out of range")
+      deps;
+    b.rev <- { op; deps } :: b.rev;
+    b.n <- b.n + 1;
+    b.n - 1
+
+  let push_n b op ~n ~deps = List.init n (fun _ -> push b op ~deps)
+
+  let finish b = of_instrs (List.rev b.rev)
+end

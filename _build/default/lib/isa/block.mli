@@ -1,0 +1,54 @@
+(** Basic blocks: operation sequences with explicit data dependences.
+
+    A block models one iteration of an inner loop.  Instructions are
+    numbered in program order; each lists the indices of earlier
+    instructions whose results it consumes.  Schedulers use both the order
+    (for in-order issue) and the dependences (for latency stalls). *)
+
+type instr = { op : Op.t; deps : int list }
+
+type t
+(** An immutable, validated block. *)
+
+val of_instrs : instr list -> t
+(** Validates that every dependence points strictly backwards.  Raises
+    [Invalid_argument] otherwise. *)
+
+val instrs : t -> instr array
+val length : t -> int
+val count : t -> Op.t -> int
+(** Number of instructions with the given operation. *)
+
+val count_if : t -> (Op.t -> bool) -> int
+val append : t -> t -> t
+(** Concatenate; the second block's dependences are shifted, and its
+    instructions additionally gain no implicit dependence on the first
+    block (pure concatenation). *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Builder}
+
+    Imperative builder for writing blocks in dataflow style: each [push]
+    returns the instruction's index for use as a dependence of later
+    instructions.
+
+    {[
+      let b = Block.Builder.create () in
+      let dx = Block.Builder.push b Op.Fadd ~deps:[] in
+      let d2 = Block.Builder.push b Op.Fmul ~deps:[ dx; dx ] in
+      ignore d2;
+      Block.Builder.finish b
+    ]} *)
+module Builder : sig
+  type block := t
+  type t
+
+  val create : unit -> t
+  val push : t -> Op.t -> deps:int list -> int
+  val push_n : t -> Op.t -> n:int -> deps:int list -> int list
+  (** [push_n b op ~n ~deps] pushes [n] independent copies (e.g. the three
+      scalar adds a SIMD version replaces); returns their indices. *)
+
+  val finish : t -> block
+end

@@ -1,0 +1,43 @@
+(* NV4x/G7x shader ALUs execute one 4-wide MAD per cycle per pipeline;
+   transcendentals and divides run on a mini-ALU at lower throughput;
+   texture fetches are pipelined at one per cycle per pipe (we assume
+   cache-resident textures — the position texture the paper streams is at
+   most 128 KB). *)
+let issue_cost (op : Op.t) =
+  match op with
+  | Fadd_dp | Fmul_dp | Fmadd_dp | Fdiv_dp | Fsqrt_dp ->
+    invalid_arg
+      (Printf.sprintf
+         "Gpu_pipe: %s — 2006 fragment hardware has no double-precision           units (the paper's outstanding issue)"
+         (Op.to_string op))
+  | Fadd | Fmul | Fmadd -> 1.0
+  | Fdiv -> 4.0
+  | Fsqrt -> 4.0
+  | Frecip_est -> 2.0
+  | Frsqrt_est -> 2.0
+  | Fcmp -> 1.0
+  | Fsel -> 1.0
+  | Fcopysign -> 1.0
+  | Fconvert -> 1.0
+  | Ialu -> 1.0
+  | Load -> 1.0 (* texture fetch, cache hit *)
+  | Store -> 1.0 (* the single output write *)
+  | Shuffle -> 1.0 (* free swizzles, but budget one slot when explicit *)
+  | Branch_taken | Branch_not_taken | Branch_miss ->
+    (* SM3-era "branching" predicates both sides; charging one slot per
+       branch op models the predication overhead. *)
+    1.0
+
+let cycles_per_fragment block =
+  let stores = Block.count block Op.Store in
+  if stores > 1 then
+    invalid_arg
+      "Gpu_pipe.cycles_per_fragment: a fragment has a single output write";
+  Array.fold_left
+    (fun acc ({ op; _ } : Block.instr) -> acc +. issue_cost op)
+    0.0 (Block.instrs block)
+
+let dispatch_cycles block ~fragments ~pipes =
+  if fragments < 0 then invalid_arg "Gpu_pipe.dispatch_cycles: fragments < 0";
+  if pipes <= 0 then invalid_arg "Gpu_pipe.dispatch_cycles: pipes <= 0";
+  float_of_int fragments *. cycles_per_fragment block /. float_of_int pipes

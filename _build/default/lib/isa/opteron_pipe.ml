@@ -1,0 +1,77 @@
+let latency (op : Op.t) =
+  match op with
+  | Fadd | Fadd_dp -> 4
+  | Fmul | Fmul_dp -> 4
+  | Fmadd | Fmadd_dp -> 8 (* no FMA on K8: mul feeding add *)
+  | Fdiv -> 20
+  | Fdiv_dp -> 20
+  | Fsqrt -> 27
+  | Fsqrt_dp -> 27
+  | Frecip_est | Frsqrt_est -> 3
+  | Fcmp -> 4
+  | Fsel -> 2
+  | Fcopysign -> 2
+  | Fconvert -> 5
+  | Ialu -> 1
+  | Load -> 3
+  | Store -> 3
+  | Shuffle -> 2
+  | Branch_taken | Branch_not_taken -> 1
+  | Branch_miss -> 11 (* K8 mispredict penalty *)
+
+let critical_path_cycles (block : Block.t) =
+  let instrs = Block.instrs block in
+  let n = Array.length instrs in
+  let finish = Array.make n 0 in
+  let result = ref 0 in
+  for i = 0 to n - 1 do
+    let ready =
+      List.fold_left (fun acc d -> max acc finish.(d)) 0 instrs.(i).deps
+    in
+    finish.(i) <- ready + latency instrs.(i).op;
+    result := max !result finish.(i)
+  done;
+  !result
+
+(* Functional-unit occupancy in cycles for the whole block. *)
+let resource_cycles (block : Block.t) =
+  let fadd = ref 0.0
+  and fmul = ref 0.0
+  and mem = ref 0.0
+  and total = ref 0.0
+  and unpipelined = ref 0.0 in
+  Array.iter
+    (fun ({ op; _ } : Block.instr) ->
+      total := !total +. 1.0;
+      (match op with
+      | Op.Fadd | Op.Fadd_dp | Op.Fcmp -> fadd := !fadd +. 1.0
+      | Op.Fmul | Op.Fmul_dp | Op.Fcopysign | Op.Fsel | Op.Fconvert
+      | Op.Frecip_est | Op.Frsqrt_est | Op.Shuffle ->
+        fmul := !fmul +. 1.0
+      | Op.Fmadd | Op.Fmadd_dp ->
+        (* decomposes into one mul and one add *)
+        fadd := !fadd +. 1.0;
+        fmul := !fmul +. 1.0;
+        total := !total +. 1.0
+      | Op.Fdiv | Op.Fdiv_dp ->
+        unpipelined := !unpipelined +. float_of_int (latency Op.Fdiv)
+      | Op.Fsqrt | Op.Fsqrt_dp ->
+        unpipelined := !unpipelined +. float_of_int (latency Op.Fsqrt)
+      | Op.Load | Op.Store -> mem := !mem +. 0.5 (* two ports *)
+      | Op.Ialu | Op.Branch_taken | Op.Branch_not_taken -> ()
+      | Op.Branch_miss ->
+        unpipelined := !unpipelined +. float_of_int (latency Op.Branch_miss)))
+    (Block.instrs block);
+  let decode = !total /. 3.0 in
+  Float.max decode (Float.max !fadd (Float.max !fmul !mem)) +. !unpipelined
+
+let per_iteration_cycles block ~overlap =
+  if overlap < 0.0 || overlap > 1.0 then
+    invalid_arg "Opteron_pipe: overlap must be in [0,1]";
+  let cp = float_of_int (critical_path_cycles block) in
+  let tp = resource_cycles block in
+  tp +. ((1.0 -. overlap) *. Float.max 0.0 (cp -. tp))
+
+let loop_cycles block ~iterations ~overlap =
+  if iterations < 0 then invalid_arg "Opteron_pipe.loop_cycles: iterations < 0";
+  float_of_int iterations *. per_iteration_cycles block ~overlap

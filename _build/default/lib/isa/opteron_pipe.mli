@@ -1,0 +1,30 @@
+(** Static timing model of a 2.2 GHz AMD Opteron (K8) core — the paper's
+    reference processor.
+
+    The K8 is a 3-wide out-of-order design with one FADD pipe, one FMUL
+    pipe and two load/store ports; divides and square roots are unpipelined
+    in the FMUL unit.  Out-of-order execution across loop iterations hides
+    most dependence latency, so the model is resource-throughput-based:
+
+    cycles/iter = max(decode bound, FADD-pipe bound, FMUL-pipe bound,
+                      memory-port bound) + unpipelined div/sqrt occupancy
+                  + exposed-latency correction (1-overlap fraction of the
+                    dependence critical path).
+
+    Cache behaviour is {e not} part of this model — memory-hierarchy stalls
+    come from {!Memsim} via the port's address trace, because Fig. 9's
+    super-quadratic Opteron scaling is specifically a cache effect. *)
+
+val latency : Op.t -> int
+(** Dependence latency in cycles (K8: FP add/mul 4, SSE divide ~20,
+    sqrt ~27, L1 load-to-use 3). *)
+
+val critical_path_cycles : Block.t -> int
+(** Dataflow critical path (ignores issue width; lower bound on one
+    isolated iteration). *)
+
+val resource_cycles : Block.t -> float
+(** Throughput bound from functional-unit occupancy. *)
+
+val per_iteration_cycles : Block.t -> overlap:float -> float
+val loop_cycles : Block.t -> iterations:int -> overlap:float -> float

@@ -1,0 +1,104 @@
+type pipe = Even | Odd
+
+let pipe_of (op : Op.t) =
+  match op with
+  | Fadd | Fmul | Fmadd | Fadd_dp | Fmul_dp | Fmadd_dp | Fdiv_dp | Fsqrt_dp
+  | Fdiv | Fsqrt | Frecip_est | Frsqrt_est | Fcmp | Fsel | Fcopysign
+  | Fconvert | Ialu ->
+    Even
+  | Load | Store | Shuffle | Branch_taken | Branch_not_taken | Branch_miss ->
+    Odd
+
+(* Cell BE Handbook, SPU instruction latencies (single precision). *)
+let latency (op : Op.t) =
+  match op with
+  | Fadd | Fmul | Fmadd -> 6
+  | Fadd_dp | Fmul_dp | Fmadd_dp -> 13
+  | Fdiv_dp -> 2 * 13 (* estimate + two Newton steps in double *)
+  | Fsqrt_dp -> 2 * 13
+  | Fdiv -> 17 (* expanded to estimate + refinement by the compiler *)
+  | Fsqrt -> 17
+  | Frecip_est | Frsqrt_est -> 4
+  | Fcmp -> 2
+  | Fsel -> 2
+  | Fcopysign -> 2 (* sign-bit logic ops *)
+  | Fconvert -> 7
+  | Ialu -> 2
+  | Load -> 6
+  | Store -> 6 (* commit latency; does not stall consumers *)
+  | Shuffle -> 4
+  | Branch_taken | Branch_not_taken -> 1
+  | Branch_miss -> 1
+
+let branch_miss_penalty = 18
+
+(* The first-generation SPE's double-precision unit is not pipelined: a DP
+   instruction blocks *all* instruction issue for six cycles beyond its
+   own ("making the Cell an uncertain target for scientific applications
+   in the minds of many developers"). *)
+let issue_stall (op : Op.t) = if Op.is_double_precision op then 7 else 1
+
+(* In-order dual-issue list scheduling.  [issue.(i)] is the cycle at which
+   instruction [i] issues; completion is issue + latency.  At most one even
+   and one odd instruction issue per cycle, in program order; a
+   Branch_miss delays the *next* fetch by the flush penalty. *)
+let schedule (block : Block.t) =
+  let instrs = Block.instrs block in
+  let n = Array.length instrs in
+  let issue = Array.make n 0 in
+  let next_fetch = ref 0 in
+  (* Cycle occupancy of each pipe at the current frontier: we only need the
+     last cycle each pipe issued in, because issue is in program order. *)
+  let last_even = ref (-1) and last_odd = ref (-1) in
+  let finish = ref 0 in
+  for i = 0 to n - 1 do
+    let ins = instrs.(i) in
+    let ready =
+      List.fold_left
+        (fun acc d ->
+          max acc (issue.(d) + latency instrs.(d).op))
+        !next_fetch ins.deps
+    in
+    let pipe_free =
+      match pipe_of ins.op with
+      | Even -> !last_even + 1
+      | Odd -> !last_odd + 1
+    in
+    (* In-order issue: cannot issue before the previous instruction's issue
+       cycle. *)
+    let prev_issue = if i = 0 then 0 else issue.(i - 1) in
+    let t = max ready (max pipe_free prev_issue) in
+    issue.(i) <- t;
+    (match pipe_of ins.op with
+    | Even -> last_even := t
+    | Odd -> last_odd := t);
+    next_fetch := max !next_fetch (t + issue_stall ins.op - 1);
+    if ins.op = Branch_miss then next_fetch := t + branch_miss_penalty;
+    finish := max !finish (t + latency ins.op)
+  done;
+  !finish
+
+let critical_path_cycles block =
+  if Block.length block = 0 then 0 else schedule block
+
+let throughput_cycles block =
+  let even =
+    Array.fold_left
+      (fun acc ({ op; _ } : Block.instr) ->
+        if pipe_of op = Even then acc + issue_stall op else acc)
+      0 (Block.instrs block)
+  in
+  let odd = Block.count_if block (fun op -> pipe_of op = Odd) in
+  let miss = Block.count block Branch_miss in
+  max even odd + (miss * branch_miss_penalty)
+
+let per_iteration_cycles block ~overlap =
+  if overlap < 0.0 || overlap > 1.0 then
+    invalid_arg "Spe_pipe: overlap must be in [0,1]";
+  let cp = float_of_int (critical_path_cycles block) in
+  let tp = float_of_int (throughput_cycles block) in
+  tp +. ((1.0 -. overlap) *. Float.max 0.0 (cp -. tp))
+
+let loop_cycles block ~iterations ~overlap =
+  if iterations < 0 then invalid_arg "Spe_pipe.loop_cycles: iterations < 0";
+  float_of_int iterations *. per_iteration_cycles block ~overlap

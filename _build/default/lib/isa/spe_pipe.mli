@@ -1,0 +1,40 @@
+(** Static timing model of the Cell SPE pipeline.
+
+    The SPE is dual-issue and strictly in-order: one "even" instruction
+    (arithmetic) and one "odd" instruction (load/store/shuffle/branch) can
+    issue per cycle, in program order.  There is no branch prediction — an
+    unhinted taken branch flushes the fetch pipeline for
+    [branch_miss_penalty] cycles, which is exactly why the paper's first
+    optimization replaces an [if] with [copysign] arithmetic.
+
+    The scheduler computes two figures for a block:
+    - {!critical_path_cycles}: completion time of one isolated iteration
+      under in-order dual issue with full dependence stalls;
+    - {!throughput_cycles}: the issue-bandwidth lower bound
+      (max of even-pipe and odd-pipe occupancy, plus branch penalties).
+
+    A real software-pipelined/unrolled loop lands between the two;
+    {!loop_cycles} interpolates with an [overlap] knob in [0,1]
+    (0 = no overlap between iterations, 1 = perfectly pipelined). *)
+
+type pipe = Even | Odd
+
+val pipe_of : Op.t -> pipe
+val latency : Op.t -> int
+(** Result latency in cycles (per the Cell BE Handbook's SPU tables:
+    single-precision FP 6, loads 6, shuffles 4, simple fixed-point 2...). *)
+
+val branch_miss_penalty : int
+(** 18 cycles, the documented SPU mispredict flush. *)
+
+val critical_path_cycles : Block.t -> int
+val throughput_cycles : Block.t -> int
+
+val loop_cycles : Block.t -> iterations:int -> overlap:float -> float
+(** Total cycles to run [iterations] back-to-back iterations of the block.
+    Raises [Invalid_argument] if [overlap] is outside [0,1] or
+    [iterations < 0]. *)
+
+val per_iteration_cycles : Block.t -> overlap:float -> float
+(** [loop_cycles b ~iterations:1] under the same interpolation — handy for
+    reporting tables of per-pair costs. *)

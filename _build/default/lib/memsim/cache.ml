@@ -1,0 +1,93 @@
+type line = { mutable tag : int; mutable valid : bool; mutable lru : int }
+
+type t = {
+  line_bytes : int;
+  sets : int;
+  ways : int;
+  offset_bits : int;
+  index_mask : int;
+  data : line array array; (* data.(set).(way) *)
+  mutable clock : int;     (* monotonic counter for LRU ordering *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) (v lsr 1) in
+  go 0 n
+
+let create ~line_bytes ~sets ~ways =
+  if not (is_pow2 line_bytes) then
+    invalid_arg "Cache.create: line_bytes must be a power of two";
+  if not (is_pow2 sets) then
+    invalid_arg "Cache.create: sets must be a power of two";
+  if ways <= 0 then invalid_arg "Cache.create: ways must be positive";
+  let data =
+    Array.init sets (fun _ ->
+        Array.init ways (fun _ -> { tag = 0; valid = false; lru = 0 }))
+  in
+  { line_bytes; sets; ways; offset_bits = log2 line_bytes;
+    index_mask = sets - 1; data; clock = 0; hits = 0; misses = 0 }
+
+let capacity_bytes t = t.line_bytes * t.sets * t.ways
+let line_bytes t = t.line_bytes
+
+type outcome = Hit | Miss
+
+let locate t addr =
+  if addr < 0 then invalid_arg "Cache: negative address";
+  let block = addr lsr t.offset_bits in
+  let set = block land t.index_mask in
+  let tag = block lsr (log2 t.sets) in
+  (set, tag)
+
+let access t addr =
+  let set, tag = locate t addr in
+  let lines = t.data.(set) in
+  t.clock <- t.clock + 1;
+  let found = ref None in
+  Array.iter
+    (fun l -> if l.valid && l.tag = tag && !found = None then found := Some l)
+    lines;
+  match !found with
+  | Some l ->
+    l.lru <- t.clock;
+    t.hits <- t.hits + 1;
+    Hit
+  | None ->
+    (* Choose an invalid way if any, else the least recently used. *)
+    let victim = ref lines.(0) in
+    Array.iter
+      (fun l ->
+        if not l.valid && !victim.valid then victim := l
+        else if l.valid && !victim.valid && l.lru < !victim.lru then
+          victim := l)
+      lines;
+    !victim.tag <- tag;
+    !victim.valid <- true;
+    !victim.lru <- t.clock;
+    t.misses <- t.misses + 1;
+    Miss
+
+let contains t addr =
+  let set, tag = locate t addr in
+  Array.exists (fun l -> l.valid && l.tag = tag) t.data.(set)
+
+let hits t = t.hits
+let misses t = t.misses
+let accesses t = t.hits + t.misses
+
+let miss_rate t =
+  let n = accesses t in
+  if n = 0 then 0.0 else float_of_int t.misses /. float_of_int n
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0
+
+let flush t =
+  Array.iter (Array.iter (fun l -> l.valid <- false)) t.data;
+  t.clock <- 0;
+  reset_stats t

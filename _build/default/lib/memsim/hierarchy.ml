@@ -1,0 +1,67 @@
+type config = {
+  l1_line_bytes : int;
+  l1_sets : int;
+  l1_ways : int;
+  l1_hit_cycles : int;
+  l2_line_bytes : int;
+  l2_sets : int;
+  l2_ways : int;
+  l2_hit_cycles : int;
+  dram_cycles : int;
+}
+
+type t = {
+  cfg : config;
+  l1 : Cache.t;
+  l2 : Cache.t;
+  mutable total_cycles : int;
+}
+
+(* AMD K8: 64 KB L1D, 2-way, 64 B lines => 512 sets.
+   1 MB L2, 16-way, 64 B lines => 1024 sets. *)
+let opteron_2_2ghz =
+  { l1_line_bytes = 64; l1_sets = 512; l1_ways = 2; l1_hit_cycles = 3;
+    l2_line_bytes = 64; l2_sets = 1024; l2_ways = 16; l2_hit_cycles = 12;
+    dram_cycles = 200 }
+
+let create cfg =
+  { cfg;
+    l1 = Cache.create ~line_bytes:cfg.l1_line_bytes ~sets:cfg.l1_sets
+           ~ways:cfg.l1_ways;
+    l2 = Cache.create ~line_bytes:cfg.l2_line_bytes ~sets:cfg.l2_sets
+           ~ways:cfg.l2_ways;
+    total_cycles = 0 }
+
+let config t = t.cfg
+
+let access t addr =
+  let cost =
+    match Cache.access t.l1 addr with
+    | Cache.Hit -> t.cfg.l1_hit_cycles
+    | Cache.Miss -> (
+      match Cache.access t.l2 addr with
+      | Cache.Hit -> t.cfg.l1_hit_cycles + t.cfg.l2_hit_cycles
+      | Cache.Miss ->
+        t.cfg.l1_hit_cycles + t.cfg.l2_hit_cycles + t.cfg.dram_cycles)
+  in
+  t.total_cycles <- t.total_cycles + cost;
+  cost
+
+let l1_miss_rate t = Cache.miss_rate t.l1
+let l2_miss_rate t = Cache.miss_rate t.l2
+let accesses t = Cache.accesses t.l1
+let total_cycles t = t.total_cycles
+
+let average_cycles t =
+  let n = accesses t in
+  if n = 0 then 0.0 else float_of_int t.total_cycles /. float_of_int n
+
+let reset_stats t =
+  Cache.reset_stats t.l1;
+  Cache.reset_stats t.l2;
+  t.total_cycles <- 0
+
+let flush t =
+  Cache.flush t.l1;
+  Cache.flush t.l2;
+  t.total_cycles <- 0

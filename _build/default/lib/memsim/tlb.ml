@@ -1,0 +1,67 @@
+type t = {
+  page_bits : int;
+  entries : int;
+  miss_cycles : int;
+  (* page number -> last-use stamp *)
+  resident : (int, int) Hashtbl.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) (v lsr 1) in
+  go 0 n
+
+let create ?(page_bytes = 4096) ?(entries = 32) ?(miss_cycles = 25) () =
+  if not (is_pow2 page_bytes) then
+    invalid_arg "Tlb.create: page_bytes must be a power of two";
+  if entries <= 0 then invalid_arg "Tlb.create: entries must be positive";
+  if miss_cycles < 0 then invalid_arg "Tlb.create: negative miss cost";
+  { page_bits = log2 page_bytes; entries; miss_cycles;
+    resident = Hashtbl.create 64; clock = 0; hits = 0; misses = 0 }
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun page stamp ->
+      match !victim with
+      | Some (_, s) when s <= stamp -> ()
+      | _ -> victim := Some (page, stamp))
+    t.resident;
+  match !victim with
+  | Some (page, _) -> Hashtbl.remove t.resident page
+  | None -> ()
+
+let access t addr =
+  if addr < 0 then invalid_arg "Tlb.access: negative address";
+  let page = addr lsr t.page_bits in
+  t.clock <- t.clock + 1;
+  if Hashtbl.mem t.resident page then begin
+    Hashtbl.replace t.resident page t.clock;
+    t.hits <- t.hits + 1;
+    0
+  end
+  else begin
+    if Hashtbl.length t.resident >= t.entries then evict_lru t;
+    Hashtbl.replace t.resident page t.clock;
+    t.misses <- t.misses + 1;
+    t.miss_cycles
+  end
+
+let hits t = t.hits
+let misses t = t.misses
+
+let miss_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0.0 else float_of_int t.misses /. float_of_int total
+
+let reach_bytes t = t.entries * (1 lsl t.page_bits)
+
+let flush t =
+  Hashtbl.reset t.resident;
+  t.clock <- 0;
+  t.hits <- 0;
+  t.misses <- 0

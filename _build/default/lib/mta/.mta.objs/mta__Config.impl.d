@@ -1,0 +1,1 @@
+lib/mta/config.ml: Sim_util

@@ -1,0 +1,1 @@
+lib/mta/config.mli: Sim_util

@@ -1,0 +1,1 @@
+lib/mta/ledger.ml: Sim_util

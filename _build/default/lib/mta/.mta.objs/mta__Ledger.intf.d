@@ -1,0 +1,1 @@
+lib/mta/ledger.mli: Sim_util

@@ -1,0 +1,1 @@
+lib/mta/loop.ml: Isa

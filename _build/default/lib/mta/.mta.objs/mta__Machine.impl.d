@@ -1,0 +1,1 @@
+lib/mta/machine.ml: Config Float Fun Ledger Loop Sim_util

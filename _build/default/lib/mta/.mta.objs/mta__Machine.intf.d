@@ -1,0 +1,1 @@
+lib/mta/machine.mli: Config Ledger Loop

@@ -1,0 +1,1 @@
+lib/mta/par.ml: Array Isa Loop Machine Sync_cell

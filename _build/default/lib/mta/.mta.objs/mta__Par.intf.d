@@ -1,0 +1,1 @@
+lib/mta/par.mli: Isa Machine

@@ -1,0 +1,1 @@
+lib/mta/sync_cell.ml: Machine

@@ -1,0 +1,36 @@
+type t = {
+  clock : Sim_util.Units.clock;
+  n_procs : int;
+  streams_per_proc : int;
+  mem_latency : int;
+  region_overhead : int;
+  sync_retry_cycles : int;
+  nonuniform_penalty : float;
+}
+
+let mta2 ?(n_procs = 1) () =
+  { clock = Sim_util.Units.clock ~hz:200e6 ~label:"MTA-2 200 MHz";
+    n_procs;
+    streams_per_proc = 128;
+    mem_latency = 100;
+    region_overhead = 400;
+    sync_retry_cycles = 8;
+    nonuniform_penalty = 1.0 }
+
+let xmt_like ?(n_procs = 64) () =
+  { clock = Sim_util.Units.clock ~hz:500e6 ~label:"XMT 500 MHz";
+    n_procs;
+    streams_per_proc = 128;
+    mem_latency = 150;
+    region_overhead = 600;
+    sync_retry_cycles = 8;
+    nonuniform_penalty = 1.6 }
+
+let validate t =
+  let check name ok = if not ok then invalid_arg ("Mta.Config: bad " ^ name) in
+  check "n_procs" (t.n_procs >= 1 && t.n_procs <= 8192);
+  check "streams_per_proc" (t.streams_per_proc >= 1);
+  check "mem_latency" (t.mem_latency >= 1);
+  check "region_overhead" (t.region_overhead >= 0);
+  check "sync_retry_cycles" (t.sync_retry_cycles >= 0);
+  check "nonuniform_penalty" (t.nonuniform_penalty >= 1.0)

@@ -1,0 +1,29 @@
+(** Cray MTA-2 machine parameters.
+
+    The MTA-2 hides its flat ~100-cycle memory latency behind 128 hardware
+    streams per processor; it has no data caches at all.  The paper notes
+    its clock is "about 11x slower than the 2.2 GHz Opteron", i.e.
+    200 MHz.  The largest MTA-2 had 256 processors; the follow-on XMT
+    (modelled by {!xmt_like}) scales to 8000 but gives up uniform memory
+    latency, which the paper flags as a future programming concern. *)
+
+type t = {
+  clock : Sim_util.Units.clock;
+  n_procs : int;
+  streams_per_proc : int;      (** 128 hardware thread contexts *)
+  mem_latency : int;           (** cycles; uniform — no caches, no locality *)
+  region_overhead : int;       (** cycles to fork/join a parallel region *)
+  sync_retry_cycles : int;     (** extra cost of a full/empty-bit retry *)
+  nonuniform_penalty : float;
+      (** multiplier (>= 1) on memory latency for remote references;
+          1.0 on the MTA-2 (uniform), > 1 for XMT-like configurations *)
+}
+
+val mta2 : ?n_procs:int -> unit -> t
+(** Default single-processor MTA-2 (the paper's kernel study). *)
+
+val xmt_like : ?n_procs:int -> unit -> t
+(** The announced XMT: faster clock (500 MHz), up to 8000 processors, and
+    a non-uniform memory penalty — the paper's "future plans" system. *)
+
+val validate : t -> unit

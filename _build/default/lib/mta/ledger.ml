@@ -1,0 +1,20 @@
+module Category = struct
+  type t = Parallel | Serial | Region | Sync
+
+  let all = [ Parallel; Serial; Region; Sync ]
+
+  let name = function
+    | Parallel -> "parallel"
+    | Serial -> "serial"
+    | Region -> "region"
+    | Sync -> "sync"
+end
+
+type category = Category.t = Parallel | Serial | Region | Sync
+
+include (
+  Sim_util.Ledger_f.Make (Category) :
+    Sim_util.Ledger_f.S with type category := category)
+
+let category_name = Category.name
+let all_categories = Category.all

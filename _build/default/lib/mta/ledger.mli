@@ -1,0 +1,14 @@
+(** Wall-clock decomposition for the MTA machine: how much time went to
+    saturated parallel regions vs latency-exposed serial loops — the
+    fully-vs-partially-multithreaded contrast of Fig. 8. *)
+
+type category =
+  | Parallel   (** multithreaded regions *)
+  | Serial     (** single-stream loops (latency fully exposed) *)
+  | Region     (** fork/join overhead of parallel regions *)
+  | Sync       (** full/empty-bit retries *)
+
+val category_name : category -> string
+val all_categories : category list
+
+include Sim_util.Ledger_f.S with type category := category

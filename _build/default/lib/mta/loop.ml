@@ -1,0 +1,16 @@
+type t = {
+  name : string;
+  body : Isa.Block.t;
+  carries_dependency : bool;
+  pragma_no_dependence : bool;
+}
+
+let make ~name ~body ?(carries_dependency = false)
+    ?(pragma_no_dependence = false) () =
+  { name; body; carries_dependency; pragma_no_dependence }
+
+let parallelizable t = t.pragma_no_dependence || not t.carries_dependency
+
+let instructions t = Isa.Block.length t.body
+
+let memory_ops t = Isa.Block.count_if t.body Isa.Op.is_memory

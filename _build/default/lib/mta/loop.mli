@@ -1,0 +1,32 @@
+(** Loop descriptors as the MTA compiler sees them.
+
+    The paper's key MTA-2 finding is a compiler story: the hot loop (step 2
+    of the kernel) "was not automatically parallelized by the MTA compiler
+    because it found a dependency on the reduction operation", and became
+    parallel only after the authors restructured the reduction and added a
+    [#pragma mta assert no dependence] hint.  A loop here carries exactly
+    that information: its body (for timing) and its dependence analysis
+    (for the parallelize/serialize decision). *)
+
+type t = {
+  name : string;
+  body : Isa.Block.t;              (** one iteration's instruction stream *)
+  carries_dependency : bool;
+      (** the compiler's conservative analysis found a loop-carried
+          dependence (e.g. a scalar reduction) *)
+  pragma_no_dependence : bool;     (** the programmer asserted otherwise *)
+}
+
+val make : name:string -> body:Isa.Block.t -> ?carries_dependency:bool ->
+  ?pragma_no_dependence:bool -> unit -> t
+(** Both flags default to [false]. *)
+
+val parallelizable : t -> bool
+(** The compiler parallelizes a loop when its analysis finds no dependence
+    or the programmer overrides it. *)
+
+val instructions : t -> int
+(** Instructions per iteration (block length). *)
+
+val memory_ops : t -> int
+(** Loads + stores per iteration. *)

@@ -1,0 +1,97 @@
+module Units = Sim_util.Units
+
+type t = {
+  cfg : Config.t;
+  ledger : Ledger.t;
+  mutable wall : float;
+  mutable current_concurrency : float;
+      (* concurrency of the region being executed; 1 outside regions *)
+}
+
+let create cfg =
+  Config.validate cfg;
+  { cfg; ledger = Ledger.create (); wall = 0.0; current_concurrency = 1.0 }
+
+let config t = t.cfg
+let time t = t.wall
+let ledger t = t.ledger
+
+let reset t =
+  t.wall <- 0.0;
+  t.current_concurrency <- 1.0;
+  Ledger.reset t.ledger
+
+let charge t cat seconds =
+  t.wall <- t.wall +. seconds;
+  Ledger.add t.ledger cat seconds
+
+let effective_latency t =
+  float_of_int t.cfg.mem_latency *. t.cfg.nonuniform_penalty
+
+(* Single-stream cost of one iteration: every instruction issues in one
+   cycle; every memory reference additionally waits out the (uniform)
+   memory latency because one stream has nothing else to issue. *)
+let serial_iter_cycles t loop =
+  let instrs = float_of_int (Loop.instructions loop) in
+  let mem = float_of_int (Loop.memory_ops loop) in
+  instrs +. (mem *. effective_latency t)
+
+let serial_seconds t ~loop ~n =
+  if n < 0 then invalid_arg "Mta.Machine.serial_seconds: n < 0";
+  Units.seconds_of_cycles t.cfg.clock
+    (float_of_int n *. serial_iter_cycles t loop)
+
+let concurrency t ~n = min n (t.cfg.n_procs * t.cfg.streams_per_proc)
+
+let parallel_cycles t ~loop ~n =
+  if n = 0 then 0.0
+  else begin
+    let iters = float_of_int n in
+    let procs = float_of_int t.cfg.n_procs in
+    let k = float_of_int (concurrency t ~n) in
+    (* Saturated processors retire one instruction per cycle. *)
+    let issue_bound = iters *. float_of_int (Loop.instructions loop) /. procs in
+    (* Under-saturated processors are limited by per-stream latency. *)
+    let latency_bound = iters *. serial_iter_cycles t loop /. k in
+    Float.max issue_bound latency_bound
+  end
+
+let parallel_seconds t ~loop ~n =
+  if n < 0 then invalid_arg "Mta.Machine.parallel_seconds: n < 0";
+  if n = 0 then 0.0
+  else
+    Units.seconds_of_cycles t.cfg.clock
+      (parallel_cycles t ~loop ~n +. float_of_int t.cfg.region_overhead)
+
+let charged_region t ~loop ~n ~f =
+  if n < 0 then invalid_arg "Mta.Machine.charged_region: n < 0";
+  let parallel = Loop.parallelizable loop in
+  t.current_concurrency <-
+    (if parallel && n > 0 then float_of_int (concurrency t ~n) else 1.0);
+  let result =
+    Fun.protect ~finally:(fun () -> t.current_concurrency <- 1.0) f
+  in
+  if n > 0 then
+    if parallel then begin
+      charge t Region
+        (Units.seconds_of_cycles t.cfg.clock
+           (float_of_int t.cfg.region_overhead));
+      charge t Parallel
+        (Units.seconds_of_cycles t.cfg.clock (parallel_cycles t ~loop ~n))
+    end
+    else charge t Serial (serial_seconds t ~loop ~n);
+  result
+
+let for_loop t ~loop ~n ~f =
+  if n < 0 then invalid_arg "Mta.Machine.for_loop: n < 0";
+  if n > 0 then
+    charged_region t ~loop ~n ~f:(fun () ->
+        for i = 0 to n - 1 do
+          f i
+        done)
+
+let charge_sync_op t =
+  let cycles =
+    float_of_int t.cfg.sync_retry_cycles /. t.current_concurrency
+  in
+  charge t Sync (Units.seconds_of_cycles t.cfg.clock cycles)

@@ -1,0 +1,101 @@
+let reduce_loop body =
+  Loop.make ~name:"par-reduce" ~body ~carries_dependency:true
+    ~pragma_no_dependence:true ()
+
+let reduce machine ~body ~f ~init arr =
+  let loop = reduce_loop body in
+  let n = Array.length arr in
+  if n = 0 then init
+  else begin
+    (* Tree reduction: each level halves the active width. *)
+    let work = Array.copy arr in
+    let rec level width =
+      if width = 1 then work.(0)
+      else begin
+        let half = (width + 1) / 2 in
+        Machine.charged_region machine ~loop ~n:(width / 2) ~f:(fun () ->
+            for i = 0 to (width / 2) - 1 do
+              work.(i) <- f work.(i) work.(i + half)
+            done);
+        level half
+      end
+    in
+    f init (level n)
+  end
+
+let scan_loop body = Loop.make ~name:"par-scan" ~body ()
+
+let scan_inclusive machine ~body ~f arr =
+  let loop = scan_loop body in
+  let n = Array.length arr in
+  let work = Array.copy arr in
+  let stride = ref 1 in
+  while !stride < n do
+    let s = !stride in
+    let prev = Array.copy work in
+    Machine.charged_region machine ~loop ~n:(n - s) ~f:(fun () ->
+        for i = s to n - 1 do
+          work.(i) <- f prev.(i - s) prev.(i)
+        done);
+    stride := 2 * s
+  done;
+  work
+
+let atomic_sum_body =
+  (* load + synchronized read-modify-write *)
+  Isa.Block.of_instrs
+    [ { Isa.Block.op = Isa.Op.Load; deps = [] };
+      { Isa.Block.op = Isa.Op.Fadd_dp; deps = [] };
+      { Isa.Block.op = Isa.Op.Store; deps = [] } ]
+
+let atomic_sum machine arr =
+  let loop =
+    Loop.make ~name:"atomic-sum" ~body:atomic_sum_body
+      ~carries_dependency:true ~pragma_no_dependence:true ()
+  in
+  let acc = Sync_cell.create_full machine 0.0 in
+  Machine.charged_region machine ~loop ~n:(Array.length arr) ~f:(fun () ->
+      Array.iter (fun v -> ignore (Sync_cell.fetch_add acc v)) arr);
+  Sync_cell.readff acc
+
+let parallel_map machine ~body ~f n =
+  if n < 0 then invalid_arg "Par.parallel_map: n < 0";
+  let loop = Loop.make ~name:"par-map" ~body () in
+  let out = Array.make (max n 1) 0.0 in
+  Machine.charged_region machine ~loop ~n ~f:(fun () ->
+      for i = 0 to n - 1 do
+        out.(i) <- f i
+      done);
+  if n = 0 then [||] else Array.sub out 0 n
+
+module Work_queue = struct
+  type t = { machine : Machine.t; head : Sync_cell.t; n : int }
+
+  let create machine ~n =
+    if n < 0 then invalid_arg "Work_queue.create: n < 0";
+    { machine; head = Sync_cell.create_full machine 0.0; n }
+
+  let steal t =
+    (* readfe/writeef pair: the classic full/empty fetch-and-increment. *)
+    let current = int_of_float (Sync_cell.readfe t.head) in
+    if current >= t.n then begin
+      Sync_cell.writeef t.head (float_of_int current);
+      None
+    end
+    else begin
+      Sync_cell.writeef t.head (float_of_int (current + 1));
+      Some current
+    end
+
+  let drain t ~f =
+    let count = ref 0 in
+    let rec go () =
+      match steal t with
+      | None -> !count
+      | Some task ->
+        f task;
+        incr count;
+        go ()
+    in
+    go ()
+end

@@ -1,0 +1,46 @@
+(** Parallel primitives built on the MTA's execution and synchronization
+    model — the building blocks the MTA-2 literature the paper cites
+    (Bokhari & Sauer) composes its algorithms from.
+
+    All primitives execute functionally on the host while charging the
+    machine per the stream-scheduling model; primitives that synchronize
+    do so through {!Sync_cell}, so their full/empty traffic is accounted
+    too. *)
+
+val reduce : Machine.t -> body:Isa.Block.t -> f:('a -> 'a -> 'a) ->
+  init:'a -> 'a array -> 'a
+(** Tree reduction over an array: charged as log2(n) parallel regions of
+    halving width (the shape the MTA compiler generates for marked
+    reductions).  [f] must be associative. *)
+
+val scan_inclusive : Machine.t -> body:Isa.Block.t ->
+  f:(float -> float -> float) -> float array -> float array
+(** Inclusive prefix scan (Hillis–Steele): log2(n) parallel sweeps over
+    the full width. *)
+
+val atomic_sum : Machine.t -> float array -> float
+(** The paper's own idiom: a reduction performed inside a parallel loop
+    body with one full/empty accumulate per element ("we moved the
+    reduction operation inside the loop body").  Much more sync traffic
+    than {!reduce}; exposed so the two strategies can be compared. *)
+
+val parallel_map : Machine.t -> body:Isa.Block.t -> f:(int -> float) ->
+  int -> float array
+(** Embarrassingly parallel map over [0, n). *)
+
+module Work_queue : sig
+  (** Dynamic work distribution via a full/empty head pointer — how MTA
+      codes load-balance irregular work without locks. *)
+
+  type t
+
+  val create : Machine.t -> n:int -> t
+  (** A queue holding tasks [0 .. n-1]. *)
+
+  val steal : t -> int option
+  (** Atomically take the next task; [None] when exhausted.  Each steal
+      performs one full/empty read-modify-write. *)
+
+  val drain : t -> f:(int -> unit) -> int
+  (** Steal until empty, running [f] per task; returns tasks executed. *)
+end

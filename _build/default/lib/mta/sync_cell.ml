@@ -1,0 +1,44 @@
+exception Protocol_violation of string
+
+type state = Full | Empty
+
+type t = {
+  machine : Machine.t;
+  mutable value : float;
+  mutable state : state;
+}
+
+let create_full machine v = { machine; value = v; state = Full }
+let create_empty machine = { machine; value = 0.0; state = Empty }
+
+let is_full t = t.state = Full
+
+let readfe t =
+  Machine.charge_sync_op t.machine;
+  match t.state with
+  | Empty ->
+    raise (Protocol_violation "readfe on an empty cell would block forever")
+  | Full ->
+    t.state <- Empty;
+    t.value
+
+let writeef t v =
+  Machine.charge_sync_op t.machine;
+  match t.state with
+  | Full ->
+    raise (Protocol_violation "writeef on a full cell would block forever")
+  | Empty ->
+    t.state <- Full;
+    t.value <- v
+
+let readff t =
+  Machine.charge_sync_op t.machine;
+  match t.state with
+  | Empty ->
+    raise (Protocol_violation "readff on an empty cell would block forever")
+  | Full -> t.value
+
+let fetch_add t delta =
+  let old = readfe t in
+  writeef t (old +. delta);
+  old

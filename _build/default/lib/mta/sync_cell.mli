@@ -1,0 +1,32 @@
+(** Full/empty-bit synchronized memory words.
+
+    Every MTA memory word carries a full/empty tag; [readfe]/[writeef]
+    give lock-free producer/consumer and atomic-update idioms (the
+    Bokhari & Sauer MTA-2 sequence-alignment work the paper cites leans
+    on them heavily, and the paper's own reduction restructuring is the
+    same idiom).  In this sequential functional model a blocking
+    operation that could never be satisfied is a programming error and
+    raises {!Protocol_violation} instead of deadlocking. *)
+
+exception Protocol_violation of string
+
+type t
+
+val create_full : Machine.t -> float -> t
+val create_empty : Machine.t -> t
+
+val is_full : t -> bool
+
+val readfe : t -> float
+(** Read-when-full, leave empty.  Charges one sync operation. *)
+
+val writeef : t -> float -> unit
+(** Write-when-empty, leave full.  Charges one sync operation. *)
+
+val readff : t -> float
+(** Read-when-full, leave full (snapshot). *)
+
+val fetch_add : t -> float -> float
+(** Atomic [readfe]+[writeef] accumulate; returns the previous value.
+    This is the restructured in-loop reduction of the paper's Section
+    5.3. *)

@@ -1,0 +1,1 @@
+lib/ports/cell_port.ml: Array Cell_variant Cellbe F32_kernel Kernels List Mdcore Printf Run_result Sim_util

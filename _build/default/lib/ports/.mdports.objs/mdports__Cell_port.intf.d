@@ -1,0 +1,1 @@
+lib/ports/cell_port.mli: Cell_variant Cellbe Mdcore Run_result

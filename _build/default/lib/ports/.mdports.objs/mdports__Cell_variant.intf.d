@@ -1,0 +1,1 @@
+lib/ports/cell_variant.mli:

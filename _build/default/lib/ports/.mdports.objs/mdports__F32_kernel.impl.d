@@ -1,0 +1,1 @@
+lib/ports/f32_kernel.ml: Mdcore Sim_util

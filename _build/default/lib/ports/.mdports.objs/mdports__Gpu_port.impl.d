@@ -1,0 +1,1 @@
+lib/ports/gpu_port.ml: Array F32_kernel Gpustream Isa Kernels List Mdcore Option Printf Run_result Sim_util Vecmath

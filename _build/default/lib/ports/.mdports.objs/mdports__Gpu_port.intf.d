@@ -1,0 +1,1 @@
+lib/ports/gpu_port.mli: Gpustream Mdcore Run_result

@@ -1,0 +1,1 @@
+lib/ports/kernels.ml: Cell_variant Isa List

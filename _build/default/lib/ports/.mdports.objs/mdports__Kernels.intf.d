@@ -1,0 +1,1 @@
+lib/ports/kernels.mli: Cell_variant Isa

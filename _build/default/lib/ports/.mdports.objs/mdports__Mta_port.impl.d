@@ -1,0 +1,1 @@
+lib/ports/mta_port.ml: Kernels List Mdcore Mta Printf Run_result

@@ -1,0 +1,1 @@
+lib/ports/mta_port.mli: Mdcore Mta Run_result

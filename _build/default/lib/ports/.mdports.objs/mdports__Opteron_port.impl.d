@@ -1,0 +1,1 @@
+lib/ports/opteron_port.ml: Array Isa Kernels Mdcore Memsim Run_result Sim_util

@@ -1,0 +1,1 @@
+lib/ports/opteron_port.mli: Mdcore Memsim Run_result Sim_util

@@ -1,0 +1,1 @@
+lib/ports/run_result.mli: Format Mdcore

@@ -1,0 +1,309 @@
+module F32 = Sim_util.F32
+module Machine = Cellbe.Machine
+module Ledger = Cellbe.Ledger
+
+type launch = Respawn | Persistent
+
+type precision = Single | Double
+
+type config = {
+  variant : Cell_variant.t;
+  n_spes : int;
+  launch : launch;
+  precision : precision;
+  machine : Cellbe.Config.t;
+}
+
+let default_config =
+  { variant = Cell_variant.Simd_acceleration;
+    n_spes = 8;
+    launch = Persistent;
+    precision = Single;
+    machine = Cellbe.Config.default }
+
+(* ------------------------------------------------------------------ *)
+(* Single-precision physics                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* One gather row in binary32: the arithmetic every SPE variant performs
+   (the SIMD rewrites change scheduling, not values).  Returns the row's
+   acceleration components, its (double-counted) PE contribution and its
+   interaction count. *)
+let f32_row p n px py pz i =
+  let xi = px.(i) and yi = py.(i) and zi = pz.(i) in
+  let ax = ref 0.0 and ay = ref 0.0 and az = ref 0.0 in
+  let pe = ref 0.0 and hits = ref 0 in
+  for j = 0 to n - 1 do
+    if j <> i then begin
+      let dx = F32_kernel.min_image p (F32.sub xi px.(j)) in
+      let dy = F32_kernel.min_image p (F32.sub yi py.(j)) in
+      let dz = F32_kernel.min_image p (F32.sub zi pz.(j)) in
+      let r2 = F32_kernel.r2 p ~dx ~dy ~dz in
+      match F32_kernel.pair_terms p r2 with
+      | Some (coeff, pe_term) ->
+        ax := F32.add !ax (F32.mul coeff dx);
+        ay := F32.add !ay (F32.mul coeff dy);
+        az := F32.add !az (F32.mul coeff dz);
+        pe := F32.add !pe pe_term;
+        incr hits
+      | None -> ()
+    end
+  done;
+  (!ax, !ay, !az, !pe, !hits)
+
+(* Full force evaluation: stage positions to binary32, run every row,
+   write accelerations back.  [row_hits] (length n) receives per-row
+   interaction counts. *)
+let f32_compute ~row_hits (s : Mdcore.System.t) =
+  let n = s.Mdcore.System.n in
+  let p = F32_kernel.of_system s in
+  let px = Array.map F32.round s.Mdcore.System.pos_x in
+  let py = Array.map F32.round s.Mdcore.System.pos_y in
+  let pz = Array.map F32.round s.Mdcore.System.pos_z in
+  let pe2 = ref 0.0 in
+  for i = 0 to n - 1 do
+    let ax, ay, az, pe_row, hits = f32_row p n px py pz i in
+    s.Mdcore.System.acc_x.(i) <- ax;
+    s.Mdcore.System.acc_y.(i) <- ay;
+    s.Mdcore.System.acc_z.(i) <- az;
+    pe2 := !pe2 +. pe_row;
+    row_hits.(i) <- hits
+  done;
+  0.5 *. !pe2
+
+(* Double-precision row gather with per-row hit recording — the physics of
+   the hypothetical DP port (identical to the reference kernel; recorded
+   separately so profiles carry per-row interaction counts). *)
+let dp_compute ~row_hits (s : Mdcore.System.t) =
+  let { Mdcore.System.n; box; params; pos_x; pos_y; pos_z;
+        acc_x; acc_y; acc_z; _ } =
+    s
+  in
+  let rc2 = Mdcore.Params.cutoff2 params in
+  let inv_mass = 1.0 /. params.Mdcore.Params.mass in
+  let pe2 = ref 0.0 in
+  for i = 0 to n - 1 do
+    let xi = pos_x.(i) and yi = pos_y.(i) and zi = pos_z.(i) in
+    let fx = ref 0.0 and fy = ref 0.0 and fz = ref 0.0 in
+    let hits = ref 0 in
+    for j = 0 to n - 1 do
+      if j <> i then begin
+        let dx = Mdcore.Min_image.delta ~box (xi -. pos_x.(j))
+        and dy = Mdcore.Min_image.delta ~box (yi -. pos_y.(j))
+        and dz = Mdcore.Min_image.delta ~box (zi -. pos_z.(j)) in
+        let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
+        if r2 < rc2 then begin
+          let f_over_r = Mdcore.Params.lj_force_over_r params r2 in
+          fx := !fx +. (f_over_r *. dx);
+          fy := !fy +. (f_over_r *. dy);
+          fz := !fz +. (f_over_r *. dz);
+          pe2 := !pe2 +. Mdcore.Params.lj_potential params r2;
+          incr hits
+        end
+      end
+    done;
+    acc_x.(i) <- !fx *. inv_mass;
+    acc_y.(i) <- !fy *. inv_mass;
+    acc_z.(i) <- !fz *. inv_mass;
+    row_hits.(i) <- !hits
+  done;
+  0.5 *. !pe2
+
+let apply_f32_engine _system =
+  Mdcore.Engine.make ~name:"cell-f32" ~compute:(fun s ->
+      let row_hits = Array.make s.Mdcore.System.n 0 in
+      f32_compute ~row_hits s)
+
+(* ------------------------------------------------------------------ *)
+(* Profiles                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type profile = {
+  n : int;
+  steps : int;
+  precision : precision;
+  records : Mdcore.Verlet.step_record list;
+  row_hits : int array array; (* one entry per force evaluation *)
+}
+
+let profile_run ?(steps = 10) ?(precision = Single) system =
+  let s = Mdcore.System.copy system in
+  let n = s.Mdcore.System.n in
+  let collected = ref [] in
+  let compute =
+    match precision with Single -> f32_compute | Double -> dp_compute
+  in
+  let engine =
+    Mdcore.Engine.make ~name:"cell" ~compute:(fun sys ->
+        let row_hits = Array.make n 0 in
+        let pe = compute ~row_hits sys in
+        collected := row_hits :: !collected;
+        pe)
+  in
+  let records = Mdcore.Verlet.run s ~engine ~steps () in
+  { n; steps; precision; records;
+    row_hits = Array.of_list (List.rev !collected) }
+
+let profile_precision p = p.precision
+
+let profile_records p = p.records
+
+let profile_hits p =
+  Array.fold_left
+    (fun acc rows -> acc + Array.fold_left ( + ) 0 rows)
+    0 p.row_hits
+
+(* ------------------------------------------------------------------ *)
+(* Machine-time replay                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Rows [slice_lo..slice_hi) handled by each SPE: contiguous, balanced. *)
+let slice ~n ~spes k = (k * n / spes, (k + 1) * n / spes)
+
+let slice_hits row_hits ~lo ~hi =
+  let acc = ref 0 in
+  for i = lo to hi - 1 do
+    acc := !acc + row_hits.(i)
+  done;
+  !acc
+
+(* Stage the j-atoms in chunks that respect the 256 KB local store:
+   8192 atoms x 3 coordinates x 4 bytes = 96 KB per chunk. *)
+let default_j_chunk = 8192
+
+let spe_kernel ~j_chunk ~(cfg : config) ~profile ~stage ~invocation ctx =
+  let n = profile.n in
+  (* Doubles occupy two binary32 slots in every size computation. *)
+  let word = match cfg.precision with Single -> 1 | Double -> 2 in
+  let lo, hi = slice ~n ~spes:cfg.n_spes (Machine.spe_id ctx) in
+  let rows = hi - lo in
+  if rows > 0 then begin
+    let ls = Machine.local_store ctx in
+    let acc_buf =
+      Cellbe.Local_store.alloc ls ~name:"acc" ~floats:(3 * rows * word)
+    in
+    let pe_buf = Cellbe.Local_store.alloc ls ~name:"pe" ~floats:(4 * word) in
+    let chunk_len = min (j_chunk / word) n in
+    (* One reusable staging buffer; successive chunks overwrite it, as a
+       double-buffered SPE kernel reuses its tile. *)
+    let chunk =
+      Cellbe.Local_store.alloc ls ~name:"pos-chunk"
+        ~floats:(3 * chunk_len * word)
+    in
+    let rec stage_chunks pos =
+      if pos < n then begin
+        let len = min chunk_len (n - pos) in
+        (* three coordinate arrays of this chunk *)
+        Machine.dma_get ctx ~src:stage ~src_pos:pos ~dst:chunk ~dst_pos:0
+          ~len:(len * word);
+        Machine.dma_get ctx ~src:stage ~src_pos:pos ~dst:chunk
+          ~dst_pos:(len * word) ~len:(len * word);
+        Machine.dma_get ctx ~src:stage ~src_pos:pos ~dst:chunk
+          ~dst_pos:(2 * len * word) ~len:(len * word);
+        stage_chunks (pos + len)
+      end
+    in
+    stage_chunks 0;
+    let hits = slice_hits profile.row_hits.(invocation) ~lo ~hi in
+    let base, hit_block =
+      match cfg.precision with
+      | Single -> (Kernels.spe_base cfg.variant, Kernels.spe_hit cfg.variant)
+      | Double -> (Kernels.spe_base_dp, Kernels.spe_hit_dp)
+    in
+    Machine.charge_block ctx base
+      ~iterations:(rows * (n - 1))
+      ~overlap:Kernels.spe_overlap;
+    Machine.charge_block ctx hit_block ~iterations:hits
+      ~overlap:Kernels.spe_overlap;
+    Machine.charge_block ctx Kernels.spe_row_overhead ~iterations:rows
+      ~overlap:Kernels.spe_overlap;
+    Machine.dma_put ctx ~src:acc_buf ~src_pos:0 ~dst:stage ~dst_pos:0
+      ~len:(min (3 * rows * word) n);
+    Machine.dma_put ctx ~src:pe_buf ~src_pos:0 ~dst:stage ~dst_pos:0
+      ~len:(4 * word)
+  end
+
+let breakdown_of_ledger ledger =
+  List.map
+    (fun cat -> (Ledger.category_name cat, Ledger.get ledger cat))
+    Ledger.all_categories
+
+let time_with ?(j_chunk = default_j_chunk) profile cfg =
+  if j_chunk <= 0 then invalid_arg "Cell_port.time_with: j_chunk";
+  Cellbe.Config.validate cfg.machine;
+  if cfg.n_spes < 1 || cfg.n_spes > cfg.machine.Cellbe.Config.n_spes then
+    invalid_arg "Cell_port.time_with: n_spes out of range";
+  let machine = Machine.create cfg.machine in
+  let n = profile.n in
+  (* Scratch main-memory array standing in for the staged float data; DMA
+     blits need at least 3 * j_chunk float-slots. *)
+  let stage = Array.make (max (2 * n) (3 * j_chunk)) 0.0 in
+  let mode =
+    match cfg.launch with
+    | Respawn -> Machine.Respawn
+    | Persistent -> Machine.Persistent
+  in
+  let invocations = Array.length profile.row_hits in
+  for invocation = 0 to invocations - 1 do
+    (* PPE stages the positions to binary32. *)
+    Machine.ppe_block machine Kernels.ppe_stage_block ~iterations:n;
+    Machine.offload machine ~spes:cfg.n_spes ~mode
+      (spe_kernel ~j_chunk ~cfg ~profile ~stage ~invocation);
+    (* PPE converts accelerations back and accumulates the PE partials. *)
+    Machine.ppe_block machine Kernels.ppe_stage_block ~iterations:n;
+    (* Integration for every step but the initial force evaluation. *)
+    if invocation > 0 then
+      Machine.ppe_block machine Kernels.opteron_integration ~iterations:n
+  done;
+  let ledger = Machine.ledger machine in
+  { Run_result.device =
+      Printf.sprintf "Cell (%d SPE%s, %s, %s)" cfg.n_spes
+        (if cfg.n_spes = 1 then "" else "s")
+        (match cfg.launch with
+        | Respawn -> "respawn"
+        | Persistent -> "persistent")
+        (match cfg.precision with
+        | Single -> Cell_variant.name cfg.variant
+        | Double -> "double precision");
+    n_atoms = n;
+    steps = profile.steps;
+    seconds = Machine.time machine;
+    records = profile.records;
+    breakdown = breakdown_of_ledger ledger;
+    pairs_evaluated = invocations * n * (n - 1);
+    interactions = profile_hits profile }
+
+let run ?steps ?(config = default_config) system =
+  time_with (profile_run ?steps ~precision:config.precision system) config
+
+let time_ppe_only ?(machine = Cellbe.Config.default) profile =
+  let m = Machine.create machine in
+  let n = profile.n in
+  let invocations = Array.length profile.row_hits in
+  for invocation = 0 to invocations - 1 do
+    let hits = slice_hits profile.row_hits.(invocation) ~lo:0 ~hi:n in
+    Machine.ppe_block m Kernels.opteron_base ~iterations:(n * (n - 1));
+    Machine.ppe_block m Kernels.opteron_hit ~iterations:hits;
+    Machine.ppe_block m Kernels.opteron_row_overhead ~iterations:n;
+    if invocation > 0 then
+      Machine.ppe_block m Kernels.opteron_integration ~iterations:n
+  done;
+  { Run_result.device = "Cell (PPE only)";
+    n_atoms = n;
+    steps = profile.steps;
+    seconds = Machine.time m;
+    records = profile.records;
+    breakdown = breakdown_of_ledger (Machine.ledger m);
+    pairs_evaluated = invocations * n * (n - 1);
+    interactions = profile_hits profile }
+
+let run_ppe_only ?steps ?machine system =
+  time_ppe_only ?machine (profile_run ?steps system)
+
+let accel_seconds result =
+  Run_result.breakdown_get result "compute"
+  +. Run_result.breakdown_get result "dma"
+
+let launch_overhead_seconds result =
+  Run_result.breakdown_get result "spawn"
+  +. Run_result.breakdown_get result "signal"

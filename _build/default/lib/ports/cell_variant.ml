@@ -1,0 +1,29 @@
+type t =
+  | Original
+  | Copysign
+  | Simd_reflection
+  | Simd_direction
+  | Simd_length
+  | Simd_acceleration
+
+let all =
+  [ Original; Copysign; Simd_reflection; Simd_direction; Simd_length;
+    Simd_acceleration ]
+
+let name = function
+  | Original -> "original"
+  | Copysign -> "replace \"if\" with \"copysign\""
+  | Simd_reflection -> "SIMD unit cell reflection"
+  | Simd_direction -> "SIMD direction vector"
+  | Simd_length -> "SIMD length calculation"
+  | Simd_acceleration -> "SIMD acceleration"
+
+let rank = function
+  | Original -> 0
+  | Copysign -> 1
+  | Simd_reflection -> 2
+  | Simd_direction -> 3
+  | Simd_length -> 4
+  | Simd_acceleration -> 5
+
+let includes v rung = rank rung <= rank v

@@ -1,0 +1,42 @@
+module F32 = Sim_util.F32
+
+type params = {
+  box : float;
+  half_box : float;
+  rc2 : float;
+  sigma2 : float;
+  eps24 : float;
+  eps4 : float;
+  inv_mass : float;
+}
+
+let of_system (s : Mdcore.System.t) =
+  let p = s.Mdcore.System.params in
+  let box = F32.round s.Mdcore.System.box in
+  { box;
+    half_box = F32.mul 0.5 box;
+    rc2 = F32.round (Mdcore.Params.cutoff2 p);
+    sigma2 = F32.round (p.Mdcore.Params.sigma *. p.Mdcore.Params.sigma);
+    eps24 = F32.round (24.0 *. p.Mdcore.Params.epsilon);
+    eps4 = F32.round (4.0 *. p.Mdcore.Params.epsilon);
+    inv_mass = F32.round (1.0 /. p.Mdcore.Params.mass) }
+
+let min_image p dx =
+  if dx > p.half_box then F32.sub dx p.box
+  else if dx < -.p.half_box then F32.add dx p.box
+  else dx
+
+let r2 _p ~dx ~dy ~dz =
+  F32.add (F32.add (F32.mul dx dx) (F32.mul dy dy)) (F32.mul dz dz)
+
+let pair_terms p r2 =
+  if r2 < p.rc2 && r2 > 0.0 then begin
+    let s2 = F32.div p.sigma2 r2 in
+    let s6 = F32.mul (F32.mul s2 s2) s2 in
+    let s12 = F32.mul s6 s6 in
+    let tm = F32.sub (F32.add s12 s12) s6 in
+    let coeff = F32.mul (F32.div (F32.mul p.eps24 tm) r2) p.inv_mass in
+    let pe = F32.mul p.eps4 (F32.sub s12 s6) in
+    Some (coeff, pe)
+  end
+  else None

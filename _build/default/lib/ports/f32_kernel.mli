@@ -1,0 +1,34 @@
+(** Shared binary32 arithmetic of the MD pair kernel.
+
+    The Cell and GPU ports both run the force evaluation in single
+    precision; this module centralizes the staged constants and the
+    per-pair math so the two ports (and their tests) agree bit-for-bit on
+    the arithmetic they model. *)
+
+type params = {
+  box : float;
+  half_box : float;
+  rc2 : float;
+  sigma2 : float;
+  eps24 : float;
+  eps4 : float;
+  inv_mass : float;
+}
+(** All fields are binary32 values (pre-rounded). *)
+
+val of_system : Mdcore.System.t -> params
+
+val min_image : params -> float -> float
+(** Minimum-image displacement for a binary32 coordinate difference of
+    wrapped positions (selects among the three unit-cell images, as the
+    kernel's reflection search does). *)
+
+val r2 : params -> dx:float -> dy:float -> dz:float -> float
+(** Squared distance with binary32 rounding at every step. *)
+
+val pair_terms : params -> float -> (float * float) option
+(** [pair_terms p r2] is [Some (coeff, pe)] when the pair interacts
+    ([0 < r2 < rc2]): [coeff] is the acceleration coefficient
+    (force/r x 1/m) and [pe] the pair's PE contribution, both binary32.
+    [None] outside the cutoff (or at zero distance — the GPU shader's
+    self-exclusion test). *)

@@ -1,0 +1,212 @@
+module F32 = Sim_util.F32
+module Vec4f = Vecmath.Vec4f
+module Machine = Gpustream.Machine
+module Ledger = Gpustream.Ledger
+module Pipe = Isa.Opteron_pipe
+
+let host_clock = Sim_util.Units.clock ~hz:2.2e9 ~label:"host Opteron 2.2 GHz"
+
+let host_seconds cycles = Sim_util.Units.seconds_of_cycles host_clock cycles
+
+(* Per-atom CPU staging: build the float4 position array. *)
+let charge_host_block machine block ~iterations =
+  Machine.cpu_charge machine
+    ~seconds:
+      (host_seconds
+         (Pipe.loop_cycles block ~iterations ~overlap:Kernels.opteron_overlap))
+
+(* The fragment program: gather over the whole position texture,
+   accumulating acceleration in xyz and the PE contribution in w. *)
+let fragment p n hits sampler i =
+  let own = Machine.sample sampler ~input:0 i in
+  let xi = Vec4f.x own and yi = Vec4f.y own and zi = Vec4f.z own in
+  let ax = ref 0.0 and ay = ref 0.0 and az = ref 0.0 and pe = ref 0.0 in
+  for j = 0 to n - 1 do
+    let posj = Machine.sample sampler ~input:0 j in
+    let dx = F32_kernel.min_image p (F32.sub xi (Vec4f.x posj)) in
+    let dy = F32_kernel.min_image p (F32.sub yi (Vec4f.y posj)) in
+    let dz = F32_kernel.min_image p (F32.sub zi (Vec4f.z posj)) in
+    let r2 = F32_kernel.r2 p ~dx ~dy ~dz in
+    (* The shader cannot test j <> i; coincident atoms are excluded by the
+       r2 > 0 guard inside [pair_terms], exactly as the real shader does. *)
+    match F32_kernel.pair_terms p r2 with
+    | Some (coeff, pe_term) ->
+      ax := F32.add !ax (F32.mul coeff dx);
+      ay := F32.add !ay (F32.mul coeff dy);
+      az := F32.add !az (F32.mul coeff dz);
+      pe := F32.add !pe pe_term;
+      incr hits
+    | None -> ()
+  done;
+  Vec4f.make !ax !ay !az !pe
+
+type pe_strategy = Readback_w | Gpu_reduction
+
+(* 8-to-1 reduction shader: eight texture fetches summed into one output
+   texel. *)
+let reduce_fanin = 8
+
+let reduce_block =
+  let b = Isa.Block.Builder.create () in
+  let loads =
+    Isa.Block.Builder.push_n b Isa.Op.Load ~n:reduce_fanin ~deps:[]
+  in
+  let _ =
+    List.fold_left
+      (fun acc l ->
+        match acc with
+        | None -> Some l
+        | Some prev ->
+          Some (Isa.Block.Builder.push b Isa.Op.Fadd ~deps:[ prev; l ]))
+      None loads
+  in
+  Isa.Block.Builder.finish b
+
+(* One reduction level: sum [src] (length m) into ceil(m/8) partials with
+   binary32 adds, charging a resolve + dispatch per pass. *)
+let reduce_level m src = 
+  let out_len = (m + reduce_fanin - 1) / reduce_fanin in
+  let out = Array.make out_len 0.0 in
+  for o = 0 to out_len - 1 do
+    let acc = ref 0.0 in
+    for k = 0 to reduce_fanin - 1 do
+      let i = (o * reduce_fanin) + k in
+      if i < m then acc := F32.add !acc src.(i)
+    done;
+    out.(o) <- !acc
+  done;
+  out
+
+let run ?(steps = 10) ?(machine = Gpustream.Config.geforce_7900gtx)
+    ?(pe_strategy = Readback_w) system =
+  let s = Mdcore.System.copy system in
+  let n = s.Mdcore.System.n in
+  let m = Machine.create machine in
+  let positions = Machine.create_texture m ~name:"positions" ~texels:n in
+  let accels = Machine.create_render_target m ~name:"accelerations" ~texels:n in
+  let shader =
+    Machine.compile m ~name:"md-accel" ~body:Kernels.gpu_candidate
+      ~prologue:Kernels.gpu_fragment_prologue
+  in
+  (* Reduction-chain device objects, created once (as a real port would):
+     one input texture and one 8x-smaller render target per level. *)
+  let reduction_chain =
+    match pe_strategy with
+    | Readback_w -> []
+    | Gpu_reduction ->
+      let rec levels size acc =
+        if size <= 1 then List.rev acc
+        else begin
+          let out_len = (size + reduce_fanin - 1) / reduce_fanin in
+          let tex =
+            Machine.create_texture m
+              ~name:(Printf.sprintf "reduce-in-%d" size)
+              ~texels:size
+          in
+          let rt =
+            Machine.create_render_target m
+              ~name:(Printf.sprintf "reduce-out-%d" out_len)
+              ~texels:out_len
+          in
+          levels out_len ((tex, rt) :: acc)
+        end
+      in
+      levels n []
+  in
+  let reduce_shader =
+    match pe_strategy with
+    | Readback_w -> None
+    | Gpu_reduction ->
+      Some
+        (Machine.compile m ~name:"pe-reduce" ~body:reduce_block
+           ~prologue:Kernels.gpu_fragment_prologue)
+  in
+  let hits_total = ref 0 in
+  let invocations = ref 0 in
+  let staging = Array.make n Vec4f.zero in
+  let engine =
+    Mdcore.Engine.make ~name:"gpu" ~compute:(fun sys ->
+        incr invocations;
+        let p = F32_kernel.of_system sys in
+        (* CPU stages the position texture (double -> float4). *)
+        for i = 0 to n - 1 do
+          staging.(i) <-
+            Vec4f.make sys.Mdcore.System.pos_x.(i) sys.Mdcore.System.pos_y.(i)
+              sys.Mdcore.System.pos_z.(i) 0.0
+        done;
+        charge_host_block m Kernels.ppe_stage_block ~iterations:n;
+        Machine.upload m positions staging;
+        let hits = ref 0 in
+        Machine.dispatch m shader ~inputs:[ positions ] ~target:accels
+          ~loop_trip:n
+          ~f:(fragment p n hits)
+          ();
+        hits_total := !hits_total + !hits;
+        let result = Machine.readback m accels in
+        for i = 0 to n - 1 do
+          sys.Mdcore.System.acc_x.(i) <- Vec4f.x result.(i);
+          sys.Mdcore.System.acc_y.(i) <- Vec4f.y result.(i);
+          sys.Mdcore.System.acc_z.(i) <- Vec4f.z result.(i)
+        done;
+        charge_host_block m Kernels.ppe_stage_block ~iterations:n;
+        match pe_strategy with
+        | Readback_w ->
+          (* CPU sums the PE lane in linear time — "sum them in linear
+             time on the CPU, which is well suited to this scalar
+             task". *)
+          let pe2 = ref 0.0 in
+          for i = 0 to n - 1 do
+            pe2 := !pe2 +. Vec4f.w result.(i)
+          done;
+          0.5 *. !pe2
+        | Gpu_reduction ->
+          (* Multi-pass on-GPU reduction of the PE lane, consuming the
+             device-resident output: each level resolves the previous
+             target into a texture (ping-pong) and dispatches the 8-to-1
+             sum; finally a single texel crosses the bus. *)
+          let rec reduce chain prev_rt values =
+            match chain with
+            | [] -> values.(0)
+            | (tex, rt) :: rest ->
+              Machine.resolve_to_texture m prev_rt tex;
+              let reduced = reduce_level (Array.length values) values in
+              Machine.dispatch m (Option.get reduce_shader) ~inputs:[ tex ]
+                ~target:rt
+                ~f:(fun _ i -> Vec4f.make reduced.(i) 0.0 0.0 0.0)
+                ();
+              reduce rest rt reduced
+          in
+          let final =
+            reduce reduction_chain accels (Array.map Vec4f.w result)
+          in
+          (* one-texel readback of the final sum *)
+          Machine.cpu_charge m
+            ~seconds:
+              (Sim_util.Units.transfer_seconds ~bytes:16
+                 ~bandwidth:machine.Gpustream.Config.readback_bandwidth
+                 ~latency:machine.Gpustream.Config.transfer_latency);
+          F32.mul 0.5 final)
+  in
+  let records = Mdcore.Verlet.run s ~engine ~steps () in
+  charge_host_block m Kernels.opteron_integration ~iterations:(steps * n);
+  let ledger = Machine.ledger m in
+  let setup = Ledger.get ledger Setup in
+  { Run_result.device = "NVIDIA GPU (7900GTX class)";
+    n_atoms = n;
+    steps;
+    (* Fig. 7 excludes the one-time startup: "it occurs only once [and]
+       will be quickly amortized ... so it is not included". *)
+    seconds = Machine.time m -. setup;
+    records;
+    breakdown =
+      List.map
+        (fun cat -> (Ledger.category_name cat, Ledger.get ledger cat))
+        Ledger.all_categories;
+    pairs_evaluated = !invocations * n * n;
+    interactions = !hits_total }
+
+let seconds_for ?steps ?machine ~n () =
+  let system = Mdcore.Init.build ~n () in
+  (run ?steps ?machine system).Run_result.seconds
+
+let setup_seconds result = Run_result.breakdown_get result "setup"

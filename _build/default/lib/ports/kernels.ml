@@ -1,0 +1,459 @@
+module Block = Isa.Block
+module Op = Isa.Op
+module B = Isa.Block.Builder
+
+(* ------------------------------------------------------------------ *)
+(* Shared shapes                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Scalar reflection search for one axis: three candidate images
+   (dx - box, dx, dx + box), keeping the one with the smallest magnitude.
+
+   [`Branchy flush] models the original code's
+   [if (fabs(cand) < fabs(best))]: compare, conditional branch around the
+   update, and the update move.  Compilers already if-convert most such
+   diamonds, so only the occasional unconverted one flushes the
+   unpredicted SPE pipeline — [flush] charges one 18-cycle flush for the
+   whole axis group (making the copysign rung the "small speedup" the
+   paper reports).  [`Branchless] is the paper's copysign rewrite:
+   sign-transfer + compare + two selects, no control flow. *)
+let scalar_axis_search b ~style ~dx =
+  let best = ref dx in
+  List.iteri
+    (fun k _shift ->
+      let cand = B.push b Op.Fadd ~deps:[ dx ] in
+      let mag = B.push b Op.Fcopysign ~deps:[ cand ] (* fabs *) in
+      let cmp = B.push b Op.Fcmp ~deps:[ mag; !best ] in
+      match style with
+      | `Branchy flush ->
+        let br =
+          B.push b
+            (if flush && k = 1 then Op.Branch_miss else Op.Branch_not_taken)
+            ~deps:[ cmp ]
+        in
+        best := B.push b Op.Ialu ~deps:[ br; cand ]
+      | `Branchless ->
+        let m = B.push b Op.Fsel ~deps:[ cmp; mag; !best ] in
+        ignore m;
+        best := B.push b Op.Fsel ~deps:[ cmp; cand; !best ])
+    [ -1; 0; 1 ];
+  !best
+
+(* Inner-loop control: counter increment, bound test, hinted backward
+   branch, and the address arithmetic of walking the position array. *)
+let loop_control b =
+  let i = B.push b Op.Ialu ~deps:[] in
+  let _addr = B.push b Op.Ialu ~deps:[ i ] in
+  let _cmp = B.push b Op.Ialu ~deps:[ i ] in
+  let _br = B.push b Op.Branch_taken ~deps:[] in
+  ()
+
+(* Vectorized reflection search: the three axes ride in one quadword, so
+   the three shift candidates are three vector iterations. *)
+let simd_reflection_search b ~dxv =
+  let best = ref dxv in
+  List.iter
+    (fun _shift ->
+      let cand = B.push b Op.Fadd ~deps:[ dxv ] in
+      let mag = B.push b Op.Fcopysign ~deps:[ cand ] in
+      let cmp = B.push b Op.Fcmp ~deps:[ mag; !best ] in
+      best := B.push b Op.Fsel ~deps:[ cmp; cand; !best ])
+    [ -1; 0; 1 ];
+  !best
+
+(* ------------------------------------------------------------------ *)
+(* Cell SPE blocks                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* No cross-iteration pipelining: the paper notes that the 4.x GNU
+   toolchain it used is "currently unable to perform significant code
+   optimization" on the SPE, so each pair's dependence chain is fully
+   exposed. *)
+let spe_overlap = 0.0
+
+let spe_base variant =
+  let open Cell_variant in
+  let simd_reflect = includes variant Simd_reflection in
+  let simd_direction = includes variant Simd_direction in
+  let simd_length = includes variant Simd_length in
+  let branchy = not (includes variant Copysign) in
+  let b = B.create () in
+  if simd_reflect then begin
+    (* One quadword load brings x,y,z of the neighbour. *)
+    let posj = B.push b Op.Load ~deps:[] in
+    let dxv = B.push b Op.Fadd ~deps:[ posj ] (* xi - xj, vector *) in
+    let bestv = simd_reflection_search b ~dxv in
+    let dir =
+      if simd_direction then bestv
+      else begin
+        (* Pre-SIMD-direction code keeps the direction vector in a
+           dir[3] array: extract each lane, store it to the local store,
+           and reload for the downstream scalar math. *)
+        let l0 = B.push b Op.Shuffle ~deps:[ bestv ] in
+        let l1 = B.push b Op.Shuffle ~deps:[ bestv ] in
+        let l2 = B.push b Op.Shuffle ~deps:[ bestv ] in
+        let s0 = B.push b Op.Store ~deps:[ l0 ] in
+        let s1 = B.push b Op.Store ~deps:[ l1 ] in
+        let s2 = B.push b Op.Store ~deps:[ l2 ] in
+        let r0 = B.push b Op.Load ~deps:[ s0 ] in
+        let r1 = B.push b Op.Load ~deps:[ s1 ] in
+        let r2 = B.push b Op.Load ~deps:[ s2 ] in
+        B.push b Op.Shuffle ~deps:[ r0; r1; r2 ]
+      end
+    in
+    let r =
+      if simd_length then begin
+        (* vector multiply + two shuffle/add reduction steps + rsqrt *)
+        let sq = B.push b Op.Fmul ~deps:[ dir; dir ] in
+        let sh1 = B.push b Op.Shuffle ~deps:[ sq ] in
+        let s1 = B.push b Op.Fadd ~deps:[ sq; sh1 ] in
+        let sh2 = B.push b Op.Shuffle ~deps:[ s1 ] in
+        let r2 = B.push b Op.Fadd ~deps:[ s1; sh2 ] in
+        let est = B.push b Op.Frsqrt_est ~deps:[ r2 ] in
+        let nr = B.push b Op.Fmadd ~deps:[ est; r2 ] in
+        B.push b Op.Fmul ~deps:[ nr; r2 ] (* r = r2 * rsqrt(r2) *)
+      end
+      else begin
+        (* scalar: extract three lanes, three muls, two adds, sqrt
+           expansion (estimate + Newton step + mul) *)
+        let l0 = B.push b Op.Shuffle ~deps:[ dir ] in
+        let l1 = B.push b Op.Shuffle ~deps:[ dir ] in
+        let l2 = B.push b Op.Shuffle ~deps:[ dir ] in
+        let m0 = B.push b Op.Fmul ~deps:[ l0; l0 ] in
+        let m1 = B.push b Op.Fmul ~deps:[ l1; l1 ] in
+        let m2 = B.push b Op.Fmul ~deps:[ l2; l2 ] in
+        let s1 = B.push b Op.Fadd ~deps:[ m0; m1 ] in
+        let r2 = B.push b Op.Fadd ~deps:[ s1; m2 ] in
+        let est = B.push b Op.Frsqrt_est ~deps:[ r2 ] in
+        let nr1 = B.push b Op.Fmul ~deps:[ est; est ] in
+        let nr2 = B.push b Op.Fmadd ~deps:[ nr1; r2 ] in
+        let nr3 = B.push b Op.Fmul ~deps:[ nr2; est ] in
+        B.push b Op.Fmul ~deps:[ nr3; r2 ]
+      end
+    in
+    let cmp = B.push b Op.Fcmp ~deps:[ r ] in
+    let _ = B.push b Op.Branch_not_taken ~deps:[ cmp ] in
+    loop_control b;
+    B.finish b
+  end
+  else begin
+    (* Fully scalar variants (original / copysign): three separate loads,
+       three axis searches, scalar direction, scalar length.  A scalar
+       float on the SPU must be rotated into the register's preferred
+       slot after every load — one of the reasons scalar code is so poor
+       on this architecture. *)
+    let xj0 = B.push b Op.Load ~deps:[] in
+    let yj0 = B.push b Op.Load ~deps:[] in
+    let zj0 = B.push b Op.Load ~deps:[] in
+    let xj = B.push b Op.Shuffle ~deps:[ xj0 ] in
+    let yj = B.push b Op.Shuffle ~deps:[ yj0 ] in
+    let zj = B.push b Op.Shuffle ~deps:[ zj0 ] in
+    let dx = B.push b Op.Fadd ~deps:[ xj ] in
+    let dy = B.push b Op.Fadd ~deps:[ yj ] in
+    let dz = B.push b Op.Fadd ~deps:[ zj ] in
+    let style_first = if branchy then `Branchy true else `Branchless in
+    let style_rest = if branchy then `Branchy false else `Branchless in
+    let bx = scalar_axis_search b ~style:style_first ~dx in
+    let by = scalar_axis_search b ~style:style_rest ~dx:dy in
+    let bz = scalar_axis_search b ~style:style_rest ~dx:dz in
+    let m0 = B.push b Op.Fmul ~deps:[ bx; bx ] in
+    let m1 = B.push b Op.Fmul ~deps:[ by; by ] in
+    let m2 = B.push b Op.Fmul ~deps:[ bz; bz ] in
+    let s1 = B.push b Op.Fadd ~deps:[ m0; m1 ] in
+    let r2 = B.push b Op.Fadd ~deps:[ s1; m2 ] in
+    let est = B.push b Op.Frsqrt_est ~deps:[ r2 ] in
+    let nr1 = B.push b Op.Fmul ~deps:[ est; est ] in
+    let nr2 = B.push b Op.Fmadd ~deps:[ nr1; r2 ] in
+    let nr3 = B.push b Op.Fmul ~deps:[ nr2; est ] in
+    let r = B.push b Op.Fmul ~deps:[ nr3; r2 ] in
+    let cmp = B.push b Op.Fcmp ~deps:[ r ] in
+    let _ = B.push b Op.Branch_not_taken ~deps:[ cmp ] in
+    loop_control b;
+    B.finish b
+  end
+
+let spe_hit variant =
+  let simd_accel = Cell_variant.includes variant Simd_acceleration in
+  let b = B.create () in
+  (* Taken branch into the interaction path: unhinted on the SPE. *)
+  let br = B.push b Op.Branch_miss ~deps:[] in
+  (* s2 = sigma^2 / r2 via reciprocal estimate + Newton step *)
+  let re = B.push b Op.Frecip_est ~deps:[ br ] in
+  let nr = B.push b Op.Fmadd ~deps:[ re ] in
+  let s2 = B.push b Op.Fmul ~deps:[ nr ] in
+  let s4 = B.push b Op.Fmul ~deps:[ s2; s2 ] in
+  let s6 = B.push b Op.Fmul ~deps:[ s4; s2 ] in
+  let s12 = B.push b Op.Fmul ~deps:[ s6; s6 ] in
+  let t = B.push b Op.Fmadd ~deps:[ s12; s6 ] in
+  let coeff = B.push b Op.Fmul ~deps:[ t; nr ] in
+  if simd_accel then begin
+    (* splat the coefficient, one vector madd into the register-resident
+       accumulator, one vector madd folds the PE contribution *)
+    let spl = B.push b Op.Shuffle ~deps:[ coeff ] in
+    let _acc = B.push b Op.Fmadd ~deps:[ spl ] in
+    let _pe = B.push b Op.Fmadd ~deps:[ t ] in
+    B.finish b
+  end
+  else begin
+    (* Scalar conversion into an acc[3] array: per component, extract the
+       direction lane, multiply by the coefficient, and read-modify-write
+       the local-store accumulator — on the SPU an RMW of one float is a
+       load, two rotates, an add, a merge shuffle and a store. *)
+    List.iter
+      (fun _axis ->
+        let lane = B.push b Op.Shuffle ~deps:[ br ] in
+        let m = B.push b Op.Fmul ~deps:[ coeff; lane ] in
+        let old0 = B.push b Op.Load ~deps:[ br ] in
+        let old = B.push b Op.Shuffle ~deps:[ old0 ] in
+        let sum = B.push b Op.Fadd ~deps:[ m; old ] in
+        let merged = B.push b Op.Shuffle ~deps:[ sum; old0 ] in
+        let _st = B.push b Op.Store ~deps:[ merged ] in
+        ())
+      [ 0; 1; 2 ];
+    let pe_old0 = B.push b Op.Load ~deps:[ br ] in
+    let pe_old = B.push b Op.Shuffle ~deps:[ pe_old0 ] in
+    let pe_new = B.push b Op.Fadd ~deps:[ t; pe_old ] in
+    let pe_merged = B.push b Op.Shuffle ~deps:[ pe_new; pe_old0 ] in
+    let _ = B.push b Op.Store ~deps:[ pe_merged ] in
+    B.finish b
+  end
+
+let spe_row_overhead =
+  let b = B.create () in
+  let xi = B.push b Op.Load ~deps:[] in
+  let _ = B.push b Op.Shuffle ~deps:[ xi ] (* splat own position *) in
+  let _ = B.push b Op.Ialu ~deps:[] (* loop counter *) in
+  let _ = B.push b Op.Store ~deps:[] (* write accumulated acceleration *) in
+  let _ = B.push b Op.Store ~deps:[] (* write PE contribution *) in
+  let _ = B.push b Op.Branch_taken ~deps:[] (* hinted backward branch *) in
+  B.finish b
+
+(* Double-precision rewrite of the fully-SIMDized kernel: the SPE's DP
+   registers hold two doubles, so three-axis work needs two vector
+   operations where the single-precision code needs one, and there are no
+   DP estimate instructions — divides and square roots are full microcoded
+   sequences. *)
+let spe_base_dp =
+  let b = B.create () in
+  let posj_lo = B.push b Op.Load ~deps:[] in
+  let posj_hi = B.push b Op.Load ~deps:[] in
+  let dx_lo = B.push b Op.Fadd_dp ~deps:[ posj_lo ] in
+  let dx_hi = B.push b Op.Fadd_dp ~deps:[ posj_hi ] in
+  let best_lo = ref dx_lo and best_hi = ref dx_hi in
+  List.iter
+    (fun _shift ->
+      let cand_lo = B.push b Op.Fadd_dp ~deps:[ dx_lo ] in
+      let cand_hi = B.push b Op.Fadd_dp ~deps:[ dx_hi ] in
+      let mag_lo = B.push b Op.Fcopysign ~deps:[ cand_lo ] in
+      let mag_hi = B.push b Op.Fcopysign ~deps:[ cand_hi ] in
+      let cmp_lo = B.push b Op.Fcmp ~deps:[ mag_lo; !best_lo ] in
+      let cmp_hi = B.push b Op.Fcmp ~deps:[ mag_hi; !best_hi ] in
+      best_lo := B.push b Op.Fsel ~deps:[ cmp_lo; cand_lo; !best_lo ];
+      best_hi := B.push b Op.Fsel ~deps:[ cmp_hi; cand_hi; !best_hi ])
+    [ -1; 0; 1 ];
+  let sq_lo = B.push b Op.Fmul_dp ~deps:[ !best_lo; !best_lo ] in
+  let sq_hi = B.push b Op.Fmul_dp ~deps:[ !best_hi; !best_hi ] in
+  let sh = B.push b Op.Shuffle ~deps:[ sq_lo ] in
+  let s1 = B.push b Op.Fadd_dp ~deps:[ sq_lo; sh ] in
+  let r2 = B.push b Op.Fadd_dp ~deps:[ s1; sq_hi ] in
+  let r = B.push b Op.Fsqrt_dp ~deps:[ r2 ] in
+  let cmp = B.push b Op.Fcmp ~deps:[ r ] in
+  let _ = B.push b Op.Branch_not_taken ~deps:[ cmp ] in
+  loop_control b;
+  B.finish b
+
+let spe_hit_dp =
+  let b = B.create () in
+  let br = B.push b Op.Branch_miss ~deps:[] in
+  let inv = B.push b Op.Fdiv_dp ~deps:[ br ] in
+  let s4 = B.push b Op.Fmul_dp ~deps:[ inv; inv ] in
+  let s6 = B.push b Op.Fmul_dp ~deps:[ s4; inv ] in
+  let s12 = B.push b Op.Fmul_dp ~deps:[ s6; s6 ] in
+  let t = B.push b Op.Fmadd_dp ~deps:[ s12; s6 ] in
+  let coeff = B.push b Op.Fmul_dp ~deps:[ t; inv ] in
+  let spl = B.push b Op.Shuffle ~deps:[ coeff ] in
+  let _acc_lo = B.push b Op.Fmadd_dp ~deps:[ spl ] in
+  let _acc_hi = B.push b Op.Fmadd_dp ~deps:[ spl ] in
+  let _pe = B.push b Op.Fmadd_dp ~deps:[ t ] in
+  B.finish b
+
+let expected_cycles base hit ~hit_fraction ~overlap ~pipe_per_iter =
+  ignore pipe_per_iter;
+  Isa.Spe_pipe.per_iteration_cycles base ~overlap
+  +. (hit_fraction *. Isa.Spe_pipe.per_iteration_cycles hit ~overlap)
+
+let spe_pair_cycles variant ~hit_fraction =
+  expected_cycles (spe_base variant) (spe_hit variant) ~hit_fraction
+    ~overlap:spe_overlap ~pipe_per_iter:()
+
+(* ------------------------------------------------------------------ *)
+(* Opteron blocks (double precision, branchy, scalar SSE2)            *)
+(* ------------------------------------------------------------------ *)
+
+let opteron_overlap = 0.85
+
+let opteron_base =
+  let b = B.create () in
+  let xj = B.push b Op.Load ~deps:[] in
+  let yj = B.push b Op.Load ~deps:[] in
+  let zj = B.push b Op.Load ~deps:[] in
+  let dx = B.push b Op.Fadd ~deps:[ xj ] in
+  let dy = B.push b Op.Fadd ~deps:[ yj ] in
+  let dz = B.push b Op.Fadd ~deps:[ zj ] in
+  let bx = scalar_axis_search b ~style:(`Branchy true) ~dx in
+  let by = scalar_axis_search b ~style:(`Branchy true) ~dx:dy in
+  let bz = scalar_axis_search b ~style:(`Branchy true) ~dx:dz in
+  let m0 = B.push b Op.Fmul ~deps:[ bx; bx ] in
+  let m1 = B.push b Op.Fmul ~deps:[ by; by ] in
+  let m2 = B.push b Op.Fmul ~deps:[ bz; bz ] in
+  let s1 = B.push b Op.Fadd ~deps:[ m0; m1 ] in
+  let r2 = B.push b Op.Fadd ~deps:[ s1; m2 ] in
+  (* the reference kernel compares true distances, so: one sqrt per pair *)
+  let r = B.push b Op.Fsqrt ~deps:[ r2 ] in
+  let cmp = B.push b Op.Fcmp ~deps:[ r ] in
+  let _ = B.push b Op.Branch_not_taken ~deps:[ cmp ] in
+  loop_control b;
+  B.finish b
+
+let opteron_hit =
+  let b = B.create () in
+  let br = B.push b Op.Branch_miss ~deps:[] in
+  let inv = B.push b Op.Fdiv ~deps:[ br ] (* sigma^2 / r2 *) in
+  let s4 = B.push b Op.Fmul ~deps:[ inv; inv ] in
+  let s6 = B.push b Op.Fmul ~deps:[ s4; inv ] in
+  let s12 = B.push b Op.Fmul ~deps:[ s6; s6 ] in
+  let t = B.push b Op.Fadd ~deps:[ s12; s6 ] in
+  let coeff = B.push b Op.Fdiv ~deps:[ t ] (* ... / r2 *) in
+  let cm = B.push b Op.Fmul ~deps:[ coeff ] in
+  let _ax = B.push b Op.Fmadd ~deps:[ cm ] in
+  let _ay = B.push b Op.Fmadd ~deps:[ cm ] in
+  let _az = B.push b Op.Fmadd ~deps:[ cm ] in
+  let _pe = B.push b Op.Fadd ~deps:[ t ] in
+  B.finish b
+
+let opteron_row_overhead =
+  let b = B.create () in
+  let _ = B.push b Op.Load ~deps:[] in
+  let _ = B.push b Op.Load ~deps:[] in
+  let _ = B.push b Op.Load ~deps:[] in
+  let _ = B.push b Op.Ialu ~deps:[] in
+  let _ = B.push b Op.Store ~deps:[] in
+  let _ = B.push b Op.Store ~deps:[] in
+  let _ = B.push b Op.Store ~deps:[] in
+  let _ = B.push b Op.Branch_taken ~deps:[] in
+  B.finish b
+
+let opteron_integration =
+  (* Two half-kicks, a drift with wrap, and energy accumulation per atom:
+     ~9 loads, 9 stores, ~20 flops, a few conversions for the wrap. *)
+  let b = B.create () in
+  let loads = B.push_n b Op.Load ~n:9 ~deps:[] in
+  let kicks =
+    List.concat_map (fun l -> [ B.push b Op.Fmadd ~deps:[ l ] ]) loads
+  in
+  List.iter (fun k -> ignore (B.push b Op.Fmadd ~deps:[ k ])) kicks;
+  let _ = B.push_n b Op.Fconvert ~n:3 ~deps:[] (* wrap rounding *) in
+  let _ = B.push_n b Op.Fmul ~n:3 ~deps:[] in
+  let _ = B.push_n b Op.Fadd ~n:4 ~deps:[] (* KE accumulation *) in
+  let _ = B.push_n b Op.Store ~n:9 ~deps:[] in
+  B.finish b
+
+let ppe_stage_block =
+  let b = B.create () in
+  let loads = B.push_n b Op.Load ~n:3 ~deps:[] in
+  let convs =
+    List.map (fun l -> B.push b Op.Fconvert ~deps:[ l ]) loads
+  in
+  List.iter (fun c -> ignore (B.push b Op.Store ~deps:[ c ])) convs;
+  B.finish b
+
+(* ------------------------------------------------------------------ *)
+(* GPU shader blocks                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let gpu_candidate =
+  let b = B.create () in
+  let posj = B.push b Op.Load ~deps:[] (* texture fetch, float4 *) in
+  let dxv = B.push b Op.Fadd ~deps:[ posj ] in
+  let bestv = simd_reflection_search b ~dxv in
+  (* r2 via dot: one mul + two adds on swizzles *)
+  let sq = B.push b Op.Fmul ~deps:[ bestv; bestv ] in
+  let s1 = B.push b Op.Fadd ~deps:[ sq ] in
+  let r2 = B.push b Op.Fadd ~deps:[ s1 ] in
+  (* cutoff and self-interaction masks *)
+  let m1 = B.push b Op.Fcmp ~deps:[ r2 ] in
+  let m2 = B.push b Op.Fcmp ~deps:[ r2 ] in
+  let mask = B.push b Op.Ialu ~deps:[ m1; m2 ] in
+  (* predicated force math: executes for every candidate *)
+  let rcp = B.push b Op.Frecip_est ~deps:[ r2 ] in
+  let s2 = B.push b Op.Fmul ~deps:[ rcp ] in
+  let s4 = B.push b Op.Fmul ~deps:[ s2; s2 ] in
+  let s6 = B.push b Op.Fmul ~deps:[ s4; s2 ] in
+  let s12 = B.push b Op.Fmul ~deps:[ s6; s6 ] in
+  let t = B.push b Op.Fmadd ~deps:[ s12; s6 ] in
+  let coeff = B.push b Op.Fmul ~deps:[ t; rcp ] in
+  let masked = B.push b Op.Fsel ~deps:[ mask; coeff ] in
+  let _acc = B.push b Op.Fmadd ~deps:[ masked; bestv ] in
+  let pe = B.push b Op.Fsel ~deps:[ mask; t ] in
+  let _pe_acc = B.push b Op.Fadd ~deps:[ pe ] in
+  B.finish b
+
+let gpu_fragment_prologue =
+  let b = B.create () in
+  let _own = B.push b Op.Load ~deps:[] (* own position fetch *) in
+  let _ = B.push b Op.Ialu ~deps:[] (* accumulator init *) in
+  let _ = B.push b Op.Fconvert ~deps:[] (* output pack *) in
+  let _ = B.push b Op.Store ~deps:[] (* single output write *) in
+  B.finish b
+
+(* ------------------------------------------------------------------ *)
+(* MTA-2 loop bodies (double precision)                               *)
+(* ------------------------------------------------------------------ *)
+
+let mta_pair_body =
+  (* Conditionals on the MTA compile to predicated updates, so the body is
+     branch-free; what matters for the stream model is the instruction
+     count and the three position loads. *)
+  let b = B.create () in
+  let xj = B.push b Op.Load ~deps:[] in
+  let yj = B.push b Op.Load ~deps:[] in
+  let zj = B.push b Op.Load ~deps:[] in
+  let dx = B.push b Op.Fadd ~deps:[ xj ] in
+  let dy = B.push b Op.Fadd ~deps:[ yj ] in
+  let dz = B.push b Op.Fadd ~deps:[ zj ] in
+  let bx = scalar_axis_search b ~style:`Branchless ~dx in
+  let by = scalar_axis_search b ~style:`Branchless ~dx:dy in
+  let bz = scalar_axis_search b ~style:`Branchless ~dx:dz in
+  let m0 = B.push b Op.Fmul ~deps:[ bx; bx ] in
+  let m1 = B.push b Op.Fmul ~deps:[ by; by ] in
+  let m2 = B.push b Op.Fmul ~deps:[ bz; bz ] in
+  let s1 = B.push b Op.Fadd ~deps:[ m0; m1 ] in
+  let r2 = B.push b Op.Fadd ~deps:[ s1; m2 ] in
+  let r = B.push b Op.Fsqrt ~deps:[ r2 ] in
+  let _cmp = B.push b Op.Fcmp ~deps:[ r ] in
+  loop_control b;
+  B.finish b
+
+let mta_hit_body =
+  let b = B.create () in
+  let inv = B.push b Op.Fdiv ~deps:[] in
+  let s4 = B.push b Op.Fmul ~deps:[ inv; inv ] in
+  let s6 = B.push b Op.Fmul ~deps:[ s4; inv ] in
+  let s12 = B.push b Op.Fmul ~deps:[ s6; s6 ] in
+  let t = B.push b Op.Fadd ~deps:[ s12; s6 ] in
+  let coeff = B.push b Op.Fdiv ~deps:[ t ] in
+  let _ax = B.push b Op.Fmadd ~deps:[ coeff ] in
+  let _ay = B.push b Op.Fmadd ~deps:[ coeff ] in
+  let _az = B.push b Op.Fmadd ~deps:[ coeff ] in
+  let _pe = B.push b Op.Fadd ~deps:[ t ] in
+  B.finish b
+
+let mta_integration_body =
+  let b = B.create () in
+  let loads = B.push_n b Op.Load ~n:9 ~deps:[] in
+  List.iter (fun l -> ignore (B.push b Op.Fmadd ~deps:[ l ])) loads;
+  let _ = B.push_n b Op.Fmadd ~n:9 ~deps:[] in
+  let _ = B.push_n b Op.Fconvert ~n:3 ~deps:[] in
+  let _ = B.push_n b Op.Fadd ~n:4 ~deps:[] in
+  let _ = B.push_n b Op.Store ~n:9 ~deps:[] in
+  B.finish b

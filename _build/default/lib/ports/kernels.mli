@@ -1,0 +1,83 @@
+(** Instruction-level descriptions of the MD inner loop on each target.
+
+    Every port charges virtual time as
+
+    {v pairs_examined * cycles(base block)
+       + interacting_pairs * cycles(hit block) v}
+
+    where the blocks below describe one candidate pair of the paper's
+    kernel: load the neighbour's position, compute the per-axis
+    displacement, search the neighbouring unit-cell images for the closest
+    instance (the "27 neighboring unit cells" search, which is separable
+    into 3 candidates per axis), form the direction vector, compute the
+    length, and test the cutoff; the hit block adds the Lennard-Jones
+    force, the acceleration accumulation and the PE accumulation.
+
+    The Cell blocks vary along the {!Cell_variant} ladder — branchy scalar
+    code, then [copysign], then progressively more quadword SIMD — and the
+    Fig. 5 speedups are {e outputs} of {!Isa.Spe_pipe} on these blocks,
+    not inputs. *)
+
+(** {1 Cell SPE} *)
+
+val spe_base : Cell_variant.t -> Isa.Block.t
+val spe_hit : Cell_variant.t -> Isa.Block.t
+val spe_row_overhead : Isa.Block.t
+(** Per-i-atom loop bookkeeping (loading atom i, storing its acceleration,
+    loop control). *)
+
+val spe_overlap : float
+(** Iteration-overlap factor for {!Isa.Spe_pipe.loop_cycles} (how well
+    spu-gcc software-pipelines the loop). *)
+
+val spe_pair_cycles : Cell_variant.t -> hit_fraction:float -> float
+(** Expected per-pair cycles at a given interacting fraction (for
+    reports). *)
+
+val spe_base_dp : Isa.Block.t
+(** The fully-optimized kernel rewritten in double precision — the
+    paper's Section 6 open issue ("the availability and support for
+    double-precision floating-point calculations").  The SPE's DP unit is
+    2-wide and unpipelined, so the block uses twice the vector operations
+    and every one stalls issue; the resulting slowdown is an output of
+    {!Isa.Spe_pipe}. *)
+
+val spe_hit_dp : Isa.Block.t
+
+(** {1 Opteron reference} *)
+
+val opteron_base : Isa.Block.t
+val opteron_hit : Isa.Block.t
+val opteron_row_overhead : Isa.Block.t
+val opteron_integration : Isa.Block.t
+(** Per-atom cost of one whole integration step outside the force loop
+    (two half-kicks, drift, wrap, energy accumulation). *)
+
+val ppe_stage_block : Isa.Block.t
+(** Per-atom double→float staging conversion on the PPE (three loads,
+    three converts, three stores) — paid once before and once after every
+    SPE offload. *)
+
+val opteron_overlap : float
+
+(** {1 GPU shader} *)
+
+val gpu_candidate : Isa.Block.t
+(** Per candidate neighbour, inside one fragment.  Predicated: the force
+    math executes for every candidate and is masked, as on
+    non-branching 2006 fragment hardware — there is no separate hit
+    block. *)
+
+val gpu_fragment_prologue : Isa.Block.t
+(** Per-fragment fixed work (computing the atom's own position fetch,
+    initializing accumulators, writing the output). *)
+
+(** {1 MTA-2} *)
+
+val mta_pair_body : Isa.Block.t
+(** Per candidate pair, double precision.  MTA conditionals compile to
+    cheap predicated operations, and memory references dominate. *)
+
+val mta_hit_body : Isa.Block.t
+val mta_integration_body : Isa.Block.t
+(** Per atom, one integration step (steps 1, 3, 4, 5 of the kernel). *)

@@ -1,0 +1,77 @@
+module Machine = Mta.Machine
+module Ledger = Mta.Ledger
+module Loop = Mta.Loop
+
+type mode = Fully_multithreaded | Partially_multithreaded
+
+let mode_name = function
+  | Fully_multithreaded -> "fully multithreaded"
+  | Partially_multithreaded -> "partially multithreaded"
+
+let pair_loop mode =
+  Loop.make ~name:"step2-acceleration" ~body:Kernels.mta_pair_body
+    ~carries_dependency:true
+    ~pragma_no_dependence:(mode = Fully_multithreaded)
+    ()
+
+let hit_loop mode =
+  Loop.make ~name:"step2-interaction" ~body:Kernels.mta_hit_body
+    ~carries_dependency:true
+    ~pragma_no_dependence:(mode = Fully_multithreaded)
+    ()
+
+let integration_loop =
+  (* "The rest of the kernel is parallelized by the MTA compiler without
+     any code modification." *)
+  Loop.make ~name:"integration" ~body:Kernels.mta_integration_body ()
+
+let run ?(steps = 10) ?(mode = Fully_multithreaded)
+    ?(machine = Mta.Config.mta2 ()) system =
+  let s = Mdcore.System.copy system in
+  let n = s.Mdcore.System.n in
+  let m = Machine.create machine in
+  let pairs_total = ref 0 and hits_total = ref 0 in
+  let invocations = ref 0 in
+  let engine =
+    Mdcore.Engine.make ~name:"mta" ~compute:(fun sys ->
+        incr invocations;
+        let pairs = n * (n - 1) in
+        (* In the fully multithreaded version the PE reduction lives
+           inside the loop body as a full/empty-bit accumulate; each
+           interaction performs one synchronized update. *)
+        let pe_cell = Mta.Sync_cell.create_full m 0.0 in
+        let pe, hits =
+          Machine.charged_region m ~loop:(pair_loop mode) ~n:pairs
+            ~f:(fun () ->
+              let pe, hits = Mdcore.Forces.compute_gather_stats sys in
+              if mode = Fully_multithreaded then
+                for _ = 1 to hits do
+                  ignore (Mta.Sync_cell.fetch_add pe_cell 1.0)
+                done;
+              (pe, hits))
+        in
+        Machine.charged_region m ~loop:(hit_loop mode) ~n:hits
+          ~f:(fun () -> ());
+        pairs_total := !pairs_total + pairs;
+        hits_total := !hits_total + hits;
+        pe)
+  in
+  let records = Mdcore.Verlet.run s ~engine ~steps () in
+  Machine.charged_region m ~loop:integration_loop ~n:(steps * n)
+    ~f:(fun () -> ());
+  let ledger = Machine.ledger m in
+  { Run_result.device = Printf.sprintf "Cray MTA-2 (%s)" (mode_name mode);
+    n_atoms = n;
+    steps;
+    seconds = Machine.time m;
+    records;
+    breakdown =
+      List.map
+        (fun cat -> (Ledger.category_name cat, Ledger.get ledger cat))
+        Ledger.all_categories;
+    pairs_evaluated = !pairs_total;
+    interactions = !hits_total }
+
+let seconds_for ?steps ?mode ?machine ~n () =
+  let system = Mdcore.Init.build ~n () in
+  (run ?steps ?mode ?machine system).Run_result.seconds

@@ -1,0 +1,28 @@
+(** The Cray MTA-2 port of the MD kernel (Section 5.3 of the paper).
+
+    Double precision throughout (the only port that is).  The paper's
+    compiler story is modelled explicitly:
+
+    - the hot acceleration loop (step 2) {e carries a reduction
+      dependency}, so the MTA compiler refuses to parallelize it as
+      written — that is the [Partially_multithreaded] mode, where the
+      O(N²) loop runs on a single stream and pays the full uniform memory
+      latency on every reference;
+    - in [Fully_multithreaded] mode the reduction has been moved into the
+      loop body (a full/empty-bit accumulate) and the loop carries the
+      no-dependence pragma, so it spreads across all 128 streams.
+
+    Every other loop of the kernel is auto-parallelized in both modes,
+    "without any code modification". *)
+
+type mode = Fully_multithreaded | Partially_multithreaded
+
+val mode_name : mode -> string
+
+val run : ?steps:int -> ?mode:mode -> ?machine:Mta.Config.t ->
+  Mdcore.System.t -> Run_result.t
+(** Default mode: fully multithreaded; default machine: 1-processor
+    MTA-2. *)
+
+val seconds_for : ?steps:int -> ?mode:mode -> ?machine:Mta.Config.t ->
+  n:int -> unit -> float

@@ -1,0 +1,44 @@
+(** The reference implementation: the paper's 2.2 GHz Opteron run.
+
+    Physics is the double-precision gather kernel from
+    {!Mdcore.Forces}; virtual time combines
+
+    - pipeline cycles: per-pair base + per-interaction hit blocks from
+      {!Kernels} through {!Isa.Opteron_pipe}, plus per-atom row and
+      integration overheads, and
+    - memory-hierarchy stalls: the inner loop's address stream replayed
+      through {!Memsim.Hierarchy} (a 64 KB L1 / 1 MB L2 Opteron), charging
+      the cycles in excess of an L1 hit.  Because the j-sweep is identical
+      for every i, the sweep is replayed for a sample of rows per step and
+      scaled — exact for this access pattern, and cheap.
+
+    This cache term is what bends Fig. 9's Opteron curve above the pure
+    N² line once the position arrays outgrow the L1. *)
+
+type config = {
+  clock : Sim_util.Units.clock;
+  hierarchy : Memsim.Hierarchy.config;
+  sample_rows : int;  (** i-rows replayed through the cache model per step *)
+}
+
+val default_config : config
+
+val run : ?steps:int -> ?config:config -> Mdcore.System.t -> Run_result.t
+(** Simulate [steps] (default 10) velocity-Verlet steps on a copy of the
+    system.  The breakdown separates ["compute"] and ["memory"] seconds. *)
+
+val seconds_for : ?steps:int -> ?config:config -> n:int -> unit -> float
+(** Convenience for sweeps: build a default system of [n] atoms
+    ({!Mdcore.Init.build}) and return the virtual runtime. *)
+
+val memory_excess_cycles_per_pair : ?config:config -> n:int -> unit -> float
+(** The measured average memory-stall cycles per pair at a given system
+    size (diagnostic for the Fig. 9 analysis). *)
+
+val run_pairlist : ?steps:int -> ?config:config -> ?skin:float ->
+  Mdcore.System.t -> Run_result.t
+(** The ablation the paper declines to run (Section 3.4): the same
+    Opteron with a Verlet neighbour list.  Per step the inner loop visits
+    only the stored neighbours; a full O(N^2) scan is charged on the
+    steps where the list is rebuilt.  Quantifies how much the "no
+    cache-friendly optimizations" methodology costs the baseline. *)

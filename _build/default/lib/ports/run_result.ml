@@ -1,0 +1,30 @@
+type t = {
+  device : string;
+  n_atoms : int;
+  steps : int;
+  seconds : float;
+  records : Mdcore.Verlet.step_record list;
+  breakdown : (string * float) list;
+  pairs_evaluated : int;
+  interactions : int;
+}
+
+let final_total_energy t =
+  match List.rev t.records with
+  | [] -> invalid_arg "Run_result.final_total_energy: no records"
+  | last :: _ -> last.Mdcore.Verlet.total_energy
+
+let energy_drift t =
+  match t.records with
+  | [] -> invalid_arg "Run_result.energy_drift: no records"
+  | first :: _ ->
+    let e0 = first.Mdcore.Verlet.total_energy in
+    let e1 = final_total_energy t in
+    if e0 = 0.0 then abs_float (e1 -. e0) else abs_float ((e1 -. e0) /. e0)
+
+let breakdown_get t name =
+  match List.assoc_opt name t.breakdown with Some v -> v | None -> 0.0
+
+let pp_summary fmt t =
+  Format.fprintf fmt "%s: %d atoms, %d steps, %.4f s (%d pairs, %d hits)"
+    t.device t.n_atoms t.steps t.seconds t.pairs_evaluated t.interactions

@@ -1,0 +1,29 @@
+(** Common shape of a port's simulation outcome: the physics trajectory
+    plus the virtual runtime and its decomposition.  Every experiment in
+    the harness consumes this type, so ports stay comparable. *)
+
+type t = {
+  device : string;
+  n_atoms : int;
+  steps : int;
+  seconds : float;           (** virtual wall-clock for the whole run *)
+  records : Mdcore.Verlet.step_record list;
+      (** per-step energies (step 0 = initial state) *)
+  breakdown : (string * float) list;
+      (** seconds by ledger category; sums to [seconds] for devices with a
+          complete ledger *)
+  pairs_evaluated : int;     (** candidate pairs examined, total *)
+  interactions : int;        (** pairs inside the cutoff, total *)
+}
+
+val final_total_energy : t -> float
+(** Total energy at the last step; raises on an empty record list. *)
+
+val energy_drift : t -> float
+(** |E_final − E_initial| / |E_initial| over the run — the integration
+    quality metric used by conservation tests. *)
+
+val breakdown_get : t -> string -> float
+(** 0.0 when the category is absent. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/seqalign/dna.ml: Array Char Printf Sim_util String

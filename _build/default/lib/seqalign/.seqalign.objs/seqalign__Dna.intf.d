@@ -1,0 +1,1 @@
+lib/seqalign/dna.mli: Sim_util

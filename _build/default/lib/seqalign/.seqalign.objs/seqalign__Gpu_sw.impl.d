@@ -1,0 +1,1 @@
+lib/seqalign/gpu_sw.ml: Array Char Dna Float Gpustream Isa List Printf Reference Scoring Vecmath

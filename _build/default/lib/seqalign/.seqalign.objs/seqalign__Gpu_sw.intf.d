@@ -1,0 +1,1 @@
+lib/seqalign/gpu_sw.mli: Dna Gpustream Isa Reference Scoring

@@ -1,0 +1,1 @@
+lib/seqalign/mta_sw.ml: Array Dna Isa Mta Reference Scoring

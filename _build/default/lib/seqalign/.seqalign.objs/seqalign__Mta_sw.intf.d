@@ -1,0 +1,1 @@
+lib/seqalign/mta_sw.mli: Dna Isa Mta Reference Scoring

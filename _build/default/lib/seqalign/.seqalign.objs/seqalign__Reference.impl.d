@@ -1,0 +1,1 @@
+lib/seqalign/reference.ml: Array Buffer Dna Scoring

@@ -1,0 +1,1 @@
+lib/seqalign/reference.mli: Dna Scoring

@@ -1,0 +1,1 @@
+lib/seqalign/scoring.mli:

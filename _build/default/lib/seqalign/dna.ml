@@ -1,0 +1,32 @@
+type t = string
+
+let alphabet = [| 'A'; 'C'; 'G'; 'T' |]
+
+let of_string s =
+  String.iter
+    (fun c ->
+      match Char.uppercase_ascii c with
+      | 'A' | 'C' | 'G' | 'T' -> ()
+      | c -> invalid_arg (Printf.sprintf "Dna.of_string: bad base %C" c))
+    s;
+  String.uppercase_ascii s
+
+let to_string t = t
+let length = String.length
+let get = String.get
+
+let random rng ~length =
+  if length < 0 then invalid_arg "Dna.random: negative length";
+  String.init length (fun _ -> alphabet.(Sim_util.Rng.int_below rng 4))
+
+let mutate rng ~rate t =
+  if rate < 0.0 || rate > 1.0 then invalid_arg "Dna.mutate: rate not in [0,1]";
+  String.map
+    (fun c ->
+      if Sim_util.Rng.float rng < rate then
+        alphabet.(Sim_util.Rng.int_below rng 4)
+      else c)
+    t
+
+let sub t ~pos ~len = String.sub t pos len
+let concat a b = a ^ b

@@ -1,0 +1,28 @@
+(** DNA sequences for the alignment kernels.
+
+    The paper's related-work section grounds all three devices in
+    computational biology through sequence comparison: Smith–Waterman on
+    GPUs (W. Liu et al., Y. Liu et al.) and dynamic-programming alignment
+    on the MTA-2 (Bokhari & Sauer).  This module provides the shared
+    sequence type and deterministic synthetic data. *)
+
+type t
+(** An immutable DNA sequence over the alphabet A, C, G, T. *)
+
+val of_string : string -> t
+(** Raises [Invalid_argument] on characters outside ACGT (case
+    insensitive; stored upper-case). *)
+
+val to_string : t -> string
+val length : t -> int
+val get : t -> int -> char
+
+val random : Sim_util.Rng.t -> length:int -> t
+(** Uniform random sequence. *)
+
+val mutate : Sim_util.Rng.t -> rate:float -> t -> t
+(** Point-mutate each base independently with probability [rate] —
+    generates realistic homologous pairs for alignment workloads. *)
+
+val sub : t -> pos:int -> len:int -> t
+val concat : t -> t -> t

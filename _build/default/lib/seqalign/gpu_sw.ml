@@ -1,0 +1,315 @@
+module Machine = Gpustream.Machine
+module Vec4f = Vecmath.Vec4f
+module Op = Isa.Op
+module B = Isa.Block.Builder
+
+(* Per-cell fragment: two sequence fetches, three predecessor fetches,
+   adds, and the max chain as compare+select pairs. *)
+let cell_block =
+  let b = B.create () in
+  let base_a = B.push b Op.Load ~deps:[] in
+  let base_b = B.push b Op.Load ~deps:[] in
+  let cmp = B.push b Op.Fcmp ~deps:[ base_a; base_b ] in
+  let subst = B.push b Op.Fsel ~deps:[ cmp ] in
+  let diag = B.push b Op.Load ~deps:[] in
+  let up = B.push b Op.Load ~deps:[] in
+  let left = B.push b Op.Load ~deps:[] in
+  let s1 = B.push b Op.Fadd ~deps:[ diag; subst ] in
+  let s2 = B.push b Op.Fadd ~deps:[ up ] in
+  let s3 = B.push b Op.Fadd ~deps:[ left ] in
+  let c1 = B.push b Op.Fcmp ~deps:[ s1; s2 ] in
+  let m1 = B.push b Op.Fsel ~deps:[ c1 ] in
+  let c2 = B.push b Op.Fcmp ~deps:[ m1; s3 ] in
+  let m2 = B.push b Op.Fsel ~deps:[ c2 ] in
+  let c3 = B.push b Op.Fcmp ~deps:[ m2 ] in
+  let _ = B.push b Op.Fsel ~deps:[ c3 ] (* max with 0 *) in
+  B.finish b
+
+let max_block =
+  let b = B.create () in
+  let x = B.push b Op.Load ~deps:[] in
+  let y = B.push b Op.Load ~deps:[] in
+  let c = B.push b Op.Fcmp ~deps:[ x; y ] in
+  let _ = B.push b Op.Fsel ~deps:[ c ] in
+  B.finish b
+
+let out_prologue =
+  Isa.Block.of_instrs [ { Isa.Block.op = Op.Store; deps = [] } ]
+
+let reduce_fanin = 8
+
+let reduce_passes width =
+  let rec go w acc = if w <= 1 then acc else go ((w + 7) / 8) (acc + 1) in
+  go width 0
+
+let dispatches a b =
+  let m = Dna.length a and n = Dna.length b in
+  if m = 0 || n = 0 then 0
+  else (2 * (m + n - 1)) + reduce_passes (m + 1) + 1
+
+let upload_sequence machine ~name seq =
+  let len = Dna.length seq in
+  let tex = Machine.create_texture machine ~name ~texels:len in
+  Machine.upload machine tex
+    (Array.init len (fun i ->
+         Vec4f.make (float_of_int (Char.code (Dna.get seq i))) 0.0 0.0 0.0));
+  tex
+
+type t = {
+  device : Machine.t;
+  cell_shader : Machine.shader;
+  max_shader : Machine.shader;
+}
+
+let create device =
+  { device;
+    cell_shader =
+      Machine.compile device ~name:"sw-cell" ~body:cell_block
+        ~prologue:out_prologue;
+    max_shader =
+      Machine.compile device ~name:"sw-max" ~body:max_block
+        ~prologue:out_prologue }
+
+let machine t = t.device
+
+let align ?(scoring = Scoring.default) t a b =
+  Scoring.validate scoring;
+  let machine = t.device in
+  let cell_shader = t.cell_shader and max_shader = t.max_shader in
+  let m = Dna.length a and n = Dna.length b in
+  if m = 0 || n = 0 then { Reference.score = 0; end_a = 0; end_b = 0 }
+  else begin
+    let width = m + 1 in
+    let seq_a = upload_sequence machine ~name:"sw-seq-a" a in
+    let seq_b = upload_sequence machine ~name:"sw-seq-b" b in
+    (* Three rotating diagonal textures + one scratch target; a running-
+       maximum texture updated every pass. *)
+    let diag_tex =
+      Array.init 3 (fun k ->
+          Machine.create_texture machine
+            ~name:(Printf.sprintf "sw-diag-%d" k)
+            ~texels:width)
+    in
+    let scratch =
+      Machine.create_render_target machine ~name:"sw-scratch" ~texels:width
+    in
+    let max_tex =
+      Machine.create_texture machine ~name:"sw-max" ~texels:width
+    in
+    let max_rt =
+      Machine.create_render_target machine ~name:"sw-max-rt" ~texels:width
+    in
+    (* Host mirrors drive the functional arithmetic; all costs flow
+       through the dispatches. *)
+    let prev2 = Array.make width 0.0 in
+    let prev = Array.make width 0.0 in
+    let curr = Array.make width 0.0 in
+    let best = Array.make width 0.0 in
+    for d = 2 to m + n do
+      Array.fill curr 0 width 0.0;
+      let i_lo = max 1 (d - n) and i_hi = min m (d - 1) in
+      for i = i_lo to i_hi do
+        let j = d - i in
+        let subst =
+          float_of_int
+            (Scoring.score scoring (Dna.get a (i - 1)) (Dna.get b (j - 1)))
+        in
+        let diag = prev2.(i - 1) +. subst in
+        let up = prev.(i - 1) +. float_of_int scoring.Scoring.gap in
+        let left = prev.(i) +. float_of_int scoring.Scoring.gap in
+        curr.(i) <- Float.max 0.0 (Float.max diag (Float.max up left))
+      done;
+      (* diagonal pass *)
+      Machine.dispatch machine cell_shader
+        ~inputs:
+          [ diag_tex.((d - 1) mod 3); diag_tex.((d - 2) mod 3); seq_a; seq_b ]
+        ~target:scratch
+        ~f:(fun _ i -> Vec4f.make curr.(i) 0.0 0.0 0.0)
+        ();
+      Machine.resolve_to_texture machine scratch diag_tex.(d mod 3);
+      (* running-maximum pass *)
+      for i = 0 to width - 1 do
+        best.(i) <- Float.max best.(i) curr.(i)
+      done;
+      Machine.dispatch machine max_shader
+        ~inputs:[ max_tex; diag_tex.(d mod 3) ]
+        ~target:max_rt
+        ~f:(fun _ i -> Vec4f.make best.(i) 0.0 0.0 0.0)
+        ();
+      Machine.resolve_to_texture machine max_rt max_tex;
+      Array.blit prev 0 prev2 0 width;
+      Array.blit curr 0 prev 0 width
+    done;
+    (* Final max-reduction to a single texel, then one readback. *)
+    let rec reduce values tex =
+      if Array.length values = 1 then values.(0)
+      else begin
+        let out_len = (Array.length values + reduce_fanin - 1) / reduce_fanin in
+        let reduced =
+          Array.init out_len (fun o ->
+              let acc = ref 0.0 in
+              for k = 0 to reduce_fanin - 1 do
+                let i = (o * reduce_fanin) + k in
+                if i < Array.length values then
+                  acc := Float.max !acc values.(i)
+              done;
+              !acc)
+        in
+        let rt =
+          Machine.create_render_target machine ~name:"sw-reduce"
+            ~texels:out_len
+        in
+        let next_tex =
+          Machine.create_texture machine ~name:"sw-reduce-tex"
+            ~texels:out_len
+        in
+        Machine.dispatch machine max_shader ~inputs:[ tex ] ~target:rt
+          ~f:(fun _ i -> Vec4f.make reduced.(i) 0.0 0.0 0.0)
+          ();
+        Machine.resolve_to_texture machine rt next_tex;
+        Machine.free_render_target machine rt;
+        let r = reduce reduced next_tex in
+        Machine.free_texture machine next_tex;
+        r
+      end
+    in
+    let score_f = reduce best max_tex in
+    (* one-texel readback of the final score *)
+    let final_rt =
+      Machine.create_render_target machine ~name:"sw-final" ~texels:1
+    in
+    Machine.dispatch machine max_shader ~inputs:[ max_tex ] ~target:final_rt
+      ~f:(fun _ _ -> Vec4f.make score_f 0.0 0.0 0.0)
+      ();
+    let back = Machine.readback machine final_rt in
+    let score = int_of_float (Vec4f.x back.(0)) in
+    (* Release per-alignment device memory so a database scan does not
+       exhaust the 512 MB model. *)
+    Machine.free_render_target machine final_rt;
+    Machine.free_render_target machine max_rt;
+    Machine.free_render_target machine scratch;
+    Machine.free_texture machine max_tex;
+    Array.iter (Machine.free_texture machine) diag_tex;
+    Machine.free_texture machine seq_a;
+    Machine.free_texture machine seq_b;
+    { Reference.score; end_a = 0; end_b = 0 }
+  end
+
+(* Batched scan: K subject matrices side by side in one wide buffer
+   (lane index = subject * width + row), one pair of passes per global
+   anti-diagonal.  The draw-call count depends only on the query and the
+   longest subject, not on the batch size. *)
+let align_batch ?(scoring = Scoring.default) t ~query subjects =
+  Scoring.validate scoring;
+  let machine = t.device in
+  let m = Dna.length query in
+  let k = List.length subjects in
+  if m = 0 || k = 0 then
+    List.map (fun _ -> { Reference.score = 0; end_a = 0; end_b = 0 }) subjects
+  else begin
+    let subjects_arr = Array.of_list subjects in
+    let n_max =
+      Array.fold_left (fun acc s -> max acc (Dna.length s)) 0 subjects_arr
+    in
+    if n_max = 0 then
+      List.map
+        (fun _ -> { Reference.score = 0; end_a = 0; end_b = 0 })
+        subjects
+    else begin
+      let width = m + 1 in
+      let total = k * width in
+      let seq_q = upload_sequence machine ~name:"swb-query" query in
+      let seq_db =
+        upload_sequence machine ~name:"swb-db"
+          (Array.fold_left Dna.concat (Dna.of_string "") subjects_arr)
+      in
+      let diag_tex =
+        Array.init 3 (fun i ->
+            Machine.create_texture machine
+              ~name:(Printf.sprintf "swb-diag-%d" i)
+              ~texels:total)
+      in
+      let scratch =
+        Machine.create_render_target machine ~name:"swb-scratch" ~texels:total
+      in
+      let max_tex =
+        Machine.create_texture machine ~name:"swb-max" ~texels:total
+      in
+      let max_rt =
+        Machine.create_render_target machine ~name:"swb-max-rt" ~texels:total
+      in
+      let prev2 = Array.make total 0.0 in
+      let prev = Array.make total 0.0 in
+      let curr = Array.make total 0.0 in
+      let best = Array.make total 0.0 in
+      for d = 2 to m + n_max do
+        Array.fill curr 0 total 0.0;
+        Array.iteri
+          (fun s subject ->
+            let n = Dna.length subject in
+            if n > 0 && d <= m + n then begin
+              let base = s * width in
+              let i_lo = max 1 (d - n) and i_hi = min m (d - 1) in
+              for i = i_lo to i_hi do
+                let j = d - i in
+                let subst =
+                  float_of_int
+                    (Scoring.score scoring (Dna.get query (i - 1))
+                       (Dna.get subject (j - 1)))
+                in
+                let diag = prev2.(base + i - 1) +. subst in
+                let up =
+                  prev.(base + i - 1) +. float_of_int scoring.Scoring.gap
+                in
+                let left =
+                  prev.(base + i) +. float_of_int scoring.Scoring.gap
+                in
+                curr.(base + i) <-
+                  Float.max 0.0 (Float.max diag (Float.max up left))
+              done
+            end)
+          subjects_arr;
+        Machine.dispatch machine t.cell_shader
+          ~inputs:
+            [ diag_tex.((d - 1) mod 3); diag_tex.((d - 2) mod 3); seq_q;
+              seq_db ]
+          ~target:scratch
+          ~f:(fun _ i -> Vec4f.make curr.(i) 0.0 0.0 0.0)
+          ();
+        Machine.resolve_to_texture machine scratch diag_tex.(d mod 3);
+        for i = 0 to total - 1 do
+          best.(i) <- Float.max best.(i) curr.(i)
+        done;
+        Machine.dispatch machine t.max_shader
+          ~inputs:[ max_tex; diag_tex.(d mod 3) ]
+          ~target:max_rt
+          ~f:(fun _ i -> Vec4f.make best.(i) 0.0 0.0 0.0)
+          ();
+        Machine.resolve_to_texture machine max_rt max_tex;
+        Array.blit prev 0 prev2 0 total;
+        Array.blit curr 0 prev 0 total
+      done;
+      (* Read the whole running-max buffer back once; the per-subject
+         maxima are a cheap CPU pass (k * width values). *)
+      ignore (Machine.readback machine max_rt);
+      let results =
+        Array.to_list
+          (Array.mapi
+             (fun s _ ->
+               let base = s * width in
+               let sc = ref 0.0 in
+               for i = 0 to width - 1 do
+                 sc := Float.max !sc best.(base + i)
+               done;
+               { Reference.score = int_of_float !sc; end_a = 0; end_b = 0 })
+             subjects_arr)
+      in
+      Machine.free_render_target machine max_rt;
+      Machine.free_render_target machine scratch;
+      Machine.free_texture machine max_tex;
+      Array.iter (Machine.free_texture machine) diag_tex;
+      Machine.free_texture machine seq_q;
+      Machine.free_texture machine seq_db;
+      results
+    end
+  end

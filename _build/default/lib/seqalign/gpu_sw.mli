@@ -1,0 +1,37 @@
+(** Smith–Waterman on the 2006 GPU, anti-diagonal passes.
+
+    The structure of the GPU Smith–Waterman implementations the paper
+    cites (W. Liu et al., Y. Liu et al.): the only parallelism a
+    gather-only device can exploit in the DP recurrence is within one
+    anti-diagonal, so the matrix is computed as a sequence of draw calls
+    — one per diagonal, reading the two previous diagonals as textures —
+    plus a running-maximum pass, and a final max-reduction.
+
+    The per-diagonal dispatch overhead is the point: for short sequences
+    the GPU spends its time in draw-call setup, which is why the cited
+    papers batch many database sequences per pass. *)
+
+type t
+(** A prepared aligner: compiled shaders bound to one device (the JIT
+    cost is paid once, as in a real port that scans a whole database). *)
+
+val create : Gpustream.Machine.t -> t
+val machine : t -> Gpustream.Machine.t
+
+val align : ?scoring:Scoring.t -> t -> Dna.t -> Dna.t -> Reference.result
+(** Identical score to {!Reference.align} (tested); the best-cell
+    coordinates are not recovered (the real GPU ports return scores
+    only — tracebacks run on the CPU for the few best hits). *)
+
+val align_batch : ?scoring:Scoring.t -> t -> query:Dna.t -> Dna.t list ->
+  Reference.result list
+(** The batching trick of the cited GPU Smith–Waterman papers: align one
+    query against many database subjects in a single sequence of
+    anti-diagonal passes — the DP matrices ride side by side in one wide
+    texture, so the draw-call count is independent of the batch size and
+    its overhead amortizes across the whole database.  Scores equal the
+    per-pair {!align} results (tested). *)
+
+val cell_block : Isa.Block.t
+val dispatches : Dna.t -> Dna.t -> int
+(** Number of draw calls a single alignment will issue (diagnostic). *)

@@ -1,0 +1,74 @@
+module Machine = Mta.Machine
+module Sync_cell = Mta.Sync_cell
+module Op = Isa.Op
+module B = Isa.Block.Builder
+
+(* Integer DP cell: load the two sequence bases, three synchronized loads
+   of predecessor cells, compare/max chain, synchronized store. *)
+let cell_block =
+  let b = B.create () in
+  let base_a = B.push b Op.Load ~deps:[] in
+  let base_b = B.push b Op.Load ~deps:[] in
+  let cmp = B.push b Op.Ialu ~deps:[ base_a; base_b ] in
+  let diag = B.push b Op.Load ~deps:[] in
+  let up = B.push b Op.Load ~deps:[] in
+  let left = B.push b Op.Load ~deps:[] in
+  let s1 = B.push b Op.Ialu ~deps:[ diag; cmp ] in
+  let s2 = B.push b Op.Ialu ~deps:[ up ] in
+  let s3 = B.push b Op.Ialu ~deps:[ left ] in
+  let m1 = B.push b Op.Ialu ~deps:[ s1; s2 ] in
+  let m2 = B.push b Op.Ialu ~deps:[ m1; s3 ] in
+  let m3 = B.push b Op.Ialu ~deps:[ m2 ] (* max with 0 *) in
+  let _ = B.push b Op.Store ~deps:[ m3 ] in
+  B.finish b
+
+let wavefront_loop =
+  Mta.Loop.make ~name:"sw-wavefront" ~body:cell_block ()
+
+let align ?(scoring = Scoring.default) ~machine a b =
+  Scoring.validate scoring;
+  let m = Dna.length a and n = Dna.length b in
+  let result = ref { Reference.score = 0; end_a = 0; end_b = 0 } in
+  if m > 0 && n > 0 then begin
+    (* Full/empty-tagged matrix: borders pre-filled (full, 0), interior
+       empty until the wavefront writes it. *)
+    let h =
+      Array.init (m + 1) (fun i ->
+          Array.init (n + 1) (fun j ->
+              if i = 0 || j = 0 then Sync_cell.create_full machine 0.0
+              else Sync_cell.create_empty machine))
+    in
+    let best = ref 0 and best_i = ref 0 and best_j = ref 0 in
+    (* Anti-diagonal d holds the cells with i + j = d. *)
+    for d = 2 to m + n do
+      let i_lo = max 1 (d - n) and i_hi = min m (d - 1) in
+      let width = i_hi - i_lo + 1 in
+      if width > 0 then
+        Machine.charged_region machine ~loop:wavefront_loop ~n:width
+          ~f:(fun () ->
+            for i = i_lo to i_hi do
+              let j = d - i in
+              let diag =
+                int_of_float (Sync_cell.readff h.(i - 1).(j - 1))
+                + Scoring.score scoring (Dna.get a (i - 1)) (Dna.get b (j - 1))
+              in
+              let up =
+                int_of_float (Sync_cell.readff h.(i - 1).(j))
+                + scoring.Scoring.gap
+              in
+              let left =
+                int_of_float (Sync_cell.readff h.(i).(j - 1))
+                + scoring.Scoring.gap
+              in
+              let v = max 0 (max diag (max up left)) in
+              Sync_cell.writeef h.(i).(j) (float_of_int v);
+              if v > !best then begin
+                best := v;
+                best_i := i;
+                best_j := j
+              end
+            done)
+    done;
+    result := { Reference.score = !best; end_a = !best_i; end_b = !best_j }
+  end;
+  !result

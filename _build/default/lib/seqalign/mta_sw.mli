@@ -1,0 +1,20 @@
+(** Smith–Waterman on the Cray MTA-2, wavefront-style.
+
+    This is the Bokhari & Sauer approach the paper cites ("the
+    implementation relies extensively on the use of full/empty bits in
+    MTA-2 memory to facilitate parallel execution in the dynamic
+    programming algorithms"): every matrix cell is a full/empty word;
+    a cell's computation reads its three predecessors with [readff]
+    (blocking until they are full) and publishes itself with [writeef],
+    so the anti-diagonal wavefront emerges from the synchronization
+    rather than from explicit barriers.  Time is charged per anti-
+    diagonal as a parallel region whose width is the diagonal length. *)
+
+val align : ?scoring:Scoring.t -> machine:Mta.Machine.t -> Dna.t -> Dna.t ->
+  Reference.result
+(** Identical result to {!Reference.align} (tested); device time accrues
+    on [machine]. *)
+
+val cell_block : Isa.Block.t
+(** The per-cell instruction stream used for timing (three synchronized
+    loads, the integer max chain, one synchronized store). *)

@@ -1,0 +1,123 @@
+type result = { score : int; end_a : int; end_b : int }
+
+let cells a b = Dna.length a * Dna.length b
+
+(* Row-by-row DP with two rows of state.  H(i,j) for 1-based i over [a],
+   j over [b]. *)
+let align ?(scoring = Scoring.default) a b =
+  Scoring.validate scoring;
+  let m = Dna.length a and n = Dna.length b in
+  let prev = Array.make (n + 1) 0 in
+  let curr = Array.make (n + 1) 0 in
+  let best = ref 0 and best_i = ref 0 and best_j = ref 0 in
+  for i = 1 to m do
+    curr.(0) <- 0;
+    let ai = Dna.get a (i - 1) in
+    for j = 1 to n do
+      let diag = prev.(j - 1) + Scoring.score scoring ai (Dna.get b (j - 1)) in
+      let up = prev.(j) + scoring.Scoring.gap in
+      let left = curr.(j - 1) + scoring.Scoring.gap in
+      let h = max 0 (max diag (max up left)) in
+      curr.(j) <- h;
+      if h > !best then begin
+        best := h;
+        best_i := i;
+        best_j := j
+      end
+    done;
+    Array.blit curr 0 prev 0 (n + 1)
+  done;
+  { score = !best; end_a = !best_i; end_b = !best_j }
+
+(* Gotoh: H is the best score ending at (i,j); E ends in a gap in [a]
+   (consuming b), F in a gap in [b] (consuming a). *)
+let align_affine ?(scoring = Scoring.default) ~gap_open ~gap_extend a b =
+  Scoring.validate scoring;
+  if gap_open >= 0 || gap_extend >= 0 then
+    invalid_arg "Reference.align_affine: gap penalties must be negative";
+  if gap_open > gap_extend then
+    invalid_arg
+      "Reference.align_affine: opening must cost at least as much as        extending";
+  let m = Dna.length a and n = Dna.length b in
+  let neg = min_int / 4 in
+  let h_prev = Array.make (n + 1) 0 in
+  let h_curr = Array.make (n + 1) 0 in
+  let f_prev = Array.make (n + 1) neg in
+  let f_curr = Array.make (n + 1) neg in
+  let best = ref 0 and best_i = ref 0 and best_j = ref 0 in
+  for i = 1 to m do
+    h_curr.(0) <- 0;
+    f_curr.(0) <- neg;
+    let e = ref neg in
+    let ai = Dna.get a (i - 1) in
+    for j = 1 to n do
+      e := max (h_curr.(j - 1) + gap_open) (!e + gap_extend);
+      f_curr.(j) <- max (h_prev.(j) + gap_open) (f_prev.(j) + gap_extend);
+      let diag = h_prev.(j - 1) + Scoring.score scoring ai (Dna.get b (j - 1)) in
+      let v = max 0 (max diag (max !e f_curr.(j))) in
+      h_curr.(j) <- v;
+      if v > !best then begin
+        best := v;
+        best_i := i;
+        best_j := j
+      end
+    done;
+    Array.blit h_curr 0 h_prev 0 (n + 1);
+    Array.blit f_curr 0 f_prev 0 (n + 1)
+  done;
+  { score = !best; end_a = !best_i; end_b = !best_j }
+
+type traceback = { aligned_a : string; aligned_b : string; result : result }
+
+let align_traceback ?(scoring = Scoring.default) a b =
+  Scoring.validate scoring;
+  let m = Dna.length a and n = Dna.length b in
+  let h = Array.make_matrix (m + 1) (n + 1) 0 in
+  let best = ref 0 and best_i = ref 0 and best_j = ref 0 in
+  for i = 1 to m do
+    for j = 1 to n do
+      let diag =
+        h.(i - 1).(j - 1)
+        + Scoring.score scoring (Dna.get a (i - 1)) (Dna.get b (j - 1))
+      in
+      let up = h.(i - 1).(j) + scoring.Scoring.gap in
+      let left = h.(i).(j - 1) + scoring.Scoring.gap in
+      let v = max 0 (max diag (max up left)) in
+      h.(i).(j) <- v;
+      if v > !best then begin
+        best := v;
+        best_i := i;
+        best_j := j
+      end
+    done
+  done;
+  (* Walk back from the best cell until a zero. *)
+  let buf_a = Buffer.create 64 and buf_b = Buffer.create 64 in
+  let rec walk i j =
+    if i > 0 && j > 0 && h.(i).(j) > 0 then begin
+      let v = h.(i).(j) in
+      let diag =
+        h.(i - 1).(j - 1)
+        + Scoring.score scoring (Dna.get a (i - 1)) (Dna.get b (j - 1))
+      in
+      if v = diag then begin
+        walk (i - 1) (j - 1);
+        Buffer.add_char buf_a (Dna.get a (i - 1));
+        Buffer.add_char buf_b (Dna.get b (j - 1))
+      end
+      else if v = h.(i - 1).(j) + scoring.Scoring.gap then begin
+        walk (i - 1) j;
+        Buffer.add_char buf_a (Dna.get a (i - 1));
+        Buffer.add_char buf_b '-'
+      end
+      else begin
+        walk i (j - 1);
+        Buffer.add_char buf_a '-';
+        Buffer.add_char buf_b (Dna.get b (j - 1))
+      end
+    end
+  in
+  walk !best_i !best_j;
+  { aligned_a = Buffer.contents buf_a;
+    aligned_b = Buffer.contents buf_b;
+    result = { score = !best; end_a = !best_i; end_b = !best_j } }

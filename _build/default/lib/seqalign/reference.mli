@@ -1,0 +1,32 @@
+(** Scalar Smith–Waterman local alignment — the correctness oracle for
+    the device ports, plus a traceback for human-readable alignments. *)
+
+type result = {
+  score : int;          (** best local-alignment score (>= 0) *)
+  end_a : int;          (** index in [a] just past the best cell *)
+  end_b : int;
+}
+
+val align : ?scoring:Scoring.t -> Dna.t -> Dna.t -> result
+(** Full-matrix DP, O(|a|·|b|) time, O(min) memory. *)
+
+type traceback = {
+  aligned_a : string;   (** with '-' for gaps *)
+  aligned_b : string;
+  result : result;
+}
+
+val align_traceback : ?scoring:Scoring.t -> Dna.t -> Dna.t -> traceback
+(** Keeps the whole matrix; intended for modest sequence lengths. *)
+
+val align_affine : ?scoring:Scoring.t -> gap_open:int -> gap_extend:int ->
+  Dna.t -> Dna.t -> result
+(** Gotoh's affine-gap variant: opening a gap costs [gap_open] and each
+    further gapped base [gap_extend] (both < 0, with
+    [gap_open <= gap_extend] — opening at least as costly as extending).
+    The match/mismatch scores come from [scoring]; its linear [gap] field
+    is ignored.  With [gap_open = gap_extend = scoring.gap] this equals
+    {!align} (tested). *)
+
+val cells : Dna.t -> Dna.t -> int
+(** Number of DP cells — the devices' workload metric. *)

@@ -1,0 +1,10 @@
+type t = { match_score : int; mismatch : int; gap : int }
+
+let default = { match_score = 2; mismatch = -1; gap = -2 }
+
+let validate t =
+  if t.match_score <= 0 then invalid_arg "Scoring: match_score must be > 0";
+  if t.mismatch >= 0 then invalid_arg "Scoring: mismatch must be < 0";
+  if t.gap >= 0 then invalid_arg "Scoring: gap must be < 0"
+
+let score t a b = if a = b then t.match_score else t.mismatch

@@ -1,0 +1,13 @@
+(** Smith–Waterman scoring parameters (linear gap model). *)
+
+type t = {
+  match_score : int;     (** > 0 *)
+  mismatch : int;        (** < 0 *)
+  gap : int;             (** < 0, applied per gapped base *)
+}
+
+val default : t
+(** +2 / −1 / −2, the textbook DNA setting. *)
+
+val validate : t -> unit
+val score : t -> char -> char -> int

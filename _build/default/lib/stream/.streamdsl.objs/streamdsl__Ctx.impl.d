@@ -1,0 +1,1 @@
+lib/stream/ctx.ml: Gpustream Hashtbl Printf

@@ -1,0 +1,1 @@
+lib/stream/ctx.mli: Gpustream Isa

@@ -1,0 +1,1 @@
+lib/stream/stream.ml: Array Ctx Gpustream Isa List Sim_util Vecmath

@@ -1,0 +1,1 @@
+lib/stream/stream.mli: Ctx Isa Vecmath

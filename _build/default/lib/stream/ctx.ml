@@ -1,0 +1,25 @@
+type t = {
+  machine : Gpustream.Machine.t;
+  mutable counter : int;
+  shaders : (string, Gpustream.Machine.shader) Hashtbl.t;
+}
+
+let create ?(config = Gpustream.Config.geforce_7900gtx) () =
+  { machine = Gpustream.Machine.create config;
+    counter = 0;
+    shaders = Hashtbl.create 16 }
+
+let machine t = t.machine
+let time t = Gpustream.Machine.time t.machine
+
+let fresh_name t prefix =
+  t.counter <- t.counter + 1;
+  Printf.sprintf "%s-%d" prefix t.counter
+
+let compiled t ~name ~body ~prologue =
+  match Hashtbl.find_opt t.shaders name with
+  | Some s -> s
+  | None ->
+    let s = Gpustream.Machine.compile t.machine ~name ~body ~prologue in
+    Hashtbl.add t.shaders name s;
+    s

@@ -1,0 +1,29 @@
+(** A stream-programming context: one GPU device plus the bookkeeping a
+    Brook-style runtime keeps (unique resource names, a compiled-kernel
+    cache).
+
+    Section 4 of the paper points at exactly this layer: "I. Buck presents
+    acceleration strategies for GROMACS ... on GPU using a streaming
+    language, Brook", and Section 3.2 notes that vendors were announcing
+    "non-graphics oriented APIs" to hide the shader machinery.  This
+    library is that abstraction over {!Gpustream}: immutable streams and
+    kernel application instead of textures, render targets and draw
+    calls — with the same costs charged underneath, so the convenience
+    layer's overheads stay visible. *)
+
+type t
+
+val create : ?config:Gpustream.Config.t -> unit -> t
+val machine : t -> Gpustream.Machine.t
+
+val time : t -> float
+(** Virtual seconds accrued on the underlying device. *)
+
+val fresh_name : t -> string -> string
+(** [fresh_name t prefix] generates a unique resource name. *)
+
+val compiled : t -> name:string -> body:Isa.Block.t ->
+  prologue:Isa.Block.t -> Gpustream.Machine.shader
+(** Kernel cache: the first request JITs (charging the one-time setup
+    cost); later requests with the same [name] reuse the compiled
+    shader, as a Brook runtime caches its generated Cg. *)

@@ -1,0 +1,159 @@
+module Machine = Gpustream.Machine
+module Vec4f = Vecmath.Vec4f
+module Op = Isa.Op
+module B = Isa.Block.Builder
+
+type t = { ctx : Ctx.t; tex : Machine.texture; len : int }
+
+let length s = s.len
+let ctx s = s.ctx
+
+(* Minimal blocks for the runtime's own kernels. *)
+let copy_block =
+  Isa.Block.of_instrs [ { Isa.Block.op = Op.Load; deps = [] } ]
+
+let output_prologue =
+  Isa.Block.of_instrs [ { Isa.Block.op = Op.Store; deps = [] } ]
+
+let of_array ctx data =
+  let m = Ctx.machine ctx in
+  let tex =
+    Machine.create_texture m
+      ~name:(Ctx.fresh_name ctx "stream")
+      ~texels:(Array.length data)
+  in
+  Machine.upload m tex data;
+  { ctx; tex; len = Array.length data }
+
+let of_floats ctx data =
+  of_array ctx (Array.map (fun x -> Vec4f.make x 0.0 0.0 0.0) data)
+
+(* Run one kernel producing a fresh stream: dispatch into a scratch render
+   target, then resolve it into a new texture (the ping-pong every
+   Brook-style runtime performs to keep results readable). *)
+let run_kernel ctx ~name ~body ~loop_trip ~out_len ~inputs ~f =
+  let m = Ctx.machine ctx in
+  let shader = Ctx.compiled ctx ~name ~body ~prologue:output_prologue in
+  let rt =
+    Machine.create_render_target m
+      ~name:(Ctx.fresh_name ctx (name ^ "-out"))
+      ~texels:out_len
+  in
+  Machine.dispatch m shader ~inputs ~target:rt ~loop_trip ~f ();
+  let tex =
+    Machine.create_texture m
+      ~name:(Ctx.fresh_name ctx (name ^ "-res"))
+      ~texels:out_len
+  in
+  Machine.resolve_to_texture m rt tex;
+  Machine.free_render_target m rt;
+  { ctx; tex; len = out_len }
+
+let map ?(name = "map") ~body ~f s =
+  run_kernel s.ctx ~name ~body ~loop_trip:1 ~out_len:s.len
+    ~inputs:[ s.tex ]
+    ~f:(fun smp i -> f (Machine.sample smp ~input:0 i))
+
+let map2 ?(name = "map2") ~body ~f a b =
+  if a.len <> b.len then invalid_arg "Stream.map2: length mismatch";
+  if a.ctx != b.ctx then invalid_arg "Stream.map2: different contexts";
+  run_kernel a.ctx ~name ~body ~loop_trip:1 ~out_len:a.len
+    ~inputs:[ a.tex; b.tex ]
+    ~f:(fun smp i ->
+      f (Machine.sample smp ~input:0 i) (Machine.sample smp ~input:1 i))
+
+let gather ?(name = "gather") ~body ~loop_trip ~out_len ~f s =
+  if out_len <= 0 then invalid_arg "Stream.gather: out_len must be positive";
+  run_kernel s.ctx ~name ~body ~loop_trip ~out_len ~inputs:[ s.tex ]
+    ~f:(fun smp i -> f (fun j -> Machine.sample smp ~input:0 j) i)
+
+let to_array s =
+  let m = Ctx.machine s.ctx in
+  (* The bus only sees render targets: copy the texture out first. *)
+  let shader =
+    Ctx.compiled s.ctx ~name:"stream-readback" ~body:copy_block
+      ~prologue:output_prologue
+  in
+  let rt =
+    Machine.create_render_target m
+      ~name:(Ctx.fresh_name s.ctx "readback")
+      ~texels:s.len
+  in
+  Machine.dispatch m shader ~inputs:[ s.tex ] ~target:rt
+    ~f:(fun smp i -> Machine.sample smp ~input:0 i)
+    ();
+  let data = Machine.readback m rt in
+  Machine.free_render_target m rt;
+  data
+
+let to_floats s = Array.map Vec4f.x (to_array s)
+
+let free s = Machine.free_texture (Ctx.machine s.ctx) s.tex
+
+let reduce_fanin = 8
+
+let reduce_block =
+  let b = B.create () in
+  let loads = B.push_n b Op.Load ~n:reduce_fanin ~deps:[] in
+  let _ =
+    List.fold_left
+      (fun acc l ->
+        match acc with
+        | None -> Some l
+        | Some prev -> Some (B.push b Op.Fadd ~deps:[ prev; l ]))
+      None loads
+  in
+  B.finish b
+
+let reduce_sum ?(lane = 0) s =
+  if lane < 0 || lane > 3 then invalid_arg "Stream.reduce_sum: lane";
+  let m = Ctx.machine s.ctx in
+  (* Seed values host-side mirror of the device data for the functional
+     result; costs accrue through the kernel applications. *)
+  let rec go (current : t) (values : float array) =
+    if Array.length values = 1 then begin
+      (* one-texel readback *)
+      let shader =
+        Ctx.compiled s.ctx ~name:"reduce-final" ~body:copy_block
+          ~prologue:output_prologue
+      in
+      let rt =
+        Machine.create_render_target m
+          ~name:(Ctx.fresh_name s.ctx "reduce-final")
+          ~texels:1
+      in
+      Machine.dispatch m shader ~inputs:[ current.tex ] ~target:rt
+        ~f:(fun _ _ -> Vec4f.make values.(0) 0.0 0.0 0.0)
+        ();
+      let back = Machine.readback m rt in
+      Vec4f.x back.(0)
+    end
+    else begin
+      let out_len =
+        (Array.length values + reduce_fanin - 1) / reduce_fanin
+      in
+      let reduced = Array.make out_len 0.0 in
+      for o = 0 to out_len - 1 do
+        let acc = ref 0.0 in
+        for k = 0 to reduce_fanin - 1 do
+          let i = (o * reduce_fanin) + k in
+          if i < Array.length values then
+            acc := Sim_util.F32.add !acc values.(i)
+        done;
+        reduced.(o) <- !acc
+      done;
+      let next =
+        run_kernel s.ctx ~name:"reduce-sum" ~body:reduce_block ~loop_trip:1
+          ~out_len ~inputs:[ current.tex ]
+          ~f:(fun _ i -> Vec4f.make reduced.(i) 0.0 0.0 0.0)
+      in
+      go next reduced
+    end
+  in
+  (* Pull the lane host-side once (simulator introspection, free: the
+     functional values mirror the device contents) to drive the
+     arithmetic; all costs accrue through the kernel applications. *)
+  let values =
+    Array.map (fun v -> Vec4f.lane v lane) (Machine.texture_contents s.tex)
+  in
+  go s values

@@ -1,0 +1,63 @@
+(** Immutable device-resident streams of float4 values.
+
+    The Brook model the paper's related work uses: "arrays must be
+    designated as either input or output, but not both" — a stream is a
+    read-only value; every kernel application produces a {e new} stream,
+    and the runtime pays a render-to-texture resolve to make the result
+    readable (exactly the ping-pong a Brook runtime performs).  All bus
+    and shader costs accrue on the context's machine, so programs written
+    at this level can be compared fairly against hand-written ports. *)
+
+type t
+
+val length : t -> int
+val ctx : t -> Ctx.t
+
+(** {1 Host <-> device} *)
+
+val of_array : Ctx.t -> Vecmath.Vec4f.t array -> t
+(** Upload (charges host-to-device transfer). *)
+
+val of_floats : Ctx.t -> float array -> t
+(** Upload scalars in the x lane. *)
+
+val to_array : t -> Vecmath.Vec4f.t array
+(** Read a stream back: one copy kernel into a render target plus the
+    device-to-host transfer (streams are textures; the bus only sees
+    render targets — a real 2006 constraint this layer preserves). *)
+
+val to_floats : t -> float array
+(** x lanes of {!to_array}. *)
+
+(** {1 Kernels}
+
+    Every kernel application takes a [body] block (the per-invocation
+    instruction stream, used for timing) and a pure function (the
+    semantics).  Input streams may be read at any index; the output index
+    is fixed per invocation — the gather-only contract. *)
+
+val map : ?name:string -> body:Isa.Block.t ->
+  f:(Vecmath.Vec4f.t -> Vecmath.Vec4f.t) -> t -> t
+
+val map2 : ?name:string -> body:Isa.Block.t ->
+  f:(Vecmath.Vec4f.t -> Vecmath.Vec4f.t -> Vecmath.Vec4f.t) -> t -> t -> t
+(** Element-wise over two streams of equal length (raises otherwise). *)
+
+val gather : ?name:string -> body:Isa.Block.t -> loop_trip:int ->
+  out_len:int ->
+  f:((int -> Vecmath.Vec4f.t) -> int -> Vecmath.Vec4f.t) -> t -> t
+(** [gather ~body ~loop_trip ~out_len ~f s] runs [f fetch i] for each
+    output index [i] in [0, out_len); [fetch j] reads element [j] of
+    [s].  [loop_trip] is the number of [body] iterations one invocation
+    performs (for timing); the MD force kernel is
+    [gather ~loop_trip:(length s)]. *)
+
+val free : t -> unit
+(** Release the stream's device memory.  Long pipelines should free
+    intermediates they no longer need; using a freed stream is a
+    host-program bug (unchecked, as on the real driver). *)
+
+val reduce_sum : ?lane:int -> t -> float
+(** Multi-pass 8-to-1 on-device sum of one lane (default lane 0),
+    finishing with a one-texel readback — the Brook [reduce] primitive,
+    with its real multi-pass cost. *)

@@ -1,0 +1,1 @@
+lib/util/f32.ml: Float Int32 Stdlib

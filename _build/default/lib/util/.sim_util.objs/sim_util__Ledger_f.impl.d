@@ -1,0 +1,1 @@
+lib/util/ledger_f.ml: Array Format

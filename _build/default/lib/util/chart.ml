@@ -1,0 +1,98 @@
+let bar ?(width = 40) ?(unit_label = "") rows =
+  if rows = [] then invalid_arg "Chart.bar: no rows";
+  List.iter
+    (fun (_, v) -> if v < 0.0 then invalid_arg "Chart.bar: negative value")
+    rows;
+  let vmax = List.fold_left (fun acc (_, v) -> Float.max acc v) 0.0 rows in
+  let label_width =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 rows
+  in
+  let line (label, v) =
+    let n =
+      if vmax = 0.0 then 0
+      else int_of_float (Float.round (v /. vmax *. float_of_int width))
+    in
+    Printf.sprintf "%-*s %10.4g %s %s" label_width label v unit_label
+      (String.make n '#')
+  in
+  String.concat "\n" (List.map line rows)
+
+type series = { name : string; points : (float * float) list }
+
+let plot ?(rows = 16) ?(cols = 56) ?(logx = false) ?(logy = false)
+    ?(x_label = "x") ?(y_label = "y") series_list =
+  if series_list = [] then invalid_arg "Chart.plot: no series";
+  if rows < 2 || cols < 2 then invalid_arg "Chart.plot: grid too small";
+  let all_points = List.concat_map (fun s -> s.points) series_list in
+  if all_points = [] then invalid_arg "Chart.plot: no points";
+  let tx v =
+    if logx then
+      if v <= 0.0 then invalid_arg "Chart.plot: logx needs positive x"
+      else log v
+    else v
+  in
+  let ty v =
+    if logy then
+      if v <= 0.0 then invalid_arg "Chart.plot: logy needs positive y"
+      else log v
+    else v
+  in
+  let xs = List.map (fun (x, _) -> tx x) all_points in
+  let ys = List.map (fun (_, y) -> ty y) all_points in
+  let fold f = function
+    | [] -> assert false
+    | h :: t -> List.fold_left f h t
+  in
+  let xmin = fold Float.min xs and xmax = fold Float.max xs in
+  let ymin = fold Float.min ys and ymax = fold Float.max ys in
+  let xspan = if xmax = xmin then 1.0 else xmax -. xmin in
+  let yspan = if ymax = ymin then 1.0 else ymax -. ymin in
+  let grid = Array.make_matrix rows cols ' ' in
+  List.iteri
+    (fun si s ->
+      let mark = Char.chr (Char.code 'a' + (si mod 26)) in
+      List.iter
+        (fun (x, y) ->
+          let cx =
+            int_of_float
+              (Float.round ((tx x -. xmin) /. xspan *. float_of_int (cols - 1)))
+          in
+          let cy =
+            int_of_float
+              (Float.round ((ty y -. ymin) /. yspan *. float_of_int (rows - 1)))
+          in
+          let row = rows - 1 - cy in
+          grid.(row).(cx) <-
+            (if grid.(row).(cx) = ' ' || grid.(row).(cx) = mark then mark
+             else '*'))
+        s.points)
+    series_list;
+  let buf = Buffer.create ((rows + 4) * (cols + 8)) in
+  let orig x = if logx then exp x else x in
+  let orig_y y = if logy then exp y else y in
+  Buffer.add_string buf
+    (Printf.sprintf "%s (max %.4g)\n" y_label (orig_y ymax));
+  Array.iter
+    (fun row ->
+      Buffer.add_string buf "  |";
+      Array.iter (Buffer.add_char buf) row;
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf "  +";
+  Buffer.add_string buf (String.make cols '-');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "   %s: %.4g .. %.4g%s; %s min %.4g%s\n" x_label
+       (orig xmin) (orig xmax)
+       (if logx then " (log)" else "")
+       y_label (orig_y ymin)
+       (if logy then " (log)" else ""));
+  Buffer.add_string buf "   legend: ";
+  List.iteri
+    (fun si s ->
+      if si > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf
+        (Printf.sprintf "%c = %s" (Char.chr (Char.code 'a' + (si mod 26)))
+           s.name))
+    series_list;
+  Buffer.contents buf

@@ -1,0 +1,21 @@
+(** Plain-text charts, so the reproduced {e figures} render as figures in
+    a terminal, not only as tables.
+
+    Two forms cover the paper's plots: grouped horizontal bars (Figs. 5
+    and 6) and multi-series scatter/line plots with optional log-log axes
+    (Figs. 7–9). *)
+
+val bar : ?width:int -> ?unit_label:string -> (string * float) list -> string
+(** Horizontal bar chart; one row per (label, value).  Values must be
+    nonnegative; bars scale so the maximum fills [width] (default 40)
+    characters.  Each row prints the numeric value and the bar. *)
+
+type series = { name : string; points : (float * float) list }
+
+val plot : ?rows:int -> ?cols:int -> ?logx:bool -> ?logy:bool ->
+  ?x_label:string -> ?y_label:string -> series list -> string
+(** Character-grid plot of one or more series (marks 'a', 'b', 'c', ...;
+    '*' where series overlap), with min/max axis annotations and a
+    legend.  [logx]/[logy] require strictly positive coordinates.
+    Default grid 16x56.  Raises [Invalid_argument] on empty input or
+    nonpositive values under a log axis. *)

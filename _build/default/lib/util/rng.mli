@@ -1,0 +1,46 @@
+(** Deterministic pseudo-random number generation.
+
+    All stochastic components of the simulators (initial velocities,
+    placement jitter, sampled address traces) draw from this module so that
+    every experiment is reproducible from a single integer seed.  The
+    generator is SplitMix64 (Steele, Lea & Flood, OOPSLA 2014): a tiny,
+    splittable, 64-bit state generator with good statistical quality and an
+    exactly specified output sequence, which makes cross-run determinism a
+    testable property. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator.  Equal seeds produce equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator that will replay [t]'s future
+    stream. *)
+
+val split : t -> t
+(** [split t] derives a statistically independent generator and advances
+    [t].  Used to give each subsystem its own stream so that adding draws in
+    one subsystem does not perturb another. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int_below : t -> int -> int
+(** [int_below t n] is uniform in [\[0, n)].  [n] must be positive. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)], with 53 random bits. *)
+
+val uniform : t -> float -> float -> float
+(** [uniform t lo hi] is uniform in [\[lo, hi)]. *)
+
+val gaussian : t -> float
+(** Standard normal deviate (Box–Muller; draws are cached pairwise). *)
+
+val gaussian_scaled : t -> mean:float -> sigma:float -> float
+(** Normal deviate with the given mean and standard deviation. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher–Yates shuffle driven by [t]. *)

@@ -1,0 +1,37 @@
+(** Plain-text and CSV rendering for experiment results.
+
+    Every reproduced table/figure is ultimately a small grid of labelled
+    numbers; this module renders them in the same row/series layout the
+    paper uses so outputs can be compared side by side. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction: a header row plus data rows. *)
+
+val create : headers:string list -> t
+(** [create ~headers] starts a table.  Every subsequently added row must
+    have exactly as many cells as there are headers. *)
+
+val add_row : t -> string list -> unit
+val add_float_row : t -> string -> ?fmt:(float -> string) -> float list -> unit
+(** [add_float_row t label xs] adds a row whose first cell is [label] and
+    remaining cells are formatted floats (default: 4 significant digits). *)
+
+val row_count : t -> int
+
+val render : ?aligns:align list -> t -> string
+(** Fixed-width text rendering with a header separator.  [aligns] defaults
+    to left for the first column and right for the rest. *)
+
+val to_csv : t -> string
+(** RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines). *)
+
+val to_markdown : t -> string
+(** GitHub-flavoured Markdown table (pipes in cells are escaped). *)
+
+val fmt_seconds : float -> string
+(** Human-readable time: "123.4 us", "45.67 ms", "1.234 s". *)
+
+val fmt_sig4 : float -> string
+(** Four significant digits. *)

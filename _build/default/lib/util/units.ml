@@ -1,0 +1,19 @@
+type clock = { hz : float; label : string }
+
+let clock ~hz ~label =
+  if hz <= 0.0 then invalid_arg "Units.clock: hz must be positive";
+  { hz; label }
+
+let seconds_of_cycles c cycles = cycles /. c.hz
+let cycles_of_seconds c s = s *. c.hz
+
+let bytes_per_second ~gb_per_s = gb_per_s *. 1e9
+
+let transfer_seconds ~bytes ~bandwidth ~latency =
+  if bytes < 0 then invalid_arg "Units.transfer_seconds: negative bytes";
+  if bandwidth <= 0.0 then invalid_arg "Units.transfer_seconds: bandwidth";
+  if latency < 0.0 then invalid_arg "Units.transfer_seconds: latency";
+  latency +. (float_of_int bytes /. bandwidth)
+
+let kib n = n * 1024
+let mib n = n * 1024 * 1024

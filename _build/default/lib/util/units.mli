@@ -1,0 +1,24 @@
+(** Cycle/time bookkeeping.
+
+    All device simulators account work in integer cycles of their own clock
+    and convert to seconds only at the reporting boundary, which keeps the
+    accounting exact and the conversions explicit. *)
+
+type clock = { hz : float; label : string }
+(** A device clock, e.g. 3.2 GHz Cell, 2.2 GHz Opteron, 220 MHz MTA-2. *)
+
+val clock : hz:float -> label:string -> clock
+(** [clock ~hz ~label] validates [hz > 0]. *)
+
+val seconds_of_cycles : clock -> float -> float
+val cycles_of_seconds : clock -> float -> float
+
+val bytes_per_second : gb_per_s:float -> float
+(** Bandwidth given in GB/s (10^9 bytes), returned in bytes/second. *)
+
+val transfer_seconds : bytes:int -> bandwidth:float -> latency:float -> float
+(** Time for a bulk transfer: [latency + bytes/bandwidth].  [bytes] must be
+    nonnegative, [bandwidth] positive, [latency] nonnegative. *)
+
+val kib : int -> int
+val mib : int -> int

@@ -1,0 +1,1 @@
+lib/vec/vec3.ml: Format

@@ -1,0 +1,1 @@
+lib/vec/vec3.mli: Format

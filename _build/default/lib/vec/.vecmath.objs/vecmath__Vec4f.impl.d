@@ -1,0 +1,1 @@
+lib/vec/vec4f.ml: Float Format Sim_util Stdlib Vec3

@@ -1,0 +1,1 @@
+lib/vec/vec4f.mli: Format Vec3

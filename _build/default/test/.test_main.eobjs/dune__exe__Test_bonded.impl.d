@@ -1,0 +1,1 @@
+test/test_bonded.ml: Alcotest Array Float List Mdcore Printf Sim_util Vecmath

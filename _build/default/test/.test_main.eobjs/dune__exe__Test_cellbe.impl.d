@@ -1,0 +1,1 @@
+test/test_cellbe.ml: Alcotest Array Cellbe Sim_util

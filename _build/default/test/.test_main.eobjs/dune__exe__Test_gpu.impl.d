@@ -1,0 +1,1 @@
+test/test_gpu.ml: Alcotest Array Gpustream Isa List Printf Vecmath

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Filename Harness Lazy List Printf Sim_util String Sys

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Format Isa List Mdports QCheck QCheck_alcotest Sim_util

@@ -1,0 +1,1 @@
+test/test_mdcore.ml: Alcotest Array Filename Float Fun List Mdcore Printf QCheck QCheck_alcotest Sim_util Sys Vecmath

@@ -1,0 +1,1 @@
+test/test_mta.ml: Alcotest Array Float Isa Mta Sim_util

@@ -1,0 +1,1 @@
+test/test_ports.ml: Alcotest Lazy List Mdcore Mdports Printf Sim_util

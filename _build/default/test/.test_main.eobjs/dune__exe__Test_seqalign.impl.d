@@ -1,0 +1,1 @@
+test/test_seqalign.ml: Alcotest Gpustream List Mta Printf QCheck QCheck_alcotest Seqalign Sim_util String

@@ -1,0 +1,1 @@
+test/test_stream.ml: Alcotest Array Fun Gpustream Isa Sim_util Streamdsl Vecmath

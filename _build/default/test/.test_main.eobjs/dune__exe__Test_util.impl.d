@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fun List QCheck QCheck_alcotest Sim_util String

@@ -1,0 +1,1 @@
+test/test_vec.ml: Alcotest Array Format List QCheck QCheck_alcotest Sim_util Vecmath

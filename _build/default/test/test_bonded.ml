@@ -1,0 +1,299 @@
+(* Tests for molecular topology and bonded force terms. *)
+
+module Params = Mdcore.Params
+module System = Mdcore.System
+module Topology = Mdcore.Topology
+module Bonded = Mdcore.Bonded
+module Forces = Mdcore.Forces
+module Verlet = Mdcore.Verlet
+module Observables = Mdcore.Observables
+module Vec3 = Vecmath.Vec3
+
+let params = { Params.default with Params.dt = 0.001 }
+
+let bare_system n =
+  let s = System.create ~n ~box:10.0 ~params in
+  s
+
+let place s i x y z = System.set_position s i (Vec3.make x y z)
+
+(* ---------------- Topology ---------------- *)
+
+let test_topology_validation () =
+  Alcotest.(check bool) "self bond rejected" true
+    (try
+       ignore
+         (Topology.create
+            ~bonds:[ { Topology.i = 0; j = 0; r0 = 1.0; k_bond = 1.0 } ]
+            ~n_atoms:4 ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "out-of-range index rejected" true
+    (try
+       ignore
+         (Topology.create
+            ~bonds:[ { Topology.i = 0; j = 9; r0 = 1.0; k_bond = 1.0 } ]
+            ~n_atoms:4 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_topology_exclusions () =
+  let t =
+    Topology.create
+      ~bonds:
+        [ { Topology.i = 0; j = 1; r0 = 1.0; k_bond = 1.0 };
+          { Topology.i = 1; j = 2; r0 = 1.0; k_bond = 1.0 } ]
+      ~angles:
+        [ { Topology.a = 0; center = 1; c = 2; theta0 = Float.pi;
+            k_angle = 1.0 } ]
+      ~n_atoms:4 ()
+  in
+  Alcotest.(check bool) "1-2 excluded" true (Topology.excluded t 0 1);
+  Alcotest.(check bool) "symmetric" true (Topology.excluded t 1 0);
+  Alcotest.(check bool) "1-3 excluded (angle ends)" true
+    (Topology.excluded t 0 2);
+  Alcotest.(check bool) "unrelated not excluded" false
+    (Topology.excluded t 0 3)
+
+let test_linear_chains_counts () =
+  let t =
+    Topology.linear_chains ~n_chains:3 ~length:5 ~r0:1.0 ~k_bond:10.0
+      ~angle:(Float.pi, 2.0) ()
+  in
+  Alcotest.(check int) "bonds = chains * (len-1)" 12 (Topology.n_bonds t);
+  Alcotest.(check int) "angles = chains * (len-2)" 9 (Topology.n_angles t);
+  (* Chains must not be cross-bonded. *)
+  Alcotest.(check bool) "no inter-chain exclusion" false
+    (Topology.excluded t 4 5)
+
+(* ---------------- Bonds ---------------- *)
+
+let two_bonded ~r =
+  let s = bare_system 2 in
+  place s 0 4.0 5.0 5.0;
+  place s 1 (4.0 +. r) 5.0 5.0;
+  let t =
+    Topology.create
+      ~bonds:[ { Topology.i = 0; j = 1; r0 = 1.0; k_bond = 50.0 } ]
+      ~n_atoms:2 ()
+  in
+  (s, t)
+
+let test_bond_zero_at_equilibrium () =
+  let s, t = two_bonded ~r:1.0 in
+  let pe = Bonded.accumulate_bonds t s in
+  Alcotest.(check (float 1e-12)) "no PE" 0.0 pe;
+  Alcotest.(check (float 1e-12)) "no force" 0.0 s.System.acc_x.(0)
+
+let test_bond_restoring_direction () =
+  let stretched, t = two_bonded ~r:1.4 in
+  ignore (Bonded.accumulate_bonds t stretched);
+  Alcotest.(check bool) "stretched bond pulls atoms together" true
+    (stretched.System.acc_x.(0) > 0.0 && stretched.System.acc_x.(1) < 0.0);
+  let compressed, t2 = two_bonded ~r:0.7 in
+  ignore (Bonded.accumulate_bonds t2 compressed);
+  Alcotest.(check bool) "compressed bond pushes apart" true
+    (compressed.System.acc_x.(0) < 0.0 && compressed.System.acc_x.(1) > 0.0)
+
+let test_bond_energy () =
+  let s, t = two_bonded ~r:1.3 in
+  let pe = Bonded.accumulate_bonds t s in
+  Alcotest.(check (float 1e-9)) "V = k/2 (r-r0)^2"
+    (0.5 *. 50.0 *. 0.3 *. 0.3)
+    pe
+
+let test_bond_oscillation_period () =
+  (* Two equal masses on a harmonic bond: omega = sqrt(2 k / m). *)
+  let s, t = two_bonded ~r:1.2 in
+  let engine =
+    Mdcore.Engine.make ~name:"bond-only" ~compute:(fun sys ->
+        System.clear_accelerations sys;
+        Bonded.accumulate_bonds t sys)
+  in
+  (* Track the separation's crossings of r0 to estimate the period. *)
+  let crossings = ref [] in
+  let prev_sign = ref 0.0 in
+  let record (r : Verlet.step_record) =
+    let sep = s.System.pos_x.(1) -. s.System.pos_x.(0) -. 1.0 in
+    if !prev_sign <> 0.0 && sep *. !prev_sign < 0.0 then
+      crossings := r.Verlet.sim_time :: !crossings;
+    prev_sign := sep
+  in
+  ignore (Verlet.run s ~engine ~steps:2000 ~record ());
+  let times = Array.of_list (List.rev !crossings) in
+  Alcotest.(check bool) "oscillates" true (Array.length times >= 4);
+  (* Consecutive zero crossings are half a period apart. *)
+  let half_periods =
+    Array.init
+      (Array.length times - 1)
+      (fun k -> times.(k + 1) -. times.(k))
+  in
+  let measured = 2.0 *. Sim_util.Stats.mean half_periods in
+  let expected = 2.0 *. Float.pi /. sqrt (2.0 *. 50.0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "period %.4f ~ %.4f" measured expected)
+    true
+    (Sim_util.Stats.relative_error ~expected ~actual:measured < 0.02)
+
+(* ---------------- Angles ---------------- *)
+
+let bent_triplet ~theta =
+  let s = bare_system 3 in
+  place s 1 5.0 5.0 5.0;
+  place s 0 (5.0 +. 1.0) 5.0 5.0;
+  place s 2 (5.0 +. cos theta) (5.0 +. sin theta) 5.0;
+  let t =
+    Topology.create
+      ~angles:
+        [ { Topology.a = 0; center = 1; c = 2; theta0 = 2.0; k_angle = 30.0 } ]
+      ~n_atoms:3 ()
+  in
+  (s, t)
+
+let test_angle_zero_at_equilibrium () =
+  let s, t = bent_triplet ~theta:2.0 in
+  let pe = Bonded.accumulate_angles t s in
+  Alcotest.(check (float 1e-9)) "no PE at theta0" 0.0 pe;
+  for i = 0 to 2 do
+    Alcotest.(check (float 1e-9)) "no force" 0.0 s.System.acc_x.(i)
+  done
+
+let test_angle_forces_sum_to_zero () =
+  let s, t = bent_triplet ~theta:1.2 in
+  ignore (Bonded.accumulate_angles t s);
+  let sum arr = arr.(0) +. arr.(1) +. arr.(2) in
+  Alcotest.(check (float 1e-10)) "x momentum conserved" 0.0 (sum s.System.acc_x);
+  Alcotest.(check (float 1e-10)) "y momentum conserved" 0.0 (sum s.System.acc_y);
+  Alcotest.(check (float 1e-10)) "z momentum conserved" 0.0 (sum s.System.acc_z)
+
+let test_angle_force_is_gradient () =
+  (* Numerical gradient check on a generic (non-degenerate) geometry. *)
+  let make () =
+    let s = bare_system 3 in
+    place s 0 4.1 5.3 5.2;
+    place s 1 5.0 5.0 5.0;
+    place s 2 5.6 5.9 4.6;
+    s
+  in
+  let t =
+    Topology.create
+      ~angles:
+        [ { Topology.a = 0; center = 1; c = 2; theta0 = 1.8; k_angle = 12.0 } ]
+      ~n_atoms:3 ()
+  in
+  let s = make () in
+  ignore (Bonded.accumulate_angles t s);
+  let h = 1e-6 in
+  let axes = [| s.System.pos_x; s.System.pos_y; s.System.pos_z |] in
+  let forces = [| s.System.acc_x; s.System.acc_y; s.System.acc_z |] in
+  for atom = 0 to 2 do
+    for axis = 0 to 2 do
+      let probe delta =
+        let p = make () in
+        let arr =
+          match axis with
+          | 0 -> p.System.pos_x
+          | 1 -> p.System.pos_y
+          | _ -> p.System.pos_z
+        in
+        arr.(atom) <- arr.(atom) +. delta;
+        Bonded.accumulate_angles t p
+      in
+      let dvdx = (probe h -. probe (-.h)) /. (2.0 *. h) in
+      let analytic = forces.(axis).(atom) in
+      ignore axes;
+      Alcotest.(check bool)
+        (Printf.sprintf "atom %d axis %d: F = -dV/dx (%.6f vs %.6f)" atom
+           axis analytic (-.dvdx))
+        true
+        (abs_float (analytic +. dvdx) < 1e-5)
+    done
+  done
+
+(* ---------------- Molecular engine ---------------- *)
+
+let chain_system () =
+  (* A small melt of 12 four-bead chains at moderate density. *)
+  let topology =
+    Topology.linear_chains ~n_chains:12 ~length:4 ~r0:1.1 ~k_bond:100.0
+      ~angle:(2.0, 5.0) ()
+  in
+  let s =
+    Mdcore.Init.build_chains ~seed:61 ~density:0.3 ~temperature:0.8 ~params
+      ~n_chains:12 ~length:4 ~r0:1.1 ()
+  in
+  (s, topology)
+
+let test_exclusions_prevent_lj_blowup () =
+  let s, topology = chain_system () in
+  (* Bonded neighbours sit near r0 = 1.1 sigma, inside the steep LJ
+     region; with exclusions the non-bonded PE must not include them. *)
+  let s2 = System.copy s in
+  let pe_excluded = Bonded.compute_nonbonded_excluded topology s in
+  let pe_full = Forces.compute_gather s2 in
+  Alcotest.(check bool) "excluded PE differs from full LJ" true
+    (abs_float (pe_excluded -. pe_full) > 1e-6)
+
+let test_molecular_energy_conservation () =
+  let s, topology = chain_system () in
+  let engine = Bonded.molecular_engine topology in
+  let records = Verlet.run s ~engine ~steps:100 () in
+  let e0 = (List.hd records).Verlet.total_energy in
+  let worst =
+    List.fold_left
+      (fun acc (r : Verlet.step_record) ->
+        Float.max acc (abs_float ((r.Verlet.total_energy -. e0) /. e0)))
+      0.0 records
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "drift %.2e < 5e-3" worst)
+    true (worst < 5e-3)
+
+let test_molecular_bonds_hold () =
+  let s, topology = chain_system () in
+  let engine = Bonded.molecular_engine topology in
+  ignore (Verlet.run s ~engine ~steps:200 ());
+  Array.iter
+    (fun (b : Topology.bond) ->
+      let dx =
+        Mdcore.Min_image.delta ~box:s.System.box
+          (s.System.pos_x.(b.Topology.i) -. s.System.pos_x.(b.Topology.j))
+      and dy =
+        Mdcore.Min_image.delta ~box:s.System.box
+          (s.System.pos_y.(b.Topology.i) -. s.System.pos_y.(b.Topology.j))
+      and dz =
+        Mdcore.Min_image.delta ~box:s.System.box
+          (s.System.pos_z.(b.Topology.i) -. s.System.pos_z.(b.Topology.j))
+      in
+      let r = sqrt ((dx *. dx) +. (dy *. dy) +. (dz *. dz)) in
+      if r < 0.6 || r > 2.0 then
+        Alcotest.failf "bond %d-%d broke: r = %.3f" b.Topology.i b.Topology.j r)
+    (Topology.bonds topology)
+
+let tests =
+  ( "bonded",
+    [ Alcotest.test_case "topology validation" `Quick
+        test_topology_validation;
+      Alcotest.test_case "topology exclusions" `Quick
+        test_topology_exclusions;
+      Alcotest.test_case "linear chains counts" `Quick
+        test_linear_chains_counts;
+      Alcotest.test_case "bond zero at equilibrium" `Quick
+        test_bond_zero_at_equilibrium;
+      Alcotest.test_case "bond restoring direction" `Quick
+        test_bond_restoring_direction;
+      Alcotest.test_case "bond energy" `Quick test_bond_energy;
+      Alcotest.test_case "bond oscillation period" `Slow
+        test_bond_oscillation_period;
+      Alcotest.test_case "angle zero at equilibrium" `Quick
+        test_angle_zero_at_equilibrium;
+      Alcotest.test_case "angle forces sum to zero" `Quick
+        test_angle_forces_sum_to_zero;
+      Alcotest.test_case "angle force is gradient" `Quick
+        test_angle_force_is_gradient;
+      Alcotest.test_case "exclusions prevent LJ blowup" `Quick
+        test_exclusions_prevent_lj_blowup;
+      Alcotest.test_case "molecular energy conservation" `Slow
+        test_molecular_energy_conservation;
+      Alcotest.test_case "molecular bonds hold" `Slow
+        test_molecular_bonds_hold ] )

@@ -1,0 +1,66 @@
+(* The reproduction's headline assertions: at (close to) paper scale, every
+   prose claim from the paper holds as a shape check.  This is the test
+   that fails loudly if a model change breaks the reproduction.
+
+   The sweeps are trimmed relative to `mdsim experiment all` (fewer
+   intermediate sizes) to keep the suite's runtime reasonable; the
+   endpoints that the checks actually constrain are kept. *)
+
+module H = Harness
+
+let calibration_scale =
+  { H.Context.atoms = 2048;
+    steps = 10;
+    gpu_sweep = [ 128; 2048 ];
+    mta_sweep = [ 256; 1024; 4096 ];
+    seed = 42 }
+
+let outcomes =
+  lazy
+    (let ctx = H.Context.create ~scale:calibration_scale () in
+     H.Report.run_all ctx
+     @ List.map (H.Report.run_one ctx) H.Registry.extensions)
+
+let outcome id =
+  match
+    List.find_opt
+      (fun (o : H.Experiment.outcome) -> o.H.Experiment.id = id)
+      (Lazy.force outcomes)
+  with
+  | Some o -> o
+  | None -> Alcotest.failf "no outcome for %s" id
+
+let assert_all_checks id () =
+  let o = outcome id in
+  List.iter
+    (fun (c : H.Experiment.check) ->
+      if not c.H.Experiment.passed then
+        Alcotest.failf "%s: %s — %s" id c.H.Experiment.name
+          c.H.Experiment.detail)
+    o.H.Experiment.checks
+
+let tests =
+  ( "calibration (paper scale)",
+    [ Alcotest.test_case "table1: Cell vs Opteron vs PPE" `Slow
+        (assert_all_checks "table1");
+      Alcotest.test_case "fig5: SIMD ladder" `Slow (assert_all_checks "fig5");
+      Alcotest.test_case "fig6: launch overhead" `Slow
+        (assert_all_checks "fig6");
+      Alcotest.test_case "fig7: GPU crossover and speedup" `Slow
+        (assert_all_checks "fig7");
+      Alcotest.test_case "fig8: multithreading gap" `Slow
+        (assert_all_checks "fig8");
+      Alcotest.test_case "fig9: scaling shapes" `Slow
+        (assert_all_checks "fig9");
+      Alcotest.test_case "ext: Cell double precision" `Slow
+        (assert_all_checks "ext-precision");
+      Alcotest.test_case "ext: XMT projection" `Slow
+        (assert_all_checks "ext-xmt");
+      Alcotest.test_case "ext: Opteron pairlist ablation" `Slow
+        (assert_all_checks "ext-pairlist");
+      Alcotest.test_case "ext: GPU reduction ablation" `Slow
+        (assert_all_checks "ext-gpu-reduction");
+      Alcotest.test_case "ext: next-generation GPU" `Slow
+        (assert_all_checks "ext-gpu-next");
+      Alcotest.test_case "ext: cutoff sensitivity" `Slow
+        (assert_all_checks "ext-cutoff") ] )

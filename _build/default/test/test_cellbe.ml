@@ -1,0 +1,242 @@
+(* Tests for the Cell BE machine model: local store, DMA, ledger, launch
+   modes. *)
+
+module Config = Cellbe.Config
+module Ledger = Cellbe.Ledger
+module Ls = Cellbe.Local_store
+module Machine = Cellbe.Machine
+
+let cfg = Config.default
+
+let test_config_valid () = Config.validate cfg
+
+let test_config_invalid () =
+  Alcotest.(check bool) "0 spes rejected" true
+    (try
+       Config.validate { cfg with Config.n_spes = 0 };
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- Ledger ---------------- *)
+
+let test_ledger_accumulates () =
+  let l = Ledger.create () in
+  Ledger.add l Ledger.Spawn 1.0;
+  Ledger.add l Ledger.Spawn 0.5;
+  Ledger.add l Ledger.Dma 2.0;
+  Alcotest.(check (float 1e-12)) "spawn" 1.5 (Ledger.get l Ledger.Spawn);
+  Alcotest.(check (float 1e-12)) "total" 3.5 (Ledger.total l);
+  Alcotest.(check (float 1e-12)) "fraction" (1.5 /. 3.5)
+    (Ledger.fraction l Ledger.Spawn)
+
+let test_ledger_rejects_negative () =
+  let l = Ledger.create () in
+  Alcotest.(check bool) "negative rejected" true
+    (try
+       Ledger.add l Ledger.Dma (-1.0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_ledger_merge () =
+  let a = Ledger.create () and b = Ledger.create () in
+  Ledger.add a Ledger.Compute 1.0;
+  Ledger.add b Ledger.Compute 2.0;
+  Ledger.merge_into ~dst:a ~src:b;
+  Alcotest.(check (float 1e-12)) "merged" 3.0 (Ledger.get a Ledger.Compute)
+
+(* ---------------- Local store ---------------- *)
+
+let test_ls_alloc_and_capacity () =
+  let ls = Ls.create ~capacity_bytes:1024 in
+  let b = Ls.alloc ls ~name:"a" ~floats:64 in
+  Alcotest.(check int) "used" 256 (Ls.used_bytes ls);
+  Alcotest.(check int) "length" 64 (Ls.length b);
+  Alcotest.(check bool) "overflow raises" true
+    (try
+       ignore (Ls.alloc ls ~name:"big" ~floats:256);
+       false
+     with Ls.Overflow _ -> true)
+
+let test_ls_quadword_rounding () =
+  let ls = Ls.create ~capacity_bytes:1024 in
+  ignore (Ls.alloc ls ~name:"one" ~floats:1);
+  Alcotest.(check int) "1 float occupies a quadword" 16 (Ls.used_bytes ls)
+
+let test_ls_values_are_f32 () =
+  let ls = Ls.create ~capacity_bytes:1024 in
+  let b = Ls.alloc ls ~name:"v" ~floats:4 in
+  Ls.set b 0 0.1;
+  Alcotest.(check bool) "stored rounded" true (Sim_util.F32.is_f32 (Ls.get b 0));
+  Alcotest.(check bool) "differs from double" true (Ls.get b 0 <> 0.1)
+
+let test_ls_blits () =
+  let ls = Ls.create ~capacity_bytes:1024 in
+  let b = Ls.alloc ls ~name:"v" ~floats:8 in
+  let src = [| 0.1; 0.2; 0.3; 0.4 |] in
+  Ls.blit_from_array ~src ~src_pos:0 ~dst:b ~dst_pos:2 ~len:4;
+  let out = Array.make 4 0.0 in
+  Ls.blit_to_array ~src:b ~src_pos:2 ~dst:out ~dst_pos:0 ~len:4;
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check (float 1e-12)) "roundtrip via f32"
+        (Sim_util.F32.round src.(i)) v)
+    out
+
+let test_ls_blit_bounds () =
+  let ls = Ls.create ~capacity_bytes:1024 in
+  let b = Ls.alloc ls ~name:"v" ~floats:4 in
+  Alcotest.(check bool) "overrun rejected" true
+    (try
+       Ls.blit_from_array ~src:[| 1.0 |] ~src_pos:0 ~dst:b ~dst_pos:3 ~len:2;
+       false
+     with Invalid_argument _ -> true)
+
+let test_ls_reset_invalidates () =
+  let ls = Ls.create ~capacity_bytes:1024 in
+  let b = Ls.alloc ls ~name:"v" ~floats:4 in
+  Ls.reset ls;
+  Alcotest.(check int) "space reclaimed" 0 (Ls.used_bytes ls);
+  Alcotest.(check bool) "stale buffer rejected" true
+    (try
+       ignore (Ls.get b 0);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- Machine ---------------- *)
+
+let test_machine_ledger_invariant () =
+  let m = Machine.create cfg in
+  let src = Array.init 100 float_of_int in
+  Machine.offload m ~spes:4 ~mode:Machine.Persistent (fun ctx ->
+      let ls = Machine.local_store ctx in
+      let b = Ls.alloc ls ~name:"x" ~floats:100 in
+      Machine.dma_get ctx ~src ~src_pos:0 ~dst:b ~dst_pos:0 ~len:100;
+      Machine.charge_cycles ctx 1000.0);
+  Machine.ppe_charge m ~seconds:0.001;
+  Alcotest.(check (float 1e-12)) "ledger total = wall time"
+    (Machine.time m)
+    (Ledger.total (Machine.ledger m))
+
+let test_machine_dma_cost_model () =
+  let m = Machine.create cfg in
+  let small = Machine.dma_seconds m ~bytes:128 in
+  let big = Machine.dma_seconds m ~bytes:(1 lsl 20) in
+  Alcotest.(check bool) "bigger transfer costs more" true (big > small);
+  (* A 1 MB transfer needs 64 requests of 16 KB. *)
+  let expected =
+    (64.0 *. cfg.Config.dma_latency)
+    +. (float_of_int (1 lsl 20) /. cfg.Config.dma_bandwidth)
+  in
+  Alcotest.(check (float 1e-12)) "chunked request cost" expected big
+
+let test_machine_dma_moves_data () =
+  let m = Machine.create cfg in
+  let src = Array.init 16 (fun i -> float_of_int i /. 7.0) in
+  let dst = Array.make 16 0.0 in
+  Machine.offload m ~spes:1 ~mode:Machine.Respawn (fun ctx ->
+      let ls = Machine.local_store ctx in
+      let b = Ls.alloc ls ~name:"x" ~floats:16 in
+      Machine.dma_get ctx ~src ~src_pos:0 ~dst:b ~dst_pos:0 ~len:16;
+      Machine.dma_put ctx ~src:b ~src_pos:0 ~dst ~dst_pos:0 ~len:16);
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check (float 1e-12)) "data transported (f32)"
+        (Sim_util.F32.round src.(i)) v)
+    dst
+
+let test_dma_contention () =
+  let m = Machine.create cfg in
+  let alone = Machine.dma_seconds ~active_spes:1 m ~bytes:(1 lsl 20) in
+  let crowded = Machine.dma_seconds ~active_spes:8 m ~bytes:(1 lsl 20) in
+  Alcotest.(check bool) "8 concurrent SPEs share the memory interface" true
+    (crowded > alone);
+  (* With 8 SPEs the fair share is 25.6/8 = 3.2 GB/s. *)
+  let expected =
+    (64.0 *. cfg.Config.dma_latency)
+    +. (float_of_int (1 lsl 20) /. (cfg.Config.mem_bandwidth /. 8.0))
+  in
+  Alcotest.(check (float 1e-12)) "fair-share bandwidth" expected crowded
+
+let test_machine_respawn_cost_repeats () =
+  let spawn_of mode =
+    let m = Machine.create cfg in
+    for _ = 1 to 3 do
+      Machine.offload m ~spes:2 ~mode (fun _ -> ())
+    done;
+    Ledger.get (Machine.ledger m) Ledger.Spawn
+  in
+  Alcotest.(check (float 1e-12)) "respawn: 3 x 2 spawns"
+    (6.0 *. cfg.Config.spawn_seconds)
+    (spawn_of Machine.Respawn);
+  Alcotest.(check (float 1e-12)) "persistent: 2 spawns once"
+    (2.0 *. cfg.Config.spawn_seconds)
+    (spawn_of Machine.Persistent)
+
+let test_machine_persistent_signals () =
+  let m = Machine.create cfg in
+  for _ = 1 to 3 do
+    Machine.offload m ~spes:2 ~mode:Machine.Persistent (fun _ -> ())
+  done;
+  Alcotest.(check (float 1e-12)) "2 mailboxes per SPE per offload"
+    (3.0 *. 2.0 *. 2.0 *. cfg.Config.mailbox_seconds)
+    (Ledger.get (Machine.ledger m) Ledger.Signal)
+
+let test_machine_critical_path_is_max () =
+  let m = Machine.create cfg in
+  Machine.offload m ~spes:4 ~mode:Machine.Respawn (fun ctx ->
+      (* SPE k computes k microseconds worth of cycles. *)
+      Machine.charge_cycles ctx
+        (float_of_int (Machine.spe_id ctx) *. 3200.0));
+  let compute = Ledger.get (Machine.ledger m) Ledger.Compute in
+  (* max is SPE 3: 3 us at 3.2 GHz. *)
+  Alcotest.(check (float 1e-12)) "compute = slowest SPE" 3.0e-6 compute
+
+let test_machine_offload_validation () =
+  let m = Machine.create cfg in
+  Alcotest.(check bool) "too many spes" true
+    (try
+       Machine.offload m ~spes:9 ~mode:Machine.Respawn (fun _ -> ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_machine_reset () =
+  let m = Machine.create cfg in
+  Machine.offload m ~spes:1 ~mode:Machine.Persistent (fun _ -> ());
+  Machine.reset m;
+  Alcotest.(check (float 1e-12)) "time cleared" 0.0 (Machine.time m);
+  Alcotest.(check int) "threads terminated" 0 (Machine.spawned_spes m)
+
+let tests =
+  ( "cellbe",
+    [ Alcotest.test_case "config valid" `Quick test_config_valid;
+      Alcotest.test_case "config invalid" `Quick test_config_invalid;
+      Alcotest.test_case "ledger accumulates" `Quick test_ledger_accumulates;
+      Alcotest.test_case "ledger rejects negative" `Quick
+        test_ledger_rejects_negative;
+      Alcotest.test_case "ledger merge" `Quick test_ledger_merge;
+      Alcotest.test_case "local store alloc/capacity" `Quick
+        test_ls_alloc_and_capacity;
+      Alcotest.test_case "local store quadword rounding" `Quick
+        test_ls_quadword_rounding;
+      Alcotest.test_case "local store stores f32" `Quick
+        test_ls_values_are_f32;
+      Alcotest.test_case "local store blits" `Quick test_ls_blits;
+      Alcotest.test_case "local store blit bounds" `Quick test_ls_blit_bounds;
+      Alcotest.test_case "local store reset invalidates" `Quick
+        test_ls_reset_invalidates;
+      Alcotest.test_case "machine ledger invariant" `Quick
+        test_machine_ledger_invariant;
+      Alcotest.test_case "machine dma cost model" `Quick
+        test_machine_dma_cost_model;
+      Alcotest.test_case "machine dma moves data" `Quick
+        test_machine_dma_moves_data;
+      Alcotest.test_case "dma contention" `Quick test_dma_contention;
+      Alcotest.test_case "respawn cost repeats" `Quick
+        test_machine_respawn_cost_repeats;
+      Alcotest.test_case "persistent signals" `Quick
+        test_machine_persistent_signals;
+      Alcotest.test_case "critical path is max" `Quick
+        test_machine_critical_path_is_max;
+      Alcotest.test_case "offload validation" `Quick
+        test_machine_offload_validation;
+      Alcotest.test_case "machine reset" `Quick test_machine_reset ] )

@@ -1,0 +1,176 @@
+(* Tests for the experiment harness: registry integrity, report plumbing,
+   and quick-scale versions of all six experiments (the full paper-scale
+   shape checks run via `mdsim experiment all`; here we assert the pieces
+   that must hold at any scale). *)
+
+module H = Harness
+
+let quick_ctx = lazy (H.Context.create ~scale:H.Context.quick_scale ())
+
+let test_registry_complete () =
+  Alcotest.(check (list string)) "all six artifacts"
+    [ "table1"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9" ]
+    H.Registry.ids
+
+let test_registry_find () =
+  Alcotest.(check bool) "finds fig7" true (H.Registry.find "fig7" <> None);
+  Alcotest.(check bool) "unknown id" true (H.Registry.find "fig99" = None)
+
+let test_bands_sane () =
+  List.iter
+    (fun (b : H.Paper_data.band) ->
+      Alcotest.(check bool) b.H.Paper_data.claim true
+        (b.H.Paper_data.lo < b.H.Paper_data.hi))
+    [ H.Paper_data.cell_8spe_vs_opteron; H.Paper_data.cell_1spe_vs_opteron;
+      H.Paper_data.cell_8spe_vs_ppe; H.Paper_data.ladder_copysign;
+      H.Paper_data.ladder_reflection; H.Paper_data.ladder_direction;
+      H.Paper_data.ladder_length; H.Paper_data.ladder_acceleration;
+      H.Paper_data.respawn_8spe_vs_1spe; H.Paper_data.persistent_8spe_vs_1spe;
+      H.Paper_data.gpu_vs_opteron_2048; H.Paper_data.mta_fully_vs_partially_2048 ]
+
+let test_band_checks () =
+  let b = { H.Paper_data.lo = 1.0; hi = 2.0; claim = "test" } in
+  Alcotest.(check bool) "inside" true (H.Paper_data.in_band b 1.5);
+  Alcotest.(check bool) "outside" false (H.Paper_data.in_band b 2.5);
+  let c = H.Experiment.check_band ~name:"x" b 1.5 in
+  Alcotest.(check bool) "check passes" true c.H.Experiment.passed
+
+let run_quick id =
+  match H.Registry.find id with
+  | None -> Alcotest.failf "experiment %s missing" id
+  | Some e -> H.Report.run_one (Lazy.force quick_ctx) e
+
+(* At quick scale the calibrated paper bands need not hold (tiny systems
+   shift the hit fraction and overhead balance), but each experiment must
+   produce a structurally complete outcome. *)
+let test_quick_outcome id expected_rows () =
+  let o = run_quick id in
+  Alcotest.(check string) "id" id o.H.Experiment.id;
+  Alcotest.(check bool) "has checks" true (o.H.Experiment.checks <> []);
+  Alcotest.(check int) "table rows" expected_rows
+    (Sim_util.Table.row_count o.H.Experiment.table)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_report_rendering () =
+  let o = run_quick "fig8" in
+  let text = H.Report.render_outcome o in
+  Alcotest.(check bool) "mentions title" true (contains ~needle:"MTA-2" text);
+  Alcotest.(check bool) "has PASS/FAIL lines" true
+    (contains ~needle:"[PASS]" text || contains ~needle:"[FAIL]" text)
+
+let test_report_csv () =
+  let o = run_quick "fig8" in
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "mdsim-test-csv" in
+  let files = H.Report.write_csvs ~dir [ o ] in
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) ("exists " ^ f) true (Sys.file_exists f))
+    files
+
+let test_markdown_report () =
+  let o = run_quick "fig8" in
+  let md = H.Report.to_markdown [ o ] in
+  Alcotest.(check bool) "has section heading" true (contains ~needle:"## " md);
+  Alcotest.(check bool) "has md table separator" true
+    (contains ~needle:"|---|" md);
+  Alcotest.(check bool) "has check marks" true
+    (contains ~needle:"\xe2\x9c\x85" md || contains ~needle:"\xe2\x9d\x8c" md);
+  Alcotest.(check bool) "has summary" true
+    (contains ~needle:"experiments reproduce" md)
+
+let test_table_markdown () =
+  let t = Sim_util.Table.create ~headers:[ "a"; "b|c" ] in
+  Sim_util.Table.add_row t [ "1"; "2" ];
+  let md = Sim_util.Table.to_markdown t in
+  Alcotest.(check bool) "pipes escaped" true (contains ~needle:"b\\|c" md)
+
+let test_summary_line () =
+  let o = run_quick "fig8" in
+  let line = H.Report.summary_line [ o ] in
+  Alcotest.(check bool) "mentions 1 experiment" true
+    (String.length line > 0)
+
+(* Paper-shape checks that are scale-independent enough to assert even at
+   quick scale. *)
+let test_quick_fig8_shape () =
+  let o = run_quick "fig8" in
+  let failed =
+    List.filter
+      (fun (c : H.Experiment.check) ->
+        (not c.passed)
+        && c.name <> "speedup at the largest size"
+        (* the band is calibrated at 4096 atoms *))
+      o.H.Experiment.checks
+  in
+  Alcotest.(check (list string)) "core fig8 shape holds at quick scale" []
+    (List.map (fun (c : H.Experiment.check) -> c.name) failed)
+
+let test_quick_table1_sanity () =
+  let o = run_quick "table1" in
+  Alcotest.(check int) "four rows" 4
+    (Sim_util.Table.row_count o.H.Experiment.table)
+
+let test_shape_robust_across_seeds () =
+  (* The core orderings must not depend on the random initial
+     configuration. *)
+  List.iter
+    (fun seed ->
+      let scale = { H.Context.quick_scale with H.Context.seed } in
+      let ctx = H.Context.create ~scale () in
+      match H.Registry.find "fig8" with
+      | None -> Alcotest.fail "fig8 missing"
+      | Some e ->
+        let o = H.Report.run_one ctx e in
+        let core_failed =
+          List.filter
+            (fun (c : H.Experiment.check) ->
+              (not c.passed) && c.name <> "speedup at the largest size")
+            o.H.Experiment.checks
+        in
+        Alcotest.(check (list string))
+          (Printf.sprintf "fig8 shape at seed %d" seed)
+          []
+          (List.map (fun (c : H.Experiment.check) -> c.name) core_failed))
+    [ 1; 7; 1234 ]
+
+let test_context_memoization () =
+  let ctx = Lazy.force quick_ctx in
+  let a = H.Context.opteron ctx and b = H.Context.opteron ctx in
+  Alcotest.(check bool) "same result object" true (a == b);
+  let s1 = H.Context.system_of ctx ~n:128 and s2 = H.Context.system_of ctx ~n:128 in
+  Alcotest.(check bool) "memoized system" true (s1 == s2)
+
+let tests =
+  ( "harness",
+    [ Alcotest.test_case "registry complete" `Quick test_registry_complete;
+      Alcotest.test_case "registry find" `Quick test_registry_find;
+      Alcotest.test_case "bands sane" `Quick test_bands_sane;
+      Alcotest.test_case "band checks" `Quick test_band_checks;
+      Alcotest.test_case "table1 quick outcome" `Quick
+        (test_quick_outcome "table1" 4);
+      Alcotest.test_case "fig5 quick outcome" `Quick
+        (test_quick_outcome "fig5" 6);
+      Alcotest.test_case "fig6 quick outcome" `Quick
+        (test_quick_outcome "fig6" 4);
+      Alcotest.test_case "fig7 quick outcome" `Quick
+        (test_quick_outcome "fig7" 3);
+      Alcotest.test_case "fig8 quick outcome" `Quick
+        (test_quick_outcome "fig8" 3);
+      Alcotest.test_case "fig9 quick outcome" `Quick
+        (test_quick_outcome "fig9" 3);
+      Alcotest.test_case "report rendering" `Quick test_report_rendering;
+      Alcotest.test_case "report csv" `Quick test_report_csv;
+      Alcotest.test_case "summary line" `Quick test_summary_line;
+      Alcotest.test_case "markdown report" `Quick test_markdown_report;
+      Alcotest.test_case "table markdown" `Quick test_table_markdown;
+      Alcotest.test_case "fig8 shape at quick scale" `Quick
+        test_quick_fig8_shape;
+      Alcotest.test_case "table1 sanity" `Quick test_quick_table1_sanity;
+      Alcotest.test_case "context memoization" `Quick
+        test_context_memoization;
+      Alcotest.test_case "shapes robust across seeds" `Slow
+        test_shape_robust_across_seeds ] )

@@ -1,0 +1,340 @@
+(* Tests for the isa library: block construction and the three pipeline
+   timing models. *)
+
+module Op = Isa.Op
+module Block = Isa.Block
+module Spe = Isa.Spe_pipe
+module Opteron = Isa.Opteron_pipe
+module Gpu = Isa.Gpu_pipe
+module B = Isa.Block.Builder
+
+let simple_block ops = Block.of_instrs (List.map (fun op -> { Block.op; deps = [] }) ops)
+
+let chain_block ops =
+  let b = B.create () in
+  let _ =
+    List.fold_left
+      (fun prev op ->
+        match prev with
+        | None -> Some (B.push b op ~deps:[])
+        | Some p -> Some (B.push b op ~deps:[ p ]))
+      None ops
+  in
+  B.finish b
+
+(* ---------------- Block ---------------- *)
+
+let test_block_validation () =
+  Alcotest.(check bool) "forward dep rejected" true
+    (try
+       ignore (Block.of_instrs [ { Block.op = Op.Fadd; deps = [ 0 ] } ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_block_count () =
+  let b = simple_block [ Op.Fadd; Op.Fmul; Op.Fadd; Op.Load ] in
+  Alcotest.(check int) "fadd count" 2 (Block.count b Op.Fadd);
+  Alcotest.(check int) "memory count" 1 (Block.count_if b Op.is_memory);
+  Alcotest.(check int) "length" 4 (Block.length b)
+
+let test_block_append () =
+  let a = chain_block [ Op.Fadd; Op.Fmul ] in
+  let b = chain_block [ Op.Load; Op.Fadd ] in
+  let c = Block.append a b in
+  Alcotest.(check int) "appended length" 4 (Block.length c);
+  (* The shifted dependence must still point backwards. *)
+  let instrs = Block.instrs c in
+  Alcotest.(check (list int)) "shifted deps" [ 2 ] instrs.(3).Block.deps
+
+let test_builder_push_n () =
+  let b = B.create () in
+  let ids = B.push_n b Op.Load ~n:3 ~deps:[] in
+  Alcotest.(check (list int)) "indices" [ 0; 1; 2 ] ids
+
+let test_builder_bad_dep () =
+  let b = B.create () in
+  Alcotest.(check bool) "future dep rejected" true
+    (try
+       ignore (B.push b Op.Fadd ~deps:[ 5 ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- SPE pipeline ---------------- *)
+
+let test_spe_pipes () =
+  Alcotest.(check bool) "fadd even" true (Spe.pipe_of Op.Fadd = Spe.Even);
+  Alcotest.(check bool) "load odd" true (Spe.pipe_of Op.Load = Spe.Odd);
+  Alcotest.(check bool) "shuffle odd" true (Spe.pipe_of Op.Shuffle = Spe.Odd)
+
+let test_spe_dual_issue () =
+  (* One even + one odd independent op can issue in the same cycle. *)
+  let b = simple_block [ Op.Fadd; Op.Load ] in
+  Alcotest.(check int) "throughput 1" 1 (Spe.throughput_cycles b);
+  (* Two even ops need two issue cycles. *)
+  let b2 = simple_block [ Op.Fadd; Op.Fmul ] in
+  Alcotest.(check int) "structural hazard" 2 (Spe.throughput_cycles b2)
+
+let test_spe_dependence_stall () =
+  let dep = chain_block [ Op.Fadd; Op.Fadd ] in
+  let indep = simple_block [ Op.Fadd; Op.Fadd ] in
+  Alcotest.(check bool) "dependent chain slower" true
+    (Spe.critical_path_cycles dep > Spe.critical_path_cycles indep);
+  Alcotest.(check int) "chain = 2 x latency" (2 * Spe.latency Op.Fadd)
+    (Spe.critical_path_cycles dep)
+
+let test_spe_branch_miss_penalty () =
+  let without = simple_block [ Op.Fadd; Op.Fadd ] in
+  let with_miss = simple_block [ Op.Fadd; Op.Branch_miss; Op.Fadd ] in
+  let delta =
+    Spe.critical_path_cycles with_miss - Spe.critical_path_cycles without
+  in
+  Alcotest.(check bool) "flush visible in schedule" true
+    (delta >= Spe.branch_miss_penalty - 2)
+
+let test_spe_bounds_order () =
+  let block = Mdports.Kernels.spe_base Mdports.Cell_variant.Original in
+  Alcotest.(check bool) "throughput <= critical path" true
+    (Spe.throughput_cycles block <= Spe.critical_path_cycles block)
+
+let test_spe_overlap_interpolation () =
+  let block = Mdports.Kernels.spe_base Mdports.Cell_variant.Simd_length in
+  let at o = Spe.per_iteration_cycles block ~overlap:o in
+  Alcotest.(check (float 1e-9)) "overlap 1 = throughput"
+    (float_of_int (Spe.throughput_cycles block))
+    (at 1.0);
+  Alcotest.(check (float 1e-9)) "overlap 0 = critical path"
+    (float_of_int (Spe.critical_path_cycles block))
+    (at 0.0);
+  Alcotest.(check bool) "midpoint between" true
+    (at 0.5 >= at 1.0 && at 0.5 <= at 0.0)
+
+let test_spe_loop_scaling () =
+  let block = simple_block [ Op.Fadd; Op.Load ] in
+  let one = Spe.loop_cycles block ~iterations:1 ~overlap:0.5 in
+  let ten = Spe.loop_cycles block ~iterations:10 ~overlap:0.5 in
+  Alcotest.(check (float 1e-9)) "linear in iterations" (10.0 *. one) ten
+
+let test_spe_invalid_args () =
+  let block = simple_block [ Op.Fadd ] in
+  Alcotest.(check bool) "bad overlap" true
+    (try
+       ignore (Spe.loop_cycles block ~iterations:1 ~overlap:1.5);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative iterations" true
+    (try
+       ignore (Spe.loop_cycles block ~iterations:(-1) ~overlap:0.5);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- Opteron pipeline ---------------- *)
+
+let test_opteron_critical_path () =
+  let dep = chain_block [ Op.Fmul; Op.Fadd ] in
+  Alcotest.(check int) "mul then add"
+    (Opteron.latency Op.Fmul + Opteron.latency Op.Fadd)
+    (Opteron.critical_path_cycles dep)
+
+let test_opteron_unpipelined_sqrt () =
+  let no_sqrt = simple_block [ Op.Fadd; Op.Fmul ] in
+  let sqrt = simple_block [ Op.Fadd; Op.Fmul; Op.Fsqrt ] in
+  Alcotest.(check bool) "sqrt occupies the unit" true
+    (Opteron.resource_cycles sqrt
+    >= Opteron.resource_cycles no_sqrt
+       +. float_of_int (Opteron.latency Op.Fsqrt))
+
+let test_opteron_decode_bound () =
+  (* Many cheap independent int ops: bound by 3-wide decode. *)
+  let b = simple_block (List.init 30 (fun _ -> Op.Ialu)) in
+  Alcotest.(check (float 0.01)) "30 ops / 3-wide" 10.0
+    (Opteron.resource_cycles b)
+
+let test_opteron_overlap_bounds () =
+  let block = Mdports.Kernels.opteron_base in
+  let full = Opteron.per_iteration_cycles block ~overlap:1.0 in
+  let none = Opteron.per_iteration_cycles block ~overlap:0.0 in
+  Alcotest.(check bool) "resource <= exposed" true (full <= none)
+
+(* ---------------- GPU pipeline ---------------- *)
+
+let test_gpu_fragment_cost () =
+  let b = simple_block [ Op.Fmadd; Op.Fmadd; Op.Load ] in
+  Alcotest.(check (float 1e-9)) "sum of issue costs" 3.0
+    (Gpu.cycles_per_fragment b)
+
+let test_gpu_transcendental_cost () =
+  let cheap = simple_block [ Op.Fadd ] in
+  let costly = simple_block [ Op.Fdiv ] in
+  Alcotest.(check bool) "div costlier than add" true
+    (Gpu.cycles_per_fragment costly > Gpu.cycles_per_fragment cheap)
+
+let test_gpu_single_output () =
+  let two_stores = simple_block [ Op.Store; Op.Store ] in
+  Alcotest.(check bool) "two stores rejected" true
+    (try
+       ignore (Gpu.cycles_per_fragment two_stores);
+       false
+     with Invalid_argument _ -> true)
+
+let test_gpu_dispatch_scaling () =
+  let b = simple_block [ Op.Fmadd; Op.Fmadd ] in
+  let c1 = Gpu.dispatch_cycles b ~fragments:24 ~pipes:24 in
+  let c2 = Gpu.dispatch_cycles b ~fragments:48 ~pipes:24 in
+  let c3 = Gpu.dispatch_cycles b ~fragments:48 ~pipes:48 in
+  Alcotest.(check (float 1e-9)) "linear in fragments" (2.0 *. c1) c2;
+  Alcotest.(check (float 1e-9)) "inverse in pipes" c1 c3
+
+let test_gpu_dispatch_validation () =
+  let b = simple_block [ Op.Fadd ] in
+  Alcotest.(check bool) "zero pipes rejected" true
+    (try
+       ignore (Gpu.dispatch_cycles b ~fragments:1 ~pipes:0);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- Properties over random blocks ---------------- *)
+
+(* Random block generator: op choices that appear in real kernels, with
+   random (valid, backward) dependences. *)
+let non_branch_ops =
+  [| Op.Fadd; Op.Fmul; Op.Fmadd; Op.Fadd_dp; Op.Fmul_dp; Op.Fdiv; Op.Fsqrt;
+     Op.Frecip_est; Op.Fcmp; Op.Fsel; Op.Fcopysign; Op.Ialu; Op.Load;
+     Op.Store; Op.Shuffle |]
+
+let random_block_gen =
+  QCheck.Gen.(
+    let* len = int_range 1 40 in
+    let* seed = int_range 0 10_000 in
+    let rng = Sim_util.Rng.create seed in
+    let b = B.create () in
+    for i = 0 to len - 1 do
+      let op = non_branch_ops.(Sim_util.Rng.int_below rng (Array.length non_branch_ops)) in
+      let deps =
+        if i = 0 || Sim_util.Rng.int_below rng 3 = 0 then []
+        else [ Sim_util.Rng.int_below rng i ]
+      in
+      ignore (B.push b op ~deps)
+    done;
+    return (B.finish b))
+
+let arb_block =
+  QCheck.make
+    ~print:(fun b -> Format.asprintf "%a" Block.pp b)
+    random_block_gen
+
+let spe_bounds_prop =
+  QCheck.Test.make ~name:"SPE: throughput <= critical path (any block)"
+    ~count:200 arb_block
+    (fun b -> Spe.throughput_cycles b <= Spe.critical_path_cycles b)
+
+let spe_append_monotone_prop =
+  QCheck.Test.make
+    ~name:"SPE: appending work never reduces either bound" ~count:200
+    (QCheck.pair arb_block arb_block)
+    (fun (a, b) ->
+      let ab = Block.append a b in
+      Spe.critical_path_cycles ab >= Spe.critical_path_cycles a
+      && Spe.throughput_cycles ab >= Spe.throughput_cycles a)
+
+let spe_overlap_monotone_prop =
+  QCheck.Test.make
+    ~name:"SPE: per-iteration cycles decrease with overlap" ~count:200
+    arb_block
+    (fun b ->
+      Spe.per_iteration_cycles b ~overlap:0.0
+      >= Spe.per_iteration_cycles b ~overlap:0.5
+      && Spe.per_iteration_cycles b ~overlap:0.5
+         >= Spe.per_iteration_cycles b ~overlap:1.0)
+
+let opteron_decode_floor_prop =
+  QCheck.Test.make ~name:"Opteron: resource bound >= 3-wide decode floor"
+    ~count:200 arb_block
+    (fun b ->
+      Opteron.resource_cycles b >= float_of_int (Block.length b) /. 3.0 -. 1e-9)
+
+let gpu_cost_floor_prop =
+  QCheck.Test.make ~name:"GPU: fragment cost >= one slot per op" ~count:200
+    arb_block
+    (fun b ->
+      QCheck.assume (Block.count b Op.Store <= 1);
+      QCheck.assume (Block.count_if b Op.is_double_precision = 0);
+      Gpu.cycles_per_fragment b >= float_of_int (Block.length b))
+
+let dp_never_cheaper_prop =
+  QCheck.Test.make
+    ~name:"SPE: DP-izing any op never lowers the throughput bound"
+    ~count:200 arb_block
+    (fun b ->
+      let dp_ize (op : Op.t) =
+        match op with
+        | Op.Fadd -> Op.Fadd_dp
+        | Op.Fmul -> Op.Fmul_dp
+        | Op.Fmadd -> Op.Fmadd_dp
+        | op -> op
+      in
+      let instrs = Block.instrs b in
+      let dp =
+        Block.of_instrs
+          (Array.to_list
+             (Array.map
+                (fun (i : Block.instr) -> { i with Block.op = dp_ize i.Block.op })
+                instrs))
+      in
+      Spe.throughput_cycles dp >= Spe.throughput_cycles b)
+
+(* A structural regression test: the Fig. 5 ladder ordering is a property
+   of the blocks + scheduler, so pin it here at the ISA level. *)
+let test_ladder_ordering () =
+  let cycles v =
+    Spe.per_iteration_cycles (Mdports.Kernels.spe_base v)
+      ~overlap:Mdports.Kernels.spe_overlap
+  in
+  let open Mdports.Cell_variant in
+  let seq = List.map cycles all in
+  let rec nonincreasing = function
+    | a :: (b :: _ as rest) -> a >= b && nonincreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "each rung at least as fast" true (nonincreasing seq)
+
+let tests =
+  ( "isa",
+    [ Alcotest.test_case "block validation" `Quick test_block_validation;
+      Alcotest.test_case "block count" `Quick test_block_count;
+      Alcotest.test_case "block append" `Quick test_block_append;
+      Alcotest.test_case "builder push_n" `Quick test_builder_push_n;
+      Alcotest.test_case "builder bad dep" `Quick test_builder_bad_dep;
+      Alcotest.test_case "spe pipes" `Quick test_spe_pipes;
+      Alcotest.test_case "spe dual issue" `Quick test_spe_dual_issue;
+      Alcotest.test_case "spe dependence stall" `Quick
+        test_spe_dependence_stall;
+      Alcotest.test_case "spe branch miss" `Quick test_spe_branch_miss_penalty;
+      Alcotest.test_case "spe bounds order" `Quick test_spe_bounds_order;
+      Alcotest.test_case "spe overlap interpolation" `Quick
+        test_spe_overlap_interpolation;
+      Alcotest.test_case "spe loop scaling" `Quick test_spe_loop_scaling;
+      Alcotest.test_case "spe invalid args" `Quick test_spe_invalid_args;
+      Alcotest.test_case "opteron critical path" `Quick
+        test_opteron_critical_path;
+      Alcotest.test_case "opteron unpipelined sqrt" `Quick
+        test_opteron_unpipelined_sqrt;
+      Alcotest.test_case "opteron decode bound" `Quick
+        test_opteron_decode_bound;
+      Alcotest.test_case "opteron overlap bounds" `Quick
+        test_opteron_overlap_bounds;
+      Alcotest.test_case "gpu fragment cost" `Quick test_gpu_fragment_cost;
+      Alcotest.test_case "gpu transcendental cost" `Quick
+        test_gpu_transcendental_cost;
+      Alcotest.test_case "gpu single output" `Quick test_gpu_single_output;
+      Alcotest.test_case "gpu dispatch scaling" `Quick
+        test_gpu_dispatch_scaling;
+      Alcotest.test_case "gpu dispatch validation" `Quick
+        test_gpu_dispatch_validation;
+      Alcotest.test_case "fig5 ladder ordering" `Quick test_ladder_ordering;
+      QCheck_alcotest.to_alcotest spe_bounds_prop;
+      QCheck_alcotest.to_alcotest spe_append_monotone_prop;
+      QCheck_alcotest.to_alcotest spe_overlap_monotone_prop;
+      QCheck_alcotest.to_alcotest opteron_decode_floor_prop;
+      QCheck_alcotest.to_alcotest gpu_cost_floor_prop;
+      QCheck_alcotest.to_alcotest dp_never_cheaper_prop ]
+  )

@@ -1,0 +1,18 @@
+(* Test entry point: one alcotest binary running every suite. *)
+
+let () =
+  Alcotest.run "repro"
+    [ Test_util.tests;
+      Test_vec.tests;
+      Test_isa.tests;
+      Test_memsim.tests;
+      Test_cellbe.tests;
+      Test_gpu.tests;
+      Test_mta.tests;
+      Test_mdcore.tests;
+      Test_bonded.tests;
+      Test_ports.tests;
+      Test_stream.tests;
+      Test_seqalign.tests;
+      Test_calibration.tests;
+      Test_harness.tests ]

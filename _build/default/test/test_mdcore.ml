@@ -1,0 +1,678 @@
+(* Tests for the MD physics core: LJ potential, minimum image, system
+   construction, force engines and the integrator. *)
+
+module Params = Mdcore.Params
+module System = Mdcore.System
+module Min_image = Mdcore.Min_image
+module Init = Mdcore.Init
+module Forces = Mdcore.Forces
+module Verlet = Mdcore.Verlet
+module Observables = Mdcore.Observables
+module Pairlist = Mdcore.Pairlist
+module Cell_list = Mdcore.Cell_list
+module Vec3 = Vecmath.Vec3
+
+let p = Params.default
+
+(* 128 atoms at density 0.8 is the smallest convenient size satisfying
+   the minimum-image criterion (box ~ 5.43 > 2 * cutoff). *)
+let small_system ?(n = 128) () = Init.build ~seed:7 ~n ()
+
+(* ---------------- Params / LJ ---------------- *)
+
+let test_lj_zero_at_sigma () =
+  Alcotest.(check (float 1e-12)) "V(sigma) = 0" 0.0
+    (Params.lj_potential p (p.Params.sigma *. p.Params.sigma))
+
+let test_lj_minimum_depth () =
+  let rmin = Params.lj_minimum p in
+  Alcotest.(check (float 1e-12)) "V(rmin) = -epsilon" (-.p.Params.epsilon)
+    (Params.lj_potential p (rmin *. rmin))
+
+let test_lj_force_sign_change () =
+  let rmin = Params.lj_minimum p in
+  let inside = (0.9 *. rmin) ** 2.0 and outside = (1.1 *. rmin) ** 2.0 in
+  Alcotest.(check bool) "repulsive inside rmin" true
+    (Params.lj_force_over_r p inside > 0.0);
+  Alcotest.(check bool) "attractive outside rmin" true
+    (Params.lj_force_over_r p outside < 0.0)
+
+let test_lj_force_zero_at_minimum () =
+  let rmin2 = Params.lj_minimum p ** 2.0 in
+  Alcotest.(check (float 1e-10)) "F(rmin) = 0" 0.0
+    (Params.lj_force_over_r p rmin2)
+
+let test_lj_force_is_gradient () =
+  (* F(r) = -dV/dr, checked by central differences at several radii. *)
+  List.iter
+    (fun r ->
+      let h = 1e-6 in
+      let v_at x = Params.lj_potential p (x *. x) in
+      let dvdr = (v_at (r +. h) -. v_at (r -. h)) /. (2.0 *. h) in
+      let f = Params.lj_force_over_r p (r *. r) *. r in
+      Alcotest.(check bool)
+        (Printf.sprintf "gradient at r=%g" r)
+        true
+        (abs_float (f +. dvdr) <= 1e-4 *. (1.0 +. abs_float f)))
+    [ 0.9; 1.0; 1.12; 1.5; 2.0; 2.4 ]
+
+let test_params_validation () =
+  Alcotest.(check bool) "negative dt rejected" true
+    (try
+       Params.validate { p with Params.dt = -1.0 };
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- Minimum image ---------------- *)
+
+let test_min_image_range () =
+  let box = 10.0 in
+  List.iter
+    (fun dx ->
+      let d = Min_image.delta ~box dx in
+      Alcotest.(check bool)
+        (Printf.sprintf "delta(%g) in range" dx)
+        true
+        (d >= -.box /. 2.0 -. 1e-12 && d <= (box /. 2.0) +. 1e-12))
+    [ 0.0; 4.9; 5.1; 9.9; -9.9; 15.0; -23.4 ]
+
+let min_image_agreement_prop =
+  QCheck.Test.make ~name:"closed form = search = branchless" ~count:1000
+    QCheck.(pair (float_range 1.0 100.0) (float_range (-1.0) 1.0))
+    (fun (box, frac) ->
+      (* wrapped coordinates give differences in (-box, box) *)
+      let dx = frac *. box *. 0.999 in
+      let a = Min_image.delta ~box dx in
+      let b = Min_image.delta_search ~box dx in
+      let c = Min_image.delta_search_branchless ~box dx in
+      abs_float (a -. b) < 1e-9 *. box && abs_float (a -. c) < 1e-9 *. box)
+
+let test_wrap () =
+  Alcotest.(check (float 1e-12)) "wrap positive" 2.0 (Min_image.wrap ~box:10.0 12.0);
+  Alcotest.(check (float 1e-12)) "wrap negative" 8.0 (Min_image.wrap ~box:10.0 (-2.0));
+  Alcotest.(check (float 1e-12)) "wrap inside" 3.0 (Min_image.wrap ~box:10.0 3.0)
+
+let test_dist2_symmetry () =
+  let box = 8.0 in
+  let a = Vec3.make 0.5 7.5 4.0 and b = Vec3.make 7.5 0.5 4.2 in
+  Alcotest.(check (float 1e-12)) "symmetric"
+    (Min_image.dist2 ~box a b) (Min_image.dist2 ~box b a)
+
+(* ---------------- System / Init ---------------- *)
+
+let test_system_minimum_image_criterion () =
+  Alcotest.(check bool) "small box rejected" true
+    (try
+       ignore (System.create ~n:10 ~box:4.0 ~params:p);
+       false
+     with Invalid_argument _ -> true)
+
+let test_init_positions_in_box () =
+  let s = small_system ~n:128 () in
+  for i = 0 to s.System.n - 1 do
+    let q = System.position s i in
+    if q.Vec3.x < 0.0 || q.Vec3.x >= s.System.box
+       || q.Vec3.y < 0.0 || q.Vec3.y >= s.System.box
+       || q.Vec3.z < 0.0 || q.Vec3.z >= s.System.box
+    then Alcotest.failf "atom %d outside box" i
+  done
+
+let test_init_density () =
+  let s = Init.build ~n:125 ~density:0.8 () in
+  Alcotest.(check (float 1e-9)) "density" 0.8 (System.density s)
+
+let test_init_no_overlaps () =
+  let s = small_system ~n:216 () in
+  let worst = ref infinity in
+  for i = 0 to s.System.n - 1 do
+    for j = i + 1 to s.System.n - 1 do
+      let d2 =
+        Min_image.dist2 ~box:s.System.box (System.position s i)
+          (System.position s j)
+      in
+      worst := min !worst d2
+    done
+  done;
+  Alcotest.(check bool) "no catastrophic overlap" true (sqrt !worst > 0.5)
+
+let test_init_zero_momentum () =
+  let s = small_system ~n:128 () in
+  let mom = Observables.total_momentum s in
+  Alcotest.(check bool) "momentum removed" true (Vec3.norm mom < 1e-10)
+
+let test_init_temperature () =
+  let s = Init.build ~n:500 ~temperature:1.4 () in
+  let t = Observables.temperature s in
+  Alcotest.(check bool) "temperature near target" true
+    (abs_float (t -. 1.4) < 0.15)
+
+let test_init_deterministic () =
+  let a = Init.build ~seed:3 ~n:128 () and b = Init.build ~seed:3 ~n:128 () in
+  Alcotest.(check bool) "same seed same system" true
+    (System.equal_positions a b)
+
+let test_system_copy_independent () =
+  let s = small_system () in
+  let c = System.copy s in
+  c.System.pos_x.(0) <- c.System.pos_x.(0) +. 1.0;
+  Alcotest.(check bool) "copy does not alias" false
+    (System.equal_positions s c)
+
+(* ---------------- Forces ---------------- *)
+
+let test_gather_matches_newton3 () =
+  let s1 = small_system () in
+  let s2 = System.copy s1 in
+  let pe1 = Forces.compute_gather s1 in
+  let pe2 = Forces.compute_newton3 s2 in
+  Alcotest.(check bool) "PE agrees" true (abs_float (pe1 -. pe2) < 1e-9);
+  Alcotest.(check bool) "accelerations agree" true
+    (System.max_acceleration_delta s1 s2 < 1e-9)
+
+let test_gather_counts_hits_symmetrically () =
+  let s = small_system () in
+  let _, hits = Forces.compute_gather_stats s in
+  Alcotest.(check int) "hits double-counted (even)" 0 (hits mod 2)
+
+let test_gather_searched_identical () =
+  let s1 = small_system () in
+  let s2 = System.copy s1 in
+  let pe_closed = Forces.compute_gather s1 in
+  let pe_search = Forces.compute_gather_searched s2 in
+  Alcotest.(check (float 1e-12)) "identical PE" pe_closed pe_search;
+  Alcotest.(check (float 1e-12)) "identical forces" 0.0
+    (System.max_acceleration_delta s1 s2)
+
+let test_gather_domains_identical () =
+  let s1 = small_system ~n:216 () in
+  let s2 = System.copy s1 in
+  let s3 = System.copy s1 in
+  let pe_serial = Forces.compute_gather s1 in
+  let pe_par = Forces.compute_gather_domains ~domains:4 s2 in
+  let pe_par1 = Forces.compute_gather_domains ~domains:1 s3 in
+  let close a b = abs_float (a -. b) <= 1e-9 *. abs_float a in
+  Alcotest.(check bool) "PE equal up to summation order (4 domains)" true
+    (close pe_serial pe_par);
+  Alcotest.(check bool) "PE equal up to summation order (1 domain)" true
+    (close pe_serial pe_par1);
+  Alcotest.(check bool) "deterministic across repeats" true
+    (Forces.compute_gather_domains ~domains:4 (System.copy s1) = pe_par);
+  Alcotest.(check (float 0.0)) "forces bit-identical" 0.0
+    (System.max_acceleration_delta s1 s2)
+
+let test_gather_domains_validation () =
+  let s = small_system () in
+  Alcotest.(check bool) "0 domains rejected" true
+    (try
+       ignore (Forces.compute_gather_domains ~domains:0 s);
+       false
+     with Invalid_argument _ -> true);
+  (* More domains than atoms must still work (clamped). *)
+  let tiny = System.create ~n:2 ~box:10.0 ~params:p in
+  System.set_position tiny 0 (Vec3.make 1.0 5.0 5.0);
+  System.set_position tiny 1 (Vec3.make 2.0 5.0 5.0);
+  let pe = Forces.compute_gather_domains ~domains:16 tiny in
+  let tiny2 = System.copy tiny in
+  Alcotest.(check (float 1e-12)) "clamped domains correct"
+    (Forces.compute_gather tiny2) pe
+
+let test_forces_net_zero () =
+  let s = small_system () in
+  ignore (Forces.compute_gather s);
+  let sum axis = Array.fold_left ( +. ) 0.0 axis in
+  (* Newton's third law: total force (= mass * sum of accelerations)
+     vanishes. *)
+  Alcotest.(check bool) "net force ~ 0" true
+    (abs_float (sum s.System.acc_x) < 1e-8
+    && abs_float (sum s.System.acc_y) < 1e-8
+    && abs_float (sum s.System.acc_z) < 1e-8)
+
+let test_acceleration_on_matches_engine () =
+  let s = small_system () in
+  ignore (Forces.compute_gather s);
+  let acc, _pe = Forces.acceleration_on s 5 in
+  Alcotest.(check bool) "spot check" true
+    (Vec3.equal ~eps:1e-10 acc (System.acceleration s 5))
+
+let test_two_atom_force () =
+  (* Two atoms at distance rmin along x: zero force; closer: repulsion. *)
+  let params = { p with Params.cutoff = 2.5 } in
+  let sys = System.create ~n:2 ~box:10.0 ~params in
+  System.set_position sys 0 (Vec3.make 1.0 5.0 5.0);
+  System.set_position sys 1 (Vec3.make 2.0 5.0 5.0);
+  ignore (Forces.compute_gather sys);
+  Alcotest.(check bool) "atoms at r=1 repel along x" true
+    (sys.System.acc_x.(0) < 0.0 && sys.System.acc_x.(1) > 0.0);
+  Alcotest.(check (float 1e-12)) "no y force" 0.0 sys.System.acc_y.(0)
+
+let test_cutoff_respected () =
+  let params = { p with Params.cutoff = 2.5 } in
+  let sys = System.create ~n:2 ~box:10.0 ~params in
+  System.set_position sys 0 (Vec3.make 1.0 5.0 5.0);
+  System.set_position sys 1 (Vec3.make 4.0 5.0 5.0);
+  let pe, hits = Forces.compute_gather_stats sys in
+  Alcotest.(check int) "no interaction beyond cutoff" 0 hits;
+  Alcotest.(check (float 1e-12)) "no PE" 0.0 pe
+
+let test_periodic_interaction () =
+  (* Atoms near opposite box faces interact through the boundary. *)
+  let params = { p with Params.cutoff = 2.5 } in
+  let sys = System.create ~n:2 ~box:10.0 ~params in
+  System.set_position sys 0 (Vec3.make 0.5 5.0 5.0);
+  System.set_position sys 1 (Vec3.make 9.5 5.0 5.0);
+  let _, hits = Forces.compute_gather_stats sys in
+  Alcotest.(check int) "periodic pair found" 2 hits
+
+(* ---------------- Verlet ---------------- *)
+
+let test_verlet_energy_conservation () =
+  let s = Init.build ~seed:11 ~n:128
+      ~params:{ p with Params.dt = 0.001 } ()
+  in
+  let records = Verlet.run s ~engine:Forces.gather_engine ~steps:50 () in
+  let e0 = (List.hd records).Verlet.total_energy in
+  let worst =
+    List.fold_left
+      (fun acc r ->
+        Float.max acc (abs_float ((r.Verlet.total_energy -. e0) /. e0)))
+      0.0 records
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "drift %.2e < 2e-3" worst)
+    true (worst < 2e-3)
+
+let test_verlet_momentum_conservation () =
+  let s = small_system () in
+  ignore (Verlet.run s ~engine:Forces.gather_engine ~steps:20 ());
+  Alcotest.(check bool) "momentum stays ~ 0" true
+    (Vec3.norm (Observables.total_momentum s) < 1e-8)
+
+let test_verlet_record_structure () =
+  let s = small_system () in
+  let records = Verlet.run s ~engine:Forces.gather_engine ~steps:5 () in
+  Alcotest.(check int) "steps+1 records" 6 (List.length records);
+  List.iteri
+    (fun i r -> Alcotest.(check int) "step numbering" i r.Verlet.step)
+    records
+
+let test_verlet_dt_sensitivity () =
+  (* Halving dt must reduce energy drift. *)
+  let drift dt =
+    let s = Init.build ~seed:5 ~n:128 ~params:{ p with Params.dt = dt } () in
+    let records = Verlet.run s ~engine:Forces.gather_engine ~steps:40 () in
+    let e0 = (List.hd records).Verlet.total_energy in
+    let last = List.nth records 40 in
+    abs_float ((last.Verlet.total_energy -. e0) /. e0)
+  in
+  Alcotest.(check bool) "smaller dt conserves better" true
+    (drift 0.0005 < drift 0.004)
+
+let test_verlet_positions_stay_wrapped () =
+  let s = small_system () in
+  ignore (Verlet.run s ~engine:Forces.gather_engine ~steps:20 ());
+  for i = 0 to s.System.n - 1 do
+    let q = System.position s i in
+    if q.Vec3.x < 0.0 || q.Vec3.x >= s.System.box then
+      Alcotest.failf "atom %d escaped the box" i
+  done
+
+(* ---------------- Alternative engines ---------------- *)
+
+let test_pairlist_matches_reference () =
+  let s1 = small_system ~n:216 () in
+  let s2 = System.copy s1 in
+  let pl = Pairlist.create s2 in
+  let pe_ref = Forces.compute_gather s1 in
+  let pe_pl = (Pairlist.engine pl).Mdcore.Engine.compute s2 in
+  Alcotest.(check bool) "PE agrees" true (abs_float (pe_ref -. pe_pl) < 1e-9);
+  Alcotest.(check bool) "forces agree" true
+    (System.max_acceleration_delta s1 s2 < 1e-9)
+
+let test_pairlist_rebuild_cadence () =
+  let s = Init.build ~seed:13 ~n:216 () in
+  let pl = Pairlist.create s in
+  ignore (Verlet.run s ~engine:(Pairlist.engine pl) ~steps:20 ());
+  let rebuilds = Pairlist.rebuild_count pl in
+  Alcotest.(check bool)
+    (Printf.sprintf "rebuilds (%d) far fewer than steps" rebuilds)
+    true
+    (rebuilds >= 1 && rebuilds < 12)
+
+let test_pairlist_trajectory_matches () =
+  let s1 = Init.build ~seed:17 ~n:216 () in
+  let s2 = System.copy s1 in
+  let pl = Pairlist.create s2 in
+  ignore (Verlet.run s1 ~engine:Forces.gather_engine ~steps:10 ());
+  ignore (Verlet.run s2 ~engine:(Pairlist.engine pl) ~steps:10 ());
+  Alcotest.(check bool) "same trajectory" true
+    (System.max_position_delta s1 s2 < 1e-7)
+
+let test_pairlist_wrong_system_rejected () =
+  let s1 = small_system ~n:216 () in
+  let s2 = System.copy s1 in
+  let pl = Pairlist.create s1 in
+  Alcotest.(check bool) "foreign system rejected" true
+    (try
+       ignore ((Pairlist.engine pl).Mdcore.Engine.compute s2);
+       false
+     with Invalid_argument _ -> true)
+
+let test_cell_list_matches_reference () =
+  let s1 = Init.build ~seed:19 ~n:512 () in
+  let s2 = System.copy s1 in
+  let pe_ref = Forces.compute_gather s1 in
+  let pe_cl = Cell_list.compute s2 in
+  Alcotest.(check bool) "PE agrees" true
+    (abs_float (pe_ref -. pe_cl) < 1e-9 *. abs_float pe_ref);
+  Alcotest.(check bool) "forces agree" true
+    (System.max_acceleration_delta s1 s2 < 1e-8)
+
+let test_cell_list_requires_3_cells () =
+  let sys = System.create ~n:2 ~box:5.5 ~params:p in
+  Alcotest.(check bool) "tiny box rejected" true
+    (try
+       ignore (Cell_list.compute sys);
+       false
+     with Invalid_argument _ -> true)
+
+let test_rdf_validation () =
+  let s = small_system () in
+  Alcotest.(check bool) "rmax beyond box/2 rejected" true
+    (try
+       ignore (Observables.radial_distribution s ~bins:10 ~rmax:s.System.box);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "zero bins rejected" true
+    (try
+       ignore (Observables.radial_distribution s ~bins:0 ~rmax:1.0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_rdf_ideal_gas_near_one () =
+  (* Uniform random positions: g(r) ~ 1 away from r = 0. *)
+  let params = { p with Params.cutoff = 2.5 } in
+  let s = System.create ~n:512 ~box:12.0 ~params in
+  let rng = Sim_util.Rng.create 77 in
+  for i = 0 to 511 do
+    System.set_position s i
+      (Vec3.make
+         (Sim_util.Rng.uniform rng 0.0 12.0)
+         (Sim_util.Rng.uniform rng 0.0 12.0)
+         (Sim_util.Rng.uniform rng 0.0 12.0))
+  done;
+  let g = Observables.radial_distribution s ~bins:12 ~rmax:6.0 in
+  (* average the outer bins (statistics improve with r) *)
+  let outer = Array.sub g 6 6 in
+  let avg = Array.fold_left ( +. ) 0.0 outer /. 6.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "ideal-gas plateau ~1 (got %.3f)" avg)
+    true
+    (abs_float (avg -. 1.0) < 0.15)
+
+let test_rdf_excluded_core_and_first_shell () =
+  (* An equilibrated LJ fluid: no pairs inside the hard core, and a
+     first-neighbour peak well above 1 near r_min. *)
+  let s = Init.build ~seed:3 ~n:256 () in
+  ignore (Verlet.run s ~engine:Forces.gather_engine ~steps:20 ());
+  let bins = 24 in
+  let rmax = s.System.box /. 2.0 in
+  let g = Observables.radial_distribution s ~bins ~rmax in
+  let centers = Observables.bin_centers ~bins ~rmax in
+  (* core: all bins with r < 0.8 sigma must be empty *)
+  Array.iteri
+    (fun b r -> if r < 0.8 then Alcotest.(check (float 0.0)) "hard core" 0.0 g.(b))
+    centers;
+  (* first shell: max g in r in [1.0, 1.4] exceeds 1.5 *)
+  let peak = ref 0.0 in
+  Array.iteri
+    (fun b r -> if r >= 1.0 && r <= 1.4 then peak := Float.max !peak g.(b))
+    centers;
+  Alcotest.(check bool)
+    (Printf.sprintf "first shell peak %.2f > 1.5" !peak)
+    true (!peak > 1.5)
+
+let test_verlet_time_reversible () =
+  (* Velocity Verlet is symplectic and time-reversible: run forward,
+     negate velocities, run the same number of steps, and the system
+     retraces its path back to the start. *)
+  let s = Init.build ~seed:29 ~n:128 ~params:{ p with Params.dt = 0.002 } () in
+  let start = System.copy s in
+  ignore (Verlet.run s ~engine:Forces.gather_engine ~steps:25 ());
+  for i = 0 to s.System.n - 1 do
+    s.System.vel_x.(i) <- -.s.System.vel_x.(i);
+    s.System.vel_y.(i) <- -.s.System.vel_y.(i);
+    s.System.vel_z.(i) <- -.s.System.vel_z.(i)
+  done;
+  ignore (Verlet.run s ~engine:Forces.gather_engine ~steps:25 ());
+  Alcotest.(check bool)
+    (Printf.sprintf "returns to start (delta %.2e)"
+       (System.max_position_delta s start))
+    true
+    (System.max_position_delta s start < 1e-7)
+
+(* ---------------- Thermostat / trajectory output ---------------- *)
+
+let test_thermostat_rescale_exact () =
+  let s = small_system () in
+  Mdcore.Thermostat.rescale s ~target:1.5;
+  Alcotest.(check (float 1e-9)) "temperature set exactly" 1.5
+    (Observables.temperature s)
+
+let test_thermostat_rescale_preserves_momentum () =
+  let s = small_system () in
+  Mdcore.Thermostat.rescale s ~target:0.7;
+  Alcotest.(check bool) "momentum still ~0" true
+    (Vec3.norm (Observables.total_momentum s) < 1e-9)
+
+let test_thermostat_berendsen_relaxes () =
+  let s = small_system () in
+  Mdcore.Thermostat.rescale s ~target:0.5;
+  let gap_before = abs_float (Observables.temperature s -. 1.2) in
+  Mdcore.Thermostat.berendsen s ~target:1.2 ~tau:(10.0 *. p.Params.dt);
+  let gap_after = abs_float (Observables.temperature s -. 1.2) in
+  Alcotest.(check bool) "moves toward target" true (gap_after < gap_before)
+
+let test_thermostat_equilibrate () =
+  let s = small_system ~n:216 () in
+  let _ =
+    Mdcore.Thermostat.equilibrate s ~engine:Forces.gather_engine ~target:0.9
+      ~steps:120 ()
+  in
+  let t = Observables.temperature s in
+  Alcotest.(check bool)
+    (Printf.sprintf "equilibrated near 0.9 (got %.3f)" t)
+    true
+    (abs_float (t -. 0.9) < 0.15)
+
+let test_thermostat_validation () =
+  let s = small_system () in
+  Alcotest.(check bool) "negative target rejected" true
+    (try
+       Mdcore.Thermostat.rescale s ~target:(-1.0);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "zero tau rejected" true
+    (try
+       Mdcore.Thermostat.berendsen s ~target:1.0 ~tau:0.0;
+       false
+     with Invalid_argument _ -> true)
+
+let test_xyz_roundtrip () =
+  let s = small_system () in
+  let frames = [ Mdcore.System.copy s; Mdcore.System.copy s; s ] in
+  let path = Filename.temp_file "mdsim-test" ".xyz" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Mdcore.Xyz.write_trajectory ~path ~frames ();
+      Alcotest.(check int) "frame count" 3 (Mdcore.Xyz.frame_count ~path))
+
+let test_xyz_malformed () =
+  let path = Filename.temp_file "mdsim-test" ".xyz" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "not-a-count\ncomment\n";
+      close_out oc;
+      Alcotest.(check bool) "malformed rejected" true
+        (try
+           ignore (Mdcore.Xyz.frame_count ~path);
+           false
+         with Failure _ -> true))
+
+let test_vacf_starts_at_one () =
+  let s = small_system () in
+  let snapshots = ref [] in
+  ignore
+    (Verlet.run s ~engine:Forces.gather_engine ~steps:10
+       ~record:(fun _ -> snapshots := Mdcore.System.copy s :: !snapshots)
+       ());
+  let vacf = Observables.velocity_autocorrelation (List.rev !snapshots) in
+  Alcotest.(check (float 1e-12)) "C(0) = 1" 1.0 vacf.(0);
+  Alcotest.(check bool) "decorrelates in a dense fluid" true
+    (vacf.(10) < 0.999)
+
+let test_vacf_free_particles_constant () =
+  (* No forces: velocities never change, so C(k) = 1 for all k. *)
+  let s = small_system () in
+  let idle = Mdcore.Engine.make ~name:"free" ~compute:(fun sys ->
+      Mdcore.System.clear_accelerations sys;
+      0.0)
+  in
+  let snapshots = ref [] in
+  ignore
+    (Verlet.run s ~engine:idle ~steps:5
+       ~record:(fun _ -> snapshots := Mdcore.System.copy s :: !snapshots)
+       ());
+  let vacf = Observables.velocity_autocorrelation (List.rev !snapshots) in
+  Array.iter
+    (fun c -> Alcotest.(check (float 1e-12)) "ballistic: C = 1" 1.0 c)
+    vacf
+
+let test_diffusion_positive_in_fluid () =
+  let s = Init.build ~seed:37 ~n:216 ~temperature:1.4 () in
+  let snapshots = ref [] in
+  ignore
+    (Verlet.run s ~engine:Forces.gather_engine ~steps:30
+       ~record:(fun _ -> snapshots := Mdcore.System.copy s :: !snapshots)
+       ());
+  let d =
+    Observables.diffusion_coefficient (List.rev !snapshots)
+      ~dt:p.Params.dt
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "D > 0 in a hot fluid (got %.4f)" d)
+    true (d > 0.0)
+
+let test_vacf_validation () =
+  Alcotest.(check bool) "empty list rejected" true
+    (try
+       ignore (Observables.velocity_autocorrelation []);
+       false
+     with Invalid_argument _ -> true)
+
+(* A property: potential energy is invariant under global translation. *)
+let translation_invariance_prop =
+  QCheck.Test.make ~name:"PE invariant under global translation" ~count:20
+    (QCheck.triple
+       (QCheck.float_range (-5.0) 5.0)
+       (QCheck.float_range (-5.0) 5.0)
+       (QCheck.float_range (-5.0) 5.0))
+    (fun (tx, ty, tz) ->
+      let s1 = Init.build ~seed:23 ~n:128 () in
+      let s2 = System.copy s1 in
+      for i = 0 to s2.System.n - 1 do
+        System.set_position s2 i
+          (Vec3.add (System.position s2 i) (Vec3.make tx ty tz))
+      done;
+      let pe1 = Forces.compute_gather s1 and pe2 = Forces.compute_gather s2 in
+      abs_float (pe1 -. pe2) < 1e-6 *. abs_float pe1)
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let tests =
+  ( "mdcore",
+    [ Alcotest.test_case "lj zero at sigma" `Quick test_lj_zero_at_sigma;
+      Alcotest.test_case "lj minimum depth" `Quick test_lj_minimum_depth;
+      Alcotest.test_case "lj force sign change" `Quick
+        test_lj_force_sign_change;
+      Alcotest.test_case "lj force zero at minimum" `Quick
+        test_lj_force_zero_at_minimum;
+      Alcotest.test_case "lj force is -dV/dr" `Quick test_lj_force_is_gradient;
+      Alcotest.test_case "params validation" `Quick test_params_validation;
+      Alcotest.test_case "min image range" `Quick test_min_image_range;
+      qcheck min_image_agreement_prop;
+      Alcotest.test_case "wrap" `Quick test_wrap;
+      Alcotest.test_case "dist2 symmetry" `Quick test_dist2_symmetry;
+      Alcotest.test_case "minimum-image criterion" `Quick
+        test_system_minimum_image_criterion;
+      Alcotest.test_case "init positions in box" `Quick
+        test_init_positions_in_box;
+      Alcotest.test_case "init density" `Quick test_init_density;
+      Alcotest.test_case "init no overlaps" `Quick test_init_no_overlaps;
+      Alcotest.test_case "init zero momentum" `Quick test_init_zero_momentum;
+      Alcotest.test_case "init temperature" `Quick test_init_temperature;
+      Alcotest.test_case "init deterministic" `Quick test_init_deterministic;
+      Alcotest.test_case "system copy independent" `Quick
+        test_system_copy_independent;
+      Alcotest.test_case "gather = newton3" `Quick test_gather_matches_newton3;
+      Alcotest.test_case "hits double-counted" `Quick
+        test_gather_counts_hits_symmetrically;
+      Alcotest.test_case "net force zero" `Quick test_forces_net_zero;
+      Alcotest.test_case "searched image = closed form" `Quick
+        test_gather_searched_identical;
+      Alcotest.test_case "domains gather identical" `Quick
+        test_gather_domains_identical;
+      Alcotest.test_case "domains gather validation" `Quick
+        test_gather_domains_validation;
+      Alcotest.test_case "acceleration_on spot check" `Quick
+        test_acceleration_on_matches_engine;
+      Alcotest.test_case "two-atom force" `Quick test_two_atom_force;
+      Alcotest.test_case "cutoff respected" `Quick test_cutoff_respected;
+      Alcotest.test_case "periodic interaction" `Quick
+        test_periodic_interaction;
+      Alcotest.test_case "energy conservation" `Slow
+        test_verlet_energy_conservation;
+      Alcotest.test_case "momentum conservation" `Quick
+        test_verlet_momentum_conservation;
+      Alcotest.test_case "record structure" `Quick test_verlet_record_structure;
+      Alcotest.test_case "dt sensitivity" `Slow test_verlet_dt_sensitivity;
+      Alcotest.test_case "positions stay wrapped" `Quick
+        test_verlet_positions_stay_wrapped;
+      Alcotest.test_case "time reversibility" `Quick
+        test_verlet_time_reversible;
+      Alcotest.test_case "pairlist matches reference" `Quick
+        test_pairlist_matches_reference;
+      Alcotest.test_case "pairlist rebuild cadence" `Quick
+        test_pairlist_rebuild_cadence;
+      Alcotest.test_case "pairlist trajectory matches" `Quick
+        test_pairlist_trajectory_matches;
+      Alcotest.test_case "pairlist rejects foreign system" `Quick
+        test_pairlist_wrong_system_rejected;
+      Alcotest.test_case "cell list matches reference" `Quick
+        test_cell_list_matches_reference;
+      Alcotest.test_case "cell list needs 3 cells" `Quick
+        test_cell_list_requires_3_cells;
+      Alcotest.test_case "rdf validation" `Quick test_rdf_validation;
+      Alcotest.test_case "rdf ideal gas" `Quick test_rdf_ideal_gas_near_one;
+      Alcotest.test_case "rdf core and first shell" `Quick
+        test_rdf_excluded_core_and_first_shell;
+      Alcotest.test_case "thermostat rescale" `Quick
+        test_thermostat_rescale_exact;
+      Alcotest.test_case "rescale preserves momentum" `Quick
+        test_thermostat_rescale_preserves_momentum;
+      Alcotest.test_case "berendsen relaxes" `Quick
+        test_thermostat_berendsen_relaxes;
+      Alcotest.test_case "equilibrate" `Slow test_thermostat_equilibrate;
+      Alcotest.test_case "thermostat validation" `Quick
+        test_thermostat_validation;
+      Alcotest.test_case "xyz roundtrip" `Quick test_xyz_roundtrip;
+      Alcotest.test_case "xyz malformed" `Quick test_xyz_malformed;
+      Alcotest.test_case "vacf starts at one" `Quick test_vacf_starts_at_one;
+      Alcotest.test_case "vacf free particles" `Quick
+        test_vacf_free_particles_constant;
+      Alcotest.test_case "diffusion positive" `Quick
+        test_diffusion_positive_in_fluid;
+      Alcotest.test_case "vacf validation" `Quick test_vacf_validation;
+      qcheck translation_invariance_prop ] )

@@ -1,0 +1,266 @@
+(* Tests for the memsim library: cache behaviour, hierarchy costs and the
+   address-space layout allocator. *)
+
+module Cache = Memsim.Cache
+module Hierarchy = Memsim.Hierarchy
+module Layout = Memsim.Layout
+
+let small_cache () = Cache.create ~line_bytes:64 ~sets:4 ~ways:2
+
+let test_cache_validation () =
+  Alcotest.(check bool) "non-pow2 line rejected" true
+    (try
+       ignore (Cache.create ~line_bytes:48 ~sets:4 ~ways:2);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "zero ways rejected" true
+    (try
+       ignore (Cache.create ~line_bytes:64 ~sets:4 ~ways:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_cache_capacity () =
+  Alcotest.(check int) "capacity" (64 * 4 * 2)
+    (Cache.capacity_bytes (small_cache ()))
+
+let test_cache_cold_miss_then_hit () =
+  let c = small_cache () in
+  Alcotest.(check bool) "cold miss" true (Cache.access c 0 = Cache.Miss);
+  Alcotest.(check bool) "warm hit" true (Cache.access c 0 = Cache.Hit);
+  Alcotest.(check bool) "same line hit" true (Cache.access c 63 = Cache.Hit);
+  Alcotest.(check bool) "next line miss" true (Cache.access c 64 = Cache.Miss)
+
+let test_cache_lru_eviction () =
+  let c = small_cache () in
+  (* Three lines mapping to set 0 (stride = line * sets = 256). *)
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 256);
+  ignore (Cache.access c 0);
+  (* 0 is MRU *)
+  ignore (Cache.access c 512);
+  (* evicts 256 *)
+  Alcotest.(check bool) "MRU survives" true (Cache.contains c 0);
+  Alcotest.(check bool) "LRU evicted" false (Cache.contains c 256)
+
+let test_cache_stats () =
+  let c = small_cache () in
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 128);
+  Alcotest.(check int) "hits" 1 (Cache.hits c);
+  Alcotest.(check int) "misses" 2 (Cache.misses c);
+  Alcotest.(check (float 1e-9)) "miss rate" (2.0 /. 3.0) (Cache.miss_rate c);
+  Cache.reset_stats c;
+  Alcotest.(check int) "stats reset" 0 (Cache.accesses c);
+  Alcotest.(check bool) "contents survive stat reset" true
+    (Cache.contains c 0)
+
+let test_cache_flush () =
+  let c = small_cache () in
+  ignore (Cache.access c 0);
+  Cache.flush c;
+  Alcotest.(check bool) "flushed" false (Cache.contains c 0)
+
+let test_cache_negative_address () =
+  let c = small_cache () in
+  Alcotest.(check bool) "negative rejected" true
+    (try
+       ignore (Cache.access c (-8));
+       false
+     with Invalid_argument _ -> true)
+
+let cache_working_set_prop =
+  QCheck.Test.make ~name:"working set within capacity always hits after warmup"
+    ~count:50
+    QCheck.(int_range 1 8)
+    (fun lines ->
+      let c = small_cache () in
+      (* [lines] distinct lines all mapping to different sets where
+         possible; capacity is 8 lines total, 2 ways x 4 sets. *)
+      let addrs = List.init lines (fun i -> i * 64) in
+      List.iter (fun a -> ignore (Cache.access c a)) addrs;
+      List.for_all (fun a -> Cache.access c a = Cache.Hit) addrs)
+
+let cache_miss_rate_bounds_prop =
+  QCheck.Test.make ~name:"miss rate within [0,1]" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 200) (int_range 0 100_000))
+    (fun addrs ->
+      let c = small_cache () in
+      List.iter (fun a -> ignore (Cache.access c a)) addrs;
+      let r = Cache.miss_rate c in
+      r >= 0.0 && r <= 1.0)
+
+(* ---------------- Hierarchy ---------------- *)
+
+let tiny_hierarchy () =
+  Hierarchy.create
+    { Hierarchy.l1_line_bytes = 64; l1_sets = 2; l1_ways = 1;
+      l1_hit_cycles = 3; l2_line_bytes = 64; l2_sets = 8; l2_ways = 2;
+      l2_hit_cycles = 12; dram_cycles = 100 }
+
+let test_hierarchy_costs () =
+  let h = tiny_hierarchy () in
+  Alcotest.(check int) "cold: full cost" (3 + 12 + 100) (Hierarchy.access h 0);
+  Alcotest.(check int) "L1 hit" 3 (Hierarchy.access h 0);
+  (* Evict line 0 from the 128-byte L1 but not from the 1 KB L2. *)
+  ignore (Hierarchy.access h 128);
+  Alcotest.(check int) "L2 hit after L1 evict" (3 + 12) (Hierarchy.access h 0)
+
+let test_hierarchy_stats () =
+  let h = tiny_hierarchy () in
+  ignore (Hierarchy.access h 0);
+  ignore (Hierarchy.access h 0);
+  Alcotest.(check int) "accesses" 2 (Hierarchy.accesses h);
+  Alcotest.(check int) "total cycles" (115 + 3) (Hierarchy.total_cycles h);
+  Alcotest.(check (float 1e-9)) "average" 59.0 (Hierarchy.average_cycles h)
+
+let test_hierarchy_opteron_config () =
+  let cfg = Hierarchy.opteron_2_2ghz in
+  Alcotest.(check int) "L1 = 64 KB"
+    (64 * 1024)
+    (cfg.Hierarchy.l1_line_bytes * cfg.Hierarchy.l1_sets * cfg.Hierarchy.l1_ways);
+  Alcotest.(check int) "L2 = 1 MB"
+    (1024 * 1024)
+    (cfg.Hierarchy.l2_line_bytes * cfg.Hierarchy.l2_sets * cfg.Hierarchy.l2_ways)
+
+let test_hierarchy_streaming_beats_l1 () =
+  (* A working set bigger than L1 but within L2, swept twice: the second
+     sweep should cost L2-hit, not DRAM. *)
+  let h = tiny_hierarchy () in
+  let sweep () =
+    let total = ref 0 in
+    for i = 0 to 7 do
+      total := !total + Hierarchy.access h (i * 64)
+    done;
+    !total
+  in
+  let first = sweep () in
+  let second = sweep () in
+  Alcotest.(check bool) "second sweep cheaper" true (second < first);
+  Alcotest.(check int) "second sweep all L2 hits" (8 * 15) second
+
+(* ---------------- TLB ---------------- *)
+
+let test_tlb_hit_miss () =
+  let tlb = Memsim.Tlb.create ~page_bytes:4096 ~entries:2 ~miss_cycles:25 () in
+  Alcotest.(check int) "cold miss pays the walk" 25 (Memsim.Tlb.access tlb 0);
+  Alcotest.(check int) "same page hits" 0 (Memsim.Tlb.access tlb 4095);
+  Alcotest.(check int) "second page miss" 25 (Memsim.Tlb.access tlb 4096);
+  Alcotest.(check int) "both resident" 0 (Memsim.Tlb.access tlb 100)
+
+let test_tlb_lru_eviction () =
+  let tlb = Memsim.Tlb.create ~entries:2 () in
+  ignore (Memsim.Tlb.access tlb 0);        (* page 0 *)
+  ignore (Memsim.Tlb.access tlb 4096);     (* page 1 *)
+  ignore (Memsim.Tlb.access tlb 10);       (* touch page 0: page 1 is LRU *)
+  ignore (Memsim.Tlb.access tlb 8192);     (* page 2 evicts page 1 *)
+  Alcotest.(check int) "page 0 still resident" 0 (Memsim.Tlb.access tlb 20);
+  Alcotest.(check bool) "page 1 evicted" true (Memsim.Tlb.access tlb 4097 > 0)
+
+let test_tlb_reach_and_stats () =
+  let tlb = Memsim.Tlb.create ~page_bytes:4096 ~entries:32 () in
+  Alcotest.(check int) "reach" (32 * 4096) (Memsim.Tlb.reach_bytes tlb);
+  ignore (Memsim.Tlb.access tlb 0);
+  ignore (Memsim.Tlb.access tlb 1);
+  Alcotest.(check int) "hits" 1 (Memsim.Tlb.hits tlb);
+  Alcotest.(check int) "misses" 1 (Memsim.Tlb.misses tlb);
+  Memsim.Tlb.flush tlb;
+  Alcotest.(check int) "flushed" 0 (Memsim.Tlb.hits tlb)
+
+let test_tlb_validation () =
+  Alcotest.(check bool) "non-pow2 page rejected" true
+    (try
+       ignore (Memsim.Tlb.create ~page_bytes:3000 ());
+       false
+     with Invalid_argument _ -> true)
+
+let tlb_streaming_prop =
+  QCheck.Test.make ~name:"streaming working set beyond reach always walks"
+    ~count:30
+    QCheck.(int_range 33 100)
+    (fun pages ->
+      let tlb = Memsim.Tlb.create ~entries:32 () in
+      (* Two full cyclic sweeps over more pages than entries: the second
+         sweep must still miss every page (LRU worst case). *)
+      for _ = 1 to 2 do
+        for p = 0 to pages - 1 do
+          ignore (Memsim.Tlb.access tlb (p * 4096))
+        done
+      done;
+      Memsim.Tlb.misses tlb = 2 * pages)
+
+(* ---------------- Layout ---------------- *)
+
+let test_layout_alignment () =
+  let l = Layout.create () in
+  let a = Layout.alloc l ~bytes:10 ~align:64 in
+  let b = Layout.alloc l ~bytes:10 ~align:64 in
+  Alcotest.(check int) "aligned a" 0 (a mod 64);
+  Alcotest.(check int) "aligned b" 0 (b mod 64);
+  Alcotest.(check bool) "disjoint" true (b >= a + 10)
+
+let test_layout_float_array () =
+  let l = Layout.create () in
+  let a = Layout.alloc_float_array l ~n:100 in
+  let b = Layout.alloc_float_array l ~n:100 in
+  Alcotest.(check bool) "disjoint arrays" true (b >= a + 800)
+
+let test_layout_validation () =
+  let l = Layout.create () in
+  Alcotest.(check bool) "bad align" true
+    (try
+       ignore (Layout.alloc l ~bytes:8 ~align:3);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative size" true
+    (try
+       ignore (Layout.alloc l ~bytes:(-1) ~align:8);
+       false
+     with Invalid_argument _ -> true)
+
+let layout_disjoint_prop =
+  QCheck.Test.make ~name:"allocations never overlap" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 20) (int_range 0 1000))
+    (fun sizes ->
+      let l = Layout.create () in
+      let ranges =
+        List.map (fun bytes -> (Layout.alloc l ~bytes ~align:16, bytes)) sizes
+      in
+      let rec disjoint = function
+        | (a, la) :: ((b, _) :: _ as rest) ->
+          a + la <= b && disjoint rest
+        | _ -> true
+      in
+      disjoint ranges)
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let tests =
+  ( "memsim",
+    [ Alcotest.test_case "cache validation" `Quick test_cache_validation;
+      Alcotest.test_case "cache capacity" `Quick test_cache_capacity;
+      Alcotest.test_case "cold miss then hit" `Quick
+        test_cache_cold_miss_then_hit;
+      Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
+      Alcotest.test_case "cache stats" `Quick test_cache_stats;
+      Alcotest.test_case "cache flush" `Quick test_cache_flush;
+      Alcotest.test_case "negative address" `Quick
+        test_cache_negative_address;
+      qcheck cache_working_set_prop;
+      qcheck cache_miss_rate_bounds_prop;
+      Alcotest.test_case "hierarchy costs" `Quick test_hierarchy_costs;
+      Alcotest.test_case "hierarchy stats" `Quick test_hierarchy_stats;
+      Alcotest.test_case "opteron config sizes" `Quick
+        test_hierarchy_opteron_config;
+      Alcotest.test_case "streaming beats L1" `Quick
+        test_hierarchy_streaming_beats_l1;
+      Alcotest.test_case "tlb hit/miss" `Quick test_tlb_hit_miss;
+      Alcotest.test_case "tlb lru eviction" `Quick test_tlb_lru_eviction;
+      Alcotest.test_case "tlb reach and stats" `Quick
+        test_tlb_reach_and_stats;
+      Alcotest.test_case "tlb validation" `Quick test_tlb_validation;
+      qcheck tlb_streaming_prop;
+      Alcotest.test_case "layout alignment" `Quick test_layout_alignment;
+      Alcotest.test_case "layout float arrays" `Quick test_layout_float_array;
+      Alcotest.test_case "layout validation" `Quick test_layout_validation;
+      qcheck layout_disjoint_prop ] )

@@ -1,0 +1,276 @@
+(* Tests for the MTA-2 model: loop parallelization decisions, the
+   latency/throughput time bounds, and full/empty-bit cells. *)
+
+module Config = Mta.Config
+module Ledger = Mta.Ledger
+module Loop = Mta.Loop
+module Machine = Mta.Machine
+module Sync_cell = Mta.Sync_cell
+module Op = Isa.Op
+module Block = Isa.Block
+
+let body =
+  Block.of_instrs
+    [ { Block.op = Op.Load; deps = [] };
+      { Block.op = Op.Fadd; deps = [] };
+      { Block.op = Op.Fmul; deps = [] } ]
+
+let parallel_loop = Loop.make ~name:"par" ~body ()
+
+let serial_loop =
+  Loop.make ~name:"ser" ~body ~carries_dependency:true ()
+
+let pragma_loop =
+  Loop.make ~name:"pragma" ~body ~carries_dependency:true
+    ~pragma_no_dependence:true ()
+
+let cfg = Config.mta2 ()
+
+let test_config_defaults () =
+  Config.validate cfg;
+  Alcotest.(check int) "128 streams" 128 cfg.Config.streams_per_proc;
+  Alcotest.(check (float 1.0)) "200 MHz" 200e6 cfg.Config.clock.Sim_util.Units.hz
+
+let test_loop_parallelizable () =
+  Alcotest.(check bool) "clean loop parallel" true
+    (Loop.parallelizable parallel_loop);
+  Alcotest.(check bool) "dependency blocks" false
+    (Loop.parallelizable serial_loop);
+  Alcotest.(check bool) "pragma overrides" true
+    (Loop.parallelizable pragma_loop)
+
+let test_loop_counts () =
+  Alcotest.(check int) "instructions" 3 (Loop.instructions parallel_loop);
+  Alcotest.(check int) "memory ops" 1 (Loop.memory_ops parallel_loop)
+
+let test_serial_pays_latency () =
+  let m = Machine.create cfg in
+  let s = Machine.serial_seconds m ~loop:serial_loop ~n:1000 in
+  (* 3 instrs + 1 mem * 100 cycles latency, per iteration *)
+  let expected = 1000.0 *. (3.0 +. 100.0) /. 200e6 in
+  Alcotest.(check (float 1e-12)) "serial cost" expected s
+
+let test_parallel_saturated_issue_bound () =
+  let m = Machine.create cfg in
+  (* Far more iterations than streams: issue-throughput bound. *)
+  let n = 1_000_000 in
+  let s = Machine.parallel_seconds m ~loop:parallel_loop ~n in
+  let issue_bound = float_of_int (n * 3) /. 200e6 in
+  Alcotest.(check bool) "close to issue bound" true
+    (s >= issue_bound && s < issue_bound *. 1.01)
+
+let test_parallel_undersaturated_latency_bound () =
+  let m = Machine.create cfg in
+  (* Fewer iterations than streams: each stream's latency is exposed. *)
+  let n = 16 in
+  let s = Machine.parallel_seconds m ~loop:parallel_loop ~n in
+  let per_iter = (3.0 +. 100.0) /. 200e6 in
+  let overhead = float_of_int cfg.Config.region_overhead /. 200e6 in
+  Alcotest.(check (float 1e-12)) "latency bound with concurrency n"
+    (per_iter +. overhead) s
+
+let test_parallel_beats_serial () =
+  let m = Machine.create cfg in
+  let n = 100_000 in
+  Alcotest.(check bool) "parallel much faster" true
+    (Machine.parallel_seconds m ~loop:parallel_loop ~n
+    < Machine.serial_seconds m ~loop:parallel_loop ~n /. 10.0)
+
+let test_more_processors_help () =
+  let one = Machine.create (Config.mta2 ~n_procs:1 ()) in
+  let four = Machine.create (Config.mta2 ~n_procs:4 ()) in
+  let n = 1_000_000 in
+  let s1 = Machine.parallel_seconds one ~loop:parallel_loop ~n in
+  let s4 = Machine.parallel_seconds four ~loop:parallel_loop ~n in
+  Alcotest.(check bool) "4 procs ~4x faster" true
+    (s1 /. s4 > 3.5 && s1 /. s4 < 4.5)
+
+let test_concurrency_cap () =
+  let m = Machine.create cfg in
+  Alcotest.(check int) "capped by streams" 128 (Machine.concurrency m ~n:4096);
+  Alcotest.(check int) "capped by n" 16 (Machine.concurrency m ~n:16)
+
+let test_for_loop_executes_and_charges () =
+  let m = Machine.create cfg in
+  let count = ref 0 in
+  Machine.for_loop m ~loop:parallel_loop ~n:10 ~f:(fun _ -> incr count);
+  Alcotest.(check int) "body ran n times" 10 !count;
+  Alcotest.(check bool) "time charged" true (Machine.time m > 0.0);
+  Alcotest.(check (float 1e-15)) "ledger total = time" (Machine.time m)
+    (Ledger.total (Machine.ledger m))
+
+let test_for_loop_serial_category () =
+  let m = Machine.create cfg in
+  Machine.for_loop m ~loop:serial_loop ~n:10 ~f:(fun _ -> ());
+  Alcotest.(check bool) "charged as serial" true
+    (Ledger.get (Machine.ledger m) Ledger.Serial > 0.0);
+  Alcotest.(check (float 1e-15)) "no parallel time" 0.0
+    (Ledger.get (Machine.ledger m) Ledger.Parallel)
+
+let test_xmt_nonuniform_penalty () =
+  let xmt = Config.xmt_like ~n_procs:1 () in
+  Machine.(
+    let m = create xmt in
+    let uniform = create (Config.mta2 ()) in
+    let n = 16 in
+    let sx = parallel_seconds m ~loop:parallel_loop ~n in
+    let su = parallel_seconds uniform ~loop:parallel_loop ~n in
+    (* The XMT clock is faster but remote references cost more; at low
+       concurrency the under-saturated latency bound shows the penalty. *)
+    ignore su;
+    Alcotest.(check bool) "nonuniform latency visible" true
+      (sx *. 500e6 > float_of_int (3 + 150)))
+
+(* ---------------- Sync cells ---------------- *)
+
+let test_sync_cell_protocol () =
+  let m = Machine.create cfg in
+  let c = Sync_cell.create_full m 1.5 in
+  Alcotest.(check bool) "full" true (Sync_cell.is_full c);
+  Alcotest.(check (float 0.0)) "readfe" 1.5 (Sync_cell.readfe c);
+  Alcotest.(check bool) "now empty" false (Sync_cell.is_full c);
+  Sync_cell.writeef c 2.5;
+  Alcotest.(check (float 0.0)) "readff" 2.5 (Sync_cell.readff c)
+
+let test_sync_cell_violations () =
+  let m = Machine.create cfg in
+  let c = Sync_cell.create_empty m in
+  Alcotest.(check bool) "readfe on empty raises" true
+    (try
+       ignore (Sync_cell.readfe c);
+       false
+     with Sync_cell.Protocol_violation _ -> true);
+  Sync_cell.writeef c 1.0;
+  Alcotest.(check bool) "writeef on full raises" true
+    (try
+       Sync_cell.writeef c 2.0;
+       false
+     with Sync_cell.Protocol_violation _ -> true)
+
+let test_sync_cell_fetch_add () =
+  let m = Machine.create cfg in
+  let c = Sync_cell.create_full m 0.0 in
+  for i = 1 to 10 do
+    ignore (Sync_cell.fetch_add c (float_of_int i))
+  done;
+  Alcotest.(check (float 1e-12)) "sum" 55.0 (Sync_cell.readff c)
+
+let test_sync_charges_time () =
+  let m = Machine.create cfg in
+  let c = Sync_cell.create_full m 0.0 in
+  ignore (Sync_cell.fetch_add c 1.0);
+  Alcotest.(check bool) "sync time accounted" true
+    (Ledger.get (Machine.ledger m) Ledger.Sync > 0.0)
+
+let test_sync_cheaper_inside_parallel_region () =
+  let cost_in_region ~loop =
+    let m = Machine.create cfg in
+    let c = Sync_cell.create_full m 0.0 in
+    Machine.charged_region m ~loop ~n:1000 ~f:(fun () ->
+        ignore (Sync_cell.fetch_add c 1.0));
+    Ledger.get (Machine.ledger m) Ledger.Sync
+  in
+  Alcotest.(check bool) "contention amortized across streams" true
+    (cost_in_region ~loop:pragma_loop < cost_in_region ~loop:serial_loop)
+
+(* ---------------- Parallel primitives ---------------- *)
+
+let test_par_reduce_sum () =
+  let m = Machine.create cfg in
+  let arr = Array.init 100 float_of_int in
+  let total =
+    Mta.Par.reduce m ~body ~f:( +. ) ~init:0.0 arr
+  in
+  Alcotest.(check (float 1e-9)) "sum 0..99" 4950.0 total;
+  Alcotest.(check bool) "charged" true (Machine.time m > 0.0)
+
+let test_par_reduce_max () =
+  let m = Machine.create cfg in
+  let arr = [| 3.0; 9.0; 1.0; 7.0; 9.5; 0.0 |] in
+  Alcotest.(check (float 0.0)) "max" 9.5
+    (Mta.Par.reduce m ~body ~f:Float.max ~init:neg_infinity arr)
+
+let test_par_reduce_empty () =
+  let m = Machine.create cfg in
+  Alcotest.(check (float 0.0)) "empty = init" 42.0
+    (Mta.Par.reduce m ~body ~f:( +. ) ~init:42.0 [||])
+
+let test_par_scan () =
+  let m = Machine.create cfg in
+  let arr = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  let scanned = Mta.Par.scan_inclusive m ~body ~f:( +. ) arr in
+  Alcotest.(check (array (float 1e-9))) "prefix sums"
+    [| 1.0; 3.0; 6.0; 10.0; 15.0 |] scanned
+
+let test_par_atomic_sum_matches_reduce () =
+  let arr = Array.init 64 (fun i -> float_of_int i *. 0.5) in
+  let m1 = Machine.create cfg and m2 = Machine.create cfg in
+  let a = Mta.Par.atomic_sum m1 arr in
+  let r = Mta.Par.reduce m2 ~body ~f:( +. ) ~init:0.0 arr in
+  Alcotest.(check (float 1e-9)) "same result" r a;
+  Alcotest.(check bool) "atomic strategy pays more sync" true
+    (Ledger.get (Machine.ledger m1) Ledger.Sync
+    > Ledger.get (Machine.ledger m2) Ledger.Sync)
+
+let test_par_map () =
+  let m = Machine.create cfg in
+  let out = Mta.Par.parallel_map m ~body ~f:(fun i -> float_of_int (i * i)) 6 in
+  Alcotest.(check (array (float 0.0))) "squares"
+    [| 0.0; 1.0; 4.0; 9.0; 16.0; 25.0 |] out
+
+let test_work_queue_drains_all () =
+  let m = Machine.create cfg in
+  let q = Mta.Par.Work_queue.create m ~n:25 in
+  let seen = Array.make 25 0 in
+  let count = Mta.Par.Work_queue.drain q ~f:(fun t -> seen.(t) <- seen.(t) + 1) in
+  Alcotest.(check int) "all tasks" 25 count;
+  Array.iter (fun c -> Alcotest.(check int) "each exactly once" 1 c) seen;
+  Alcotest.(check bool) "further steals return None" true
+    (Mta.Par.Work_queue.steal q = None);
+  Alcotest.(check bool) "steals charged as sync ops" true
+    (Ledger.get (Machine.ledger m) Ledger.Sync > 0.0)
+
+let test_work_queue_empty () =
+  let m = Machine.create cfg in
+  let q = Mta.Par.Work_queue.create m ~n:0 in
+  Alcotest.(check bool) "empty queue" true
+    (Mta.Par.Work_queue.steal q = None)
+
+let tests =
+  ( "mta",
+    [ Alcotest.test_case "config defaults" `Quick test_config_defaults;
+      Alcotest.test_case "loop parallelizable" `Quick
+        test_loop_parallelizable;
+      Alcotest.test_case "loop counts" `Quick test_loop_counts;
+      Alcotest.test_case "serial pays latency" `Quick test_serial_pays_latency;
+      Alcotest.test_case "parallel issue bound" `Quick
+        test_parallel_saturated_issue_bound;
+      Alcotest.test_case "parallel latency bound" `Quick
+        test_parallel_undersaturated_latency_bound;
+      Alcotest.test_case "parallel beats serial" `Quick
+        test_parallel_beats_serial;
+      Alcotest.test_case "more processors help" `Quick
+        test_more_processors_help;
+      Alcotest.test_case "concurrency cap" `Quick test_concurrency_cap;
+      Alcotest.test_case "for_loop executes and charges" `Quick
+        test_for_loop_executes_and_charges;
+      Alcotest.test_case "serial category" `Quick test_for_loop_serial_category;
+      Alcotest.test_case "xmt nonuniform penalty" `Quick
+        test_xmt_nonuniform_penalty;
+      Alcotest.test_case "sync cell protocol" `Quick test_sync_cell_protocol;
+      Alcotest.test_case "sync cell violations" `Quick
+        test_sync_cell_violations;
+      Alcotest.test_case "sync cell fetch_add" `Quick test_sync_cell_fetch_add;
+      Alcotest.test_case "sync charges time" `Quick test_sync_charges_time;
+      Alcotest.test_case "sync cheaper in parallel region" `Quick
+        test_sync_cheaper_inside_parallel_region;
+      Alcotest.test_case "par reduce sum" `Quick test_par_reduce_sum;
+      Alcotest.test_case "par reduce max" `Quick test_par_reduce_max;
+      Alcotest.test_case "par reduce empty" `Quick test_par_reduce_empty;
+      Alcotest.test_case "par scan" `Quick test_par_scan;
+      Alcotest.test_case "atomic sum vs reduce" `Quick
+        test_par_atomic_sum_matches_reduce;
+      Alcotest.test_case "par map" `Quick test_par_map;
+      Alcotest.test_case "work queue drains" `Quick
+        test_work_queue_drains_all;
+      Alcotest.test_case "work queue empty" `Quick test_work_queue_empty ] )

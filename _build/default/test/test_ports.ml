@@ -1,0 +1,417 @@
+(* Integration tests across the architecture ports: physics agreement
+   between precisions and devices, and timing-model sanity. *)
+
+module System = Mdcore.System
+module Init = Mdcore.Init
+module Forces = Mdcore.Forces
+module Verlet = Mdcore.Verlet
+module Cell = Mdports.Cell_port
+module Gpu = Mdports.Gpu_port
+module Mta = Mdports.Mta_port
+module Opteron = Mdports.Opteron_port
+module F32k = Mdports.F32_kernel
+module Rr = Mdports.Run_result
+
+let sys ?(n = 128) () = Init.build ~seed:31 ~n ()
+
+let steps = 3
+
+(* ---------------- F32 kernel ---------------- *)
+
+let test_f32_kernel_params_rounded () =
+  let p = F32k.of_system (sys ()) in
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check bool) (name ^ " is binary32") true (Sim_util.F32.is_f32 v))
+    [ ("box", p.F32k.box); ("half_box", p.F32k.half_box);
+      ("rc2", p.F32k.rc2); ("sigma2", p.F32k.sigma2);
+      ("eps24", p.F32k.eps24); ("eps4", p.F32k.eps4) ]
+
+let test_f32_pair_terms_cutoff () =
+  let p = F32k.of_system (sys ()) in
+  Alcotest.(check bool) "outside cutoff" true
+    (F32k.pair_terms p (p.F32k.rc2 +. 1.0) = None);
+  Alcotest.(check bool) "zero distance excluded" true
+    (F32k.pair_terms p 0.0 = None);
+  Alcotest.(check bool) "inside interacts" true
+    (F32k.pair_terms p 1.0 <> None)
+
+let test_f32_matches_double_reference () =
+  let s_ref = sys () in
+  let s_f32 = System.copy s_ref in
+  let pe_ref = Forces.compute_gather s_ref in
+  let pe_f32 =
+    (Cell.apply_f32_engine s_f32).Mdcore.Engine.compute s_f32
+  in
+  Alcotest.(check bool) "PE within f32 tolerance" true
+    (abs_float (pe_ref -. pe_f32) < 1e-3 *. abs_float pe_ref);
+  Alcotest.(check bool) "accelerations within f32 tolerance" true
+    (System.max_acceleration_delta s_ref s_f32 < 0.05)
+
+(* ---------------- Opteron port ---------------- *)
+
+let test_opteron_physics_is_reference () =
+  let s = sys () in
+  let result = Opteron.run ~steps s in
+  let s2 = System.copy s in
+  let records = Verlet.run s2 ~engine:Forces.gather_engine ~steps () in
+  List.iter2
+    (fun (a : Verlet.step_record) (b : Verlet.step_record) ->
+      Alcotest.(check (float 1e-9)) "identical trajectory energies"
+        a.Verlet.total_energy b.Verlet.total_energy)
+    result.Rr.records records
+
+let test_opteron_counts () =
+  let n = 128 in
+  let result = Opteron.run ~steps (sys ~n ()) in
+  Alcotest.(check int) "pairs = (steps+1) * n(n-1)"
+    ((steps + 1) * n * (n - 1))
+    result.Rr.pairs_evaluated;
+  Alcotest.(check bool) "some interactions" true (result.Rr.interactions > 0)
+
+let test_opteron_breakdown_sums () =
+  let result = Opteron.run ~steps (sys ()) in
+  let total =
+    List.fold_left (fun acc (_, v) -> acc +. v) 0.0 result.Rr.breakdown
+  in
+  Alcotest.(check (float 1e-12)) "compute+memory = total" result.Rr.seconds
+    total
+
+let test_opteron_memory_excess_grows () =
+  let small = Opteron.memory_excess_cycles_per_pair ~n:256 () in
+  let large = Opteron.memory_excess_cycles_per_pair ~n:4096 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "excess grows: %.3f -> %.3f cyc/pair" small large)
+    true (large > small +. 0.5)
+
+let test_opteron_runtime_superquadratic_shape () =
+  (* The defining Fig. 9 behaviour at model scale. *)
+  let t1 = Opteron.seconds_for ~steps ~n:128 () in
+  let t2 = Opteron.seconds_for ~steps ~n:256 () in
+  Alcotest.(check bool) "quadrupling work at least triples time" true
+    (t2 /. t1 > 3.0)
+
+(* ---------------- Cell port ---------------- *)
+
+let shared_profile = lazy (Cell.profile_run ~steps (sys ()))
+
+let test_cell_profile_records_match_f32_run () =
+  let profile = Lazy.force shared_profile in
+  let s = sys () in
+  let s2 = System.copy s in
+  let records =
+    Verlet.run s2 ~engine:(Cell.apply_f32_engine s2) ~steps ()
+  in
+  List.iter2
+    (fun (a : Verlet.step_record) (b : Verlet.step_record) ->
+      Alcotest.(check (float 1e-9)) "profile energies = f32 engine"
+        a.Verlet.total_energy b.Verlet.total_energy)
+    (Cell.profile_records profile)
+    records
+
+let test_cell_more_spes_faster () =
+  let profile = Lazy.force shared_profile in
+  (* Compare the offloaded computation itself; at this tiny test size the
+     total is dominated by launch costs, which is Fig. 6's subject. *)
+  let t spes =
+    Cell.accel_seconds
+      (Cell.time_with profile { Cell.default_config with n_spes = spes })
+  in
+  let times = List.map t [ 1; 2; 4; 8 ] in
+  let rec decreasing = function
+    | a :: (b :: _ as rest) -> a > b && decreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone in SPE count" true (decreasing times)
+
+let test_cell_respawn_slower_than_persistent () =
+  let profile = Lazy.force shared_profile in
+  let t launch =
+    (Cell.time_with profile { Cell.default_config with launch }).Rr.seconds
+  in
+  Alcotest.(check bool) "respawn costs more" true
+    (t Cell.Respawn > t Cell.Persistent)
+
+let test_cell_variant_ordering () =
+  let profile = Lazy.force shared_profile in
+  let t variant =
+    Cell.accel_seconds
+      (Cell.time_with profile
+         { Cell.default_config with n_spes = 1; variant })
+  in
+  let times = List.map t Mdports.Cell_variant.all in
+  let rec nonincreasing = function
+    | a :: (b :: _ as rest) -> a >= b -. 1e-12 && nonincreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "ladder monotone" true (nonincreasing times)
+
+let test_cell_breakdown_sums () =
+  let profile = Lazy.force shared_profile in
+  let r = Cell.time_with profile Cell.default_config in
+  let total = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 r.Rr.breakdown in
+  Alcotest.(check (float 1e-12)) "ledger total = runtime" r.Rr.seconds total
+
+let test_cell_spes_validation () =
+  let profile = Lazy.force shared_profile in
+  Alcotest.(check bool) "9 SPEs rejected" true
+    (try
+       ignore (Cell.time_with profile { Cell.default_config with n_spes = 9 });
+       false
+     with Invalid_argument _ -> true)
+
+let test_cell_tiled_staging () =
+  (* Force the LS tile smaller than the system: more DMA requests, same
+     compute, identical results otherwise. *)
+  let profile = Lazy.force shared_profile in
+  let untiled = Cell.time_with profile Cell.default_config in
+  let tiled = Cell.time_with ~j_chunk:16 profile Cell.default_config in
+  Alcotest.(check bool) "tiled staging costs more DMA time" true
+    (Rr.breakdown_get tiled "dma" > Rr.breakdown_get untiled "dma");
+  Alcotest.(check (float 1e-12)) "compute unchanged"
+    (Rr.breakdown_get untiled "compute")
+    (Rr.breakdown_get tiled "compute")
+
+let test_cell_ppe_only_slower () =
+  let profile = Lazy.force shared_profile in
+  let ppe = Cell.time_ppe_only profile in
+  let one_spe =
+    Cell.accel_seconds
+      (Cell.time_with profile { Cell.default_config with n_spes = 1 })
+  in
+  Alcotest.(check bool) "PPE only much slower than one SPE's compute" true
+    (ppe.Rr.seconds > 3.0 *. one_spe)
+
+let test_cell_energy_drift_reasonable () =
+  let profile = Lazy.force shared_profile in
+  let r = Cell.time_with profile Cell.default_config in
+  Alcotest.(check bool) "single precision still conserves roughly" true
+    (Rr.energy_drift r < 0.05)
+
+let test_cell_double_precision () =
+  let s = sys () in
+  let dp_profile = Cell.profile_run ~steps ~precision:Cell.Double s in
+  (* DP physics is exactly the double-precision reference. *)
+  let opt = Opteron.run ~steps s in
+  List.iter2
+    (fun (a : Verlet.step_record) (b : Verlet.step_record) ->
+      Alcotest.(check (float 1e-9)) "dp physics = reference"
+        a.Verlet.total_energy b.Verlet.total_energy)
+    (Cell.profile_records dp_profile)
+    opt.Rr.records;
+  (* DP compute slower than SP compute on the same workload. *)
+  let sp_profile = Lazy.force shared_profile in
+  let accel precision profile =
+    Cell.accel_seconds
+      (Cell.time_with profile
+         { Cell.default_config with n_spes = 1; precision })
+  in
+  Alcotest.(check bool) "dp compute slower" true
+    (accel Cell.Double dp_profile > accel Cell.Single sp_profile)
+
+let test_cell_dp_profile_precision () =
+  let s = sys () in
+  let p = Cell.profile_run ~steps ~precision:Cell.Double s in
+  Alcotest.(check bool) "precision recorded" true
+    (Cell.profile_precision p = Cell.Double)
+
+(* ---------------- GPU port ---------------- *)
+
+let test_gpu_physics_close_to_reference () =
+  let s = sys () in
+  let gpu = Gpu.run ~steps s in
+  let opt = Opteron.run ~steps s in
+  let e_gpu = Rr.final_total_energy gpu and e_opt = Rr.final_total_energy opt in
+  Alcotest.(check bool)
+    (Printf.sprintf "energies close: %.4f vs %.4f" e_gpu e_opt)
+    true
+    (abs_float (e_gpu -. e_opt) < 0.01 *. abs_float e_opt)
+
+let test_gpu_matches_cell_f32_exactly () =
+  (* Both single-precision ports share the same staged arithmetic, so
+     their trajectories agree to double-precision roundoff of the
+     integrator bookkeeping. *)
+  let s = sys () in
+  let gpu = Gpu.run ~steps s in
+  let profile = Cell.profile_run ~steps s in
+  List.iter2
+    (fun (a : Verlet.step_record) (b : Verlet.step_record) ->
+      Alcotest.(check (float 1e-6)) "f32 trajectories agree"
+        a.Verlet.total_energy b.Verlet.total_energy)
+    gpu.Rr.records
+    (Cell.profile_records profile)
+
+let test_gpu_setup_excluded () =
+  let r = Gpu.run ~steps (sys ()) in
+  Alcotest.(check bool) "setup recorded" true (Gpu.setup_seconds r > 0.0);
+  let ledger_total =
+    List.fold_left (fun acc (_, v) -> acc +. v) 0.0 r.Rr.breakdown
+  in
+  Alcotest.(check (float 1e-12)) "seconds = ledger - setup"
+    (ledger_total -. Gpu.setup_seconds r)
+    r.Rr.seconds
+
+let test_gpu_per_step_bus_cost () =
+  let r3 = Gpu.run ~steps:3 (sys ()) in
+  let r6 = Gpu.run ~steps:6 (sys ()) in
+  let upload r = Rr.breakdown_get r "upload" in
+  (* steps+1 force evaluations -> 4 vs 7 uploads *)
+  Alcotest.(check bool) "upload scales with steps" true
+    (upload r6 > upload r3 *. 1.5)
+
+let test_gpu_small_n_dominated_by_overheads () =
+  let r = Gpu.run ~steps (sys ~n:128 ()) in
+  let bus =
+    Rr.breakdown_get r "upload" +. Rr.breakdown_get r "readback"
+    +. Rr.breakdown_get r "dispatch"
+  in
+  Alcotest.(check bool) "bus+dispatch dominate at tiny N" true
+    (bus > Rr.breakdown_get r "shader")
+
+let test_gpu_reduction_same_physics_slower () =
+  let s = sys () in
+  let w = Gpu.run ~steps s in
+  let red = Gpu.run ~steps ~pe_strategy:Gpu.Gpu_reduction s in
+  List.iter2
+    (fun (a : Verlet.step_record) (b : Verlet.step_record) ->
+      Alcotest.(check (float 1e-4)) "same trajectory" a.Verlet.total_energy
+        b.Verlet.total_energy)
+    w.Rr.records red.Rr.records;
+  Alcotest.(check bool) "reduction strictly slower" true
+    (red.Rr.seconds > w.Rr.seconds)
+
+(* ---------------- Opteron pairlist timing ---------------- *)
+
+let test_opteron_pairlist_same_physics () =
+  (* Pairlist physics must track the reference within list-validity
+     tolerance (exact while no neighbour crosses the skin). *)
+  let s = Init.build ~seed:31 ~n:216 () in
+  let n2 = Opteron.run ~steps s in
+  let pl = Opteron.run_pairlist ~steps s in
+  List.iter2
+    (fun (a : Verlet.step_record) (b : Verlet.step_record) ->
+      Alcotest.(check (float 1e-7)) "same energies" a.Verlet.total_energy
+        b.Verlet.total_energy)
+    n2.Rr.records pl.Rr.records
+
+let test_opteron_pairlist_faster () =
+  let s = Init.build ~seed:31 ~n:512 () in
+  let n2 = Opteron.run ~steps s in
+  let pl = Opteron.run_pairlist ~steps s in
+  Alcotest.(check bool)
+    (Printf.sprintf "pairlist %.4f s < N^2 %.4f s" pl.Rr.seconds n2.Rr.seconds)
+    true
+    (pl.Rr.seconds < n2.Rr.seconds);
+  Alcotest.(check bool) "and examines fewer pairs" true
+    (pl.Rr.pairs_evaluated < n2.Rr.pairs_evaluated)
+
+(* ---------------- MTA port ---------------- *)
+
+let test_mta_physics_is_reference () =
+  let s = sys () in
+  let mta = Mta.run ~steps s in
+  let opt = Opteron.run ~steps s in
+  List.iter2
+    (fun (a : Verlet.step_record) (b : Verlet.step_record) ->
+      Alcotest.(check (float 1e-9)) "identical double-precision physics"
+        a.Verlet.total_energy b.Verlet.total_energy)
+    mta.Rr.records opt.Rr.records
+
+let test_mta_fully_beats_partially () =
+  let s = sys () in
+  let full = Mta.run ~steps s in
+  let partial = Mta.run ~steps ~mode:Mta.Partially_multithreaded s in
+  Alcotest.(check bool) "restructured reduction wins" true
+    (full.Rr.seconds < partial.Rr.seconds /. 2.0)
+
+let test_mta_partial_serial_time () =
+  let s = sys () in
+  let partial = Mta.run ~steps ~mode:Mta.Partially_multithreaded s in
+  Alcotest.(check bool) "serial category dominates" true
+    (Rr.breakdown_get partial "serial" > 0.5 *. partial.Rr.seconds)
+
+let test_mta_sync_charged_in_fully_mode () =
+  let s = sys () in
+  let full = Mta.run ~steps s in
+  let partial = Mta.run ~steps ~mode:Mta.Partially_multithreaded s in
+  Alcotest.(check bool) "full/empty ops appear in fully-MT mode" true
+    (Rr.breakdown_get full "sync" > 0.0);
+  Alcotest.(check (float 0.0)) "no sync ops in as-written kernel" 0.0
+    (Rr.breakdown_get partial "sync")
+
+let test_mta_breakdown_sums () =
+  let r = Mta.run ~steps (sys ()) in
+  let total = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 r.Rr.breakdown in
+  Alcotest.(check (float 1e-12)) "ledger total = runtime" r.Rr.seconds total
+
+let test_ports_agree_on_hits () =
+  (* The double-precision ports must count exactly the same interactions. *)
+  let s = sys () in
+  let opt = Opteron.run ~steps s in
+  let mta = Mta.run ~steps s in
+  Alcotest.(check int) "same interaction count" opt.Rr.interactions
+    mta.Rr.interactions
+
+let tests =
+  ( "ports",
+    [ Alcotest.test_case "f32 params rounded" `Quick
+        test_f32_kernel_params_rounded;
+      Alcotest.test_case "f32 pair terms cutoff" `Quick
+        test_f32_pair_terms_cutoff;
+      Alcotest.test_case "f32 matches double" `Quick
+        test_f32_matches_double_reference;
+      Alcotest.test_case "opteron physics = reference" `Quick
+        test_opteron_physics_is_reference;
+      Alcotest.test_case "opteron counts" `Quick test_opteron_counts;
+      Alcotest.test_case "opteron breakdown sums" `Quick
+        test_opteron_breakdown_sums;
+      Alcotest.test_case "opteron memory excess grows" `Slow
+        test_opteron_memory_excess_grows;
+      Alcotest.test_case "opteron superquadratic shape" `Quick
+        test_opteron_runtime_superquadratic_shape;
+      Alcotest.test_case "cell profile records" `Quick
+        test_cell_profile_records_match_f32_run;
+      Alcotest.test_case "cell more SPEs faster" `Quick
+        test_cell_more_spes_faster;
+      Alcotest.test_case "cell respawn slower" `Quick
+        test_cell_respawn_slower_than_persistent;
+      Alcotest.test_case "cell variant ordering" `Quick
+        test_cell_variant_ordering;
+      Alcotest.test_case "cell breakdown sums" `Quick test_cell_breakdown_sums;
+      Alcotest.test_case "cell spes validation" `Quick
+        test_cell_spes_validation;
+      Alcotest.test_case "cell PPE-only slower" `Quick
+        test_cell_ppe_only_slower;
+      Alcotest.test_case "cell tiled staging" `Quick test_cell_tiled_staging;
+      Alcotest.test_case "cell f32 energy drift" `Quick
+        test_cell_energy_drift_reasonable;
+      Alcotest.test_case "cell double precision" `Quick
+        test_cell_double_precision;
+      Alcotest.test_case "cell dp profile precision" `Quick
+        test_cell_dp_profile_precision;
+      Alcotest.test_case "gpu reduction slower, same physics" `Quick
+        test_gpu_reduction_same_physics_slower;
+      Alcotest.test_case "opteron pairlist physics" `Quick
+        test_opteron_pairlist_same_physics;
+      Alcotest.test_case "opteron pairlist faster" `Quick
+        test_opteron_pairlist_faster;
+      Alcotest.test_case "gpu physics close to reference" `Quick
+        test_gpu_physics_close_to_reference;
+      Alcotest.test_case "gpu = cell f32 exactly" `Quick
+        test_gpu_matches_cell_f32_exactly;
+      Alcotest.test_case "gpu setup excluded" `Quick test_gpu_setup_excluded;
+      Alcotest.test_case "gpu bus cost per step" `Quick
+        test_gpu_per_step_bus_cost;
+      Alcotest.test_case "gpu tiny-N overhead-bound" `Quick
+        test_gpu_small_n_dominated_by_overheads;
+      Alcotest.test_case "mta physics = reference" `Quick
+        test_mta_physics_is_reference;
+      Alcotest.test_case "mta fully beats partially" `Quick
+        test_mta_fully_beats_partially;
+      Alcotest.test_case "mta partial serial time" `Quick
+        test_mta_partial_serial_time;
+      Alcotest.test_case "mta sync accounting" `Quick
+        test_mta_sync_charged_in_fully_mode;
+      Alcotest.test_case "mta breakdown sums" `Quick test_mta_breakdown_sums;
+      Alcotest.test_case "ports agree on hits" `Quick test_ports_agree_on_hits
+    ] )

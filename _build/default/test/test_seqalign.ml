@@ -1,0 +1,336 @@
+(* Tests for the Smith-Waterman library: scalar reference, MTA-2
+   wavefront (full/empty bits) and GPU anti-diagonal ports. *)
+
+module Dna = Seqalign.Dna
+module Scoring = Seqalign.Scoring
+module Reference = Seqalign.Reference
+module Mta_sw = Seqalign.Mta_sw
+module Gpu_sw = Seqalign.Gpu_sw
+module Rng = Sim_util.Rng
+
+let mta_machine () = Mta.Machine.create (Mta.Config.mta2 ())
+let gpu_machine () = Gpustream.Machine.create Gpustream.Config.geforce_7900gtx
+let gpu_aligner () = Gpu_sw.create (gpu_machine ())
+
+(* ---------------- Dna ---------------- *)
+
+let test_dna_validation () =
+  Alcotest.(check string) "normalizes case" "ACGT"
+    (Dna.to_string (Dna.of_string "acGt"));
+  Alcotest.(check bool) "bad base rejected" true
+    (try
+       ignore (Dna.of_string "ACGX");
+       false
+     with Invalid_argument _ -> true)
+
+let test_dna_random_deterministic () =
+  let a = Dna.random (Rng.create 5) ~length:50 in
+  let b = Dna.random (Rng.create 5) ~length:50 in
+  Alcotest.(check string) "deterministic" (Dna.to_string a) (Dna.to_string b)
+
+let test_dna_mutate_rate_zero () =
+  let a = Dna.random (Rng.create 1) ~length:40 in
+  let b = Dna.mutate (Rng.create 2) ~rate:0.0 a in
+  Alcotest.(check string) "rate 0 is identity" (Dna.to_string a)
+    (Dna.to_string b)
+
+(* ---------------- Reference ---------------- *)
+
+let test_identical_sequences () =
+  let s = Dna.of_string "ACGTACGTAC" in
+  let r = Reference.align s s in
+  Alcotest.(check int) "perfect score = len * match"
+    (10 * Scoring.default.Scoring.match_score)
+    r.Reference.score
+
+let test_known_alignment () =
+  (* Hand-checked case: a = "ACACACTA", b = "AGCACACA" with +2/-1/-2.
+     Best local alignment is  A-CACAC
+                              AGCACAC : six matches, one gap
+     = 6*2 - 2 = 10. *)
+  let a = Dna.of_string "ACACACTA" and b = Dna.of_string "AGCACACA" in
+  let r = Reference.align a b in
+  Alcotest.(check int) "hand-checked case" 10 r.Reference.score
+
+let test_disjoint_alphabet_score_zero () =
+  let a = Dna.of_string "AAAA" and b = Dna.of_string "GGGG" in
+  Alcotest.(check int) "nothing aligns" 0 (Reference.align a b).Reference.score
+
+let test_substring_found () =
+  let rng = Rng.create 9 in
+  let hay = Dna.random rng ~length:200 in
+  let needle = Dna.sub hay ~pos:60 ~len:25 in
+  let r = Reference.align needle hay in
+  Alcotest.(check int) "exact substring scores len * match"
+    (25 * Scoring.default.Scoring.match_score)
+    r.Reference.score
+
+let test_traceback_consistency () =
+  let rng = Rng.create 11 in
+  let a = Dna.random rng ~length:60 in
+  let b = Dna.mutate (Rng.split rng) ~rate:0.1 a in
+  let tb = Reference.align_traceback a b in
+  Alcotest.(check int) "traceback score matches align"
+    (Reference.align a b).Reference.score tb.Reference.result.Reference.score;
+  Alcotest.(check int) "aligned strings same length"
+    (String.length tb.Reference.aligned_a)
+    (String.length tb.Reference.aligned_b);
+  (* Re-score the traceback: must equal the reported score. *)
+  let s = ref 0 in
+  String.iteri
+    (fun k ca ->
+      let cb = tb.Reference.aligned_b.[k] in
+      if ca = '-' || cb = '-' then s := !s + Scoring.default.Scoring.gap
+      else s := !s + Scoring.score Scoring.default ca cb)
+    tb.Reference.aligned_a;
+  Alcotest.(check int) "traceback rescoring" tb.Reference.result.Reference.score
+    !s
+
+let sw_symmetry_prop =
+  QCheck.Test.make ~name:"SW score is symmetric" ~count:30
+    QCheck.(pair (int_range 1 40) (int_range 1 40))
+    (fun (la, lb) ->
+      let rng = Rng.create (la + (100 * lb)) in
+      let a = Dna.random rng ~length:la in
+      let b = Dna.random (Rng.split rng) ~length:lb in
+      (Reference.align a b).Reference.score
+      = (Reference.align b a).Reference.score)
+
+let sw_score_bounds_prop =
+  QCheck.Test.make ~name:"0 <= score <= min-len * match" ~count:30
+    QCheck.(pair (int_range 1 40) (int_range 1 40))
+    (fun (la, lb) ->
+      let rng = Rng.create (la + (1000 * lb)) in
+      let a = Dna.random rng ~length:la in
+      let b = Dna.random (Rng.split rng) ~length:lb in
+      let s = (Reference.align a b).Reference.score in
+      s >= 0 && s <= min la lb * Scoring.default.Scoring.match_score)
+
+let test_affine_equals_linear_when_flat () =
+  let rng = Rng.create 71 in
+  for _ = 1 to 10 do
+    let a = Dna.random rng ~length:30 in
+    let b = Dna.random (Rng.split rng) ~length:35 in
+    let g = Scoring.default.Scoring.gap in
+    Alcotest.(check int) "gap_open = gap_extend = gap reduces to linear"
+      (Reference.align a b).Reference.score
+      (Reference.align_affine ~gap_open:g ~gap_extend:g a b).Reference.score
+  done
+
+let test_affine_penalizes_openings () =
+  (* One long gap vs two short ones: affine gaps should prefer the single
+     long gap.  a has one 4-base insertion relative to b. *)
+  let a = Dna.of_string "ACGTACGTTTTTACGTACGT" in
+  let b = Dna.of_string "ACGTACGTACGTACGT" in
+  let affine =
+    Reference.align_affine ~gap_open:(-4) ~gap_extend:(-1) a b
+  in
+  (* 16 matches (2 each) - open 4 - 3 extends = 32 - 7 = 25 *)
+  Alcotest.(check int) "single long gap priced as open + extends" 25
+    affine.Reference.score
+
+let test_affine_never_beats_cheap_linear () =
+  let rng = Rng.create 73 in
+  for _ = 1 to 10 do
+    let a = Dna.random rng ~length:25 in
+    let b = Dna.random (Rng.split rng) ~length:25 in
+    let linear = (Reference.align a b).Reference.score in
+    let affine =
+      (Reference.align_affine ~gap_open:(-5)
+         ~gap_extend:Scoring.default.Scoring.gap a b)
+        .Reference.score
+    in
+    (* same extension cost but costlier opening: affine <= linear *)
+    Alcotest.(check bool) "affine <= linear" true (affine <= linear)
+  done
+
+let test_affine_validation () =
+  let a = Dna.of_string "ACGT" in
+  Alcotest.(check bool) "positive gap rejected" true
+    (try
+       ignore (Reference.align_affine ~gap_open:1 ~gap_extend:(-1) a a);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "open cheaper than extend rejected" true
+    (try
+       ignore (Reference.align_affine ~gap_open:(-1) ~gap_extend:(-2) a a);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- MTA wavefront ---------------- *)
+
+let test_mta_matches_reference () =
+  let rng = Rng.create 21 in
+  let a = Dna.random rng ~length:48 in
+  let b = Dna.mutate (Rng.split rng) ~rate:0.15 a in
+  let machine = mta_machine () in
+  let r = Mta_sw.align ~machine a b in
+  let expect = Reference.align a b in
+  Alcotest.(check int) "score" expect.Reference.score r.Reference.score;
+  Alcotest.(check int) "end_a" expect.Reference.end_a r.Reference.end_a;
+  Alcotest.(check int) "end_b" expect.Reference.end_b r.Reference.end_b
+
+let test_mta_charges_sync_and_parallel () =
+  let rng = Rng.create 23 in
+  let a = Dna.random rng ~length:32 in
+  let b = Dna.random (Rng.split rng) ~length:32 in
+  let machine = mta_machine () in
+  ignore (Mta_sw.align ~machine a b);
+  let ledger = Mta.Machine.ledger machine in
+  Alcotest.(check bool) "full/empty traffic" true
+    (Mta.Ledger.get ledger Mta.Ledger.Sync > 0.0);
+  Alcotest.(check bool) "parallel wavefront time" true
+    (Mta.Ledger.get ledger Mta.Ledger.Parallel > 0.0);
+  Alcotest.(check (float 1e-15)) "ledger total = machine time"
+    (Mta.Machine.time machine) (Mta.Ledger.total ledger)
+
+let test_mta_empty_sequences () =
+  let machine = mta_machine () in
+  let r = Mta_sw.align ~machine (Dna.of_string "") (Dna.of_string "ACGT") in
+  Alcotest.(check int) "empty vs nonempty" 0 r.Reference.score;
+  Alcotest.(check (float 0.0)) "no time charged" 0.0
+    (Mta.Machine.time machine)
+
+(* ---------------- GPU anti-diagonal ---------------- *)
+
+let test_gpu_matches_reference () =
+  let rng = Rng.create 31 in
+  let a = Dna.random rng ~length:40 in
+  let b = Dna.mutate (Rng.split rng) ~rate:0.2 a in
+  let aligner = gpu_aligner () in
+  let r = Gpu_sw.align aligner a b in
+  Alcotest.(check int) "score" (Reference.align a b).Reference.score
+    r.Reference.score
+
+let test_gpu_dispatch_count () =
+  let a = Dna.of_string "ACGTACGT" and b = Dna.of_string "TTGACA" in
+  let aligner = gpu_aligner () in
+  let machine = Gpu_sw.machine aligner in
+  let before =
+    Gpustream.Ledger.get (Gpustream.Machine.ledger machine)
+      Gpustream.Ledger.Dispatch
+  in
+  ignore (Gpu_sw.align aligner a b);
+  let after =
+    Gpustream.Ledger.get (Gpustream.Machine.ledger machine)
+      Gpustream.Ledger.Dispatch
+  in
+  let cfg = Gpustream.Config.geforce_7900gtx in
+  (* dispatches + resolves each charge the draw-call overhead; at minimum
+     the predicted dispatch count must be covered. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "draw-call overhead for >= %d dispatches"
+       (Gpu_sw.dispatches a b))
+    true
+    (after -. before
+    >= float_of_int (Gpu_sw.dispatches a b)
+       *. cfg.Gpustream.Config.dispatch_overhead)
+
+let test_gpu_overhead_dominated_when_short () =
+  (* The reason the cited GPU SW papers batch sequences: short alignments
+     are all draw-call overhead. *)
+  let rng = Rng.create 41 in
+  let a = Dna.random rng ~length:24 in
+  let b = Dna.random (Rng.split rng) ~length:24 in
+  let aligner = gpu_aligner () in
+  ignore (Gpu_sw.align aligner a b);
+  let ledger = Gpustream.Machine.ledger (Gpu_sw.machine aligner) in
+  Alcotest.(check bool) "dispatch >> shader for short sequences" true
+    (Gpustream.Ledger.get ledger Gpustream.Ledger.Dispatch
+    > 5.0 *. Gpustream.Ledger.get ledger Gpustream.Ledger.Shader)
+
+let test_gpu_batch_matches_individual () =
+  let rng = Rng.create 51 in
+  let query = Dna.random rng ~length:32 in
+  let subjects =
+    List.init 5 (fun k ->
+        if k mod 2 = 0 then Dna.mutate (Rng.split rng) ~rate:0.2 query
+        else Dna.random (Rng.split rng) ~length:(20 + (5 * k)))
+  in
+  let aligner = gpu_aligner () in
+  let batch = Gpu_sw.align_batch aligner ~query subjects in
+  List.iter2
+    (fun subject (batched : Seqalign.Reference.result) ->
+      Alcotest.(check int) "batch = individual"
+        (Reference.align query subject).Reference.score
+        batched.Reference.score)
+    subjects batch
+
+let test_gpu_batch_amortizes_dispatches () =
+  let rng = Rng.create 53 in
+  let query = Dna.random rng ~length:24 in
+  let subjects =
+    List.init 8 (fun _ -> Dna.random (Rng.split rng) ~length:24)
+  in
+  let dispatch_time run =
+    let aligner = gpu_aligner () in
+    run aligner;
+    Gpustream.Ledger.get
+      (Gpustream.Machine.ledger (Gpu_sw.machine aligner))
+      Gpustream.Ledger.Dispatch
+  in
+  let individually =
+    dispatch_time (fun al ->
+        List.iter (fun s -> ignore (Gpu_sw.align al query s)) subjects)
+  in
+  let batched =
+    dispatch_time (fun al -> ignore (Gpu_sw.align_batch al ~query subjects))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "batched %.4f s << individual %.4f s" batched individually)
+    true
+    (batched < individually /. 4.0)
+
+let test_devices_agree () =
+  let rng = Rng.create 43 in
+  let a = Dna.random rng ~length:30 in
+  let b = Dna.random (Rng.split rng) ~length:50 in
+  let mta = Mta_sw.align ~machine:(mta_machine ()) a b in
+  let gpu = Gpu_sw.align (gpu_aligner ()) a b in
+  let expect = Reference.align a b in
+  Alcotest.(check int) "mta = reference" expect.Reference.score
+    mta.Reference.score;
+  Alcotest.(check int) "gpu = reference" expect.Reference.score
+    gpu.Reference.score
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let tests =
+  ( "seqalign",
+    [ Alcotest.test_case "dna validation" `Quick test_dna_validation;
+      Alcotest.test_case "dna random deterministic" `Quick
+        test_dna_random_deterministic;
+      Alcotest.test_case "dna mutate rate 0" `Quick test_dna_mutate_rate_zero;
+      Alcotest.test_case "identical sequences" `Quick
+        test_identical_sequences;
+      Alcotest.test_case "known alignment" `Quick test_known_alignment;
+      Alcotest.test_case "disjoint alphabets" `Quick
+        test_disjoint_alphabet_score_zero;
+      Alcotest.test_case "substring found" `Quick test_substring_found;
+      Alcotest.test_case "traceback consistency" `Quick
+        test_traceback_consistency;
+      qcheck sw_symmetry_prop;
+      qcheck sw_score_bounds_prop;
+      Alcotest.test_case "affine reduces to linear" `Quick
+        test_affine_equals_linear_when_flat;
+      Alcotest.test_case "affine penalizes openings" `Quick
+        test_affine_penalizes_openings;
+      Alcotest.test_case "affine <= linear" `Quick
+        test_affine_never_beats_cheap_linear;
+      Alcotest.test_case "affine validation" `Quick test_affine_validation;
+      Alcotest.test_case "mta matches reference" `Quick
+        test_mta_matches_reference;
+      Alcotest.test_case "mta sync/parallel charges" `Quick
+        test_mta_charges_sync_and_parallel;
+      Alcotest.test_case "mta empty sequences" `Quick
+        test_mta_empty_sequences;
+      Alcotest.test_case "gpu matches reference" `Quick
+        test_gpu_matches_reference;
+      Alcotest.test_case "gpu dispatch count" `Quick test_gpu_dispatch_count;
+      Alcotest.test_case "gpu overhead when short" `Quick
+        test_gpu_overhead_dominated_when_short;
+      Alcotest.test_case "gpu batch = individual" `Quick
+        test_gpu_batch_matches_individual;
+      Alcotest.test_case "gpu batch amortizes dispatches" `Quick
+        test_gpu_batch_amortizes_dispatches;
+      Alcotest.test_case "devices agree" `Quick test_devices_agree ] )

@@ -1,0 +1,136 @@
+(* Tests for the Brook-style streaming DSL. *)
+
+module Ctx = Streamdsl.Ctx
+module Stream = Streamdsl.Stream
+module Vec4f = Vecmath.Vec4f
+module Machine = Gpustream.Machine
+module Ledger = Gpustream.Ledger
+module Op = Isa.Op
+
+let simple_body =
+  Isa.Block.of_instrs
+    [ { Isa.Block.op = Op.Load; deps = [] };
+      { Isa.Block.op = Op.Fmadd; deps = [] } ]
+
+let floats n = Array.init n (fun i -> float_of_int i /. 4.0)
+
+let test_roundtrip () =
+  let ctx = Ctx.create () in
+  let data = floats 37 in
+  let s = Stream.of_floats ctx data in
+  Alcotest.(check int) "length" 37 (Stream.length s);
+  let back = Stream.to_floats s in
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check (float 1e-12)) "f32 roundtrip"
+        (Sim_util.F32.round data.(i)) v)
+    back
+
+let test_map () =
+  let ctx = Ctx.create () in
+  let s = Stream.of_floats ctx (floats 16) in
+  let doubled =
+    Stream.map ~name:"double" ~body:simple_body
+      ~f:(fun v -> Vec4f.add v v)
+      s
+  in
+  let back = Stream.to_floats doubled in
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check (float 1e-6)) "doubled" (float_of_int i /. 2.0) v)
+    back;
+  (* Streams are immutable: the source still holds the originals. *)
+  let src = Stream.to_floats s in
+  Alcotest.(check (float 1e-6)) "source untouched" 0.25 src.(1)
+
+let test_map2 () =
+  let ctx = Ctx.create () in
+  let a = Stream.of_floats ctx (floats 8) in
+  let b = Stream.of_floats ctx (Array.make 8 10.0) in
+  let sum = Stream.map2 ~body:simple_body ~f:Vec4f.add a b in
+  let back = Stream.to_floats sum in
+  Alcotest.(check (float 1e-6)) "elementwise add" 10.75 back.(3)
+
+let test_map2_mismatch () =
+  let ctx = Ctx.create () in
+  let a = Stream.of_floats ctx (floats 8) in
+  let b = Stream.of_floats ctx (floats 9) in
+  Alcotest.(check bool) "length mismatch raises" true
+    (try
+       ignore (Stream.map2 ~body:simple_body ~f:Vec4f.add a b);
+       false
+     with Invalid_argument _ -> true)
+
+let test_gather () =
+  let ctx = Ctx.create () in
+  let s = Stream.of_floats ctx (floats 8) in
+  (* Reverse the stream via gather. *)
+  let rev =
+    Stream.gather ~body:simple_body ~loop_trip:1 ~out_len:8
+      ~f:(fun fetch i -> fetch (7 - i))
+      s
+  in
+  let back = Stream.to_floats rev in
+  Alcotest.(check (float 1e-12)) "reversed" (7.0 /. 4.0) back.(0)
+
+let test_reduce_sum () =
+  let ctx = Ctx.create () in
+  let n = 100 in
+  let s = Stream.of_floats ctx (Array.make n 1.5) in
+  let total = Stream.reduce_sum s in
+  Alcotest.(check (float 1e-3)) "sum" (1.5 *. float_of_int n) total
+
+let test_reduce_charges_passes () =
+  let ctx = Ctx.create () in
+  let s = Stream.of_floats ctx (Array.make 512 1.0) in
+  let before =
+    Ledger.get (Machine.ledger (Ctx.machine ctx)) Ledger.Dispatch
+  in
+  ignore (Stream.reduce_sum s);
+  let after = Ledger.get (Machine.ledger (Ctx.machine ctx)) Ledger.Dispatch in
+  (* 512 -> 64 -> 8 -> 1: three reduction passes (each dispatch+resolve)
+     plus the final copy: at least 6 dispatch-overhead charges. *)
+  let cfg = Gpustream.Config.geforce_7900gtx in
+  Alcotest.(check bool) "multi-pass overhead visible" true
+    (after -. before >= 5.0 *. cfg.Gpustream.Config.dispatch_overhead)
+
+let test_kernel_cache () =
+  let ctx = Ctx.create () in
+  let s = Stream.of_floats ctx (floats 4) in
+  let setup () = Ledger.get (Machine.ledger (Ctx.machine ctx)) Ledger.Setup in
+  let s1 = Stream.map ~name:"k" ~body:simple_body ~f:Fun.id s in
+  let after_first = setup () in
+  let _ = Stream.map ~name:"k" ~body:simple_body ~f:Fun.id s1 in
+  Alcotest.(check (float 1e-12)) "second application reuses the JIT"
+    after_first (setup ())
+
+let test_free_releases_vram () =
+  let ctx = Ctx.create () in
+  let m = Ctx.machine ctx in
+  let before = Machine.vram_used m in
+  let s = Stream.of_floats ctx (floats 1024) in
+  Alcotest.(check bool) "allocated" true (Machine.vram_used m > before);
+  Stream.free s;
+  Alcotest.(check int) "released" before (Machine.vram_used m)
+
+let test_time_accrues () =
+  let ctx = Ctx.create () in
+  let s = Stream.of_floats ctx (floats 64) in
+  let t0 = Ctx.time ctx in
+  let _ = Stream.map ~body:simple_body ~f:Fun.id s in
+  Alcotest.(check bool) "kernel application costs device time" true
+    (Ctx.time ctx > t0)
+
+let tests =
+  ( "streamdsl",
+    [ Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+      Alcotest.test_case "map" `Quick test_map;
+      Alcotest.test_case "map2" `Quick test_map2;
+      Alcotest.test_case "map2 mismatch" `Quick test_map2_mismatch;
+      Alcotest.test_case "gather" `Quick test_gather;
+      Alcotest.test_case "reduce sum" `Quick test_reduce_sum;
+      Alcotest.test_case "reduce charges passes" `Quick
+        test_reduce_charges_passes;
+      Alcotest.test_case "kernel cache" `Quick test_kernel_cache;
+      Alcotest.test_case "free releases vram" `Quick test_free_releases_vram;
+      Alcotest.test_case "time accrues" `Quick test_time_accrues ] )

@@ -1,0 +1,359 @@
+(* Tests for the sim_util library: PRNG, f32 emulation, statistics,
+   tables, units. *)
+
+module Rng = Sim_util.Rng
+module F32 = Sim_util.F32
+module Stats = Sim_util.Stats
+module Table = Sim_util.Table
+module Units = Sim_util.Units
+
+let check_float = Alcotest.(check (float 1e-12))
+
+(* ---------------- Rng ---------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different seeds differ" false
+    (Rng.next_int64 a = Rng.next_int64 b)
+
+let test_rng_copy_replays () =
+  let a = Rng.create 99 in
+  ignore (Rng.next_int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy replays" (Rng.next_int64 a) (Rng.next_int64 b)
+
+let test_rng_split_independent () =
+  let a = Rng.create 5 in
+  let b = Rng.split a in
+  Alcotest.(check bool) "split differs from parent" false
+    (Rng.next_int64 a = Rng.next_int64 b)
+
+let test_rng_float_range () =
+  let r = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float r in
+    if x < 0.0 || x >= 1.0 then Alcotest.failf "float out of range: %g" x
+  done
+
+let test_rng_int_below_bounds () =
+  let r = Rng.create 11 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int_below r 7 in
+    if v < 0 || v >= 7 then Alcotest.failf "int_below out of range: %d" v
+  done
+
+let test_rng_int_below_invalid () =
+  let r = Rng.create 1 in
+  Alcotest.check_raises "zero bound" (Invalid_argument
+    "Rng.int_below: bound must be positive")
+    (fun () -> ignore (Rng.int_below r 0))
+
+let test_rng_gaussian_moments () =
+  let r = Rng.create 17 in
+  let n = 50_000 in
+  let xs = Array.init n (fun _ -> Rng.gaussian r) in
+  let mean = Stats.mean xs and var = Stats.variance xs in
+  Alcotest.(check bool) "mean near 0" true (abs_float mean < 0.02);
+  Alcotest.(check bool) "variance near 1" true (abs_float (var -. 1.0) < 0.05)
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 23 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle_in_place r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation"
+    (Array.init 50 Fun.id) sorted
+
+let rng_uniform_prop =
+  QCheck.Test.make ~name:"uniform stays in [lo, hi)" ~count:500
+    QCheck.(pair (float_range (-100.) 100.) (float_range 0.001 100.))
+    (fun (lo, width) ->
+      let r = Rng.create 1 in
+      let hi = lo +. width in
+      let x = Rng.uniform r lo hi in
+      x >= lo && x < hi)
+
+(* ---------------- F32 ---------------- *)
+
+let test_f32_idempotent () =
+  List.iter
+    (fun x -> check_float "round is idempotent" (F32.round x)
+        (F32.round (F32.round x)))
+    [ 1.0; 0.1; -3.7; 1e-30; 1e30; Float.pi ]
+
+let test_f32_exact_small_ints () =
+  for i = -100 to 100 do
+    check_float "small ints exact" (float_of_int i)
+      (F32.round (float_of_int i))
+  done
+
+let test_f32_loses_precision () =
+  (* 1 + 2^-24 is not representable in binary32. *)
+  check_float "below-epsilon increment rounds away" 1.0
+    (F32.round (1.0 +. 5.0e-8))
+
+let test_f32_ops_rounded () =
+  let a = 0.1 and b = 0.2 in
+  Alcotest.(check bool) "add result representable" true
+    (F32.is_f32 (F32.add a b));
+  Alcotest.(check bool) "mul result representable" true
+    (F32.is_f32 (F32.mul a b));
+  Alcotest.(check bool) "div result representable" true
+    (F32.is_f32 (F32.div a b));
+  Alcotest.(check bool) "sqrt result representable" true
+    (F32.is_f32 (F32.sqrt a))
+
+let test_f32_copysign () =
+  check_float "copysign magnitude" (-2.5) (F32.copysign 2.5 (-1.0));
+  check_float "copysign positive" 2.5 (F32.copysign (-2.5) 3.0)
+
+let test_f32_overflow_to_inf () =
+  Alcotest.(check bool) "binary32 overflow" true
+    (Float.is_integer (F32.round 1e39) = false || F32.round 1e39 = infinity);
+  Alcotest.(check bool) "max_finite is finite" true
+    (Float.is_finite F32.max_finite)
+
+let test_f32_recip_accuracy () =
+  List.iter
+    (fun x ->
+      let e = F32.recip_est x in
+      let rel = abs_float ((e -. (1.0 /. x)) *. x) in
+      if rel > 1e-4 then Alcotest.failf "recip_est too inaccurate at %g" x)
+    [ 1.0; 2.0; 3.14159; 0.125; 100.0 ]
+
+let test_f32_rsqrt_accuracy () =
+  List.iter
+    (fun x ->
+      let e = F32.rsqrt_est x in
+      let rel = abs_float ((e -. (1.0 /. sqrt x)) *. sqrt x) in
+      if rel > 1e-4 then Alcotest.failf "rsqrt_est too inaccurate at %g" x)
+    [ 1.0; 2.0; 6.25; 0.5; 1000.0 ]
+
+let f32_round_monotone_prop =
+  QCheck.Test.make ~name:"f32 rounding is monotone" ~count:1000
+    QCheck.(pair (float_range (-1e30) 1e30) (float_range (-1e30) 1e30))
+    (fun (a, b) ->
+      let lo = min a b and hi = max a b in
+      F32.round lo <= F32.round hi)
+
+let f32_round_error_prop =
+  QCheck.Test.make ~name:"relative rounding error < 2^-23" ~count:1000
+    (QCheck.float_range 1e-20 1e20)
+    (fun x -> abs_float (F32.round x -. x) <= abs_float x *. F32.epsilon)
+
+(* ---------------- Stats ---------------- *)
+
+let test_stats_mean_var () =
+  let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  check_float "mean" 5.0 (Stats.mean xs);
+  check_float "variance" (32.0 /. 7.0) (Stats.variance xs)
+
+let test_stats_minmax () =
+  let xs = [| 3.0; -1.0; 4.0 |] in
+  check_float "min" (-1.0) (Stats.minimum xs);
+  check_float "max" 4.0 (Stats.maximum xs)
+
+let test_stats_median () =
+  check_float "odd" 2.0 (Stats.median [| 3.0; 1.0; 2.0 |]);
+  check_float "even" 2.5 (Stats.median [| 4.0; 1.0; 2.0; 3.0 |])
+
+let test_stats_percentile () =
+  let xs = Array.init 101 float_of_int in
+  check_float "p0" 0.0 (Stats.percentile xs 0.0);
+  check_float "p100" 100.0 (Stats.percentile xs 100.0);
+  check_float "p50" 50.0 (Stats.percentile xs 50.0)
+
+let test_stats_regression () =
+  let x = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let y = Array.map (fun v -> (3.0 *. v) +. 1.0) x in
+  let fit = Stats.linear_regression ~x ~y in
+  check_float "slope" 3.0 fit.Stats.slope;
+  check_float "intercept" 1.0 fit.Stats.intercept;
+  check_float "r2" 1.0 fit.Stats.r2
+
+let test_stats_power_law () =
+  let x = [| 1.0; 2.0; 4.0; 8.0 |] in
+  let y = Array.map (fun v -> 2.0 *. (v ** 2.0)) x in
+  Alcotest.(check (float 1e-9)) "exponent 2"
+    2.0 (Stats.power_law_exponent ~x ~y)
+
+let test_stats_geometric_mean () =
+  check_float "geomean" 4.0 (Stats.geometric_mean [| 2.0; 8.0 |])
+
+let test_stats_empty_raises () =
+  Alcotest.check_raises "empty mean"
+    (Invalid_argument "Stats.mean: empty array")
+    (fun () -> ignore (Stats.mean [||]))
+
+(* ---------------- Table ---------------- *)
+
+let test_table_render () =
+  let t = Table.create ~headers:[ "a"; "b" ] in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_row t [ "yy"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "contains header" true
+    (String.length s > 0 && String.sub s 0 1 = "a");
+  Alcotest.(check int) "row count" 2 (Table.row_count t)
+
+let test_table_bad_row () =
+  let t = Table.create ~headers:[ "a"; "b" ] in
+  Alcotest.(check bool) "wrong arity raises" true
+    (try
+       Table.add_row t [ "only-one" ];
+       false
+     with Invalid_argument _ -> true)
+
+let test_table_csv_quoting () =
+  let t = Table.create ~headers:[ "h" ] in
+  Table.add_row t [ "a,b\"c" ];
+  let csv = Table.to_csv t in
+  Alcotest.(check bool) "quoted cell" true
+    (String.length csv > 0
+    && String.concat "" [ "h\n\"a,b\"\"c\"\n" ] = csv)
+
+let test_table_fmt_seconds () =
+  Alcotest.(check string) "ms" "45.000 ms" (Table.fmt_seconds 0.045);
+  Alcotest.(check string) "s" "1.234 s" (Table.fmt_seconds 1.234)
+
+(* ---------------- Chart ---------------- *)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_chart_bar () =
+  let out = Sim_util.Chart.bar ~width:10 [ ("a", 1.0); ("bb", 2.0) ] in
+  Alcotest.(check bool) "max bar fills width" true
+    (contains ~needle:(String.make 10 '#') out);
+  Alcotest.(check bool) "half bar" true (contains ~needle:(String.make 5 '#') out);
+  Alcotest.(check bool) "labels aligned" true (contains ~needle:"bb" out)
+
+let test_chart_bar_validation () =
+  Alcotest.(check bool) "negative rejected" true
+    (try
+       ignore (Sim_util.Chart.bar [ ("x", -1.0) ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "empty rejected" true
+    (try
+       ignore (Sim_util.Chart.bar []);
+       false
+     with Invalid_argument _ -> true)
+
+let test_chart_plot () =
+  let out =
+    Sim_util.Chart.plot ~rows:8 ~cols:20
+      [ { Sim_util.Chart.name = "one"; points = [ (1.0, 1.0); (2.0, 2.0) ] };
+        { Sim_util.Chart.name = "two"; points = [ (1.0, 2.0) ] } ]
+  in
+  Alcotest.(check bool) "marks present" true
+    (contains ~needle:"a" out && contains ~needle:"b" out);
+  Alcotest.(check bool) "legend present" true
+    (contains ~needle:"a = one" out)
+
+let test_chart_plot_log_validation () =
+  Alcotest.(check bool) "nonpositive under log rejected" true
+    (try
+       ignore
+         (Sim_util.Chart.plot ~logy:true
+            [ { Sim_util.Chart.name = "bad"; points = [ (1.0, 0.0) ] } ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_chart_plot_overlap_star () =
+  let out =
+    Sim_util.Chart.plot ~rows:4 ~cols:8
+      [ { Sim_util.Chart.name = "one"; points = [ (0.0, 0.0); (1.0, 1.0) ] };
+        { Sim_util.Chart.name = "two"; points = [ (0.0, 0.0); (1.0, 0.0) ] } ]
+  in
+  Alcotest.(check bool) "overlapping points become *" true
+    (contains ~needle:"*" out)
+
+(* ---------------- Units ---------------- *)
+
+let test_units_roundtrip () =
+  let c = Units.clock ~hz:2.2e9 ~label:"test" in
+  check_float "cycles->s->cycles" 1234.0
+    (Units.cycles_of_seconds c (Units.seconds_of_cycles c 1234.0))
+
+let test_units_transfer () =
+  check_float "latency only" 1e-6
+    (Units.transfer_seconds ~bytes:0 ~bandwidth:1e9 ~latency:1e-6);
+  check_float "bandwidth term" (1e-6 +. 1e-3)
+    (Units.transfer_seconds ~bytes:1_000_000 ~bandwidth:1e9 ~latency:1e-6)
+
+let test_units_validation () =
+  Alcotest.(check bool) "zero hz rejected" true
+    (try
+       ignore (Units.clock ~hz:0.0 ~label:"bad");
+       false
+     with Invalid_argument _ -> true)
+
+let test_units_sizes () =
+  Alcotest.(check int) "kib" 262144 (Units.kib 256);
+  Alcotest.(check int) "mib" 1048576 (Units.mib 1)
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let tests =
+  ( "util",
+    [ Alcotest.test_case "rng determinism" `Quick test_rng_deterministic;
+      Alcotest.test_case "rng seed sensitivity" `Quick
+        test_rng_seed_sensitivity;
+      Alcotest.test_case "rng copy" `Quick test_rng_copy_replays;
+      Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+      Alcotest.test_case "rng float range" `Quick test_rng_float_range;
+      Alcotest.test_case "rng int_below bounds" `Quick
+        test_rng_int_below_bounds;
+      Alcotest.test_case "rng int_below invalid" `Quick
+        test_rng_int_below_invalid;
+      Alcotest.test_case "rng gaussian moments" `Slow
+        test_rng_gaussian_moments;
+      Alcotest.test_case "rng shuffle permutation" `Quick
+        test_rng_shuffle_permutation;
+      qcheck rng_uniform_prop;
+      Alcotest.test_case "f32 idempotent" `Quick test_f32_idempotent;
+      Alcotest.test_case "f32 small ints exact" `Quick
+        test_f32_exact_small_ints;
+      Alcotest.test_case "f32 loses precision" `Quick test_f32_loses_precision;
+      Alcotest.test_case "f32 ops rounded" `Quick test_f32_ops_rounded;
+      Alcotest.test_case "f32 copysign" `Quick test_f32_copysign;
+      Alcotest.test_case "f32 overflow" `Quick test_f32_overflow_to_inf;
+      Alcotest.test_case "f32 recip accuracy" `Quick test_f32_recip_accuracy;
+      Alcotest.test_case "f32 rsqrt accuracy" `Quick test_f32_rsqrt_accuracy;
+      qcheck f32_round_monotone_prop;
+      qcheck f32_round_error_prop;
+      Alcotest.test_case "stats mean/var" `Quick test_stats_mean_var;
+      Alcotest.test_case "stats min/max" `Quick test_stats_minmax;
+      Alcotest.test_case "stats median" `Quick test_stats_median;
+      Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+      Alcotest.test_case "stats regression" `Quick test_stats_regression;
+      Alcotest.test_case "stats power law" `Quick test_stats_power_law;
+      Alcotest.test_case "stats geometric mean" `Quick
+        test_stats_geometric_mean;
+      Alcotest.test_case "stats empty raises" `Quick test_stats_empty_raises;
+      Alcotest.test_case "table render" `Quick test_table_render;
+      Alcotest.test_case "table bad row" `Quick test_table_bad_row;
+      Alcotest.test_case "table csv quoting" `Quick test_table_csv_quoting;
+      Alcotest.test_case "table fmt seconds" `Quick test_table_fmt_seconds;
+      Alcotest.test_case "chart bar" `Quick test_chart_bar;
+      Alcotest.test_case "chart bar validation" `Quick
+        test_chart_bar_validation;
+      Alcotest.test_case "chart plot" `Quick test_chart_plot;
+      Alcotest.test_case "chart log validation" `Quick
+        test_chart_plot_log_validation;
+      Alcotest.test_case "chart overlap star" `Quick
+        test_chart_plot_overlap_star;
+      Alcotest.test_case "units roundtrip" `Quick test_units_roundtrip;
+      Alcotest.test_case "units transfer" `Quick test_units_transfer;
+      Alcotest.test_case "units validation" `Quick test_units_validation;
+      Alcotest.test_case "units sizes" `Quick test_units_sizes ] )
