@@ -11,9 +11,15 @@
       out in DESIGN.md (pairlist / cell list vs the paper's on-the-fly
       kernel, f32 vs double arithmetic, branchy vs branchless search).
 
+   Every run also writes a machine-readable artifact-name -> wall-clock-ns
+   map (BENCH_results.json by default) so perf trajectories can be tracked
+   across commits.
+
    Environment knobs:
      MDSIM_BENCH_QUICK=1        use the small scale for part 1
-     MDSIM_BENCH_SKIP_REPRO=1   only run the microbenchmarks *)
+     MDSIM_BENCH_SKIP_REPRO=1   only run the microbenchmarks
+     MDSIM_BENCH_JSON=PATH      where to write the JSON results
+     MDSIM_DOMAINS=N            Mdpar pool size (harness + kernels) *)
 
 open Bechamel
 open Toolkit
@@ -28,13 +34,19 @@ let run_reproduction () =
     if quick then Harness.Context.quick_scale else Harness.Context.paper_scale
   in
   let ctx = Harness.Context.create ~scale () in
+  let t0 = Unix.gettimeofday () in
   let outcomes = Harness.Report.run_all ctx in
+  let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
   print_endline "==================================================";
   print_endline " Reproduction: every table & figure of the paper";
   print_endline "==================================================";
   print_newline ();
   print_endline (Harness.Report.render_all outcomes);
-  print_endline (Harness.Report.summary_line outcomes)
+  print_endline (Harness.Report.summary_line outcomes);
+  Printf.printf "reproduction wall-clock: %.3f s on %d domain(s)\n"
+    (wall_ns /. 1e9)
+    (Mdpar.size (Mdpar.get ()));
+  wall_ns
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: microbenchmarks                                             *)
@@ -148,6 +160,43 @@ let test_ablation_search =
              done;
              !acc)) ]
 
+(* Host-parallelism ablations (DESIGN.md: Mdpar).  Pool vs spawn-per-call
+   quantifies what reusing domains saves; the pairlist builds contrast the
+   cell-binned O(N) construction with the quadratic rescan at two sizes,
+   so the scaling exponent is visible from the ratio. *)
+let test_ablation_pool =
+  let par_sys = lazy (Mdcore.Init.build ~n:512 ()) in
+  Test.make_grouped ~name:"ablation-pool"
+    [ Test.make ~name:"gather-serial"
+        (Staged.stage (fun () ->
+             Mdcore.Forces.compute_gather (Lazy.force par_sys)));
+      Test.make ~name:"gather-pool-4dom"
+        (Staged.stage (fun () ->
+             Mdcore.Forces.compute_gather_domains ~domains:4
+               (Lazy.force par_sys)));
+      Test.make ~name:"gather-spawn-per-call-4dom"
+        (Staged.stage (fun () ->
+             Mdcore.Forces.compute_gather_spawn ~domains:4
+               (Lazy.force par_sys))) ]
+
+let test_ablation_pairlist_build =
+  let make_build n brute =
+    let pl =
+      lazy
+        (let s = Mdcore.Init.build ~n () in
+         Mdcore.Pairlist.create s)
+    in
+    Test.make
+      ~name:(Printf.sprintf "build-%s-%datoms" (if brute then "n2" else "cells") n)
+      (Staged.stage (fun () ->
+           let pl = Lazy.force pl in
+           if brute then Mdcore.Pairlist.force_rebuild_brute pl
+           else Mdcore.Pairlist.force_rebuild pl))
+  in
+  Test.make_grouped ~name:"ablation-pairlist-build"
+    [ make_build 256 false; make_build 256 true;
+      make_build 1024 false; make_build 1024 true ]
+
 let test_substrates =
   let rng = Sim_util.Rng.create 7 in
   let seq_a = Seqalign.Dna.random rng ~length:64 in
@@ -172,7 +221,7 @@ let all_tests =
   Test.make_grouped ~name:"repro"
     [ test_table1; test_fig5; test_fig6; test_fig7; test_fig8; test_fig9;
       test_ablation_engines; test_ablation_precision; test_ablation_search;
-      test_substrates ]
+      test_ablation_pool; test_ablation_pairlist_build; test_substrates ]
 
 let run_microbenchmarks () =
   print_newline ();
@@ -192,23 +241,90 @@ let run_microbenchmarks () =
   let table =
     Sim_util.Table.create ~headers:[ "benchmark"; "time/run"; "r^2" ]
   in
+  let measured = ref [] in
   List.iter
     (fun (name, ols_result) ->
-      let estimate =
+      let estimate_ns =
         match Analyze.OLS.estimates ols_result with
-        | Some (e :: _) -> Sim_util.Table.fmt_seconds (e *. 1e-9)
-        | _ -> "n/a"
+        | Some (e :: _) -> Some e
+        | _ -> None
+      in
+      let estimate =
+        match estimate_ns with
+        | Some e -> Sim_util.Table.fmt_seconds (e *. 1e-9)
+        | None -> "n/a"
       in
       let r2 =
         match Analyze.OLS.r_square ols_result with
         | Some r -> Printf.sprintf "%.3f" r
         | None -> "n/a"
       in
+      (match estimate_ns with
+      | Some e -> measured := (name, e) :: !measured
+      | None -> ());
       Sim_util.Table.add_row table [ name; estimate; r2 ])
     rows;
-  print_endline (Sim_util.Table.render table)
+  print_endline (Sim_util.Table.render table);
+  List.rev !measured
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results                                            *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_results_json ~repro_ns rows =
+  let path =
+    Option.value
+      (Sys.getenv_opt "MDSIM_BENCH_JSON")
+      ~default:"BENCH_results.json"
+  in
+  let quick = Sys.getenv_opt "MDSIM_BENCH_QUICK" = Some "1" in
+  let entries =
+    (match repro_ns with
+    | Some ns ->
+      [ ( (if quick then "reproduction/wall-clock-quick"
+           else "reproduction/wall-clock-paper"),
+          ns ) ]
+    | None -> [])
+    @ rows
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "{\n";
+      Printf.fprintf oc "  \"schema\": \"mdsim-bench-v1\",\n";
+      Printf.fprintf oc "  \"domains\": %d,\n" (Mdpar.size (Mdpar.get ()));
+      Printf.fprintf oc "  \"quick\": %b,\n" quick;
+      Printf.fprintf oc "  \"results_ns\": {\n";
+      let n = List.length entries in
+      List.iteri
+        (fun i (name, ns) ->
+          Printf.fprintf oc "    \"%s\": %.1f%s\n" (json_escape name) ns
+            (if i = n - 1 then "" else ","))
+        entries;
+      output_string oc "  }\n";
+      output_string oc "}\n");
+  Printf.printf "wrote %s (%d entries)\n" path (List.length entries)
 
 let () =
-  if Sys.getenv_opt "MDSIM_BENCH_SKIP_REPRO" <> Some "1" then
-    run_reproduction ();
-  run_microbenchmarks ()
+  let repro_ns =
+    if Sys.getenv_opt "MDSIM_BENCH_SKIP_REPRO" <> Some "1" then
+      Some (run_reproduction ())
+    else None
+  in
+  let rows = run_microbenchmarks () in
+  write_results_json ~repro_ns rows

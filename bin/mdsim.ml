@@ -46,6 +46,23 @@ let quick_arg =
   let doc = "Use the small test scale instead of the paper's sizes." in
   Arg.(value & flag & info [ "quick" ] ~doc)
 
+let domains_arg =
+  let doc =
+    "Host domains (OCaml 5) for the Mdpar pool parallelizing the force \
+     kernels, neighbour-list builds and the experiment harness.  Defaults \
+     to $(b,MDSIM_DOMAINS) or the recommended domain count.  Virtual \
+     device-time results are identical for any value; 1 forces fully \
+     sequential execution."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
+let apply_domains = function
+  | Some d when d <= 0 ->
+    Printf.eprintf "mdsim: --domains must be positive (got %d)\n" d;
+    exit 2
+  | Some d -> Mdpar.set_default_domains d
+  | None -> ()
+
 let csv_dir_arg =
   let doc = "Also write each experiment's data as CSV into $(docv)." in
   Arg.(
@@ -83,7 +100,8 @@ let print_result (r : Mdports.Run_result.t) =
     (Sim_util.Table.fmt_seconds r.Mdports.Run_result.seconds)
 
 let run_cmd =
-  let action atoms steps seed density temperature device xyz_path =
+  let action atoms steps seed density temperature device xyz_path domains =
+    apply_domains domains;
     let system = build_system ~atoms ~seed ~density ~temperature in
     (match xyz_path with
     | Some path ->
@@ -120,7 +138,7 @@ let run_cmd =
   let term =
     Term.(
       const action $ atoms_arg $ steps_arg $ seed_arg $ density_arg
-      $ temperature_arg $ device_arg $ xyz_arg)
+      $ temperature_arg $ device_arg $ xyz_arg $ domains_arg)
   in
   let doc = "Run the MD kernel on one device model." in
   Cmd.v (Cmd.info "run" ~doc) term
@@ -132,7 +150,8 @@ let experiment_cmd =
     in
     Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc)
   in
-  let action id quick csv_dir markdown =
+  let action id quick csv_dir markdown domains =
+    apply_domains domains;
     let scale =
       if quick then Harness.Context.quick_scale
       else Harness.Context.paper_scale
@@ -175,7 +194,9 @@ let experiment_cmd =
     if not (List.for_all Harness.Experiment.all_passed outcomes) then exit 1
   in
   let term =
-    Term.(const action $ id_arg $ quick_arg $ csv_dir_arg $ markdown_arg)
+    Term.(
+      const action $ id_arg $ quick_arg $ csv_dir_arg $ markdown_arg
+      $ domains_arg)
   in
   let doc = "Regenerate a table or figure from the paper." in
   Cmd.v (Cmd.info "experiment" ~doc) term

@@ -1,72 +1,124 @@
 let cells_per_axis (s : System.t) =
   int_of_float (s.System.box /. s.System.params.Params.cutoff)
 
-let compute (s : System.t) =
-  let { System.n; box; params; pos_x; pos_y; pos_z; acc_x; acc_y; acc_z; _ } =
-    s
+(* Stateful linked-cell engine: the cell arrays are allocated once at
+   [create] and reused on every force evaluation — rebinning is an O(N)
+   overwrite, not an allocation.  [atom_cell] remembers each atom's cell
+   from the binning pass so the force loop never recomputes it. *)
+type t = {
+  system : System.t;
+  pool : Mdpar.t option;  (* None: resolve Mdpar.get () per evaluation *)
+  m : int;                (* cells per axis *)
+  cell_size : float;
+  head : int array;       (* m³ entries; first atom per cell *)
+  next : int array;       (* per-atom chain through its cell *)
+  atom_cell : int array;  (* cell index per atom *)
+}
+
+let create ?pool (s : System.t) =
+  let m = cells_per_axis s in
+  if m < 3 then
+    invalid_arg "Cell_list.create: box too small (needs >= 3 cells per axis)";
+  { system = s;
+    pool;
+    m;
+    cell_size = s.System.box /. float_of_int m;
+    head = Array.make (m * m * m) (-1);
+    next = Array.make s.System.n (-1);
+    atom_cell = Array.make s.System.n 0 }
+
+let pool_of t = match t.pool with Some p -> p | None -> Mdpar.get ()
+
+let bin_atoms t =
+  let { System.n; pos_x; pos_y; pos_z; _ } = t.system in
+  let m = t.m in
+  Array.fill t.head 0 (Array.length t.head) (-1);
+  let idx v =
+    let k = int_of_float (v /. t.cell_size) in
+    (* Guard the v = box edge case produced by rounding. *)
+    if k >= m then m - 1 else if k < 0 then 0 else k
   in
+  for i = 0 to n - 1 do
+    let c =
+      (idx pos_z.(i) * m * m) + (idx pos_y.(i) * m) + idx pos_x.(i)
+    in
+    t.atom_cell.(i) <- c;
+    t.next.(i) <- t.head.(c);
+    t.head.(c) <- i
+  done
+
+(* One atom's 27-cell gather; writes only acc_*.(i). *)
+let force_row t rc2 inv_mass i =
+  let { System.box; params; pos_x; pos_y; pos_z; acc_x; acc_y; acc_z; _ } =
+    t.system
+  in
+  let m = t.m in
+  let wrap k = ((k mod m) + m) mod m in
+  let xi = pos_x.(i) and yi = pos_y.(i) and zi = pos_z.(i) in
+  let fx = ref 0.0 and fy = ref 0.0 and fz = ref 0.0 in
+  let pe2 = ref 0.0 in
+  let ci = t.atom_cell.(i) in
+  let cix = ci mod m and ciy = ci / m mod m and ciz = ci / (m * m) in
+  for sz = -1 to 1 do
+    for sy = -1 to 1 do
+      for sx = -1 to 1 do
+        let c =
+          (wrap (ciz + sz) * m * m) + (wrap (ciy + sy) * m) + wrap (cix + sx)
+        in
+        let j = ref t.head.(c) in
+        while !j >= 0 do
+          if !j <> i then begin
+            let dx = Min_image.delta ~box (xi -. pos_x.(!j))
+            and dy = Min_image.delta ~box (yi -. pos_y.(!j))
+            and dz = Min_image.delta ~box (zi -. pos_z.(!j)) in
+            let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
+            if r2 < rc2 then begin
+              let f_over_r = Params.lj_force_over_r params r2 in
+              fx := !fx +. (f_over_r *. dx);
+              fy := !fy +. (f_over_r *. dy);
+              fz := !fz +. (f_over_r *. dz);
+              pe2 := !pe2 +. Params.lj_potential params r2
+            end
+          end;
+          j := t.next.(!j)
+        done
+      done
+    done
+  done;
+  acc_x.(i) <- !fx *. inv_mass;
+  acc_y.(i) <- !fy *. inv_mass;
+  acc_z.(i) <- !fz *. inv_mass;
+  !pe2
+
+let compute_with t (s : System.t) =
+  if s != t.system then
+    invalid_arg "Cell_list: engine used with a different system";
+  let { System.n; params; _ } = s in
+  let rc2 = Params.cutoff2 params in
+  let inv_mass = 1.0 /. params.Params.mass in
+  bin_atoms t;
+  (* Rows write disjoint acceleration slots: forces are bit-identical to
+     the serial loop for any pool size; PE partials combine in chunk
+     order (chunk count = pool size, so size 1 is exactly serial). *)
+  let pe2 =
+    Mdpar.parallel_for_reduce (pool_of t) ~lo:0 ~hi:(n - 1) ~init:0.0
+      ~combine:( +. )
+      ~body:(fun i -> force_row t rc2 inv_mass i)
+  in
+  0.5 *. pe2
+
+let engine_of t =
+  Engine.make ~name:"cell-list" ~compute:(compute_with t)
+
+(* Legacy stateless entry points: allocate a one-shot [t] and evaluate
+   serially (pool size 1), preserving the historical behaviour — and the
+   exact serial PE summation order — for callers like [Init.relax]. *)
+let serial_pool = lazy (Mdpar.get ~domains:1 ())
+
+let compute (s : System.t) =
   let m = cells_per_axis s in
   if m < 3 then
     invalid_arg "Cell_list.compute: box too small (needs >= 3 cells per axis)";
-  let cell_size = box /. float_of_int m in
-  let ncells = m * m * m in
-  (* Linked-list cells, as in classic MD codes: head.(c) is the first atom
-     in cell c, next.(i) chains the rest. *)
-  let head = Array.make ncells (-1) in
-  let next = Array.make n (-1) in
-  let cell_of i =
-    let idx v =
-      let k = int_of_float (v /. cell_size) in
-      (* Guard the v = box edge case produced by rounding. *)
-      if k >= m then m - 1 else if k < 0 then 0 else k
-    in
-    let cx = idx pos_x.(i) and cy = idx pos_y.(i) and cz = idx pos_z.(i) in
-    (cz * m * m) + (cy * m) + cx
-  in
-  for i = 0 to n - 1 do
-    let c = cell_of i in
-    next.(i) <- head.(c);
-    head.(c) <- i
-  done;
-  let rc2 = Params.cutoff2 params in
-  let inv_mass = 1.0 /. params.Params.mass in
-  let pe2 = ref 0.0 in
-  let wrap k = ((k mod m) + m) mod m in
-  for i = 0 to n - 1 do
-    let xi = pos_x.(i) and yi = pos_y.(i) and zi = pos_z.(i) in
-    let fx = ref 0.0 and fy = ref 0.0 and fz = ref 0.0 in
-    let ci = cell_of i in
-    let cix = ci mod m and ciy = ci / m mod m and ciz = ci / (m * m) in
-    for sz = -1 to 1 do
-      for sy = -1 to 1 do
-        for sx = -1 to 1 do
-          let c =
-            (wrap (ciz + sz) * m * m) + (wrap (ciy + sy) * m) + wrap (cix + sx)
-          in
-          let j = ref head.(c) in
-          while !j >= 0 do
-            if !j <> i then begin
-              let dx = Min_image.delta ~box (xi -. pos_x.(!j))
-              and dy = Min_image.delta ~box (yi -. pos_y.(!j))
-              and dz = Min_image.delta ~box (zi -. pos_z.(!j)) in
-              let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
-              if r2 < rc2 then begin
-                let f_over_r = Params.lj_force_over_r params r2 in
-                fx := !fx +. (f_over_r *. dx);
-                fy := !fy +. (f_over_r *. dy);
-                fz := !fz +. (f_over_r *. dz);
-                pe2 := !pe2 +. Params.lj_potential params r2
-              end
-            end;
-            j := next.(!j)
-          done
-        done
-      done
-    done;
-    acc_x.(i) <- !fx *. inv_mass;
-    acc_y.(i) <- !fy *. inv_mass;
-    acc_z.(i) <- !fz *. inv_mass
-  done;
-  0.5 *. !pe2
+  compute_with (create ~pool:(Lazy.force serial_pool) s) s
 
 let engine = Engine.make ~name:"cell-list" ~compute

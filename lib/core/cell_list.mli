@@ -6,15 +6,38 @@
     use; note the pleasing coincidence that its 27-cell stencil mirrors
     the 27-image minimum-image search the paper's kernel performs.)
 
-    The engine is stateless across calls: the cell assignment is rebuilt
-    on every force evaluation, which is O(N) and keeps the engine usable
-    on any system without lifetime bookkeeping. *)
+    The engine is stateful: {!create} allocates the cell arrays
+    ([head]/[next]/[atom_cell]) once, and every evaluation rebins into
+    them with zero allocation.  The binning pass records each atom's
+    cell in [atom_cell], which the force loop indexes instead of
+    recomputing the cell from coordinates.  The per-atom force loop runs
+    on the {!Mdpar} pool; rows write disjoint acceleration slots, so the
+    forces are bit-identical to serial for any pool size, and the PE
+    reduction combines chunk partials in a fixed order (deterministic;
+    exactly serial at pool size 1). *)
+
+type t
+
+val create : ?pool:Mdpar.t -> System.t -> t
+(** Allocates the reusable cell arrays for this system.  [pool] defaults
+    to [Mdpar.get ()] at evaluation time.  Raises [Invalid_argument] if
+    the box is smaller than 3 cells per axis (the stencil would visit
+    the same cell twice; fall back to {!Forces.gather_engine} for such
+    tiny systems). *)
+
+val compute_with : t -> System.t -> float
+(** Rebin (reusing buffers) and evaluate forces + PE.  The system must
+    be the one the state was created for (checked). *)
+
+val engine_of : t -> Engine.t
+(** An engine bound to this reusable state. *)
 
 val engine : Engine.t
+(** Legacy stateless engine: allocates a one-shot state per evaluation
+    and runs serially — byte-compatible with the historical behaviour. *)
 
 val compute : System.t -> float
-(** Raises [Invalid_argument] if the box is smaller than 3 cells per axis
-    (the stencil would visit the same cell twice; fall back to
-    {!Forces.gather_engine} for such tiny systems). *)
+(** Raises [Invalid_argument] if the box is smaller than 3 cells per
+    axis. *)
 
 val cells_per_axis : System.t -> int

@@ -63,12 +63,38 @@ let gather_row (s : System.t) rc2 inv_mass i =
   acc_z.(i) <- !fz *. inv_mass;
   !pe2
 
+let compute_gather_pool ?pool (s : System.t) =
+  let pool = match pool with Some p -> p | None -> Mdpar.get () in
+  let n = s.System.n in
+  let rc2 = Params.cutoff2 s.System.params in
+  let inv_mass = 1.0 /. s.System.params.Params.mass in
+  (* Rows are disjoint: each participant writes only the acceleration
+     slots of the rows it claims, so the forces are bit-identical to the
+     serial loop for any pool size.  The PE partials land in slots keyed
+     by chunk index and combine in chunk order, so the sum is a pure
+     function of the pool size (and equals the serial sum at size 1). *)
+  let pe2 =
+    Mdpar.parallel_for_reduce pool ~lo:0 ~hi:(n - 1) ~init:0.0
+      ~combine:( +. )
+      ~body:(fun i -> gather_row s rc2 inv_mass i)
+  in
+  0.5 *. pe2
+
 let compute_gather_domains ?domains (s : System.t) =
+  match domains with
+  | None -> compute_gather_pool s
+  | Some d ->
+    if d <= 0 then invalid_arg "Forces.compute_gather_domains: domains";
+    compute_gather_pool ~pool:(Mdpar.get ~domains:(min d s.System.n) ()) s
+
+(* The pre-pool implementation, kept verbatim as the bench ablation
+   baseline: one [Domain.spawn] + [Domain.join] per force call. *)
+let compute_gather_spawn ?domains (s : System.t) =
   let n = s.System.n in
   let domains =
     match domains with
     | Some d ->
-      if d <= 0 then invalid_arg "Forces.compute_gather_domains: domains";
+      if d <= 0 then invalid_arg "Forces.compute_gather_spawn: domains";
       d
     | None -> Domain.recommended_domain_count ()
   in
@@ -84,8 +110,6 @@ let compute_gather_domains ?domains (s : System.t) =
     done;
     !pe2
   in
-  (* Rows are disjoint: each domain writes only its own slice of the
-     acceleration arrays, so the only shared state is read-only. *)
   let workers =
     List.init (domains - 1) (fun k -> Domain.spawn (fun () -> run_chunk (k + 1)))
   in

@@ -28,13 +28,25 @@ val compute_gather_stats : System.t -> float * int
 
 val compute_gather_domains : ?domains:int -> System.t -> float
 (** {!compute_gather} with the rows split across OCaml 5 domains (shared-
-    memory parallelism on the host running this simulator).  The gather
-    formulation makes rows independent — each domain writes only its own
-    acceleration slice, so the accelerations are bit-identical to the
-    serial version, and per-domain PE partials combine in a fixed order,
-    so the PE is deterministic (equal to serial up to floating-point
-    summation order; both tested).  [domains] defaults to
-    [Domain.recommended_domain_count ()]. *)
+    memory parallelism on the host running this simulator), scheduled on
+    the persistent {!Mdpar} pool — no [Domain.spawn] per call.  The
+    gather formulation makes rows independent — each domain writes only
+    its own acceleration slice, so the accelerations are bit-identical
+    to the serial version for any domain count, and PE partials land in
+    chunk-indexed slots combined in chunk order, so the PE is
+    deterministic (equal to serial up to floating-point summation order
+    when [domains > 1]; exactly serial at [domains = 1]; both tested).
+    [domains] defaults to the {!Mdpar.default_domains} resolution
+    (CLI [--domains] / [MDSIM_DOMAINS] / recommended count). *)
+
+val compute_gather_pool : ?pool:Mdpar.t -> System.t -> float
+(** As {!compute_gather_domains}, scheduled on an explicit pool
+    ([Mdpar.get ()] when omitted). *)
+
+val compute_gather_spawn : ?domains:int -> System.t -> float
+(** The pre-pool implementation — a fresh [Domain.spawn] per worker per
+    call — kept as the bench ablation baseline quantifying what the
+    persistent pool saves. *)
 
 val compute_gather_searched : System.t -> float
 (** {!compute_gather} with the minimum image found by the paper's literal

@@ -1,7 +1,10 @@
 type t = {
   system : System.t;
   skin : float;
-  (* Half-list: for each i, neighbours j > i within cutoff+skin. *)
+  pool : Mdpar.t option;  (* None: resolve Mdpar.get () at build time *)
+  (* Half-list: for each i, neighbours j > i within cutoff+skin, in
+     ascending j order (the build algorithms below must all agree on
+     this so the stored lists are byte-identical across them). *)
   mutable neighbours : int array array;
   ref_x : float array;  (* positions at last build *)
   ref_y : float array;
@@ -9,44 +12,144 @@ type t = {
   mutable built : bool;
   mutable rebuilds : int;
   mutable last_hits : int;
+  (* Cell-binning state, allocated once at [create] and reused on every
+     rebuild.  [cells = 0] means the box is too small for a 27-cell
+     stencil and builds fall back to the O(N²) scan. *)
+  cells : int;            (* cells per axis *)
+  head : int array;       (* cells³ entries; first atom per cell *)
+  next : int array;       (* per-atom chain through its cell *)
+  atom_cell : int array;  (* cell index per atom, filled during binning *)
 }
 
-let create ?(skin = 0.4) (s : System.t) =
+let create ?(skin = 0.4) ?pool (s : System.t) =
   if skin <= 0.0 then invalid_arg "Pairlist.create: skin must be positive";
   let reach = s.System.params.Params.cutoff +. skin in
   if s.System.box < 2.0 *. reach then
     invalid_arg "Pairlist.create: box too small for cutoff + skin";
+  let cells =
+    let m = int_of_float (s.System.box /. reach) in
+    if m >= 3 then m else 0
+  in
   { system = s;
     skin;
+    pool;
     neighbours = Array.make s.System.n [||];
     ref_x = Array.make s.System.n 0.0;
     ref_y = Array.make s.System.n 0.0;
     ref_z = Array.make s.System.n 0.0;
     built = false;
     rebuilds = 0;
-    last_hits = 0 }
+    last_hits = 0;
+    cells;
+    head = (if cells = 0 then [||] else Array.make (cells * cells * cells) (-1));
+    next = Array.make s.System.n (-1);
+    atom_cell = Array.make s.System.n 0 }
 
-let build t =
-  let s = t.system in
-  let { System.n; box; pos_x; pos_y; pos_z; _ } = s in
-  let reach = s.System.params.Params.cutoff +. t.skin in
-  let reach2 = reach *. reach in
-  t.neighbours <-
-    Array.init n (fun i ->
-        let acc = ref [] in
-        for j = n - 1 downto i + 1 do
-          let dx = Min_image.delta ~box (pos_x.(i) -. pos_x.(j))
-          and dy = Min_image.delta ~box (pos_y.(i) -. pos_y.(j))
-          and dz = Min_image.delta ~box (pos_z.(i) -. pos_z.(j)) in
-          if (dx *. dx) +. (dy *. dy) +. (dz *. dz) < reach2 then
-            acc := j :: !acc
-        done;
-        Array.of_list !acc);
+let pool_of t =
+  match t.pool with Some p -> p | None -> Mdpar.get ()
+
+let reach_of t = t.system.System.params.Params.cutoff +. t.skin
+
+let finish_build t =
+  let { System.n; pos_x; pos_y; pos_z; _ } = t.system in
   Array.blit pos_x 0 t.ref_x 0 n;
   Array.blit pos_y 0 t.ref_y 0 n;
   Array.blit pos_z 0 t.ref_z 0 n;
   t.built <- true;
   t.rebuilds <- t.rebuilds + 1
+
+(* O(N²) build: each row scans every j > i.  Kept both as the fallback
+   for boxes under 3 cells per axis and as the bench ablation baseline
+   for the cell-binned build. *)
+let build_row_brute t reach2 i =
+  let { System.n; box; pos_x; pos_y; pos_z; _ } = t.system in
+  let acc = ref [] in
+  for j = n - 1 downto i + 1 do
+    let dx = Min_image.delta ~box (pos_x.(i) -. pos_x.(j))
+    and dy = Min_image.delta ~box (pos_y.(i) -. pos_y.(j))
+    and dz = Min_image.delta ~box (pos_z.(i) -. pos_z.(j)) in
+    if (dx *. dx) +. (dy *. dy) +. (dz *. dz) < reach2 then acc := j :: !acc
+  done;
+  Array.of_list !acc
+
+let build_brute t =
+  let n = t.system.System.n in
+  let reach2 = reach_of t *. reach_of t in
+  let neighbours = t.neighbours in
+  Mdpar.parallel_for (pool_of t) ~lo:0 ~hi:(n - 1) (fun i ->
+      neighbours.(i) <- build_row_brute t reach2 i);
+  finish_build t
+
+(* O(N) build: bin atoms into cells at least [cutoff+skin] wide (serial,
+   one pass), then scan only the 27-cell stencil per row.  Rows are
+   independent and each writes one slot of [neighbours], so the build
+   parallelizes over the pool; candidates arrive in chain order and are
+   sorted ascending, making the stored lists identical to the brute
+   build bit-for-bit regardless of pool size. *)
+let bin_atoms t =
+  let { System.n; box; pos_x; pos_y; pos_z; _ } = t.system in
+  let m = t.cells in
+  let cell_size = box /. float_of_int m in
+  Array.fill t.head 0 (Array.length t.head) (-1);
+  let idx v =
+    let k = int_of_float (v /. cell_size) in
+    (* Guard the v = box edge case produced by rounding. *)
+    if k >= m then m - 1 else if k < 0 then 0 else k
+  in
+  for i = 0 to n - 1 do
+    let c =
+      (idx pos_z.(i) * m * m) + (idx pos_y.(i) * m) + idx pos_x.(i)
+    in
+    t.atom_cell.(i) <- c;
+    t.next.(i) <- t.head.(c);
+    t.head.(c) <- i
+  done
+
+let build_row_cells t reach2 i =
+  let { System.box; pos_x; pos_y; pos_z; _ } = t.system in
+  let m = t.cells in
+  let wrap k = ((k mod m) + m) mod m in
+  let ci = t.atom_cell.(i) in
+  let cix = ci mod m and ciy = ci / m mod m and ciz = ci / (m * m) in
+  let xi = pos_x.(i) and yi = pos_y.(i) and zi = pos_z.(i) in
+  let acc = ref [] and count = ref 0 in
+  for sz = -1 to 1 do
+    for sy = -1 to 1 do
+      for sx = -1 to 1 do
+        let c =
+          (wrap (ciz + sz) * m * m) + (wrap (ciy + sy) * m) + wrap (cix + sx)
+        in
+        let j = ref t.head.(c) in
+        while !j >= 0 do
+          if !j > i then begin
+            let dx = Min_image.delta ~box (xi -. pos_x.(!j))
+            and dy = Min_image.delta ~box (yi -. pos_y.(!j))
+            and dz = Min_image.delta ~box (zi -. pos_z.(!j)) in
+            if (dx *. dx) +. (dy *. dy) +. (dz *. dz) < reach2 then begin
+              acc := !j :: !acc;
+              incr count
+            end
+          end;
+          j := t.next.(!j)
+        done
+      done
+    done
+  done;
+  let row = Array.make !count 0 in
+  List.iteri (fun k j -> row.(k) <- j) !acc;
+  Array.sort compare row;
+  row
+
+let build_cells t =
+  let n = t.system.System.n in
+  let reach2 = reach_of t *. reach_of t in
+  bin_atoms t;
+  let neighbours = t.neighbours in
+  Mdpar.parallel_for (pool_of t) ~lo:0 ~hi:(n - 1) (fun i ->
+      neighbours.(i) <- build_row_cells t reach2 i);
+  finish_build t
+
+let build t = if t.cells = 0 then build_brute t else build_cells t
 
 let max_drift t =
   let s = t.system in
@@ -110,3 +213,7 @@ let neighbour_count t =
   Array.fold_left (fun acc a -> acc + Array.length a) 0 t.neighbours
 
 let force_rebuild t = build t
+
+let force_rebuild_brute t = build_brute t
+
+let uses_cells t = t.cells > 0

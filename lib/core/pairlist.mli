@@ -14,9 +14,18 @@
 
 type t
 
-val create : ?skin:float -> System.t -> t
+val create : ?skin:float -> ?pool:Mdpar.t -> System.t -> t
 (** [skin] defaults to 0.4σ.  Raises [Invalid_argument] if nonpositive or
-    if [box < 2*(cutoff+skin)]. *)
+    if [box < 2*(cutoff+skin)].
+
+    Builds are O(N): atoms are binned into cells at least [cutoff+skin]
+    wide (buffers allocated here, reused on every rebuild) and each
+    atom's candidates come from the 27-cell stencil; the per-row scans
+    run on the {!Mdpar} pool ([pool], defaulting to [Mdpar.get ()] at
+    build time).  Rows are sorted ascending, so the stored lists — and
+    hence forces, PE, rebuild cadence and interaction counts — are
+    bit-identical to the O(N²) scan for any pool size.  Boxes narrower
+    than 3 cells per axis fall back to the O(N²) scan. *)
 
 val engine : t -> Engine.t
 (** An engine bound to this list's bookkeeping.  The engine must only be
@@ -35,3 +44,11 @@ val last_interaction_count : t -> int
     evaluation. *)
 
 val force_rebuild : t -> unit
+
+val force_rebuild_brute : t -> unit
+(** Rebuild with the O(N²) scan regardless of box size — the bench
+    ablation baseline for the cell-binned build (same stored lists). *)
+
+val uses_cells : t -> bool
+(** Whether builds use the O(N) cell-binned path (false only for boxes
+    under 3 cells per axis). *)

@@ -21,80 +21,96 @@ let quick_scale =
     mta_sweep = [ 128; 160; 192 ];
     seed = 42 }
 
+(* Experiments may run concurrently on Mdpar workers (Report.run_all),
+   so the memo tables hold in-flight markers: the first requester of a
+   key computes it outside the lock, later requesters block on the
+   condition variable until the value lands.  Every computed value is a
+   deterministic function of (scale, key), so which experiment computes
+   it never affects the result. *)
+type 'v slot = Pending | Ready of 'v
+
 type t = {
   scale : scale;
-  systems : (int, Mdcore.System.t) Hashtbl.t;
-  mutable opteron_main : Mdports.Run_result.t option;
-  opteron_sweep : (int, float) Hashtbl.t;
-  gpu_sweep : (int, float) Hashtbl.t;
-  mta_sweep : (bool * int, float) Hashtbl.t;
-  mutable profile : Mdports.Cell_port.profile option;
+  lock : Mutex.t;
+  cond : Condition.t;
+  systems : (int, Mdcore.System.t slot) Hashtbl.t;
+  opteron_main : (unit, Mdports.Run_result.t slot) Hashtbl.t;
+  opteron_sweep : (int, float slot) Hashtbl.t;
+  gpu_sweep : (int, float slot) Hashtbl.t;
+  mta_sweep : (bool * int, float slot) Hashtbl.t;
+  profile : (unit, Mdports.Cell_port.profile slot) Hashtbl.t;
 }
 
 let create ?(scale = paper_scale) () =
   { scale;
+    lock = Mutex.create ();
+    cond = Condition.create ();
     systems = Hashtbl.create 8;
-    opteron_main = None;
+    opteron_main = Hashtbl.create 1;
     opteron_sweep = Hashtbl.create 8;
     gpu_sweep = Hashtbl.create 8;
     mta_sweep = Hashtbl.create 8;
-    profile = None }
+    profile = Hashtbl.create 1 }
 
 let scale t = t.scale
 
+let memo t tbl key compute =
+  Mutex.lock t.lock;
+  let rec acquire () =
+    match Hashtbl.find_opt tbl key with
+    | Some (Ready v) ->
+      Mutex.unlock t.lock;
+      v
+    | Some Pending ->
+      Condition.wait t.cond t.lock;
+      acquire ()
+    | None ->
+      Hashtbl.replace tbl key Pending;
+      Mutex.unlock t.lock;
+      (match compute () with
+      | v ->
+        Mutex.lock t.lock;
+        Hashtbl.replace tbl key (Ready v);
+        Condition.broadcast t.cond;
+        Mutex.unlock t.lock;
+        v
+      | exception e ->
+        Mutex.lock t.lock;
+        Hashtbl.remove tbl key;
+        Condition.broadcast t.cond;
+        Mutex.unlock t.lock;
+        raise e)
+  in
+  acquire ()
+
 let system_of t ~n =
-  match Hashtbl.find_opt t.systems n with
-  | Some s -> s
-  | None ->
-    let s = Mdcore.Init.build ~seed:t.scale.seed ~n () in
-    Hashtbl.add t.systems n s;
-    s
+  memo t t.systems n (fun () -> Mdcore.Init.build ~seed:t.scale.seed ~n ())
 
 let system t = system_of t ~n:t.scale.atoms
 
 let opteron t =
-  match t.opteron_main with
-  | Some r -> r
-  | None ->
-    let r = Mdports.Opteron_port.run ~steps:t.scale.steps (system t) in
-    t.opteron_main <- Some r;
-    r
+  memo t t.opteron_main () (fun () ->
+      Mdports.Opteron_port.run ~steps:t.scale.steps (system t))
 
 let opteron_seconds_of t ~n =
   if n = t.scale.atoms then (opteron t).Mdports.Run_result.seconds
-  else begin
-    match Hashtbl.find_opt t.opteron_sweep n with
-    | Some s -> s
-    | None ->
-      let r = Mdports.Opteron_port.run ~steps:t.scale.steps (system_of t ~n) in
-      Hashtbl.add t.opteron_sweep n r.Mdports.Run_result.seconds;
-      r.Mdports.Run_result.seconds
-  end
-
-let memo tbl key compute =
-  match Hashtbl.find_opt tbl key with
-  | Some v -> v
-  | None ->
-    let v = compute () in
-    Hashtbl.add tbl key v;
-    v
+  else
+    memo t t.opteron_sweep n (fun () ->
+        (Mdports.Opteron_port.run ~steps:t.scale.steps (system_of t ~n))
+          .Mdports.Run_result.seconds)
 
 let gpu_seconds_of t ~n =
-  memo t.gpu_sweep n (fun () ->
+  memo t t.gpu_sweep n (fun () ->
       (Mdports.Gpu_port.run ~steps:t.scale.steps (system_of t ~n))
         .Mdports.Run_result.seconds)
 
 let mta_seconds_of t ~mode ~n =
-  memo t.mta_sweep
+  memo t t.mta_sweep
     (mode = Mdports.Mta_port.Fully_multithreaded, n)
     (fun () ->
       (Mdports.Mta_port.run ~steps:t.scale.steps ~mode (system_of t ~n))
         .Mdports.Run_result.seconds)
 
 let cell_profile t =
-  match t.profile with
-  | Some p -> p
-  | None ->
-    let p = Mdports.Cell_port.profile_run ~steps:t.scale.steps (system t) in
-    t.profile <- Some p;
-    p
+  memo t t.profile () (fun () ->
+      Mdports.Cell_port.profile_run ~steps:t.scale.steps (system t))

@@ -4,7 +4,13 @@
     system, its Opteron reference run, the Cell single-precision profile —
     so the context computes each lazily, once.  A context also fixes the
     experiment scale: the paper's sizes by default, a small
-    {!quick_scale} for tests and smoke runs. *)
+    {!quick_scale} for tests and smoke runs.
+
+    All accessors are thread-safe: experiments run concurrently on the
+    {!Mdpar} pool ({!Report.run_all}), and the first requester of a
+    memoized artifact computes it while later requesters block until it
+    is ready.  Every artifact is a deterministic function of the scale,
+    so concurrency never changes a value. *)
 
 type scale = {
   atoms : int;          (** Table 1 / Fig. 5 / Fig. 6 system size *)

@@ -20,7 +20,14 @@ let render_outcome (o : Experiment.outcome) =
 
 let run_one ctx (e : Experiment.t) = e.run ctx
 
-let run_all ctx = List.map (run_one ctx) Registry.all
+(* Experiments are independent given the context (which memoizes shared
+   artifacts thread-safely), so they fan out across the Mdpar pool;
+   map_list keeps the outcomes in paper order, and every outcome is a
+   deterministic function of the scale, so the report is byte-identical
+   to a sequential run. *)
+let run_all ?pool ctx =
+  let pool = match pool with Some p -> p | None -> Mdpar.get () in
+  Mdpar.map_list pool (run_one ctx) Registry.all
 
 let render_all outcomes =
   String.concat "\n" (List.map render_outcome outcomes)

@@ -6,8 +6,12 @@ val render_outcome : Experiment.outcome -> string
 
 val run_one : Context.t -> Experiment.t -> Experiment.outcome
 
-val run_all : Context.t -> Experiment.outcome list
-(** Paper order. *)
+val run_all : ?pool:Mdpar.t -> Context.t -> Experiment.outcome list
+(** Runs the six paper experiments concurrently on the {!Mdpar} pool
+    ([Mdpar.get ()] when omitted; serial at pool size 1) and returns the
+    outcomes in paper order.  The virtual device-time results are a pure
+    function of the context's scale, so the outcome list is byte-identical
+    for any pool size. *)
 
 val render_all : Experiment.outcome list -> string
 

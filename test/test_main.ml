@@ -10,6 +10,7 @@ let () =
       Test_gpu.tests;
       Test_mta.tests;
       Test_mdcore.tests;
+      Test_parallel.tests;
       Test_bonded.tests;
       Test_ports.tests;
       Test_stream.tests;
