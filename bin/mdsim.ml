@@ -63,6 +63,59 @@ let apply_domains = function
   | Some d -> Mdpar.set_default_domains d
   | None -> ()
 
+let trace_arg =
+  let doc =
+    "Record execution to $(docv) as Chrome trace-event JSON (load in \
+     chrome://tracing or Perfetto).  Virtual device-time events are \
+     byte-identical for any $(b,--domains) value; host-time events \
+     (pid 2) are not."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Write machine-readable metrics JSON to $(docv).  Contains only \
+     deterministic virtual-time data."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+(* Tracing must be on before any machine/pool exists: tracks created
+   while disabled are inert. *)
+let start_trace = function
+  | Some _ -> Mdobs.enable (Mdobs.Sink.memory ())
+  | None -> ()
+
+let finish_trace trace =
+  match trace with
+  | Some path ->
+    Mdobs.disable ();
+    Mdobs.write_file ~path (Mdobs.to_chrome_json ());
+    Printf.printf "wrote %s\n" path
+  | None -> ()
+
+let write_run_metrics path (r : Mdports.Run_result.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\n\"device\":\"%s\",\"atoms\":%d,\"steps\":%d,\"virtual_seconds\":%.17g,\n"
+       (Mdobs.json_escape r.Mdports.Run_result.device)
+       r.Mdports.Run_result.n_atoms r.Mdports.Run_result.steps
+       r.Mdports.Run_result.seconds);
+  Buffer.add_string buf "\"breakdown\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\"%s\":%.17g" (Mdobs.json_escape k) v))
+    r.Mdports.Run_result.breakdown;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "},\n\"pairs_evaluated\":%d,\"interactions\":%d,\"energy_drift\":%.17g\n}\n"
+       r.Mdports.Run_result.pairs_evaluated r.Mdports.Run_result.interactions
+       (Mdports.Run_result.energy_drift r));
+  Mdobs.write_file ~path (Buffer.contents buf);
+  Printf.printf "wrote %s\n" path
+
 let csv_dir_arg =
   let doc = "Also write each experiment's data as CSV into $(docv)." in
   Arg.(
@@ -100,8 +153,10 @@ let print_result (r : Mdports.Run_result.t) =
     (Sim_util.Table.fmt_seconds r.Mdports.Run_result.seconds)
 
 let run_cmd =
-  let action atoms steps seed density temperature device xyz_path domains =
+  let action atoms steps seed density temperature device xyz_path domains
+      trace metrics =
     apply_domains domains;
+    start_trace trace;
     let system = build_system ~atoms ~seed ~density ~temperature in
     (match xyz_path with
     | Some path ->
@@ -133,12 +188,17 @@ let run_cmd =
         Mdports.Mta_port.run ~steps
           ~mode:Mdports.Mta_port.Partially_multithreaded system
     in
-    print_result result
+    print_result result;
+    finish_trace trace;
+    match metrics with
+    | Some path -> write_run_metrics path result
+    | None -> ()
   in
   let term =
     Term.(
       const action $ atoms_arg $ steps_arg $ seed_arg $ density_arg
-      $ temperature_arg $ device_arg $ xyz_arg $ domains_arg)
+      $ temperature_arg $ device_arg $ xyz_arg $ domains_arg $ trace_arg
+      $ metrics_arg)
   in
   let doc = "Run the MD kernel on one device model." in
   Cmd.v (Cmd.info "run" ~doc) term
@@ -150,8 +210,9 @@ let experiment_cmd =
     in
     Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc)
   in
-  let action id quick csv_dir markdown domains =
+  let action id quick csv_dir markdown domains trace metrics =
     apply_domains domains;
+    start_trace trace;
     let scale =
       if quick then Harness.Context.quick_scale
       else Harness.Context.paper_scale
@@ -191,12 +252,18 @@ let experiment_cmd =
         (fun () -> output_string oc (Harness.Report.to_markdown outcomes));
       Printf.printf "wrote %s\n" path
     | None -> ());
+    finish_trace trace;
+    (match metrics with
+    | Some path ->
+      Mdobs.write_file ~path (Harness.Report.metrics_json outcomes);
+      Printf.printf "wrote %s\n" path
+    | None -> ());
     if not (List.for_all Harness.Experiment.all_passed outcomes) then exit 1
   in
   let term =
     Term.(
       const action $ id_arg $ quick_arg $ csv_dir_arg $ markdown_arg
-      $ domains_arg)
+      $ domains_arg $ trace_arg $ metrics_arg)
   in
   let doc = "Regenerate a table or figure from the paper." in
   Cmd.v (Cmd.info "experiment" ~doc) term

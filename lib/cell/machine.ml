@@ -6,17 +6,32 @@ type t = {
   stores : Local_store.t array;
   mutable wall : float;
   mutable spawned : int;
+  obs : Mdobs.track option;       (* virtual-clock machine track *)
+  obs_spes : Mdobs.track array;   (* one per SPE; empty when untraced *)
 }
 
 let create cfg =
   Config.validate cfg;
+  let obs =
+    if Mdobs.enabled () then Some (Mdobs.new_track ~clock:Mdobs.Virtual "cell")
+    else None
+  in
+  let obs_spes =
+    match obs with
+    | Some _ ->
+      Array.init cfg.n_spes (fun i ->
+          Mdobs.new_track ~clock:Mdobs.Virtual (Printf.sprintf "cell/spe%d" i))
+    | None -> [||]
+  in
   { cfg;
     ledger = Ledger.create ();
     stores =
       Array.init cfg.n_spes (fun _ ->
           Local_store.create ~capacity_bytes:cfg.ls_bytes);
     wall = 0.0;
-    spawned = 0 }
+    spawned = 0;
+    obs;
+    obs_spes }
 
 let config t = t.cfg
 let time t = t.wall
@@ -101,9 +116,11 @@ let offload t ~spes ~mode kernel =
   in
   let spawn_time = float_of_int spawn_count *. t.cfg.spawn_seconds in
   let signal_time = float_of_int signal_count *. t.cfg.mailbox_seconds in
+  let t0 = t.wall in
+  let busy_start = t0 +. spawn_time +. signal_time in
   (* Run the kernels; virtual time advances by the slowest SPE. *)
   let critical_dma = ref 0.0 and critical_compute = ref 0.0 in
-  let critical = ref (-1.0) in
+  let critical = ref (-1.0) and critical_spe = ref (-1) in
   for id = 0 to spes - 1 do
     let store = t.stores.(id) in
     Local_store.reset store;
@@ -111,9 +128,17 @@ let offload t ~spes ~mode kernel =
       { machine = t; id; active_spes = spes; store; dma = 0.0; compute = 0.0 }
     in
     kernel ctx;
+    if id < Array.length t.obs_spes then
+      Mdobs.span t.obs_spes.(id) ~name:"busy" ~ts:busy_start
+        ~dur:(ctx.dma +. ctx.compute)
+        ~args:
+          [ ("dma", Mdobs.Float ctx.dma);
+            ("compute", Mdobs.Float ctx.compute) ]
+        ();
     let busy = ctx.dma +. ctx.compute in
     if busy > !critical then begin
       critical := busy;
+      critical_spe := id;
       critical_dma := ctx.dma;
       critical_compute := ctx.compute
     end
@@ -123,10 +148,27 @@ let offload t ~spes ~mode kernel =
   Ledger.add t.ledger Spawn spawn_time;
   Ledger.add t.ledger Signal signal_time;
   Ledger.add t.ledger Dma !critical_dma;
-  Ledger.add t.ledger Compute !critical_compute
+  Ledger.add t.ledger Compute !critical_compute;
+  match t.obs with
+  | Some tr ->
+    Mdobs.span tr ~name:"offload" ~ts:t0 ~dur:(t.wall -. t0)
+      ~args:
+        [ ("spes", Mdobs.Int spes);
+          ("spawned", Mdobs.Int spawn_count);
+          ("signals", Mdobs.Int signal_count);
+          ("spawn_s", Mdobs.Float spawn_time);
+          ("signal_s", Mdobs.Float signal_time);
+          ("dma_s", Mdobs.Float !critical_dma);
+          ("compute_s", Mdobs.Float !critical_compute);
+          ("critical_spe", Mdobs.Int !critical_spe) ]
+      ()
+  | None -> ()
 
 let ppe_charge t ~seconds =
   if seconds < 0.0 then invalid_arg "Machine.ppe_charge: negative";
+  (match t.obs with
+  | Some tr -> Mdobs.span tr ~name:"ppe" ~ts:t.wall ~dur:seconds ()
+  | None -> ());
   t.wall <- t.wall +. seconds;
   Ledger.add t.ledger Ppe seconds
 

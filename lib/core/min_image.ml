@@ -5,18 +5,24 @@ let wrap ~box x =
 let delta ~box dx = dx -. (box *. Float.round (dx /. box))
 
 let delta_search ~box dx =
+  (* Ties ([|dx| = box/2]: both images equidistant) must go to the later
+     candidate so the searched result matches [delta], whose
+     half-away-from-zero rounding maps +box/2 to -box/2 and vice versa —
+     hence [<=], not [<]. *)
   let best = ref dx in
-  let consider cand = if abs_float cand < abs_float !best then best := cand in
+  let consider cand = if abs_float cand <= abs_float !best then best := cand in
   consider (dx -. box);
   consider (dx +. box);
   !best
 
 let delta_search_branchless ~box dx =
-  (* |dx| > box/2 means the image one box away (in the direction opposite
-     dx's sign) is closer; copysign selects that direction without a
-     branch.  The multiply by the comparison result mirrors the SPE's
-     mask-and-select idiom. *)
-  let needs_shift = if abs_float dx > 0.5 *. box then 1.0 else 0.0 in
+  (* |dx| >= box/2 means the image one box away (in the direction
+     opposite dx's sign) is at least as close; copysign selects that
+     direction without a branch.  The bound is inclusive so that the
+     boundary |dx| = box/2 resolves to the sign-flipped image, exactly as
+     [delta]'s half-away-from-zero rounding does.  The multiply by the
+     comparison result mirrors the SPE's mask-and-select idiom. *)
+  let needs_shift = if abs_float dx >= 0.5 *. box then 1.0 else 0.0 in
   dx -. (needs_shift *. Float.copy_sign box dx)
 
 let pair_delta ~box ~xi ~xj = delta ~box (xi -. xj)

@@ -19,6 +19,7 @@ type t = {
   head : int array;       (* cells³ entries; first atom per cell *)
   next : int array;       (* per-atom chain through its cell *)
   atom_cell : int array;  (* cell index per atom, filled during binning *)
+  obs : Mdobs.track option;  (* host-clock rebuild events *)
 }
 
 let create ?(skin = 0.4) ?pool (s : System.t) =
@@ -43,7 +44,11 @@ let create ?(skin = 0.4) ?pool (s : System.t) =
     cells;
     head = (if cells = 0 then [||] else Array.make (cells * cells * cells) (-1));
     next = Array.make s.System.n (-1);
-    atom_cell = Array.make s.System.n 0 }
+    atom_cell = Array.make s.System.n 0;
+    obs =
+      (if Mdobs.enabled () then
+         Some (Mdobs.new_track ~clock:Mdobs.Host "pairlist")
+       else None) }
 
 let pool_of t =
   match t.pool with Some p -> p | None -> Mdpar.get ()
@@ -56,7 +61,16 @@ let finish_build t =
   Array.blit pos_y 0 t.ref_y 0 n;
   Array.blit pos_z 0 t.ref_z 0 n;
   t.built <- true;
-  t.rebuilds <- t.rebuilds + 1
+  t.rebuilds <- t.rebuilds + 1;
+  match t.obs with
+  | Some tr ->
+    Mdobs.instant tr ~name:"rebuild" ~ts:(Mdobs.host_now ())
+      ~args:
+        [ ("rebuilds", Mdobs.Int t.rebuilds);
+          ("atoms", Mdobs.Int n);
+          ("cells", Mdobs.Int t.cells) ]
+      ()
+  | None -> ()
 
 (* O(N²) build: each row scans every j > i.  Kept both as the fallback
    for boxes under 3 cells per axis and as the bench ablation baseline
@@ -137,7 +151,7 @@ let build_row_cells t reach2 i =
   done;
   let row = Array.make !count 0 in
   List.iteri (fun k j -> row.(k) <- j) !acc;
-  Array.sort compare row;
+  Array.sort Int.compare row;
   row
 
 let build_cells t =

@@ -13,11 +13,17 @@ type t = {
   ledger : Ledger.t;
   mutable wall : float;
   mutable vram : int;
+  mutable vram_peak : int;
+  obs : Mdobs.track option;  (* virtual-clock machine track *)
 }
 
 let create cfg =
   Config.validate cfg;
-  { cfg; ledger = Ledger.create (); wall = 0.0; vram = 0 }
+  let obs =
+    if Mdobs.enabled () then Some (Mdobs.new_track ~clock:Mdobs.Virtual "gpu")
+    else None
+  in
+  { cfg; ledger = Ledger.create (); wall = 0.0; vram = 0; vram_peak = 0; obs }
 
 let config t = t.cfg
 let time t = t.wall
@@ -26,21 +32,34 @@ let ledger t = t.ledger
 let reset t =
   t.wall <- 0.0;
   t.vram <- 0;
+  t.vram_peak <- 0;
   Ledger.reset t.ledger
 
 let vram_used t = t.vram
+let vram_peak t = t.vram_peak
 
 let charge t cat seconds =
+  (match t.obs with
+  | Some tr ->
+    Mdobs.span tr ~name:(Ledger.category_name cat) ~ts:t.wall ~dur:seconds ()
+  | None -> ());
   t.wall <- t.wall +. seconds;
   Ledger.add t.ledger cat seconds
 
 let texel_bytes = 16 (* float4 *)
 
+let note_vram t =
+  if t.vram > t.vram_peak then t.vram_peak <- t.vram;
+  match t.obs with
+  | Some tr -> Mdobs.counter tr ~name:"vram" ~ts:t.wall (float_of_int t.vram)
+  | None -> ()
+
 let claim_vram t bytes what =
   if t.vram + bytes > t.cfg.vram_bytes then
     invalid_arg
       (Printf.sprintf "Gpustream: out of device memory allocating %s" what);
-  t.vram <- t.vram + bytes
+  t.vram <- t.vram + bytes;
+  note_vram t
 
 let check_texels t ~name texels =
   if texels < 0 then
@@ -51,15 +70,21 @@ let check_texels t ~name texels =
          "Gpustream: %s (%d texels) exceeds the hardware texture limit (%d)"
          name texels t.cfg.max_texels)
 
+(* Allocate the backing array *before* claiming VRAM: if [Array.make]
+   raises (host allocation failure), the device-memory ledger must not
+   keep the bytes claimed forever.  [claim_vram] itself raises before
+   mutating, so either both succeed or neither side effect happens. *)
 let create_texture t ~name ~texels =
   check_texels t ~name texels;
+  let data = Array.make texels Vecmath.Vec4f.zero in
   claim_vram t (texels * texel_bytes) name;
-  { tex_name = name; data = Array.make texels Vecmath.Vec4f.zero }
+  { tex_name = name; data }
 
 let create_render_target t ~name ~texels =
   check_texels t ~name texels;
+  let pixels = Array.make texels Vecmath.Vec4f.zero in
   claim_vram t (texels * texel_bytes) name;
-  { rt_name = name; pixels = Array.make texels Vecmath.Vec4f.zero }
+  { rt_name = name; pixels }
 
 let texture_size tex = Array.length tex.data
 let render_target_size rt = Array.length rt.pixels
@@ -85,7 +110,8 @@ let readback t rt =
   Array.copy rt.pixels
 
 let release t bytes =
-  t.vram <- max 0 (t.vram - bytes)
+  t.vram <- max 0 (t.vram - bytes);
+  note_vram t
 
 let free_texture t tex = release t (Array.length tex.data * texel_bytes)
 let free_render_target t rt = release t (Array.length rt.pixels * texel_bytes)

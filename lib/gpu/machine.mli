@@ -34,6 +34,9 @@ val reset : t -> unit
 
 val vram_used : t -> int
 
+val vram_peak : t -> int
+(** High-water mark of device memory since creation (or {!reset}). *)
+
 (** {1 Device memory} *)
 
 val create_texture : t -> name:string -> texels:int -> texture

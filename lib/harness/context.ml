@@ -54,7 +54,15 @@ let create ?(scale = paper_scale) () =
 
 let scale t = t.scale
 
-let memo t tbl key compute =
+(* Scope the compute under a name derived from the *key* (not from the
+   experiment that happened to request it first), so any trace tracks it
+   creates get pool-schedule-independent names. *)
+let memo ?scope t tbl key compute =
+  let compute =
+    match scope with
+    | Some s when Mdobs.enabled () -> fun () -> Mdobs.with_scope s compute
+    | _ -> compute
+  in
   Mutex.lock t.lock;
   let rec acquire () =
     match Hashtbl.find_opt tbl key with
@@ -84,33 +92,40 @@ let memo t tbl key compute =
   acquire ()
 
 let system_of t ~n =
-  memo t t.systems n (fun () -> Mdcore.Init.build ~seed:t.scale.seed ~n ())
+  memo t t.systems n
+    ~scope:(Printf.sprintf "ctx/system-%d" n)
+    (fun () -> Mdcore.Init.build ~seed:t.scale.seed ~n ())
 
 let system t = system_of t ~n:t.scale.atoms
 
 let opteron t =
-  memo t t.opteron_main () (fun () ->
+  memo t t.opteron_main () ~scope:"ctx/opteron" (fun () ->
       Mdports.Opteron_port.run ~steps:t.scale.steps (system t))
 
 let opteron_seconds_of t ~n =
   if n = t.scale.atoms then (opteron t).Mdports.Run_result.seconds
   else
-    memo t t.opteron_sweep n (fun () ->
+    memo t t.opteron_sweep n
+      ~scope:(Printf.sprintf "ctx/opteron-%d" n)
+      (fun () ->
         (Mdports.Opteron_port.run ~steps:t.scale.steps (system_of t ~n))
           .Mdports.Run_result.seconds)
 
 let gpu_seconds_of t ~n =
-  memo t t.gpu_sweep n (fun () ->
+  memo t t.gpu_sweep n
+    ~scope:(Printf.sprintf "ctx/gpu-%d" n)
+    (fun () ->
       (Mdports.Gpu_port.run ~steps:t.scale.steps (system_of t ~n))
         .Mdports.Run_result.seconds)
 
 let mta_seconds_of t ~mode ~n =
-  memo t t.mta_sweep
-    (mode = Mdports.Mta_port.Fully_multithreaded, n)
+  let full = mode = Mdports.Mta_port.Fully_multithreaded in
+  memo t t.mta_sweep (full, n)
+    ~scope:(Printf.sprintf "ctx/mta-%s-%d" (if full then "full" else "partial") n)
     (fun () ->
       (Mdports.Mta_port.run ~steps:t.scale.steps ~mode (system_of t ~n))
         .Mdports.Run_result.seconds)
 
 let cell_profile t =
-  memo t t.profile () (fun () ->
+  memo t t.profile () ~scope:"ctx/profile" (fun () ->
       Mdports.Cell_port.profile_run ~steps:t.scale.steps (system t))

@@ -18,7 +18,15 @@ let render_outcome (o : Experiment.outcome) =
   List.iter (fun n -> Buffer.add_string buf ("  note: " ^ n ^ "\n")) o.notes;
   Buffer.contents buf
 
-let run_one ctx (e : Experiment.t) = e.run ctx
+(* Scope each experiment under its id so the virtual tracks its ports
+   create carry deterministic names whatever pool worker runs it; the
+   host-clock wall span records where real time went. *)
+let run_one ctx (e : Experiment.t) =
+  if not (Mdobs.enabled ()) then e.run ctx
+  else
+    Mdobs.with_scope e.id (fun () ->
+        let tr = Mdobs.new_track ~clock:Mdobs.Host "wall" in
+        Mdobs.host_span tr ~name:e.id (fun () -> e.run ctx))
 
 (* Experiments are independent given the context (which memoizes shared
    artifacts thread-safely), so they fan out across the Mdpar pool;
@@ -62,6 +70,59 @@ let summary_line outcomes =
   Printf.sprintf
     "%d/%d experiments reproduce the paper's shape (%d/%d checks passed)"
     passed_exps (List.length outcomes) passed_checks total_checks
+
+(* Machine-readable outcome summary.  Everything here is a deterministic
+   function of the scale (no host timings), so CI can byte-compare the
+   file across pool sizes. *)
+let metrics_json outcomes =
+  let esc = Mdobs.json_escape in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n\"experiments\":[";
+  List.iteri
+    (fun i (o : Experiment.outcome) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\n{\"id\":\"%s\",\"title\":\"%s\",\"passed\":%b"
+           (esc o.id) (esc o.title) (Experiment.all_passed o));
+      Buffer.add_string buf ",\"checks\":[";
+      List.iteri
+        (fun j (c : Experiment.check) ->
+          if j > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"name\":\"%s\",\"passed\":%b,\"detail\":\"%s\"}" (esc c.name)
+               c.passed (esc c.detail)))
+        o.checks;
+      Buffer.add_string buf "],\"notes\":[";
+      List.iteri
+        (fun j n ->
+          if j > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (Printf.sprintf "\"%s\"" (esc n)))
+        o.notes;
+      Buffer.add_string buf "],\"table_csv\":\"";
+      Buffer.add_string buf (esc (Sim_util.Table.to_csv o.table));
+      Buffer.add_string buf "\"}")
+    outcomes;
+  let total_checks =
+    List.fold_left
+      (fun acc (o : Experiment.outcome) -> acc + List.length o.checks)
+      0 outcomes
+  in
+  let passed_checks =
+    List.fold_left
+      (fun acc (o : Experiment.outcome) ->
+        acc + List.length (List.filter (fun c -> c.Experiment.passed) o.checks))
+      0 outcomes
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\n],\n\"summary\":{\"experiments\":%d,\"experiments_passed\":%d,\"checks\":%d,\"checks_passed\":%d,\"line\":\"%s\"}\n}\n"
+       (List.length outcomes)
+       (List.length (List.filter Experiment.all_passed outcomes))
+       total_checks passed_checks
+       (esc (summary_line outcomes)))
+  ;
+  Buffer.contents buf
 
 let to_markdown outcomes =
   let buf = Buffer.create 4096 in

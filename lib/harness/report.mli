@@ -27,3 +27,9 @@ val to_markdown : Experiment.outcome list -> string
 
 val summary_line : Experiment.outcome list -> string
 (** e.g. "6/6 experiments reproduce the paper's shape (23/23 checks)". *)
+
+val metrics_json : Experiment.outcome list -> string
+(** Machine-readable per-experiment metrics (ids, check verdicts, notes,
+    table CSVs, summary counts).  Contains only virtual-time-derived
+    data, so the output is byte-identical across [--domains] settings —
+    CI compares it directly. *)

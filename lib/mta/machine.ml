@@ -6,11 +6,16 @@ type t = {
   mutable wall : float;
   mutable current_concurrency : float;
       (* concurrency of the region being executed; 1 outside regions *)
+  obs : Mdobs.track option;  (* virtual-clock machine track *)
 }
 
 let create cfg =
   Config.validate cfg;
-  { cfg; ledger = Ledger.create (); wall = 0.0; current_concurrency = 1.0 }
+  let obs =
+    if Mdobs.enabled () then Some (Mdobs.new_track ~clock:Mdobs.Virtual "mta")
+    else None
+  in
+  { cfg; ledger = Ledger.create (); wall = 0.0; current_concurrency = 1.0; obs }
 
 let config t = t.cfg
 let time t = t.wall
@@ -66,6 +71,7 @@ let parallel_seconds t ~loop ~n =
 let charged_region t ~loop ~n ~f =
   if n < 0 then invalid_arg "Mta.Machine.charged_region: n < 0";
   let parallel = Loop.parallelizable loop in
+  let t0 = t.wall in
   t.current_concurrency <-
     (if parallel && n > 0 then float_of_int (concurrency t ~n) else 1.0);
   let result =
@@ -80,6 +86,19 @@ let charged_region t ~loop ~n ~f =
         (Units.seconds_of_cycles t.cfg.clock (parallel_cycles t ~loop ~n))
     end
     else charge t Serial (serial_seconds t ~loop ~n);
+  (match t.obs with
+  | Some tr ->
+    (* One span per compiler region: the stream-scheduling story — how
+       many hardware streams the region recruited and whether the
+       compiler parallelized it at all. *)
+    Mdobs.span tr ~name:loop.Loop.name ~ts:t0 ~dur:(t.wall -. t0)
+      ~args:
+        [ ("iterations", Mdobs.Int n);
+          ("streams",
+           Mdobs.Int (if parallel && n > 0 then concurrency t ~n else 1));
+          ("parallelized", Mdobs.Int (if parallel then 1 else 0)) ]
+      ()
+  | None -> ());
   result
 
 let for_loop t ~loop ~n ~f =

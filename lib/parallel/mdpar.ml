@@ -25,6 +25,7 @@ type t = {
   workers : worker array;        (* [size - 1] entries *)
   handles : unit Domain.t array;
   mutable alive : bool;
+  mutable obs : Mdobs.track option;  (* host-clock track, created lazily *)
 }
 
 let worker_loop (w : worker) =
@@ -66,7 +67,7 @@ let create ?domains () =
   let handles =
     Array.map (fun w -> Domain.spawn (fun () -> worker_loop w)) workers
   in
-  { size; workers; handles; alive = true }
+  { size; workers; handles; alive = true; obs = None }
 
 let size t = t.size
 
@@ -140,14 +141,35 @@ let get ?domains () =
 (* Parallel regions                                                    *)
 (* ------------------------------------------------------------------ *)
 
+(* Host-clock observability track for this pool: created on first use
+   with tracing enabled, so pools built before [Mdobs.enable] still get a
+   live track later.  A lost race just yields a benign [#n]-suffixed
+   duplicate; host tracks carry no determinism guarantee. *)
+let obs_track t =
+  if not (Mdobs.enabled ()) then None
+  else begin
+    match t.obs with
+    | Some _ as o -> o
+    | None ->
+      let tr =
+        Mdobs.new_track ~clock:Mdobs.Host
+          (Printf.sprintf "mdpar/pool-%d" t.size)
+      in
+      t.obs <- Some tr;
+      Some tr
+  end
+
 (* Hand [work] to every currently idle worker and run it inline too;
    return once every recruited copy has finished.  [work] must be
    idempotent-by-partition: participants pull work items from a shared
    atomic source, so running it on fewer domains only means fewer
    helpers. *)
-let run_region t (work : unit -> unit) =
+let run_region ?(label = "region") t (work : unit -> unit) =
   if t.size = 1 || not t.alive || Array.length t.workers = 0 then work ()
   else begin
+    let obs = obs_track t in
+    let t0 = match obs with Some _ -> Mdobs.host_now () | None -> 0.0 in
+    let recruited = ref 0 in
     let fin_mutex = Mutex.create () in
     let fin_cond = Condition.create () in
     let pending = ref 0 in
@@ -179,7 +201,8 @@ let run_region t (work : unit -> unit) =
         Mutex.lock fin_mutex;
         incr pending;
         Mutex.unlock fin_mutex;
-        if not (try_recruit w) then begin
+        if try_recruit w then incr recruited
+        else begin
           Mutex.lock fin_mutex;
           decr pending;
           Mutex.unlock fin_mutex
@@ -196,6 +219,14 @@ let run_region t (work : unit -> unit) =
       Condition.wait fin_cond fin_mutex
     done;
     Mutex.unlock fin_mutex;
+    (match obs with
+    | Some tr ->
+      (* workers = recruited helpers + the caller *)
+      Mdobs.span tr ~name:label ~ts:t0
+        ~dur:(Mdobs.host_now () -. t0)
+        ~args:[ ("workers", Mdobs.Int (!recruited + 1)) ]
+        ()
+    | None -> ());
     match caller_error with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> begin
@@ -221,7 +252,9 @@ let parallel_for ?chunk t ~lo ~hi body =
       | None -> max 1 (len / (4 * t.size))
     in
     let next = Atomic.make lo in
+    let obs = obs_track t in
     let work () =
+      let chunks = ref 0 in
       let rec drain () =
         let start = Atomic.fetch_and_add next chunk in
         if start <= hi then begin
@@ -229,12 +262,19 @@ let parallel_for ?chunk t ~lo ~hi body =
           for i = start to stop do
             body i
           done;
+          incr chunks;
           drain ()
         end
       in
-      drain ()
+      drain ();
+      match obs with
+      | Some tr ->
+        Mdobs.instant tr ~name:"drain" ~ts:(Mdobs.host_now ())
+          ~args:[ ("chunks", Mdobs.Int !chunks) ]
+          ()
+      | None -> ()
     in
-    run_region t work
+    run_region ~label:"parallel_for" t work
   end
 
 let parallel_for_reduce ?chunks t ~lo ~hi ~init ~combine ~body =
@@ -259,7 +299,9 @@ let parallel_for_reduce ?chunks t ~lo ~hi ~init ~combine ~body =
     else begin
       let partials = Array.make nchunks init in
       let next = Atomic.make 0 in
+      let obs = obs_track t in
       let work () =
+        let drained = ref 0 in
         let rec drain () =
           let c = Atomic.fetch_and_add next 1 in
           if c < nchunks then begin
@@ -270,12 +312,19 @@ let parallel_for_reduce ?chunks t ~lo ~hi ~init ~combine ~body =
               acc := combine !acc (body i)
             done;
             partials.(c) <- !acc;
+            incr drained;
             drain ()
           end
         in
-        drain ()
+        drain ();
+        match obs with
+        | Some tr ->
+          Mdobs.instant tr ~name:"drain" ~ts:(Mdobs.host_now ())
+            ~args:[ ("chunks", Mdobs.Int !drained) ]
+            ()
+        | None -> ()
       in
-      run_region t work;
+      run_region ~label:"reduce" t work;
       Array.fold_left combine init partials
     end
   end

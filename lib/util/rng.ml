@@ -23,15 +23,21 @@ let split t =
   let seed = next_int64 t in
   { state = mix seed; cached_gauss = None }
 
+(* Largest exact multiple of [n] not exceeding [range]: accepting only
+   draws strictly below it leaves every residue class the same number of
+   accepted values.  An inclusive bound derived from [range - 1] would
+   accept one extra value and overweight residue 0. *)
+let rejection_limit ~range n = Int64.mul n (Int64.div range n)
+
 let int_below t n =
   if n <= 0 then invalid_arg "Rng.int_below: bound must be positive";
   (* Rejection sampling over the top 62 bits avoids modulo bias. *)
   let mask = 0x3FFF_FFFF_FFFF_FFFFL in
   let n64 = Int64.of_int n in
+  let lim = rejection_limit ~range:(Int64.add mask 1L) n64 in
   let rec draw () =
     let raw = Int64.logand (next_int64 t) mask in
-    let lim = Int64.sub mask (Int64.rem mask n64) in
-    if raw > lim then draw () else Int64.to_int (Int64.rem raw n64)
+    if raw >= lim then draw () else Int64.to_int (Int64.rem raw n64)
   in
   draw ()
 

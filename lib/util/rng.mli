@@ -28,7 +28,16 @@ val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 
 val int_below : t -> int -> int
-(** [int_below t n] is uniform in [\[0, n)].  [n] must be positive. *)
+(** [int_below t n] is uniform in [\[0, n)].  [n] must be positive.
+    Implemented by rejection over the top 62 raw bits: draws at or above
+    {!rejection_limit} of the 2{^62} range are redrawn, so no residue is
+    overrepresented. *)
+
+val rejection_limit : range:int64 -> int64 -> int64
+(** [rejection_limit ~range n] is the largest exact multiple of [n] not
+    exceeding [range] — the exclusive acceptance bound used by
+    {!int_below}.  Exposed so tests can check the bound on small ranges
+    where the bias of an off-by-one is observable. *)
 
 val float : t -> float
 (** Uniform in [\[0, 1)], with 53 random bits. *)

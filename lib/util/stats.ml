@@ -26,7 +26,7 @@ let maximum xs =
 
 let sorted_copy xs =
   let c = Array.copy xs in
-  Array.sort compare c;
+  Array.sort Float.compare c;
   c
 
 let percentile xs p =

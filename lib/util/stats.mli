@@ -10,6 +10,10 @@ val stddev : float array -> float
 val minimum : float array -> float
 val maximum : float array -> float
 
+val sorted_copy : float array -> float array
+(** Ascending copy ordered by [Float.compare] (total: [-0.] before [0.],
+    NaNs first), leaving the input untouched. *)
+
 val median : float array -> float
 (** Median by sorting a copy; average of the middle two for even lengths. *)
 

@@ -11,6 +11,7 @@ let () =
       Test_mta.tests;
       Test_mdcore.tests;
       Test_parallel.tests;
+      Test_obs.tests;
       Test_bonded.tests;
       Test_ports.tests;
       Test_stream.tests;

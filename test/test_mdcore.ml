@@ -87,6 +87,35 @@ let min_image_agreement_prop =
       let c = Min_image.delta_search_branchless ~box dx in
       abs_float (a -. b) < 1e-9 *. box && abs_float (a -. c) < 1e-9 *. box)
 
+(* Regression: at |dx| = box/2 both periodic images are equidistant and
+   the three variants used to disagree (the closed form flips the sign,
+   the searched/branchless forms kept dx).  All three must resolve the
+   tie identically — matching [delta]'s half-away-from-zero rounding —
+   or the SPE ports' de-branched kernels diverge from the reference at
+   exactly-boundary pairs. *)
+let test_min_image_boundary_ties () =
+  let box = 10.0 in
+  let eps = 1e-9 in
+  List.iter
+    (fun dx ->
+      let a = Min_image.delta ~box dx in
+      let b = Min_image.delta_search ~box dx in
+      let c = Min_image.delta_search_branchless ~box dx in
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "search agrees at %g" dx)
+        a b;
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "branchless agrees at %g" dx)
+        a c)
+    [ box /. 2.0; -.box /. 2.0;
+      (box /. 2.0) -. eps; (-.box /. 2.0) +. eps;
+      (box /. 2.0) +. eps; (-.box /. 2.0) -. eps ];
+  (* the tie itself resolves away from dx's sign, like Float.round *)
+  Alcotest.(check (float 0.0)) "+box/2 maps to -box/2" (-.box /. 2.0)
+    (Min_image.delta_search_branchless ~box (box /. 2.0));
+  Alcotest.(check (float 0.0)) "-box/2 maps to +box/2" (box /. 2.0)
+    (Min_image.delta_search ~box (-.box /. 2.0))
+
 let test_wrap () =
   Alcotest.(check (float 1e-12)) "wrap positive" 2.0 (Min_image.wrap ~box:10.0 12.0);
   Alcotest.(check (float 1e-12)) "wrap negative" 8.0 (Min_image.wrap ~box:10.0 (-2.0));
@@ -603,6 +632,8 @@ let tests =
       Alcotest.test_case "params validation" `Quick test_params_validation;
       Alcotest.test_case "min image range" `Quick test_min_image_range;
       qcheck min_image_agreement_prop;
+      Alcotest.test_case "min image boundary ties" `Quick
+        test_min_image_boundary_ties;
       Alcotest.test_case "wrap" `Quick test_wrap;
       Alcotest.test_case "dist2 symmetry" `Quick test_dist2_symmetry;
       Alcotest.test_case "minimum-image criterion" `Quick

@@ -1,0 +1,406 @@
+(* Tests for the Mdobs observability layer: sink semantics, scoped track
+   naming, the Chrome trace exporter (well-formed JSON), the instrumented
+   machine models, the GPU VRAM accounting (including the
+   failed-allocation leak regression), and the headline guarantee that
+   virtual-time event streams are byte-identical across pool sizes. *)
+
+let with_tracing sink f =
+  Mdobs.clear ();
+  Mdobs.enable sink;
+  Fun.protect ~finally:(fun () -> Mdobs.clear ()) f
+
+(* ---------------- Recorder and sinks ---------------- *)
+
+let test_disabled_is_inert () =
+  Mdobs.clear ();
+  Alcotest.(check bool) "disabled by default" false (Mdobs.enabled ());
+  let tr = Mdobs.new_track ~clock:Mdobs.Virtual "ghost" in
+  Mdobs.span tr ~name:"x" ~ts:0.0 ~dur:1.0 ();
+  Mdobs.instant tr ~name:"y" ~ts:0.0 ();
+  Mdobs.counter tr ~name:"z" ~ts:0.0 3.0;
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Mdobs.events ()));
+  (* dummies stay inert even after a later enable *)
+  Mdobs.enable (Mdobs.Sink.memory ());
+  Mdobs.span tr ~name:"x" ~ts:0.0 ~dur:1.0 ();
+  Alcotest.(check int) "dummy still dropped" 0 (List.length (Mdobs.events ()));
+  Mdobs.clear ()
+
+let test_memory_sink_order () =
+  with_tracing (Mdobs.Sink.memory ()) (fun () ->
+      let tr = Mdobs.new_track ~clock:Mdobs.Virtual "t" in
+      Mdobs.span tr ~name:"a" ~ts:0.0 ~dur:0.5 ();
+      Mdobs.instant tr ~name:"b" ~ts:0.5 ~args:[ ("k", Mdobs.Int 7) ] ();
+      Mdobs.counter tr ~name:"c" ~ts:1.0 2.0;
+      let evs = Mdobs.events () in
+      Alcotest.(check int) "three events" 3 (List.length evs);
+      Alcotest.(check (list int)) "sequence order" [ 0; 1; 2 ]
+        (List.map (fun e -> e.Mdobs.seq) evs);
+      Alcotest.(check (list string)) "names" [ "a"; "b"; "c" ]
+        (List.map (fun e -> e.Mdobs.ev_name) evs);
+      match (List.nth evs 1).Mdobs.args with
+      | [ ("k", Mdobs.Int 7) ] -> ()
+      | _ -> Alcotest.fail "instant args lost")
+
+let test_ring_sink_keeps_newest () =
+  with_tracing (Mdobs.Sink.ring ~capacity:3) (fun () ->
+      let tr = Mdobs.new_track ~clock:Mdobs.Virtual "t" in
+      for i = 0 to 4 do
+        Mdobs.instant tr ~name:(string_of_int i) ~ts:(float_of_int i) ()
+      done;
+      let evs = Mdobs.events () in
+      Alcotest.(check (list string)) "newest three, oldest first"
+        [ "2"; "3"; "4" ]
+        (List.map (fun e -> e.Mdobs.ev_name) evs))
+
+let test_ring_rejects_bad_capacity () =
+  Alcotest.(check bool) "nonpositive capacity rejected" true
+    (try
+       ignore (Mdobs.Sink.ring ~capacity:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_scoped_track_names () =
+  with_tracing (Mdobs.Sink.memory ()) (fun () ->
+      let plain = Mdobs.new_track ~clock:Mdobs.Host "base" in
+      Alcotest.(check string) "no scope" "base" (Mdobs.track_name plain);
+      Mdobs.with_scope "exp1" (fun () ->
+          Alcotest.(check string) "scope visible" "exp1"
+            (Mdobs.current_scope ());
+          let a = Mdobs.new_track ~clock:Mdobs.Host "base" in
+          let b = Mdobs.new_track ~clock:Mdobs.Host "base" in
+          Alcotest.(check string) "scoped" "exp1/base" (Mdobs.track_name a);
+          Alcotest.(check string) "repeat suffixed" "exp1/base#1"
+            (Mdobs.track_name b));
+      Alcotest.(check string) "scope restored" "" (Mdobs.current_scope ()))
+
+let test_host_span_records () =
+  with_tracing (Mdobs.Sink.memory ()) (fun () ->
+      let tr = Mdobs.new_track ~clock:Mdobs.Host "h" in
+      let v = Mdobs.host_span tr ~name:"work" (fun () -> 42) in
+      Alcotest.(check int) "value through" 42 v;
+      match Mdobs.events () with
+      | [ { Mdobs.ev_name = "work"; ev_phase = Mdobs.Span d; _ } ] ->
+        Alcotest.(check bool) "nonnegative duration" true (d >= 0.0)
+      | _ -> Alcotest.fail "expected one span")
+
+(* ---------------- JSON well-formedness ---------------- *)
+
+(* Minimal JSON recognizer: accepts exactly the RFC 8259 grammar the
+   exporter is supposed to emit.  Returns unit or raises Failure. *)
+let validate_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = failwith (Printf.sprintf "%s at byte %d" msg !pos) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let parse_string () =
+    expect '"';
+    let rec loop () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+        | Some 'u' ->
+          advance ();
+          for _ = 1 to 4 do
+            match peek () with
+            | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+            | _ -> fail "bad \\u escape"
+          done
+        | _ -> fail "bad escape");
+        loop ()
+      | Some c when Char.code c < 0x20 -> fail "raw control char in string"
+      | Some _ ->
+        advance ();
+        loop ()
+    in
+    loop ()
+  in
+  let parse_number () =
+    let digits () =
+      let start = !pos in
+      let rec go () =
+        match peek () with
+        | Some '0' .. '9' ->
+          advance ();
+          go ()
+        | _ -> ()
+      in
+      go ();
+      if !pos = start then fail "expected digit"
+    in
+    (match peek () with Some '-' -> advance () | _ -> ());
+    (* integer part: "0" or a nonzero-led digit run (no leading zeros) *)
+    (match peek () with
+    | Some '0' -> advance ()
+    | Some '1' .. '9' ->
+      advance ();
+      let rec go () =
+        match peek () with
+        | Some '0' .. '9' ->
+          advance ();
+          go ()
+        | _ -> ()
+      in
+      go ()
+    | _ -> fail "expected digit");
+    (match peek () with
+    | Some '.' ->
+      advance ();
+      digits ()
+    | _ -> ());
+    match peek () with
+    | Some ('e' | 'E') ->
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    | _ -> ()
+  in
+  let literal lit =
+    String.iter
+      (fun c ->
+        match peek () with
+        | Some c' when c' = c -> advance ()
+        | _ -> fail ("expected " ^ lit))
+      lit
+  in
+  let rec parse_value () =
+    skip_ws ();
+    (match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      (match peek () with
+      | Some '}' -> advance ()
+      | _ ->
+        let rec members () =
+          skip_ws ();
+          parse_string ();
+          skip_ws ();
+          expect ':';
+          parse_value ();
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ()
+          | Some '}' -> advance ()
+          | _ -> fail "expected , or }"
+        in
+        members ())
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      (match peek () with
+      | Some ']' -> advance ()
+      | _ ->
+        let rec elements () =
+          parse_value ();
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements ()
+          | Some ']' -> advance ()
+          | _ -> fail "expected , or ]"
+        in
+        elements ())
+    | Some '"' -> parse_string ()
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | _ -> fail "expected value");
+    skip_ws ()
+  in
+  parse_value ();
+  if !pos <> n then fail "trailing garbage"
+
+let test_json_validator_sane () =
+  validate_json {|{"a":[1,-2.5e3,"x\n",true,null],"b":{}}|};
+  List.iter
+    (fun bad ->
+      match validate_json bad with
+      | () -> Alcotest.failf "accepted invalid JSON %S" bad
+      | exception Failure _ -> ())
+    [ "{"; "[1,]"; {|{"a":}|}; "01"; {|"unterminated|}; "{} extra" ]
+
+let test_chrome_json_well_formed () =
+  with_tracing (Mdobs.Sink.memory ()) (fun () ->
+      let tr = Mdobs.new_track ~clock:Mdobs.Virtual "m" in
+      Mdobs.span tr ~name:{|quo"te\ted|} ~ts:1e-6 ~dur:2.5e-6
+        ~args:
+          [ ("i", Mdobs.Int (-3));
+            ("f", Mdobs.Float 0.1);
+            ("s", Mdobs.Str "a\nb") ]
+        ();
+      Mdobs.instant tr ~name:"inst" ~ts:0.0 ();
+      Mdobs.counter tr ~name:"cnt" ~ts:2.0 7.5;
+      let host = Mdobs.new_track ~clock:Mdobs.Host "h" in
+      Mdobs.span host ~name:"wall" ~ts:0.0 ~dur:1.0 ();
+      validate_json (Mdobs.to_chrome_json ());
+      validate_json (Mdobs.to_chrome_json ~virtual_only:true ()))
+
+(* ---------------- Machine instrumentation ---------------- *)
+
+let test_cell_offload_trace () =
+  with_tracing (Mdobs.Sink.memory ()) (fun () ->
+      let m = Cellbe.Machine.create Cellbe.Config.default in
+      Cellbe.Machine.offload m ~spes:2 ~mode:Cellbe.Machine.Respawn (fun ctx ->
+          Cellbe.Machine.charge_cycles ctx
+            (float_of_int (100 * (Cellbe.Machine.spe_id ctx + 1))));
+      let evs = Mdobs.events () in
+      let offloads =
+        List.filter
+          (fun e ->
+            e.Mdobs.track_name = "cell" && e.Mdobs.ev_name = "offload")
+          evs
+      in
+      Alcotest.(check int) "one offload span" 1 (List.length offloads);
+      (match (List.hd offloads).Mdobs.args with
+      | args ->
+        (match List.assoc_opt "critical_spe" args with
+        | Some (Mdobs.Int 1) -> ()
+        | _ -> Alcotest.fail "critical SPE should be the slower one (id 1)"));
+      let busy =
+        List.filter (fun e -> e.Mdobs.ev_name = "busy") evs
+        |> List.map (fun e -> e.Mdobs.track_name)
+      in
+      Alcotest.(check (list string)) "per-SPE busy spans"
+        [ "cell/spe0"; "cell/spe1" ]
+        (List.sort String.compare busy))
+
+let test_mta_region_trace () =
+  with_tracing (Mdobs.Sink.memory ()) (fun () ->
+      let m = Mta.Machine.create (Mta.Config.mta2 ()) in
+      let body =
+        Isa.Block.of_instrs
+          [ { Isa.Block.op = Isa.Op.Load; deps = [] };
+            { Isa.Block.op = Isa.Op.Fadd; deps = [] } ]
+      in
+      let loop = Mta.Loop.make ~name:"stencil" ~body () in
+      Mta.Machine.for_loop m ~loop ~n:512 ~f:(fun _ -> ());
+      match
+        List.filter (fun e -> e.Mdobs.track_name = "mta") (Mdobs.events ())
+      with
+      | [ e ] ->
+        Alcotest.(check string) "span named after loop" "stencil"
+          e.Mdobs.ev_name;
+        (match List.assoc_opt "streams" e.Mdobs.args with
+        | Some (Mdobs.Int k) ->
+          Alcotest.(check bool) "streams recruited" true (k > 1)
+        | _ -> Alcotest.fail "streams arg missing")
+      | evs -> Alcotest.failf "expected one mta span, got %d" (List.length evs))
+
+(* ---------------- GPU VRAM accounting ---------------- *)
+
+let test_gpu_vram_counter_and_peak () =
+  with_tracing (Mdobs.Sink.memory ()) (fun () ->
+      let m = Gpustream.Machine.create Gpustream.Config.geforce_7900gtx in
+      let a = Gpustream.Machine.create_texture m ~name:"a" ~texels:100 in
+      let b = Gpustream.Machine.create_texture m ~name:"b" ~texels:50 in
+      Alcotest.(check int) "used" (150 * 16) (Gpustream.Machine.vram_used m);
+      Gpustream.Machine.free_texture m a;
+      Alcotest.(check int) "used after free" (50 * 16)
+        (Gpustream.Machine.vram_used m);
+      Alcotest.(check int) "peak survives free" (150 * 16)
+        (Gpustream.Machine.vram_peak m);
+      ignore b;
+      let counters =
+        List.filter
+          (fun e -> e.Mdobs.ev_name = "vram" && e.Mdobs.track_name = "gpu")
+          (Mdobs.events ())
+      in
+      Alcotest.(check (list bool)) "counter trajectory"
+        [ true; true; true ]
+        (List.map2
+           (fun e expected ->
+             e.Mdobs.ev_phase = Mdobs.Counter (float_of_int (expected * 16)))
+           counters [ 100; 150; 50 ]))
+
+(* Regression: a texture allocation whose backing [Array.make] fails must
+   not leave the bytes claimed in the VRAM ledger.  A texel count past
+   [Sys.max_array_length] forces exactly that host-side failure (the
+   config below lifts the device-side limits out of the way). *)
+let test_gpu_vram_no_leak_on_failed_alloc () =
+  let cfg =
+    { Gpustream.Config.geforce_7900gtx with
+      vram_bytes = max_int;
+      max_texels = max_int }
+  in
+  let m = Gpustream.Machine.create cfg in
+  let huge = Sys.max_array_length + 1 in
+  (match Gpustream.Machine.create_texture m ~name:"huge" ~texels:huge with
+  | _ -> Alcotest.fail "allocation unexpectedly succeeded"
+  | exception Invalid_argument _ -> ());
+  Alcotest.(check int) "no VRAM leaked" 0 (Gpustream.Machine.vram_used m);
+  (match Gpustream.Machine.create_render_target m ~name:"huge" ~texels:huge with
+  | _ -> Alcotest.fail "allocation unexpectedly succeeded"
+  | exception Invalid_argument _ -> ());
+  Alcotest.(check int) "no VRAM leaked (render target)" 0
+    (Gpustream.Machine.vram_used m);
+  (* the machine must still be usable afterwards *)
+  let t = Gpustream.Machine.create_texture m ~name:"ok" ~texels:8 in
+  Alcotest.(check int) "subsequent allocation clean" (8 * 16)
+    (Gpustream.Machine.vram_used m);
+  Gpustream.Machine.free_texture m t
+
+(* ---------------- Determinism across pool sizes ---------------- *)
+
+(* The headline guarantee: for a fixed workload, the virtual-time event
+   stream is byte-identical whatever the host pool size.  Run two paper
+   experiments (GPU and MTA sweeps, which exercise memoized shared
+   systems) through the parallel harness at pool sizes 1 and 4. *)
+let test_virtual_trace_pool_invariant () =
+  let run_traced pool_size =
+    with_tracing (Mdobs.Sink.memory ()) (fun () ->
+        let ctx = Harness.Context.create ~scale:Harness.Context.quick_scale () in
+        let pool = Mdpar.get ~domains:pool_size () in
+        let experiments =
+          List.filter_map Harness.Registry.find [ "fig7"; "fig8" ]
+        in
+        ignore (Mdpar.map_list pool (Harness.Report.run_one ctx) experiments);
+        Mdobs.virtual_events_string ())
+  in
+  let serial = run_traced 1 in
+  let parallel = run_traced 4 in
+  Alcotest.(check bool) "trace nonempty" true (String.length serial > 0);
+  Alcotest.(check string) "virtual events byte-identical" serial parallel
+
+let tests =
+  ( "obs",
+    [ Alcotest.test_case "disabled recorder is inert" `Quick
+        test_disabled_is_inert;
+      Alcotest.test_case "memory sink order" `Quick test_memory_sink_order;
+      Alcotest.test_case "ring keeps newest" `Quick
+        test_ring_sink_keeps_newest;
+      Alcotest.test_case "ring capacity validated" `Quick
+        test_ring_rejects_bad_capacity;
+      Alcotest.test_case "scoped track names" `Quick test_scoped_track_names;
+      Alcotest.test_case "host_span records" `Quick test_host_span_records;
+      Alcotest.test_case "json validator sane" `Quick test_json_validator_sane;
+      Alcotest.test_case "chrome json well-formed" `Quick
+        test_chrome_json_well_formed;
+      Alcotest.test_case "cell offload trace" `Quick test_cell_offload_trace;
+      Alcotest.test_case "mta region trace" `Quick test_mta_region_trace;
+      Alcotest.test_case "gpu vram counter and peak" `Quick
+        test_gpu_vram_counter_and_peak;
+      Alcotest.test_case "gpu vram leak regression" `Quick
+        test_gpu_vram_no_leak_on_failed_alloc;
+      Alcotest.test_case "virtual trace pool-invariant" `Slow
+        test_virtual_trace_pool_invariant ] )

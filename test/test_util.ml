@@ -54,6 +54,45 @@ let test_rng_int_below_invalid () =
     "Rng.int_below: bound must be positive")
     (fun () -> ignore (Rng.int_below r 0))
 
+let test_rng_rejection_limit () =
+  (* Small-range shim where the bound's exactness is visible by eye:
+     in a 16-value range with n = 6, only draws below 12 may be kept —
+     each residue then appears exactly twice.  An inclusive bound
+     computed from range-1 would accept 13 values (residue 0 thrice). *)
+  Alcotest.(check int64) "16/6" 12L (Rng.rejection_limit ~range:16L 6L);
+  Alcotest.(check int64) "16/5" 15L (Rng.rejection_limit ~range:16L 5L);
+  Alcotest.(check int64) "16/4 exact divisor" 16L
+    (Rng.rejection_limit ~range:16L 4L);
+  let lim = Rng.rejection_limit ~range:16L 6L in
+  let counts = Array.make 6 0 in
+  for raw = 0 to 15 do
+    if Int64.of_int raw < lim then begin
+      let r = raw mod 6 in
+      counts.(r) <- counts.(r) + 1
+    end
+  done;
+  Array.iteri
+    (fun i c -> Alcotest.(check int) (Printf.sprintf "residue %d" i) 2 c)
+    counts
+
+let test_rng_rejection_limit_production_range () =
+  (* The bound used by int_below (range 2^62) must be an exact multiple
+     of n lying within n of the range end, for any n. *)
+  let range = 0x4000_0000_0000_0000L in
+  List.iter
+    (fun n ->
+      let n64 = Int64.of_int n in
+      let lim = Rng.rejection_limit ~range n64 in
+      Alcotest.(check int64)
+        (Printf.sprintf "multiple of %d" n)
+        0L (Int64.rem lim n64);
+      let slack = Int64.sub range lim in
+      Alcotest.(check bool)
+        (Printf.sprintf "within %d of range" n)
+        true
+        (slack >= 0L && slack < n64))
+    [ 1; 2; 3; 6; 7; 1000; (1 lsl 20) + 1 ]
+
 let test_rng_gaussian_moments () =
   let r = Rng.create 17 in
   let n = 50_000 in
@@ -302,6 +341,18 @@ let test_units_sizes () =
   Alcotest.(check int) "kib" 262144 (Units.kib 256);
   Alcotest.(check int) "mib" 1048576 (Units.mib 1)
 
+let test_stats_sorted_copy_total_order () =
+  let xs = [| 3.5; 0.0; -0.0; -1.25; 2.0 |] in
+  let s = Stats.sorted_copy xs in
+  Alcotest.(check (array (float 0.0))) "ascending"
+    [| -1.25; -0.0; 0.0; 2.0; 3.5 |] s;
+  (* Float.compare's total order puts -0. strictly before 0. — the
+     deterministic behavior the sort specialization relies on. *)
+  Alcotest.(check bool) "-0. first" true (1.0 /. s.(1) < 0.0);
+  Alcotest.(check bool) "+0. second" true (1.0 /. s.(2) > 0.0);
+  Alcotest.(check (array (float 0.0))) "input untouched"
+    [| 3.5; 0.0; -0.0; -1.25; 2.0 |] xs
+
 let qcheck t = QCheck_alcotest.to_alcotest t
 
 let tests =
@@ -316,6 +367,10 @@ let tests =
         test_rng_int_below_bounds;
       Alcotest.test_case "rng int_below invalid" `Quick
         test_rng_int_below_invalid;
+      Alcotest.test_case "rng rejection limit" `Quick
+        test_rng_rejection_limit;
+      Alcotest.test_case "rng rejection limit 2^62" `Quick
+        test_rng_rejection_limit_production_range;
       Alcotest.test_case "rng gaussian moments" `Slow
         test_rng_gaussian_moments;
       Alcotest.test_case "rng shuffle permutation" `Quick
@@ -335,6 +390,8 @@ let tests =
       Alcotest.test_case "stats mean/var" `Quick test_stats_mean_var;
       Alcotest.test_case "stats min/max" `Quick test_stats_minmax;
       Alcotest.test_case "stats median" `Quick test_stats_median;
+      Alcotest.test_case "stats sorted_copy total order" `Quick
+        test_stats_sorted_copy_total_order;
       Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
       Alcotest.test_case "stats regression" `Quick test_stats_regression;
       Alcotest.test_case "stats power law" `Quick test_stats_power_law;
