@@ -12,8 +12,13 @@
       kernel, f32 vs double arithmetic, branchy vs branchless search).
 
    Every run also writes a machine-readable artifact-name -> wall-clock-ns
-   map (BENCH_results.json by default) so perf trajectories can be tracked
-   across commits.
+   map (BENCH_results.json by default, schema mdsim-bench-v2 with run
+   metadata) so perf trajectories can be tracked across commits.
+
+   With `--check BASELINE.json` the run additionally gates against a
+   committed baseline (Sim_util.Bench_check): each measured entry must
+   stay within its relative tolerance of the baseline figure, and the
+   process exits non-zero with a per-entry diff when any entry regresses.
 
    Environment knobs:
      MDSIM_BENCH_QUICK=1        use the small scale for part 1
@@ -245,6 +250,11 @@ let all_tests =
       test_ablation_pool; test_ablation_pairlist_build; test_ablation_obs;
       test_substrates ]
 
+(* Bechamel sampling config, surfaced in the results metadata so a
+   baseline records how many samples produced it. *)
+let bench_limit = 200
+let bench_quota_s = 0.5
+
 let run_microbenchmarks () =
   print_newline ();
   print_endline "==================================================";
@@ -254,7 +264,8 @@ let run_microbenchmarks () =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let cfg =
-    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None ()
+    Benchmark.cfg ~limit:bench_limit ~quota:(Time.second bench_quota_s)
+      ~kde:None ()
   in
   (* Warm the shared fixture: system construction and the pool's domain
      spawns are one-time costs that would otherwise land in whichever
@@ -311,30 +322,56 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_results_json ~repro_ns rows =
+(* Run metadata for the v2 schema: enough to tell, reading a committed
+   BENCH_results.json, exactly what produced it. *)
+let git_commit () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+let iso8601_utc () =
+  let tm = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let entries ~repro_ns rows =
+  let quick = Sys.getenv_opt "MDSIM_BENCH_QUICK" = Some "1" in
+  (match repro_ns with
+  | Some ns ->
+    [ ( (if quick then "reproduction/wall-clock-quick"
+         else "reproduction/wall-clock-paper"),
+        ns ) ]
+  | None -> [])
+  @ rows
+
+let write_results_json entries =
   let path =
     Option.value
       (Sys.getenv_opt "MDSIM_BENCH_JSON")
       ~default:"BENCH_results.json"
   in
   let quick = Sys.getenv_opt "MDSIM_BENCH_QUICK" = Some "1" in
-  let entries =
-    (match repro_ns with
-    | Some ns ->
-      [ ( (if quick then "reproduction/wall-clock-quick"
-           else "reproduction/wall-clock-paper"),
-          ns ) ]
-    | None -> [])
-    @ rows
-  in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
       output_string oc "{\n";
-      Printf.fprintf oc "  \"schema\": \"mdsim-bench-v1\",\n";
-      Printf.fprintf oc "  \"domains\": %d,\n" (Mdpar.size (Mdpar.get ()));
-      Printf.fprintf oc "  \"quick\": %b,\n" quick;
+      Printf.fprintf oc "  \"schema\": \"mdsim-bench-v2\",\n";
+      Printf.fprintf oc "  \"metadata\": {\n";
+      Printf.fprintf oc "    \"git_commit\": \"%s\",\n"
+        (json_escape (git_commit ()));
+      Printf.fprintf oc "    \"timestamp\": \"%s\",\n" (iso8601_utc ());
+      Printf.fprintf oc "    \"domains\": %d,\n" (Mdpar.size (Mdpar.get ()));
+      Printf.fprintf oc "    \"quick\": %b,\n" quick;
+      Printf.fprintf oc
+        "    \"bechamel\": { \"limit\": %d, \"quota_s\": %g }\n" bench_limit
+        bench_quota_s;
+      Printf.fprintf oc "  },\n";
       Printf.fprintf oc "  \"results_ns\": {\n";
       let n = List.length entries in
       List.iteri
@@ -346,11 +383,37 @@ let write_results_json ~repro_ns rows =
       output_string oc "}\n");
   Printf.printf "wrote %s (%d entries)\n" path (List.length entries)
 
+(* Perf-regression gate: `--check BASELINE.json`. *)
+let check_path () =
+  let rec scan = function
+    | "--check" :: path :: _ -> Some path
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan (Array.to_list Sys.argv)
+
+let run_check path entries =
+  print_newline ();
+  print_endline "==================================================";
+  Printf.printf " Perf-regression check vs %s\n" path;
+  print_endline "==================================================";
+  match Sim_util.Bench_check.load_baseline path with
+  | Error msg ->
+    Printf.eprintf "bench --check: %s\n" msg;
+    exit 2
+  | Ok baseline ->
+    let outcome = Sim_util.Bench_check.compare baseline entries in
+    print_string (Sim_util.Bench_check.render outcome);
+    if outcome.Sim_util.Bench_check.failed then exit 1
+
 let () =
+  let check = check_path () in
   let repro_ns =
     if Sys.getenv_opt "MDSIM_BENCH_SKIP_REPRO" <> Some "1" then
       Some (run_reproduction ())
     else None
   in
   let rows = run_microbenchmarks () in
-  write_results_json ~repro_ns rows
+  let entries = entries ~repro_ns rows in
+  write_results_json entries;
+  Option.iter (fun path -> run_check path entries) check

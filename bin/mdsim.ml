@@ -79,6 +79,29 @@ let metrics_arg =
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
+let counters_arg =
+  let doc =
+    "Write the virtual performance-counter profile to $(docv): JSON \
+     (schema mdsim-counters-v1), or CSV when $(docv) ends in $(b,.csv).  \
+     Virtual-clock counters are byte-identical for any $(b,--domains) \
+     value."
+  in
+  Arg.(value & opt (some string) None & info [ "counters" ] ~docv:"FILE" ~doc)
+
+(* Like tracing, profiling must be on before any machine or pool exists:
+   instruments created while disabled are inert. *)
+let start_counters = function Some _ -> Mdprof.enable () | None -> ()
+
+let finish_counters = function
+  | Some path ->
+    let data =
+      if Filename.check_suffix path ".csv" then Mdprof.to_csv ()
+      else Mdprof.to_json ()
+    in
+    Mdobs.write_file ~path data;
+    Printf.printf "wrote %s\n" path
+  | None -> ()
+
 (* Tracing must be on before any machine/pool exists: tracks created
    while disabled are inert. *)
 let start_trace = function
@@ -154,9 +177,10 @@ let print_result (r : Mdports.Run_result.t) =
 
 let run_cmd =
   let action atoms steps seed density temperature device xyz_path domains
-      trace metrics =
+      trace metrics counters =
     apply_domains domains;
     start_trace trace;
+    start_counters counters;
     let system = build_system ~atoms ~seed ~density ~temperature in
     (match xyz_path with
     | Some path ->
@@ -190,6 +214,7 @@ let run_cmd =
     in
     print_result result;
     finish_trace trace;
+    finish_counters counters;
     match metrics with
     | Some path -> write_run_metrics path result
     | None -> ()
@@ -198,7 +223,7 @@ let run_cmd =
     Term.(
       const action $ atoms_arg $ steps_arg $ seed_arg $ density_arg
       $ temperature_arg $ device_arg $ xyz_arg $ domains_arg $ trace_arg
-      $ metrics_arg)
+      $ metrics_arg $ counters_arg)
   in
   let doc = "Run the MD kernel on one device model." in
   Cmd.v (Cmd.info "run" ~doc) term
@@ -210,9 +235,10 @@ let experiment_cmd =
     in
     Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc)
   in
-  let action id quick csv_dir markdown domains trace metrics =
+  let action id quick csv_dir markdown domains trace metrics counters =
     apply_domains domains;
     start_trace trace;
+    start_counters counters;
     let scale =
       if quick then Harness.Context.quick_scale
       else Harness.Context.paper_scale
@@ -253,6 +279,7 @@ let experiment_cmd =
       Printf.printf "wrote %s\n" path
     | None -> ());
     finish_trace trace;
+    finish_counters counters;
     (match metrics with
     | Some path ->
       Mdobs.write_file ~path (Harness.Report.metrics_json outcomes);
@@ -263,7 +290,7 @@ let experiment_cmd =
   let term =
     Term.(
       const action $ id_arg $ quick_arg $ csv_dir_arg $ markdown_arg
-      $ domains_arg $ trace_arg $ metrics_arg)
+      $ domains_arg $ trace_arg $ metrics_arg $ counters_arg)
   in
   let doc = "Regenerate a table or figure from the paper." in
   Cmd.v (Cmd.info "experiment" ~doc) term
@@ -305,6 +332,42 @@ let devices_cmd =
   in
   let doc = "Describe the modelled devices." in
   Cmd.v (Cmd.info "devices" ~doc) Term.(const action $ const ())
+
+let profile_cmd =
+  let action atoms steps seed density temperature quick domains counters =
+    apply_domains domains;
+    Mdprof.enable ();
+    let atoms, steps = if quick then (min atoms 256, min steps 4) else (atoms, steps) in
+    let system = build_system ~atoms ~seed ~density ~temperature in
+    let runs =
+      [ ("opteron", fun () -> Mdports.Opteron_port.run ~steps system);
+        ("cell", fun () -> Mdports.Cell_port.run ~steps system);
+        ("gpu", fun () -> Mdports.Gpu_port.run ~steps system);
+        ("mta", fun () -> Mdports.Mta_port.run ~steps system) ]
+    in
+    Printf.printf "Profiling %d atoms x %d steps on every device model:\n\n"
+      atoms steps;
+    List.iter
+      (fun (name, f) ->
+        let r = f () in
+        Printf.printf "  %-8s %s virtual\n" name
+          (Sim_util.Table.fmt_seconds r.Mdports.Run_result.seconds))
+      runs;
+    print_newline ();
+    print_string (Mdprof.render ());
+    finish_counters counters
+  in
+  let term =
+    Term.(
+      const action $ atoms_arg $ steps_arg $ seed_arg $ density_arg
+      $ temperature_arg $ quick_arg $ domains_arg $ counters_arg)
+  in
+  let doc =
+    "Run the MD kernel on every device model and report the virtual \
+     performance counters (DMA traffic, texture fetches, cache misses, \
+     stream recruitment, derived bandwidth/occupancy/MFLOPS)."
+  in
+  Cmd.v (Cmd.info "profile" ~doc) term
 
 let align_cmd =
   let len_arg index name =
@@ -350,6 +413,7 @@ let main_cmd =
      Technique on Emerging Processing Architectures' (IPDPS 2007)"
   in
   Cmd.group (Cmd.info "mdsim" ~version:"1.0.0" ~doc)
-    [ run_cmd; experiment_cmd; list_cmd; devices_cmd; align_cmd ]
+    [ run_cmd; experiment_cmd; profile_cmd; list_cmd; devices_cmd;
+      align_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,5 +1,22 @@
 module Units = Sim_util.Units
 
+(* Virtual PMU counters published per machine (see DESIGN.md,
+   "Profiling").  Registered at creation so machines built while
+   profiling is disabled stay untracked, mirroring the obs tracks. *)
+type prof_set = {
+  p_offloads : Mdprof.counter;
+  p_spawns : Mdprof.counter;
+  p_mailbox_roundtrips : Mdprof.counter;
+  p_compute_seconds : Mdprof.counter;
+  p_dma_seconds : Mdprof.counter;
+  p_spe_busy_seconds : Mdprof.counter;
+  p_spe_window_seconds : Mdprof.counter;
+  p_stall_seconds : Mdprof.counter;
+  p_dma_bytes : Mdprof.counter;
+  p_spe_dma_bytes : Mdprof.counter array;
+  p_spe_dma_transfers : Mdprof.counter array;
+}
+
 type t = {
   cfg : Config.t;
   ledger : Ledger.t;
@@ -8,7 +25,31 @@ type t = {
   mutable spawned : int;
   obs : Mdobs.track option;       (* virtual-clock machine track *)
   obs_spes : Mdobs.track array;   (* one per SPE; empty when untraced *)
+  prof : prof_set option;
 }
+
+let make_prof cfg =
+  if not (Mdprof.enabled ()) then None
+  else
+    let c ?unit_ name = Mdprof.counter ?unit_ ~clock:Mdprof.Virtual name in
+    Some
+      {
+        p_offloads = c "cell/offloads";
+        p_spawns = c "cell/spawns";
+        p_mailbox_roundtrips = c "cell/mailbox_roundtrips";
+        p_compute_seconds = c ~unit_:"s" "cell/compute_seconds";
+        p_dma_seconds = c ~unit_:"s" "cell/dma_seconds";
+        p_spe_busy_seconds = c ~unit_:"s" "cell/spe_busy_seconds";
+        p_spe_window_seconds = c ~unit_:"s" "cell/spe_window_seconds";
+        p_stall_seconds = c ~unit_:"s" "cell/stall_seconds";
+        p_dma_bytes = c ~unit_:"bytes" "cell/dma_bytes";
+        p_spe_dma_bytes =
+          Array.init cfg.Config.n_spes (fun i ->
+              c ~unit_:"bytes" (Printf.sprintf "cell/spe%d/dma_bytes" i));
+        p_spe_dma_transfers =
+          Array.init cfg.Config.n_spes (fun i ->
+              c (Printf.sprintf "cell/spe%d/dma_transfers" i));
+      }
 
 let create cfg =
   Config.validate cfg;
@@ -31,7 +72,8 @@ let create cfg =
     wall = 0.0;
     spawned = 0;
     obs;
-    obs_spes }
+    obs_spes;
+    prof = make_prof cfg }
 
 let config t = t.cfg
 let time t = t.wall
@@ -63,22 +105,35 @@ let effective_bandwidth t ~active_spes =
   Float.min t.cfg.dma_bandwidth
     (t.cfg.mem_bandwidth /. float_of_int (max 1 active_spes))
 
-let dma_seconds ?(active_spes = 1) t ~bytes =
-  if bytes < 0 then invalid_arg "Machine.dma_seconds: negative size";
+let dma_requests t ~bytes =
   let chunk = t.cfg.dma_max_request in
   let requests = (bytes + chunk - 1) / chunk in
-  let requests = max requests (if bytes = 0 then 0 else 1) in
+  max requests (if bytes = 0 then 0 else 1)
+
+let dma_seconds ?(active_spes = 1) t ~bytes =
+  if bytes < 0 then invalid_arg "Machine.dma_seconds: negative size";
+  let requests = dma_requests t ~bytes in
   (float_of_int requests *. t.cfg.dma_latency)
   +. (float_of_int bytes /. effective_bandwidth t ~active_spes)
 
+let count_dma ctx ~bytes =
+  match ctx.machine.prof with
+  | Some p ->
+      Mdprof.add p.p_dma_bytes bytes;
+      Mdprof.add p.p_spe_dma_bytes.(ctx.id) bytes;
+      Mdprof.add p.p_spe_dma_transfers.(ctx.id) (dma_requests ctx.machine ~bytes)
+  | None -> ()
+
 let dma_get ctx ~src ~src_pos ~dst ~dst_pos ~len =
   Local_store.blit_from_array ~src ~src_pos ~dst ~dst_pos ~len;
+  count_dma ctx ~bytes:(len * 4);
   ctx.dma <-
     ctx.dma
     +. dma_seconds ~active_spes:ctx.active_spes ctx.machine ~bytes:(len * 4)
 
 let dma_put ctx ~src ~src_pos ~dst ~dst_pos ~len =
   Local_store.blit_to_array ~src ~src_pos ~dst ~dst_pos ~len;
+  count_dma ctx ~bytes:(len * 4);
   ctx.dma <-
     ctx.dma
     +. dma_seconds ~active_spes:ctx.active_spes ctx.machine ~bytes:(len * 4)
@@ -121,6 +176,7 @@ let offload t ~spes ~mode kernel =
   (* Run the kernels; virtual time advances by the slowest SPE. *)
   let critical_dma = ref 0.0 and critical_compute = ref 0.0 in
   let critical = ref (-1.0) and critical_spe = ref (-1) in
+  let busy_sum = ref 0.0 in
   for id = 0 to spes - 1 do
     let store = t.stores.(id) in
     Local_store.reset store;
@@ -136,6 +192,7 @@ let offload t ~spes ~mode kernel =
             ("compute", Mdobs.Float ctx.compute) ]
         ();
     let busy = ctx.dma +. ctx.compute in
+    busy_sum := !busy_sum +. busy;
     if busy > !critical then begin
       critical := busy;
       critical_spe := id;
@@ -149,6 +206,22 @@ let offload t ~spes ~mode kernel =
   Ledger.add t.ledger Signal signal_time;
   Ledger.add t.ledger Dma !critical_dma;
   Ledger.add t.ledger Compute !critical_compute;
+  (match t.prof with
+  | Some p ->
+      (* The offload window is the critical SPE's busy time replicated
+         across all recruited SPEs; window minus summed busy is the
+         aggregate stall the paper's load-imbalance discussion is
+         about. *)
+      let window = !critical *. float_of_int spes in
+      Mdprof.incr p.p_offloads;
+      Mdprof.add p.p_spawns spawn_count;
+      Mdprof.add p.p_mailbox_roundtrips (signal_count / 2);
+      Mdprof.add_f p.p_compute_seconds !critical_compute;
+      Mdprof.add_f p.p_dma_seconds !critical_dma;
+      Mdprof.add_f p.p_spe_busy_seconds !busy_sum;
+      Mdprof.add_f p.p_spe_window_seconds window;
+      Mdprof.add_f p.p_stall_seconds (window -. !busy_sum)
+  | None -> ());
   match t.obs with
   | Some tr ->
     Mdobs.span tr ~name:"offload" ~ts:t0 ~dur:(t.wall -. t0)

@@ -20,6 +20,7 @@ type t = {
   next : int array;       (* per-atom chain through its cell *)
   atom_cell : int array;  (* cell index per atom, filled during binning *)
   obs : Mdobs.track option;  (* host-clock rebuild events *)
+  prof_rebuilds : Mdprof.counter option;  (* host-clock rebuild count *)
 }
 
 let create ?(skin = 0.4) ?pool (s : System.t) =
@@ -48,6 +49,10 @@ let create ?(skin = 0.4) ?pool (s : System.t) =
     obs =
       (if Mdobs.enabled () then
          Some (Mdobs.new_track ~clock:Mdobs.Host "pairlist")
+       else None);
+    prof_rebuilds =
+      (if Mdprof.enabled () then
+         Some (Mdprof.counter ~clock:Mdprof.Host "pairlist/rebuilds")
        else None) }
 
 let pool_of t =
@@ -62,6 +67,7 @@ let finish_build t =
   Array.blit pos_z 0 t.ref_z 0 n;
   t.built <- true;
   t.rebuilds <- t.rebuilds + 1;
+  (match t.prof_rebuilds with Some c -> Mdprof.incr c | None -> ());
   match t.obs with
   | Some tr ->
     Mdobs.instant tr ~name:"rebuild" ~ts:(Mdobs.host_now ())

@@ -8,6 +8,18 @@ type shader = {
   prologue : Isa.Block.t;
 }
 
+(* Virtual PMU counters (see DESIGN.md, "Profiling"): the texture-fetch
+   and PCIe traffic the paper's GPU analysis reasons about. *)
+type prof_set = {
+  p_texture_fetches : Mdprof.counter;
+  p_fragments_shaded : Mdprof.counter;
+  p_draw_calls : Mdprof.counter;
+  p_rt_binds : Mdprof.counter;
+  p_pcie_bytes_up : Mdprof.counter;
+  p_pcie_bytes_down : Mdprof.counter;
+  p_vram_bytes : Mdprof.gauge;
+}
+
 type t = {
   cfg : Config.t;
   ledger : Ledger.t;
@@ -15,7 +27,24 @@ type t = {
   mutable vram : int;
   mutable vram_peak : int;
   obs : Mdobs.track option;  (* virtual-clock machine track *)
+  prof : prof_set option;
 }
+
+let make_prof () =
+  if not (Mdprof.enabled ()) then None
+  else
+    let c ?unit_ name = Mdprof.counter ?unit_ ~clock:Mdprof.Virtual name in
+    Some
+      {
+        p_texture_fetches = c "gpu/texture_fetches";
+        p_fragments_shaded = c "gpu/fragments_shaded";
+        p_draw_calls = c "gpu/draw_calls";
+        p_rt_binds = c "gpu/render_target_binds";
+        p_pcie_bytes_up = c ~unit_:"bytes" "gpu/pcie_bytes_up";
+        p_pcie_bytes_down = c ~unit_:"bytes" "gpu/pcie_bytes_down";
+        p_vram_bytes =
+          Mdprof.gauge ~unit_:"bytes" ~clock:Mdprof.Virtual "gpu/vram_bytes";
+      }
 
 let create cfg =
   Config.validate cfg;
@@ -23,7 +52,8 @@ let create cfg =
     if Mdobs.enabled () then Some (Mdobs.new_track ~clock:Mdobs.Virtual "gpu")
     else None
   in
-  { cfg; ledger = Ledger.create (); wall = 0.0; vram = 0; vram_peak = 0; obs }
+  { cfg; ledger = Ledger.create (); wall = 0.0; vram = 0; vram_peak = 0; obs;
+    prof = make_prof () }
 
 let config t = t.cfg
 let time t = t.wall
@@ -50,6 +80,9 @@ let texel_bytes = 16 (* float4 *)
 
 let note_vram t =
   if t.vram > t.vram_peak then t.vram_peak <- t.vram;
+  (match t.prof with
+  | Some p -> Mdprof.set p.p_vram_bytes (float_of_int t.vram)
+  | None -> ());
   match t.obs with
   | Some tr -> Mdobs.counter tr ~name:"vram" ~ts:t.wall (float_of_int t.vram)
   | None -> ()
@@ -97,12 +130,19 @@ let upload t tex data =
     invalid_arg
       (Printf.sprintf "Gpustream.upload: size mismatch for %s" tex.tex_name);
   Array.blit data 0 tex.data 0 (Array.length data);
+  (match t.prof with
+  | Some p -> Mdprof.add p.p_pcie_bytes_up (Array.length data * texel_bytes)
+  | None -> ());
   charge t Upload
     (transfer_seconds t
        ~bytes:(Array.length data * texel_bytes)
        ~bandwidth:t.cfg.upload_bandwidth)
 
 let readback t rt =
+  (match t.prof with
+  | Some p ->
+      Mdprof.add p.p_pcie_bytes_down (Array.length rt.pixels * texel_bytes)
+  | None -> ());
   charge t Readback
     (transfer_seconds t
        ~bytes:(Array.length rt.pixels * texel_bytes)
@@ -124,9 +164,12 @@ let resolve_to_texture t rt tex =
       (Printf.sprintf "Gpustream.resolve_to_texture: %s and %s differ in size"
          rt.rt_name tex.tex_name);
   Array.blit rt.pixels 0 tex.data 0 (Array.length rt.pixels);
+  (match t.prof with
+  | Some p -> Mdprof.incr p.p_rt_binds
+  | None -> ());
   charge t Dispatch t.cfg.dispatch_overhead
 
-type sampler = { bound : texture array }
+type sampler = { bound : texture array; fetches : Mdprof.counter option }
 
 let sample s ~input i =
   if input < 0 || input >= Array.length s.bound then
@@ -136,6 +179,7 @@ let sample s ~input i =
     invalid_arg
       (Printf.sprintf "Gpustream.sample: texel %d out of range for %s" i
          tex.tex_name);
+  (match s.fetches with Some c -> Mdprof.incr c | None -> ());
   tex.data.(i)
 
 let compile t ~name ~body ~prologue =
@@ -148,8 +192,17 @@ let dispatch t shader ~inputs ~target ?(loop_trip = 1) ~f () =
       (Printf.sprintf "Gpustream.dispatch: %d inputs exceeds limit %d"
          (List.length inputs) t.cfg.max_inputs);
   if loop_trip < 0 then invalid_arg "Gpustream.dispatch: loop_trip < 0";
-  let sampler = { bound = Array.of_list inputs } in
+  let sampler =
+    { bound = Array.of_list inputs;
+      fetches = Option.map (fun p -> p.p_texture_fetches) t.prof }
+  in
   let n = Array.length target.pixels in
+  (match t.prof with
+  | Some p ->
+      Mdprof.incr p.p_draw_calls;
+      Mdprof.incr p.p_rt_binds;
+      Mdprof.add p.p_fragments_shaded n
+  | None -> ());
   (* Functional execution: one invocation per output texel; the shader can
      only write its own location because the API takes its return value. *)
   for i = 0 to n - 1 do

@@ -55,12 +55,14 @@ let create ?(scale = paper_scale) () =
 let scale t = t.scale
 
 (* Scope the compute under a name derived from the *key* (not from the
-   experiment that happened to request it first), so any trace tracks it
-   creates get pool-schedule-independent names. *)
+   experiment that happened to request it first), so any trace tracks or
+   profiling counters it creates get pool-schedule-independent names —
+   and, for counters, a single deterministic writer. *)
 let memo ?scope t tbl key compute =
   let compute =
     match scope with
-    | Some s when Mdobs.enabled () -> fun () -> Mdobs.with_scope s compute
+    | Some s when Mdobs.enabled () || Mdprof.enabled () ->
+      fun () -> Mdobs.with_scope s compute
     | _ -> compute
   in
   Mutex.lock t.lock;

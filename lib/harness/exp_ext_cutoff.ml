@@ -77,7 +77,8 @@ let run ctx =
     notes =
       [ "This confirms the paper's causal explanation for the 3% rung: \
          the hit-path SIMDization matters exactly in proportion to how \
-         often the hit path runs." ] }
+         often the hit path runs." ];
+    virtual_seconds = [] }
 
 let experiment =
   { Experiment.id = "ext-cutoff";

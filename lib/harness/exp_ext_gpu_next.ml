@@ -62,7 +62,13 @@ let run ctx =
       [ "Per-step bus costs barely change between generations, so the \
          small-N crossover stays; the compute-bound regime is where the \
          generational gains land — consistent with how GPGPU history \
-         actually unfolded." ] }
+         actually unfolded." ];
+    virtual_seconds =
+      List.concat_map
+        (fun (n, _, old_gpu, next) ->
+          [ (Printf.sprintf "gpu-7900gtx/%d" n, old_gpu);
+            (Printf.sprintf "gpu-g80/%d" n, next) ])
+        rows }
 
 let experiment =
   { Experiment.id = "ext-gpu-next";

@@ -62,7 +62,13 @@ let run ctx =
       [ "Both runs compute identical physics; the accelerations must \
          cross the bus either way, so the w-component PE truly is \
          retrieved \"for free\" while the reduction pays log_8(N) \
-         render-to-texture passes plus dispatches every step." ] }
+         render-to-texture passes plus dispatches every step." ];
+    virtual_seconds =
+      List.concat_map
+        (fun (n, w, red) ->
+          [ (Printf.sprintf "gpu-readback/%d" n, w);
+            (Printf.sprintf "gpu-reduction/%d" n, red) ])
+        rows }
 
 let experiment =
   { Experiment.id = "ext-gpu-reduction";

@@ -80,7 +80,11 @@ let run ctx =
         "The end-to-end gap (~1.4x) is smaller than the 14x peak-FLOPS \
          ratio because the un-software-pipelined kernel is dependence- \
          latency-bound, which hides issue stalls; the throughput-bound \
-         check shows the gap a pipelined kernel would expose." ] }
+         check shows the gap a pipelined kernel would expose." ];
+    virtual_seconds =
+      [ ("opteron", opt_s);
+        ("cell-8spe-single", sp_s);
+        ("cell-8spe-double", dp_s) ] }
 
 let experiment =
   { Experiment.id = "ext-precision";

@@ -73,7 +73,12 @@ let run ctx =
     notes =
       [ "XMT-like model: 500 MHz clock, 128 streams, 1.6x memory-latency \
          penalty for remote references (no more uniform latency), up to \
-         8000 processors in the announced design." ] }
+         8000 processors in the announced design." ];
+    virtual_seconds =
+      ("mta2", mta2)
+      :: List.map
+           (fun (p, s) -> (Printf.sprintf "xmt/%d" p, s))
+           xmt }
 
 let experiment =
   { Experiment.id = "ext-xmt";

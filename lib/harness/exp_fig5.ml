@@ -61,7 +61,9 @@ let run ctx =
     notes =
       [ "Rung speedups emerge from the SPE dual-issue pipeline model \
          applied to per-variant instruction blocks (lib/ports/kernels.ml); \
-         none of them is a fitted constant." ] }
+         none of them is a fitted constant." ];
+    virtual_seconds =
+      List.map (fun (v, s) -> (Variant.name v, s)) times }
 
 let experiment =
   { Experiment.id = "fig5";

@@ -69,7 +69,13 @@ let run ctx =
       [ "The partially multithreaded version is the as-written kernel: \
          the MTA compiler detects the reduction dependency in step 2 and \
          serializes it; the fully multithreaded version moves the \
-         reduction into the loop body and asserts no dependence." ] }
+         reduction into the loop body and asserts no dependence." ];
+    virtual_seconds =
+      List.concat_map
+        (fun (n, full, partial) ->
+          [ (Printf.sprintf "mta-full/%d" n, full);
+            (Printf.sprintf "mta-partial/%d" n, partial) ])
+        rows }
 
 let experiment =
   { Experiment.id = "fig8";

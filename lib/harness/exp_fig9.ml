@@ -98,7 +98,13 @@ let run ctx =
     notes =
       [ "The Opteron's excess over the pure N^2 line is produced by the \
          cache simulator (L1 capacity exceeded by the position arrays), \
-         not by a fitted curve." ] }
+         not by a fitted curve." ];
+    virtual_seconds =
+      List.concat_map
+        (fun (n, mta_inc, opt_inc, _) ->
+          [ (Printf.sprintf "mta/%d" n, base_mta *. mta_inc);
+            (Printf.sprintf "opteron/%d" n, base_opt *. opt_inc) ])
+        rows }
 
 let experiment =
   { Experiment.id = "fig9";

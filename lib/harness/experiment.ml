@@ -7,6 +7,7 @@ type outcome = {
   checks : check list;
   notes : string list;
   figure : string option;
+  virtual_seconds : (string * float) list;
 }
 
 type t = {

@@ -15,6 +15,11 @@ type outcome = {
   figure : string option;
       (** pre-rendered ASCII chart of the artifact (the paper's figures
           are plots, so the reproduction draws them too) *)
+  virtual_seconds : (string * float) list;
+      (** per-device (or per-series-point) virtual run times backing the
+          table, keyed ["device"] or ["device/n"] — exported by
+          {!Report.metrics_json} so the metrics file alone reproduces
+          the speedup comparisons *)
 }
 
 type t = {

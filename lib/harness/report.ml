@@ -18,15 +18,20 @@ let render_outcome (o : Experiment.outcome) =
   List.iter (fun n -> Buffer.add_string buf ("  note: " ^ n ^ "\n")) o.notes;
   Buffer.contents buf
 
-(* Scope each experiment under its id so the virtual tracks its ports
-   create carry deterministic names whatever pool worker runs it; the
-   host-clock wall span records where real time went. *)
+(* Scope each experiment under its id so the virtual tracks and
+   profiling counters its ports create carry deterministic names
+   whatever pool worker runs it; the host-clock wall span records where
+   real time went.  Scoping matters for counters even without tracing:
+   it keeps each experiment's float accumulations in their own cells,
+   with one deterministic writer each, instead of racing experiments
+   interleaving additions into one shared unscoped total. *)
 let run_one ctx (e : Experiment.t) =
-  if not (Mdobs.enabled ()) then e.run ctx
-  else
+  if Mdobs.enabled () then
     Mdobs.with_scope e.id (fun () ->
         let tr = Mdobs.new_track ~clock:Mdobs.Host "wall" in
         Mdobs.host_span tr ~name:e.id (fun () -> e.run ctx))
+  else if Mdprof.enabled () then Mdobs.with_scope e.id (fun () -> e.run ctx)
+  else e.run ctx
 
 (* Experiments are independent given the context (which memoizes shared
    artifacts thread-safely), so they fan out across the Mdpar pool;
@@ -99,7 +104,14 @@ let metrics_json outcomes =
           if j > 0 then Buffer.add_char buf ',';
           Buffer.add_string buf (Printf.sprintf "\"%s\"" (esc n)))
         o.notes;
-      Buffer.add_string buf "],\"table_csv\":\"";
+      Buffer.add_string buf "],\"virtual_seconds\":{";
+      List.iteri
+        (fun j (name, s) ->
+          if j > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf "\"%s\":%.17g" (esc name) s))
+        o.virtual_seconds;
+      Buffer.add_string buf "},\"table_csv\":\"";
       Buffer.add_string buf (esc (Sim_util.Table.to_csv o.table));
       Buffer.add_string buf "\"}")
     outcomes;

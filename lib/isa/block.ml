@@ -27,6 +27,8 @@ let count t op =
 let count_if t pred =
   Array.fold_left (fun acc i -> if pred i.op then acc + 1 else acc) 0 t
 
+let flops t = Array.fold_left (fun acc i -> acc + Op.flops i.op) 0 t
+
 let append a b =
   let off = Array.length a in
   let shifted =

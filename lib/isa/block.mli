@@ -20,6 +20,11 @@ val count : t -> Op.t -> int
 (** Number of instructions with the given operation. *)
 
 val count_if : t -> (Op.t -> bool) -> int
+
+val flops : t -> int
+(** Sum of {!Op.flops} over the block: floating-point operations one
+    iteration performs (fused multiply-adds count 2). *)
+
 val append : t -> t -> t
 (** Concatenate; the second block's dependences are shifted, and its
     instructions additionally gain no implicit dependence on the first

@@ -58,6 +58,15 @@ let is_branch = function
   | Branch_taken | Branch_not_taken | Branch_miss -> true
   | _ -> false
 
+let flops = function
+  | Fmadd | Fmadd_dp -> 2
+  | Fadd | Fmul | Fadd_dp | Fmul_dp | Fdiv | Fdiv_dp | Fsqrt | Fsqrt_dp
+  | Frecip_est | Frsqrt_est ->
+      1
+  | Fcmp | Fsel | Fcopysign | Fconvert | Ialu | Load | Store | Shuffle
+  | Branch_taken | Branch_not_taken | Branch_miss ->
+      0
+
 let all =
   [ Fadd; Fmul; Fmadd; Fadd_dp; Fmul_dp; Fmadd_dp; Fdiv_dp; Fsqrt_dp; Fdiv;
     Fsqrt; Frecip_est; Frsqrt_est; Fcmp; Fsel; Fcopysign; Fconvert; Ialu;

@@ -42,4 +42,10 @@ val to_string : t -> string
 val is_memory : t -> bool
 val is_branch : t -> bool
 val is_double_precision : t -> bool
+
+val flops : t -> int
+(** Floating-point operations contributed to an FLOP count: fused
+    multiply-adds count 2, other FP arithmetic (including divides,
+    square roots, and estimates) counts 1, everything else 0. *)
+
 val all : t list

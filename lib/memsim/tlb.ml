@@ -7,6 +7,8 @@ type t = {
   mutable clock : int;
   mutable hits : int;
   mutable misses : int;
+  prof_hits : Mdprof.counter option;
+  prof_misses : Mdprof.counter option;
 }
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
@@ -20,8 +22,13 @@ let create ?(page_bytes = 4096) ?(entries = 32) ?(miss_cycles = 25) () =
     invalid_arg "Tlb.create: page_bytes must be a power of two";
   if entries <= 0 then invalid_arg "Tlb.create: entries must be positive";
   if miss_cycles < 0 then invalid_arg "Tlb.create: negative miss cost";
+  let prof name =
+    if Mdprof.enabled () then Some (Mdprof.counter ~clock:Mdprof.Virtual name)
+    else None
+  in
   { page_bits = log2 page_bytes; entries; miss_cycles;
-    resident = Hashtbl.create 64; clock = 0; hits = 0; misses = 0 }
+    resident = Hashtbl.create 64; clock = 0; hits = 0; misses = 0;
+    prof_hits = prof "mem/tlb_hits"; prof_misses = prof "mem/tlb_misses" }
 
 let evict_lru t =
   let victim = ref None in
@@ -42,12 +49,14 @@ let access t addr =
   if Hashtbl.mem t.resident page then begin
     Hashtbl.replace t.resident page t.clock;
     t.hits <- t.hits + 1;
+    (match t.prof_hits with Some c -> Mdprof.incr c | None -> ());
     0
   end
   else begin
     if Hashtbl.length t.resident >= t.entries then evict_lru t;
     Hashtbl.replace t.resident page t.clock;
     t.misses <- t.misses + 1;
+    (match t.prof_misses with Some c -> Mdprof.incr c | None -> ());
     t.miss_cycles
   end
 

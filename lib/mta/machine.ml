@@ -1,5 +1,23 @@
 module Units = Sim_util.Units
 
+(* Virtual PMU counters (see DESIGN.md, "Profiling"): stream recruitment
+   and memory pressure, the quantities behind the paper's MTA scaling
+   discussion. *)
+type prof_set = {
+  p_regions_parallel : Mdprof.counter;
+  p_regions_serial : Mdprof.counter;
+  p_instructions : Mdprof.counter;
+  p_memory_refs : Mdprof.counter;
+  p_sync_retries : Mdprof.counter;
+  p_streams : Mdprof.histogram;
+}
+
+(* Power-of-two stream-occupancy buckets up to the MTA-2's 128 streams
+   x 40 procs ceiling; fixed bounds keep exports deterministic. *)
+let stream_buckets =
+  [| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512.; 1024.; 2048.; 4096.;
+     8192. |]
+
 type t = {
   cfg : Config.t;
   ledger : Ledger.t;
@@ -7,7 +25,24 @@ type t = {
   mutable current_concurrency : float;
       (* concurrency of the region being executed; 1 outside regions *)
   obs : Mdobs.track option;  (* virtual-clock machine track *)
+  prof : prof_set option;
 }
+
+let make_prof () =
+  if not (Mdprof.enabled ()) then None
+  else
+    let c ?unit_ name = Mdprof.counter ?unit_ ~clock:Mdprof.Virtual name in
+    Some
+      {
+        p_regions_parallel = c "mta/regions_parallel";
+        p_regions_serial = c "mta/regions_serial";
+        p_instructions = c ~unit_:"ops" "mta/instructions";
+        p_memory_refs = c ~unit_:"refs" "mta/memory_refs";
+        p_sync_retries = c "mta/sync_retries";
+        p_streams =
+          Mdprof.histogram ~unit_:"streams" ~clock:Mdprof.Virtual
+            ~buckets:stream_buckets "mta/streams";
+      }
 
 let create cfg =
   Config.validate cfg;
@@ -15,7 +50,8 @@ let create cfg =
     if Mdobs.enabled () then Some (Mdobs.new_track ~clock:Mdobs.Virtual "mta")
     else None
   in
-  { cfg; ledger = Ledger.create (); wall = 0.0; current_concurrency = 1.0; obs }
+  { cfg; ledger = Ledger.create (); wall = 0.0; current_concurrency = 1.0; obs;
+    prof = make_prof () }
 
 let config t = t.cfg
 let time t = t.wall
@@ -86,6 +122,14 @@ let charged_region t ~loop ~n ~f =
         (Units.seconds_of_cycles t.cfg.clock (parallel_cycles t ~loop ~n))
     end
     else charge t Serial (serial_seconds t ~loop ~n);
+  (match t.prof with
+  | Some p when n > 0 ->
+      let streams = if parallel then concurrency t ~n else 1 in
+      Mdprof.incr (if parallel then p.p_regions_parallel else p.p_regions_serial);
+      Mdprof.add p.p_instructions (n * Loop.instructions loop);
+      Mdprof.add p.p_memory_refs (n * Loop.memory_ops loop);
+      Mdprof.observe p.p_streams (float_of_int streams)
+  | _ -> ());
   (match t.obs with
   | Some tr ->
     (* One span per compiler region: the stream-scheduling story — how
@@ -110,6 +154,9 @@ let for_loop t ~loop ~n ~f =
         done)
 
 let charge_sync_op t =
+  (match t.prof with
+  | Some p -> Mdprof.incr p.p_sync_retries
+  | None -> ());
   let cycles =
     float_of_int t.cfg.sync_retry_cycles /. t.current_concurrency
   in

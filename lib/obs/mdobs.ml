@@ -50,22 +50,30 @@ module Sink = struct
   type t =
     | Noop
     | Memory of event list ref  (* newest first *)
-    | Ring of { cap : int; buf : event option array; mutable head : int }
+    | Ring of {
+        cap : int;
+        buf : event option array;
+        mutable head : int;
+        mutable dropped : int;  (* events overwritten since enable *)
+      }
 
   let noop = Noop
   let memory () = Memory (ref [])
 
   let ring ~capacity =
     if capacity <= 0 then invalid_arg "Mdobs.Sink.ring: capacity must be positive";
-    Ring { cap = capacity; buf = Array.make capacity None; head = 0 }
+    Ring { cap = capacity; buf = Array.make capacity None; head = 0; dropped = 0 }
 
   let push t ev =
     match t with
     | Noop -> ()
     | Memory r -> r := ev :: !r
     | Ring r ->
+      if r.buf.(r.head) <> None then r.dropped <- r.dropped + 1;
       r.buf.(r.head) <- Some ev;
       r.head <- (r.head + 1) mod r.cap
+
+  let dropped = function Noop | Memory _ -> 0 | Ring r -> r.dropped
 
   let contents t =
     match t with
@@ -199,6 +207,12 @@ let events () =
   Mutex.unlock lock;
   List.stable_sort compare_events evs
 
+let dropped_events () =
+  Mutex.lock lock;
+  let d = Sink.dropped !sink in
+  Mutex.unlock lock;
+  d
+
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
   String.iter
@@ -275,6 +289,14 @@ let to_chrome_json ?(virtual_only = false) () =
   if not virtual_only then
     add_line
       "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,\"args\":{\"name\":\"host time\"}}";
+  (* An overflowed ring sink silently forgot its oldest events; say so in
+     the trace itself so a truncated export is self-describing. *)
+  let dropped = dropped_events () in
+  if dropped > 0 then
+    add_line
+      (Printf.sprintf
+         "{\"name\":\"dropped_events\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"count\":%d}}"
+         dropped);
   (* thread_name metadata, one per track, in tid order *)
   let seen = Hashtbl.create 32 in
   List.iter

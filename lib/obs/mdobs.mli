@@ -52,8 +52,10 @@ module Sink : sig
 
   val ring : capacity:int -> t
   (** Bounded buffer keeping the newest [capacity] events.  Lossy:
-      determinism guarantees do not survive overflow.  Raises
-      [Invalid_argument] on non-positive capacity. *)
+      determinism guarantees do not survive overflow, but the overflow
+      is counted (see {!dropped_events}) so truncated traces are
+      self-describing.  Raises [Invalid_argument] on non-positive
+      capacity. *)
 end
 
 (** {1 Recorder lifecycle} *)
@@ -109,6 +111,11 @@ val host_span : track -> name:string -> ?args:(string * value) list ->
 val events : unit -> event list
 (** All recorded events in deterministic order: virtual tracks before
     host tracks, tracks by name, events by sequence. *)
+
+val dropped_events : unit -> int
+(** Events lost to ring-sink overflow since {!enable} (0 for the noop
+    and memory sinks).  When positive, {!to_chrome_json} also records
+    it as a [dropped_events] metadata event. *)
 
 val to_chrome_json : ?virtual_only:bool -> unit -> string
 (** Chrome trace-event JSON ([chrome://tracing] / Perfetto): pid 1 is

@@ -20,12 +20,21 @@ type worker = {
   mutable stop : bool;
 }
 
+type prof_set = {
+  p_regions : Mdprof.counter;
+  p_chunks : Mdprof.counter;
+  p_mutex : Mutex.t;
+      (* unlike virtual counters, these are bumped from whichever domain
+         runs a region, so updates need the lock *)
+}
+
 type t = {
   size : int;
   workers : worker array;        (* [size - 1] entries *)
   handles : unit Domain.t array;
   mutable alive : bool;
   mutable obs : Mdobs.track option;  (* host-clock track, created lazily *)
+  mutable prof : prof_set option;    (* host-clock counters, created lazily *)
 }
 
 let worker_loop (w : worker) =
@@ -67,7 +76,7 @@ let create ?domains () =
   let handles =
     Array.map (fun w -> Domain.spawn (fun () -> worker_loop w)) workers
   in
-  { size; workers; handles; alive = true; obs = None }
+  { size; workers; handles; alive = true; obs = None; prof = None }
 
 let size t = t.size
 
@@ -159,6 +168,39 @@ let obs_track t =
       Some tr
   end
 
+(* Host-clock profile counters, lazily like [obs_track].  Registered
+   outside the caller's scope so every region on this pool accumulates
+   into one stable pair of names; a lost creation race is benign
+   (get-or-create returns the same cells). *)
+let prof_set t =
+  if not (Mdprof.enabled ()) then None
+  else begin
+    match t.prof with
+    | Some _ as p -> p
+    | None ->
+      let p =
+        Mdobs.with_scope "" (fun () ->
+            { p_regions =
+                Mdprof.counter ~clock:Mdprof.Host
+                  (Printf.sprintf "mdpar/pool-%d/regions" t.size);
+              p_chunks =
+                Mdprof.counter ~clock:Mdprof.Host
+                  (Printf.sprintf "mdpar/pool-%d/chunks" t.size);
+              p_mutex = Mutex.create () })
+      in
+      t.prof <- Some p;
+      Some p
+  end
+
+let prof_count t ~chunks =
+  match prof_set t with
+  | Some p ->
+    Mutex.lock p.p_mutex;
+    Mdprof.incr p.p_regions;
+    Mdprof.add p.p_chunks chunks;
+    Mutex.unlock p.p_mutex
+  | None -> ()
+
 (* Hand [work] to every currently idle worker and run it inline too;
    return once every recruited copy has finished.  [work] must be
    idempotent-by-partition: participants pull work items from a shared
@@ -239,10 +281,12 @@ let run_region ?(label = "region") t (work : unit -> unit) =
 let parallel_for ?chunk t ~lo ~hi body =
   let len = hi - lo + 1 in
   if len <= 0 then ()
-  else if t.size = 1 || len = 1 then
+  else if t.size = 1 || len = 1 then begin
+    prof_count t ~chunks:1;
     for i = lo to hi do
       body i
     done
+  end
   else begin
     let chunk =
       match chunk with
@@ -251,6 +295,7 @@ let parallel_for ?chunk t ~lo ~hi body =
         c
       | None -> max 1 (len / (4 * t.size))
     in
+    prof_count t ~chunks:((len + chunk - 1) / chunk);
     let next = Atomic.make lo in
     let obs = obs_track t in
     let work () =
@@ -290,6 +335,7 @@ let parallel_for_reduce ?chunks t ~lo ~hi ~init ~combine ~body =
       | None -> max 1 (min t.size len)
     in
     if nchunks = 1 then begin
+      prof_count t ~chunks:1;
       let acc = ref init in
       for i = lo to hi do
         acc := combine !acc (body i)
@@ -297,6 +343,7 @@ let parallel_for_reduce ?chunks t ~lo ~hi ~init ~combine ~body =
       !acc
     end
     else begin
+      prof_count t ~chunks:nchunks;
       let partials = Array.make nchunks init in
       let next = Atomic.make 0 in
       let obs = obs_track t in

@@ -228,6 +228,28 @@ let breakdown_of_ledger ledger =
     (fun cat -> (Ledger.category_name cat, Ledger.get ledger cat))
     Ledger.all_categories
 
+(* Port-level virtual PMU summary: the SPE kernels' static FLOP counts
+   scaled by the replayed iteration totals, plus the end-to-end virtual
+   time (feeds the derived cell/mflops). *)
+let publish_prof ~(cfg : config) ~profile ~seconds =
+  if Mdprof.enabled () then begin
+    let c ?unit_ name = Mdprof.counter ?unit_ ~clock:Mdprof.Virtual name in
+    let n = profile.n in
+    let invocations = Array.length profile.row_hits in
+    let base, hit_block =
+      match cfg.precision with
+      | Single -> (Kernels.spe_base cfg.variant, Kernels.spe_hit cfg.variant)
+      | Double -> (Kernels.spe_base_dp, Kernels.spe_hit_dp)
+    in
+    let flops =
+      (invocations * n * (n - 1) * Isa.Block.flops base)
+      + (profile_hits profile * Isa.Block.flops hit_block)
+      + (invocations * n * Isa.Block.flops Kernels.spe_row_overhead)
+    in
+    Mdprof.add_f (c ~unit_:"s" "cell/virtual_seconds") seconds;
+    Mdprof.add (c ~unit_:"flops" "cell/flops") flops
+  end
+
 let time_with ?(j_chunk = default_j_chunk) profile cfg =
   if j_chunk <= 0 then invalid_arg "Cell_port.time_with: j_chunk";
   Cellbe.Config.validate cfg.machine;
@@ -256,6 +278,7 @@ let time_with ?(j_chunk = default_j_chunk) profile cfg =
       Machine.ppe_block machine Kernels.opteron_integration ~iterations:n
   done;
   let ledger = Machine.ledger machine in
+  publish_prof ~cfg ~profile ~seconds:(Machine.time machine);
   { Run_result.device =
       Printf.sprintf "Cell (%d SPE%s, %s, %s)" cfg.n_spes
         (if cfg.n_spes = 1 then "" else "s")

@@ -191,6 +191,17 @@ let run ?(steps = 10) ?(machine = Gpustream.Config.geforce_7900gtx)
   charge_host_block m Kernels.opteron_integration ~iterations:(steps * n);
   let ledger = Machine.ledger m in
   let setup = Ledger.get ledger Setup in
+  (* Port-level virtual PMU summary (feeds derived gpu/mflops and
+     gpu/pcie_bandwidth): the candidate block runs n times per fragment,
+     n fragments per invocation. *)
+  if Mdprof.enabled () then begin
+    let c ?unit_ name = Mdprof.counter ?unit_ ~clock:Mdprof.Virtual name in
+    let flops =
+      !invocations * n * n * Isa.Block.flops Kernels.gpu_candidate
+    in
+    Mdprof.add_f (c ~unit_:"s" "gpu/virtual_seconds") (Machine.time m -. setup);
+    Mdprof.add (c ~unit_:"flops" "gpu/flops") flops
+  end;
   { Run_result.device = "NVIDIA GPU (7900GTX class)";
     n_atoms = n;
     steps;

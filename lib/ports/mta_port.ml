@@ -60,6 +60,17 @@ let run ?(steps = 10) ?(mode = Fully_multithreaded)
   Machine.charged_region m ~loop:integration_loop ~n:(steps * n)
     ~f:(fun () -> ());
   let ledger = Machine.ledger m in
+  (* Port-level virtual PMU summary (feeds derived mta/mflops). *)
+  if Mdprof.enabled () then begin
+    let c ?unit_ name = Mdprof.counter ?unit_ ~clock:Mdprof.Virtual name in
+    let flops =
+      (!pairs_total * Isa.Block.flops Kernels.mta_pair_body)
+      + (!hits_total * Isa.Block.flops Kernels.mta_hit_body)
+      + (steps * n * Isa.Block.flops Kernels.mta_integration_body)
+    in
+    Mdprof.add_f (c ~unit_:"s" "mta/virtual_seconds") (Machine.time m);
+    Mdprof.add (c ~unit_:"flops" "mta/flops") flops
+  end;
   { Run_result.device = Printf.sprintf "Cray MTA-2 (%s)" (mode_name mode);
     n_atoms = n;
     steps;

@@ -79,6 +79,35 @@ let integration_excess_cycles mm =
 let per_iter block =
   Pipe.per_iteration_cycles block ~overlap:Kernels.opteron_overlap
 
+(* Publish the run's virtual PMU counters: static per-block op counts
+   scaled by the dynamic iteration counts, plus the bytes the memory
+   model touches (3 position doubles per candidate pair; all nine SoA
+   arrays per atom per integration step). *)
+let publish_prof ~pairs ~hits ~steps ~n ~seconds =
+  if Mdprof.enabled () then begin
+    let c ?unit_ name = Mdprof.counter ?unit_ ~clock:Mdprof.Virtual name in
+    let weighted =
+      [ (Kernels.opteron_base, pairs);
+        (Kernels.opteron_hit, hits);
+        (Kernels.opteron_row_overhead, steps * n);
+        (Kernels.opteron_integration, steps * n) ]
+    in
+    let total f =
+      List.fold_left (fun acc (b, k) -> acc + (f b * k)) 0 weighted
+    in
+    Mdprof.add_f (c ~unit_:"s" "opteron/virtual_seconds") seconds;
+    Mdprof.add (c ~unit_:"flops" "opteron/flops") (total Isa.Block.flops);
+    Mdprof.add
+      (c ~unit_:"bytes" "opteron/mem_bytes")
+      ((24 * pairs) + (72 * n * steps));
+    List.iter
+      (fun op ->
+        let k = total (fun b -> Isa.Block.count b op) in
+        if k > 0 then
+          Mdprof.add (c ~unit_:"ops" ("opteron/ops/" ^ Isa.Op.to_string op)) k)
+      Isa.Op.all
+  end
+
 let run ?(steps = 10) ?(config = default_config) system =
   let s = Mdcore.System.copy system in
   let n = s.Mdcore.System.n in
@@ -113,6 +142,8 @@ let run ?(steps = 10) ?(config = default_config) system =
     memory_cycles := !memory_cycles +. integration_excess_cycles mm
   done;
   let to_s c = Sim_util.Units.seconds_of_cycles config.clock c in
+  publish_prof ~pairs:!pairs_total ~hits:!hits_total ~steps ~n
+    ~seconds:(to_s (!compute_cycles +. !memory_cycles));
   { Run_result.device = "Opteron 2.2 GHz";
     n_atoms = n;
     steps;
@@ -168,6 +199,8 @@ let run_pairlist ?(steps = 10) ?(config = default_config) ?skin system =
     memory_cycles := !memory_cycles +. integration_excess_cycles mm
   done;
   let to_s c = Sim_util.Units.seconds_of_cycles config.clock c in
+  publish_prof ~pairs:!pairs_total ~hits:!hits_total ~steps ~n
+    ~seconds:(to_s (!compute_cycles +. !memory_cycles));
   { Run_result.device = "Opteron 2.2 GHz (pairlist)";
     n_atoms = n;
     steps;

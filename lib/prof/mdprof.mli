@@ -1,0 +1,130 @@
+(** Virtual performance counters for the simulators, layered beside
+    {!Mdobs} tracing.
+
+    Where [Mdobs] records {e when} things happened, [Mdprof] records
+    {e how much} happened: DMA bytes moved, texture fetches issued,
+    cache misses taken, streams recruited.  The registry holds three
+    instrument kinds:
+
+    - {b counters} — monotonic totals ([add]/[incr]);
+    - {b gauges} — instantaneous levels with a high-water mark ([set]);
+    - {b histograms} — sample distributions over deterministic fixed
+      bucket bounds ([observe]).
+
+    Clock domains mirror [Mdobs]: {b virtual}-clock instruments are a
+    pure function of the simulated program, so for a fixed workload
+    their exported values are byte-identical regardless of the host
+    pool size ([--domains]).  {b Host}-clock instruments (Mdpar chunks,
+    pairlist rebuilds) depend on real scheduling and are excluded from
+    the deterministic exports by default.
+
+    Instruments are {e get-or-create} by full scoped name: asking for
+    an existing name (with a matching kind) returns the same cell, so
+    repeated machine constructions under one scope accumulate into one
+    total — unlike [Mdobs] tracks, which get a [#n] suffix per
+    instance.  Names are prefixed with {!Mdobs.current_scope} at
+    creation time so harness scopes label counters exactly like they
+    label tracks.
+
+    Recording is disabled by default.  Creation sites guard on one
+    atomic flag and return a shared inert dummy when disabled; updates
+    to a live cell are plain unlocked mutations (cells are
+    single-writer, like virtual [Mdobs] tracks), so the instrumented
+    hot paths stay cheap.  Enable profiling {e before} creating
+    machines — cells made while disabled stay inert. *)
+
+type clock = Mdobs.clock = Virtual | Host
+
+type counter
+type gauge
+type histogram
+
+(** {1 Lifecycle} *)
+
+val enabled : unit -> bool
+
+val enable : unit -> unit
+(** Turn recording on (idempotent; keeps existing cells). *)
+
+val disable : unit -> unit
+(** Stop recording; cells keep their values for export. *)
+
+val clear : unit -> unit
+(** Disable and drop every registered instrument. *)
+
+(** {1 Instruments}
+
+    [unit_] is a free-form label ("bytes", "ops", …) carried into the
+    exports; it defaults to [""].  Re-registering a name with a
+    different kind raises [Invalid_argument]. *)
+
+val counter : ?unit_:string -> clock:clock -> string -> counter
+val add : counter -> int -> unit
+val add_f : counter -> float -> unit
+val incr : counter -> unit
+
+val gauge : ?unit_:string -> clock:clock -> string -> gauge
+val set : gauge -> float -> unit
+(** Record the current level; the high-water mark tracks the maximum
+    ever set. *)
+
+val histogram :
+  ?unit_:string -> clock:clock -> buckets:float array -> string -> histogram
+(** [buckets] are strictly increasing upper bounds; an implicit
+    overflow bucket catches samples above the last bound.  Raises
+    [Invalid_argument] on empty or non-increasing bounds.
+    Re-registering an existing histogram name checks bound equality. *)
+
+val observe : histogram -> float -> unit
+
+(** {1 Snapshots} *)
+
+type kind = Counter | Gauge | Histogram
+
+type sample = {
+  s_name : string;
+  s_clock : clock;
+  s_unit : string;
+  s_kind : kind;
+  s_value : float;  (** counter total / gauge current level *)
+  s_high_water : float;  (** gauge high-water; equals [s_value] otherwise *)
+  s_buckets : (float * int) list;
+      (** histogram (upper-bound, count) pairs; the overflow bucket is
+          [(infinity, n)].  Empty for counters and gauges. *)
+  s_observations : int;
+  s_sum : float;
+}
+
+val samples : unit -> sample list
+(** Every registered instrument in deterministic order: virtual clock
+    before host, then by name — independent of registration order. *)
+
+val find : string -> sample option
+
+val derived : ?host:bool -> unit -> (string * float * string) list
+(** Rule-derived metrics [(name, value, unit)] computed from sibling
+    counters within a name prefix: effective DMA/PCIe bandwidth,
+    SPE occupancy, virtual MFLOPS, arithmetic intensity, and histogram
+    means.  Deterministic order; virtual-only unless [host]. *)
+
+(** {1 Export} *)
+
+val to_json : ?host:bool -> unit -> string
+(** Counter profile as JSON (schema ["mdsim-counters-v1"]), samples
+    and derived metrics in deterministic order, floats printed with
+    round-trip precision.  Virtual-clock instruments only unless
+    [host] is true — the default output is byte-identical across
+    [--domains]. *)
+
+val to_csv : ?host:bool -> unit -> string
+(** Flat [name,clock,kind,unit,value,high_water,observations,sum]
+    rows, same ordering and determinism contract as {!to_json}. *)
+
+val render : unit -> string
+(** Human-readable text report: instruments grouped by top-level name
+    prefix, then derived metrics.  Includes host-clock instruments. *)
+
+val virtual_counters_string : unit -> string
+(** Canonical pipe-delimited dump of virtual-clock instruments — the
+    byte-identical artifact determinism tests compare across pool
+    sizes (alias of the invariant checked on {!to_json}). *)

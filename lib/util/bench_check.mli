@@ -1,0 +1,61 @@
+(** Perf-regression gating: compare a fresh benchmark run against a
+    committed baseline with per-entry relative tolerances.
+
+    A baseline file is JSON in one of two shapes:
+
+    - a dedicated baseline (schema ["mdsim-bench-baseline-v1"]) with
+      [entries_ns], an optional [default_tolerance], and optional
+      per-entry [tolerances] overrides;
+    - any [BENCH_results.json] (schema ["mdsim-bench-v1"] or
+      ["mdsim-bench-v2"]), whose [results_ns] map is taken as the
+      baseline with the default tolerance throughout.
+
+    A measured entry {e regresses} when
+    [measured > baseline *. (1. +. tolerance)]; tolerance [9.0] means
+    "up to 10x slower passes" — deliberately generous for noisy CI
+    runners.  Entries present in the baseline but absent from the run
+    (or vice versa) are reported as notes, not failures, so partial
+    runs ([MDSIM_BENCH_SKIP_REPRO=1]) still gate cleanly. *)
+
+type baseline = {
+  schema : string;
+  default_tolerance : float;
+  entries : (string * float * float) list;
+      (** (name, baseline_ns, tolerance) sorted by name *)
+}
+
+type status = Pass | Regression | Improvement
+
+type comparison = {
+  name : string;
+  baseline_ns : float;
+  measured_ns : float;
+  tolerance : float;
+  ratio : float;  (** measured / baseline *)
+  status : status;
+}
+
+type outcome = {
+  comparisons : comparison list;  (** sorted by name *)
+  missing : string list;  (** in baseline, not measured *)
+  unbaselined : string list;  (** measured, not in baseline *)
+  failed : bool;  (** true iff any comparison regressed *)
+}
+
+val parse_baseline :
+  ?default_tolerance:float -> string -> (baseline, string) result
+(** Parse baseline JSON text.  [default_tolerance] (default [9.0])
+    applies where the file does not override it. *)
+
+val load_baseline :
+  ?default_tolerance:float -> string -> (baseline, string) result
+(** [parse_baseline] on a file path. *)
+
+val compare : baseline -> (string * float) list -> outcome
+(** Compare measured (name, ns) rows against the baseline.  An entry
+    at least 2x {e faster} than baseline is flagged [Improvement] — a
+    hint to refresh the baseline — but never fails the check. *)
+
+val render : outcome -> string
+(** Human-readable diff: one row per comparison with the allowed and
+    observed ratios, regressions marked, notes for missing entries. *)

@@ -1,0 +1,29 @@
+(** A minimal JSON parser for reading our own artifacts
+    (bench baselines, counters profiles) without an external
+    dependency.  Full RFC 8259 value grammar; numbers are parsed as
+    [float]; surrogate-pair escapes are decoded to UTF-8. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Raised with a [position: message] description. *)
+
+val parse : string -> t
+(** Parse a complete JSON document; trailing non-whitespace is an
+    error. *)
+
+val member : string -> t -> t option
+(** First binding of a key in an [Obj]; [None] on missing key or
+    non-object. *)
+
+val to_float : t -> float option
+val to_string : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option
+val to_obj : t -> (string * t) list option

@@ -12,6 +12,7 @@ let () =
       Test_mdcore.tests;
       Test_parallel.tests;
       Test_obs.tests;
+      Test_prof.tests;
       Test_bonded.tests;
       Test_ports.tests;
       Test_stream.tests;

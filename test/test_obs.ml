@@ -52,6 +52,33 @@ let test_ring_sink_keeps_newest () =
         [ "2"; "3"; "4" ]
         (List.map (fun e -> e.Mdobs.ev_name) evs))
 
+let test_ring_counts_dropped () =
+  with_tracing (Mdobs.Sink.ring ~capacity:3) (fun () ->
+      let tr = Mdobs.new_track ~clock:Mdobs.Virtual "t" in
+      Alcotest.(check int) "nothing dropped yet" 0 (Mdobs.dropped_events ());
+      for i = 0 to 4 do
+        Mdobs.instant tr ~name:(string_of_int i) ~ts:(float_of_int i) ()
+      done;
+      Alcotest.(check int) "two overwrites counted" 2
+        (Mdobs.dropped_events ());
+      (* the drop count is surfaced as a Chrome metadata event *)
+      let json = Mdobs.to_chrome_json () in
+      let contains s sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "metadata event present" true
+        (contains json "\"dropped_events\"" && contains json "\"count\":2"));
+  (* the memory sink never drops *)
+  with_tracing (Mdobs.Sink.memory ()) (fun () ->
+      let tr = Mdobs.new_track ~clock:Mdobs.Virtual "t" in
+      for i = 0 to 9 do
+        Mdobs.instant tr ~name:(string_of_int i) ~ts:0.0 ()
+      done;
+      Alcotest.(check int) "memory sink drops nothing" 0
+        (Mdobs.dropped_events ()))
+
 let test_ring_rejects_bad_capacity () =
   Alcotest.(check bool) "nonpositive capacity rejected" true
     (try
@@ -389,6 +416,8 @@ let tests =
       Alcotest.test_case "memory sink order" `Quick test_memory_sink_order;
       Alcotest.test_case "ring keeps newest" `Quick
         test_ring_sink_keeps_newest;
+      Alcotest.test_case "ring counts dropped events" `Quick
+        test_ring_counts_dropped;
       Alcotest.test_case "ring capacity validated" `Quick
         test_ring_rejects_bad_capacity;
       Alcotest.test_case "scoped track names" `Quick test_scoped_track_names;

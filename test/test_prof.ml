@@ -1,0 +1,379 @@
+(* Tests for the Mdprof virtual performance-counter registry: lifecycle
+   (inert dummies while disabled), get-or-create accumulation, kind and
+   bucket-shape validation, gauge high-water marks, histogram bucketing,
+   scope prefixes, derived-metric rules, the memsim counter-correctness
+   contract (a handcrafted access pattern asserted through the
+   registry), the Minijson reader, the Bench_check regression gate, and
+   the headline guarantee that the exported virtual-counter profile is
+   byte-identical across host pool sizes. *)
+
+let with_prof f =
+  Mdprof.clear ();
+  Mdprof.enable ();
+  Fun.protect ~finally:(fun () -> Mdprof.clear ()) f
+
+let value name =
+  match Mdprof.find name with
+  | Some s -> s.Mdprof.s_value
+  | None -> Alcotest.failf "counter %S not registered" name
+
+(* ---------------- Lifecycle ---------------- *)
+
+let test_disabled_is_inert () =
+  Mdprof.clear ();
+  Alcotest.(check bool) "disabled by default" false (Mdprof.enabled ());
+  let c = Mdprof.counter ~clock:Mdprof.Virtual "ghost" in
+  Mdprof.add c 5;
+  Alcotest.(check int) "nothing registered" 0
+    (List.length (Mdprof.samples ()));
+  (* dummies stay inert even after a later enable *)
+  Mdprof.enable ();
+  Mdprof.add c 5;
+  Mdprof.incr c;
+  Alcotest.(check bool) "dummy still dropped" true
+    (Mdprof.find "ghost" = None);
+  Mdprof.clear ()
+
+let test_counter_get_or_create () =
+  with_prof (fun () ->
+      let a = Mdprof.counter ~unit_:"ops" ~clock:Mdprof.Virtual "x/total" in
+      Mdprof.add a 3;
+      (* same name returns the same accumulating cell, unlike Mdobs
+         tracks which get a #n suffix per instance *)
+      let b = Mdprof.counter ~clock:Mdprof.Virtual "x/total" in
+      Mdprof.add b 4;
+      Mdprof.incr b;
+      Mdprof.add_f b 0.5;
+      Alcotest.(check (float 1e-12)) "one accumulated total" 8.5
+        (value "x/total");
+      Alcotest.(check int) "one sample" 1 (List.length (Mdprof.samples ())))
+
+let test_kind_mismatch_rejected () =
+  with_prof (fun () ->
+      ignore (Mdprof.counter ~clock:Mdprof.Virtual "k");
+      Alcotest.(check bool) "gauge over counter rejected" true
+        (try
+           ignore (Mdprof.gauge ~clock:Mdprof.Virtual "k");
+           false
+         with Invalid_argument _ -> true))
+
+let test_gauge_high_water () =
+  with_prof (fun () ->
+      let g = Mdprof.gauge ~unit_:"bytes" ~clock:Mdprof.Virtual "vram" in
+      Mdprof.set g 5.0;
+      Mdprof.set g 2.0;
+      match Mdprof.find "vram" with
+      | Some s ->
+        Alcotest.(check (float 1e-12)) "current level" 2.0 s.Mdprof.s_value;
+        Alcotest.(check (float 1e-12)) "high-water" 5.0
+          s.Mdprof.s_high_water
+      | None -> Alcotest.fail "gauge not registered")
+
+let test_histogram_buckets () =
+  with_prof (fun () ->
+      let h =
+        Mdprof.histogram ~clock:Mdprof.Virtual ~buckets:[| 1.0; 2.0; 4.0 |]
+          "streams"
+      in
+      (* upper-bound-inclusive: 1.0 lands in the first bucket *)
+      List.iter (Mdprof.observe h) [ 0.5; 1.0; 3.0; 100.0 ];
+      match Mdprof.find "streams" with
+      | Some s ->
+        Alcotest.(check int) "observations" 4 s.Mdprof.s_observations;
+        Alcotest.(check (float 1e-12)) "sum" 104.5 s.Mdprof.s_sum;
+        (match s.Mdprof.s_buckets with
+        | [ (b1, c1); (b2, c2); (b3, c3); (binf, cinf) ] ->
+          Alcotest.(check (float 0.0)) "bound 1" 1.0 b1;
+          Alcotest.(check int) "<=1" 2 c1;
+          Alcotest.(check int) "<=2" 0 c2;
+          Alcotest.(check (float 0.0)) "bound 4" 4.0 b3;
+          Alcotest.(check int) "<=4" 1 c3;
+          Alcotest.(check bool) "overflow bound" true (binf = infinity);
+          Alcotest.(check int) "overflow" 1 cinf;
+          ignore b2
+        | bs -> Alcotest.failf "expected 4 buckets, got %d" (List.length bs))
+      | None -> Alcotest.fail "histogram not registered")
+
+let test_histogram_bounds_validated () =
+  with_prof (fun () ->
+      let bad bounds =
+        try
+          ignore (Mdprof.histogram ~clock:Mdprof.Virtual ~buckets:bounds "h");
+          false
+        with Invalid_argument _ -> true
+      in
+      Alcotest.(check bool) "empty bounds rejected" true (bad [||]);
+      Alcotest.(check bool) "non-increasing rejected" true
+        (bad [| 2.0; 1.0 |]);
+      ignore
+        (Mdprof.histogram ~clock:Mdprof.Virtual ~buckets:[| 1.0; 2.0 |] "ok");
+      Alcotest.(check bool) "re-register with other bounds rejected" true
+        (try
+           ignore
+             (Mdprof.histogram ~clock:Mdprof.Virtual ~buckets:[| 1.0; 3.0 |]
+                "ok");
+           false
+         with Invalid_argument _ -> true))
+
+let test_scope_prefix () =
+  with_prof (fun () ->
+      Mdobs.with_scope "exp1" (fun () ->
+          Mdprof.add (Mdprof.counter ~clock:Mdprof.Virtual "c") 1);
+      Alcotest.(check bool) "scoped name registered" true
+        (Mdprof.find "exp1/c" <> None))
+
+(* ---------------- Derived metrics ---------------- *)
+
+let test_derived_rules () =
+  with_prof (fun () ->
+      let c ?unit_ name = Mdprof.counter ?unit_ ~clock:Mdprof.Virtual name in
+      Mdprof.add (c ~unit_:"flops" "dev/flops") 2_000_000;
+      Mdprof.add_f (c ~unit_:"s" "dev/virtual_seconds") 2.0;
+      Mdprof.add (c ~unit_:"bytes" "dev/mem_bytes") 4_000_000;
+      let derived = Mdprof.derived () in
+      let get name =
+        match
+          List.find_opt (fun (n, _, _) -> n = name) derived
+        with
+        | Some (_, v, _) -> v
+        | None -> Alcotest.failf "derived metric %S missing" name
+      in
+      Alcotest.(check (float 1e-9)) "mflops" 1.0 (get "dev/mflops");
+      Alcotest.(check (float 1e-9)) "arithmetic intensity" 0.5
+        (get "dev/arith_intensity"))
+
+(* ---------------- Memsim counter correctness ---------------- *)
+
+(* A handcrafted access pattern with a known hit/miss decomposition,
+   asserted through the registry rather than the Hierarchy accessors:
+   direct-mapped 2-set L1 (64 B lines), so 0 and 128 conflict. *)
+let test_memsim_counters () =
+  with_prof (fun () ->
+      let h =
+        Memsim.Hierarchy.create
+          { Memsim.Hierarchy.l1_line_bytes = 64; l1_sets = 2; l1_ways = 1;
+            l1_hit_cycles = 3; l2_line_bytes = 64; l2_sets = 8; l2_ways = 2;
+            l2_hit_cycles = 12; dram_cycles = 100 }
+      in
+      ignore (Memsim.Hierarchy.access h 0);    (* cold: L1+L2 miss, DRAM *)
+      ignore (Memsim.Hierarchy.access h 0);    (* L1 hit *)
+      ignore (Memsim.Hierarchy.access h 128);  (* conflict: evicts line 0 *)
+      ignore (Memsim.Hierarchy.access h 0);    (* L1 miss, L2 hit *)
+      Alcotest.(check (float 0.0)) "l1 hits" 1.0 (value "mem/l1_hits");
+      Alcotest.(check (float 0.0)) "l1 misses" 3.0 (value "mem/l1_misses");
+      Alcotest.(check (float 0.0)) "l2 hits" 1.0 (value "mem/l2_hits");
+      Alcotest.(check (float 0.0)) "l2 misses" 2.0 (value "mem/l2_misses");
+      Alcotest.(check (float 0.0)) "dram accesses" 2.0
+        (value "mem/dram_accesses");
+      let tlb =
+        Memsim.Tlb.create ~page_bytes:4096 ~entries:2 ~miss_cycles:25 ()
+      in
+      ignore (Memsim.Tlb.access tlb 0);      (* cold miss *)
+      ignore (Memsim.Tlb.access tlb 4095);   (* same page: hit *)
+      ignore (Memsim.Tlb.access tlb 4096);   (* next page: miss *)
+      Alcotest.(check (float 0.0)) "tlb hits" 1.0 (value "mem/tlb_hits");
+      Alcotest.(check (float 0.0)) "tlb misses" 2.0 (value "mem/tlb_misses"))
+
+(* ---------------- Export formats ---------------- *)
+
+let test_json_csv_well_formed () =
+  with_prof (fun () ->
+      Mdprof.add (Mdprof.counter ~clock:Mdprof.Virtual "a/n") 1;
+      Mdprof.set (Mdprof.gauge ~clock:Mdprof.Virtual "a/g") 2.5;
+      Mdprof.observe
+        (Mdprof.histogram ~clock:Mdprof.Virtual ~buckets:[| 1.0 |] "a/h")
+        7.0;
+      Mdprof.add (Mdprof.counter ~clock:Mdprof.Host "host/n") 9;
+      let doc = Sim_util.Minijson.parse (Mdprof.to_json ()) in
+      (match Sim_util.Minijson.member "schema" doc with
+      | Some (Sim_util.Minijson.Str "mdsim-counters-v1") -> ()
+      | _ -> Alcotest.fail "schema field wrong");
+      (match Sim_util.Minijson.member "counters" doc with
+      | Some (Sim_util.Minijson.List rows) ->
+        (* default export is virtual-only: 3 rows, not 4 *)
+        Alcotest.(check int) "virtual rows only" 3 (List.length rows)
+      | _ -> Alcotest.fail "counters field missing");
+      let with_host = Sim_util.Minijson.parse (Mdprof.to_json ~host:true ()) in
+      (match Sim_util.Minijson.member "counters" with_host with
+      | Some (Sim_util.Minijson.List rows) ->
+        Alcotest.(check int) "host rows included" 4 (List.length rows)
+      | _ -> Alcotest.fail "counters field missing");
+      let csv = Mdprof.to_csv () in
+      Alcotest.(check int) "csv: header + 3 rows" 4
+        (List.length
+           (List.filter
+              (fun l -> l <> "")
+              (String.split_on_char '\n' csv))))
+
+(* ---------------- Determinism across pool sizes ---------------- *)
+
+(* The headline guarantee: virtual-clock counters are a pure function of
+   the simulated workload, so the exported profile is byte-identical
+   whatever the host pool size.  Same shape as the Mdobs trace test:
+   fig7 + fig8 through the parallel harness at pool sizes 1 and 4. *)
+let test_counters_pool_invariant () =
+  let run_profiled pool_size =
+    Mdprof.clear ();
+    Mdprof.enable ();
+    Fun.protect
+      ~finally:(fun () -> Mdprof.clear ())
+      (fun () ->
+        let ctx = Harness.Context.create ~scale:Harness.Context.quick_scale () in
+        let pool = Mdpar.get ~domains:pool_size () in
+        let experiments =
+          List.filter_map Harness.Registry.find [ "fig7"; "fig8" ]
+        in
+        ignore (Mdpar.map_list pool (Harness.Report.run_one ctx) experiments);
+        (Mdprof.virtual_counters_string (), Mdprof.to_json ()))
+  in
+  let serial, serial_json = run_profiled 1 in
+  let parallel, parallel_json = run_profiled 4 in
+  Alcotest.(check bool) "profile nonempty" true (String.length serial > 0);
+  Alcotest.(check string) "virtual counters byte-identical" serial parallel;
+  Alcotest.(check string) "counters json byte-identical" serial_json
+    parallel_json
+
+(* ---------------- Minijson ---------------- *)
+
+let test_minijson_values () =
+  let doc =
+    Sim_util.Minijson.parse
+      {|{"a":[1,-2.5e3,"x\n",true,null],"b":{"c":0.125}}|}
+  in
+  (match Sim_util.Minijson.member "a" doc with
+  | Some (Sim_util.Minijson.List
+      [ Sim_util.Minijson.Num one; Sim_util.Minijson.Num neg;
+        Sim_util.Minijson.Str s; Sim_util.Minijson.Bool true;
+        Sim_util.Minijson.Null ]) ->
+    Alcotest.(check (float 0.0)) "int" 1.0 one;
+    Alcotest.(check (float 0.0)) "exponent" (-2500.0) neg;
+    Alcotest.(check string) "escape" "x\n" s
+  | _ -> Alcotest.fail "array shape wrong");
+  match
+    Option.bind
+      (Sim_util.Minijson.member "b" doc)
+      (Sim_util.Minijson.member "c")
+  with
+  | Some (Sim_util.Minijson.Num f) ->
+    Alcotest.(check (float 0.0)) "nested" 0.125 f
+  | _ -> Alcotest.fail "nested member missing"
+
+let test_minijson_surrogates () =
+  match Sim_util.Minijson.parse {|"😀"|} with
+  | Sim_util.Minijson.Str s ->
+    Alcotest.(check string) "surrogate pair decodes to UTF-8"
+      "\xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "expected string"
+
+let test_minijson_rejects () =
+  List.iter
+    (fun bad ->
+      match Sim_util.Minijson.parse bad with
+      | _ -> Alcotest.failf "accepted invalid JSON %S" bad
+      | exception Sim_util.Minijson.Parse_error _ -> ())
+    [ "{"; "[1,]"; {|{"a":}|}; "01"; {|"unterminated|}; "{} extra";
+      {|{"a":1 "b":2}|}; {|"\ud83d"|} ]
+
+(* ---------------- Bench_check ---------------- *)
+
+let baseline_text =
+  {|{
+  "schema": "mdsim-bench-baseline-v1",
+  "default_tolerance": 0.5,
+  "tolerances": { "loose": 9.0 },
+  "entries_ns": { "fast": 100.0, "loose": 100.0, "gone": 50.0 }
+}|}
+
+let test_bench_check_gate () =
+  match Sim_util.Bench_check.parse_baseline baseline_text with
+  | Error msg -> Alcotest.failf "baseline rejected: %s" msg
+  | Ok baseline ->
+    Alcotest.(check (float 0.0)) "default tolerance" 0.5
+      baseline.Sim_util.Bench_check.default_tolerance;
+    let outcome =
+      Sim_util.Bench_check.compare baseline
+        [ ("fast", 40.0); ("loose", 900.0); ("new", 1.0) ]
+    in
+    let status name =
+      let c =
+        List.find
+          (fun c -> c.Sim_util.Bench_check.name = name)
+          outcome.Sim_util.Bench_check.comparisons
+      in
+      c.Sim_util.Bench_check.status
+    in
+    Alcotest.(check bool) "2.5x faster flagged improvement" true
+      (status "fast" = Sim_util.Bench_check.Improvement);
+    Alcotest.(check bool) "9x slower within 10x tolerance" true
+      (status "loose" = Sim_util.Bench_check.Pass);
+    Alcotest.(check bool) "no regression -> not failed" false
+      outcome.Sim_util.Bench_check.failed;
+    Alcotest.(check (list string)) "baseline-only entry noted" [ "gone" ]
+      outcome.Sim_util.Bench_check.missing;
+    Alcotest.(check (list string)) "unbaselined entry noted" [ "new" ]
+      outcome.Sim_util.Bench_check.unbaselined;
+    let failing =
+      Sim_util.Bench_check.compare baseline [ ("fast", 151.0) ]
+    in
+    Alcotest.(check bool) "51% over a 50% tolerance fails" true
+      failing.Sim_util.Bench_check.failed;
+    Alcotest.(check bool) "render marks the regression" true
+      (let rendered = Sim_util.Bench_check.render failing in
+       let contains s sub =
+         let n = String.length s and m = String.length sub in
+         let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+         go 0
+       in
+       contains rendered "REGRESSION" && contains rendered "FAIL")
+
+let test_bench_check_reads_results_schemas () =
+  let v2 =
+    {|{ "schema": "mdsim-bench-v2",
+        "metadata": { "git_commit": "abc" },
+        "results_ns": { "a": 10.0 } }|}
+  in
+  (match Sim_util.Bench_check.parse_baseline v2 with
+  | Ok b ->
+    Alcotest.(check int) "v2 results_ns read" 1
+      (List.length b.Sim_util.Bench_check.entries)
+  | Error msg -> Alcotest.failf "v2 rejected: %s" msg);
+  let v1 =
+    {|{ "schema": "mdsim-bench-v1", "results_ns": { "a": 10.0 } }|}
+  in
+  (match Sim_util.Bench_check.parse_baseline v1 with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "v1 rejected: %s" msg);
+  match
+    Sim_util.Bench_check.parse_baseline {|{ "schema": "other", "x": 1 }|}
+  with
+  | Ok _ -> Alcotest.fail "unknown schema accepted"
+  | Error _ -> ()
+
+let tests =
+  ( "prof",
+    [ Alcotest.test_case "disabled registry is inert" `Quick
+        test_disabled_is_inert;
+      Alcotest.test_case "counters get-or-create and accumulate" `Quick
+        test_counter_get_or_create;
+      Alcotest.test_case "kind mismatch rejected" `Quick
+        test_kind_mismatch_rejected;
+      Alcotest.test_case "gauge high-water" `Quick test_gauge_high_water;
+      Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+      Alcotest.test_case "histogram bounds validated" `Quick
+        test_histogram_bounds_validated;
+      Alcotest.test_case "scope prefixes names" `Quick test_scope_prefix;
+      Alcotest.test_case "derived metric rules" `Quick test_derived_rules;
+      Alcotest.test_case "memsim counters vs handcrafted pattern" `Quick
+        test_memsim_counters;
+      Alcotest.test_case "json/csv exports well-formed" `Quick
+        test_json_csv_well_formed;
+      Alcotest.test_case "minijson values" `Quick test_minijson_values;
+      Alcotest.test_case "minijson surrogate pairs" `Quick
+        test_minijson_surrogates;
+      Alcotest.test_case "minijson rejects invalid" `Quick
+        test_minijson_rejects;
+      Alcotest.test_case "bench_check gate" `Quick test_bench_check_gate;
+      Alcotest.test_case "bench_check reads results schemas" `Quick
+        test_bench_check_reads_results_schemas;
+      Alcotest.test_case "virtual counters pool-invariant" `Slow
+        test_counters_pool_invariant ] )
