@@ -223,6 +223,30 @@ let test_ablation_obs =
                  Mdcore.Forces.compute_gather_domains ~domains:4
                    (Lazy.force par_sys)))) ]
 
+(* Fault-injection overhead ablation (Mdfault): the same Cell timing
+   replay with no plan installed (the default — each site costs one
+   inert-stream check) and with an all-zero-rate plan installed.  The
+   acceptance bar is zero-rate within noise of no-plan: the fast path
+   must not tax the fault-free simulators. *)
+let zero_rate_spec =
+  lazy
+    (match Mdfault.parse_spec "all:0.0" with
+    | Ok spec -> spec
+    | Error msg -> failwith msg)
+
+let test_ablation_fault =
+  Test.make_grouped ~name:"ablation-fault"
+    [ Test.make ~name:"cell-timing-no-plan"
+        (Staged.stage (fun () ->
+             Mdports.Cell_port.time_with (Lazy.force bench_profile)
+               Mdports.Cell_port.default_config));
+      Test.make ~name:"cell-timing-zero-rate"
+        (Staged.stage (fun () ->
+             Mdfault.install (Lazy.force zero_rate_spec);
+             Fun.protect ~finally:Mdfault.uninstall (fun () ->
+                 Mdports.Cell_port.time_with (Lazy.force bench_profile)
+                   Mdports.Cell_port.default_config))) ]
+
 let test_substrates =
   let rng = Sim_util.Rng.create 7 in
   let seq_a = Seqalign.Dna.random rng ~length:64 in
@@ -248,6 +272,7 @@ let all_tests =
     [ test_table1; test_fig5; test_fig6; test_fig7; test_fig8; test_fig9;
       test_ablation_engines; test_ablation_precision; test_ablation_search;
       test_ablation_pool; test_ablation_pairlist_build; test_ablation_obs;
+      test_ablation_fault;
       test_substrates ]
 
 (* Bechamel sampling config, surfaced in the results metadata so a

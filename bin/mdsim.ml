@@ -63,6 +63,75 @@ let apply_domains = function
   | Some d -> Mdpar.set_default_domains d
   | None -> ()
 
+(* One-line numeric-argument validation: a bad value must produce a
+   usable error and exit 2, never a raw exception backtrace from deep
+   inside a port. *)
+let usage_error fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "mdsim: %s\n" msg;
+      exit 2)
+    fmt
+
+let validate_run_args ~atoms ~steps ~density ~temperature =
+  if atoms <= 0 then usage_error "--atoms must be positive (got %d)" atoms;
+  if steps < 0 then usage_error "--steps must be non-negative (got %d)" steps;
+  if (not (Float.is_finite density)) || density <= 0.0 then
+    usage_error "--density must be a finite positive number (got %g)" density;
+  if (not (Float.is_finite temperature)) || temperature < 0.0 then
+    usage_error "--temperature must be a finite non-negative number (got %g)"
+      temperature
+
+let faults_arg =
+  let doc =
+    "Enable deterministic fault injection.  $(docv) is a comma-separated \
+     list of SITE:RATE (sites: cell-dma, cell-mailbox, gpu-pcie, \
+     gpu-texture, mta-retry, mem-bitflip, or $(b,all)), plus optional \
+     seed=INT, retries=INT, backoff=SECS, watchdog=INT.  The same spec \
+     reproduces the identical fault sequence; rate 0.0 is fully inert.  \
+     Defaults to $(b,MDSIM_FAULTS) when set."
+  in
+  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
+
+let fault_log_arg =
+  let doc =
+    "Write the injected-fault event log as JSON (schema mdsim-faults-v1) \
+     to $(docv).  Deterministic: byte-identical across runs and \
+     $(b,--domains) values for the same spec."
+  in
+  Arg.(value & opt (some string) None & info [ "fault-log" ] ~docv:"FILE" ~doc)
+
+(* Like tracing and profiling, the plan must be installed before any
+   machine exists: streams created without a plan are permanently
+   inert. *)
+let start_faults spec_text =
+  let spec_text =
+    match spec_text with
+    | Some _ -> spec_text
+    | None -> Sys.getenv_opt "MDSIM_FAULTS"
+  in
+  match spec_text with
+  | None -> ()
+  | Some text -> (
+    match Mdfault.parse_spec text with
+    | Ok spec -> Mdfault.install spec
+    | Error msg -> usage_error "invalid fault spec %S: %s" text msg)
+
+let finish_fault_log = function
+  | Some path ->
+    Mdobs.write_file ~path (Mdfault.events_json ());
+    Printf.printf "wrote %s\n" path
+  | None -> ()
+
+(* Printed after a run only when something was actually injected, so a
+   zero-rate plan leaves stdout byte-identical to a plan-free run. *)
+let print_fault_summary () =
+  if Mdfault.active () then begin
+    let s = Mdfault.summary () in
+    if s.Mdfault.injected > 0 then
+      print_endline ("  " ^ Mdfault.summary_line s)
+  end
+
 let trace_arg =
   let doc =
     "Record execution to $(docv) as Chrome trace-event JSON (load in \
@@ -177,10 +246,12 @@ let print_result (r : Mdports.Run_result.t) =
 
 let run_cmd =
   let action atoms steps seed density temperature device xyz_path domains
-      trace metrics counters =
+      trace metrics counters faults fault_log =
     apply_domains domains;
+    validate_run_args ~atoms ~steps ~density ~temperature;
     start_trace trace;
     start_counters counters;
+    start_faults faults;
     let system = build_system ~atoms ~seed ~density ~temperature in
     (match xyz_path with
     | Some path ->
@@ -198,23 +269,35 @@ let run_cmd =
       Printf.printf "wrote %d frames to %s\n" (steps + 1) path
     | None -> ());
     let result =
-      match device with
-      | `Opteron -> Mdports.Opteron_port.run ~steps system
-      | `Cell -> Mdports.Cell_port.run ~steps system
-      | `Cell1 ->
-        Mdports.Cell_port.run ~steps
-          ~config:{ Mdports.Cell_port.default_config with n_spes = 1 }
-          system
-      | `Ppe -> Mdports.Cell_port.run_ppe_only ~steps system
-      | `Gpu -> Mdports.Gpu_port.run ~steps system
-      | `Mta -> Mdports.Mta_port.run ~steps system
-      | `Mta_partial ->
-        Mdports.Mta_port.run ~steps
-          ~mode:Mdports.Mta_port.Partially_multithreaded system
+      (* Even with checkpointed step retries a high enough rate can
+         exhaust recovery; report the failure cleanly, with whatever
+         fault log was requested, instead of a backtrace. *)
+      match
+        match device with
+        | `Opteron -> Mdports.Opteron_port.run ~steps system
+        | `Cell -> Mdports.Cell_port.run ~steps system
+        | `Cell1 ->
+          Mdports.Cell_port.run ~steps
+            ~config:{ Mdports.Cell_port.default_config with n_spes = 1 }
+            system
+        | `Ppe -> Mdports.Cell_port.run_ppe_only ~steps system
+        | `Gpu -> Mdports.Gpu_port.run ~steps system
+        | `Mta -> Mdports.Mta_port.run ~steps system
+        | `Mta_partial ->
+          Mdports.Mta_port.run ~steps
+            ~mode:Mdports.Mta_port.Partially_multithreaded system
+      with
+      | r -> r
+      | exception Mdfault.Unrecovered f ->
+        Printf.eprintf "mdsim: %s\n" (Mdfault.failure_message f);
+        finish_fault_log fault_log;
+        exit 1
     in
     print_result result;
+    print_fault_summary ();
     finish_trace trace;
     finish_counters counters;
+    finish_fault_log fault_log;
     match metrics with
     | Some path -> write_run_metrics path result
     | None -> ()
@@ -223,7 +306,7 @@ let run_cmd =
     Term.(
       const action $ atoms_arg $ steps_arg $ seed_arg $ density_arg
       $ temperature_arg $ device_arg $ xyz_arg $ domains_arg $ trace_arg
-      $ metrics_arg $ counters_arg)
+      $ metrics_arg $ counters_arg $ faults_arg $ fault_log_arg)
   in
   let doc = "Run the MD kernel on one device model." in
   Cmd.v (Cmd.info "run" ~doc) term
@@ -235,25 +318,28 @@ let experiment_cmd =
     in
     Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc)
   in
-  let action id quick csv_dir markdown domains trace metrics counters =
+  let action id quick csv_dir markdown domains trace metrics counters faults
+      fault_log =
     apply_domains domains;
     start_trace trace;
     start_counters counters;
+    start_faults faults;
     let scale =
       if quick then Harness.Context.quick_scale
       else Harness.Context.paper_scale
     in
     let ctx = Harness.Context.create ~scale () in
-    let run_list es = List.map (Harness.Report.run_one ctx) es in
-    let outcomes =
+    let run_list es = Harness.Report.run_list_classified ctx es in
+    let classified =
       match id with
-      | "all" -> Harness.Report.run_all ctx
+      | "all" -> Harness.Report.run_all_classified ctx
       | "extensions" -> run_list Harness.Registry.extensions
       | "everything" ->
-        Harness.Report.run_all ctx @ run_list Harness.Registry.extensions
+        Harness.Report.run_all_classified ctx
+        @ run_list Harness.Registry.extensions
       | id -> begin
         match Harness.Registry.find id with
-        | Some e -> [ Harness.Report.run_one ctx e ]
+        | Some e -> run_list [ e ]
         | None ->
           Printf.eprintf
             "unknown experiment %S; available: %s | %s | all, extensions,              everything\n"
@@ -263,8 +349,21 @@ let experiment_cmd =
           exit 2
       end
     in
-    print_endline (Harness.Report.render_all outcomes);
+    let outcomes =
+      List.map (fun c -> c.Harness.Report.outcome) classified
+    in
+    let eventful =
+      List.exists
+        (fun c -> c.Harness.Report.status <> Harness.Report.Ok)
+        classified
+      || (Mdfault.active () && (Mdfault.summary ()).Mdfault.injected > 0)
+    in
+    print_endline (Harness.Report.render_classified classified);
     print_endline (Harness.Report.summary_line outcomes);
+    if eventful then begin
+      print_endline (Harness.Report.classified_summary_line classified);
+      print_endline (Mdfault.summary_line (Mdfault.summary ()))
+    end;
     (match csv_dir with
     | Some dir ->
       let files = Harness.Report.write_csvs ~dir outcomes in
@@ -272,25 +371,36 @@ let experiment_cmd =
     | None -> ());
     (match markdown with
     | Some path ->
-      let oc = open_out path in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () -> output_string oc (Harness.Report.to_markdown outcomes));
+      Mdobs.write_file ~path (Harness.Report.to_markdown outcomes);
       Printf.printf "wrote %s\n" path
     | None -> ());
     finish_trace trace;
     finish_counters counters;
+    finish_fault_log fault_log;
     (match metrics with
     | Some path ->
-      Mdobs.write_file ~path (Harness.Report.metrics_json outcomes);
+      Mdobs.write_file ~path
+        (Harness.Report.metrics_json ~classified outcomes);
       Printf.printf "wrote %s\n" path
     | None -> ());
-    if not (List.for_all Harness.Experiment.all_passed outcomes) then exit 1
+    (* Under fault injection the report is judged on resilience: the
+       process fails only if an experiment ended [Failed].  Without a
+       plan the strict all-checks-pass gate is unchanged. *)
+    if Mdfault.active () then begin
+      if
+        List.exists
+          (fun c -> c.Harness.Report.status = Harness.Report.Failed)
+          classified
+      then exit 1
+    end
+    else if not (List.for_all Harness.Experiment.all_passed outcomes) then
+      exit 1
   in
   let term =
     Term.(
       const action $ id_arg $ quick_arg $ csv_dir_arg $ markdown_arg
-      $ domains_arg $ trace_arg $ metrics_arg $ counters_arg)
+      $ domains_arg $ trace_arg $ metrics_arg $ counters_arg $ faults_arg
+      $ fault_log_arg)
   in
   let doc = "Regenerate a table or figure from the paper." in
   Cmd.v (Cmd.info "experiment" ~doc) term
@@ -336,6 +446,7 @@ let devices_cmd =
 let profile_cmd =
   let action atoms steps seed density temperature quick domains counters =
     apply_domains domains;
+    validate_run_args ~atoms ~steps ~density ~temperature;
     Mdprof.enable ();
     let atoms, steps = if quick then (min atoms 256, min steps 4) else (atoms, steps) in
     let system = build_system ~atoms ~seed ~density ~temperature in
@@ -375,6 +486,8 @@ let align_cmd =
     Arg.(value & pos index int 64 & info [] ~docv:"LEN" ~doc)
   in
   let action seed la lb =
+    if la <= 0 || lb <= 0 then
+      usage_error "sequence lengths must be positive (got %d and %d)" la lb;
     let rng = Sim_util.Rng.create seed in
     let a = Seqalign.Dna.random rng ~length:la in
     let b =

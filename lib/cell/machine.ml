@@ -26,6 +26,8 @@ type t = {
   obs : Mdobs.track option;       (* virtual-clock machine track *)
   obs_spes : Mdobs.track array;   (* one per SPE; empty when untraced *)
   prof : prof_set option;
+  ft_dma : Mdfault.stream;        (* DMA CRC errors -> retransmit *)
+  ft_mailbox : Mdfault.stream;    (* mailbox timeouts -> resend *)
 }
 
 let make_prof cfg =
@@ -73,7 +75,9 @@ let create cfg =
     spawned = 0;
     obs;
     obs_spes;
-    prof = make_prof cfg }
+    prof = make_prof cfg;
+    ft_dma = Mdfault.stream Mdfault.Cell_dma "cell";
+    ft_mailbox = Mdfault.stream Mdfault.Cell_mailbox "cell" }
 
 let config t = t.cfg
 let time t = t.wall
@@ -124,12 +128,29 @@ let count_dma ctx ~bytes =
       Mdprof.add p.p_spe_dma_transfers.(ctx.id) (dma_requests ctx.machine ~bytes)
   | None -> ()
 
+(* A CRC-failed DMA transfer is retransmitted whole: each faulted
+   attempt re-pays the full transfer time, plus the plan's exponential
+   backoff — all virtual seconds on the SPE's DMA clock. *)
+let dma_fault_penalty ctx ~bytes =
+  if Mdfault.inert ctx.machine.ft_dma then 0.0
+  else
+    let failures, backoff =
+      Mdfault.attempt ctx.machine.ft_dma ~detail:(fun () ->
+          Printf.sprintf "spe%d dma crc, %d bytes" ctx.id bytes)
+    in
+    if failures = 0 then 0.0
+    else
+      float_of_int failures
+      *. dma_seconds ~active_spes:ctx.active_spes ctx.machine ~bytes
+      +. backoff
+
 let dma_get ctx ~src ~src_pos ~dst ~dst_pos ~len =
   Local_store.blit_from_array ~src ~src_pos ~dst ~dst_pos ~len;
   count_dma ctx ~bytes:(len * 4);
   ctx.dma <-
     ctx.dma
     +. dma_seconds ~active_spes:ctx.active_spes ctx.machine ~bytes:(len * 4)
+    +. dma_fault_penalty ctx ~bytes:(len * 4)
 
 let dma_put ctx ~src ~src_pos ~dst ~dst_pos ~len =
   Local_store.blit_to_array ~src ~src_pos ~dst ~dst_pos ~len;
@@ -137,6 +158,7 @@ let dma_put ctx ~src ~src_pos ~dst ~dst_pos ~len =
   ctx.dma <-
     ctx.dma
     +. dma_seconds ~active_spes:ctx.active_spes ctx.machine ~bytes:(len * 4)
+    +. dma_fault_penalty ctx ~bytes:(len * 4)
 
 let charge_cycles ctx cycles =
   if cycles < 0.0 then invalid_arg "Machine.charge_cycles: negative";
@@ -171,6 +193,26 @@ let offload t ~spes ~mode kernel =
   in
   let spawn_time = float_of_int spawn_count *. t.cfg.spawn_seconds in
   let signal_time = float_of_int signal_count *. t.cfg.mailbox_seconds in
+  (* A timed-out mailbox roundtrip is resent; the resends serialize on
+     the PPE like the original signals. *)
+  let signal_time =
+    if Mdfault.inert t.ft_mailbox then signal_time
+    else begin
+      let extra = ref 0.0 in
+      for op = 1 to signal_count do
+        let failures, backoff =
+          Mdfault.attempt t.ft_mailbox ~detail:(fun () ->
+              Printf.sprintf "mailbox op %d/%d timeout" op signal_count)
+        in
+        if failures > 0 then
+          extra :=
+            !extra
+            +. (float_of_int failures *. t.cfg.mailbox_seconds)
+            +. backoff
+      done;
+      signal_time +. !extra
+    end
+  in
   let t0 = t.wall in
   let busy_start = t0 +. spawn_time +. signal_time in
   (* Run the kernels; virtual time advances by the slowest SPE. *)

@@ -40,6 +40,13 @@ let copy t =
     acc_x = Array.copy t.acc_x; acc_y = Array.copy t.acc_y;
     acc_z = Array.copy t.acc_z }
 
+let restore ~dst ~src =
+  if dst.n <> src.n then invalid_arg "System.restore: size mismatch";
+  let b s d = Array.blit s 0 d 0 src.n in
+  b src.pos_x dst.pos_x; b src.pos_y dst.pos_y; b src.pos_z dst.pos_z;
+  b src.vel_x dst.vel_x; b src.vel_y dst.vel_y; b src.vel_z dst.vel_z;
+  b src.acc_x dst.acc_x; b src.acc_y dst.acc_y; b src.acc_z dst.acc_z
+
 let position t i = Vec3.make t.pos_x.(i) t.pos_y.(i) t.pos_z.(i)
 let velocity t i = Vec3.make t.vel_x.(i) t.vel_y.(i) t.vel_z.(i)
 let acceleration t i = Vec3.make t.acc_x.(i) t.acc_y.(i) t.acc_z.(i)

@@ -28,6 +28,11 @@ val create : n:int -> box:float -> params:Params.t -> t
 
 val copy : t -> t
 
+val restore : dst:t -> src:t -> unit
+(** Blit all nine arrays of [src] over [dst] (positions, velocities,
+    accelerations) — checkpoint/rollback for mid-step device-failure
+    recovery.  Requires equal [n]. *)
+
 val position : t -> int -> Vecmath.Vec3.t
 val velocity : t -> int -> Vecmath.Vec3.t
 val acceleration : t -> int -> Vecmath.Vec3.t

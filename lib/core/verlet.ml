@@ -42,14 +42,38 @@ let make_record s ~step:n ~pe =
     total_energy = ke +. pe;
     temperature = Observables.temperature s }
 
-let run s ~engine ~steps ?(record = fun _ -> ()) () =
+let run s ~engine ~steps ?(max_step_retries = 0) ?(record = fun _ -> ()) () =
   if steps < 0 then invalid_arg "Verlet.run: steps < 0";
-  let pe0 = prepare s ~engine in
+  if max_step_retries < 0 then invalid_arg "Verlet.run: max_step_retries < 0";
+  (* Checkpointed execution: snapshot the full SoA state before each
+     force evaluation, and on a mid-step device failure (an unrecovered
+     fault escaping the engine) roll back and re-execute the step.  The
+     snapshot buffer is reused across steps; the fault-free path with
+     [max_step_retries = 0] allocates nothing and runs the exact
+     pre-checkpointing code. *)
+  let checkpoint = if max_step_retries > 0 then Some (System.copy s) else None in
+  let checkpointed f =
+    match checkpoint with
+    | None -> f ()
+    | Some snap ->
+      System.restore ~dst:snap ~src:s;
+      let rec go attempt =
+        match f () with
+        | r ->
+          if attempt > 0 then Mdfault.note_recovered_step ();
+          r
+        | exception Mdfault.Unrecovered _ when attempt < max_step_retries ->
+          System.restore ~dst:s ~src:snap;
+          go (attempt + 1)
+      in
+      go 0
+  in
+  let pe0 = checkpointed (fun () -> prepare s ~engine) in
   let first = make_record s ~step:0 ~pe:pe0 in
   record first;
   let rest =
     List.init steps (fun k ->
-        let pe = step s ~engine in
+        let pe = checkpointed (fun () -> step s ~engine) in
         let r = make_record s ~step:(k + 1) ~pe in
         record r;
         r)

@@ -38,7 +38,17 @@ val drift : System.t -> unit
 (** x += v·Δt, with periodic re-wrap. *)
 
 val run : System.t -> engine:Engine.t -> steps:int ->
+  ?max_step_retries:int ->
   ?record:(step_record -> unit) -> unit -> step_record list
 (** [run s ~engine ~steps ()] integrates [steps] steps and returns one
     record per step (including a step-0 record for the initial state).
-    [record] is additionally called with each record as it is produced. *)
+    [record] is additionally called with each record as it is produced.
+
+    [max_step_retries] (default 0) enables checkpointed recovery: the
+    SoA state is snapshotted before every force evaluation, and when the
+    engine raises {!Mdfault.Unrecovered} mid-step the state is rolled
+    back and the step re-executed, up to that many times per step —
+    ports pass [Mdfault.step_retries ()].  The re-execution draws fresh
+    fault-stream values, so a transient device failure converges to the
+    fault-free trajectory.  With 0 retries the fault-free path is
+    unchanged (and allocation-free). *)

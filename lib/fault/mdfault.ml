@@ -1,0 +1,537 @@
+module Rng = Sim_util.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Sites                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type site =
+  | Cell_dma
+  | Cell_mailbox
+  | Gpu_pcie
+  | Gpu_texture
+  | Mta_retry
+  | Mem_bitflip
+
+let all_sites =
+  [ Cell_dma; Cell_mailbox; Gpu_pcie; Gpu_texture; Mta_retry; Mem_bitflip ]
+
+let site_name = function
+  | Cell_dma -> "cell-dma"
+  | Cell_mailbox -> "cell-mailbox"
+  | Gpu_pcie -> "gpu-pcie"
+  | Gpu_texture -> "gpu-texture"
+  | Mta_retry -> "mta-retry"
+  | Mem_bitflip -> "mem-bitflip"
+
+let site_of_name name =
+  List.find_opt (fun s -> site_name s = name) all_sites
+
+(* ------------------------------------------------------------------ *)
+(* Plans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type policy = {
+  max_retries : int;
+  base_backoff_s : float;
+  backoff_multiplier : float;
+  watchdog_limit : int;
+}
+
+let default_policy =
+  { max_retries = 4;
+    base_backoff_s = 1e-6;
+    backoff_multiplier = 2.0;
+    watchdog_limit = 64 }
+
+type spec = { seed : int; rates : (site * float) list; policy : policy }
+
+let spec_rate spec site =
+  match List.assoc_opt site spec.rates with Some r -> r | None -> 0.0
+
+let parse_spec text =
+  let ( let* ) = Result.bind in
+  let parse_item acc item =
+    let* seed, rates, policy = acc in
+    let item = String.trim item in
+    if item = "" then Error "empty item in fault spec"
+    else
+      match String.index_opt item '=' with
+      | Some i ->
+        let key = String.trim (String.sub item 0 i) in
+        let v = String.trim (String.sub item (i + 1) (String.length item - i - 1)) in
+        begin
+          match key with
+          | "seed" -> begin
+            match int_of_string_opt v with
+            | Some s -> Ok (s, rates, policy)
+            | None -> Error (Printf.sprintf "seed=%s is not an integer" v)
+          end
+          | "retries" -> begin
+            match int_of_string_opt v with
+            | Some r when r >= 0 -> Ok (seed, rates, { policy with max_retries = r })
+            | _ -> Error (Printf.sprintf "retries=%s must be a non-negative integer" v)
+          end
+          | "backoff" -> begin
+            match float_of_string_opt v with
+            | Some b when Float.is_finite b && b >= 0.0 ->
+              Ok (seed, rates, { policy with base_backoff_s = b })
+            | _ -> Error (Printf.sprintf "backoff=%s must be a finite non-negative number of seconds" v)
+          end
+          | "watchdog" -> begin
+            match int_of_string_opt v with
+            | Some w when w > 0 -> Ok (seed, rates, { policy with watchdog_limit = w })
+            | _ -> Error (Printf.sprintf "watchdog=%s must be a positive integer" v)
+          end
+          | _ -> Error (Printf.sprintf "unknown fault option %S" key)
+        end
+      | None -> begin
+        match String.index_opt item ':' with
+        | None ->
+          Error
+            (Printf.sprintf
+               "%S is not SITE:RATE or KEY=VALUE (sites: %s, all)" item
+               (String.concat ", " (List.map site_name all_sites)))
+        | Some i ->
+          let name = String.trim (String.sub item 0 i) in
+          let v = String.trim (String.sub item (i + 1) (String.length item - i - 1)) in
+          let* rate =
+            match float_of_string_opt v with
+            | Some r when Float.is_finite r && r >= 0.0 && r <= 1.0 -> Ok r
+            | _ ->
+              Error
+                (Printf.sprintf
+                   "fault rate %S for %s must be a finite number in [0, 1]" v
+                   name)
+          in
+          let* sites =
+            if name = "all" then Ok all_sites
+            else
+              match site_of_name name with
+              | Some s -> Ok [ s ]
+              | None ->
+                Error
+                  (Printf.sprintf "unknown fault site %S (sites: %s, all)" name
+                     (String.concat ", " (List.map site_name all_sites)))
+          in
+          let rates =
+            List.fold_left
+              (fun rates s -> (s, rate) :: List.remove_assoc s rates)
+              rates sites
+          in
+          Ok (seed, rates, policy)
+      end
+  in
+  let items = String.split_on_char ',' text in
+  let* seed, rates, policy =
+    List.fold_left parse_item (Ok (42, [], default_policy)) items
+  in
+  Ok { seed; rates; policy }
+
+(* ------------------------------------------------------------------ *)
+(* Failures                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type failure = {
+  f_site : site;
+  f_stream : string;
+  f_attempts : int;
+  f_detail : string;
+}
+
+exception Unrecovered of failure
+
+let failure_message f =
+  Printf.sprintf "unrecovered %s fault at %s after %d attempts: %s"
+    (site_name f.f_site) f.f_stream f.f_attempts f.f_detail
+
+let () =
+  Printexc.register_printer (function
+    | Unrecovered f -> Some ("Mdfault.Unrecovered: " ^ failure_message f)
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Streams and the active plan                                         *)
+(* ------------------------------------------------------------------ *)
+
+type event = {
+  e_site : site;
+  e_stream : string;
+  e_index : int;
+  e_attempts : int;
+  e_recovered : bool;
+  e_detail : string;
+}
+
+(* Bounded per-stream event log: a rate-1.0 stress run must not grow
+   without bound.  The cap is deterministic, so capped logs still
+   compare byte-identical across runs. *)
+let max_events_per_stream = 10_000
+
+type stream = {
+  st_site : site;
+  st_name : string;
+  st_rate : float;
+  st_rng : Rng.t option;  (* None = permanently inert *)
+  st_policy : policy;
+  mutable st_events : event list;  (* newest first *)
+  mutable st_event_count : int;
+  mutable st_injected : int;
+  mutable st_retries : int;
+  mutable st_recoveries : int;
+  mutable st_unrecovered : int;
+  mutable st_backoff_s : float;
+  mutable st_consecutive : int;  (* consecutive faulted sync ops *)
+}
+
+let make_stream ?rng ?(policy = default_policy) ~site ~name ~rate () =
+  { st_site = site;
+    st_name = name;
+    st_rate = rate;
+    st_rng = rng;
+    st_policy = policy;
+    st_events = [];
+    st_event_count = 0;
+    st_injected = 0;
+    st_retries = 0;
+    st_recoveries = 0;
+    st_unrecovered = 0;
+    st_backoff_s = 0.0;
+    st_consecutive = 0 }
+
+type plan = {
+  spec : spec;
+  streams : (string, stream) Hashtbl.t;
+  plan_mutex : Mutex.t;
+  recovered_steps : int Atomic.t;
+}
+
+let current : plan option Atomic.t = Atomic.make None
+
+let install spec =
+  Atomic.set current
+    (Some
+       { spec;
+         streams = Hashtbl.create 16;
+         plan_mutex = Mutex.create ();
+         recovered_steps = Atomic.make 0 })
+
+let uninstall () = Atomic.set current None
+let active () = Atomic.get current <> None
+
+let current_spec () =
+  Option.map (fun p -> p.spec) (Atomic.get current)
+
+let step_retries () =
+  match Atomic.get current with
+  | Some p -> p.spec.policy.max_retries
+  | None -> 0
+
+(* Per-domain suspension: the harness degradation path re-runs a failed
+   experiment fault-free without disturbing other pool workers. *)
+let suspended_key : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let with_suspended f =
+  let saved = Domain.DLS.get suspended_key in
+  Domain.DLS.set suspended_key true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set suspended_key saved) f
+
+let suspended () = Domain.DLS.get suspended_key
+
+(* Stream PRNG seed: FNV-1a of the full scoped name mixed with the plan
+   seed — each site instance gets an independent, reproducible stream. *)
+let hash_name name =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun ch ->
+      h :=
+        Int64.mul
+          (Int64.logxor !h (Int64.of_int (Char.code ch)))
+          0x100000001b3L)
+    name;
+  !h
+
+let seed_for spec name =
+  Int64.to_int
+    (Int64.logxor (hash_name name)
+       (Int64.mul (Int64.of_int spec.seed) 0x9E3779B97F4A7C15L))
+
+let stream site base =
+  match Atomic.get current with
+  | None -> make_stream ~site ~name:base ~rate:0.0 ()
+  | Some plan ->
+    let scope = Mdobs.current_scope () in
+    let scoped = if scope = "" then base else scope ^ "/" ^ base in
+    let name = scoped ^ ":" ^ site_name site in
+    let rate = spec_rate plan.spec site in
+    if rate <= 0.0 then make_stream ~site ~name ~rate:0.0 ()
+    else begin
+      Mutex.lock plan.plan_mutex;
+      let st =
+        match Hashtbl.find_opt plan.streams name with
+        | Some st -> st
+        | None ->
+          let st =
+            make_stream
+              ~rng:(Rng.create (seed_for plan.spec name))
+              ~policy:plan.spec.policy ~site ~name ~rate ()
+          in
+          Hashtbl.add plan.streams name st;
+          st
+      in
+      Mutex.unlock plan.plan_mutex;
+      st
+    end
+
+let inert st = st.st_rng = None
+
+(* ------------------------------------------------------------------ *)
+(* Recording                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Mdprof counters are created lazily at the first event under the
+   current scope, so a zero-event run exports byte-identical counter
+   profiles.  Events are rare, so the get-or-create cost is fine. *)
+let bump_prof st ~injected ~retries ~recoveries ~unrecovered ~backoff =
+  if Mdprof.enabled () then begin
+    let c ?unit_ suffix =
+      Mdprof.counter ?unit_ ~clock:Mdprof.Virtual
+        (Printf.sprintf "fault/%s/%s" (site_name st.st_site) suffix)
+    in
+    if injected > 0 then Mdprof.add (c "faults_injected") injected;
+    if retries > 0 then Mdprof.add (c "retries") retries;
+    if recoveries > 0 then Mdprof.add (c "recoveries") recoveries;
+    if unrecovered > 0 then Mdprof.add (c "unrecovered") unrecovered;
+    if backoff > 0.0 then
+      Mdprof.add_f (c ~unit_:"s" "backoff_virtual_seconds") backoff
+  end
+
+let record st ~attempts ~recovered ~detail =
+  let ev =
+    { e_site = st.st_site;
+      e_stream = st.st_name;
+      e_index = st.st_event_count;
+      e_attempts = attempts;
+      e_recovered = recovered;
+      e_detail = detail () }
+  in
+  if st.st_event_count < max_events_per_stream then
+    st.st_events <- ev :: st.st_events;
+  st.st_event_count <- st.st_event_count + 1
+
+let backoff_seconds policy k =
+  policy.base_backoff_s *. (policy.backoff_multiplier ** float_of_int k)
+
+(* ------------------------------------------------------------------ *)
+(* Injection primitives                                                *)
+(* ------------------------------------------------------------------ *)
+
+let fire st =
+  match st.st_rng with
+  | None -> false
+  | Some rng -> if suspended () then false else Rng.float rng < st.st_rate
+
+let draw_int st n =
+  match st.st_rng with None -> 0 | Some rng -> Rng.int_below rng n
+
+let attempt st ~detail =
+  match st.st_rng with
+  | None -> (0, 0.0)
+  | Some _ when suspended () -> (0, 0.0)
+  | Some _ ->
+    let p = st.st_policy in
+    let rec go failures backoff =
+      if not (fire st) then (failures, backoff)
+      else if failures >= p.max_retries then begin
+        (* this fault exhausted the retry budget *)
+        let attempts = failures + 1 in
+        st.st_injected <- st.st_injected + attempts;
+        st.st_retries <- st.st_retries + failures;
+        st.st_unrecovered <- st.st_unrecovered + 1;
+        st.st_backoff_s <- st.st_backoff_s +. backoff;
+        record st ~attempts ~recovered:false ~detail;
+        bump_prof st ~injected:attempts ~retries:failures ~recoveries:0
+          ~unrecovered:1 ~backoff;
+        raise
+          (Unrecovered
+             { f_site = st.st_site;
+               f_stream = st.st_name;
+               f_attempts = attempts;
+               f_detail = detail () })
+      end
+      else go (failures + 1) (backoff +. backoff_seconds p failures)
+    in
+    let failures, backoff = go 0 0.0 in
+    if failures > 0 then begin
+      st.st_injected <- st.st_injected + failures;
+      st.st_retries <- st.st_retries + failures;
+      st.st_recoveries <- st.st_recoveries + 1;
+      st.st_backoff_s <- st.st_backoff_s +. backoff;
+      record st ~attempts:failures ~recovered:true ~detail;
+      bump_prof st ~injected:failures ~retries:failures ~recoveries:1
+        ~unrecovered:0 ~backoff
+    end;
+    (failures, backoff)
+
+let storm st ~detail =
+  match st.st_rng with
+  | None -> (0, 0.0)
+  | Some _ when suspended () -> (0, 0.0)
+  | Some _ ->
+    if not (fire st) then begin
+      st.st_consecutive <- 0;
+      (0, 0.0)
+    end
+    else begin
+      let p = st.st_policy in
+      st.st_consecutive <- st.st_consecutive + 1;
+      if st.st_consecutive >= p.watchdog_limit then begin
+        let attempts = st.st_consecutive in
+        (* reset so a checkpointed re-execution starts a fresh window *)
+        st.st_consecutive <- 0;
+        st.st_injected <- st.st_injected + 1;
+        st.st_unrecovered <- st.st_unrecovered + 1;
+        record st ~attempts ~recovered:false ~detail;
+        bump_prof st ~injected:1 ~retries:0 ~recoveries:0 ~unrecovered:1
+          ~backoff:0.0;
+        raise
+          (Unrecovered
+             { f_site = st.st_site;
+               f_stream = st.st_name;
+               f_attempts = attempts;
+               f_detail = "livelock watchdog: " ^ detail () })
+      end;
+      let extra = 1 + draw_int st 15 in
+      let backoff = ref 0.0 in
+      for k = 0 to extra - 1 do
+        backoff := !backoff +. backoff_seconds p k
+      done;
+      st.st_injected <- st.st_injected + 1;
+      st.st_retries <- st.st_retries + extra;
+      st.st_recoveries <- st.st_recoveries + 1;
+      st.st_backoff_s <- st.st_backoff_s +. !backoff;
+      record st ~attempts:extra ~recovered:true ~detail;
+      bump_prof st ~injected:1 ~retries:extra ~recoveries:1 ~unrecovered:0
+        ~backoff:!backoff;
+      (extra, !backoff)
+    end
+
+let record_silent st ~detail =
+  st.st_injected <- st.st_injected + 1;
+  record st ~attempts:0 ~recovered:false ~detail;
+  bump_prof st ~injected:1 ~retries:0 ~recoveries:0 ~unrecovered:0 ~backoff:0.0
+
+let note_recovered_step () =
+  match Atomic.get current with
+  | None -> ()
+  | Some plan ->
+    Atomic.incr plan.recovered_steps;
+    if Mdprof.enabled () then
+      Mdprof.incr (Mdprof.counter ~clock:Mdprof.Virtual "fault/step_recoveries")
+
+(* ------------------------------------------------------------------ *)
+(* Event log and summaries                                             *)
+(* ------------------------------------------------------------------ *)
+
+type summary = {
+  injected : int;
+  retries : int;
+  recoveries : int;
+  unrecovered : int;
+  backoff_seconds : float;
+  recovered_steps : int;
+}
+
+let sorted_streams ?(prefix = "") plan =
+  Mutex.lock plan.plan_mutex;
+  let all = Hashtbl.fold (fun _ st acc -> st :: acc) plan.streams [] in
+  Mutex.unlock plan.plan_mutex;
+  all
+  |> List.filter (fun st -> String.starts_with ~prefix st.st_name)
+  |> List.sort (fun a b -> compare a.st_name b.st_name)
+
+let summary ?prefix () =
+  match Atomic.get current with
+  | None ->
+    { injected = 0; retries = 0; recoveries = 0; unrecovered = 0;
+      backoff_seconds = 0.0; recovered_steps = 0 }
+  | Some plan ->
+    let streams = sorted_streams ?prefix plan in
+    let acc =
+      List.fold_left
+        (fun acc st ->
+          { acc with
+            injected = acc.injected + st.st_injected;
+            retries = acc.retries + st.st_retries;
+            recoveries = acc.recoveries + st.st_recoveries;
+            unrecovered = acc.unrecovered + st.st_unrecovered;
+            backoff_seconds = acc.backoff_seconds +. st.st_backoff_s })
+        { injected = 0; retries = 0; recoveries = 0; unrecovered = 0;
+          backoff_seconds = 0.0; recovered_steps = 0 }
+        streams
+    in
+    if prefix = None then
+      { acc with recovered_steps = Atomic.get plan.recovered_steps }
+    else acc
+
+let events ?prefix () =
+  match Atomic.get current with
+  | None -> []
+  | Some plan ->
+    sorted_streams ?prefix plan
+    |> List.concat_map (fun st -> List.rev st.st_events)
+
+let events_string ?prefix () =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s #%d attempts=%d %s %s\n" (site_name e.e_site)
+           e.e_stream e.e_index e.e_attempts
+           (if e.e_recovered then "recovered" else "not-recovered")
+           e.e_detail))
+    (events ?prefix ());
+  Buffer.contents buf
+
+let summary_line s =
+  Printf.sprintf
+    "faults: %d injected, %d retries, %d recovered, %d unrecovered, %d step \
+     restores, %.2f us virtual backoff"
+    s.injected s.retries s.recoveries s.unrecovered s.recovered_steps
+    (s.backoff_seconds *. 1e6)
+
+let events_json () =
+  let esc = Mdobs.json_escape in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n\"schema\":\"mdsim-faults-v1\"";
+  (match current_spec () with
+  | Some spec ->
+    Buffer.add_string buf (Printf.sprintf ",\n\"seed\":%d,\n\"rates\":{" spec.seed);
+    List.iteri
+      (fun i site ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf
+          (Printf.sprintf "\"%s\":%.17g" (site_name site) (spec_rate spec site)))
+      all_sites;
+    Buffer.add_string buf
+      (Printf.sprintf
+         "},\n\"policy\":{\"max_retries\":%d,\"base_backoff_s\":%.17g,\"backoff_multiplier\":%.17g,\"watchdog_limit\":%d}"
+         spec.policy.max_retries spec.policy.base_backoff_s
+         spec.policy.backoff_multiplier spec.policy.watchdog_limit)
+  | None -> ());
+  Buffer.add_string buf ",\n\"events\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n{\"site\":\"%s\",\"stream\":\"%s\",\"index\":%d,\"attempts\":%d,\"recovered\":%b,\"detail\":\"%s\"}"
+           (site_name e.e_site) (esc e.e_stream) e.e_index e.e_attempts
+           e.e_recovered (esc e.e_detail)))
+    (events ());
+  let s = summary () in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\n],\n\"summary\":{\"injected\":%d,\"retries\":%d,\"recoveries\":%d,\"unrecovered\":%d,\"backoff_seconds\":%.17g,\"recovered_steps\":%d}\n}\n"
+       s.injected s.retries s.recoveries s.unrecovered s.backoff_seconds
+       s.recovered_steps);
+  Buffer.contents buf

@@ -28,6 +28,8 @@ type t = {
   mutable vram_peak : int;
   obs : Mdobs.track option;  (* virtual-clock machine track *)
   prof : prof_set option;
+  ft_pcie : Mdfault.stream;     (* PCIe corruption/drop -> retransfer *)
+  ft_texture : Mdfault.stream;  (* silent VRAM read bit flip (no ECC) *)
 }
 
 let make_prof () =
@@ -53,7 +55,9 @@ let create cfg =
     else None
   in
   { cfg; ledger = Ledger.create (); wall = 0.0; vram = 0; vram_peak = 0; obs;
-    prof = make_prof () }
+    prof = make_prof ();
+    ft_pcie = Mdfault.stream Mdfault.Gpu_pcie "gpu";
+    ft_texture = Mdfault.stream Mdfault.Gpu_texture "gpu" }
 
 let config t = t.cfg
 let time t = t.wall
@@ -125,28 +129,44 @@ let render_target_size rt = Array.length rt.pixels
 let transfer_seconds t ~bytes ~bandwidth =
   Units.transfer_seconds ~bytes ~bandwidth ~latency:t.cfg.transfer_latency
 
+(* A corrupted or dropped PCIe transfer is detected by checksum and
+   retransferred whole: each faulted attempt re-pays the full transfer,
+   plus the driver's exponential backoff. *)
+let pcie_fault_penalty t ~dir ~bytes ~bandwidth =
+  if Mdfault.inert t.ft_pcie then 0.0
+  else
+    let failures, backoff =
+      Mdfault.attempt t.ft_pcie ~detail:(fun () ->
+          Printf.sprintf "pcie %s checksum, %d bytes" dir bytes)
+    in
+    if failures = 0 then 0.0
+    else
+      (float_of_int failures *. transfer_seconds t ~bytes ~bandwidth)
+      +. backoff
+
 let upload t tex data =
   if Array.length data <> Array.length tex.data then
     invalid_arg
       (Printf.sprintf "Gpustream.upload: size mismatch for %s" tex.tex_name);
   Array.blit data 0 tex.data 0 (Array.length data);
+  let bytes = Array.length data * texel_bytes in
   (match t.prof with
-  | Some p -> Mdprof.add p.p_pcie_bytes_up (Array.length data * texel_bytes)
+  | Some p -> Mdprof.add p.p_pcie_bytes_up bytes
   | None -> ());
   charge t Upload
-    (transfer_seconds t
-       ~bytes:(Array.length data * texel_bytes)
-       ~bandwidth:t.cfg.upload_bandwidth)
+    (transfer_seconds t ~bytes ~bandwidth:t.cfg.upload_bandwidth
+    +. pcie_fault_penalty t ~dir:"up" ~bytes
+         ~bandwidth:t.cfg.upload_bandwidth)
 
 let readback t rt =
+  let bytes = Array.length rt.pixels * texel_bytes in
   (match t.prof with
-  | Some p ->
-      Mdprof.add p.p_pcie_bytes_down (Array.length rt.pixels * texel_bytes)
+  | Some p -> Mdprof.add p.p_pcie_bytes_down bytes
   | None -> ());
   charge t Readback
-    (transfer_seconds t
-       ~bytes:(Array.length rt.pixels * texel_bytes)
-       ~bandwidth:t.cfg.readback_bandwidth);
+    (transfer_seconds t ~bytes ~bandwidth:t.cfg.readback_bandwidth
+    +. pcie_fault_penalty t ~dir:"down" ~bytes
+         ~bandwidth:t.cfg.readback_bandwidth);
   Array.copy rt.pixels
 
 let release t bytes =
@@ -169,7 +189,26 @@ let resolve_to_texture t rt tex =
   | None -> ());
   charge t Dispatch t.cfg.dispatch_overhead
 
-type sampler = { bound : texture array; fetches : Mdprof.counter option }
+type sampler = {
+  bound : texture array;
+  fetches : Mdprof.counter option;
+  ft_texture : Mdfault.stream;
+}
+
+(* Consumer VRAM has no ECC: a bit flip on the texture-read path is
+   silent.  Flip one drawn bit of one drawn lane in the binary32
+   representation of the fetched texel — the store is untouched, only
+   this read observes the corruption. *)
+let texture_flip s tex i v =
+  let lane = Mdfault.draw_int s.ft_texture 4 in
+  let bit = Mdfault.draw_int s.ft_texture 32 in
+  Mdfault.record_silent s.ft_texture ~detail:(fun () ->
+      Printf.sprintf "%s texel %d lane %d bit %d" tex.tex_name i lane bit);
+  let bits = Int32.bits_of_float (Vecmath.Vec4f.lane v lane) in
+  let flipped =
+    Int32.float_of_bits (Int32.logxor bits (Int32.shift_left 1l bit))
+  in
+  Vecmath.Vec4f.with_lane v lane flipped
 
 let sample s ~input i =
   if input < 0 || input >= Array.length s.bound then
@@ -180,7 +219,10 @@ let sample s ~input i =
       (Printf.sprintf "Gpustream.sample: texel %d out of range for %s" i
          tex.tex_name);
   (match s.fetches with Some c -> Mdprof.incr c | None -> ());
-  tex.data.(i)
+  let v = tex.data.(i) in
+  if (not (Mdfault.inert s.ft_texture)) && Mdfault.fire s.ft_texture then
+    texture_flip s tex i v
+  else v
 
 let compile t ~name ~body ~prologue =
   charge t Setup t.cfg.jit_seconds;
@@ -194,7 +236,8 @@ let dispatch t shader ~inputs ~target ?(loop_trip = 1) ~f () =
   if loop_trip < 0 then invalid_arg "Gpustream.dispatch: loop_trip < 0";
   let sampler =
     { bound = Array.of_list inputs;
-      fetches = Option.map (fun p -> p.p_texture_fetches) t.prof }
+      fetches = Option.map (fun p -> p.p_texture_fetches) t.prof;
+      ft_texture = t.ft_texture }
   in
   let n = Array.length target.pixels in
   (match t.prof with

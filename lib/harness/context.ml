@@ -61,7 +61,7 @@ let scale t = t.scale
 let memo ?scope t tbl key compute =
   let compute =
     match scope with
-    | Some s when Mdobs.enabled () || Mdprof.enabled () ->
+    | Some s when Mdobs.enabled () || Mdprof.enabled () || Mdfault.active () ->
       fun () -> Mdobs.with_scope s compute
     | _ -> compute
   in

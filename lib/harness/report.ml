@@ -30,30 +30,147 @@ let run_one ctx (e : Experiment.t) =
     Mdobs.with_scope e.id (fun () ->
         let tr = Mdobs.new_track ~clock:Mdobs.Host "wall" in
         Mdobs.host_span tr ~name:e.id (fun () -> e.run ctx))
-  else if Mdprof.enabled () then Mdobs.with_scope e.id (fun () -> e.run ctx)
+  else if Mdprof.enabled () || Mdfault.active () then
+    Mdobs.with_scope e.id (fun () -> e.run ctx)
   else e.run ctx
+
+(* ------------------------------------------------------------------ *)
+(* Classified runs: isolation + graceful degradation                   *)
+(* ------------------------------------------------------------------ *)
+
+type status = Ok | Recovered | Degraded | Failed
+
+let status_name = function
+  | Ok -> "ok"
+  | Recovered -> "recovered"
+  | Degraded -> "degraded"
+  | Failed -> "failed"
+
+type classified = {
+  outcome : Experiment.outcome;
+  status : status;
+  error : string option;
+  faults : Mdfault.summary;
+}
+
+(* The synthesized outcome standing in for an experiment whose run (and
+   fault-free fallback) raised: the report stays complete, the failure
+   is a failed check, and nothing downstream has to special-case it. *)
+let failure_outcome (e : Experiment.t) msg =
+  let table = Sim_util.Table.create ~headers:[ "status"; "detail" ] in
+  Sim_util.Table.add_row table [ "failed"; msg ];
+  { Experiment.id = e.id;
+    title = e.title;
+    table;
+    checks =
+      [ { Experiment.name = "completed"; passed = false; detail = msg } ];
+    notes = [ "experiment aborted: " ^ msg ];
+    figure = None;
+    virtual_seconds = [] }
+
+(* Fault streams are scoped under the experiment id, so the summary over
+   the [id ^ "/"] prefix is exactly this experiment's injected faults.
+   (Faults hitting ctx-memoized shared artifacts live under "ctx/" and
+   are not attributed to a single experiment.) *)
+let fault_summary_for (e : Experiment.t) =
+  Mdfault.summary ~prefix:(e.Experiment.id ^ "/") ()
+
+let run_one_classified ctx (e : Experiment.t) =
+  match run_one ctx e with
+  | outcome ->
+    let faults = fault_summary_for e in
+    let status =
+      if faults.Mdfault.injected > 0 || faults.Mdfault.recoveries > 0 then
+        Recovered
+      else Ok
+    in
+    { outcome; status; error = None; faults }
+  | exception exn ->
+    let error = Printexc.to_string exn in
+    (* Graceful degradation: re-run fault-free (injection suspended on
+       this domain only — concurrent experiments keep their streams),
+       the reference behaviour the report falls back to. *)
+    let fallback =
+      if Mdfault.active () then
+        match Mdfault.with_suspended (fun () -> run_one ctx e) with
+        | o -> Some o
+        | exception _ -> None
+      else None
+    in
+    let faults = fault_summary_for e in
+    (match fallback with
+    | Some o ->
+      let o =
+        { o with
+          Experiment.notes =
+            o.Experiment.notes
+            @ [ Printf.sprintf
+                  "degraded: fault-free fallback re-run after: %s" error ] }
+      in
+      { outcome = o; status = Degraded; error = Some error; faults }
+    | None ->
+      { outcome = failure_outcome e error;
+        status = Failed;
+        error = Some error;
+        faults })
 
 (* Experiments are independent given the context (which memoizes shared
    artifacts thread-safely), so they fan out across the Mdpar pool;
    map_list keeps the outcomes in paper order, and every outcome is a
    deterministic function of the scale, so the report is byte-identical
    to a sequential run. *)
-let run_all ?pool ctx =
+let run_list_classified ?pool ctx exps =
   let pool = match pool with Some p -> p | None -> Mdpar.get () in
-  Mdpar.map_list pool (run_one ctx) Registry.all
+  Mdpar.map_list pool (run_one_classified ctx) exps
+
+let run_all_classified ?pool ctx =
+  run_list_classified ?pool ctx Registry.all
+
+(* Every experiment is isolated: an exception aborts only its own entry,
+   never the report (and at zero fault rate the outcome list is
+   byte-identical to the pre-classification behaviour). *)
+let run_all ?pool ctx =
+  List.map (fun c -> c.outcome) (run_all_classified ?pool ctx)
 
 let render_all outcomes =
   String.concat "\n" (List.map render_outcome outcomes)
+
+let interesting c = c.status <> Ok || c.faults.Mdfault.injected > 0
+
+(* Identical to {!render_all} when every experiment is clean, so the
+   zero-rate report stays byte-identical to the pre-fault output. *)
+let render_classified cs =
+  let render_one c =
+    let base = render_outcome c.outcome in
+    if not (interesting c) then base
+    else begin
+      let buf = Buffer.create (String.length base + 256) in
+      Buffer.add_string buf base;
+      Buffer.add_string buf
+        (Printf.sprintf "  status: %s%s\n" (status_name c.status)
+           (match c.error with None -> "" | Some e -> " (" ^ e ^ ")"));
+      if c.faults.Mdfault.injected > 0 then
+        Buffer.add_string buf
+          ("  " ^ Mdfault.summary_line c.faults ^ "\n");
+      Buffer.contents buf
+    end
+  in
+  String.concat "\n" (List.map render_one cs)
+
+let count_status cs st =
+  List.length (List.filter (fun c -> c.status = st) cs)
+
+let classified_summary_line cs =
+  Printf.sprintf "outcomes: %d ok, %d recovered, %d degraded, %d failed"
+    (count_status cs Ok) (count_status cs Recovered)
+    (count_status cs Degraded) (count_status cs Failed)
 
 let write_csvs ~dir outcomes =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   List.map
     (fun (o : Experiment.outcome) ->
       let path = Filename.concat dir (o.id ^ ".csv") in
-      let oc = open_out path in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () -> output_string oc (Sim_util.Table.to_csv o.table));
+      Mdobs.write_file ~path (Sim_util.Table.to_csv o.table);
       path)
     outcomes
 
@@ -79,8 +196,15 @@ let summary_line outcomes =
 (* Machine-readable outcome summary.  Everything here is a deterministic
    function of the scale (no host timings), so CI can byte-compare the
    file across pool sizes. *)
-let metrics_json outcomes =
+let metrics_json ?(classified = []) outcomes =
   let esc = Mdobs.json_escape in
+  (* Status/fault fields appear only when some experiment was not plain
+     [Ok], keeping the zero-rate file byte-identical to older exports. *)
+  let annotate = List.exists interesting classified in
+  let annotation id =
+    if not annotate then None
+    else List.find_opt (fun c -> c.outcome.Experiment.id = id) classified
+  in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n\"experiments\":[";
   List.iteri
@@ -89,6 +213,21 @@ let metrics_json outcomes =
       Buffer.add_string buf
         (Printf.sprintf "\n{\"id\":\"%s\",\"title\":\"%s\",\"passed\":%b"
            (esc o.id) (esc o.title) (Experiment.all_passed o));
+      (match annotation o.id with
+      | Some c ->
+        Buffer.add_string buf
+          (Printf.sprintf ",\"status\":\"%s\"" (status_name c.status));
+        (match c.error with
+        | Some e ->
+          Buffer.add_string buf (Printf.sprintf ",\"error\":\"%s\"" (esc e))
+        | None -> ());
+        let f = c.faults in
+        Buffer.add_string buf
+          (Printf.sprintf
+             ",\"faults\":{\"injected\":%d,\"retries\":%d,\"recoveries\":%d,\"unrecovered\":%d,\"backoff_seconds\":%.17g}"
+             f.Mdfault.injected f.Mdfault.retries f.Mdfault.recoveries
+             f.Mdfault.unrecovered f.Mdfault.backoff_seconds)
+      | None -> ());
       Buffer.add_string buf ",\"checks\":[";
       List.iteri
         (fun j (c : Experiment.check) ->
@@ -128,10 +267,18 @@ let metrics_json outcomes =
   in
   Buffer.add_string buf
     (Printf.sprintf
-       "\n],\n\"summary\":{\"experiments\":%d,\"experiments_passed\":%d,\"checks\":%d,\"checks_passed\":%d,\"line\":\"%s\"}\n}\n"
+       "\n],\n\"summary\":{\"experiments\":%d,\"experiments_passed\":%d,\"checks\":%d,\"checks_passed\":%d,%s\"line\":\"%s\"}\n}\n"
        (List.length outcomes)
        (List.length (List.filter Experiment.all_passed outcomes))
        total_checks passed_checks
+       (if annotate then
+          Printf.sprintf
+            "\"statuses\":{\"ok\":%d,\"recovered\":%d,\"degraded\":%d,\"failed\":%d},"
+            (count_status classified Ok)
+            (count_status classified Recovered)
+            (count_status classified Degraded)
+            (count_status classified Failed)
+        else "")
        (esc (summary_line outcomes)))
   ;
   Buffer.contents buf

@@ -11,7 +11,46 @@ val run_all : ?pool:Mdpar.t -> Context.t -> Experiment.outcome list
     ([Mdpar.get ()] when omitted; serial at pool size 1) and returns the
     outcomes in paper order.  The virtual device-time results are a pure
     function of the context's scale, so the outcome list is byte-identical
-    for any pool size. *)
+    for any pool size.  Every experiment is isolated: an exception (or
+    unrecovered injected fault) aborts only its own entry — the list is
+    always complete.  Use {!run_all_classified} to see how each entry
+    terminated. *)
+
+(** {1 Outcome classification}
+
+    How an experiment's run terminated under fault injection (or not):
+    [Ok] — clean; [Recovered] — completed, but injected faults were
+    retried/recovered along the way; [Degraded] — the faulted run
+    raised and the result comes from a fault-suppressed fallback re-run
+    (the reference path); [Failed] — even the fallback raised, so the
+    entry is a synthesized placeholder with one failed ["completed"]
+    check. *)
+
+type status = Ok | Recovered | Degraded | Failed
+
+val status_name : status -> string
+(** "ok" | "recovered" | "degraded" | "failed". *)
+
+type classified = {
+  outcome : Experiment.outcome;
+  status : status;
+  error : string option;     (** the exception, for degraded/failed *)
+  faults : Mdfault.summary;  (** this experiment's injected-fault totals *)
+}
+
+val run_one_classified : Context.t -> Experiment.t -> classified
+val run_list_classified :
+  ?pool:Mdpar.t -> Context.t -> Experiment.t list -> classified list
+
+val run_all_classified : ?pool:Mdpar.t -> Context.t -> classified list
+(** {!run_all} with per-experiment termination status.  Never raises. *)
+
+val render_classified : classified list -> string
+(** {!render_all} plus status / fault-summary lines on experiments that
+    were not plain [Ok] — byte-identical to {!render_all} when all are. *)
+
+val classified_summary_line : classified list -> string
+(** e.g. "outcomes: 10 ok, 2 recovered, 0 degraded, 0 failed". *)
 
 val render_all : Experiment.outcome list -> string
 
@@ -28,8 +67,12 @@ val to_markdown : Experiment.outcome list -> string
 val summary_line : Experiment.outcome list -> string
 (** e.g. "6/6 experiments reproduce the paper's shape (23/23 checks)". *)
 
-val metrics_json : Experiment.outcome list -> string
+val metrics_json :
+  ?classified:classified list -> Experiment.outcome list -> string
 (** Machine-readable per-experiment metrics (ids, check verdicts, notes,
     table CSVs, summary counts).  Contains only virtual-time-derived
     data, so the output is byte-identical across [--domains] settings —
-    CI compares it directly. *)
+    CI compares it directly.  When [classified] contains any non-[Ok]
+    entry, per-experiment ["status"]/["error"]/["faults"] fields and a
+    summary ["statuses"] object are added; with everything clean the
+    output is unchanged. *)

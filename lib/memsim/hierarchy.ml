@@ -28,6 +28,7 @@ type t = {
   l2 : Cache.t;
   mutable total_cycles : int;
   prof : prof_set option;
+  ft_bitflip : Mdfault.stream;  (* ECC-scrubbed payload flip -> refetch *)
 }
 
 (* AMD K8: 64 KB L1D, 2-way, 64 B lines => 512 sets.
@@ -57,7 +58,8 @@ let create cfg =
     l2 = Cache.create ~line_bytes:cfg.l2_line_bytes ~sets:cfg.l2_sets
            ~ways:cfg.l2_ways;
     total_cycles = 0;
-    prof = make_prof () }
+    prof = make_prof ();
+    ft_bitflip = Mdfault.stream Mdfault.Mem_bitflip "mem" }
 
 let config t = t.cfg
 
@@ -86,6 +88,17 @@ let access t addr =
             Mdprof.incr p.p_dram_accesses
         | None -> ());
         t.cfg.l1_hit_cycles + t.cfg.l2_hit_cycles + t.cfg.dram_cycles)
+  in
+  (* An ECC scrub catching a flipped payload bit re-fetches the line
+     from DRAM; each faulted attempt costs one more DRAM roundtrip. *)
+  let cost =
+    if Mdfault.inert t.ft_bitflip then cost
+    else
+      let failures, _backoff =
+        Mdfault.attempt t.ft_bitflip ~detail:(fun () ->
+            Printf.sprintf "ecc scrub at addr %d" addr)
+      in
+      cost + (failures * t.cfg.dram_cycles)
   in
   t.total_cycles <- t.total_cycles + cost;
   cost

@@ -26,6 +26,7 @@ type t = {
       (* concurrency of the region being executed; 1 outside regions *)
   obs : Mdobs.track option;  (* virtual-clock machine track *)
   prof : prof_set option;
+  ft_retry : Mdfault.stream;  (* full/empty-bit hot-spot retry storms *)
 }
 
 let make_prof () =
@@ -51,7 +52,8 @@ let create cfg =
     else None
   in
   { cfg; ledger = Ledger.create (); wall = 0.0; current_concurrency = 1.0; obs;
-    prof = make_prof () }
+    prof = make_prof ();
+    ft_retry = Mdfault.stream Mdfault.Mta_retry "mta" }
 
 let config t = t.cfg
 let time t = t.wall
@@ -160,4 +162,21 @@ let charge_sync_op t =
   let cycles =
     float_of_int t.cfg.sync_retry_cycles /. t.current_concurrency
   in
-  charge t Sync (Units.seconds_of_cycles t.cfg.clock cycles)
+  (* A hot full/empty bit makes this sync op spin through a storm of
+     extra retries; the livelock watchdog in Mdfault.storm raises once
+     too many consecutive ops storm.  Backoff accrues at full rate —
+     a stalled stream is not hidden by the machine's parallelism. *)
+  let cycles, backoff =
+    if Mdfault.inert t.ft_retry then (cycles, 0.0)
+    else
+      let extra, backoff =
+        Mdfault.storm t.ft_retry ~detail:(fun () ->
+            Printf.sprintf "hot full/empty bit, concurrency %.1f"
+              t.current_concurrency)
+      in
+      ( cycles
+        +. float_of_int (extra * t.cfg.sync_retry_cycles)
+           /. t.current_concurrency,
+        backoff )
+  in
+  charge t Sync (Units.seconds_of_cycles t.cfg.clock cycles +. backoff)

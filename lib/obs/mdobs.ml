@@ -368,8 +368,17 @@ let virtual_events_string () =
     (events ());
   Buffer.contents buf
 
+(* Write-to-temp then rename: an export interrupted mid-write (crash,
+   aborted run) must never leave a truncated artifact where CI or a
+   byte-compare would read it. *)
 let write_file ~path contents =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc contents)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () -> output_string oc contents)
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path

@@ -132,3 +132,5 @@ val json_escape : string -> string
 (** JSON string escaping, shared with the metrics writers. *)
 
 val write_file : path:string -> string -> unit
+(** Atomic: writes [path ^ ".tmp"] then renames, so an aborted run never
+    leaves a truncated artifact at [path]. *)

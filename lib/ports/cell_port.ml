@@ -140,7 +140,7 @@ let profile_run ?(steps = 10) ?(precision = Single) system =
         collected := row_hits :: !collected;
         pe)
   in
-  let records = Mdcore.Verlet.run s ~engine ~steps () in
+  let records = Mdcore.Verlet.run s ~engine ~steps ~max_step_retries:(Mdfault.step_retries ()) () in
   { n; steps; precision; records;
     row_hits = Array.of_list (List.rev !collected) }
 
@@ -266,11 +266,28 @@ let time_with ?(j_chunk = default_j_chunk) profile cfg =
     | Persistent -> Machine.Persistent
   in
   let invocations = Array.length profile.row_hits in
+  (* Offload-level recovery for the timing replay: an offload aborted by
+     an unrecovered device fault is re-issued whole (the PPE re-stages
+     and relaunches), like the checkpointed step re-execution on the
+     physics side.  Partial charges from the failed attempt stay on the
+     virtual clock — failed work still costs time. *)
+  let offload_retries = Mdfault.step_retries () in
+  let offload_checkpointed invocation =
+    let rec go attempt =
+      match
+        Machine.offload machine ~spes:cfg.n_spes ~mode
+          (spe_kernel ~j_chunk ~cfg ~profile ~stage ~invocation)
+      with
+      | () -> if attempt > 0 then Mdfault.note_recovered_step ()
+      | exception Mdfault.Unrecovered _ when attempt < offload_retries ->
+        go (attempt + 1)
+    in
+    go 0
+  in
   for invocation = 0 to invocations - 1 do
     (* PPE stages the positions to binary32. *)
     Machine.ppe_block machine Kernels.ppe_stage_block ~iterations:n;
-    Machine.offload machine ~spes:cfg.n_spes ~mode
-      (spe_kernel ~j_chunk ~cfg ~profile ~stage ~invocation);
+    offload_checkpointed invocation;
     (* PPE converts accelerations back and accumulates the PE partials. *)
     Machine.ppe_block machine Kernels.ppe_stage_block ~iterations:n;
     (* Integration for every step but the initial force evaluation. *)

@@ -187,7 +187,7 @@ let run ?(steps = 10) ?(machine = Gpustream.Config.geforce_7900gtx)
                  ~latency:machine.Gpustream.Config.transfer_latency);
           F32.mul 0.5 final)
   in
-  let records = Mdcore.Verlet.run s ~engine ~steps () in
+  let records = Mdcore.Verlet.run s ~engine ~steps ~max_step_retries:(Mdfault.step_retries ()) () in
   charge_host_block m Kernels.opteron_integration ~iterations:(steps * n);
   let ledger = Machine.ledger m in
   let setup = Ledger.get ledger Setup in

@@ -56,7 +56,7 @@ let run ?(steps = 10) ?(mode = Fully_multithreaded)
         hits_total := !hits_total + hits;
         pe)
   in
-  let records = Mdcore.Verlet.run s ~engine ~steps () in
+  let records = Mdcore.Verlet.run s ~engine ~steps ~max_step_retries:(Mdfault.step_retries ()) () in
   Machine.charged_region m ~loop:integration_loop ~n:(steps * n)
     ~f:(fun () -> ());
   let ledger = Machine.ledger m in

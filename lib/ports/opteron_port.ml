@@ -134,7 +134,7 @@ let run ?(steps = 10) ?(config = default_config) system =
           !memory_cycles +. (pair_excess_cycles mm *. float_of_int pairs_per_step);
         pe)
   in
-  let records = Mdcore.Verlet.run s ~engine ~steps () in
+  let records = Mdcore.Verlet.run s ~engine ~steps ~max_step_retries:(Mdfault.step_retries ()) () in
   (* Integration work: once per step, outside the force engine. *)
   compute_cycles :=
     !compute_cycles +. (float_of_int (steps * n) *. integ_cyc);
@@ -193,7 +193,7 @@ let run_pairlist ?(steps = 10) ?(config = default_config) ?skin system =
         memory_cycles := !memory_cycles +. (excess *. float_of_int entries);
         pe)
   in
-  let records = Mdcore.Verlet.run s ~engine ~steps () in
+  let records = Mdcore.Verlet.run s ~engine ~steps ~max_step_retries:(Mdfault.step_retries ()) () in
   compute_cycles := !compute_cycles +. (float_of_int (steps * n) *. integ_cyc);
   for _ = 1 to steps do
     memory_cycles := !memory_cycles +. integration_excess_cycles mm

@@ -1,0 +1,360 @@
+(* Deterministic fault injection, recovery, and graceful degradation
+   (lib/fault + the sites threaded through every device model). *)
+
+module Mdfault = Mdfault
+module Init = Mdcore.Init
+
+let sys ?(n = 128) () = Init.build ~seed:31 ~n ()
+
+let with_plan spec_text f =
+  (match Mdfault.parse_spec spec_text with
+  | Ok spec -> Mdfault.install spec
+  | Error msg -> Alcotest.failf "bad spec %S: %s" spec_text msg);
+  Fun.protect ~finally:Mdfault.uninstall f
+
+let with_prof f =
+  Mdprof.clear ();
+  Mdprof.enable ();
+  Fun.protect ~finally:(fun () -> Mdprof.clear ()) f
+
+(* ------------------------------------------------------------------ *)
+(* Spec parsing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_spec_valid () =
+  match Mdfault.parse_spec "cell-dma:0.01,gpu-pcie:5e-3,seed=7,retries=2,backoff=1e-5,watchdog=16" with
+  | Error msg -> Alcotest.failf "expected Ok, got Error %s" msg
+  | Ok spec ->
+    Alcotest.(check int) "seed" 7 spec.Mdfault.seed;
+    Alcotest.(check int) "retries" 2 spec.Mdfault.policy.Mdfault.max_retries;
+    Alcotest.(check int) "watchdog" 16 spec.Mdfault.policy.Mdfault.watchdog_limit;
+    Alcotest.(check (float 0.0)) "backoff" 1e-5
+      spec.Mdfault.policy.Mdfault.base_backoff_s;
+    Alcotest.(check (float 0.0)) "dma rate" 0.01
+      (List.assoc Mdfault.Cell_dma spec.Mdfault.rates);
+    Alcotest.(check (float 0.0)) "pcie rate" 5e-3
+      (List.assoc Mdfault.Gpu_pcie spec.Mdfault.rates);
+    Alcotest.(check bool) "absent site" true
+      (List.assoc_opt Mdfault.Mta_retry spec.Mdfault.rates = None)
+
+let test_parse_spec_all () =
+  match Mdfault.parse_spec "all:1e-3" with
+  | Error msg -> Alcotest.failf "expected Ok, got Error %s" msg
+  | Ok spec ->
+    List.iter
+      (fun site ->
+        Alcotest.(check (float 0.0))
+          (Mdfault.site_name site ^ " rate")
+          1e-3
+          (List.assoc site spec.Mdfault.rates))
+      Mdfault.all_sites
+
+let test_parse_spec_invalid () =
+  let rejected text =
+    match Mdfault.parse_spec text with
+    | Ok _ -> Alcotest.failf "expected %S to be rejected" text
+    | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error for %S is one line" text)
+        false
+        (String.contains msg '\n')
+  in
+  rejected "bogus-site:0.1";
+  rejected "cell-dma:1.5";
+  rejected "cell-dma:-0.1";
+  rejected "cell-dma:nan";
+  rejected "cell-dma";
+  rejected "seed=abc";
+  rejected "retries=-1";
+  rejected "backoff=-1e-3";
+  rejected "watchdog=0";
+  rejected "frobnicate=3";
+  rejected ""
+
+(* ------------------------------------------------------------------ *)
+(* Replay determinism                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let cell_run_with_events spec_text =
+  with_plan spec_text (fun () ->
+      let r = Mdports.Cell_port.run ~steps:3 (sys ()) in
+      (r, Mdfault.events_string (), Mdfault.summary ()))
+
+let test_replay_identical () =
+  let spec = "cell-dma:0.1,cell-mailbox:0.05,seed=11" in
+  let r1, ev1, s1 = cell_run_with_events spec in
+  let r2, ev2, s2 = cell_run_with_events spec in
+  Alcotest.(check bool) "faults were injected" true (s1.Mdfault.injected > 0);
+  Alcotest.(check string) "identical fault event log" ev1 ev2;
+  Alcotest.(check bool) "identical physics records" true
+    (r1.Mdports.Run_result.records = r2.Mdports.Run_result.records);
+  Alcotest.(check (float 0.0)) "identical virtual time"
+    r1.Mdports.Run_result.seconds r2.Mdports.Run_result.seconds;
+  Alcotest.(check int) "identical injected count" s1.Mdfault.injected
+    s2.Mdfault.injected
+
+let test_replay_seed_sensitive () =
+  let _, ev1, s1 = cell_run_with_events "cell-dma:0.1,seed=11" in
+  let _, ev2, _ = cell_run_with_events "cell-dma:0.1,seed=12" in
+  Alcotest.(check bool) "seed 11 injects" true (s1.Mdfault.injected > 0);
+  Alcotest.(check bool) "different seed, different sequence" false
+    (ev1 = ev2)
+
+(* ------------------------------------------------------------------ *)
+(* Zero-rate inertness                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_zero_rate_byte_identical () =
+  let s = sys () in
+  let baseline =
+    with_prof (fun () ->
+        let r = Mdports.Gpu_port.run ~steps:2 s in
+        (r.Mdports.Run_result.records, Mdprof.virtual_counters_string ()))
+  in
+  let zero_rate =
+    with_prof (fun () ->
+        with_plan "all:0.0,seed=5" (fun () ->
+            let r = Mdports.Gpu_port.run ~steps:2 s in
+            Alcotest.(check int) "no events at rate 0.0" 0
+              (List.length (Mdfault.events ()));
+            Alcotest.(check int) "nothing injected at rate 0.0" 0
+              (Mdfault.summary ()).Mdfault.injected;
+            (r.Mdports.Run_result.records, Mdprof.virtual_counters_string ())))
+  in
+  Alcotest.(check bool) "identical records" true
+    (fst baseline = fst zero_rate);
+  Alcotest.(check string) "byte-identical counter export" (snd baseline)
+    (snd zero_rate)
+
+(* ------------------------------------------------------------------ *)
+(* Recovery convergence                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_cell_dma_recovery_converges () =
+  let s = sys () in
+  let clean = Mdports.Cell_port.run ~steps:3 s in
+  let faulted, summary =
+    with_plan "cell-dma:0.2,seed=3" (fun () ->
+        let r = Mdports.Cell_port.run ~steps:3 s in
+        (r, Mdfault.summary ()))
+  in
+  Alcotest.(check bool) "faults recovered" true
+    (summary.Mdfault.recoveries > 0);
+  Alcotest.(check bool) "same physics as fault-free run" true
+    (clean.Mdports.Run_result.records = faulted.Mdports.Run_result.records);
+  Alcotest.(check bool) "retries cost virtual time" true
+    (faulted.Mdports.Run_result.seconds > clean.Mdports.Run_result.seconds);
+  Alcotest.(check bool) "backoff accrued" true
+    (summary.Mdfault.backoff_seconds > 0.0)
+
+let test_gpu_texture_flip_is_silent () =
+  with_plan "gpu-texture:0.001,seed=9" (fun () ->
+      let r = Mdports.Gpu_port.run ~steps:2 (sys ()) in
+      let s = Mdfault.summary () in
+      Alcotest.(check bool) "flips injected" true (s.Mdfault.injected > 0);
+      Alcotest.(check bool) "run completed" true
+        (List.length r.Mdports.Run_result.records = 3))
+
+let test_cell_dma_unrecoverable () =
+  with_plan "cell-dma:1.0,seed=3" (fun () ->
+      match Mdports.Cell_port.run ~steps:2 (sys ()) with
+      | _ -> Alcotest.fail "expected Mdfault.Unrecovered"
+      | exception Mdfault.Unrecovered f ->
+        Alcotest.(check bool) "site is cell-dma" true
+          (f.Mdfault.f_site = Mdfault.Cell_dma);
+        Alcotest.(check bool) "attempts recorded" true
+          (f.Mdfault.f_attempts > 0);
+        Alcotest.(check bool) "unrecovered counted" true
+          ((Mdfault.summary ()).Mdfault.unrecovered > 0))
+
+let test_mta_livelock_watchdog () =
+  with_plan "mta-retry:1.0,watchdog=8,retries=1,seed=3" (fun () ->
+      match Mdports.Mta_port.run ~steps:2 (sys ~n:216 ()) with
+      | _ -> Alcotest.fail "expected livelock watchdog to fire"
+      | exception Mdfault.Unrecovered f ->
+        Alcotest.(check bool) "site is mta-retry" true
+          (f.Mdfault.f_site = Mdfault.Mta_retry))
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint / restore                                                *)
+(* ------------------------------------------------------------------ *)
+
+let synthetic_failure =
+  Mdfault.Unrecovered
+    { Mdfault.f_site = Mdfault.Gpu_pcie;
+      f_stream = "test";
+      f_attempts = 5;
+      f_detail = "synthetic mid-step device failure" }
+
+let test_verlet_checkpoint_restore () =
+  let reference =
+    Mdcore.Verlet.run (Mdcore.System.copy (sys ()))
+      ~engine:Mdcore.Forces.gather_engine ~steps:4 ()
+  in
+  (* The engine dies on its third force evaluation, then works again —
+     a transient device failure the checkpointing must absorb. *)
+  let calls = ref 0 in
+  let flaky =
+    Mdcore.Engine.make ~name:"flaky" ~compute:(fun s ->
+        incr calls;
+        if !calls = 3 then raise synthetic_failure
+        else Mdcore.Forces.gather_engine.Mdcore.Engine.compute s)
+  in
+  let recovered =
+    Mdcore.Verlet.run (Mdcore.System.copy (sys ())) ~engine:flaky ~steps:4
+      ~max_step_retries:2 ()
+  in
+  Alcotest.(check bool) "converges to the fault-free trajectory" true
+    (reference = recovered);
+  (* Without retries the same failure must propagate. *)
+  calls := 0;
+  match
+    Mdcore.Verlet.run (Mdcore.System.copy (sys ())) ~engine:flaky ~steps:4 ()
+  with
+  | _ -> Alcotest.fail "expected the failure to propagate at 0 retries"
+  | exception Mdfault.Unrecovered _ -> ()
+
+let test_system_restore () =
+  let a = sys () in
+  let b = Mdcore.System.copy a in
+  b.Mdcore.System.pos_x.(0) <- 0.25;
+  b.Mdcore.System.vel_y.(1) <- -1.5;
+  b.Mdcore.System.acc_z.(2) <- 3.0;
+  Mdcore.System.restore ~dst:b ~src:a;
+  Alcotest.(check bool) "restore reverts all arrays" true
+    (Mdcore.System.equal_positions a b
+    && b.Mdcore.System.vel_y.(1) = a.Mdcore.System.vel_y.(1)
+    && b.Mdcore.System.acc_z.(2) = a.Mdcore.System.acc_z.(2));
+  let small = Init.build ~seed:31 ~n:216 () in
+  match Mdcore.System.restore ~dst:small ~src:a with
+  | () -> Alcotest.fail "expected size-mismatch rejection"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Harness isolation and degradation                                   *)
+(* ------------------------------------------------------------------ *)
+
+let trivial_outcome id =
+  let table = Sim_util.Table.create ~headers:[ "k"; "v" ] in
+  Sim_util.Table.add_row table [ "x"; "1" ];
+  { Harness.Experiment.id;
+    title = id;
+    table;
+    checks = [ { Harness.Experiment.name = "ok"; passed = true; detail = "" } ];
+    notes = [];
+    figure = None;
+    virtual_seconds = [] }
+
+let exp_of id run = { Harness.Experiment.id; title = id; paper_ref = ""; run }
+
+let test_report_isolates_failures () =
+  let ctx = Harness.Context.create ~scale:Harness.Context.quick_scale () in
+  let exps =
+    [ exp_of "t-ok" (fun _ -> trivial_outcome "t-ok");
+      exp_of "t-boom" (fun _ -> failwith "boom");
+      exp_of "t-ok2" (fun _ -> trivial_outcome "t-ok2") ]
+  in
+  let cs = Harness.Report.run_list_classified ctx exps in
+  Alcotest.(check int) "report is complete" 3 (List.length cs);
+  Alcotest.(check (list string)) "statuses"
+    [ "ok"; "failed"; "ok" ]
+    (List.map
+       (fun c -> Harness.Report.status_name c.Harness.Report.status)
+       cs);
+  let failed = List.nth cs 1 in
+  Alcotest.(check bool) "error recorded" true
+    (match failed.Harness.Report.error with
+    | Some e -> e <> ""
+    | None -> false);
+  Alcotest.(check bool) "placeholder outcome has a failed check" true
+    (List.exists
+       (fun c -> not c.Harness.Experiment.passed)
+       failed.Harness.Report.outcome.Harness.Experiment.checks);
+  (* The rendered report and metrics stay complete, no exception. *)
+  let rendered = Harness.Report.render_classified cs in
+  Alcotest.(check bool) "render mentions the failure" true
+    (String.length rendered > 0);
+  Alcotest.(check string) "summary counts statuses"
+    "outcomes: 2 ok, 0 recovered, 0 degraded, 1 failed"
+    (Harness.Report.classified_summary_line cs)
+
+let test_report_degrades_under_faults () =
+  (* An unrecoverable injected fault (zero retries, rate 1.0) aborts the
+     faulted run; the harness must fall back fault-free and classify the
+     experiment degraded — never abort the report. *)
+  with_plan "cell-dma:1.0,retries=0,seed=3" (fun () ->
+      let ctx = Harness.Context.create ~scale:Harness.Context.quick_scale () in
+      let run_cell _ =
+        let r = Mdports.Cell_port.run ~steps:2 (sys ~n:216 ()) in
+        ignore r;
+        trivial_outcome "t-cell"
+      in
+      let cs =
+        Harness.Report.run_list_classified ctx [ exp_of "t-cell" run_cell ]
+      in
+      match cs with
+      | [ c ] ->
+        Alcotest.(check string) "degraded" "degraded"
+          (Harness.Report.status_name c.Harness.Report.status);
+        Alcotest.(check bool) "fallback outcome delivered" true
+          (c.Harness.Report.outcome.Harness.Experiment.id = "t-cell");
+        Alcotest.(check bool) "degradation note appended" true
+          (List.exists
+             (fun n ->
+               String.length n >= 8 && String.sub n 0 8 = "degraded")
+             c.Harness.Report.outcome.Harness.Experiment.notes)
+      | _ -> Alcotest.fail "expected one classified outcome")
+
+let test_metrics_json_annotations () =
+  let ctx = Harness.Context.create ~scale:Harness.Context.quick_scale () in
+  let clean =
+    Harness.Report.run_list_classified ctx
+      [ exp_of "t-ok" (fun _ -> trivial_outcome "t-ok") ]
+  in
+  let outcomes = List.map (fun c -> c.Harness.Report.outcome) clean in
+  Alcotest.(check string) "all-ok metrics unchanged by classification"
+    (Harness.Report.metrics_json outcomes)
+    (Harness.Report.metrics_json ~classified:clean outcomes);
+  let mixed =
+    Harness.Report.run_list_classified ctx
+      [ exp_of "t-boom" (fun _ -> failwith "boom") ]
+  in
+  let mixed_outcomes = List.map (fun c -> c.Harness.Report.outcome) mixed in
+  let json = Harness.Report.metrics_json ~classified:mixed mixed_outcomes in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "status field present" true
+    (contains "\"status\":\"failed\"" json);
+  Alcotest.(check bool) "statuses summary present" true
+    (contains "\"statuses\":{" json)
+
+let tests =
+  ( "fault",
+    [ Alcotest.test_case "parse spec valid" `Quick test_parse_spec_valid;
+      Alcotest.test_case "parse spec all" `Quick test_parse_spec_all;
+      Alcotest.test_case "parse spec invalid" `Quick test_parse_spec_invalid;
+      Alcotest.test_case "replay identical" `Quick test_replay_identical;
+      Alcotest.test_case "replay seed sensitive" `Quick
+        test_replay_seed_sensitive;
+      Alcotest.test_case "zero rate byte identical" `Quick
+        test_zero_rate_byte_identical;
+      Alcotest.test_case "cell dma recovery converges" `Quick
+        test_cell_dma_recovery_converges;
+      Alcotest.test_case "gpu texture flip silent" `Quick
+        test_gpu_texture_flip_is_silent;
+      Alcotest.test_case "cell dma unrecoverable" `Quick
+        test_cell_dma_unrecoverable;
+      Alcotest.test_case "mta livelock watchdog" `Quick
+        test_mta_livelock_watchdog;
+      Alcotest.test_case "verlet checkpoint restore" `Quick
+        test_verlet_checkpoint_restore;
+      Alcotest.test_case "system restore" `Quick test_system_restore;
+      Alcotest.test_case "report isolates failures" `Quick
+        test_report_isolates_failures;
+      Alcotest.test_case "report degrades under faults" `Quick
+        test_report_degrades_under_faults;
+      Alcotest.test_case "metrics json annotations" `Quick
+        test_metrics_json_annotations ] )

@@ -18,4 +18,5 @@ let () =
       Test_stream.tests;
       Test_seqalign.tests;
       Test_calibration.tests;
+      Test_fault.tests;
       Test_harness.tests ]
