@@ -247,6 +247,48 @@ let test_ablation_fault =
                  Mdports.Cell_port.time_with (Lazy.force bench_profile)
                    Mdports.Cell_port.default_config))) ]
 
+(* Checkpoint-layer overhead ablation (Mdckpt): the same Opteron run
+   driven directly, through the segmented runner with checkpointing
+   disabled (--checkpoint-every 0, which must stay within noise of the
+   direct path — it is the seed path plus one try/with), and with durable
+   every-step checkpointing (tmp+fsync+rename per segment), which prices
+   the crash-consistency guarantee itself. *)
+let ckpt_cfg ~every ~dir =
+  { Mdckpt.Runner.cfg_device = Mdckpt.Runner.Opteron;
+    cfg_atoms = bench_atoms;
+    cfg_steps = 2;
+    cfg_seed = 42;
+    cfg_density = 0.8;
+    cfg_temperature = 1.0;
+    cfg_every = every;
+    cfg_keep = 2;
+    cfg_dir = dir }
+
+let ckpt_bench_dir =
+  lazy
+    (let dir =
+       Filename.concat
+         (Filename.get_temp_dir_name ())
+         (Printf.sprintf "mdsim-bench-ckpt-%d" (Unix.getpid ()))
+     in
+     (if not (Sys.file_exists dir) then
+        try Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ());
+     dir)
+
+let test_ablation_ckpt =
+  Test.make_grouped ~name:"ablation-ckpt"
+    [ Test.make ~name:"opteron-run-direct"
+        (Staged.stage (fun () ->
+             let s = Mdcore.Init.build ~n:bench_atoms () in
+             Mdports.Opteron_port.run ~steps:2 s));
+      Test.make ~name:"opteron-runner-every0"
+        (Staged.stage (fun () ->
+             Mdckpt.Runner.run (ckpt_cfg ~every:0 ~dir:"unused")));
+      Test.make ~name:"opteron-runner-ckpt-every1"
+        (Staged.stage (fun () ->
+             Mdckpt.Runner.run
+               (ckpt_cfg ~every:1 ~dir:(Lazy.force ckpt_bench_dir)))) ]
+
 let test_substrates =
   let rng = Sim_util.Rng.create 7 in
   let seq_a = Seqalign.Dna.random rng ~length:64 in
@@ -272,7 +314,7 @@ let all_tests =
     [ test_table1; test_fig5; test_fig6; test_fig7; test_fig8; test_fig9;
       test_ablation_engines; test_ablation_precision; test_ablation_search;
       test_ablation_pool; test_ablation_pairlist_build; test_ablation_obs;
-      test_ablation_fault;
+      test_ablation_fault; test_ablation_ckpt;
       test_substrates ]
 
 (* Bechamel sampling config, surfaced in the results metadata so a

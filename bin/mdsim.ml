@@ -222,6 +222,74 @@ let xyz_arg =
   let doc = "Write the trajectory (one frame per step) as XYZ to $(docv)." in
   Arg.(value & opt (some string) None & info [ "dump-xyz" ] ~docv:"FILE" ~doc)
 
+let checkpoint_every_arg =
+  let doc =
+    "Checkpoint the run every $(docv) steps into $(b,--checkpoint-dir).  \
+     The run executes in $(docv)-step segments with a durable, \
+     CRC-checksummed snapshot (schema mdsim-checkpoint-v1) after each, \
+     so a killed run resumed with $(b,--resume) converges bitwise to an \
+     uninterrupted one.  0 (the default) disables checkpointing."
+  in
+  Arg.(value & opt int 0 & info [ "checkpoint-every" ] ~docv:"STEPS" ~doc)
+
+let checkpoint_dir_arg =
+  let doc = "Directory for checkpoint generations." in
+  Arg.(
+    value
+    & opt string "mdsim-checkpoints"
+    & info [ "checkpoint-dir" ] ~docv:"DIR" ~doc)
+
+let checkpoint_keep_arg =
+  let doc = "Retain the newest $(docv) checkpoint generations (GC the rest)." in
+  Arg.(value & opt int 2 & info [ "checkpoint-keep" ] ~docv:"K" ~doc)
+
+let resume_arg =
+  let doc =
+    "Resume from $(docv): a checkpoint file, or a checkpoint directory \
+     (the newest valid generation is used; corrupt files are rejected \
+     with a diagnostic and the previous generation is tried).  The \
+     checkpoint carries the full run configuration and fault-plan state, \
+     so $(b,--atoms)/$(b,--steps)/$(b,--seed)/$(b,--faults) are taken \
+     from it, not from the command line."
+  in
+  Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"PATH" ~doc)
+
+let deadline_arg =
+  let doc =
+    "Abort the run after $(docv) wall-clock seconds (host clock), \
+     checkpointing first when checkpointing is active, and exit with \
+     status 3."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECS" ~doc)
+
+let guard_arg =
+  let doc =
+    "Enable the integrator invariant guard: each step is checked for \
+     NaN/Inf positions, energy jumps and net-momentum drift, and a \
+     violating step is re-executed from the pre-step snapshot (fresh \
+     fault draws) before the run is declared invalid."
+  in
+  Arg.(value & flag & info [ "guard" ] ~doc)
+
+let validate_checkpoint_args ~every ~keep ~deadline ~resume =
+  if every < 0 then
+    usage_error "--checkpoint-every must be a non-negative step count (got %d)"
+      every;
+  if keep < 1 then
+    usage_error "--checkpoint-keep must be at least 1 (got %d)" keep;
+  (match deadline with
+  | Some d when (not (Float.is_finite d)) || d <= 0.0 ->
+    usage_error "--deadline must be a finite positive number of seconds (got %g)"
+      d
+  | _ -> ());
+  match resume with
+  | Some path when not (Sys.file_exists path) ->
+    usage_error "--resume path %s does not exist" path
+  | _ -> ()
+
+let apply_guard guard =
+  if guard then Mdcore.Verlet.install_guard Mdcore.Verlet.default_guard
+
 let build_system ~atoms ~seed ~density ~temperature =
   Mdcore.Init.build ~seed ~density ~temperature ~n:atoms ()
 
@@ -244,69 +312,138 @@ let print_result (r : Mdports.Run_result.t) =
   Printf.printf "  virtual runtime: %s\n"
     (Sim_util.Table.fmt_seconds r.Mdports.Run_result.seconds)
 
+let runner_device = function
+  | `Opteron -> Mdckpt.Runner.Opteron
+  | `Cell -> Mdckpt.Runner.Cell
+  | `Cell1 -> Mdckpt.Runner.Cell1
+  | `Ppe -> Mdckpt.Runner.Ppe
+  | `Gpu -> Mdckpt.Runner.Gpu
+  | `Mta -> Mdckpt.Runner.Mta
+  | `Mta_partial -> Mdckpt.Runner.Mta_partial
+
 let run_cmd =
   let action atoms steps seed density temperature device xyz_path domains
-      trace metrics counters faults fault_log =
+      trace metrics counters faults fault_log every ckpt_dir keep resume
+      deadline guard =
     apply_domains domains;
     validate_run_args ~atoms ~steps ~density ~temperature;
+    validate_checkpoint_args ~every ~keep ~deadline ~resume;
+    (match resume with
+    | Some _ ->
+      if faults <> None then
+        usage_error
+          "--resume cannot be combined with --faults: the checkpoint \
+           carries the fault plan";
+      if xyz_path <> None then
+        usage_error "--resume cannot be combined with --dump-xyz"
+    | None -> ());
     start_trace trace;
     start_counters counters;
     start_faults faults;
-    let system = build_system ~atoms ~seed ~density ~temperature in
-    (match xyz_path with
-    | Some path ->
-      (* The timing ports integrate internal copies, so dump the
-         trajectory from a plain reference run with the same start. *)
-      let traj_system = Mdcore.System.copy system in
-      let frames = ref [] in
-      ignore
-        (Mdcore.Verlet.run traj_system ~engine:Mdcore.Forces.gather_engine
-           ~steps
-           ~record:(fun _ ->
-             frames := Mdcore.System.copy traj_system :: !frames)
-           ());
-      Mdcore.Xyz.write_trajectory ~path ~frames:(List.rev !frames) ();
-      Printf.printf "wrote %d frames to %s\n" (steps + 1) path
-    | None -> ());
-    let result =
-      (* Even with checkpointed step retries a high enough rate can
-         exhaust recovery; report the failure cleanly, with whatever
-         fault log was requested, instead of a backtrace. *)
-      match
-        match device with
-        | `Opteron -> Mdports.Opteron_port.run ~steps system
-        | `Cell -> Mdports.Cell_port.run ~steps system
-        | `Cell1 ->
-          Mdports.Cell_port.run ~steps
-            ~config:{ Mdports.Cell_port.default_config with n_spes = 1 }
-            system
-        | `Ppe -> Mdports.Cell_port.run_ppe_only ~steps system
-        | `Gpu -> Mdports.Gpu_port.run ~steps system
-        | `Mta -> Mdports.Mta_port.run ~steps system
-        | `Mta_partial ->
-          Mdports.Mta_port.run ~steps
-            ~mode:Mdports.Mta_port.Partially_multithreaded system
-      with
+    apply_guard guard;
+    (* Even with checkpointed step retries a high enough rate can exhaust
+       recovery; report the failure cleanly, with whatever fault log was
+       requested, instead of a backtrace. *)
+    let or_unrecovered f =
+      match f () with
       | r -> r
-      | exception Mdfault.Unrecovered f ->
-        Printf.eprintf "mdsim: %s\n" (Mdfault.failure_message f);
+      | exception Mdfault.Unrecovered fl ->
+        Printf.eprintf "mdsim: %s\n" (Mdfault.failure_message fl);
         finish_fault_log fault_log;
         exit 1
     in
-    print_result result;
-    print_fault_summary ();
-    finish_trace trace;
-    finish_counters counters;
-    finish_fault_log fault_log;
-    match metrics with
-    | Some path -> write_run_metrics path result
-    | None -> ()
+    let finish_complete result =
+      print_result result;
+      print_fault_summary ();
+      finish_trace trace;
+      finish_counters counters;
+      finish_fault_log fault_log;
+      match metrics with
+      | Some path -> write_run_metrics path result
+      | None -> ()
+    in
+    (* Suspension (deadline, test hooks, persistent invariant violation)
+       goes to stderr so a resumed run's stdout stays comparable. *)
+    let finish_suspended (s : Mdckpt.Runner.suspension) =
+      Printf.eprintf "mdsim: run suspended at step %d/%d: %s\n"
+        s.Mdckpt.Runner.sus_completed s.Mdckpt.Runner.sus_total
+        s.Mdckpt.Runner.sus_reason;
+      (match s.Mdckpt.Runner.sus_path with
+      | Some path -> Printf.eprintf "mdsim: resume with --resume %s\n" path
+      | None -> Printf.eprintf "mdsim: no checkpoint written\n");
+      finish_trace trace;
+      finish_counters counters;
+      finish_fault_log fault_log;
+      exit 3
+    in
+    let finish_outcome = function
+      | Mdckpt.Runner.Complete r -> finish_complete r
+      | Mdckpt.Runner.Suspended s -> finish_suspended s
+    in
+    match resume with
+    | Some path ->
+      let outcome =
+        or_unrecovered (fun () ->
+            match Mdckpt.Runner.resume ?deadline path with
+            | Ok o -> o
+            | Error msg -> usage_error "cannot resume from %s: %s" path msg)
+      in
+      finish_outcome outcome
+    | None ->
+      let system = build_system ~atoms ~seed ~density ~temperature in
+      (match xyz_path with
+      | Some path ->
+        (* The timing ports integrate internal copies, so dump the
+           trajectory from a plain reference run with the same start. *)
+        let traj_system = Mdcore.System.copy system in
+        let frames = ref [] in
+        ignore
+          (Mdcore.Verlet.run traj_system ~engine:Mdcore.Forces.gather_engine
+             ~steps
+             ~record:(fun _ ->
+               frames := Mdcore.System.copy traj_system :: !frames)
+             ());
+        Mdcore.Xyz.write_trajectory ~path ~frames:(List.rev !frames) ();
+        Printf.printf "wrote %d frames to %s\n" (steps + 1) path
+      | None -> ());
+      if every > 0 || deadline <> None then begin
+        let cfg =
+          { Mdckpt.Runner.cfg_device = runner_device device;
+            cfg_atoms = atoms; cfg_steps = steps; cfg_seed = seed;
+            cfg_density = density; cfg_temperature = temperature;
+            cfg_every = every; cfg_keep = keep; cfg_dir = ckpt_dir }
+        in
+        finish_outcome
+          (or_unrecovered (fun () -> Mdckpt.Runner.run ?deadline cfg))
+      end
+      else begin
+        let result =
+          or_unrecovered (fun () ->
+              match device with
+              | `Opteron -> Mdports.Opteron_port.run ~steps system
+              | `Cell -> Mdports.Cell_port.run ~steps system
+              | `Cell1 ->
+                Mdports.Cell_port.run ~steps
+                  ~config:
+                    { Mdports.Cell_port.default_config with n_spes = 1 }
+                  system
+              | `Ppe -> Mdports.Cell_port.run_ppe_only ~steps system
+              | `Gpu -> Mdports.Gpu_port.run ~steps system
+              | `Mta -> Mdports.Mta_port.run ~steps system
+              | `Mta_partial ->
+                Mdports.Mta_port.run ~steps
+                  ~mode:Mdports.Mta_port.Partially_multithreaded system)
+        in
+        finish_complete result
+      end
   in
   let term =
     Term.(
       const action $ atoms_arg $ steps_arg $ seed_arg $ density_arg
       $ temperature_arg $ device_arg $ xyz_arg $ domains_arg $ trace_arg
-      $ metrics_arg $ counters_arg $ faults_arg $ fault_log_arg)
+      $ metrics_arg $ counters_arg $ faults_arg $ fault_log_arg
+      $ checkpoint_every_arg $ checkpoint_dir_arg $ checkpoint_keep_arg
+      $ resume_arg $ deadline_arg $ guard_arg)
   in
   let doc = "Run the MD kernel on one device model." in
   Cmd.v (Cmd.info "run" ~doc) term
@@ -318,24 +455,70 @@ let experiment_cmd =
     in
     Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc)
   in
+  let manifest_arg =
+    let doc =
+      "Record each experiment's classified result in $(docv) (schema \
+       mdsim-manifest-v1) as it finishes.  Re-running with the same \
+       $(docv) reuses finished entries and re-runs only what is missing \
+       or was degraded/failed — an interrupted report resumes instead of \
+       starting over.  Entries are keyed by scale and fault spec."
+    in
+    Arg.(value & opt (some string) None & info [ "manifest" ] ~docv:"FILE" ~doc)
+  in
+  let exp_deadline_arg =
+    let doc =
+      "Per-experiment wall-clock deadline in seconds (host clock).  An \
+       experiment exceeding it is aborted at its next integrator step \
+       and classified $(b,degraded); the report completes with a \
+       deterministic placeholder entry."
+    in
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECS" ~doc)
+  in
   let action id quick csv_dir markdown domains trace metrics counters faults
-      fault_log =
+      fault_log manifest deadline guard =
     apply_domains domains;
+    (match deadline with
+    | Some d when (not (Float.is_finite d)) || d <= 0.0 ->
+      usage_error
+        "--deadline must be a finite positive number of seconds (got %g)" d
+    | _ -> ());
     start_trace trace;
     start_counters counters;
     start_faults faults;
+    apply_guard guard;
     let scale =
       if quick then Harness.Context.quick_scale
       else Harness.Context.paper_scale
     in
     let ctx = Harness.Context.create ~scale () in
-    let run_list es = Harness.Report.run_list_classified ctx es in
+    let manifest =
+      match manifest with
+      | None -> None
+      | Some path ->
+        let key =
+          Harness.Context.scale_key scale
+          ^
+          match Mdfault.current_spec () with
+          | Some spec -> ",faults=" ^ Mdfault.spec_to_string spec
+          | None -> ""
+        in
+        let m = Harness.Manifest.load_or_create ~path ~key in
+        let n = Harness.Manifest.entry_count m in
+        if n > 0 then
+          Printf.eprintf
+            "mdsim: resuming from manifest %s (%d finished entries)\n%!"
+            path n;
+        Some m
+    in
+    let run_list es =
+      Harness.Report.run_list_classified ?manifest ?deadline ctx es
+    in
     let classified =
       match id with
-      | "all" -> Harness.Report.run_all_classified ctx
+      | "all" -> Harness.Report.run_all_classified ?manifest ?deadline ctx
       | "extensions" -> run_list Harness.Registry.extensions
       | "everything" ->
-        Harness.Report.run_all_classified ctx
+        Harness.Report.run_all_classified ?manifest ?deadline ctx
         @ run_list Harness.Registry.extensions
       | id -> begin
         match Harness.Registry.find id with
@@ -383,10 +566,11 @@ let experiment_cmd =
         (Harness.Report.metrics_json ~classified outcomes);
       Printf.printf "wrote %s\n" path
     | None -> ());
-    (* Under fault injection the report is judged on resilience: the
-       process fails only if an experiment ended [Failed].  Without a
-       plan the strict all-checks-pass gate is unchanged. *)
-    if Mdfault.active () then begin
+    (* Under fault injection or a deadline supervisor the report is
+       judged on resilience: the process fails only if an experiment
+       ended [Failed] (deadline aborts classify [Degraded]).  Otherwise
+       the strict all-checks-pass gate is unchanged. *)
+    if Mdfault.active () || deadline <> None then begin
       if
         List.exists
           (fun c -> c.Harness.Report.status = Harness.Report.Failed)
@@ -400,7 +584,7 @@ let experiment_cmd =
     Term.(
       const action $ id_arg $ quick_arg $ csv_dir_arg $ markdown_arg
       $ domains_arg $ trace_arg $ metrics_arg $ counters_arg $ faults_arg
-      $ fault_log_arg)
+      $ fault_log_arg $ manifest_arg $ exp_deadline_arg $ guard_arg)
   in
   let doc = "Regenerate a table or figure from the paper." in
   Cmd.v (Cmd.info "experiment" ~doc) term

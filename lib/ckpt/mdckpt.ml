@@ -1,0 +1,862 @@
+module Rng = Sim_util.Rng
+module System = Mdcore.System
+module Params = Mdcore.Params
+module Verlet = Mdcore.Verlet
+module Thermostat = Mdcore.Thermostat
+module Run_result = Mdports.Run_result
+
+let schema = "mdsim-checkpoint-v1"
+let magic = schema ^ "\n"
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 (IEEE 802.3 / zlib polynomial, table-driven)                 *)
+(* ------------------------------------------------------------------ *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+(* ------------------------------------------------------------------ *)
+(* Wire encoding: little-endian, 64-bit ints, bit-exact floats         *)
+(* ------------------------------------------------------------------ *)
+
+exception Corrupt of string
+
+module Wire = struct
+  let u32 buf v = Buffer.add_int32_le buf (Int32.of_int v)
+  let i64 buf v = Buffer.add_int64_le buf (Int64.of_int v)
+  let f64 buf v = Buffer.add_int64_le buf (Int64.bits_of_float v)
+  let bool buf v = Buffer.add_char buf (if v then '\001' else '\000')
+
+  let str buf s =
+    i64 buf (String.length s);
+    Buffer.add_string buf s
+
+  let opt buf f = function
+    | None -> bool buf false
+    | Some v ->
+      bool buf true;
+      f buf v
+
+  let list buf f xs =
+    i64 buf (List.length xs);
+    List.iter (f buf) xs
+
+  let farr buf a =
+    i64 buf (Array.length a);
+    Array.iter (f64 buf) a
+
+  type reader = { data : string; mutable pos : int }
+
+  let reader data = { data; pos = 0 }
+
+  let need r n =
+    if n < 0 || r.pos + n > String.length r.data then
+      raise (Corrupt "truncated payload")
+
+  let ru32 r =
+    need r 4;
+    let v = Int32.to_int (String.get_int32_le r.data r.pos) in
+    r.pos <- r.pos + 4;
+    v land 0xFFFFFFFF
+
+  let ri64 r =
+    need r 8;
+    let v = String.get_int64_le r.data r.pos in
+    r.pos <- r.pos + 8;
+    v
+
+  let rint r = Int64.to_int (ri64 r)
+  let rf64 r = Int64.float_of_bits (ri64 r)
+
+  let rbool r =
+    need r 1;
+    let c = r.data.[r.pos] in
+    r.pos <- r.pos + 1;
+    c <> '\000'
+
+  let rstr r =
+    let n = rint r in
+    need r n;
+    let s = String.sub r.data r.pos n in
+    r.pos <- r.pos + n;
+    s
+
+  let ropt r f = if rbool r then Some (f r) else None
+
+  let rlist r f =
+    let n = rint r in
+    if n < 0 || n > String.length r.data then
+      raise (Corrupt "implausible list length");
+    List.init n (fun _ -> f r)
+
+  let rfarr r =
+    let n = rint r in
+    if n < 0 || n * 8 > String.length r.data - r.pos then
+      raise (Corrupt "implausible array length");
+    Array.init n (fun _ -> rf64 r)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Run state                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type progress = {
+  seconds : float;
+  breakdown : (string * float) list;
+  pairs_evaluated : int;
+  interactions : int;
+  records : Verlet.step_record list;
+  device_label : string;
+}
+
+let empty_progress =
+  { seconds = 0.0;
+    breakdown = [];
+    pairs_evaluated = 0;
+    interactions = 0;
+    records = [];
+    device_label = "" }
+
+type t = {
+  device : string;
+  atoms : int;
+  total_steps : int;
+  completed : int;
+  seed : int;
+  density : float;
+  temperature : float;
+  every : int;
+  keep : int;
+  guard_restores : int;
+  system : System.t;
+  progress : progress;
+  thermostat : Thermostat.csvr_state option;
+  rngs : (string * Rng.state) list;
+  fault : Mdfault.state option;
+}
+
+(* --- section payloads --- *)
+
+let enc_meta buf st =
+  Wire.str buf st.device;
+  Wire.i64 buf st.atoms;
+  Wire.i64 buf st.total_steps;
+  Wire.i64 buf st.completed;
+  Wire.i64 buf st.seed;
+  Wire.f64 buf st.density;
+  Wire.f64 buf st.temperature;
+  Wire.i64 buf st.every;
+  Wire.i64 buf st.keep;
+  Wire.i64 buf st.guard_restores
+
+let enc_system buf (s : System.t) =
+  Wire.i64 buf s.System.n;
+  Wire.f64 buf s.System.box;
+  let p = s.System.params in
+  Wire.f64 buf p.Params.epsilon;
+  Wire.f64 buf p.Params.sigma;
+  Wire.f64 buf p.Params.cutoff;
+  Wire.f64 buf p.Params.mass;
+  Wire.f64 buf p.Params.dt;
+  Wire.farr buf s.System.pos_x;
+  Wire.farr buf s.System.pos_y;
+  Wire.farr buf s.System.pos_z;
+  Wire.farr buf s.System.vel_x;
+  Wire.farr buf s.System.vel_y;
+  Wire.farr buf s.System.vel_z;
+  Wire.farr buf s.System.acc_x;
+  Wire.farr buf s.System.acc_y;
+  Wire.farr buf s.System.acc_z
+
+let dec_system r =
+  let n = Wire.rint r in
+  let box = Wire.rf64 r in
+  let epsilon = Wire.rf64 r in
+  let sigma = Wire.rf64 r in
+  let cutoff = Wire.rf64 r in
+  let mass = Wire.rf64 r in
+  let dt = Wire.rf64 r in
+  let params = { Params.epsilon; sigma; cutoff; mass; dt } in
+  let s = System.create ~n ~box ~params in
+  let arr dst =
+    let a = Wire.rfarr r in
+    if Array.length a <> n then raise (Corrupt "coordinate array length");
+    Array.blit a 0 dst 0 n
+  in
+  arr s.System.pos_x; arr s.System.pos_y; arr s.System.pos_z;
+  arr s.System.vel_x; arr s.System.vel_y; arr s.System.vel_z;
+  arr s.System.acc_x; arr s.System.acc_y; arr s.System.acc_z;
+  s
+
+let enc_record buf (r : Verlet.step_record) =
+  Wire.i64 buf r.Verlet.step;
+  Wire.f64 buf r.Verlet.sim_time;
+  Wire.f64 buf r.Verlet.pe;
+  Wire.f64 buf r.Verlet.ke;
+  Wire.f64 buf r.Verlet.total_energy;
+  Wire.f64 buf r.Verlet.temperature
+
+let dec_record r =
+  let step = Wire.rint r in
+  let sim_time = Wire.rf64 r in
+  let pe = Wire.rf64 r in
+  let ke = Wire.rf64 r in
+  let total_energy = Wire.rf64 r in
+  let temperature = Wire.rf64 r in
+  { Verlet.step; sim_time; pe; ke; total_energy; temperature }
+
+let enc_progress buf p =
+  Wire.f64 buf p.seconds;
+  Wire.list buf
+    (fun buf (k, v) ->
+      Wire.str buf k;
+      Wire.f64 buf v)
+    p.breakdown;
+  Wire.i64 buf p.pairs_evaluated;
+  Wire.i64 buf p.interactions;
+  Wire.str buf p.device_label;
+  Wire.list buf enc_record p.records
+
+let dec_progress r =
+  let seconds = Wire.rf64 r in
+  let breakdown =
+    Wire.rlist r (fun r ->
+        let k = Wire.rstr r in
+        let v = Wire.rf64 r in
+        (k, v))
+  in
+  let pairs_evaluated = Wire.rint r in
+  let interactions = Wire.rint r in
+  let device_label = Wire.rstr r in
+  let records = Wire.rlist r dec_record in
+  { seconds; breakdown; pairs_evaluated; interactions; device_label; records }
+
+let enc_rng_state buf (s : Rng.state) =
+  Buffer.add_int64_le buf s.Rng.bits;
+  Wire.opt buf Wire.f64 s.Rng.cached
+
+let dec_rng_state r =
+  let bits = Wire.ri64 r in
+  let cached = Wire.ropt r Wire.rf64 in
+  { Rng.bits; cached }
+
+let enc_thermostat buf (ts : Thermostat.csvr_state) =
+  Wire.f64 buf ts.Thermostat.csvr_target;
+  Wire.f64 buf ts.Thermostat.csvr_tau;
+  enc_rng_state buf ts.Thermostat.csvr_rng
+
+let dec_thermostat r =
+  let csvr_target = Wire.rf64 r in
+  let csvr_tau = Wire.rf64 r in
+  let csvr_rng = dec_rng_state r in
+  { Thermostat.csvr_target; csvr_tau; csvr_rng }
+
+let enc_site buf site = Wire.str buf (Mdfault.site_name site)
+
+let dec_site r =
+  let name = Wire.rstr r in
+  match Mdfault.site_of_name name with
+  | Some s -> s
+  | None -> raise (Corrupt ("unknown fault site " ^ name))
+
+let enc_event buf (e : Mdfault.event) =
+  enc_site buf e.Mdfault.e_site;
+  Wire.str buf e.Mdfault.e_stream;
+  Wire.i64 buf e.Mdfault.e_index;
+  Wire.i64 buf e.Mdfault.e_attempts;
+  Wire.bool buf e.Mdfault.e_recovered;
+  Wire.str buf e.Mdfault.e_detail
+
+let dec_event r =
+  let e_site = dec_site r in
+  let e_stream = Wire.rstr r in
+  let e_index = Wire.rint r in
+  let e_attempts = Wire.rint r in
+  let e_recovered = Wire.rbool r in
+  let e_detail = Wire.rstr r in
+  { Mdfault.e_site; e_stream; e_index; e_attempts; e_recovered; e_detail }
+
+let enc_stream_state buf (ss : Mdfault.stream_state) =
+  Wire.str buf ss.Mdfault.ss_name;
+  enc_site buf ss.Mdfault.ss_site;
+  Wire.f64 buf ss.Mdfault.ss_rate;
+  Wire.opt buf enc_rng_state ss.Mdfault.ss_rng;
+  Wire.list buf enc_event ss.Mdfault.ss_events;
+  Wire.i64 buf ss.Mdfault.ss_event_count;
+  Wire.i64 buf ss.Mdfault.ss_injected;
+  Wire.i64 buf ss.Mdfault.ss_retries;
+  Wire.i64 buf ss.Mdfault.ss_recoveries;
+  Wire.i64 buf ss.Mdfault.ss_unrecovered;
+  Wire.f64 buf ss.Mdfault.ss_backoff_s;
+  Wire.i64 buf ss.Mdfault.ss_consecutive
+
+let dec_stream_state r =
+  let ss_name = Wire.rstr r in
+  let ss_site = dec_site r in
+  let ss_rate = Wire.rf64 r in
+  let ss_rng = Wire.ropt r dec_rng_state in
+  let ss_events = Wire.rlist r dec_event in
+  let ss_event_count = Wire.rint r in
+  let ss_injected = Wire.rint r in
+  let ss_retries = Wire.rint r in
+  let ss_recoveries = Wire.rint r in
+  let ss_unrecovered = Wire.rint r in
+  let ss_backoff_s = Wire.rf64 r in
+  let ss_consecutive = Wire.rint r in
+  { Mdfault.ss_name; ss_site; ss_rate; ss_rng; ss_events; ss_event_count;
+    ss_injected; ss_retries; ss_recoveries; ss_unrecovered; ss_backoff_s;
+    ss_consecutive }
+
+let enc_fault buf (cs : Mdfault.state) =
+  let spec = cs.Mdfault.cs_spec in
+  Wire.i64 buf spec.Mdfault.seed;
+  Wire.list buf
+    (fun buf (site, rate) ->
+      enc_site buf site;
+      Wire.f64 buf rate)
+    spec.Mdfault.rates;
+  let p = spec.Mdfault.policy in
+  Wire.i64 buf p.Mdfault.max_retries;
+  Wire.f64 buf p.Mdfault.base_backoff_s;
+  Wire.f64 buf p.Mdfault.backoff_multiplier;
+  Wire.i64 buf p.Mdfault.watchdog_limit;
+  Wire.list buf enc_stream_state cs.Mdfault.cs_streams;
+  Wire.i64 buf cs.Mdfault.cs_recovered_steps
+
+let dec_fault r =
+  let seed = Wire.rint r in
+  let rates =
+    Wire.rlist r (fun r ->
+        let site = dec_site r in
+        let rate = Wire.rf64 r in
+        (site, rate))
+  in
+  let max_retries = Wire.rint r in
+  let base_backoff_s = Wire.rf64 r in
+  let backoff_multiplier = Wire.rf64 r in
+  let watchdog_limit = Wire.rint r in
+  let cs_streams = Wire.rlist r dec_stream_state in
+  let cs_recovered_steps = Wire.rint r in
+  { Mdfault.cs_spec =
+      { Mdfault.seed;
+        rates;
+        policy =
+          { Mdfault.max_retries; base_backoff_s; backoff_multiplier;
+            watchdog_limit } };
+    cs_streams;
+    cs_recovered_steps }
+
+(* ------------------------------------------------------------------ *)
+(* Section container                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let section name payload =
+  let buf = Buffer.create (String.length payload + 32) in
+  Wire.u32 buf (String.length name);
+  Buffer.add_string buf name;
+  Wire.u32 buf (String.length payload);
+  Wire.u32 buf (crc32 payload);
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+let payload_of f v =
+  let buf = Buffer.create 1024 in
+  f buf v;
+  Buffer.contents buf
+
+(* Generic container: magic line, section count, CRC-checksummed named
+   sections.  The checkpoint format below is one client; the harness run
+   manifest reuses it so every durable artifact shares one integrity
+   story. *)
+let encode_container ~magic:m sections =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf m;
+  Wire.u32 buf (List.length sections);
+  List.iter (fun (n, p) -> Buffer.add_string buf (section n p)) sections;
+  Buffer.contents buf
+
+let decode_container ~magic:m data =
+  try
+    let mlen = String.length m in
+    if String.length data < mlen || String.sub data 0 mlen <> m then
+      Error (Printf.sprintf "bad magic (expected %S)" (String.trim m))
+    else begin
+      let r = Wire.reader data in
+      r.Wire.pos <- mlen;
+      let count = Wire.ru32 r in
+      if count > 100_000 then raise (Corrupt "implausible section count");
+      let out = ref [] in
+      for _ = 1 to count do
+        let nlen = Wire.ru32 r in
+        Wire.need r nlen;
+        let name = String.sub data r.Wire.pos nlen in
+        r.Wire.pos <- r.Wire.pos + nlen;
+        let plen = Wire.ru32 r in
+        let crc = Wire.ru32 r in
+        Wire.need r plen;
+        let payload = String.sub data r.Wire.pos plen in
+        r.Wire.pos <- r.Wire.pos + plen;
+        if crc32 payload <> crc then
+          raise (Corrupt (Printf.sprintf "CRC mismatch in section %S" name));
+        out := (name, payload) :: !out
+      done;
+      Ok (List.rev !out)
+    end
+  with
+  | Corrupt msg -> Error msg
+  | Invalid_argument msg -> Error msg
+
+let encode st =
+  let sections =
+    [ ("meta", payload_of enc_meta st);
+      ("system", payload_of enc_system st.system);
+      ("progress", payload_of enc_progress st.progress);
+      ("rng",
+       payload_of
+         (fun buf rngs ->
+           Wire.list buf
+             (fun buf (name, s) ->
+               Wire.str buf name;
+               enc_rng_state buf s)
+             rngs)
+         st.rngs);
+      ("thermostat", payload_of (fun buf -> Wire.opt buf enc_thermostat) st.thermostat);
+      ("faults", payload_of (fun buf -> Wire.opt buf enc_fault) st.fault) ]
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Wire.u32 buf (List.length sections);
+  List.iter (fun (n, p) -> Buffer.add_string buf (section n p)) sections;
+  Buffer.contents buf
+
+let decode data =
+  try
+    let mlen = String.length magic in
+    if String.length data < mlen || String.sub data 0 mlen <> magic then
+      Error
+        (Printf.sprintf "bad magic (expected %S) — not a %s file"
+           (String.trim magic) schema)
+    else begin
+      let r = Wire.reader data in
+      r.Wire.pos <- mlen;
+      let count = Wire.ru32 r in
+      if count > 64 then raise (Corrupt "implausible section count");
+      let sections = Hashtbl.create 8 in
+      for _ = 1 to count do
+        let nlen = Wire.ru32 r in
+        Wire.need r nlen;
+        let name = String.sub data r.Wire.pos nlen in
+        r.Wire.pos <- r.Wire.pos + nlen;
+        let plen = Wire.ru32 r in
+        let crc = Wire.ru32 r in
+        Wire.need r plen;
+        let payload = String.sub data r.Wire.pos plen in
+        r.Wire.pos <- r.Wire.pos + plen;
+        if crc32 payload <> crc then
+          raise (Corrupt (Printf.sprintf "CRC mismatch in section %S" name));
+        Hashtbl.replace sections name payload
+      done;
+      let get name =
+        match Hashtbl.find_opt sections name with
+        | Some p -> Wire.reader p
+        | None -> raise (Corrupt (Printf.sprintf "missing section %S" name))
+      in
+      let r = get "meta" in
+      let device = Wire.rstr r in
+      let atoms = Wire.rint r in
+      let total_steps = Wire.rint r in
+      let completed = Wire.rint r in
+      let seed = Wire.rint r in
+      let density = Wire.rf64 r in
+      let temperature = Wire.rf64 r in
+      let every = Wire.rint r in
+      let keep = Wire.rint r in
+      let guard_restores = Wire.rint r in
+      let system = dec_system (get "system") in
+      if system.System.n <> atoms then raise (Corrupt "atom count mismatch");
+      let progress = dec_progress (get "progress") in
+      let rngs =
+        Wire.rlist (get "rng") (fun r ->
+            let name = Wire.rstr r in
+            let s = dec_rng_state r in
+            (name, s))
+      in
+      let thermostat = Wire.ropt (get "thermostat") dec_thermostat in
+      let fault = Wire.ropt (get "faults") dec_fault in
+      Ok
+        { device; atoms; total_steps; completed; seed; density; temperature;
+          every; keep; guard_restores; system; progress; thermostat; rngs;
+          fault }
+    end
+  with
+  | Corrupt msg -> Error msg
+  | Invalid_argument msg -> Error ("invalid checkpoint contents: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* Durable files: atomic write, generations, GC                        *)
+(* ------------------------------------------------------------------ *)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* tmp + fsync + rename + directory fsync: after [write_atomic] returns,
+   either the old file or the complete new file survives a crash — never
+   a torn write. *)
+let write_atomic ~path data =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc data;
+  flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc);
+  close_out oc;
+  Sys.rename tmp path;
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    Unix.close fd
+  | exception Unix.Unix_error _ -> ()
+
+let generation_of_filename name =
+  if
+    String.length name > 5
+    && String.sub name 0 5 = "ckpt-"
+    && Filename.check_suffix name ".mdsim"
+  then int_of_string_opt (String.sub name 5 (String.length name - 11))
+  else None
+
+let generations ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+    Array.to_list names
+    |> List.filter_map (fun name ->
+           Option.map
+             (fun g -> (g, Filename.concat dir name))
+             (generation_of_filename name))
+    |> List.sort compare
+
+let gc ~dir ~keep =
+  let keep = max 1 keep in
+  let gens = List.rev (generations ~dir) in
+  List.iteri
+    (fun i (_, path) ->
+      if i >= keep then try Sys.remove path with Sys_error _ -> ())
+    gens
+
+let save ~dir st =
+  mkdir_p dir;
+  let path = Filename.concat dir (Printf.sprintf "ckpt-%09d.mdsim" st.completed) in
+  write_atomic ~path (encode st);
+  gc ~dir ~keep:st.keep;
+  path
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | data -> decode data
+  | exception Sys_error msg -> Error msg
+  | exception End_of_file -> Error "truncated file"
+
+(* Newest generation first; corrupt/truncated/wrong-schema files are
+   rejected with a one-line diagnostic and the previous generation is
+   tried instead. *)
+let load_latest ~dir =
+  let rec try_gens = function
+    | [] -> Error (Printf.sprintf "no valid checkpoint found in %s" dir)
+    | (_, path) :: rest -> (
+      match load path with
+      | Ok st -> Ok (st, path)
+      | Error msg ->
+        Printf.eprintf "mdsim: rejecting checkpoint %s: %s\n%!" path msg;
+        try_gens rest)
+  in
+  match List.rev (generations ~dir) with
+  | [] -> Error (Printf.sprintf "no checkpoint files (ckpt-*.mdsim) in %s" dir)
+  | gens -> try_gens gens
+
+(* ------------------------------------------------------------------ *)
+(* Segmented runner                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Runner = struct
+  type device =
+    | Opteron
+    | Cell
+    | Cell1
+    | Ppe
+    | Gpu
+    | Mta
+    | Mta_partial
+
+  let device_name = function
+    | Opteron -> "opteron"
+    | Cell -> "cell"
+    | Cell1 -> "cell-1spe"
+    | Ppe -> "ppe"
+    | Gpu -> "gpu"
+    | Mta -> "mta"
+    | Mta_partial -> "mta-partial"
+
+  let all_devices = [ Opteron; Cell; Cell1; Ppe; Gpu; Mta; Mta_partial ]
+
+  let device_of_name name =
+    match List.find_opt (fun d -> device_name d = name) all_devices with
+    | Some d -> Ok d
+    | None -> Error (Printf.sprintf "unknown device %S in checkpoint" name)
+
+  type config = {
+    cfg_device : device;
+    cfg_atoms : int;
+    cfg_steps : int;
+    cfg_seed : int;
+    cfg_density : float;
+    cfg_temperature : float;
+    cfg_every : int;
+    cfg_keep : int;
+    cfg_dir : string;
+  }
+
+  type suspension = {
+    sus_completed : int;
+    sus_total : int;
+    sus_path : string option;
+    sus_reason : string;
+  }
+
+  type outcome =
+    | Complete of Run_result.t
+    | Suspended of suspension
+
+  let segment device system ~steps =
+    match device with
+    | Opteron -> Mdports.Opteron_port.run ~steps system
+    | Cell -> Mdports.Cell_port.run ~steps system
+    | Cell1 ->
+      Mdports.Cell_port.run ~steps
+        ~config:{ Mdports.Cell_port.default_config with n_spes = 1 }
+        system
+    | Ppe -> Mdports.Cell_port.run_ppe_only ~steps system
+    | Gpu -> Mdports.Gpu_port.run ~steps system
+    | Mta -> Mdports.Mta_port.run ~steps system
+    | Mta_partial ->
+      Mdports.Mta_port.run ~steps
+        ~mode:Mdports.Mta_port.Partially_multithreaded system
+
+  (* On a persistent invariant violation (Verlet's per-step restores
+     exhausted) the segment is re-executed from its input state — the
+     content of the newest valid checkpoint generation.  Re-execution
+     advances the fault streams, so transient silent corruption gets a
+     fresh draw sequence; a violation that survives the retries
+     escalates. *)
+  let max_segment_retries = 2
+
+  let segment_guarded device system ~steps =
+    let rec go attempt =
+      match segment device system ~steps with
+      | r -> r
+      | exception Verlet.Invariant_violation _
+        when attempt < max_segment_retries ->
+        Mdfault.note_guard_restore ();
+        go (attempt + 1)
+    in
+    go 0
+
+  (* Stitch a segment's records onto the accumulated run: segments after
+     the first re-derive a step-0 record identical (up to numbering) to
+     the previous segment's final record, so it is dropped; the rest are
+     renumbered into the global step index.  sim_time uses the same
+     [step * dt] formula Verlet.make_record uses, so stitched values are
+     bit-identical to a longer run's. *)
+  let stitch_records ~base ~dt existing segs =
+    let renumber (r : Verlet.step_record) =
+      { r with
+        Verlet.step = base + r.Verlet.step;
+        sim_time = float_of_int (base + r.Verlet.step) *. dt }
+    in
+    match existing with
+    | [] -> List.map renumber segs
+    | _ -> (
+      match segs with
+      | [] -> existing
+      | _ :: rest -> existing @ List.map renumber rest)
+
+  let merge_breakdown acc seg =
+    match acc with
+    | [] -> seg
+    | _ ->
+      List.map
+        (fun (k, v) ->
+          ( k,
+            v +. (match List.assoc_opt k acc with Some x -> x | None -> 0.0)
+          ))
+        seg
+
+  let absorb_segment st (r : Run_result.t) ~seg_steps =
+    let dt = st.system.System.params.Params.dt in
+    let p = st.progress in
+    let progress =
+      { seconds = p.seconds +. r.Run_result.seconds;
+        breakdown = merge_breakdown p.breakdown r.Run_result.breakdown;
+        pairs_evaluated = p.pairs_evaluated + r.Run_result.pairs_evaluated;
+        interactions = p.interactions + r.Run_result.interactions;
+        records =
+          stitch_records ~base:st.completed ~dt p.records
+            r.Run_result.records;
+        device_label = r.Run_result.device }
+    in
+    let system =
+      match r.Run_result.final_system with
+      | Some s -> s
+      | None -> st.system
+    in
+    { st with
+      completed = st.completed + seg_steps;
+      system;
+      progress;
+      guard_restores = Mdfault.guard_restores ();
+      fault = Mdfault.capture_state () }
+
+  let result_of_state st =
+    { Run_result.device = st.progress.device_label;
+      n_atoms = st.atoms;
+      steps = st.total_steps;
+      seconds = st.progress.seconds;
+      records = st.progress.records;
+      breakdown = st.progress.breakdown;
+      pairs_evaluated = st.progress.pairs_evaluated;
+      interactions = st.progress.interactions;
+      final_system = Some st.system }
+
+  let initial_state cfg system =
+    { device = device_name cfg.cfg_device;
+      atoms = cfg.cfg_atoms;
+      total_steps = cfg.cfg_steps;
+      completed = 0;
+      seed = cfg.cfg_seed;
+      density = cfg.cfg_density;
+      temperature = cfg.cfg_temperature;
+      every = cfg.cfg_every;
+      keep = cfg.cfg_keep;
+      guard_restores = Mdfault.guard_restores ();
+      system;
+      progress = empty_progress;
+      thermostat = None;
+      rngs = [];
+      fault = Mdfault.capture_state () }
+
+  let config_of_state ~dir device st =
+    { cfg_device = device;
+      cfg_atoms = st.atoms;
+      cfg_steps = st.total_steps;
+      cfg_seed = st.seed;
+      cfg_density = st.density;
+      cfg_temperature = st.temperature;
+      cfg_every = st.every;
+      cfg_keep = st.keep;
+      cfg_dir = dir }
+
+  let advance ?abort_after_segments ?deadline cfg st0 =
+    let st = ref st0 in
+    let segs_done = ref 0 in
+    let last_path = ref None in
+    let suspend reason =
+      Suspended
+        { sus_completed = !st.completed;
+          sus_total = !st.total_steps;
+          sus_path = !last_path;
+          sus_reason = reason }
+    in
+    let body () =
+      if cfg.cfg_every <= 0 then
+        (* Checkpointing disabled: one straight port run, the seed path. *)
+        Complete (segment_guarded cfg.cfg_device !st.system ~steps:!st.total_steps)
+      else begin
+        (* A generation-0 file makes resume possible however early the
+           process dies; for resumed runs the newest generation already
+           covers it. *)
+        if !st.completed = 0 then
+          last_path := Some (save ~dir:cfg.cfg_dir !st);
+        let rec loop () =
+          if !st.completed >= !st.total_steps then
+            Complete (result_of_state !st)
+          else begin
+            let seg_steps =
+              min cfg.cfg_every (!st.total_steps - !st.completed)
+            in
+            let r = segment_guarded cfg.cfg_device !st.system ~steps:seg_steps in
+            st := absorb_segment !st r ~seg_steps;
+            last_path := Some (save ~dir:cfg.cfg_dir !st);
+            incr segs_done;
+            match abort_after_segments with
+            | Some k when !segs_done >= k -> suspend "aborted by test hook"
+            | _ -> loop ()
+          end
+        in
+        loop ()
+      end
+    in
+    match deadline with
+    | None -> (
+      try body () with
+      | Verlet.Invariant_violation msg ->
+        suspend ("invariant violation: " ^ msg))
+    | Some seconds -> (
+      try Sim_util.Deadline.with_budget ~seconds body with
+      | Sim_util.Deadline.Expired budget ->
+        suspend
+          (Printf.sprintf "wall-clock deadline (%gs) exceeded" budget)
+      | Verlet.Invariant_violation msg ->
+        suspend ("invariant violation: " ^ msg))
+
+  let run ?abort_after_segments ?deadline cfg =
+    let system =
+      Mdcore.Init.build ~seed:cfg.cfg_seed ~density:cfg.cfg_density
+        ~temperature:cfg.cfg_temperature ~n:cfg.cfg_atoms ()
+    in
+    advance ?abort_after_segments ?deadline cfg (initial_state cfg system)
+
+  let resume ?abort_after_segments ?deadline path =
+    let loaded =
+      if Sys.file_exists path && Sys.is_directory path then
+        load_latest ~dir:path
+      else Result.map (fun st -> (st, path)) (load path)
+    in
+    match loaded with
+    | Error msg -> Error msg
+    | Ok (st, file) -> (
+      match device_of_name st.device with
+      | Error msg -> Error msg
+      | Ok device ->
+        (* Reinstate process-global state captured at the checkpoint:
+           the fault plan (stream PRNG positions, counters, event logs)
+           and the guard-restore count — the resumed run continues the
+           exact fault sequence of the uninterrupted one. *)
+        (match st.fault with
+        | Some fs -> Mdfault.restore_state fs
+        | None -> ());
+        Mdfault.set_guard_restores st.guard_restores;
+        let dir = Filename.dirname file in
+        let cfg = config_of_state ~dir device st in
+        Ok (advance ?abort_after_segments ?deadline cfg st))
+end

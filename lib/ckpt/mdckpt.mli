@@ -1,0 +1,192 @@
+(** Durable checkpoint/resume for simulation runs.
+
+    A production MD run is measured in wall-clock days; the paper-scale
+    sweeps here are measured in minutes, but the failure model is the
+    same — preemption, job-queue kills, wedged devices.  This module
+    gives `mdsim run` crash consistency: a versioned on-disk format
+    ([mdsim-checkpoint-v1]) written atomically (tmp + fsync + rename +
+    directory fsync) with a CRC-32 per section, capturing the {e full}
+    deterministic state of a run — the SoA system, the accumulated
+    virtual clocks and trajectory records, thermostat and named RNG
+    stream states, and the complete fault-plan state (per-stream PRNG
+    positions, counters, event logs).  A killed run resumed from its
+    newest valid generation converges {e bitwise} to the uninterrupted
+    run, at any [--domains] value, with or without an active fault plan.
+
+    Execution is segmented: {!Runner} drives the selected port in
+    [every]-step segments, carrying the final system state across
+    segment boundaries and checkpointing after each.  Both the
+    uninterrupted and the resumed run execute the same segment schedule,
+    which is what makes resume exact — device machine state (caches,
+    ledgers) is rebuilt per segment deterministically rather than
+    serialized. *)
+
+val schema : string
+(** ["mdsim-checkpoint-v1"]. *)
+
+val crc32 : string -> int
+(** CRC-32 (IEEE/zlib polynomial) of a byte string, in [0, 2^32). *)
+
+exception Corrupt of string
+(** Raised internally by the wire readers on truncated or implausible
+    data; the public [decode]/[load] entry points catch it and return
+    [Error] instead. *)
+
+(** Little-endian wire primitives shared by every durable artifact:
+    64-bit ints, bit-exact floats ([Int64.bits_of_float]), length-prefixed
+    strings/lists.  Exposed so other serializers (the harness run
+    manifest) encode with the same conventions. *)
+module Wire : sig
+  val u32 : Buffer.t -> int -> unit
+  val i64 : Buffer.t -> int -> unit
+  val f64 : Buffer.t -> float -> unit
+  val bool : Buffer.t -> bool -> unit
+  val str : Buffer.t -> string -> unit
+  val opt : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a option -> unit
+  val list : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a list -> unit
+  val farr : Buffer.t -> float array -> unit
+
+  type reader = { data : string; mutable pos : int }
+
+  val reader : string -> reader
+  val need : reader -> int -> unit
+  val ru32 : reader -> int
+  val ri64 : reader -> int64
+  val rint : reader -> int
+  val rf64 : reader -> float
+  val rbool : reader -> bool
+  val rstr : reader -> string
+  val ropt : reader -> (reader -> 'a) -> 'a option
+  val rlist : reader -> (reader -> 'a) -> 'a list
+  val rfarr : reader -> float array
+end
+
+val encode_container : magic:string -> (string * string) list -> string
+(** [magic] line followed by named sections, each length-prefixed and
+    CRC-32 checksummed. *)
+
+val decode_container :
+  magic:string -> string -> ((string * string) list, string) result
+(** Inverse of {!encode_container}; [Error] (never an exception) on bad
+    magic, truncation, or a CRC mismatch. *)
+
+val write_atomic : path:string -> string -> unit
+(** Durable atomic replace: write to [path ^ ".tmp"], fsync, rename over
+    [path], fsync the directory.  A crash leaves either the old or the
+    complete new file, never a torn write. *)
+
+(** {1 Run state} *)
+
+type progress = {
+  seconds : float;                (** accumulated virtual seconds *)
+  breakdown : (string * float) list;  (** accumulated ledger categories *)
+  pairs_evaluated : int;
+  interactions : int;
+  records : Mdcore.Verlet.step_record list;
+      (** globally renumbered, oldest first *)
+  device_label : string;          (** [Run_result.device] of the last segment *)
+}
+
+val empty_progress : progress
+
+type t = {
+  device : string;                (** CLI device name, e.g. ["cell-1spe"] *)
+  atoms : int;
+  total_steps : int;
+  completed : int;                (** steps finished so far *)
+  seed : int;
+  density : float;
+  temperature : float;
+  every : int;                    (** checkpoint cadence, in steps *)
+  keep : int;                     (** generations retained by GC *)
+  guard_restores : int;
+  system : Mdcore.System.t;
+  progress : progress;
+  thermostat : Mdcore.Thermostat.csvr_state option;
+  rngs : (string * Sim_util.Rng.state) list;
+      (** named auxiliary RNG streams *)
+  fault : Mdfault.state option;
+}
+
+val encode : t -> string
+(** Serialize to the on-disk byte format. *)
+
+val decode : string -> (t, string) result
+(** Parse and validate; [Error] with a one-line reason on wrong magic,
+    truncation, CRC mismatch, or inconsistent contents. *)
+
+(** {1 Durable files} *)
+
+val save : dir:string -> t -> string
+(** Atomically write [dir/ckpt-<completed>.mdsim] (creating [dir] as
+    needed), then GC generations beyond [t.keep] (always retaining at
+    least one).  Returns the path. *)
+
+val load : string -> (t, string) result
+
+val generations : dir:string -> (int * string) list
+(** Checkpoint generations in [dir], ascending by completed step. *)
+
+val load_latest : dir:string -> (t * string, string) result
+(** Newest valid generation and its path.  Rejected files (corrupt,
+    truncated, wrong schema) get a one-line stderr diagnostic each, then
+    the previous generation is tried. *)
+
+(** {1 Segmented runner} *)
+
+module Runner : sig
+  type device = Opteron | Cell | Cell1 | Ppe | Gpu | Mta | Mta_partial
+
+  val device_name : device -> string
+  val device_of_name : string -> (device, string) result
+
+  type config = {
+    cfg_device : device;
+    cfg_atoms : int;
+    cfg_steps : int;
+    cfg_seed : int;
+    cfg_density : float;
+    cfg_temperature : float;
+    cfg_every : int;   (** 0 disables checkpointing: one straight port run *)
+    cfg_keep : int;
+    cfg_dir : string;
+  }
+
+  type suspension = {
+    sus_completed : int;
+    sus_total : int;
+    sus_path : string option;  (** newest durable checkpoint, if any *)
+    sus_reason : string;
+  }
+
+  type outcome =
+    | Complete of Mdports.Run_result.t
+    | Suspended of suspension
+
+  val run : ?abort_after_segments:int -> ?deadline:float -> config -> outcome
+  (** Run [cfg_steps] in [cfg_every]-step segments, checkpointing after
+      each (plus a generation-0 file before the first, so resume is
+      possible however early the process dies).  [deadline] arms a
+      {!Sim_util.Deadline} budget: expiry suspends the run with the last
+      durable checkpoint intact.  [abort_after_segments] is the
+      kill-simulation test hook: return after that many segment
+      checkpoints, exactly as SIGKILL would leave the directory.  On a
+      persistent {!Mdcore.Verlet.Invariant_violation} the segment is
+      re-executed from its input state (the newest valid generation's
+      content) up to 2 times before suspending with the violation
+      reason. *)
+
+  val resume : ?abort_after_segments:int -> ?deadline:float -> string ->
+    (outcome, string) result
+  (** [resume path] continues from a checkpoint file, or from the newest
+      valid generation when [path] is a directory.  Reinstates the fault
+      plan (stream PRNG positions, counters, event logs) and
+      guard-restore count captured at the checkpoint, then runs the
+      remaining segments — producing final output byte-identical to the
+      uninterrupted run's.  [Error] when no valid checkpoint exists. *)
+
+  val result_of_state : t -> Mdports.Run_result.t
+  (** Synthesize the final result of a completed state ([completed =
+      total_steps]) — also used by {!resume} when the checkpoint already
+      covers the whole run. *)
+end

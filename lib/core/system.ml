@@ -103,3 +103,16 @@ let equal_positions ?(eps = 0.0) a b =
   a.n = b.n && max_position_delta a b <= eps
 
 let density t = float_of_int t.n /. (t.box ** 3.0)
+
+let finite t =
+  let ok = ref true in
+  let scan a =
+    if !ok then
+      for i = 0 to t.n - 1 do
+        if not (Float.is_finite a.(i)) then ok := false
+      done
+  in
+  scan t.pos_x; scan t.pos_y; scan t.pos_z;
+  scan t.vel_x; scan t.vel_y; scan t.vel_z;
+  scan t.acc_x; scan t.acc_y; scan t.acc_z;
+  !ok

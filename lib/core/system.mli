@@ -54,3 +54,8 @@ val max_position_delta : t -> t -> float
 val max_acceleration_delta : t -> t -> float
 val density : t -> float
 (** n / box³. *)
+
+val finite : t -> bool
+(** Whether every stored coordinate, velocity and acceleration is finite
+    (no NaN/Inf) — the cheapest corruption screen the invariant guard
+    runs after each step. *)

@@ -20,3 +20,35 @@ val equilibrate : System.t -> engine:Engine.t -> target:float ->
 (** Integrate [steps] velocity-Verlet steps applying a Berendsen step
     after each (default [tau] = 20·dt), returning the records.  Leaves
     the system near [target] temperature. *)
+
+(** {1 Stochastic velocity rescaling (CSVR)}
+
+    A simplified canonical-sampling thermostat (after Bussi, Donadio &
+    Parrinello 2007): the Berendsen relaxation plus a Gaussian noise
+    term sized for canonical temperature fluctuations.  Unlike
+    {!rescale}/{!berendsen} it is {e stateful} — it owns an RNG — so it
+    is the thermostat whose state checkpoints must carry for bitwise
+    resume. *)
+
+type csvr
+
+val csvr : ?seed:int -> target:float -> tau:float -> unit -> csvr
+(** Fresh thermostat (default [seed] 1234).  [target >= 0], [tau > 0]. *)
+
+val csvr_apply : csvr -> System.t -> unit
+(** One stochastic rescaling step; advances the thermostat RNG by one
+    Gaussian draw.  λ² is clamped to [\[0.25, 4\]] like {!berendsen}. *)
+
+type csvr_state = {
+  csvr_target : float;
+  csvr_tau : float;
+  csvr_rng : Sim_util.Rng.state;
+}
+(** Serializable snapshot: configuration plus exact RNG position. *)
+
+val csvr_state : csvr -> csvr_state
+val csvr_of_state : csvr_state -> csvr
+
+val equilibrate_csvr : System.t -> engine:Engine.t -> csvr:csvr ->
+  steps:int -> unit -> Verlet.step_record list
+(** Like {!equilibrate} but driven by a [csvr] thermostat. *)

@@ -42,16 +42,96 @@ let make_record s ~step:n ~pe =
     total_energy = ke +. pe;
     temperature = Observables.temperature s }
 
-let run s ~engine ~steps ?(max_step_retries = 0) ?(record = fun _ -> ()) () =
+(* ------------------------------------------------------------------ *)
+(* Invariant guard                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type guard = {
+  max_energy_jump : float;
+  max_momentum_drift : float;
+  max_restores : int;
+}
+
+let default_guard =
+  (* Velocity Verlet conserves energy to a few parts in 1e5 per step at
+     the dt used here, and net momentum to rounding error; silent
+     corruption (a flipped mantissa/exponent bit in a coordinate or
+     acceleration) shows up orders of magnitude above both bounds. *)
+  { max_energy_jump = 0.05; max_momentum_drift = 1e-6; max_restores = 4 }
+
+exception Invariant_violation of string
+
+let () =
+  Printexc.register_printer (function
+    | Invariant_violation reason -> Some ("Verlet.Invariant_violation: " ^ reason)
+    | _ -> None)
+
+let installed_guard : guard option Atomic.t = Atomic.make None
+let install_guard g = Atomic.set installed_guard (Some g)
+let clear_guard () = Atomic.set installed_guard None
+let current_guard () = Atomic.get installed_guard
+
+let check_invariants g s ~prev ~(r : step_record) ~p0 =
+  if
+    not
+      (Float.is_finite r.pe && Float.is_finite r.ke && System.finite s)
+  then
+    Some
+      (Printf.sprintf "non-finite state at step %d (NaN/Inf coordinate or energy)"
+         r.step)
+  else begin
+    let energy_bad =
+      match prev with
+      | None -> None
+      | Some (p : step_record) ->
+        let jump =
+          abs_float (r.total_energy -. p.total_energy)
+          /. Float.max 1.0 (abs_float p.total_energy)
+        in
+        if jump > g.max_energy_jump then
+          Some
+            (Printf.sprintf
+               "energy jump %.3g at step %d exceeds guard bound %.3g" jump
+               r.step g.max_energy_jump)
+        else None
+    in
+    match energy_bad with
+    | Some _ as bad -> bad
+    | None ->
+      let p = Observables.total_momentum s in
+      let drift =
+        Float.max
+          (abs_float (p.Vecmath.Vec3.x -. p0.Vecmath.Vec3.x))
+          (Float.max
+             (abs_float (p.Vecmath.Vec3.y -. p0.Vecmath.Vec3.y))
+             (abs_float (p.Vecmath.Vec3.z -. p0.Vecmath.Vec3.z)))
+      in
+      let bound = g.max_momentum_drift *. float_of_int s.System.n in
+      if drift > bound then
+        Some
+          (Printf.sprintf
+             "net-momentum drift %.3g at step %d exceeds guard bound %.3g"
+             drift r.step bound)
+      else None
+  end
+
+let run s ~engine ~steps ?(max_step_retries = 0) ?guard ?(record = fun _ -> ())
+    () =
   if steps < 0 then invalid_arg "Verlet.run: steps < 0";
   if max_step_retries < 0 then invalid_arg "Verlet.run: max_step_retries < 0";
+  let guard =
+    match guard with Some _ as g -> g | None -> Atomic.get installed_guard
+  in
   (* Checkpointed execution: snapshot the full SoA state before each
      force evaluation, and on a mid-step device failure (an unrecovered
      fault escaping the engine) roll back and re-execute the step.  The
-     snapshot buffer is reused across steps; the fault-free path with
-     [max_step_retries = 0] allocates nothing and runs the exact
-     pre-checkpointing code. *)
-  let checkpoint = if max_step_retries > 0 then Some (System.copy s) else None in
+     snapshot buffer is reused across steps; the fault-free, guard-free
+     path with [max_step_retries = 0] allocates nothing and runs the
+     exact pre-checkpointing code. *)
+  let checkpoint =
+    if max_step_retries > 0 || guard <> None then Some (System.copy s)
+    else None
+  in
   let checkpointed f =
     match checkpoint with
     | None -> f ()
@@ -68,14 +148,49 @@ let run s ~engine ~steps ?(max_step_retries = 0) ?(record = fun _ -> ()) () =
       in
       go 0
   in
-  let pe0 = checkpointed (fun () -> prepare s ~engine) in
-  let first = make_record s ~step:0 ~pe:pe0 in
+  (* The guard validates the freshly produced record against the previous
+     one; on violation it rolls the state back to the pre-step snapshot
+     (the newest valid generation) and re-executes.  Re-execution draws
+     fresh fault-stream values, so transient silent corruption — a
+     texture-lane or DRAM bit flip — converges back to the clean
+     trajectory; persistent violations escalate to Invariant_violation. *)
+  let guarded ~prev ~p0 exec ~step_index =
+    match guard with
+    | None ->
+      let pe = checkpointed exec in
+      make_record s ~step:step_index ~pe
+    | Some g ->
+      let snap = Option.get checkpoint in
+      let rec go restores =
+        let pe = checkpointed exec in
+        let r = make_record s ~step:step_index ~pe in
+        match check_invariants g s ~prev ~r ~p0 with
+        | None -> r
+        | Some reason ->
+          if step_index > 0 && restores < g.max_restores then begin
+            System.restore ~dst:s ~src:snap;
+            Mdfault.note_guard_restore ();
+            go (restores + 1)
+          end
+          else raise (Invariant_violation reason)
+      in
+      go 0
+  in
+  let p0 = Observables.total_momentum s in
+  Sim_util.Deadline.check ();
+  let first = guarded ~prev:None ~p0 (fun () -> prepare s ~engine) ~step_index:0 in
   record first;
+  let prev = ref first in
   let rest =
     List.init steps (fun k ->
-        let pe = checkpointed (fun () -> step s ~engine) in
-        let r = make_record s ~step:(k + 1) ~pe in
+        Sim_util.Deadline.check ();
+        let r =
+          guarded ~prev:(Some !prev) ~p0
+            (fun () -> step s ~engine)
+            ~step_index:(k + 1)
+        in
         record r;
+        prev := r;
         r)
   in
   first :: rest

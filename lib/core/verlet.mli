@@ -37,8 +37,43 @@ val half_kick : System.t -> unit
 val drift : System.t -> unit
 (** x += v·Δt, with periodic re-wrap. *)
 
+(** {1 Invariant guard}
+
+    Retry layers only catch {e detected} faults; silent corruption (a
+    GPU texture-lane or DRAM bit flip) sails through.  The guard
+    validates cheap physics invariants after every step — finite state,
+    bounded per-step energy jump, bounded net-momentum drift from the
+    run's initial momentum — and on violation restores the newest valid
+    snapshot (the pre-step state) and re-executes, escalating to
+    {!Invariant_violation} when the violation persists. *)
+
+type guard = {
+  max_energy_jump : float;
+  (** max |E(t) − E(t−1)| / max(1, |E(t−1)|) per step *)
+  max_momentum_drift : float;
+  (** max per-atom |P(t) − P(0)| component drift (scaled by n) *)
+  max_restores : int;
+  (** snapshot restores per step before escalating *)
+}
+
+val default_guard : guard
+(** 5% relative energy jump, 1e-6 per-atom momentum drift, 4 restores. *)
+
+exception Invariant_violation of string
+(** A guard bound stayed violated after [max_restores] re-executions
+    (or the initial state itself was invalid).  A [Printexc] printer is
+    registered. *)
+
+val install_guard : guard -> unit
+(** Make [guard] the process-wide default for {!run} (the [?guard]
+    argument overrides it per call).  Like fault plans, install before
+    starting runs. *)
+
+val clear_guard : unit -> unit
+val current_guard : unit -> guard option
+
 val run : System.t -> engine:Engine.t -> steps:int ->
-  ?max_step_retries:int ->
+  ?max_step_retries:int -> ?guard:guard ->
   ?record:(step_record -> unit) -> unit -> step_record list
 (** [run s ~engine ~steps ()] integrates [steps] steps and returns one
     record per step (including a step-0 record for the initial state).
@@ -51,4 +86,9 @@ val run : System.t -> engine:Engine.t -> steps:int ->
     ports pass [Mdfault.step_retries ()].  The re-execution draws fresh
     fault-stream values, so a transient device failure converges to the
     fault-free trajectory.  With 0 retries the fault-free path is
-    unchanged (and allocation-free). *)
+    unchanged (and allocation-free).
+
+    [guard] (default: the installed guard, if any) additionally runs the
+    invariant checks above after every step.  Each step also calls
+    [Sim_util.Deadline.check], so a deadline-supervised caller can bound
+    the wall-clock cost of a wedged run at one-step granularity. *)

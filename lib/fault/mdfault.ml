@@ -127,6 +127,24 @@ let parse_spec text =
   in
   Ok { seed; rates; policy }
 
+(* Canonical spec text: parseable by [parse_spec] and stable for a given
+   spec, so checkpoints can persist the active plan as one line.  Only
+   nonzero rates are emitted; sites keep [all_sites] order. *)
+let spec_to_string spec =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf
+    (Printf.sprintf "seed=%d,retries=%d,backoff=%.17g,watchdog=%d" spec.seed
+       spec.policy.max_retries spec.policy.base_backoff_s
+       spec.policy.watchdog_limit);
+  List.iter
+    (fun site ->
+      let r = spec_rate spec site in
+      if r > 0.0 then
+        Buffer.add_string buf
+          (Printf.sprintf ",%s:%.17g" (site_name site) r))
+    all_sites;
+  Buffer.contents buf
+
 (* ------------------------------------------------------------------ *)
 (* Failures                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -420,6 +438,20 @@ let record_silent st ~detail =
   record st ~attempts:0 ~recovered:false ~detail;
   bump_prof st ~injected:1 ~retries:0 ~recoveries:0 ~unrecovered:0 ~backoff:0.0
 
+(* Guard restores are tracked globally (not per plan): the invariant
+   guard also runs without any fault plan installed, and keeping the
+   counter out of [summary] preserves the byte layout of existing
+   summaries and fault logs. *)
+let guard_restore_count = Atomic.make 0
+
+let note_guard_restore () =
+  Atomic.incr guard_restore_count;
+  if Mdprof.enabled () then
+    Mdprof.incr (Mdprof.counter ~clock:Mdprof.Virtual "fault/guard_restores")
+
+let guard_restores () = Atomic.get guard_restore_count
+let set_guard_restores n = Atomic.set guard_restore_count n
+
 let note_recovered_step () =
   match Atomic.get current with
   | None -> ()
@@ -427,6 +459,90 @@ let note_recovered_step () =
     Atomic.incr plan.recovered_steps;
     if Mdprof.enabled () then
       Mdprof.incr (Mdprof.counter ~clock:Mdprof.Virtual "fault/step_recoveries")
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointable state                                                *)
+(* ------------------------------------------------------------------ *)
+
+type stream_state = {
+  ss_name : string;
+  ss_site : site;
+  ss_rate : float;
+  ss_rng : Rng.state option;
+  ss_events : event list;  (* newest first, as stored *)
+  ss_event_count : int;
+  ss_injected : int;
+  ss_retries : int;
+  ss_recoveries : int;
+  ss_unrecovered : int;
+  ss_backoff_s : float;
+  ss_consecutive : int;
+}
+
+type state = {
+  cs_spec : spec;
+  cs_streams : stream_state list;  (* sorted by name *)
+  cs_recovered_steps : int;
+}
+
+let capture_state () =
+  match Atomic.get current with
+  | None -> None
+  | Some plan ->
+    Mutex.lock plan.plan_mutex;
+    let streams = Hashtbl.fold (fun _ st acc -> st :: acc) plan.streams [] in
+    Mutex.unlock plan.plan_mutex;
+    let capture st =
+      { ss_name = st.st_name;
+        ss_site = st.st_site;
+        ss_rate = st.st_rate;
+        ss_rng = Option.map Rng.state st.st_rng;
+        ss_events = st.st_events;
+        ss_event_count = st.st_event_count;
+        ss_injected = st.st_injected;
+        ss_retries = st.st_retries;
+        ss_recoveries = st.st_recoveries;
+        ss_unrecovered = st.st_unrecovered;
+        ss_backoff_s = st.st_backoff_s;
+        ss_consecutive = st.st_consecutive }
+    in
+    let streams =
+      streams
+      |> List.sort (fun a b -> compare a.st_name b.st_name)
+      |> List.map capture
+    in
+    Some
+      { cs_spec = plan.spec;
+        cs_streams = streams;
+        cs_recovered_steps = Atomic.get plan.recovered_steps }
+
+let restore_state cs =
+  install cs.cs_spec;
+  match Atomic.get current with
+  | None -> assert false
+  | Some plan ->
+    Atomic.set plan.recovered_steps cs.cs_recovered_steps;
+    Mutex.lock plan.plan_mutex;
+    List.iter
+      (fun ss ->
+        let st =
+          { st_site = ss.ss_site;
+            st_name = ss.ss_name;
+            st_rate = ss.ss_rate;
+            st_rng = Option.map Rng.of_state ss.ss_rng;
+            st_policy = cs.cs_spec.policy;
+            st_events = ss.ss_events;
+            st_event_count = ss.ss_event_count;
+            st_injected = ss.ss_injected;
+            st_retries = ss.ss_retries;
+            st_recoveries = ss.ss_recoveries;
+            st_unrecovered = ss.ss_unrecovered;
+            st_backoff_s = ss.ss_backoff_s;
+            st_consecutive = ss.ss_consecutive }
+        in
+        Hashtbl.replace plan.streams ss.ss_name st)
+      cs.cs_streams;
+    Mutex.unlock plan.plan_mutex
 
 (* ------------------------------------------------------------------ *)
 (* Event log and summaries                                             *)

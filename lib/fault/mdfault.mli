@@ -82,6 +82,12 @@ val parse_spec : string -> (spec, string) result
 
     e.g. ["all:1e-3"], ["cell-dma:0.01,gpu-pcie:0.005,seed=7"]. *)
 
+val spec_to_string : spec -> string
+(** Canonical one-line form of [spec], parseable by {!parse_spec} (e.g.
+    ["seed=7,retries=4,backoff=1e-06,watchdog=64,cell-dma:0.001"]).
+    Zero rates are omitted; [backoff_multiplier] is not representable in
+    the grammar and must stay at its default for exact round-trips. *)
+
 val install : spec -> unit
 (** Make [spec] the active plan (replacing any previous plan and its
     event log).  Install before creating machines. *)
@@ -164,6 +170,16 @@ val note_recovered_step : unit -> unit
 (** Called by the engine layer when a checkpointed step re-execution
     succeeded after a device failure. *)
 
+val note_guard_restore : unit -> unit
+(** Called by the invariant guard ({!Mdcore.Verlet}) when a violated
+    physics invariant forced a restore from the newest valid snapshot.
+    Tracked globally (guards also run without a fault plan) and kept out
+    of {!summary} so existing fault-log bytes are unchanged. *)
+
+val guard_restores : unit -> int
+val set_guard_restores : int -> unit
+(** Restore the global guard-restore count (checkpoint resume). *)
+
 (** {1 Event log and summaries} *)
 
 type event = {
@@ -204,3 +220,39 @@ val events_json : unit -> string
 val summary_line : summary -> string
 (** e.g. "faults: 12 injected, 15 retries, 12 recovered, 0 unrecovered,
     3 step restores, 31.00 us virtual backoff". *)
+
+(** {1 Checkpointable state}
+
+    A fault plan is live mutable state — per-stream PRNG positions,
+    counters and event logs.  [capture_state]/[restore_state] snapshot
+    and reinstate all of it, so a resumed run replays the exact fault
+    sequence an uninterrupted run would have seen. *)
+
+type stream_state = {
+  ss_name : string;
+  ss_site : site;
+  ss_rate : float;
+  ss_rng : Sim_util.Rng.state option;  (** [None] = permanently inert *)
+  ss_events : event list;              (** newest first, as stored *)
+  ss_event_count : int;
+  ss_injected : int;
+  ss_retries : int;
+  ss_recoveries : int;
+  ss_unrecovered : int;
+  ss_backoff_s : float;
+  ss_consecutive : int;
+}
+
+type state = {
+  cs_spec : spec;
+  cs_streams : stream_state list;  (** sorted by name *)
+  cs_recovered_steps : int;
+}
+
+val capture_state : unit -> state option
+(** Snapshot the active plan and every registered stream ([None] when no
+    plan is installed). *)
+
+val restore_state : state -> unit
+(** Install [cs_spec] as the active plan and repopulate its streams —
+    PRNG positions, counters, event logs — exactly as captured. *)

@@ -41,6 +41,15 @@ type t = {
   profile : (unit, Mdports.Cell_port.profile slot) Hashtbl.t;
 }
 
+(* Canonical description of a scale, used to key harness run-manifest
+   entries: a manifest written at one scale must never satisfy a resume
+   at another. *)
+let scale_key s =
+  Printf.sprintf "atoms=%d,steps=%d,seed=%d,gpu=%s,mta=%s" s.atoms s.steps
+    s.seed
+    (String.concat "+" (List.map string_of_int s.gpu_sweep))
+    (String.concat "+" (List.map string_of_int s.mta_sweep))
+
 let create ?(scale = paper_scale) () =
   { scale;
     lock = Mutex.create ();

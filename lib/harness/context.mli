@@ -28,6 +28,11 @@ val paper_scale : scale
 val quick_scale : scale
 (** 192 atoms, 3 steps, tiny sweeps — for tests. *)
 
+val scale_key : scale -> string
+(** Canonical one-line description of a scale — the run-manifest entry
+    key, so entries recorded at one scale never satisfy a resume at
+    another. *)
+
 type t
 
 val create : ?scale:scale -> unit -> t

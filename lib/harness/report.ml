@@ -75,8 +75,30 @@ let failure_outcome (e : Experiment.t) msg =
 let fault_summary_for (e : Experiment.t) =
   Mdfault.summary ~prefix:(e.Experiment.id ^ "/") ()
 
-let run_one_classified ctx (e : Experiment.t) =
-  match run_one ctx e with
+(* The placeholder for an experiment the deadline supervisor had to
+   abort.  Built only from the configured budget (never the elapsed host
+   time), so the entry — and with it the whole report — stays
+   byte-identical however late the abort landed. *)
+let deadline_outcome (e : Experiment.t) msg =
+  let table = Sim_util.Table.create ~headers:[ "status"; "detail" ] in
+  Sim_util.Table.add_row table [ "degraded"; msg ];
+  { Experiment.id = e.id;
+    title = e.title;
+    table;
+    checks =
+      [ { Experiment.name = "completed"; passed = false; detail = msg } ];
+    notes = [ "experiment aborted by deadline supervisor: " ^ msg ];
+    figure = None;
+    virtual_seconds = [] }
+
+let run_one_classified ?deadline ctx (e : Experiment.t) =
+  let supervised () =
+    match deadline with
+    | None -> run_one ctx e
+    | Some seconds ->
+      Sim_util.Deadline.with_budget ~seconds (fun () -> run_one ctx e)
+  in
+  match supervised () with
   | outcome ->
     let faults = fault_summary_for e in
     let status =
@@ -85,6 +107,14 @@ let run_one_classified ctx (e : Experiment.t) =
       else Ok
     in
     { outcome; status; error = None; faults }
+  | exception Sim_util.Deadline.Expired budget ->
+    let msg =
+      Printf.sprintf "wall-clock deadline (%gs) exceeded" budget
+    in
+    { outcome = deadline_outcome e msg;
+      status = Degraded;
+      error = Some msg;
+      faults = fault_summary_for e }
   | exception exn ->
     let error = Printexc.to_string exn in
     (* Graceful degradation: re-run fault-free (injection suspended on
@@ -114,17 +144,51 @@ let run_one_classified ctx (e : Experiment.t) =
         error = Some error;
         faults })
 
+let status_of_name = function
+  | "ok" -> Ok
+  | "recovered" -> Recovered
+  | "degraded" -> Degraded
+  | _ -> Failed
+
+let classified_of_entry (e : Manifest.entry) =
+  { outcome = e.Manifest.ent_outcome;
+    status = status_of_name e.Manifest.ent_status;
+    error = e.Manifest.ent_error;
+    faults = e.Manifest.ent_faults }
+
+let entry_of_classified c =
+  { Manifest.ent_id = c.outcome.Experiment.id;
+    ent_key = "";  (* stamped by Manifest.record *)
+    ent_status = status_name c.status;
+    ent_error = c.error;
+    ent_faults = c.faults;
+    ent_outcome = c.outcome }
+
 (* Experiments are independent given the context (which memoizes shared
    artifacts thread-safely), so they fan out across the Mdpar pool;
    map_list keeps the outcomes in paper order, and every outcome is a
    deterministic function of the scale, so the report is byte-identical
-   to a sequential run. *)
-let run_list_classified ?pool ctx exps =
+   to a sequential run.  With a [manifest], finished entries are reused
+   (their run is skipped entirely) and each newly finished experiment is
+   durably recorded the moment it completes, making an interrupted
+   report run resumable. *)
+let run_list_classified ?pool ?manifest ?deadline ctx exps =
   let pool = match pool with Some p -> p | None -> Mdpar.get () in
-  Mdpar.map_list pool (run_one_classified ctx) exps
+  let run_one_entry (e : Experiment.t) =
+    match manifest with
+    | None -> run_one_classified ?deadline ctx e
+    | Some m -> (
+      match Manifest.find m e.Experiment.id with
+      | Some entry -> classified_of_entry entry
+      | None ->
+        let c = run_one_classified ?deadline ctx e in
+        Manifest.record m (entry_of_classified c);
+        c)
+  in
+  Mdpar.map_list pool run_one_entry exps
 
-let run_all_classified ?pool ctx =
-  run_list_classified ?pool ctx Registry.all
+let run_all_classified ?pool ?manifest ?deadline ctx =
+  run_list_classified ?pool ?manifest ?deadline ctx Registry.all
 
 (* Every experiment is isolated: an exception aborts only its own entry,
    never the report (and at zero fault rate the outcome list is

@@ -38,12 +38,29 @@ type classified = {
   faults : Mdfault.summary;  (** this experiment's injected-fault totals *)
 }
 
-val run_one_classified : Context.t -> Experiment.t -> classified
-val run_list_classified :
-  ?pool:Mdpar.t -> Context.t -> Experiment.t list -> classified list
+val run_one_classified :
+  ?deadline:float -> Context.t -> Experiment.t -> classified
+(** With [deadline], the run is supervised by a per-experiment
+    wall-clock budget ({!Sim_util.Deadline}, host clock): on expiry the
+    experiment is aborted at its next integrator step and classified
+    [Degraded], with a synthesized placeholder outcome built only from
+    the configured budget (never the elapsed time), so the report stays
+    deterministic. *)
 
-val run_all_classified : ?pool:Mdpar.t -> Context.t -> classified list
-(** {!run_all} with per-experiment termination status.  Never raises. *)
+val run_list_classified :
+  ?pool:Mdpar.t -> ?manifest:Manifest.t -> ?deadline:float ->
+  Context.t -> Experiment.t list -> classified list
+
+val run_all_classified :
+  ?pool:Mdpar.t -> ?manifest:Manifest.t -> ?deadline:float ->
+  Context.t -> classified list
+(** {!run_all} with per-experiment termination status.  Never raises.
+    With a [manifest], finished ([ok]/[recovered]) entries are reused
+    without re-running, and each newly finished experiment is durably
+    recorded the moment it completes — an interrupted report run
+    restarted with the same manifest file resumes instead of starting
+    over.  [deadline] is the per-experiment wall-clock budget (see
+    {!run_one_classified}). *)
 
 val render_classified : classified list -> string
 (** {!render_all} plus status / fault-summary lines on experiments that

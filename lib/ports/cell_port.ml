@@ -124,6 +124,7 @@ type profile = {
   precision : precision;
   records : Mdcore.Verlet.step_record list;
   row_hits : int array array; (* one entry per force evaluation *)
+  final : Mdcore.System.t;    (* working copy after the last step *)
 }
 
 let profile_run ?(steps = 10) ?(precision = Single) system =
@@ -142,7 +143,8 @@ let profile_run ?(steps = 10) ?(precision = Single) system =
   in
   let records = Mdcore.Verlet.run s ~engine ~steps ~max_step_retries:(Mdfault.step_retries ()) () in
   { n; steps; precision; records;
-    row_hits = Array.of_list (List.rev !collected) }
+    row_hits = Array.of_list (List.rev !collected);
+    final = s }
 
 let profile_precision p = p.precision
 
@@ -311,7 +313,8 @@ let time_with ?(j_chunk = default_j_chunk) profile cfg =
     records = profile.records;
     breakdown = breakdown_of_ledger ledger;
     pairs_evaluated = invocations * n * (n - 1);
-    interactions = profile_hits profile }
+    interactions = profile_hits profile;
+    final_system = Some profile.final }
 
 let run ?steps ?(config = default_config) system =
   time_with (profile_run ?steps ~precision:config.precision system) config
@@ -335,7 +338,8 @@ let time_ppe_only ?(machine = Cellbe.Config.default) profile =
     records = profile.records;
     breakdown = breakdown_of_ledger (Machine.ledger m);
     pairs_evaluated = invocations * n * (n - 1);
-    interactions = profile_hits profile }
+    interactions = profile_hits profile;
+    final_system = Some profile.final }
 
 let run_ppe_only ?steps ?machine system =
   time_ppe_only ?machine (profile_run ?steps system)

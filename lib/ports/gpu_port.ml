@@ -214,7 +214,8 @@ let run ?(steps = 10) ?(machine = Gpustream.Config.geforce_7900gtx)
         (fun cat -> (Ledger.category_name cat, Ledger.get ledger cat))
         Ledger.all_categories;
     pairs_evaluated = !invocations * n * n;
-    interactions = !hits_total }
+    interactions = !hits_total;
+    final_system = Some s }
 
 let seconds_for ?steps ?machine ~n () =
   let system = Mdcore.Init.build ~n () in

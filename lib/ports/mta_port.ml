@@ -81,7 +81,8 @@ let run ?(steps = 10) ?(mode = Fully_multithreaded)
         (fun cat -> (Ledger.category_name cat, Ledger.get ledger cat))
         Ledger.all_categories;
     pairs_evaluated = !pairs_total;
-    interactions = !hits_total }
+    interactions = !hits_total;
+    final_system = Some s }
 
 let seconds_for ?steps ?mode ?machine ~n () =
   let system = Mdcore.Init.build ~n () in

@@ -152,7 +152,8 @@ let run ?(steps = 10) ?(config = default_config) system =
     breakdown =
       [ ("compute", to_s !compute_cycles); ("memory", to_s !memory_cycles) ];
     pairs_evaluated = !pairs_total;
-    interactions = !hits_total }
+    interactions = !hits_total;
+    final_system = Some s }
 
 let run_pairlist ?(steps = 10) ?(config = default_config) ?skin system =
   let s = Mdcore.System.copy system in
@@ -209,7 +210,8 @@ let run_pairlist ?(steps = 10) ?(config = default_config) ?skin system =
     breakdown =
       [ ("compute", to_s !compute_cycles); ("memory", to_s !memory_cycles) ];
     pairs_evaluated = !pairs_total;
-    interactions = !hits_total }
+    interactions = !hits_total;
+    final_system = Some s }
 
 let seconds_for ?steps ?config ~n () =
   let system = Mdcore.Init.build ~n () in

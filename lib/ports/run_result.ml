@@ -7,6 +7,7 @@ type t = {
   breakdown : (string * float) list;
   pairs_evaluated : int;
   interactions : int;
+  final_system : Mdcore.System.t option;
 }
 
 let final_total_energy t =

@@ -14,6 +14,10 @@ type t = {
           complete ledger *)
   pairs_evaluated : int;     (** candidate pairs examined, total *)
   interactions : int;        (** pairs inside the cutoff, total *)
+  final_system : Mdcore.System.t option;
+      (** the port's working copy after the last step — the state a
+          checkpointed runner persists and carries into the next
+          segment.  [None] only for synthesized results. *)
 }
 
 val final_total_energy : t -> float

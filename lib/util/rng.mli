@@ -19,6 +19,21 @@ val copy : t -> t
 (** [copy t] is an independent generator that will replay [t]'s future
     stream. *)
 
+type state = { bits : int64; cached : float option }
+(** Complete serializable snapshot of a generator: the SplitMix64 counter
+    and the Box–Muller cached deviate.  Restoring both is required for
+    bitwise replay — dropping the cache would shift every subsequent
+    {!gaussian} draw by one. *)
+
+val state : t -> state
+(** [state t] captures [t]'s position in its stream. *)
+
+val of_state : state -> t
+(** [of_state s] is a generator that resumes exactly at [s]. *)
+
+val set_state : t -> state -> unit
+(** [set_state t s] rewinds (or fast-forwards) [t] to [s] in place. *)
+
 val split : t -> t
 (** [split t] derives a statistically independent generator and advances
     [t].  Used to give each subsystem its own stream so that adding draws in

@@ -34,6 +34,13 @@ let add_float_row t label ?(fmt = fmt_sig4) xs =
   add_row t (label :: List.map fmt xs)
 
 let row_count t = List.length t.rows
+let headers t = t.headers
+let rows t = t.rows
+
+let of_rows ~headers rows =
+  let t = create ~headers in
+  List.iter (add_row t) rows;
+  t
 
 let default_aligns t = Left :: List.init (width t - 1) (fun _ -> Right)
 

@@ -20,6 +20,15 @@ val add_float_row : t -> string -> ?fmt:(float -> string) -> float list -> unit
 
 val row_count : t -> int
 
+val headers : t -> string list
+val rows : t -> string list list
+(** Raw cells in insertion order — used by the harness manifest to persist
+    completed tables verbatim. *)
+
+val of_rows : headers:string list -> string list list -> t
+(** Rebuild a table from {!headers}/{!rows} output.  Raises
+    [Invalid_argument] on ragged rows, like {!add_row}. *)
+
 val render : ?aligns:align list -> t -> string
 (** Fixed-width text rendering with a header separator.  [aligns] defaults
     to left for the first column and right for the rest. *)

@@ -19,4 +19,5 @@ let () =
       Test_seqalign.tests;
       Test_calibration.tests;
       Test_fault.tests;
-      Test_harness.tests ]
+      Test_harness.tests;
+      Test_ckpt.tests ]
