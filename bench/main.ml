@@ -205,6 +205,49 @@ let test_ablation_pairlist_build =
     [ make_build 256 false; make_build 256 true;
       make_build 1024 false; make_build 1024 true ]
 
+(* Skin sweep (DESIGN.md §13): the production pairlist force path at
+   three skins.  A thicker skin scans more candidates per rebuild but
+   rebuilds less often; the committed baseline records where the
+   trade-off lands for this workload. *)
+let test_ablation_skin =
+  (* Built eagerly: Init.build takes a visible fraction of the bechamel
+     quota, and a lazy force inside the first sample poisons the slope
+     estimate for these sub-second entries. *)
+  let sys = Mdcore.Init.build ~n:512 () in
+  let make_skin skin =
+    Test.make
+      ~name:(Printf.sprintf "opteron-skin-%.1f" skin)
+      (Staged.stage (fun () ->
+           Mdports.Opteron_port.run_pairlist ~steps:2 ~skin sys))
+  in
+  Test.make_grouped ~name:"ablation-skin"
+    [ make_skin 0.2; make_skin 0.4; make_skin 0.8 ]
+
+(* The tentpole acceptance bench: every device port at the largest bench
+   size, production pairlist path vs the brute O(N²) path it replaced.
+   The committed baseline entries record the pairlist beating per-step
+   N² on each port. *)
+let test_pairlist_vs_brute =
+  let big_n = 1024 in
+  (* Eager for the same reason as the skin sweep above. *)
+  let big = Mdcore.Init.build ~n:big_n () in
+  let port name f =
+    [ Test.make ~name:(name ^ "-pairlist")
+        (Staged.stage (fun () -> f Mdports.Force_path.default));
+      Test.make ~name:(name ^ "-brute")
+        (Staged.stage (fun () -> f Mdports.Force_path.brute)) ]
+  in
+  Test.make_grouped ~name:"pairlist-vs-brute"
+    (List.concat
+       [ port "opteron" (fun force_path ->
+             Mdports.Opteron_port.run ~steps:2 ~force_path big);
+         port "cell" (fun force_path ->
+             Mdports.Cell_port.run ~steps:2 ~force_path big);
+         port "gpu" (fun force_path ->
+             Mdports.Gpu_port.run ~steps:2 ~force_path big);
+         port "mta" (fun force_path ->
+             Mdports.Mta_port.run ~steps:2 ~force_path big) ])
+
 (* Tracing-overhead ablation (Mdobs): the same pooled gather with the
    recorder off (the default — each probe site costs one atomic load)
    and with a memory sink attached.  The acceptance bar is <2% overhead
@@ -260,6 +303,7 @@ let ckpt_cfg ~every ~dir =
     cfg_seed = 42;
     cfg_density = 0.8;
     cfg_temperature = 1.0;
+    cfg_force_path = Mdports.Force_path.default;
     cfg_every = every;
     cfg_keep = 2;
     cfg_dir = dir }
@@ -313,7 +357,8 @@ let all_tests =
   Test.make_grouped ~name:"repro"
     [ test_table1; test_fig5; test_fig6; test_fig7; test_fig8; test_fig9;
       test_ablation_engines; test_ablation_precision; test_ablation_search;
-      test_ablation_pool; test_ablation_pairlist_build; test_ablation_obs;
+      test_ablation_pool; test_ablation_pairlist_build; test_ablation_skin;
+      test_pairlist_vs_brute; test_ablation_obs;
       test_ablation_fault; test_ablation_ckpt;
       test_substrates ]
 

@@ -28,6 +28,28 @@ let temperature_arg =
   let doc = "Initial reduced temperature." in
   Arg.(value & opt float 1.0 & info [ "temperature" ] ~docv:"T" ~doc)
 
+let engine_arg =
+  let engines = [ ("pairlist", `Pairlist); ("n2", `N2) ] in
+  let doc =
+    "Force engine: $(b,pairlist) (the skin-based Verlet neighbour list, \
+     the default) or $(b,n2) (the paper's per-step O(N²) sweep).  Boxes \
+     below the min-image bound for cutoff+skin silently fall back to n2.  \
+     Cannot be combined with $(b,--resume): the checkpoint carries the \
+     engine."
+  in
+  Arg.(
+    value
+    & opt (some (enum engines)) None
+    & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
+let skin_arg =
+  let doc =
+    "Pairlist skin thickness in σ (default 0.4).  Thicker skins rebuild \
+     less often but scan more candidates per rebuild.  Requires the \
+     pairlist engine; cannot be combined with $(b,--resume)."
+  in
+  Arg.(value & opt (some float) None & info [ "skin" ] ~docv:"SIGMA" ~doc)
+
 let device_arg =
   let devices =
     [ ("opteron", `Opteron); ("cell", `Cell); ("cell-1spe", `Cell1);
@@ -81,6 +103,43 @@ let validate_run_args ~atoms ~steps ~density ~temperature =
   if (not (Float.is_finite temperature)) || temperature < 0.0 then
     usage_error "--temperature must be a finite non-negative number (got %g)"
       temperature
+
+(* Forces are byte-identical across engines' admissible/inadmissible
+   boundary handling only because validation happens here, before any
+   port runs: a bad skin must exit 2, never raise from inside a port. *)
+let force_path_of_args ?geometry ~engine ~skin () =
+  (match (engine, skin) with
+  | Some `N2, Some _ ->
+    usage_error "--skin requires the pairlist engine (got --engine n2)"
+  | _ -> ());
+  (* An explicitly requested pairlist must actually be usable: the
+     min-image convention caps the reach at half the box, and silently
+     falling back to brute would contradict the flag.  (The default
+     engine, with no --engine given, still falls back silently so the
+     small paper fixtures run unchanged.) *)
+  (match (engine, geometry) with
+  | Some `Pairlist, Some (atoms, density) ->
+    let box = Float.cbrt (float_of_int atoms /. density) in
+    let reach =
+      Mdcore.Params.default.Mdcore.Params.cutoff
+      +. Option.value skin ~default:Mdcore.Pairlist.default_skin
+    in
+    if box < 2.0 *. reach then
+      usage_error
+        "--engine pairlist needs box >= 2*(cutoff+skin) for the \
+         minimum-image convention (box %.3g < %.3g; raise --atoms or \
+         lower --skin)"
+        box (2.0 *. reach)
+  | _ -> ());
+  match engine with
+  | Some `N2 -> Mdports.Force_path.brute
+  | Some `Pairlist | None -> (
+    match skin with
+    | None -> Mdports.Force_path.default
+    | Some sk ->
+      if (not (Float.is_finite sk)) || sk <= 0.0 then
+        usage_error "--skin must be a finite positive number of σ (got %g)" sk;
+      Mdports.Force_path.pairlist ~skin:sk ())
 
 let faults_arg =
   let doc =
@@ -322,9 +381,9 @@ let runner_device = function
   | `Mta_partial -> Mdckpt.Runner.Mta_partial
 
 let run_cmd =
-  let action atoms steps seed density temperature device xyz_path domains
-      trace metrics counters faults fault_log every ckpt_dir keep resume
-      deadline guard =
+  let action atoms steps seed density temperature device engine skin
+      xyz_path domains trace metrics counters faults fault_log every
+      ckpt_dir keep resume deadline guard =
     apply_domains domains;
     validate_run_args ~atoms ~steps ~density ~temperature;
     validate_checkpoint_args ~every ~keep ~deadline ~resume;
@@ -334,9 +393,16 @@ let run_cmd =
         usage_error
           "--resume cannot be combined with --faults: the checkpoint \
            carries the fault plan";
+      if engine <> None || skin <> None then
+        usage_error
+          "--resume cannot be combined with --engine/--skin: the \
+           checkpoint carries the force engine";
       if xyz_path <> None then
         usage_error "--resume cannot be combined with --dump-xyz"
     | None -> ());
+    let force_path =
+      force_path_of_args ~geometry:(atoms, density) ~engine ~skin ()
+    in
     start_trace trace;
     start_counters counters;
     start_faults faults;
@@ -411,6 +477,7 @@ let run_cmd =
           { Mdckpt.Runner.cfg_device = runner_device device;
             cfg_atoms = atoms; cfg_steps = steps; cfg_seed = seed;
             cfg_density = density; cfg_temperature = temperature;
+            cfg_force_path = force_path;
             cfg_every = every; cfg_keep = keep; cfg_dir = ckpt_dir }
         in
         finish_outcome
@@ -420,18 +487,19 @@ let run_cmd =
         let result =
           or_unrecovered (fun () ->
               match device with
-              | `Opteron -> Mdports.Opteron_port.run ~steps system
-              | `Cell -> Mdports.Cell_port.run ~steps system
+              | `Opteron ->
+                Mdports.Opteron_port.run ~steps ~force_path system
+              | `Cell -> Mdports.Cell_port.run ~steps ~force_path system
               | `Cell1 ->
-                Mdports.Cell_port.run ~steps
+                Mdports.Cell_port.run ~steps ~force_path
                   ~config:
                     { Mdports.Cell_port.default_config with n_spes = 1 }
                   system
               | `Ppe -> Mdports.Cell_port.run_ppe_only ~steps system
-              | `Gpu -> Mdports.Gpu_port.run ~steps system
-              | `Mta -> Mdports.Mta_port.run ~steps system
+              | `Gpu -> Mdports.Gpu_port.run ~steps ~force_path system
+              | `Mta -> Mdports.Mta_port.run ~steps ~force_path system
               | `Mta_partial ->
-                Mdports.Mta_port.run ~steps
+                Mdports.Mta_port.run ~steps ~force_path
                   ~mode:Mdports.Mta_port.Partially_multithreaded system)
         in
         finish_complete result
@@ -440,10 +508,10 @@ let run_cmd =
   let term =
     Term.(
       const action $ atoms_arg $ steps_arg $ seed_arg $ density_arg
-      $ temperature_arg $ device_arg $ xyz_arg $ domains_arg $ trace_arg
-      $ metrics_arg $ counters_arg $ faults_arg $ fault_log_arg
-      $ checkpoint_every_arg $ checkpoint_dir_arg $ checkpoint_keep_arg
-      $ resume_arg $ deadline_arg $ guard_arg)
+      $ temperature_arg $ device_arg $ engine_arg $ skin_arg $ xyz_arg
+      $ domains_arg $ trace_arg $ metrics_arg $ counters_arg $ faults_arg
+      $ fault_log_arg $ checkpoint_every_arg $ checkpoint_dir_arg
+      $ checkpoint_keep_arg $ resume_arg $ deadline_arg $ guard_arg)
   in
   let doc = "Run the MD kernel on one device model." in
   Cmd.v (Cmd.info "run" ~doc) term

@@ -139,6 +139,8 @@ type t = {
   seed : int;
   density : float;
   temperature : float;
+  engine : string;
+  skin : float;
   every : int;
   keep : int;
   guard_restores : int;
@@ -161,7 +163,12 @@ let enc_meta buf st =
   Wire.f64 buf st.temperature;
   Wire.i64 buf st.every;
   Wire.i64 buf st.keep;
-  Wire.i64 buf st.guard_restores
+  Wire.i64 buf st.guard_restores;
+  (* Force-engine fields ride at the tail of the meta section so a
+     checkpoint written before they existed still decodes (the reader
+     defaults them when the payload ends early). *)
+  Wire.str buf st.engine;
+  Wire.f64 buf st.skin
 
 let enc_system buf (s : System.t) =
   Wire.i64 buf s.System.n;
@@ -486,6 +493,17 @@ let decode data =
       let every = Wire.rint r in
       let keep = Wire.rint r in
       let guard_restores = Wire.rint r in
+      (* Tolerant tail: pre-engine checkpoints stop here; they ran the
+         then-only brute engine, and replaying their remaining segments
+         must keep doing so to stay bitwise. *)
+      let engine, skin =
+        if r.Wire.pos < String.length r.data then begin
+          let engine = Wire.rstr r in
+          let skin = Wire.rf64 r in
+          (engine, skin)
+        end
+        else ("n2", Mdcore.Pairlist.default_skin)
+      in
       let system = dec_system (get "system") in
       if system.System.n <> atoms then raise (Corrupt "atom count mismatch");
       let progress = dec_progress (get "progress") in
@@ -499,8 +517,8 @@ let decode data =
       let fault = Wire.ropt (get "faults") dec_fault in
       Ok
         { device; atoms; total_steps; completed; seed; density; temperature;
-          every; keep; guard_restores; system; progress; thermostat; rngs;
-          fault }
+          engine; skin; every; keep; guard_restores; system; progress;
+          thermostat; rngs; fault }
     end
   with
   | Corrupt msg -> Error msg
@@ -632,10 +650,22 @@ module Runner = struct
     cfg_seed : int;
     cfg_density : float;
     cfg_temperature : float;
+    cfg_force_path : Mdports.Force_path.t;
     cfg_every : int;
     cfg_keep : int;
     cfg_dir : string;
   }
+
+  let engine_of_force_path = function
+    | Mdports.Force_path.Brute -> ("n2", Mdcore.Pairlist.default_skin)
+    | Mdports.Force_path.Pairlist { skin } -> ("pairlist", skin)
+
+  let force_path_of_engine ~engine ~skin =
+    match engine with
+    | "n2" -> Ok Mdports.Force_path.Brute
+    | "pairlist" -> Ok (Mdports.Force_path.Pairlist { skin })
+    | other ->
+      Error (Printf.sprintf "unknown force engine %S in checkpoint" other)
 
   type suspension = {
     sus_completed : int;
@@ -648,19 +678,26 @@ module Runner = struct
     | Complete of Run_result.t
     | Suspended of suspension
 
-  let segment device system ~steps =
+  (* Pairlist state is deliberately NOT serialized: each segment starts
+     a fresh list, which forces a rebuild on the segment's first force
+     evaluation.  Because the engine's forces are bitwise-independent of
+     rebuild timing (beyond-cutoff list entries contribute exactly
+     nothing), the resumed run's extra rebuild changes no physics — the
+     uninterrupted and resumed runs execute the same segment schedule
+     and converge bitwise. *)
+  let segment device ~force_path system ~steps =
     match device with
-    | Opteron -> Mdports.Opteron_port.run ~steps system
-    | Cell -> Mdports.Cell_port.run ~steps system
+    | Opteron -> Mdports.Opteron_port.run ~steps ~force_path system
+    | Cell -> Mdports.Cell_port.run ~steps ~force_path system
     | Cell1 ->
-      Mdports.Cell_port.run ~steps
+      Mdports.Cell_port.run ~steps ~force_path
         ~config:{ Mdports.Cell_port.default_config with n_spes = 1 }
         system
     | Ppe -> Mdports.Cell_port.run_ppe_only ~steps system
-    | Gpu -> Mdports.Gpu_port.run ~steps system
-    | Mta -> Mdports.Mta_port.run ~steps system
+    | Gpu -> Mdports.Gpu_port.run ~steps ~force_path system
+    | Mta -> Mdports.Mta_port.run ~steps ~force_path system
     | Mta_partial ->
-      Mdports.Mta_port.run ~steps
+      Mdports.Mta_port.run ~steps ~force_path
         ~mode:Mdports.Mta_port.Partially_multithreaded system
 
   (* On a persistent invariant violation (Verlet's per-step restores
@@ -671,9 +708,9 @@ module Runner = struct
      escalates. *)
   let max_segment_retries = 2
 
-  let segment_guarded device system ~steps =
+  let segment_guarded device ~force_path system ~steps =
     let rec go attempt =
-      match segment device system ~steps with
+      match segment device ~force_path system ~steps with
       | r -> r
       | exception Verlet.Invariant_violation _
         when attempt < max_segment_retries ->
@@ -749,6 +786,7 @@ module Runner = struct
       final_system = Some st.system }
 
   let initial_state cfg system =
+    let engine, skin = engine_of_force_path cfg.cfg_force_path in
     { device = device_name cfg.cfg_device;
       atoms = cfg.cfg_atoms;
       total_steps = cfg.cfg_steps;
@@ -756,6 +794,8 @@ module Runner = struct
       seed = cfg.cfg_seed;
       density = cfg.cfg_density;
       temperature = cfg.cfg_temperature;
+      engine;
+      skin;
       every = cfg.cfg_every;
       keep = cfg.cfg_keep;
       guard_restores = Mdfault.guard_restores ();
@@ -765,13 +805,14 @@ module Runner = struct
       rngs = [];
       fault = Mdfault.capture_state () }
 
-  let config_of_state ~dir device st =
+  let config_of_state ~dir device ~force_path st =
     { cfg_device = device;
       cfg_atoms = st.atoms;
       cfg_steps = st.total_steps;
       cfg_seed = st.seed;
       cfg_density = st.density;
       cfg_temperature = st.temperature;
+      cfg_force_path = force_path;
       cfg_every = st.every;
       cfg_keep = st.keep;
       cfg_dir = dir }
@@ -790,7 +831,9 @@ module Runner = struct
     let body () =
       if cfg.cfg_every <= 0 then
         (* Checkpointing disabled: one straight port run, the seed path. *)
-        Complete (segment_guarded cfg.cfg_device !st.system ~steps:!st.total_steps)
+        Complete
+          (segment_guarded cfg.cfg_device ~force_path:cfg.cfg_force_path
+             !st.system ~steps:!st.total_steps)
       else begin
         (* A generation-0 file makes resume possible however early the
            process dies; for resumed runs the newest generation already
@@ -804,7 +847,10 @@ module Runner = struct
             let seg_steps =
               min cfg.cfg_every (!st.total_steps - !st.completed)
             in
-            let r = segment_guarded cfg.cfg_device !st.system ~steps:seg_steps in
+            let r =
+              segment_guarded cfg.cfg_device
+                ~force_path:cfg.cfg_force_path !st.system ~steps:seg_steps
+            in
             st := absorb_segment !st r ~seg_steps;
             last_path := Some (save ~dir:cfg.cfg_dir !st);
             incr segs_done;
@@ -848,6 +894,9 @@ module Runner = struct
       match device_of_name st.device with
       | Error msg -> Error msg
       | Ok device ->
+      match force_path_of_engine ~engine:st.engine ~skin:st.skin with
+      | Error msg -> Error msg
+      | Ok force_path ->
         (* Reinstate process-global state captured at the checkpoint:
            the fault plan (stream PRNG positions, counters, event logs)
            and the guard-restore count — the resumed run continues the
@@ -857,6 +906,6 @@ module Runner = struct
         | None -> ());
         Mdfault.set_guard_restores st.guard_restores;
         let dir = Filename.dirname file in
-        let cfg = config_of_state ~dir device st in
+        let cfg = config_of_state ~dir device ~force_path st in
         Ok (advance ?abort_after_segments ?deadline cfg st))
 end

@@ -97,6 +97,8 @@ type t = {
   seed : int;
   density : float;
   temperature : float;
+  engine : string;                (** force engine: ["pairlist"] or ["n2"] *)
+  skin : float;                   (** pairlist skin, in σ (ignored for n2) *)
   every : int;                    (** checkpoint cadence, in steps *)
   keep : int;                     (** generations retained by GC *)
   guard_restores : int;
@@ -147,6 +149,13 @@ module Runner : sig
     cfg_seed : int;
     cfg_density : float;
     cfg_temperature : float;
+    cfg_force_path : Mdports.Force_path.t;
+        (** Serialized into the checkpoint (as engine name + skin) and
+            restored on resume, so the command line cannot change the
+            engine mid-run.  Pairlist state itself is never serialized:
+            every segment starts with a fresh list (rebuild forced on
+            its first force evaluation), and rebuild timing does not
+            change forces, so resume stays bitwise. *)
     cfg_every : int;   (** 0 disables checkpointing: one straight port run *)
     cfg_keep : int;
     cfg_dir : string;

@@ -1,3 +1,13 @@
+let default_skin = 0.4
+
+(* The Newton-3 traversal is split into [compute_chunks n] contiguous
+   row blocks accumulating into private force buffers merged in block
+   order.  The chunk count is a pure function of [n] — never of the
+   pool size — so the summation order, and hence every force bit, is
+   identical for any [--domains] setting (and identical to the serial
+   traversal when the count is 1). *)
+let compute_chunks n = if n < 512 then 1 else 8
+
 type t = {
   system : System.t;
   skin : float;
@@ -6,12 +16,26 @@ type t = {
      ascending j order (the build algorithms below must all agree on
      this so the stored lists are byte-identical across them). *)
   mutable neighbours : int array array;
+  (* Full rows (each unordered pair stored in both rows, ascending),
+     derived lazily from the half-list for the gather-style ports;
+     [full_gen] records which build they match. *)
+  mutable full : int array array;
+  mutable full_gen : int;
   ref_x : float array;  (* positions at last build *)
   ref_y : float array;
   ref_z : float array;
   mutable built : bool;
   mutable rebuilds : int;
   mutable last_hits : int;
+  (* Candidate pairs whose distance the last build examined (the cost a
+     port charges for a rebuild scan). *)
+  row_scanned : int array;
+  mutable last_scanned : int;
+  (* Per-chunk Newton-3 accumulation state, allocated on first chunked
+     compute and reused. *)
+  mutable chunk_acc : float array array;  (* chunks × 3n *)
+  chunk_pe : float array;
+  chunk_hits : int array;
   (* Cell-binning state, allocated once at [create] and reused on every
      rebuild.  [cells = 0] means the box is too small for a 27-cell
      stencil and builds fall back to the O(N²) scan. *)
@@ -21,13 +45,40 @@ type t = {
   atom_cell : int array;  (* cell index per atom, filled during binning *)
   obs : Mdobs.track option;  (* host-clock rebuild events *)
   prof_rebuilds : Mdprof.counter option;  (* host-clock rebuild count *)
+  prof_builds : Mdprof.counter option;    (* virtual-clock build count *)
+  prof_neighbours : Mdprof.gauge option;  (* stored half-list entries *)
 }
 
-let create ?(skin = 0.4) ?pool (s : System.t) =
-  if skin <= 0.0 then invalid_arg "Pairlist.create: skin must be positive";
+let valid_skin skin = Float.is_finite skin && skin > 0.0
+
+let admissible ?(skin = default_skin) (s : System.t) =
+  valid_skin skin
+  && s.System.box >= 2.0 *. (s.System.params.Params.cutoff +. skin)
+
+(* Two distinct box thresholds govern a list's life:
+
+   - [box < 2*(cutoff+skin)] — *validation*.  The minimum-image
+     convention resolves each pair to a unique nearest image only when
+     the interaction reach is at most half the box; past that bound the
+     list itself would be wrong, so [create] rejects the configuration
+     ([admissible] is the same predicate, for callers that want to fall
+     back to a brute engine instead of raising).
+   - [box/(cutoff+skin) < 3] — *build strategy*.  A correct but narrow
+     box fits fewer than 3 cells per axis, where the 27-cell stencil
+     would visit the same periodic image twice; builds then fall back
+     to the O(N²) scan ([cells = 0]).  The stored list is identical
+     either way.
+
+   So 2*(cutoff+skin) <= box < 3*(cutoff+skin) means "admissible, but
+   brute-built"; only below the first bound is the list refused. *)
+let create ?(skin = default_skin) ?pool (s : System.t) =
+  if not (valid_skin skin) then
+    invalid_arg "Pairlist.create: skin must be positive and finite";
   let reach = s.System.params.Params.cutoff +. skin in
   if s.System.box < 2.0 *. reach then
-    invalid_arg "Pairlist.create: box too small for cutoff + skin";
+    invalid_arg
+      "Pairlist.create: cutoff + skin exceeds the min-image bound \
+       (box < 2*(cutoff+skin))";
   let cells =
     let m = int_of_float (s.System.box /. reach) in
     if m >= 3 then m else 0
@@ -36,12 +87,19 @@ let create ?(skin = 0.4) ?pool (s : System.t) =
     skin;
     pool;
     neighbours = Array.make s.System.n [||];
+    full = [||];
+    full_gen = -1;
     ref_x = Array.make s.System.n 0.0;
     ref_y = Array.make s.System.n 0.0;
     ref_z = Array.make s.System.n 0.0;
     built = false;
     rebuilds = 0;
     last_hits = 0;
+    row_scanned = Array.make s.System.n 0;
+    last_scanned = 0;
+    chunk_acc = [||];
+    chunk_pe = Array.make (compute_chunks s.System.n) 0.0;
+    chunk_hits = Array.make (compute_chunks s.System.n) 0;
     cells;
     head = (if cells = 0 then [||] else Array.make (cells * cells * cells) (-1));
     next = Array.make s.System.n (-1);
@@ -53,12 +111,27 @@ let create ?(skin = 0.4) ?pool (s : System.t) =
     prof_rebuilds =
       (if Mdprof.enabled () then
          Some (Mdprof.counter ~clock:Mdprof.Host "pairlist/rebuilds")
+       else None);
+    prof_builds =
+      (if Mdprof.enabled () then
+         Some (Mdprof.counter ~clock:Mdprof.Virtual "pairlist/builds")
+       else None);
+    prof_neighbours =
+      (if Mdprof.enabled () then
+         Some
+           (Mdprof.gauge ~unit_:"entries" ~clock:Mdprof.Virtual
+              "pairlist/neighbours")
        else None) }
 
 let pool_of t =
   match t.pool with Some p -> p | None -> Mdpar.get ()
 
 let reach_of t = t.system.System.params.Params.cutoff +. t.skin
+
+let skin t = t.skin
+
+let neighbour_count t =
+  Array.fold_left (fun acc a -> acc + Array.length a) 0 t.neighbours
 
 let finish_build t =
   let { System.n; pos_x; pos_y; pos_z; _ } = t.system in
@@ -67,14 +140,20 @@ let finish_build t =
   Array.blit pos_z 0 t.ref_z 0 n;
   t.built <- true;
   t.rebuilds <- t.rebuilds + 1;
+  t.last_scanned <- Array.fold_left ( + ) 0 t.row_scanned;
   (match t.prof_rebuilds with Some c -> Mdprof.incr c | None -> ());
+  (match t.prof_builds with Some c -> Mdprof.incr c | None -> ());
+  (match t.prof_neighbours with
+  | Some g -> Mdprof.set g (float_of_int (neighbour_count t))
+  | None -> ());
   match t.obs with
   | Some tr ->
     Mdobs.instant tr ~name:"rebuild" ~ts:(Mdobs.host_now ())
       ~args:
         [ ("rebuilds", Mdobs.Int t.rebuilds);
           ("atoms", Mdobs.Int n);
-          ("cells", Mdobs.Int t.cells) ]
+          ("cells", Mdobs.Int t.cells);
+          ("scanned", Mdobs.Int t.last_scanned) ]
       ()
   | None -> ()
 
@@ -90,6 +169,7 @@ let build_row_brute t reach2 i =
     and dz = Min_image.delta ~box (pos_z.(i) -. pos_z.(j)) in
     if (dx *. dx) +. (dy *. dy) +. (dz *. dz) < reach2 then acc := j :: !acc
   done;
+  t.row_scanned.(i) <- n - 1 - i;
   Array.of_list !acc
 
 let build_brute t =
@@ -132,7 +212,7 @@ let build_row_cells t reach2 i =
   let ci = t.atom_cell.(i) in
   let cix = ci mod m and ciy = ci / m mod m and ciz = ci / (m * m) in
   let xi = pos_x.(i) and yi = pos_y.(i) and zi = pos_z.(i) in
-  let acc = ref [] and count = ref 0 in
+  let acc = ref [] and count = ref 0 and scanned = ref 0 in
   for sz = -1 to 1 do
     for sy = -1 to 1 do
       for sx = -1 to 1 do
@@ -142,6 +222,7 @@ let build_row_cells t reach2 i =
         let j = ref t.head.(c) in
         while !j >= 0 do
           if !j > i then begin
+            incr scanned;
             let dx = Min_image.delta ~box (xi -. pos_x.(!j))
             and dy = Min_image.delta ~box (yi -. pos_y.(!j))
             and dz = Min_image.delta ~box (zi -. pos_z.(!j)) in
@@ -155,6 +236,7 @@ let build_row_cells t reach2 i =
       done
     done
   done;
+  t.row_scanned.(i) <- !scanned;
   let row = Array.make !count 0 in
   List.iteri (fun k j -> row.(k) <- j) !acc;
   Array.sort Int.compare row;
@@ -185,10 +267,46 @@ let max_drift t =
 
 let needs_rebuild t = (not t.built) || max_drift t > 0.5 *. t.skin
 
-let compute t (s : System.t) =
-  if s != t.system then
-    invalid_arg "Pairlist: engine used with a different system";
-  if needs_rebuild t then build t;
+let refresh t = if needs_rebuild t then (build t; true) else false
+
+(* Full rows derived from the half-list: partners below k arrive in
+   ascending order by transposing the half rows in ascending i, then
+   each row's own (ascending, > k) half row is appended — so every full
+   row lists its partners strictly ascending, matching the order an
+   O(N²) gather visits its hits in. *)
+let full_rows t =
+  if not t.built then invalid_arg "Pairlist.full_rows: list not built";
+  if t.full_gen <> t.rebuilds then begin
+    let n = t.system.System.n in
+    let cnt = Array.make n 0 in
+    Array.iteri
+      (fun i row ->
+        cnt.(i) <- cnt.(i) + Array.length row;
+        Array.iter (fun j -> cnt.(j) <- cnt.(j) + 1) row)
+      t.neighbours;
+    let full = Array.init n (fun k -> Array.make cnt.(k) 0) in
+    let fill = Array.make n 0 in
+    for i = 0 to n - 1 do
+      Array.iter
+        (fun j ->
+          full.(j).(fill.(j)) <- i;
+          fill.(j) <- fill.(j) + 1)
+        t.neighbours.(i)
+    done;
+    for k = 0 to n - 1 do
+      let row = t.neighbours.(k) in
+      Array.blit row 0 full.(k) fill.(k) (Array.length row)
+    done;
+    t.full <- full;
+    t.full_gen <- t.rebuilds
+  end;
+  t.full
+
+let full_entry_count t = 2 * neighbour_count t
+
+(* Serial Newton-3 half-list traversal — the exact pre-chunking hot
+   loop, still taken whenever [compute_chunks n = 1]. *)
+let compute_serial t (s : System.t) =
   let { System.n; box; params; pos_x; pos_y; pos_z; acc_x; acc_y; acc_z; _ } =
     s
   in
@@ -223,14 +341,126 @@ let compute t (s : System.t) =
   t.last_hits <- !hits;
   !pe
 
+(* Chunked Newton-3: each chunk owns the contiguous row block
+   [c*n/chunks, (c+1)*n/chunks) and accumulates both sides of its pairs
+   into a private 3n force buffer; buffers are then merged per atom in
+   ascending chunk order (and PE/hit partials folded the same way), so
+   the result is a pure function of (n, list) — independent of the pool
+   size and of which domain ran which chunk. *)
+let compute_chunked t (s : System.t) ~chunks =
+  let { System.n; box; params; pos_x; pos_y; pos_z; acc_x; acc_y; acc_z; _ } =
+    s
+  in
+  let rc2 = Params.cutoff2 params in
+  let inv_mass = 1.0 /. params.Params.mass in
+  if Array.length t.chunk_acc = 0 then
+    t.chunk_acc <- Array.init chunks (fun _ -> Array.make (3 * n) 0.0);
+  let bufs = t.chunk_acc in
+  let pool = pool_of t in
+  Mdpar.parallel_for pool ~lo:0 ~hi:(chunks - 1) (fun c ->
+      let buf = bufs.(c) in
+      Array.fill buf 0 (3 * n) 0.0;
+      let pe = ref 0.0 and hits = ref 0 in
+      for i = c * n / chunks to ((c + 1) * n / chunks) - 1 do
+        let xi = pos_x.(i) and yi = pos_y.(i) and zi = pos_z.(i) in
+        Array.iter
+          (fun j ->
+            let dx = Min_image.delta ~box (xi -. pos_x.(j))
+            and dy = Min_image.delta ~box (yi -. pos_y.(j))
+            and dz = Min_image.delta ~box (zi -. pos_z.(j)) in
+            let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
+            if r2 < rc2 then begin
+              let f_over_r = Params.lj_force_over_r params r2 in
+              let ax = f_over_r *. dx *. inv_mass
+              and ay = f_over_r *. dy *. inv_mass
+              and az = f_over_r *. dz *. inv_mass in
+              buf.(3 * i) <- buf.(3 * i) +. ax;
+              buf.((3 * i) + 1) <- buf.((3 * i) + 1) +. ay;
+              buf.((3 * i) + 2) <- buf.((3 * i) + 2) +. az;
+              buf.(3 * j) <- buf.(3 * j) -. ax;
+              buf.((3 * j) + 1) <- buf.((3 * j) + 1) -. ay;
+              buf.((3 * j) + 2) <- buf.((3 * j) + 2) -. az;
+              pe := !pe +. Params.lj_potential params r2;
+              incr hits
+            end)
+          t.neighbours.(i)
+      done;
+      t.chunk_pe.(c) <- !pe;
+      t.chunk_hits.(c) <- !hits);
+  (* Deterministic merge: atom slots are disjoint, chunk order fixed. *)
+  Mdpar.parallel_for pool ~lo:0 ~hi:(n - 1) (fun i ->
+      let ax = ref 0.0 and ay = ref 0.0 and az = ref 0.0 in
+      for c = 0 to chunks - 1 do
+        let buf = bufs.(c) in
+        ax := !ax +. buf.(3 * i);
+        ay := !ay +. buf.((3 * i) + 1);
+        az := !az +. buf.((3 * i) + 2)
+      done;
+      acc_x.(i) <- !ax;
+      acc_y.(i) <- !ay;
+      acc_z.(i) <- !az);
+  let pe = ref 0.0 and hits = ref 0 in
+  for c = 0 to chunks - 1 do
+    pe := !pe +. t.chunk_pe.(c);
+    hits := !hits + t.chunk_hits.(c)
+  done;
+  t.last_hits <- !hits;
+  !pe
+
+let compute t (s : System.t) =
+  if s != t.system then
+    invalid_arg "Pairlist: engine used with a different system";
+  if needs_rebuild t then build t;
+  let chunks = compute_chunks s.System.n in
+  if chunks = 1 then compute_serial t s else compute_chunked t s ~chunks
+
+(* Serial double-precision gather over the full rows — bit-identical to
+   [Forces.compute_gather_stats]: hits arrive per row in the same
+   ascending-j order, and pairs the list omits are exactly those beyond
+   cutoff+skin, which contribute nothing to the O(N²) sums. *)
+let compute_full_stats t (s : System.t) =
+  if s != t.system then
+    invalid_arg "Pairlist: engine used with a different system";
+  if needs_rebuild t then build t;
+  let full = full_rows t in
+  let { System.n; box; params; pos_x; pos_y; pos_z; acc_x; acc_y; acc_z; _ } =
+    s
+  in
+  let rc2 = Params.cutoff2 params in
+  let inv_mass = 1.0 /. params.Params.mass in
+  let pe2 = ref 0.0 and hits = ref 0 in
+  for i = 0 to n - 1 do
+    let xi = pos_x.(i) and yi = pos_y.(i) and zi = pos_z.(i) in
+    let fx = ref 0.0 and fy = ref 0.0 and fz = ref 0.0 in
+    Array.iter
+      (fun j ->
+        let dx = Min_image.delta ~box (xi -. pos_x.(j))
+        and dy = Min_image.delta ~box (yi -. pos_y.(j))
+        and dz = Min_image.delta ~box (zi -. pos_z.(j)) in
+        let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
+        if r2 < rc2 then begin
+          let f_over_r = Params.lj_force_over_r params r2 in
+          fx := !fx +. (f_over_r *. dx);
+          fy := !fy +. (f_over_r *. dy);
+          fz := !fz +. (f_over_r *. dz);
+          pe2 := !pe2 +. Params.lj_potential params r2;
+          incr hits
+        end)
+      full.(i);
+    acc_x.(i) <- !fx *. inv_mass;
+    acc_y.(i) <- !fy *. inv_mass;
+    acc_z.(i) <- !fz *. inv_mass
+  done;
+  t.last_hits <- !hits;
+  (0.5 *. !pe2, !hits)
+
 let engine t = Engine.make ~name:"pairlist" ~compute:(compute t)
 
 let rebuild_count t = t.rebuilds
 
 let last_interaction_count t = t.last_hits
 
-let neighbour_count t =
-  Array.fold_left (fun acc a -> acc + Array.length a) 0 t.neighbours
+let last_build_scanned t = t.last_scanned
 
 let force_rebuild t = build t
 

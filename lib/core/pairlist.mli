@@ -4,19 +4,41 @@
     construction, which is updated every few simulation time steps" as the
     most common cache-friendliness technique — and then deliberately does
     not use it, to keep the kernel a pure N² stress test.  We implement it
-    anyway as an ablation: the benches quantify exactly how much the paper
-    left on the table on the cache-based baseline.
+    and, since the port simulators exist to explore what the architectures
+    can do, run production force evaluations through it (the ports fall
+    back to the brute engine only when {!admissible} says the box is too
+    small).
 
     The list stores, per atom, all neighbours within [cutoff + skin]; it is
     rebuilt automatically when any atom has drifted more than [skin/2]
     since the last build (the classical sufficient condition for the list
-    to still cover every pair within the cutoff). *)
+    to still cover every pair within the cutoff).
+
+    {b Box-size thresholds.}  Two different bounds apply, deliberately
+    aligned here so callers can reason about them together:
+    - [box < 2*(cutoff+skin)] — the minimum-image bound.  Below it a
+      neighbour and its periodic image are not distinguishable, so
+      {!create} raises and {!admissible} is false; engines fall back to
+      the brute O(N²) path instead.
+    - [box < 3*(cutoff+skin)] — fewer than 3 cells per axis.  The list is
+      still correct, but the 27-cell stencil would double-visit periodic
+      images, so builds use the O(N²) scan ([{!uses_cells} = false]).
+      The stored list is identical either way. *)
 
 type t
 
+val default_skin : float
+(** 0.4σ — the conventional skin for a reduced-units LJ liquid. *)
+
+val admissible : ?skin:float -> System.t -> bool
+(** Whether {!create} would accept this system: [skin] positive and
+    finite, and [box >= 2*(cutoff+skin)] (the min-image bound).  Ports
+    use this to decide between the list engine and the brute fallback. *)
+
 val create : ?skin:float -> ?pool:Mdpar.t -> System.t -> t
-(** [skin] defaults to 0.4σ.  Raises [Invalid_argument] if nonpositive or
-    if [box < 2*(cutoff+skin)].
+(** [skin] defaults to {!default_skin}.  Raises [Invalid_argument] if
+    [skin] is NaN, infinite or nonpositive, or if [cutoff + skin] exceeds
+    the min-image bound ([box < 2*(cutoff+skin)]).
 
     Builds are O(N): atoms are binned into cells at least [cutoff+skin]
     wide (buffers allocated here, reused on every rebuild) and each
@@ -27,21 +49,55 @@ val create : ?skin:float -> ?pool:Mdpar.t -> System.t -> t
     bit-identical to the O(N²) scan for any pool size.  Boxes narrower
     than 3 cells per axis fall back to the O(N²) scan. *)
 
+val skin : t -> float
+
 val engine : t -> Engine.t
 (** An engine bound to this list's bookkeeping.  The engine must only be
-    used with the system the list was created for (checked). *)
+    used with the system the list was created for (checked).
+
+    The compute is a Newton-3 half-list traversal.  Above
+    [compute_chunks] rows it runs chunked on the pool with per-chunk
+    force buffers merged in fixed chunk order; the chunk count is a pure
+    function of [n], so forces, PE and interaction counts are
+    byte-identical across pool sizes ([--domains]) and across rebuild
+    cadence (list entries beyond the cutoff contribute nothing). *)
+
+val refresh : t -> bool
+(** Rebuild if the drift trigger demands it; [true] when a rebuild
+    happened.  Ports call this at the top of each force evaluation so
+    they can charge the rebuild's scan cost explicitly. *)
+
+val full_rows : t -> int array array
+(** Full neighbour rows (each unordered pair appears in both partners'
+    rows, partners strictly ascending — the same per-row hit order an
+    O(N²) gather produces), derived lazily from the half-list and cached
+    per build.  The gather-style ports (Cell, GPU, MTA) traverse these.
+    Raises [Invalid_argument] before the first build. *)
+
+val full_entry_count : t -> int
+(** Total entries across {!full_rows} (= 2 × {!neighbour_count}). *)
+
+val compute_full_stats : t -> System.t -> float * int
+(** Serial double-precision gather over {!full_rows}: (PE, ordered-pair
+    hit count), bit-identical to [Forces.compute_gather_stats] on the
+    same positions.  Rebuilds first if the drift trigger demands it. *)
 
 val rebuild_count : t -> int
 (** Number of list constructions so far (tests assert the every-few-steps
     cadence). *)
+
+val last_build_scanned : t -> int
+(** Candidate pairs whose distance the most recent build examined —
+    [n(n-1)/2] for brute builds, the 27-cell stencil population for
+    cell-binned builds.  Ports charge this for rebuild scans. *)
 
 val neighbour_count : t -> int
 (** Total stored neighbour entries (diagnostics). *)
 
 val last_interaction_count : t -> int
 (** In-cutoff pairs found by the most recent force evaluation (each
-    unordered pair once — the list is a half-list); 0 before the first
-    evaluation. *)
+    unordered pair once under the Newton-3 engine, each ordered pair
+    under {!compute_full_stats}); 0 before the first evaluation. *)
 
 val force_rebuild : t -> unit
 

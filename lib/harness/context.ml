@@ -109,9 +109,15 @@ let system_of t ~n =
 
 let system t = system_of t ~n:t.scale.atoms
 
+(* The calibration experiments reproduce the paper's figures, and the
+   paper deliberately runs the pure N² kernel (Section 3.4) — so every
+   memoized port run here pins [Force_path.brute].  The pairlist
+   production path has its own ablation experiment and bench entries. *)
+
 let opteron t =
   memo t t.opteron_main () ~scope:"ctx/opteron" (fun () ->
-      Mdports.Opteron_port.run ~steps:t.scale.steps (system t))
+      Mdports.Opteron_port.run ~steps:t.scale.steps
+        ~force_path:Mdports.Force_path.brute (system t))
 
 let opteron_seconds_of t ~n =
   if n = t.scale.atoms then (opteron t).Mdports.Run_result.seconds
@@ -119,14 +125,16 @@ let opteron_seconds_of t ~n =
     memo t t.opteron_sweep n
       ~scope:(Printf.sprintf "ctx/opteron-%d" n)
       (fun () ->
-        (Mdports.Opteron_port.run ~steps:t.scale.steps (system_of t ~n))
+        (Mdports.Opteron_port.run ~steps:t.scale.steps
+           ~force_path:Mdports.Force_path.brute (system_of t ~n))
           .Mdports.Run_result.seconds)
 
 let gpu_seconds_of t ~n =
   memo t t.gpu_sweep n
     ~scope:(Printf.sprintf "ctx/gpu-%d" n)
     (fun () ->
-      (Mdports.Gpu_port.run ~steps:t.scale.steps (system_of t ~n))
+      (Mdports.Gpu_port.run ~steps:t.scale.steps
+         ~force_path:Mdports.Force_path.brute (system_of t ~n))
         .Mdports.Run_result.seconds)
 
 let mta_seconds_of t ~mode ~n =
@@ -134,9 +142,11 @@ let mta_seconds_of t ~mode ~n =
   memo t t.mta_sweep (full, n)
     ~scope:(Printf.sprintf "ctx/mta-%s-%d" (if full then "full" else "partial") n)
     (fun () ->
-      (Mdports.Mta_port.run ~steps:t.scale.steps ~mode (system_of t ~n))
+      (Mdports.Mta_port.run ~steps:t.scale.steps ~mode
+         ~force_path:Mdports.Force_path.brute (system_of t ~n))
         .Mdports.Run_result.seconds)
 
 let cell_profile t =
   memo t t.profile () ~scope:"ctx/profile" (fun () ->
-      Mdports.Cell_port.profile_run ~steps:t.scale.steps (system t))
+      Mdports.Cell_port.profile_run ~steps:t.scale.steps
+        ~force_path:Mdports.Force_path.brute (system t))

@@ -25,7 +25,9 @@ let run ctx =
       (fun cutoff ->
         let params = { Mdcore.Params.default with Mdcore.Params.cutoff } in
         let system = Mdcore.Init.build ~seed:scale.Context.seed ~params ~n () in
-        let profile = Cell.profile_run ~steps system in
+        let profile =
+          Cell.profile_run ~steps ~force_path:Mdports.Force_path.brute system
+        in
         let v4 = accel profile Variant.Simd_length in
         let v5 = accel profile Variant.Simd_acceleration in
         let pairs = (steps + 1) * n * (n - 1) in

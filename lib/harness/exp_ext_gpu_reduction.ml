@@ -22,7 +22,8 @@ let run ctx =
         let system = Context.system_of ctx ~n in
         let w = Context.gpu_seconds_of ctx ~n in
         let red =
-          (Gpu.run ~steps ~pe_strategy:Gpu.Gpu_reduction system)
+          (Gpu.run ~steps ~pe_strategy:Gpu.Gpu_reduction
+             ~force_path:Mdports.Force_path.brute system)
             .Mdports.Run_result.seconds
         in
         (n, w, red))

@@ -14,7 +14,7 @@ let run ctx =
   let sp = Cell.time_with (Context.cell_profile ctx) Cell.default_config in
   let dp_profile =
     Cell.profile_run ~steps:scale.Context.steps ~precision:Cell.Double
-      (Context.system ctx)
+      ~force_path:Mdports.Force_path.brute (Context.system ctx)
   in
   let dp =
     Cell.time_with dp_profile

@@ -109,6 +109,79 @@ let dp_compute ~row_hits (s : Mdcore.System.t) =
   done;
   0.5 *. !pe2
 
+(* Pairlist variants of the two physics kernels: gather over the full
+   neighbour rows instead of all j.  Entries beyond the cutoff fail the
+   same in-cutoff tests and contribute nothing, and in-cutoff partners
+   arrive in the same ascending order, so both are bit-identical to
+   their N² counterparts on the same positions. *)
+let f32_compute_rows ~row_hits rows (s : Mdcore.System.t) =
+  let n = s.Mdcore.System.n in
+  let p = F32_kernel.of_system s in
+  let px = Array.map F32.round s.Mdcore.System.pos_x in
+  let py = Array.map F32.round s.Mdcore.System.pos_y in
+  let pz = Array.map F32.round s.Mdcore.System.pos_z in
+  let pe2 = ref 0.0 in
+  for i = 0 to n - 1 do
+    let xi = px.(i) and yi = py.(i) and zi = pz.(i) in
+    let ax = ref 0.0 and ay = ref 0.0 and az = ref 0.0 in
+    let pe = ref 0.0 and hits = ref 0 in
+    Array.iter
+      (fun j ->
+        let dx = F32_kernel.min_image p (F32.sub xi px.(j)) in
+        let dy = F32_kernel.min_image p (F32.sub yi py.(j)) in
+        let dz = F32_kernel.min_image p (F32.sub zi pz.(j)) in
+        let r2 = F32_kernel.r2 p ~dx ~dy ~dz in
+        match F32_kernel.pair_terms p r2 with
+        | Some (coeff, pe_term) ->
+          ax := F32.add !ax (F32.mul coeff dx);
+          ay := F32.add !ay (F32.mul coeff dy);
+          az := F32.add !az (F32.mul coeff dz);
+          pe := F32.add !pe pe_term;
+          incr hits
+        | None -> ())
+      (rows.(i) : int array);
+    s.Mdcore.System.acc_x.(i) <- !ax;
+    s.Mdcore.System.acc_y.(i) <- !ay;
+    s.Mdcore.System.acc_z.(i) <- !az;
+    pe2 := !pe2 +. !pe;
+    row_hits.(i) <- !hits
+  done;
+  0.5 *. !pe2
+
+let dp_compute_rows ~row_hits rows (s : Mdcore.System.t) =
+  let { Mdcore.System.n; box; params; pos_x; pos_y; pos_z;
+        acc_x; acc_y; acc_z; _ } =
+    s
+  in
+  let rc2 = Mdcore.Params.cutoff2 params in
+  let inv_mass = 1.0 /. params.Mdcore.Params.mass in
+  let pe2 = ref 0.0 in
+  for i = 0 to n - 1 do
+    let xi = pos_x.(i) and yi = pos_y.(i) and zi = pos_z.(i) in
+    let fx = ref 0.0 and fy = ref 0.0 and fz = ref 0.0 in
+    let hits = ref 0 in
+    Array.iter
+      (fun j ->
+        let dx = Mdcore.Min_image.delta ~box (xi -. pos_x.(j))
+        and dy = Mdcore.Min_image.delta ~box (yi -. pos_y.(j))
+        and dz = Mdcore.Min_image.delta ~box (zi -. pos_z.(j)) in
+        let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
+        if r2 < rc2 then begin
+          let f_over_r = Mdcore.Params.lj_force_over_r params r2 in
+          fx := !fx +. (f_over_r *. dx);
+          fy := !fy +. (f_over_r *. dy);
+          fz := !fz +. (f_over_r *. dz);
+          pe2 := !pe2 +. Mdcore.Params.lj_potential params r2;
+          incr hits
+        end)
+      (rows.(i) : int array);
+    acc_x.(i) <- !fx *. inv_mass;
+    acc_y.(i) <- !fy *. inv_mass;
+    acc_z.(i) <- !fz *. inv_mass;
+    row_hits.(i) <- !hits
+  done;
+  0.5 *. !pe2
+
 let apply_f32_engine _system =
   Mdcore.Engine.make ~name:"cell-f32" ~compute:(fun s ->
       let row_hits = Array.make s.Mdcore.System.n 0 in
@@ -118,32 +191,74 @@ let apply_f32_engine _system =
 (* Profiles                                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* Per-invocation pairlist tile data the timing replay charges from:
+   which rows carried how many list entries, and whether this force
+   evaluation paid a rebuild scan. *)
+type invocation_tile = {
+  row_entries : int array;  (* full-row entry count per atom *)
+  tile_entries : int;       (* sum of row_entries *)
+  rebuilt : bool;
+  scanned : int;            (* candidate pairs examined; 0 unless rebuilt *)
+}
+
 type profile = {
   n : int;
   steps : int;
   precision : precision;
   records : Mdcore.Verlet.step_record list;
   row_hits : int array array; (* one entry per force evaluation *)
+  plan : invocation_tile array option;  (* Some iff run with the pairlist *)
   final : Mdcore.System.t;    (* working copy after the last step *)
 }
 
-let profile_run ?(steps = 10) ?(precision = Single) system =
+let profile_run ?(steps = 10) ?(precision = Single)
+    ?(force_path = Force_path.default) system =
   let s = Mdcore.System.copy system in
   let n = s.Mdcore.System.n in
   let collected = ref [] in
-  let compute =
-    match precision with Single -> f32_compute | Double -> dp_compute
+  let tiles = ref [] in
+  let pl =
+    match Force_path.resolve force_path s with
+    | None -> None
+    | Some skin -> Some (Mdcore.Pairlist.create ~skin s)
+  in
+  let compute row_hits sys =
+    match pl with
+    | None ->
+      (match precision with
+      | Single -> f32_compute ~row_hits sys
+      | Double -> dp_compute ~row_hits sys)
+    | Some pl ->
+      let rebuilt = Mdcore.Pairlist.refresh pl in
+      let scanned =
+        if rebuilt then Mdcore.Pairlist.last_build_scanned pl else 0
+      in
+      let rows = Mdcore.Pairlist.full_rows pl in
+      let row_entries = Array.map Array.length rows in
+      tiles :=
+        { row_entries;
+          tile_entries = Array.fold_left ( + ) 0 row_entries;
+          rebuilt;
+          scanned }
+        :: !tiles;
+      (match precision with
+      | Single -> f32_compute_rows ~row_hits rows sys
+      | Double -> dp_compute_rows ~row_hits rows sys)
   in
   let engine =
     Mdcore.Engine.make ~name:"cell" ~compute:(fun sys ->
         let row_hits = Array.make n 0 in
-        let pe = compute ~row_hits sys in
+        let pe = compute row_hits sys in
         collected := row_hits :: !collected;
         pe)
   in
   let records = Mdcore.Verlet.run s ~engine ~steps ~max_step_retries:(Mdfault.step_retries ()) () in
   { n; steps; precision; records;
     row_hits = Array.of_list (List.rev !collected);
+    plan =
+      (match pl with
+      | None -> None
+      | Some _ -> Some (Array.of_list (List.rev !tiles)));
     final = s }
 
 let profile_precision p = p.precision
@@ -192,10 +307,12 @@ let spe_kernel ~j_chunk ~(cfg : config) ~profile ~stage ~invocation ctx =
       Cellbe.Local_store.alloc ls ~name:"pos-chunk"
         ~floats:(3 * chunk_len * word)
     in
+    (* Whole-position-array staging in LS-sized tiles (three coordinate
+       arrays per chunk) — the brute kernel's staging, also reused by
+       the pairlist kernel on the dense side of its crossover. *)
     let rec stage_chunks pos =
       if pos < n then begin
         let len = min chunk_len (n - pos) in
-        (* three coordinate arrays of this chunk *)
         Machine.dma_get ctx ~src:stage ~src_pos:pos ~dst:chunk ~dst_pos:0
           ~len:(len * word);
         Machine.dma_get ctx ~src:stage ~src_pos:pos ~dst:chunk
@@ -205,15 +322,95 @@ let spe_kernel ~j_chunk ~(cfg : config) ~profile ~stage ~invocation ctx =
         stage_chunks (pos + len)
       end
     in
-    stage_chunks 0;
-    let hits = slice_hits profile.row_hits.(invocation) ~lo ~hi in
     let base, hit_block =
       match cfg.precision with
       | Single -> (Kernels.spe_base cfg.variant, Kernels.spe_hit cfg.variant)
       | Double -> (Kernels.spe_base_dp, Kernels.spe_hit_dp)
     in
-    Machine.charge_block ctx base
-      ~iterations:(rows * (n - 1))
+    let base_iterations =
+      match profile.plan with
+      | None ->
+        (* Brute kernel: stage the whole position arrays in tiles. *)
+        stage_chunks 0;
+        rows * (n - 1)
+      | Some plan ->
+        (* Pairlist kernel.  The neighbour-row tile — the packed 4-byte
+           index list for rows [lo, hi) — lives in main memory between
+           force evaluations.  On rebuild steps each SPE scans its own
+           share of the candidate pairs against the whole staged
+           position arrays, builds its tile in local store, and DMAs it
+           back out; the subsequent per-pair loop reads the
+           freshly-built tile in place.  On other steps the SPE fetches
+           its stored tile instead.  Coordinate staging is adaptive:
+           when the tile is sparser than the box (fewer entries than
+           atoms) the three coordinate streams are gathered per entry;
+           at liquid densities a row holds ~4πr³ρ/3 ≈ 80 neighbours, so
+           entries ≥ n and streaming the whole arrays (exactly the
+           brute staging, 3n floats) is the cheaper side of the
+           crossover.  Either way the compute loop shrinks from
+           rows·(n-1) candidates to the stored entries. *)
+        let tile = plan.(invocation) in
+        let entries = slice_hits tile.row_entries ~lo ~hi in
+        let idx_buf =
+          Cellbe.Local_store.alloc ls ~name:"idx-chunk" ~floats:chunk_len
+        in
+        let rec move_indices dma remaining =
+          if remaining > 0 then begin
+            let len = min chunk_len remaining in
+            dma len;
+            move_indices dma (remaining - len)
+          end
+        in
+        let fetch_indices () =
+          move_indices
+            (fun len ->
+              Machine.dma_get ctx ~src:stage ~src_pos:0 ~dst:idx_buf
+                ~dst_pos:0 ~len)
+            entries
+        in
+        let writeback_indices () =
+          move_indices
+            (fun len ->
+              Machine.dma_put ctx ~src:idx_buf ~src_pos:0 ~dst:stage
+                ~dst_pos:0 ~len)
+            entries
+        in
+        if tile.rebuilt then begin
+          (* The candidate scan needs every position, so the rebuild
+             always stages the whole arrays.  The scan itself is the
+             same candidate block as the force loop's base (distance +
+             cutoff test, no force math), run over this SPE's
+             proportional share of the scanned pairs. *)
+          stage_chunks 0;
+          Machine.charge_block ctx base
+            ~iterations:(tile.scanned * rows / n)
+            ~overlap:Kernels.spe_overlap;
+          writeback_indices ()
+        end
+        else begin
+          fetch_indices ();
+          if entries < n then begin
+            let rec stage_gathered remaining =
+              if remaining > 0 then begin
+                let len = min chunk_len remaining in
+                (* gathered x/y/z streams for these entries *)
+                Machine.dma_get ctx ~src:stage ~src_pos:0 ~dst:chunk
+                  ~dst_pos:0 ~len:(len * word);
+                Machine.dma_get ctx ~src:stage ~src_pos:0 ~dst:chunk
+                  ~dst_pos:(len * word) ~len:(len * word);
+                Machine.dma_get ctx ~src:stage ~src_pos:0 ~dst:chunk
+                  ~dst_pos:(2 * len * word) ~len:(len * word);
+                stage_gathered (remaining - len)
+              end
+            in
+            stage_gathered entries
+          end
+          else stage_chunks 0
+        end;
+        entries
+    in
+    let hits = slice_hits profile.row_hits.(invocation) ~lo ~hi in
+    Machine.charge_block ctx base ~iterations:base_iterations
       ~overlap:Kernels.spe_overlap;
     Machine.charge_block ctx hit_block ~iterations:hits
       ~overlap:Kernels.spe_overlap;
@@ -233,6 +430,21 @@ let breakdown_of_ledger ledger =
 (* Port-level virtual PMU summary: the SPE kernels' static FLOP counts
    scaled by the replayed iteration totals, plus the end-to-end virtual
    time (feeds the derived cell/mflops). *)
+(* Total per-pair loop iterations across the run: all candidate pairs
+   for the brute kernel, the stored list entries for the pairlist one. *)
+let pair_iterations profile =
+  let n = profile.n in
+  let invocations = Array.length profile.row_hits in
+  match profile.plan with
+  | None -> invocations * n * (n - 1)
+  | Some plan ->
+    Array.fold_left (fun acc t -> acc + t.tile_entries) 0 plan
+
+let rebuild_scanned profile =
+  match profile.plan with
+  | None -> 0
+  | Some plan -> Array.fold_left (fun acc t -> acc + t.scanned) 0 plan
+
 let publish_prof ~(cfg : config) ~profile ~seconds =
   if Mdprof.enabled () then begin
     let c ?unit_ name = Mdprof.counter ?unit_ ~clock:Mdprof.Virtual name in
@@ -244,12 +456,23 @@ let publish_prof ~(cfg : config) ~profile ~seconds =
       | Double -> (Kernels.spe_base_dp, Kernels.spe_hit_dp)
     in
     let flops =
-      (invocations * n * (n - 1) * Isa.Block.flops base)
+      (pair_iterations profile * Isa.Block.flops base)
       + (profile_hits profile * Isa.Block.flops hit_block)
       + (invocations * n * Isa.Block.flops Kernels.spe_row_overhead)
     in
     Mdprof.add_f (c ~unit_:"s" "cell/virtual_seconds") seconds;
-    Mdprof.add (c ~unit_:"flops" "cell/flops") flops
+    Mdprof.add (c ~unit_:"flops" "cell/flops") flops;
+    match profile.plan with
+    | None -> ()
+    | Some plan ->
+      Mdprof.add
+        (c ~unit_:"pairs" "cell/pairlist_rebuild_pairs")
+        (rebuild_scanned profile);
+      (* 4-byte neighbour-index DMA traffic: tiles written back on
+         rebuild steps, fetched into local store otherwise. *)
+      Mdprof.add
+        (c ~unit_:"bytes" "cell/pairlist_index_dma_bytes")
+        (4 * Array.fold_left (fun acc t -> acc + t.tile_entries) 0 plan)
   end
 
 let time_with ?(j_chunk = default_j_chunk) profile cfg =
@@ -289,6 +512,10 @@ let time_with ?(j_chunk = default_j_chunk) profile cfg =
   for invocation = 0 to invocations - 1 do
     (* PPE stages the positions to binary32. *)
     Machine.ppe_block machine Kernels.ppe_stage_block ~iterations:n;
+    (* Rebuild scans run on the SPEs (each scans its candidate share and
+       writes its index tile back) — charged inside spe_kernel, not
+       here: the in-order PPE serializing an O(N²) scan would cost more
+       than the list saves. *)
     offload_checkpointed invocation;
     (* PPE converts accelerations back and accumulates the PE partials. *)
     Machine.ppe_block machine Kernels.ppe_stage_block ~iterations:n;
@@ -299,25 +526,28 @@ let time_with ?(j_chunk = default_j_chunk) profile cfg =
   let ledger = Machine.ledger machine in
   publish_prof ~cfg ~profile ~seconds:(Machine.time machine);
   { Run_result.device =
-      Printf.sprintf "Cell (%d SPE%s, %s, %s)" cfg.n_spes
+      Printf.sprintf "Cell (%d SPE%s, %s, %s%s)" cfg.n_spes
         (if cfg.n_spes = 1 then "" else "s")
         (match cfg.launch with
         | Respawn -> "respawn"
         | Persistent -> "persistent")
         (match cfg.precision with
         | Single -> Cell_variant.name cfg.variant
-        | Double -> "double precision");
+        | Double -> "double precision")
+        (if Option.is_some profile.plan then ", pairlist" else "");
     n_atoms = n;
     steps = profile.steps;
     seconds = Machine.time machine;
     records = profile.records;
     breakdown = breakdown_of_ledger ledger;
-    pairs_evaluated = invocations * n * (n - 1);
+    pairs_evaluated = pair_iterations profile + rebuild_scanned profile;
     interactions = profile_hits profile;
     final_system = Some profile.final }
 
-let run ?steps ?(config = default_config) system =
-  time_with (profile_run ?steps ~precision:config.precision system) config
+let run ?steps ?(config = default_config) ?force_path system =
+  time_with
+    (profile_run ?steps ~precision:config.precision ?force_path system)
+    config
 
 let time_ppe_only ?(machine = Cellbe.Config.default) profile =
   let m = Machine.create machine in
@@ -342,7 +572,10 @@ let time_ppe_only ?(machine = Cellbe.Config.default) profile =
     final_system = Some profile.final }
 
 let run_ppe_only ?steps ?machine system =
-  time_ppe_only ?machine (profile_run ?steps system)
+  (* The PPE-only ladder rung is a paper figure: keep it on the as-written
+     N² kernel (its timing replay charges the full sweep). *)
+  time_ppe_only ?machine
+    (profile_run ?steps ~force_path:Force_path.brute system)
 
 let accel_seconds result =
   Run_result.breakdown_get result "compute"

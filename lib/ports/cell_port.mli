@@ -43,10 +43,18 @@ val default_config : config
 
 type profile
 
-val profile_run : ?steps:int -> ?precision:precision -> Mdcore.System.t ->
-  profile
+val profile_run : ?steps:int -> ?precision:precision ->
+  ?force_path:Force_path.t -> Mdcore.System.t -> profile
 (** Run the physics on a copy of the system (default 10 steps, single
-    precision). *)
+    precision).
+
+    [force_path] defaults to the pairlist when the box admits it: the
+    gather runs over the stored neighbour rows (bit-identical to the N²
+    gather in either precision) and the profile carries per-invocation
+    tile data — row entry counts and rebuild scans — that {!time_with}
+    replays as per-SPE neighbour-row DMA tiles and SPE-side rebuild
+    scans.  Brute N² otherwise (and for boxes below the min-image
+    bound). *)
 
 val profile_precision : profile -> precision
 
@@ -58,9 +66,17 @@ val time_with : ?j_chunk:int -> profile -> config -> Run_result.t
 (** [j_chunk] (default 8192 atoms) is the local-store staging tile; when
     the system exceeds it the SPEs stream the j-atoms in multiple DMA
     rounds through one reused buffer.  Exposed so tests can force the
-    tiled path on small systems. *)
+    tiled path on small systems.  For a pairlist profile the SPEs
+    fetch their neighbour-row index tiles and either gather the
+    coordinate streams per entry (sparse tiles) or stream the whole
+    position arrays (dense tiles, the usual liquid-density case); the
+    per-pair loop is charged per list entry.  On rebuild steps each SPE
+    scans its share of the candidate pairs against the whole staged
+    arrays and writes its rebuilt tile back — the build parallelizes
+    across the SPEs rather than serializing on the in-order PPE. *)
 
-val run : ?steps:int -> ?config:config -> Mdcore.System.t -> Run_result.t
+val run : ?steps:int -> ?config:config -> ?force_path:Force_path.t ->
+  Mdcore.System.t -> Run_result.t
 
 val run_ppe_only : ?steps:int -> ?machine:Cellbe.Config.t ->
   Mdcore.System.t -> Run_result.t

@@ -33,13 +33,21 @@ type pe_strategy =
           quantified rather than asserted. *)
 
 val run : ?steps:int -> ?machine:Gpustream.Config.t ->
-  ?pe_strategy:pe_strategy -> Mdcore.System.t -> Run_result.t
+  ?pe_strategy:pe_strategy -> ?force_path:Force_path.t ->
+  Mdcore.System.t -> Run_result.t
 (** The breakdown carries the GPU ledger categories (setup / upload /
     readback / dispatch / shader / cpu); [seconds] {e excludes} the
-    one-time setup, as Fig. 7 does.  Default strategy: [Readback_w]. *)
+    one-time setup, as Fig. 7 does.  Default strategy: [Readback_w].
 
-val seconds_for : ?steps:int -> ?machine:Gpustream.Config.t -> n:int ->
-  unit -> float
+    [force_path] defaults to the pairlist when the box admits it: the
+    shader walks packed neighbour indices fetched from an extra texture
+    (four per float4 texel, plus a per-row descriptor texture), and
+    those textures cross the PCIe bus {e only on rebuild steps} —
+    positions still upload every step.  The CPU is charged for the
+    rebuild's candidate scan.  Brute N² otherwise. *)
+
+val seconds_for : ?steps:int -> ?machine:Gpustream.Config.t ->
+  ?force_path:Force_path.t -> n:int -> unit -> float
 (** Build a default system of [n] atoms and return the Fig. 7 runtime. *)
 
 val setup_seconds : Run_result.t -> float

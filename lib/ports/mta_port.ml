@@ -26,16 +26,37 @@ let integration_loop =
   Loop.make ~name:"integration" ~body:Kernels.mta_integration_body ()
 
 let run ?(steps = 10) ?(mode = Fully_multithreaded)
-    ?(machine = Mta.Config.mta2 ()) system =
+    ?(machine = Mta.Config.mta2 ()) ?(force_path = Force_path.default) system =
   let s = Mdcore.System.copy system in
   let n = s.Mdcore.System.n in
   let m = Machine.create machine in
   let pairs_total = ref 0 and hits_total = ref 0 in
   let invocations = ref 0 in
+  let pl =
+    match Force_path.resolve force_path s with
+    | None -> None
+    | Some skin -> Some (Mdcore.Pairlist.create ~skin s)
+  in
+  let rebuild_pairs = ref 0 in
   let engine =
     Mdcore.Engine.make ~name:"mta" ~compute:(fun sys ->
         incr invocations;
-        let pairs = n * (n - 1) in
+        (* With the pairlist, the iteration space each stream pulls from
+           is the stored neighbour rows, not the full N² sweep; rebuild
+           steps stream the build's candidate scan first. *)
+        let pairs =
+          match pl with
+          | None -> n * (n - 1)
+          | Some pl ->
+            if Mdcore.Pairlist.refresh pl then begin
+              let scanned = Mdcore.Pairlist.last_build_scanned pl in
+              Machine.charged_region m ~loop:(pair_loop mode) ~n:scanned
+                ~f:(fun () -> ());
+              rebuild_pairs := !rebuild_pairs + scanned;
+              pairs_total := !pairs_total + scanned
+            end;
+            Mdcore.Pairlist.full_entry_count pl
+        in
         (* In the fully multithreaded version the PE reduction lives
            inside the loop body as a full/empty-bit accumulate; each
            interaction performs one synchronized update. *)
@@ -43,7 +64,11 @@ let run ?(steps = 10) ?(mode = Fully_multithreaded)
         let pe, hits =
           Machine.charged_region m ~loop:(pair_loop mode) ~n:pairs
             ~f:(fun () ->
-              let pe, hits = Mdcore.Forces.compute_gather_stats sys in
+              let pe, hits =
+                match pl with
+                | None -> Mdcore.Forces.compute_gather_stats sys
+                | Some pl -> Mdcore.Pairlist.compute_full_stats pl sys
+              in
               if mode = Fully_multithreaded then
                 for _ = 1 to hits do
                   ignore (Mta.Sync_cell.fetch_add pe_cell 1.0)
@@ -69,9 +94,15 @@ let run ?(steps = 10) ?(mode = Fully_multithreaded)
       + (steps * n * Isa.Block.flops Kernels.mta_integration_body)
     in
     Mdprof.add_f (c ~unit_:"s" "mta/virtual_seconds") (Machine.time m);
-    Mdprof.add (c ~unit_:"flops" "mta/flops") flops
+    Mdprof.add (c ~unit_:"flops" "mta/flops") flops;
+    if Option.is_some pl then
+      Mdprof.add
+        (c ~unit_:"pairs" "mta/pairlist_rebuild_pairs")
+        !rebuild_pairs
   end;
-  { Run_result.device = Printf.sprintf "Cray MTA-2 (%s)" (mode_name mode);
+  { Run_result.device =
+      Printf.sprintf "Cray MTA-2 (%s%s)" (mode_name mode)
+        (if Option.is_some pl then ", pairlist" else "");
     n_atoms = n;
     steps;
     seconds = Machine.time m;
@@ -84,6 +115,6 @@ let run ?(steps = 10) ?(mode = Fully_multithreaded)
     interactions = !hits_total;
     final_system = Some s }
 
-let seconds_for ?steps ?mode ?machine ~n () =
+let seconds_for ?steps ?mode ?machine ?force_path ~n () =
   let system = Mdcore.Init.build ~n () in
-  (run ?steps ?mode ?machine system).Run_result.seconds
+  (run ?steps ?mode ?machine ?force_path system).Run_result.seconds

@@ -20,9 +20,16 @@ type mode = Fully_multithreaded | Partially_multithreaded
 val mode_name : mode -> string
 
 val run : ?steps:int -> ?mode:mode -> ?machine:Mta.Config.t ->
-  Mdcore.System.t -> Run_result.t
+  ?force_path:Force_path.t -> Mdcore.System.t -> Run_result.t
 (** Default mode: fully multithreaded; default machine: 1-processor
-    MTA-2. *)
+    MTA-2.
+
+    [force_path] defaults to the pairlist: the streams pull iterations
+    from the stored neighbour rows instead of the N² sweep (physics via
+    {!Mdcore.Pairlist.compute_full_stats}, bit-identical to the gather
+    reference), and rebuild steps stream the build's candidate scan as
+    an extra charged region.  Boxes below the min-image bound fall back
+    to the brute engine. *)
 
 val seconds_for : ?steps:int -> ?mode:mode -> ?machine:Mta.Config.t ->
-  n:int -> unit -> float
+  ?force_path:Force_path.t -> n:int -> unit -> float

@@ -108,7 +108,7 @@ let publish_prof ~pairs ~hits ~steps ~n ~seconds =
       Isa.Op.all
   end
 
-let run ?(steps = 10) ?(config = default_config) system =
+let run_brute ?(steps = 10) ?(config = default_config) system =
   let s = Mdcore.System.copy system in
   let n = s.Mdcore.System.n in
   let mm = make_mem_model config ~n in
@@ -155,7 +155,7 @@ let run ?(steps = 10) ?(config = default_config) system =
     interactions = !hits_total;
     final_system = Some s }
 
-let run_pairlist ?(steps = 10) ?(config = default_config) ?skin system =
+let run_with_pairlist ?(steps = 10) ?(config = default_config) ?skin system =
   let s = Mdcore.System.copy system in
   let n = s.Mdcore.System.n in
   let mm = make_mem_model config ~n in
@@ -167,6 +167,7 @@ let run_pairlist ?(steps = 10) ?(config = default_config) ?skin system =
   let integ_cyc = per_iter Kernels.opteron_integration in
   let compute_cycles = ref 0.0 and memory_cycles = ref 0.0 in
   let pairs_total = ref 0 and hits_total = ref 0 in
+  let rebuild_pairs = ref 0 in
   let rebuilds_seen = ref 0 in
   let engine =
     Mdcore.Engine.make ~name:"opteron-pairlist" ~compute:(fun sys ->
@@ -174,15 +175,18 @@ let run_pairlist ?(steps = 10) ?(config = default_config) ?skin system =
         let entries = Mdcore.Pairlist.neighbour_count pl in
         let hits = Mdcore.Pairlist.last_interaction_count pl in
         let excess = pair_excess_cycles mm in
-        (* Rebuild steps pay the full O(N^2) distance scan. *)
+        (* Rebuild steps pay the build's candidate-distance scan —
+           n(n-1)/2 for brute builds, the 27-cell stencil population
+           when the cell-binned build is active. *)
         if Mdcore.Pairlist.rebuild_count pl > !rebuilds_seen then begin
           rebuilds_seen := Mdcore.Pairlist.rebuild_count pl;
-          let scan_pairs = n * (n - 1) / 2 in
+          let scan_pairs = Mdcore.Pairlist.last_build_scanned pl in
           compute_cycles :=
             !compute_cycles +. (float_of_int scan_pairs *. base_cyc);
           memory_cycles :=
             !memory_cycles +. (excess *. float_of_int scan_pairs);
-          pairs_total := !pairs_total + scan_pairs
+          pairs_total := !pairs_total + scan_pairs;
+          rebuild_pairs := !rebuild_pairs + scan_pairs
         end;
         pairs_total := !pairs_total + entries;
         hits_total := !hits_total + hits;
@@ -202,6 +206,11 @@ let run_pairlist ?(steps = 10) ?(config = default_config) ?skin system =
   let to_s c = Sim_util.Units.seconds_of_cycles config.clock c in
   publish_prof ~pairs:!pairs_total ~hits:!hits_total ~steps ~n
     ~seconds:(to_s (!compute_cycles +. !memory_cycles));
+  if Mdprof.enabled () then
+    Mdprof.add
+      (Mdprof.counter ~unit_:"pairs" ~clock:Mdprof.Virtual
+         "opteron/pairlist_rebuild_pairs")
+      !rebuild_pairs;
   { Run_result.device = "Opteron 2.2 GHz (pairlist)";
     n_atoms = n;
     steps;
@@ -213,9 +222,19 @@ let run_pairlist ?(steps = 10) ?(config = default_config) ?skin system =
     interactions = !hits_total;
     final_system = Some s }
 
-let seconds_for ?steps ?config ~n () =
+let run ?steps ?config ?(force_path = Force_path.default) system =
+  match Force_path.resolve force_path system with
+  | None -> run_brute ?steps ?config system
+  | Some skin -> run_with_pairlist ?steps ?config ~skin system
+
+(* Forces the list engine regardless of box admissibility (raises on a
+   box below the min-image bound) — the harness speedup ablation. *)
+let run_pairlist ?steps ?config ?skin system =
+  run_with_pairlist ?steps ?config ?skin system
+
+let seconds_for ?steps ?config ?force_path ~n () =
   let system = Mdcore.Init.build ~n () in
-  (run ?steps ?config system).Run_result.seconds
+  (run ?steps ?config ?force_path system).Run_result.seconds
 
 let memory_excess_cycles_per_pair ?(config = default_config) ~n () =
   let mm = make_mem_model config ~n in

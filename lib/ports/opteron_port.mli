@@ -23,11 +23,19 @@ type config = {
 
 val default_config : config
 
-val run : ?steps:int -> ?config:config -> Mdcore.System.t -> Run_result.t
+val run : ?steps:int -> ?config:config -> ?force_path:Force_path.t ->
+  Mdcore.System.t -> Run_result.t
 (** Simulate [steps] (default 10) velocity-Verlet steps on a copy of the
-    system.  The breakdown separates ["compute"] and ["memory"] seconds. *)
+    system.  The breakdown separates ["compute"] and ["memory"] seconds.
 
-val seconds_for : ?steps:int -> ?config:config -> n:int -> unit -> float
+    [force_path] defaults to {!Force_path.default}: the skin-based
+    pairlist engine (Newton-3 half-list traversal, rebuild scans charged
+    on rebuild steps) whenever the box admits it, else the paper's
+    per-step O(N²) gather.  Pass {!Force_path.brute} to pin the N²
+    stress-test behaviour (the paper-figure harness does). *)
+
+val seconds_for : ?steps:int -> ?config:config -> ?force_path:Force_path.t ->
+  n:int -> unit -> float
 (** Convenience for sweeps: build a default system of [n] atoms
     ({!Mdcore.Init.build}) and return the virtual runtime. *)
 
@@ -37,8 +45,9 @@ val memory_excess_cycles_per_pair : ?config:config -> n:int -> unit -> float
 
 val run_pairlist : ?steps:int -> ?config:config -> ?skin:float ->
   Mdcore.System.t -> Run_result.t
-(** The ablation the paper declines to run (Section 3.4): the same
-    Opteron with a Verlet neighbour list.  Per step the inner loop visits
-    only the stored neighbours; a full O(N^2) scan is charged on the
-    steps where the list is rebuilt.  Quantifies how much the "no
-    cache-friendly optimizations" methodology costs the baseline. *)
+(** The same Opteron with the Verlet neighbour list forced on (raises if
+    the box is below the min-image bound for [cutoff+skin]).  Per step
+    the inner loop visits only the stored neighbours; the build's
+    candidate scan is charged on the steps where the list is rebuilt.
+    Quantifies how much the paper's "no cache-friendly optimizations"
+    methodology costs the baseline. *)

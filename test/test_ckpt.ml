@@ -33,6 +33,7 @@ let cfg ?(device = Runner.Opteron) ?(atoms = 128) ?(steps = 12) ?(every = 4)
     cfg_seed = 11;
     cfg_density = 0.8;
     cfg_temperature = 1.0;
+    cfg_force_path = Mdports.Force_path.default;
     cfg_every = every;
     cfg_keep = 8;
     cfg_dir = dir }
@@ -97,6 +98,8 @@ let sample_state () =
     seed = 3;
     density = 0.8;
     temperature = 1.0;
+    engine = "pairlist";
+    skin = 0.4;
     every = 4;
     keep = 2;
     guard_restores = 1;
@@ -219,12 +222,16 @@ let test_load_latest_empty_dir () =
 (* Kill-and-resume bitwise convergence                                 *)
 (* ------------------------------------------------------------------ *)
 
-let kill_and_resume_check ?(device = Runner.Opteron) () =
+let kill_and_resume_check ?(device = Runner.Opteron) ?(atoms = 128) () =
   Mdfault.set_guard_restores 0;
-  let full = complete (Runner.run (cfg ~device ~dir:(fresh_dir ()) ())) in
+  let full =
+    complete (Runner.run (cfg ~device ~atoms ~dir:(fresh_dir ()) ()))
+  in
   let dir = fresh_dir () in
   Mdfault.set_guard_restores 0;
-  let s = suspended (Runner.run ~abort_after_segments:1 (cfg ~device ~dir ())) in
+  let s =
+    suspended (Runner.run ~abort_after_segments:1 (cfg ~device ~atoms ~dir ()))
+  in
   Alcotest.(check int) "killed after one segment" 4 s.Runner.sus_completed;
   Mdfault.set_guard_restores 0;
   match Runner.resume dir with
@@ -245,6 +252,14 @@ let test_kill_resume_domains4 () =
   Fun.protect
     ~finally:(fun () -> Mdpar.set_default_domains saved)
     (fun () -> kill_and_resume_check ())
+
+let test_kill_resume_pairlist () =
+  (* At 512 atoms the box admits the skin list, so the production
+     pairlist engine is live across the kill: the resumed segment starts
+     with a fresh list (state is never serialized — the first refresh
+     forces a rebuild) and must still converge bitwise, because the
+     trajectory is rebuild-cadence independent. *)
+  kill_and_resume_check ~atoms:512 ()
 
 let test_kill_resume_cell_with_faults () =
   (* The checkpoint carries the fault-plan state (stream PRNG positions,
@@ -514,6 +529,8 @@ let tests =
         test_kill_resume_domains1;
       Alcotest.test_case "kill+resume bitwise (domains 4)" `Quick
         test_kill_resume_domains4;
+      Alcotest.test_case "kill+resume bitwise (pairlist active)" `Slow
+        test_kill_resume_pairlist;
       Alcotest.test_case "kill+resume with fault plan (cell)" `Quick
         test_kill_resume_cell_with_faults;
       Alcotest.test_case "resume of completed checkpoint" `Quick

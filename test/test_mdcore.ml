@@ -386,6 +386,131 @@ let test_pairlist_wrong_system_rejected () =
        false
      with Invalid_argument _ -> true)
 
+let test_pairlist_skin_validation () =
+  let s = small_system ~n:216 () in
+  let rejected skin =
+    try
+      ignore (Pairlist.create ~skin s);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "NaN skin rejected" true (rejected Float.nan);
+  Alcotest.(check bool) "infinite skin rejected" true
+    (rejected Float.infinity);
+  Alcotest.(check bool) "zero skin rejected" true (rejected 0.0);
+  Alcotest.(check bool) "negative skin rejected" true (rejected (-0.1));
+  (* box(216) ≈ 6.46σ: a 1.0σ skin pushes cutoff+skin past box/2 *)
+  Alcotest.(check bool) "skin past the min-image bound rejected" true
+    (rejected 1.0);
+  Alcotest.(check bool) "default skin admissible at 216 atoms" true
+    (Pairlist.admissible s);
+  Alcotest.(check bool) "huge skin not admissible" false
+    (Pairlist.admissible ~skin:1.0 s);
+  Alcotest.(check bool) "NaN skin not admissible" false
+    (Pairlist.admissible ~skin:Float.nan s);
+  (* box(128) ≈ 5.43σ < 2*(2.5+0.4): the fixture size every small test
+     uses stays on the brute fallback *)
+  Alcotest.(check bool) "128-atom box below the bound" false
+    (Pairlist.admissible (small_system ()))
+
+let test_pairlist_cadence_drops_with_skin () =
+  (* The skin trade-off under fast drift: a hot system crosses the
+     skin/2 trigger sooner, and a thicker skin must stretch the rebuild
+     interval. *)
+  let rebuilds skin =
+    let s = Init.build ~seed:23 ~temperature:2.5 ~n:216 () in
+    let pl = Pairlist.create ~skin s in
+    ignore (Verlet.run s ~engine:(Pairlist.engine pl) ~steps:40 ());
+    Pairlist.rebuild_count pl
+  in
+  let thin = rebuilds 0.15 and thick = rebuilds 0.6 in
+  Alcotest.(check bool)
+    (Printf.sprintf "thicker skin rebuilds less: %d (0.15σ) > %d (0.6σ)"
+       thin thick)
+    true (thin > thick)
+
+let test_pairlist_rebuild_timing_bitwise () =
+  (* Rebuilding every step instead of on the drift trigger must change
+     nothing: beyond-cutoff list entries are skipped before any
+     accumulation, so forces are independent of rebuild cadence. *)
+  let s1 = Init.build ~seed:29 ~n:216 () in
+  let s2 = System.copy s1 in
+  let pl1 = Pairlist.create s1 in
+  let pl2 = Pairlist.create s2 in
+  let every_step =
+    Mdcore.Engine.make ~name:"pairlist-rebuild-every-step"
+      ~compute:(fun sys ->
+        Pairlist.force_rebuild pl2;
+        (Pairlist.engine pl2).Mdcore.Engine.compute sys)
+  in
+  let r1 = Verlet.run s1 ~engine:(Pairlist.engine pl1) ~steps:15 () in
+  let r2 = Verlet.run s2 ~engine:every_step ~steps:15 () in
+  Alcotest.(check bool) "ablation actually rebuilt more" true
+    (Pairlist.rebuild_count pl2 > Pairlist.rebuild_count pl1);
+  Alcotest.(check bool) "records bitwise" true (r1 = r2);
+  Alcotest.(check bool) "positions bitwise" true
+    (System.max_position_delta s1 s2 = 0.0);
+  Alcotest.(check bool) "accelerations bitwise" true
+    (System.max_acceleration_delta s1 s2 = 0.0)
+
+let test_pairlist_halflist_matches_full_bitwise () =
+  (* Below the chunking threshold the Newton-3 half-list runs serially,
+     and with unit mass (exact inv_mass multiply, fl(b-a) = -fl(a-b))
+     its per-atom accumulation order equals the full-row gather's — so
+     the two traversals agree to the bit, at any pool size. *)
+  let base = Init.build ~seed:37 ~n:216 () in
+  let reference =
+    let s = System.copy base in
+    let pl = Pairlist.create s in
+    ignore (Pairlist.compute_full_stats pl s);
+    s
+  in
+  List.iter
+    (fun domains ->
+      let pool = Mdpar.create ~domains () in
+      Fun.protect
+        ~finally:(fun () -> Mdpar.shutdown pool)
+        (fun () ->
+          let s = System.copy base in
+          let pl = Pairlist.create ~pool s in
+          ignore ((Pairlist.engine pl).Mdcore.Engine.compute s);
+          Alcotest.(check bool)
+            (Printf.sprintf
+               "half-list Newton-3 = full gather bitwise at %d domain(s)"
+               domains)
+            true
+            (System.max_acceleration_delta reference s = 0.0)))
+    [ 1; 4 ]
+
+let test_pairlist_chunked_domain_invariant () =
+  (* 512 atoms puts the engine on the chunked path.  The chunk count is
+     a pure function of n and the merge runs in fixed chunk order, so
+     forces are byte-identical for any pool size; the chunked grouping
+     re-associates the per-atom sums, so against the serial full gather
+     the match is exact physics but not exact bits (~1 ulp). *)
+  let base = Init.build ~seed:37 ~n:512 () in
+  let run domains =
+    let s = System.copy base in
+    let pool = Mdpar.create ~domains () in
+    Fun.protect
+      ~finally:(fun () -> Mdpar.shutdown pool)
+      (fun () ->
+        let pl = Pairlist.create ~pool s in
+        ignore ((Pairlist.engine pl).Mdcore.Engine.compute s));
+    s
+  in
+  let d1 = run 1 and d4 = run 4 in
+  Alcotest.(check bool) "1 domain = 4 domains bitwise" true
+    (System.max_acceleration_delta d1 d4 = 0.0);
+  let full =
+    let s = System.copy base in
+    let pl = Pairlist.create s in
+    ignore (Pairlist.compute_full_stats pl s);
+    s
+  in
+  Alcotest.(check bool) "chunked ~ full gather to 1e-12" true
+    (System.max_acceleration_delta d1 full < 1e-12)
+
 let test_cell_list_matches_reference () =
   let s1 = Init.build ~seed:19 ~n:512 () in
   let s2 = System.copy s1 in
@@ -681,6 +806,16 @@ let tests =
         test_pairlist_trajectory_matches;
       Alcotest.test_case "pairlist rejects foreign system" `Quick
         test_pairlist_wrong_system_rejected;
+      Alcotest.test_case "pairlist skin validation" `Quick
+        test_pairlist_skin_validation;
+      Alcotest.test_case "pairlist cadence drops with skin" `Slow
+        test_pairlist_cadence_drops_with_skin;
+      Alcotest.test_case "pairlist rebuild timing bitwise" `Quick
+        test_pairlist_rebuild_timing_bitwise;
+      Alcotest.test_case "pairlist half-list = full bitwise" `Quick
+        test_pairlist_halflist_matches_full_bitwise;
+      Alcotest.test_case "pairlist chunked domain invariant" `Quick
+        test_pairlist_chunked_domain_invariant;
       Alcotest.test_case "cell list matches reference" `Quick
         test_cell_list_matches_reference;
       Alcotest.test_case "cell list needs 3 cells" `Quick

@@ -86,8 +86,12 @@ let test_opteron_memory_excess_grows () =
 
 let test_opteron_runtime_superquadratic_shape () =
   (* The defining Fig. 9 behaviour at model scale. *)
-  let t1 = Opteron.seconds_for ~steps ~n:128 () in
-  let t2 = Opteron.seconds_for ~steps ~n:256 () in
+  let t1 =
+    Opteron.seconds_for ~steps ~force_path:Mdports.Force_path.brute ~n:128 ()
+  in
+  let t2 =
+    Opteron.seconds_for ~steps ~force_path:Mdports.Force_path.brute ~n:256 ()
+  in
   Alcotest.(check bool) "quadrupling work at least triples time" true
     (t2 /. t1 > 3.0)
 
@@ -296,7 +300,7 @@ let test_opteron_pairlist_same_physics () =
 
 let test_opteron_pairlist_faster () =
   let s = Init.build ~seed:31 ~n:512 () in
-  let n2 = Opteron.run ~steps s in
+  let n2 = Opteron.run ~steps ~force_path:Mdports.Force_path.brute s in
   let pl = Opteron.run_pairlist ~steps s in
   Alcotest.(check bool)
     (Printf.sprintf "pairlist %.4f s < N^2 %.4f s" pl.Rr.seconds n2.Rr.seconds)
@@ -304,6 +308,76 @@ let test_opteron_pairlist_faster () =
     (pl.Rr.seconds < n2.Rr.seconds);
   Alcotest.(check bool) "and examines fewer pairs" true
     (pl.Rr.pairs_evaluated < n2.Rr.pairs_evaluated)
+
+(* ---------------- Production pairlist path ---------------- *)
+
+let contains_pairlist label =
+  let needle = "pairlist" in
+  let nl = String.length needle and ll = String.length label in
+  let rec go i = i + nl <= ll && (String.sub label i nl = needle || go (i + 1)) in
+  go 0
+
+let test_default_force_path_flips () =
+  (* The production default: every port takes the pairlist at admissible
+     sizes and says so in its device label; the 128-atom fixture box is
+     below the min-image bound and silently stays on brute N². *)
+  let big = Init.build ~seed:31 ~n:512 () in
+  let small = sys () in
+  List.iter
+    (fun (name, f) ->
+      Alcotest.(check bool) (name ^ " pairlist at 512 atoms") true
+        (contains_pairlist (f big).Rr.device);
+      Alcotest.(check bool) (name ^ " brute fallback at 128 atoms") false
+        (contains_pairlist (f small).Rr.device))
+    [ ("opteron", fun s -> Opteron.run ~steps:1 s);
+      ("cell", fun s -> Cell.run ~steps:1 s);
+      ("gpu", fun s -> Gpu.run ~steps:1 s);
+      ("mta", fun s -> Mta.run ~steps:1 s) ]
+
+let test_gather_ports_pairlist_bitwise () =
+  (* Cell, GPU and MTA traverse the full neighbour rows with the same
+     per-row ascending hit order as their N² gathers, and out-of-reach
+     entries contribute exactly nothing — so flipping the engine changes
+     no physics bit on these ports, in either precision. *)
+  let n = 512 in
+  let check name runner =
+    let pl = runner Mdports.Force_path.default in
+    let n2 = runner Mdports.Force_path.brute in
+    Alcotest.(check bool) (name ^ ": records bitwise") true
+      (pl.Rr.records = n2.Rr.records);
+    Alcotest.(check int) (name ^ ": same interactions") n2.Rr.interactions
+      pl.Rr.interactions
+  in
+  check "cell" (fun force_path ->
+      Cell.run ~steps ~force_path (Init.build ~seed:31 ~n ()));
+  check "gpu" (fun force_path ->
+      Gpu.run ~steps ~force_path (Init.build ~seed:31 ~n ()));
+  check "mta" (fun force_path ->
+      Mta.run ~steps ~force_path (Init.build ~seed:31 ~n ()))
+
+let test_pairlist_faster_on_every_port () =
+  (* The tentpole acceptance: at the largest bench size the pairlist
+     path beats per-step N² on all four device models.  (At n = 512 the
+     GPU's fixed per-step costs plus the host-charged rebuild scan eat
+     the shader saving; the win opens up from ~1k atoms.) *)
+  let n = 1024 in
+  List.iter
+    (fun (name, runner) ->
+      let pl = runner Mdports.Force_path.default in
+      let n2 = runner Mdports.Force_path.brute in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: pairlist %.4f s < N² %.4f s" name pl.Rr.seconds
+           n2.Rr.seconds)
+        true
+        (pl.Rr.seconds < n2.Rr.seconds))
+    [ ("opteron", fun force_path ->
+          Opteron.run ~steps ~force_path (Init.build ~seed:31 ~n ()));
+      ("cell", fun force_path ->
+          Cell.run ~steps ~force_path (Init.build ~seed:31 ~n ()));
+      ("gpu", fun force_path ->
+          Gpu.run ~steps ~force_path (Init.build ~seed:31 ~n ()));
+      ("mta", fun force_path ->
+          Mta.run ~steps ~force_path (Init.build ~seed:31 ~n ())) ]
 
 (* ---------------- MTA port ---------------- *)
 
@@ -413,5 +487,11 @@ let tests =
       Alcotest.test_case "mta sync accounting" `Quick
         test_mta_sync_charged_in_fully_mode;
       Alcotest.test_case "mta breakdown sums" `Quick test_mta_breakdown_sums;
+      Alcotest.test_case "default force path flips" `Quick
+        test_default_force_path_flips;
+      Alcotest.test_case "gather ports pairlist bitwise" `Quick
+        test_gather_ports_pairlist_bitwise;
+      Alcotest.test_case "pairlist faster on every port" `Slow
+        test_pairlist_faster_on_every_port;
       Alcotest.test_case "ports agree on hits" `Quick test_ports_agree_on_hits
     ] )
