@@ -25,8 +25,8 @@ let () =
   let positions =
     Streamdsl.Stream.of_array ctx
       (Array.init n (fun i ->
-           Vec4f.make system.Mdcore.System.pos_x.(i)
-             system.Mdcore.System.pos_y.(i) system.Mdcore.System.pos_z.(i)
+           Vec4f.make system.Mdcore.System.pos_x.{i}
+             system.Mdcore.System.pos_y.{i} system.Mdcore.System.pos_z.{i}
              0.0))
   in
   let accels =
@@ -64,7 +64,7 @@ let () =
   for i = 0 to n - 1 do
     worst :=
       Float.max !worst
-        (abs_float (Vec4f.x result.(i) -. reference.Mdcore.System.acc_x.(i)))
+        (abs_float (Vec4f.x result.(i) -. reference.Mdcore.System.acc_x.{i}))
   done;
   Printf.printf "Brook-style MD force kernel, %d atoms\n\n" n;
   Printf.printf "PE: stream program %.5f vs reference %.5f (|err| %.2e)\n" pe

@@ -45,12 +45,12 @@ let () =
         let d axis_i axis_j =
           Min_image.delta ~box:system.Mdcore.System.box (axis_i -. axis_j)
         in
-        let dx = d system.Mdcore.System.pos_x.(b.Topology.i)
-                   system.Mdcore.System.pos_x.(b.Topology.j)
-        and dy = d system.Mdcore.System.pos_y.(b.Topology.i)
-                   system.Mdcore.System.pos_y.(b.Topology.j)
-        and dz = d system.Mdcore.System.pos_z.(b.Topology.i)
-                   system.Mdcore.System.pos_z.(b.Topology.j) in
+        let dx = d system.Mdcore.System.pos_x.{b.Topology.i}
+                   system.Mdcore.System.pos_x.{b.Topology.j}
+        and dy = d system.Mdcore.System.pos_y.{b.Topology.i}
+                   system.Mdcore.System.pos_y.{b.Topology.j}
+        and dz = d system.Mdcore.System.pos_z.{b.Topology.i}
+                   system.Mdcore.System.pos_z.{b.Topology.j} in
         sqrt ((dx *. dx) +. (dy *. dy) +. (dz *. dz)))
       (Topology.bonds topology)
   in
@@ -66,9 +66,9 @@ let () =
     Array.init n_chains (fun c ->
         let i = c * length and j = (c * length) + length - 1 in
         let d a b = Min_image.delta ~box:system.Mdcore.System.box (a -. b) in
-        let dx = d system.Mdcore.System.pos_x.(i) system.Mdcore.System.pos_x.(j)
-        and dy = d system.Mdcore.System.pos_y.(i) system.Mdcore.System.pos_y.(j)
-        and dz = d system.Mdcore.System.pos_z.(i) system.Mdcore.System.pos_z.(j) in
+        let dx = d system.Mdcore.System.pos_x.{i} system.Mdcore.System.pos_x.{j}
+        and dy = d system.Mdcore.System.pos_y.{i} system.Mdcore.System.pos_y.{j}
+        and dz = d system.Mdcore.System.pos_z.{i} system.Mdcore.System.pos_z.{j} in
         sqrt ((dx *. dx) +. (dy *. dy) +. (dz *. dz)))
   in
   Printf.printf

@@ -59,6 +59,31 @@ module Wire = struct
     i64 buf (Array.length a);
     Array.iter (f64 buf) a
 
+  (* Bigarray float64 streams.  The wire layout is identical to [farr]
+     (LE i64 length, then raw IEEE-754 bits per element), so checkpoints
+     written before the SoA buffers moved to bigarrays decode unchanged.
+     The bulk path stages the whole stream into one [Bytes] and appends
+     it in a single blit instead of going through the Buffer element by
+     element; [force_portable] pins the per-element fallback so tests
+     can check the two encoders are byte-identical. *)
+  let force_portable = ref false
+
+  let fbuf buf (a : System.buf) =
+    let n = Bigarray.Array1.dim a in
+    i64 buf n;
+    if Sys.big_endian || !force_portable then
+      for i = 0 to n - 1 do
+        f64 buf (Bigarray.Array1.unsafe_get a i)
+      done
+    else begin
+      let bytes = Bytes.create (8 * n) in
+      for i = 0 to n - 1 do
+        Bytes.set_int64_le bytes (8 * i)
+          (Int64.bits_of_float (Bigarray.Array1.unsafe_get a i))
+      done;
+      Buffer.add_bytes buf bytes
+    end
+
   type reader = { data : string; mutable pos : int }
 
   let reader data = { data; pos = 0 }
@@ -108,6 +133,19 @@ module Wire = struct
     if n < 0 || n * 8 > String.length r.data - r.pos then
       raise (Corrupt "implausible array length");
     Array.init n (fun _ -> rf64 r)
+
+  (* Decode straight into the destination buffer — no intermediate
+     [float array].  Length must match the buffer exactly. *)
+  let rfbuf r (dst : System.buf) =
+    let n = rint r in
+    if n <> Bigarray.Array1.dim dst then
+      raise (Corrupt "coordinate array length");
+    need r (8 * n);
+    for i = 0 to n - 1 do
+      Bigarray.Array1.unsafe_set dst i
+        (Int64.float_of_bits (String.get_int64_le r.data (r.pos + (8 * i))))
+    done;
+    r.pos <- r.pos + (8 * n)
 end
 
 (* ------------------------------------------------------------------ *)
@@ -179,15 +217,15 @@ let enc_system buf (s : System.t) =
   Wire.f64 buf p.Params.cutoff;
   Wire.f64 buf p.Params.mass;
   Wire.f64 buf p.Params.dt;
-  Wire.farr buf s.System.pos_x;
-  Wire.farr buf s.System.pos_y;
-  Wire.farr buf s.System.pos_z;
-  Wire.farr buf s.System.vel_x;
-  Wire.farr buf s.System.vel_y;
-  Wire.farr buf s.System.vel_z;
-  Wire.farr buf s.System.acc_x;
-  Wire.farr buf s.System.acc_y;
-  Wire.farr buf s.System.acc_z
+  Wire.fbuf buf s.System.pos_x;
+  Wire.fbuf buf s.System.pos_y;
+  Wire.fbuf buf s.System.pos_z;
+  Wire.fbuf buf s.System.vel_x;
+  Wire.fbuf buf s.System.vel_y;
+  Wire.fbuf buf s.System.vel_z;
+  Wire.fbuf buf s.System.acc_x;
+  Wire.fbuf buf s.System.acc_y;
+  Wire.fbuf buf s.System.acc_z
 
 let dec_system r =
   let n = Wire.rint r in
@@ -199,11 +237,7 @@ let dec_system r =
   let dt = Wire.rf64 r in
   let params = { Params.epsilon; sigma; cutoff; mass; dt } in
   let s = System.create ~n ~box ~params in
-  let arr dst =
-    let a = Wire.rfarr r in
-    if Array.length a <> n then raise (Corrupt "coordinate array length");
-    Array.blit a 0 dst 0 n
-  in
+  let arr dst = Wire.rfbuf r dst in
   arr s.System.pos_x; arr s.System.pos_y; arr s.System.pos_z;
   arr s.System.vel_x; arr s.System.vel_y; arr s.System.vel_z;
   arr s.System.acc_x; arr s.System.acc_y; arr s.System.acc_z;

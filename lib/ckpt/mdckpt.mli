@@ -59,6 +59,23 @@ module Wire : sig
   val ropt : reader -> (reader -> 'a) -> 'a option
   val rlist : reader -> (reader -> 'a) -> 'a list
   val rfarr : reader -> float array
+
+  val force_portable : bool ref
+  (** Test hook: when set, {!fbuf} takes the per-element portable path
+      instead of the bulk little-endian blit.  Both produce the same
+      bytes (the wire format is little-endian either way); tests flip
+      this to prove it. *)
+
+  val fbuf : Buffer.t -> Mdcore.System.buf -> unit
+  (** Encode a float64 bigarray stream — same wire layout as {!farr},
+      so pre-bigarray checkpoints remain decodable.  Bulk-blits the
+      stream on little-endian hosts; falls back to per-element encoding
+      on big-endian ones (or under {!force_portable}). *)
+
+  val rfbuf : reader -> Mdcore.System.buf -> unit
+  (** Decode a float64 stream written by {!fbuf}/{!farr} directly into
+      the destination buffer; raises {!Corrupt} if the stored length
+      differs from the buffer's. *)
 end
 
 val encode_container : magic:string -> (string * string) list -> string

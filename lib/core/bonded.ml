@@ -6,21 +6,21 @@ let accumulate_bonds topology (s : System.t) =
   let pe = ref 0.0 in
   Array.iter
     (fun (b : Topology.bond) ->
-      let dx = Min_image.delta ~box (pos_x.(b.Topology.i) -. pos_x.(b.Topology.j))
-      and dy = Min_image.delta ~box (pos_y.(b.Topology.i) -. pos_y.(b.Topology.j))
-      and dz = Min_image.delta ~box (pos_z.(b.Topology.i) -. pos_z.(b.Topology.j)) in
+      let dx = Min_image.delta ~box (pos_x.{b.Topology.i} -. pos_x.{b.Topology.j})
+      and dy = Min_image.delta ~box (pos_y.{b.Topology.i} -. pos_y.{b.Topology.j})
+      and dz = Min_image.delta ~box (pos_z.{b.Topology.i} -. pos_z.{b.Topology.j}) in
       let r = sqrt ((dx *. dx) +. (dy *. dy) +. (dz *. dz)) in
       let stretch = r -. b.Topology.r0 in
       pe := !pe +. (0.5 *. b.Topology.k_bond *. stretch *. stretch);
       if r > 0.0 then begin
         (* F_i = -k (r - r0) rhat, applied equal and opposite. *)
         let coeff = -.b.Topology.k_bond *. stretch /. r *. inv_mass in
-        acc_x.(b.Topology.i) <- acc_x.(b.Topology.i) +. (coeff *. dx);
-        acc_y.(b.Topology.i) <- acc_y.(b.Topology.i) +. (coeff *. dy);
-        acc_z.(b.Topology.i) <- acc_z.(b.Topology.i) +. (coeff *. dz);
-        acc_x.(b.Topology.j) <- acc_x.(b.Topology.j) -. (coeff *. dx);
-        acc_y.(b.Topology.j) <- acc_y.(b.Topology.j) -. (coeff *. dy);
-        acc_z.(b.Topology.j) <- acc_z.(b.Topology.j) -. (coeff *. dz)
+        acc_x.{b.Topology.i} <- acc_x.{b.Topology.i} +. (coeff *. dx);
+        acc_y.{b.Topology.i} <- acc_y.{b.Topology.i} +. (coeff *. dy);
+        acc_z.{b.Topology.i} <- acc_z.{b.Topology.i} +. (coeff *. dz);
+        acc_x.{b.Topology.j} <- acc_x.{b.Topology.j} -. (coeff *. dx);
+        acc_y.{b.Topology.j} <- acc_y.{b.Topology.j} -. (coeff *. dy);
+        acc_z.{b.Topology.j} <- acc_z.{b.Topology.j} -. (coeff *. dz)
       end)
     (Topology.bonds topology);
   !pe
@@ -35,12 +35,12 @@ let accumulate_angles topology (s : System.t) =
     (fun (a : Topology.angle) ->
       let i = a.Topology.a and j = a.Topology.center and k = a.Topology.c in
       (* u = r_i - r_j, v = r_k - r_j (minimum image) *)
-      let ux = Min_image.delta ~box (pos_x.(i) -. pos_x.(j))
-      and uy = Min_image.delta ~box (pos_y.(i) -. pos_y.(j))
-      and uz = Min_image.delta ~box (pos_z.(i) -. pos_z.(j)) in
-      let vx = Min_image.delta ~box (pos_x.(k) -. pos_x.(j))
-      and vy = Min_image.delta ~box (pos_y.(k) -. pos_y.(j))
-      and vz = Min_image.delta ~box (pos_z.(k) -. pos_z.(j)) in
+      let ux = Min_image.delta ~box (pos_x.{i} -. pos_x.{j})
+      and uy = Min_image.delta ~box (pos_y.{i} -. pos_y.{j})
+      and uz = Min_image.delta ~box (pos_z.{i} -. pos_z.{j}) in
+      let vx = Min_image.delta ~box (pos_x.{k} -. pos_x.{j})
+      and vy = Min_image.delta ~box (pos_y.{k} -. pos_y.{j})
+      and vz = Min_image.delta ~box (pos_z.{k} -. pos_z.{j}) in
       let nu = sqrt ((ux *. ux) +. (uy *. uy) +. (uz *. uz)) in
       let nv = sqrt ((vx *. vx) +. (vy *. vy) +. (vz *. vz)) in
       if nu > 0.0 && nv > 0.0 then begin
@@ -68,15 +68,15 @@ let accumulate_angles topology (s : System.t) =
         let gkx = gk *. (uhx -. (cos_t *. vhx)) in
         let gky = gk *. (uhy -. (cos_t *. vhy)) in
         let gkz = gk *. (uhz -. (cos_t *. vhz)) in
-        acc_x.(i) <- acc_x.(i) +. (gix *. inv_mass);
-        acc_y.(i) <- acc_y.(i) +. (giy *. inv_mass);
-        acc_z.(i) <- acc_z.(i) +. (giz *. inv_mass);
-        acc_x.(k) <- acc_x.(k) +. (gkx *. inv_mass);
-        acc_y.(k) <- acc_y.(k) +. (gky *. inv_mass);
-        acc_z.(k) <- acc_z.(k) +. (gkz *. inv_mass);
-        acc_x.(j) <- acc_x.(j) -. ((gix +. gkx) *. inv_mass);
-        acc_y.(j) <- acc_y.(j) -. ((giy +. gky) *. inv_mass);
-        acc_z.(j) <- acc_z.(j) -. ((giz +. gkz) *. inv_mass)
+        acc_x.{i} <- acc_x.{i} +. (gix *. inv_mass);
+        acc_y.{i} <- acc_y.{i} +. (giy *. inv_mass);
+        acc_z.{i} <- acc_z.{i} +. (giz *. inv_mass);
+        acc_x.{k} <- acc_x.{k} +. (gkx *. inv_mass);
+        acc_y.{k} <- acc_y.{k} +. (gky *. inv_mass);
+        acc_z.{k} <- acc_z.{k} +. (gkz *. inv_mass);
+        acc_x.{j} <- acc_x.{j} -. ((gix +. gkx) *. inv_mass);
+        acc_y.{j} <- acc_y.{j} -. ((giy +. gky) *. inv_mass);
+        acc_z.{j} <- acc_z.{j} -. ((giz +. gkz) *. inv_mass)
       end)
     (Topology.angles topology);
   !pe
@@ -89,13 +89,13 @@ let compute_nonbonded_excluded topology (s : System.t) =
   let inv_mass = 1.0 /. params.Params.mass in
   let pe2 = ref 0.0 in
   for i = 0 to n - 1 do
-    let xi = pos_x.(i) and yi = pos_y.(i) and zi = pos_z.(i) in
+    let xi = pos_x.{i} and yi = pos_y.{i} and zi = pos_z.{i} in
     let fx = ref 0.0 and fy = ref 0.0 and fz = ref 0.0 in
     for j = 0 to n - 1 do
       if j <> i && not (Topology.excluded topology i j) then begin
-        let dx = Min_image.delta ~box (xi -. pos_x.(j))
-        and dy = Min_image.delta ~box (yi -. pos_y.(j))
-        and dz = Min_image.delta ~box (zi -. pos_z.(j)) in
+        let dx = Min_image.delta ~box (xi -. pos_x.{j})
+        and dy = Min_image.delta ~box (yi -. pos_y.{j})
+        and dz = Min_image.delta ~box (zi -. pos_z.{j}) in
         let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
         if r2 < rc2 then begin
           let f_over_r = Params.lj_force_over_r params r2 in
@@ -106,9 +106,9 @@ let compute_nonbonded_excluded topology (s : System.t) =
         end
       end
     done;
-    acc_x.(i) <- !fx *. inv_mass;
-    acc_y.(i) <- !fy *. inv_mass;
-    acc_z.(i) <- !fz *. inv_mass
+    acc_x.{i} <- !fx *. inv_mass;
+    acc_y.{i} <- !fy *. inv_mass;
+    acc_z.{i} <- !fz *. inv_mass
   done;
   0.5 *. !pe2
 

@@ -1,5 +1,19 @@
+(* Epsilon-tolerant floor of box/width.  When [box] is an exact multiple
+   of [width], the floating division can land one ulp below the integer
+   (e.g. 2.9999999999999996 for a true ratio of 3), silently dropping a
+   cell per axis — or rejecting a legal box outright.  Accept [m + 1]
+   whenever [(m + 1) * width] exceeds [box] by at most a few ulps of
+   [box].  Shared verbatim with [Pairlist]'s cell sizing so both binning
+   paths agree on the cell count. *)
+let axis_cells ~box ~width =
+  if not (width > 0.0) then invalid_arg "Cell_list.axis_cells: width";
+  let m = int_of_float (box /. width) in
+  if float_of_int (m + 1) *. width <= box +. (box *. 4.0 *. epsilon_float)
+  then m + 1
+  else m
+
 let cells_per_axis (s : System.t) =
-  int_of_float (s.System.box /. s.System.params.Params.cutoff)
+  axis_cells ~box:s.System.box ~width:s.System.params.Params.cutoff
 
 (* Stateful linked-cell engine: the cell arrays are allocated once at
    [create] and reused on every force evaluation — rebinning is an O(N)
@@ -30,31 +44,37 @@ let create ?pool (s : System.t) =
 let pool_of t = match t.pool with Some p -> p | None -> Mdpar.get ()
 
 let bin_atoms t =
-  let { System.n; pos_x; pos_y; pos_z; _ } = t.system in
+  let { System.n; box; pos_x; pos_y; pos_z; _ } = t.system in
   let m = t.m in
   Array.fill t.head 0 (Array.length t.head) (-1);
   let idx v =
+    (* [System.wrap_coord] guarantees v ∈ [0, box); an out-of-range
+       coordinate here means a wrap bug upstream, so assert rather than
+       silently remap it.  Division rounding can still land exactly on
+       [m] for v one ulp below box (and, with the epsilon-tolerant cell
+       count, cell_size can sit a few ulps below box/m) — the last cell
+       absorbs that edge. *)
+    assert (v >= 0.0 && v < box);
     let k = int_of_float (v /. t.cell_size) in
-    (* Guard the v = box edge case produced by rounding. *)
-    if k >= m then m - 1 else if k < 0 then 0 else k
+    if k >= m then m - 1 else k
   in
   for i = 0 to n - 1 do
     let c =
-      (idx pos_z.(i) * m * m) + (idx pos_y.(i) * m) + idx pos_x.(i)
+      (idx pos_z.{i} * m * m) + (idx pos_y.{i} * m) + idx pos_x.{i}
     in
     t.atom_cell.(i) <- c;
     t.next.(i) <- t.head.(c);
     t.head.(c) <- i
   done
 
-(* One atom's 27-cell gather; writes only acc_*.(i). *)
+(* One atom's 27-cell gather; writes only acc_*.{i}. *)
 let force_row t rc2 inv_mass i =
   let { System.box; params; pos_x; pos_y; pos_z; acc_x; acc_y; acc_z; _ } =
     t.system
   in
   let m = t.m in
   let wrap k = ((k mod m) + m) mod m in
-  let xi = pos_x.(i) and yi = pos_y.(i) and zi = pos_z.(i) in
+  let xi = pos_x.{i} and yi = pos_y.{i} and zi = pos_z.{i} in
   let fx = ref 0.0 and fy = ref 0.0 and fz = ref 0.0 in
   let pe2 = ref 0.0 in
   let ci = t.atom_cell.(i) in
@@ -68,9 +88,9 @@ let force_row t rc2 inv_mass i =
         let j = ref t.head.(c) in
         while !j >= 0 do
           if !j <> i then begin
-            let dx = Min_image.delta ~box (xi -. pos_x.(!j))
-            and dy = Min_image.delta ~box (yi -. pos_y.(!j))
-            and dz = Min_image.delta ~box (zi -. pos_z.(!j)) in
+            let dx = Min_image.delta ~box (xi -. pos_x.{!j})
+            and dy = Min_image.delta ~box (yi -. pos_y.{!j})
+            and dz = Min_image.delta ~box (zi -. pos_z.{!j}) in
             let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
             if r2 < rc2 then begin
               let f_over_r = Params.lj_force_over_r params r2 in
@@ -85,9 +105,9 @@ let force_row t rc2 inv_mass i =
       done
     done
   done;
-  acc_x.(i) <- !fx *. inv_mass;
-  acc_y.(i) <- !fy *. inv_mass;
-  acc_z.(i) <- !fz *. inv_mass;
+  acc_x.{i} <- !fx *. inv_mass;
+  acc_y.{i} <- !fy *. inv_mass;
+  acc_z.{i} <- !fz *. inv_mass;
   !pe2
 
 let compute_with t (s : System.t) =

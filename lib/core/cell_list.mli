@@ -41,3 +41,11 @@ val compute : System.t -> float
     axis. *)
 
 val cells_per_axis : System.t -> int
+
+val axis_cells : box:float -> width:float -> int
+(** Epsilon-tolerant [floor (box / width)]: accepts [m] when
+    [float m *. width] exceeds [box] by at most a few ulps, so a box
+    that is an exact multiple of [width] is never short a cell because
+    the floating division landed one ulp below the integer.  Shared by
+    {!cells_per_axis} and {!Pairlist}'s build-strategy sizing; raises
+    [Invalid_argument] unless [width > 0]. *)

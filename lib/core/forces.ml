@@ -11,13 +11,13 @@ let compute_gather_stats (s : System.t) =
   let pe2 = ref 0.0 and hits = ref 0 in
   (* double-counted PE, halved at the end *)
   for i = 0 to n - 1 do
-    let xi = pos_x.(i) and yi = pos_y.(i) and zi = pos_z.(i) in
+    let xi = pos_x.{i} and yi = pos_y.{i} and zi = pos_z.{i} in
     let fx = ref 0.0 and fy = ref 0.0 and fz = ref 0.0 in
     for j = 0 to n - 1 do
       if j <> i then begin
-        let dx = Min_image.delta ~box (xi -. pos_x.(j))
-        and dy = Min_image.delta ~box (yi -. pos_y.(j))
-        and dz = Min_image.delta ~box (zi -. pos_z.(j)) in
+        let dx = Min_image.delta ~box (xi -. pos_x.{j})
+        and dy = Min_image.delta ~box (yi -. pos_y.{j})
+        and dz = Min_image.delta ~box (zi -. pos_z.{j}) in
         let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
         if r2 < rc2 then begin
           let f_over_r = Params.lj_force_over_r params r2 in
@@ -29,9 +29,9 @@ let compute_gather_stats (s : System.t) =
         end
       end
     done;
-    acc_x.(i) <- !fx *. inv_mass;
-    acc_y.(i) <- !fy *. inv_mass;
-    acc_z.(i) <- !fz *. inv_mass
+    acc_x.{i} <- !fx *. inv_mass;
+    acc_y.{i} <- !fy *. inv_mass;
+    acc_z.{i} <- !fz *. inv_mass
   done;
   (0.5 *. !pe2, !hits)
 
@@ -40,14 +40,14 @@ let compute_gather s = fst (compute_gather_stats s)
 (* One row of the gather sum; writes only acc_*.(i). *)
 let gather_row (s : System.t) rc2 inv_mass i =
   let { System.n; box; pos_x; pos_y; pos_z; acc_x; acc_y; acc_z; _ } = s in
-  let xi = pos_x.(i) and yi = pos_y.(i) and zi = pos_z.(i) in
+  let xi = pos_x.{i} and yi = pos_y.{i} and zi = pos_z.{i} in
   let fx = ref 0.0 and fy = ref 0.0 and fz = ref 0.0 in
   let pe2 = ref 0.0 in
   for j = 0 to n - 1 do
     if j <> i then begin
-      let dx = Min_image.delta ~box (xi -. pos_x.(j))
-      and dy = Min_image.delta ~box (yi -. pos_y.(j))
-      and dz = Min_image.delta ~box (zi -. pos_z.(j)) in
+      let dx = Min_image.delta ~box (xi -. pos_x.{j})
+      and dy = Min_image.delta ~box (yi -. pos_y.{j})
+      and dz = Min_image.delta ~box (zi -. pos_z.{j}) in
       let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
       if r2 < rc2 then begin
         let f_over_r = Params.lj_force_over_r s.System.params r2 in
@@ -58,9 +58,9 @@ let gather_row (s : System.t) rc2 inv_mass i =
       end
     end
   done;
-  acc_x.(i) <- !fx *. inv_mass;
-  acc_y.(i) <- !fy *. inv_mass;
-  acc_z.(i) <- !fz *. inv_mass;
+  acc_x.{i} <- !fx *. inv_mass;
+  acc_y.{i} <- !fy *. inv_mass;
+  acc_z.{i} <- !fz *. inv_mass;
   !pe2
 
 let compute_gather_pool ?pool (s : System.t) =
@@ -126,23 +126,23 @@ let compute_newton3 (s : System.t) =
   let pe = ref 0.0 in
   System.clear_accelerations s;
   for i = 0 to n - 2 do
-    let xi = pos_x.(i) and yi = pos_y.(i) and zi = pos_z.(i) in
+    let xi = pos_x.{i} and yi = pos_y.{i} and zi = pos_z.{i} in
     for j = i + 1 to n - 1 do
-      let dx = Min_image.delta ~box (xi -. pos_x.(j))
-      and dy = Min_image.delta ~box (yi -. pos_y.(j))
-      and dz = Min_image.delta ~box (zi -. pos_z.(j)) in
+      let dx = Min_image.delta ~box (xi -. pos_x.{j})
+      and dy = Min_image.delta ~box (yi -. pos_y.{j})
+      and dz = Min_image.delta ~box (zi -. pos_z.{j}) in
       let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
       if r2 < rc2 then begin
         let f_over_r = Params.lj_force_over_r params r2 in
         let ax = f_over_r *. dx *. inv_mass
         and ay = f_over_r *. dy *. inv_mass
         and az = f_over_r *. dz *. inv_mass in
-        acc_x.(i) <- acc_x.(i) +. ax;
-        acc_y.(i) <- acc_y.(i) +. ay;
-        acc_z.(i) <- acc_z.(i) +. az;
-        acc_x.(j) <- acc_x.(j) -. ax;
-        acc_y.(j) <- acc_y.(j) -. ay;
-        acc_z.(j) <- acc_z.(j) -. az;
+        acc_x.{i} <- acc_x.{i} +. ax;
+        acc_y.{i} <- acc_y.{i} +. ay;
+        acc_z.{i} <- acc_z.{i} +. az;
+        acc_x.{j} <- acc_x.{j} -. ax;
+        acc_y.{j} <- acc_y.{j} -. ay;
+        acc_z.{j} <- acc_z.{j} -. az;
         pe := !pe +. Params.lj_potential params r2
       end
     done
@@ -157,13 +157,13 @@ let compute_gather_searched (s : System.t) =
   let inv_mass = 1.0 /. params.Params.mass in
   let pe2 = ref 0.0 in
   for i = 0 to n - 1 do
-    let xi = pos_x.(i) and yi = pos_y.(i) and zi = pos_z.(i) in
+    let xi = pos_x.{i} and yi = pos_y.{i} and zi = pos_z.{i} in
     let fx = ref 0.0 and fy = ref 0.0 and fz = ref 0.0 in
     for j = 0 to n - 1 do
       if j <> i then begin
-        let dx = Min_image.delta_search ~box (xi -. pos_x.(j))
-        and dy = Min_image.delta_search ~box (yi -. pos_y.(j))
-        and dz = Min_image.delta_search ~box (zi -. pos_z.(j)) in
+        let dx = Min_image.delta_search ~box (xi -. pos_x.{j})
+        and dy = Min_image.delta_search ~box (yi -. pos_y.{j})
+        and dz = Min_image.delta_search ~box (zi -. pos_z.{j}) in
         let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
         if r2 < rc2 then begin
           let f_over_r = Params.lj_force_over_r params r2 in
@@ -174,9 +174,9 @@ let compute_gather_searched (s : System.t) =
         end
       end
     done;
-    acc_x.(i) <- !fx *. inv_mass;
-    acc_y.(i) <- !fy *. inv_mass;
-    acc_z.(i) <- !fz *. inv_mass
+    acc_x.{i} <- !fx *. inv_mass;
+    acc_y.{i} <- !fy *. inv_mass;
+    acc_z.{i} <- !fz *. inv_mass
   done;
   0.5 *. !pe2
 
@@ -185,12 +185,12 @@ let acceleration_on (s : System.t) i =
   let rc2 = Params.cutoff2 params in
   let inv_mass = 1.0 /. params.Params.mass in
   let acc = ref Vecmath.Vec3.zero and pe2 = ref 0.0 in
-  let xi = pos_x.(i) and yi = pos_y.(i) and zi = pos_z.(i) in
+  let xi = pos_x.{i} and yi = pos_y.{i} and zi = pos_z.{i} in
   for j = 0 to n - 1 do
     if j <> i then begin
-      let dx = Min_image.delta ~box (xi -. pos_x.(j))
-      and dy = Min_image.delta ~box (yi -. pos_y.(j))
-      and dz = Min_image.delta ~box (zi -. pos_z.(j)) in
+      let dx = Min_image.delta ~box (xi -. pos_x.{j})
+      and dy = Min_image.delta ~box (yi -. pos_y.{j})
+      and dz = Min_image.delta ~box (zi -. pos_z.{j}) in
       let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
       if r2 < rc2 then begin
         let f_over_r = Params.lj_force_over_r params r2 in

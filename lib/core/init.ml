@@ -39,14 +39,20 @@ let place_lattice system =
 
 let remove_net_momentum system =
   let n = system.System.n in
-  let avg arr = Array.fold_left ( +. ) 0.0 arr /. float_of_int n in
+  let avg (arr : System.buf) =
+    let sum = ref 0.0 in
+    for i = 0 to n - 1 do
+      sum := !sum +. arr.{i}
+    done;
+    !sum /. float_of_int n
+  in
   let mx = avg system.System.vel_x
   and my = avg system.System.vel_y
   and mz = avg system.System.vel_z in
   for i = 0 to n - 1 do
-    system.System.vel_x.(i) <- system.System.vel_x.(i) -. mx;
-    system.System.vel_y.(i) <- system.System.vel_y.(i) -. my;
-    system.System.vel_z.(i) <- system.System.vel_z.(i) -. mz
+    system.System.vel_x.{i} <- system.System.vel_x.{i} -. mx;
+    system.System.vel_y.{i} <- system.System.vel_y.{i} -. my;
+    system.System.vel_z.{i} <- system.System.vel_z.{i} -. mz
   done
 
 let maxwell_velocities system ~temperature rng =
@@ -93,12 +99,12 @@ let relax system ~iterations ~max_step =
   for _ = 1 to iterations do
     ignore (compute system);
     for i = 0 to n - 1 do
-      system.System.pos_x.(i) <-
-        system.System.pos_x.(i) +. cap (gamma *. system.System.acc_x.(i));
-      system.System.pos_y.(i) <-
-        system.System.pos_y.(i) +. cap (gamma *. system.System.acc_y.(i));
-      system.System.pos_z.(i) <-
-        system.System.pos_z.(i) +. cap (gamma *. system.System.acc_z.(i));
+      system.System.pos_x.{i} <-
+        system.System.pos_x.{i} +. cap (gamma *. system.System.acc_x.{i});
+      system.System.pos_y.{i} <-
+        system.System.pos_y.{i} +. cap (gamma *. system.System.acc_y.{i});
+      system.System.pos_z.{i} <-
+        system.System.pos_z.{i} +. cap (gamma *. system.System.acc_z.{i});
       System.wrap_atom system i
     done
   done;

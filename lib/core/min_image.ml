@@ -1,6 +1,10 @@
+(* A tiny negative remainder (e.g. -1e-17 with box = 1.0) makes
+   [r +. box] round to [box] exactly, leaking a result outside the
+   documented [0, box) range; clamp it to the 0.0 it is one ulp from. *)
 let wrap ~box x =
   let r = Float.rem x box in
-  if r < 0.0 then r +. box else r
+  let r = if r < 0.0 then r +. box else r in
+  if r >= box then 0.0 else r
 
 let delta ~box dx = dx -. (box *. Float.round (dx /. box))
 

@@ -8,7 +8,9 @@
     search variant alongside the closed-form one and test that they agree. *)
 
 val wrap : box:float -> float -> float
-(** Fold a coordinate into [\[0, box)]. *)
+(** Fold a coordinate into [\[0, box)].  Strictly below [box]: when a
+    tiny negative remainder makes [rem + box] round to [box], the result
+    clamps to [0.0]. *)
 
 val delta : box:float -> float -> float
 (** [delta ~box dx] is the closed-form minimum-image displacement:

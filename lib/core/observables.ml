@@ -3,9 +3,9 @@ let kinetic_energy (s : System.t) =
   for i = 0 to s.System.n - 1 do
     acc :=
       !acc
-      +. (s.System.vel_x.(i) *. s.System.vel_x.(i))
-      +. (s.System.vel_y.(i) *. s.System.vel_y.(i))
-      +. (s.System.vel_z.(i) *. s.System.vel_z.(i))
+      +. (s.System.vel_x.{i} *. s.System.vel_x.{i})
+      +. (s.System.vel_y.{i} *. s.System.vel_y.{i})
+      +. (s.System.vel_z.{i} *. s.System.vel_z.{i})
   done;
   0.5 *. s.System.params.Params.mass *. !acc
 
@@ -16,9 +16,9 @@ let temperature (s : System.t) =
 let total_momentum (s : System.t) =
   let px = ref 0.0 and py = ref 0.0 and pz = ref 0.0 in
   for i = 0 to s.System.n - 1 do
-    px := !px +. s.System.vel_x.(i);
-    py := !py +. s.System.vel_y.(i);
-    pz := !pz +. s.System.vel_z.(i)
+    px := !px +. s.System.vel_x.{i};
+    py := !py +. s.System.vel_y.{i};
+    pz := !pz +. s.System.vel_z.{i}
   done;
   Vecmath.Vec3.scale s.System.params.Params.mass
     (Vecmath.Vec3.make !px !py !pz)
@@ -83,9 +83,9 @@ let vacf_raw snapshots =
       for i = 0 to n - 1 do
         acc :=
           !acc
-          +. (first.System.vel_x.(i) *. s.System.vel_x.(i))
-          +. (first.System.vel_y.(i) *. s.System.vel_y.(i))
-          +. (first.System.vel_z.(i) *. s.System.vel_z.(i))
+          +. (first.System.vel_x.{i} *. s.System.vel_x.{i})
+          +. (first.System.vel_y.{i} *. s.System.vel_y.{i})
+          +. (first.System.vel_z.{i} *. s.System.vel_z.{i})
       done;
       !acc /. float_of_int n)
     snapshots

@@ -21,9 +21,9 @@ type t = {
      [full_gen] records which build they match. *)
   mutable full : int array array;
   mutable full_gen : int;
-  ref_x : float array;  (* positions at last build *)
-  ref_y : float array;
-  ref_z : float array;
+  ref_x : System.buf;  (* positions at last build *)
+  ref_y : System.buf;
+  ref_z : System.buf;
   mutable built : bool;
   mutable rebuilds : int;
   mutable last_hits : int;
@@ -80,7 +80,9 @@ let create ?(skin = default_skin) ?pool (s : System.t) =
       "Pairlist.create: cutoff + skin exceeds the min-image bound \
        (box < 2*(cutoff+skin))";
   let cells =
-    let m = int_of_float (s.System.box /. reach) in
+    (* Epsilon-tolerant so an exact multiple of [reach] is never short a
+       cell (shared with [Cell_list.cells_per_axis]). *)
+    let m = Cell_list.axis_cells ~box:s.System.box ~width:reach in
     if m >= 3 then m else 0
   in
   { system = s;
@@ -89,9 +91,9 @@ let create ?(skin = default_skin) ?pool (s : System.t) =
     neighbours = Array.make s.System.n [||];
     full = [||];
     full_gen = -1;
-    ref_x = Array.make s.System.n 0.0;
-    ref_y = Array.make s.System.n 0.0;
-    ref_z = Array.make s.System.n 0.0;
+    ref_x = System.create_buf s.System.n;
+    ref_y = System.create_buf s.System.n;
+    ref_z = System.create_buf s.System.n;
     built = false;
     rebuilds = 0;
     last_hits = 0;
@@ -135,9 +137,9 @@ let neighbour_count t =
 
 let finish_build t =
   let { System.n; pos_x; pos_y; pos_z; _ } = t.system in
-  Array.blit pos_x 0 t.ref_x 0 n;
-  Array.blit pos_y 0 t.ref_y 0 n;
-  Array.blit pos_z 0 t.ref_z 0 n;
+  Bigarray.Array1.blit pos_x t.ref_x;
+  Bigarray.Array1.blit pos_y t.ref_y;
+  Bigarray.Array1.blit pos_z t.ref_z;
   t.built <- true;
   t.rebuilds <- t.rebuilds + 1;
   t.last_scanned <- Array.fold_left ( + ) 0 t.row_scanned;
@@ -164,9 +166,9 @@ let build_row_brute t reach2 i =
   let { System.n; box; pos_x; pos_y; pos_z; _ } = t.system in
   let acc = ref [] in
   for j = n - 1 downto i + 1 do
-    let dx = Min_image.delta ~box (pos_x.(i) -. pos_x.(j))
-    and dy = Min_image.delta ~box (pos_y.(i) -. pos_y.(j))
-    and dz = Min_image.delta ~box (pos_z.(i) -. pos_z.(j)) in
+    let dx = Min_image.delta ~box (pos_x.{i} -. pos_x.{j})
+    and dy = Min_image.delta ~box (pos_y.{i} -. pos_y.{j})
+    and dz = Min_image.delta ~box (pos_z.{i} -. pos_z.{j}) in
     if (dx *. dx) +. (dy *. dy) +. (dz *. dz) < reach2 then acc := j :: !acc
   done;
   t.row_scanned.(i) <- n - 1 - i;
@@ -192,13 +194,17 @@ let bin_atoms t =
   let cell_size = box /. float_of_int m in
   Array.fill t.head 0 (Array.length t.head) (-1);
   let idx v =
+    (* Wrapped coordinates are in [0, box) by [System.wrap_coord]'s
+       contract; assert it rather than masking an upstream wrap bug.
+       Division rounding can still push the index to [m] for v within a
+       few ulps of box — the last cell absorbs that edge. *)
+    assert (v >= 0.0 && v < box);
     let k = int_of_float (v /. cell_size) in
-    (* Guard the v = box edge case produced by rounding. *)
-    if k >= m then m - 1 else if k < 0 then 0 else k
+    if k >= m then m - 1 else k
   in
   for i = 0 to n - 1 do
     let c =
-      (idx pos_z.(i) * m * m) + (idx pos_y.(i) * m) + idx pos_x.(i)
+      (idx pos_z.{i} * m * m) + (idx pos_y.{i} * m) + idx pos_x.{i}
     in
     t.atom_cell.(i) <- c;
     t.next.(i) <- t.head.(c);
@@ -211,7 +217,7 @@ let build_row_cells t reach2 i =
   let wrap k = ((k mod m) + m) mod m in
   let ci = t.atom_cell.(i) in
   let cix = ci mod m and ciy = ci / m mod m and ciz = ci / (m * m) in
-  let xi = pos_x.(i) and yi = pos_y.(i) and zi = pos_z.(i) in
+  let xi = pos_x.{i} and yi = pos_y.{i} and zi = pos_z.{i} in
   let acc = ref [] and count = ref 0 and scanned = ref 0 in
   for sz = -1 to 1 do
     for sy = -1 to 1 do
@@ -223,9 +229,9 @@ let build_row_cells t reach2 i =
         while !j >= 0 do
           if !j > i then begin
             incr scanned;
-            let dx = Min_image.delta ~box (xi -. pos_x.(!j))
-            and dy = Min_image.delta ~box (yi -. pos_y.(!j))
-            and dz = Min_image.delta ~box (zi -. pos_z.(!j)) in
+            let dx = Min_image.delta ~box (xi -. pos_x.{!j})
+            and dy = Min_image.delta ~box (yi -. pos_y.{!j})
+            and dz = Min_image.delta ~box (zi -. pos_z.{!j}) in
             if (dx *. dx) +. (dy *. dy) +. (dz *. dz) < reach2 then begin
               acc := !j :: !acc;
               incr count
@@ -258,9 +264,9 @@ let max_drift t =
   let { System.n; box; pos_x; pos_y; pos_z; _ } = s in
   let worst = ref 0.0 in
   for i = 0 to n - 1 do
-    let dx = Min_image.delta ~box (pos_x.(i) -. t.ref_x.(i))
-    and dy = Min_image.delta ~box (pos_y.(i) -. t.ref_y.(i))
-    and dz = Min_image.delta ~box (pos_z.(i) -. t.ref_z.(i)) in
+    let dx = Min_image.delta ~box (pos_x.{i} -. t.ref_x.{i})
+    and dy = Min_image.delta ~box (pos_y.{i} -. t.ref_y.{i})
+    and dz = Min_image.delta ~box (pos_z.{i} -. t.ref_z.{i}) in
     worst := Float.max !worst ((dx *. dx) +. (dy *. dy) +. (dz *. dz))
   done;
   sqrt !worst
@@ -315,24 +321,24 @@ let compute_serial t (s : System.t) =
   let pe = ref 0.0 and hits = ref 0 in
   System.clear_accelerations s;
   for i = 0 to n - 1 do
-    let xi = pos_x.(i) and yi = pos_y.(i) and zi = pos_z.(i) in
+    let xi = pos_x.{i} and yi = pos_y.{i} and zi = pos_z.{i} in
     Array.iter
       (fun j ->
-        let dx = Min_image.delta ~box (xi -. pos_x.(j))
-        and dy = Min_image.delta ~box (yi -. pos_y.(j))
-        and dz = Min_image.delta ~box (zi -. pos_z.(j)) in
+        let dx = Min_image.delta ~box (xi -. pos_x.{j})
+        and dy = Min_image.delta ~box (yi -. pos_y.{j})
+        and dz = Min_image.delta ~box (zi -. pos_z.{j}) in
         let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
         if r2 < rc2 then begin
           let f_over_r = Params.lj_force_over_r params r2 in
           let ax = f_over_r *. dx *. inv_mass
           and ay = f_over_r *. dy *. inv_mass
           and az = f_over_r *. dz *. inv_mass in
-          acc_x.(i) <- acc_x.(i) +. ax;
-          acc_y.(i) <- acc_y.(i) +. ay;
-          acc_z.(i) <- acc_z.(i) +. az;
-          acc_x.(j) <- acc_x.(j) -. ax;
-          acc_y.(j) <- acc_y.(j) -. ay;
-          acc_z.(j) <- acc_z.(j) -. az;
+          acc_x.{i} <- acc_x.{i} +. ax;
+          acc_y.{i} <- acc_y.{i} +. ay;
+          acc_z.{i} <- acc_z.{i} +. az;
+          acc_x.{j} <- acc_x.{j} -. ax;
+          acc_y.{j} <- acc_y.{j} -. ay;
+          acc_z.{j} <- acc_z.{j} -. az;
           pe := !pe +. Params.lj_potential params r2;
           incr hits
         end)
@@ -362,12 +368,12 @@ let compute_chunked t (s : System.t) ~chunks =
       Array.fill buf 0 (3 * n) 0.0;
       let pe = ref 0.0 and hits = ref 0 in
       for i = c * n / chunks to ((c + 1) * n / chunks) - 1 do
-        let xi = pos_x.(i) and yi = pos_y.(i) and zi = pos_z.(i) in
+        let xi = pos_x.{i} and yi = pos_y.{i} and zi = pos_z.{i} in
         Array.iter
           (fun j ->
-            let dx = Min_image.delta ~box (xi -. pos_x.(j))
-            and dy = Min_image.delta ~box (yi -. pos_y.(j))
-            and dz = Min_image.delta ~box (zi -. pos_z.(j)) in
+            let dx = Min_image.delta ~box (xi -. pos_x.{j})
+            and dy = Min_image.delta ~box (yi -. pos_y.{j})
+            and dz = Min_image.delta ~box (zi -. pos_z.{j}) in
             let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
             if r2 < rc2 then begin
               let f_over_r = Params.lj_force_over_r params r2 in
@@ -396,9 +402,9 @@ let compute_chunked t (s : System.t) ~chunks =
         ay := !ay +. buf.((3 * i) + 1);
         az := !az +. buf.((3 * i) + 2)
       done;
-      acc_x.(i) <- !ax;
-      acc_y.(i) <- !ay;
-      acc_z.(i) <- !az);
+      acc_x.{i} <- !ax;
+      acc_y.{i} <- !ay;
+      acc_z.{i} <- !az);
   let pe = ref 0.0 and hits = ref 0 in
   for c = 0 to chunks - 1 do
     pe := !pe +. t.chunk_pe.(c);
@@ -430,13 +436,13 @@ let compute_full_stats t (s : System.t) =
   let inv_mass = 1.0 /. params.Params.mass in
   let pe2 = ref 0.0 and hits = ref 0 in
   for i = 0 to n - 1 do
-    let xi = pos_x.(i) and yi = pos_y.(i) and zi = pos_z.(i) in
+    let xi = pos_x.{i} and yi = pos_y.{i} and zi = pos_z.{i} in
     let fx = ref 0.0 and fy = ref 0.0 and fz = ref 0.0 in
     Array.iter
       (fun j ->
-        let dx = Min_image.delta ~box (xi -. pos_x.(j))
-        and dy = Min_image.delta ~box (yi -. pos_y.(j))
-        and dz = Min_image.delta ~box (zi -. pos_z.(j)) in
+        let dx = Min_image.delta ~box (xi -. pos_x.{j})
+        and dy = Min_image.delta ~box (yi -. pos_y.{j})
+        and dz = Min_image.delta ~box (zi -. pos_z.{j}) in
         let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
         if r2 < rc2 then begin
           let f_over_r = Params.lj_force_over_r params r2 in
@@ -447,9 +453,9 @@ let compute_full_stats t (s : System.t) =
           incr hits
         end)
       full.(i);
-    acc_x.(i) <- !fx *. inv_mass;
-    acc_y.(i) <- !fy *. inv_mass;
-    acc_z.(i) <- !fz *. inv_mass
+    acc_x.{i} <- !fx *. inv_mass;
+    acc_y.{i} <- !fy *. inv_mass;
+    acc_z.{i} <- !fz *. inv_mass
   done;
   t.last_hits <- !hits;
   (0.5 *. !pe2, !hits)

@@ -1,18 +1,34 @@
 module Vec3 = Vecmath.Vec3
 
+type buf = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+type f32buf = (float, Bigarray.float32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let create_buf n : buf =
+  let a = Bigarray.Array1.create Bigarray.Float64 Bigarray.C_layout n in
+  Bigarray.Array1.fill a 0.0;
+  a
+
+let create_f32buf n : f32buf =
+  let a = Bigarray.Array1.create Bigarray.Float32 Bigarray.C_layout n in
+  Bigarray.Array1.fill a 0.0;
+  a
+
 type t = {
   n : int;
   box : float;
   params : Params.t;
-  pos_x : float array;
-  pos_y : float array;
-  pos_z : float array;
-  vel_x : float array;
-  vel_y : float array;
-  vel_z : float array;
-  acc_x : float array;
-  acc_y : float array;
-  acc_z : float array;
+  pos_x : buf;
+  pos_y : buf;
+  pos_z : buf;
+  vel_x : buf;
+  vel_y : buf;
+  vel_z : buf;
+  acc_x : buf;
+  acc_y : buf;
+  acc_z : buf;
+  (* Lazily-allocated binary32 staging for the single-precision ports;
+     refreshed (never reallocated) by [stage_positions_f32]. *)
+  mutable stage32 : (f32buf * f32buf * f32buf) option;
 }
 
 let create ~n ~box ~params =
@@ -25,69 +41,104 @@ let create ~n ~box ~params =
           >= 2 * cutoff = %g)"
          box
          (2.0 *. params.Params.cutoff));
-  let z () = Array.make n 0.0 in
+  let z () = create_buf n in
   { n; box; params;
     pos_x = z (); pos_y = z (); pos_z = z ();
     vel_x = z (); vel_y = z (); vel_z = z ();
-    acc_x = z (); acc_y = z (); acc_z = z () }
+    acc_x = z (); acc_y = z (); acc_z = z ();
+    stage32 = None }
+
+let copy_buf (a : buf) : buf =
+  let b = Bigarray.Array1.create Bigarray.Float64 Bigarray.C_layout
+      (Bigarray.Array1.dim a) in
+  Bigarray.Array1.blit a b;
+  b
 
 let copy t =
   { t with
-    pos_x = Array.copy t.pos_x; pos_y = Array.copy t.pos_y;
-    pos_z = Array.copy t.pos_z;
-    vel_x = Array.copy t.vel_x; vel_y = Array.copy t.vel_y;
-    vel_z = Array.copy t.vel_z;
-    acc_x = Array.copy t.acc_x; acc_y = Array.copy t.acc_y;
-    acc_z = Array.copy t.acc_z }
+    pos_x = copy_buf t.pos_x; pos_y = copy_buf t.pos_y;
+    pos_z = copy_buf t.pos_z;
+    vel_x = copy_buf t.vel_x; vel_y = copy_buf t.vel_y;
+    vel_z = copy_buf t.vel_z;
+    acc_x = copy_buf t.acc_x; acc_y = copy_buf t.acc_y;
+    acc_z = copy_buf t.acc_z;
+    (* Staging is a per-system scratch cache: sharing it would let the
+       copy and the original clobber each other's staged coordinates. *)
+    stage32 = None }
 
 let restore ~dst ~src =
   if dst.n <> src.n then invalid_arg "System.restore: size mismatch";
-  let b s d = Array.blit s 0 d 0 src.n in
+  let b s d = Bigarray.Array1.blit s d in
   b src.pos_x dst.pos_x; b src.pos_y dst.pos_y; b src.pos_z dst.pos_z;
   b src.vel_x dst.vel_x; b src.vel_y dst.vel_y; b src.vel_z dst.vel_z;
   b src.acc_x dst.acc_x; b src.acc_y dst.acc_y; b src.acc_z dst.acc_z
 
-let position t i = Vec3.make t.pos_x.(i) t.pos_y.(i) t.pos_z.(i)
-let velocity t i = Vec3.make t.vel_x.(i) t.vel_y.(i) t.vel_z.(i)
-let acceleration t i = Vec3.make t.acc_x.(i) t.acc_y.(i) t.acc_z.(i)
+let position t i = Vec3.make t.pos_x.{i} t.pos_y.{i} t.pos_z.{i}
+let velocity t i = Vec3.make t.vel_x.{i} t.vel_y.{i} t.vel_z.{i}
+let acceleration t i = Vec3.make t.acc_x.{i} t.acc_y.{i} t.acc_z.{i}
 
 (* Fold a coordinate into [0, box).  A single fmod plus correction is
    enough because the integrator moves atoms far less than a box length
-   per step; arbitrary inputs are handled for robustness. *)
+   per step; arbitrary inputs are handled for robustness.  A tiny
+   negative remainder makes [r +. box] round to [box] exactly, which
+   would leak a coordinate outside the documented range — clamp it to
+   the 0.0 it is one ulp away from. *)
 let wrap_coord box x =
   let r = Float.rem x box in
-  if r < 0.0 then r +. box else r
+  let r = if r < 0.0 then r +. box else r in
+  if r >= box then 0.0 else r
 
 let wrap_atom t i =
-  t.pos_x.(i) <- wrap_coord t.box t.pos_x.(i);
-  t.pos_y.(i) <- wrap_coord t.box t.pos_y.(i);
-  t.pos_z.(i) <- wrap_coord t.box t.pos_z.(i)
+  t.pos_x.{i} <- wrap_coord t.box t.pos_x.{i};
+  t.pos_y.{i} <- wrap_coord t.box t.pos_y.{i};
+  t.pos_z.{i} <- wrap_coord t.box t.pos_z.{i}
 
 let set_position t i (v : Vec3.t) =
-  t.pos_x.(i) <- v.x;
-  t.pos_y.(i) <- v.y;
-  t.pos_z.(i) <- v.z;
+  t.pos_x.{i} <- v.x;
+  t.pos_y.{i} <- v.y;
+  t.pos_z.{i} <- v.z;
   wrap_atom t i
 
 let set_velocity t i (v : Vec3.t) =
-  t.vel_x.(i) <- v.x;
-  t.vel_y.(i) <- v.y;
-  t.vel_z.(i) <- v.z
+  t.vel_x.{i} <- v.x;
+  t.vel_y.{i} <- v.y;
+  t.vel_z.{i} <- v.z
 
 let clear_accelerations t =
-  Array.fill t.acc_x 0 t.n 0.0;
-  Array.fill t.acc_y 0 t.n 0.0;
-  Array.fill t.acc_z 0 t.n 0.0
+  Bigarray.Array1.fill t.acc_x 0.0;
+  Bigarray.Array1.fill t.acc_y 0.0;
+  Bigarray.Array1.fill t.acc_z 0.0
+
+(* Refresh (allocating on first use) the reusable binary32 position
+   staging.  Storing a double into a float32 Bigarray rounds to nearest
+   single exactly as [F32.round] does, so reads from these buffers are
+   bit-identical to the former per-access [Array.map F32.round]. *)
+let stage_positions_f32 t =
+  let ((px, py, pz) as bufs) =
+    match t.stage32 with
+    | Some b -> b
+    | None ->
+      let b = (create_f32buf t.n, create_f32buf t.n, create_f32buf t.n) in
+      t.stage32 <- Some b;
+      b
+  in
+  for i = 0 to t.n - 1 do
+    px.{i} <- t.pos_x.{i};
+    py.{i} <- t.pos_y.{i};
+    pz.{i} <- t.pos_z.{i}
+  done;
+  bufs
 
 let check_compatible a b =
   if a.n <> b.n then invalid_arg "System: size mismatch"
 
-let max_delta3 n ax ay az bx by bz =
+let max_delta3 n (ax : buf) (ay : buf) (az : buf) (bx : buf) (by : buf)
+    (bz : buf) =
   let worst = ref 0.0 in
   for i = 0 to n - 1 do
-    worst := Float.max !worst (abs_float (ax.(i) -. bx.(i)));
-    worst := Float.max !worst (abs_float (ay.(i) -. by.(i)));
-    worst := Float.max !worst (abs_float (az.(i) -. bz.(i)))
+    worst := Float.max !worst (abs_float (ax.{i} -. bx.{i}));
+    worst := Float.max !worst (abs_float (ay.{i} -. by.{i}));
+    worst := Float.max !worst (abs_float (az.{i} -. bz.{i}))
   done;
   !worst
 
@@ -106,10 +157,10 @@ let density t = float_of_int t.n /. (t.box ** 3.0)
 
 let finite t =
   let ok = ref true in
-  let scan a =
+  let scan (a : buf) =
     if !ok then
       for i = 0 to t.n - 1 do
-        if not (Float.is_finite a.(i)) then ok := false
+        if not (Float.is_finite a.{i}) then ok := false
       done
   in
   scan t.pos_x; scan t.pos_y; scan t.pos_z;

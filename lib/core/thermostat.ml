@@ -1,8 +1,8 @@
 let scale_velocities (s : System.t) factor =
   for i = 0 to s.System.n - 1 do
-    s.System.vel_x.(i) <- factor *. s.System.vel_x.(i);
-    s.System.vel_y.(i) <- factor *. s.System.vel_y.(i);
-    s.System.vel_z.(i) <- factor *. s.System.vel_z.(i)
+    s.System.vel_x.{i} <- factor *. s.System.vel_x.{i};
+    s.System.vel_y.{i} <- factor *. s.System.vel_y.{i};
+    s.System.vel_z.{i} <- factor *. s.System.vel_z.{i}
   done
 
 let rescale s ~target =

@@ -10,17 +10,17 @@ type step_record = {
 let half_kick (s : System.t) =
   let h = 0.5 *. s.System.params.Params.dt in
   for i = 0 to s.System.n - 1 do
-    s.System.vel_x.(i) <- s.System.vel_x.(i) +. (h *. s.System.acc_x.(i));
-    s.System.vel_y.(i) <- s.System.vel_y.(i) +. (h *. s.System.acc_y.(i));
-    s.System.vel_z.(i) <- s.System.vel_z.(i) +. (h *. s.System.acc_z.(i))
+    s.System.vel_x.{i} <- s.System.vel_x.{i} +. (h *. s.System.acc_x.{i});
+    s.System.vel_y.{i} <- s.System.vel_y.{i} +. (h *. s.System.acc_y.{i});
+    s.System.vel_z.{i} <- s.System.vel_z.{i} +. (h *. s.System.acc_z.{i})
   done
 
 let drift (s : System.t) =
   let dt = s.System.params.Params.dt in
   for i = 0 to s.System.n - 1 do
-    s.System.pos_x.(i) <- s.System.pos_x.(i) +. (dt *. s.System.vel_x.(i));
-    s.System.pos_y.(i) <- s.System.pos_y.(i) +. (dt *. s.System.vel_y.(i));
-    s.System.pos_z.(i) <- s.System.pos_z.(i) +. (dt *. s.System.vel_z.(i));
+    s.System.pos_x.{i} <- s.System.pos_x.{i} +. (dt *. s.System.vel_x.{i});
+    s.System.pos_y.{i} <- s.System.pos_y.{i} +. (dt *. s.System.vel_y.{i});
+    s.System.pos_z.{i} <- s.System.pos_z.{i} +. (dt *. s.System.vel_z.{i});
     System.wrap_atom s i
   done
 

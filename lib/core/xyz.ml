@@ -1,8 +1,8 @@
 let write_frame ?(element = "Ar") ?(comment = "") oc (s : System.t) =
   Printf.fprintf oc "%d\n%s\n" s.System.n comment;
   for i = 0 to s.System.n - 1 do
-    Printf.fprintf oc "%s %.8f %.8f %.8f\n" element s.System.pos_x.(i)
-      s.System.pos_y.(i) s.System.pos_z.(i)
+    Printf.fprintf oc "%s %.8f %.8f %.8f\n" element s.System.pos_x.{i}
+      s.System.pos_y.{i} s.System.pos_z.{i}
   done
 
 let write_trajectory ~path ?element ~frames () =

@@ -29,15 +29,16 @@ let default_config =
    (the SIMD rewrites change scheduling, not values).  Returns the row's
    acceleration components, its (double-counted) PE contribution and its
    interaction count. *)
-let f32_row p n px py pz i =
-  let xi = px.(i) and yi = py.(i) and zi = pz.(i) in
+let f32_row p n (px : Mdcore.System.f32buf) (py : Mdcore.System.f32buf)
+    (pz : Mdcore.System.f32buf) i =
+  let xi = px.{i} and yi = py.{i} and zi = pz.{i} in
   let ax = ref 0.0 and ay = ref 0.0 and az = ref 0.0 in
   let pe = ref 0.0 and hits = ref 0 in
   for j = 0 to n - 1 do
     if j <> i then begin
-      let dx = F32_kernel.min_image p (F32.sub xi px.(j)) in
-      let dy = F32_kernel.min_image p (F32.sub yi py.(j)) in
-      let dz = F32_kernel.min_image p (F32.sub zi pz.(j)) in
+      let dx = F32_kernel.min_image p (F32.sub xi px.{j}) in
+      let dy = F32_kernel.min_image p (F32.sub yi py.{j}) in
+      let dz = F32_kernel.min_image p (F32.sub zi pz.{j}) in
       let r2 = F32_kernel.r2 p ~dx ~dy ~dz in
       match F32_kernel.pair_terms p r2 with
       | Some (coeff, pe_term) ->
@@ -57,15 +58,18 @@ let f32_row p n px py pz i =
 let f32_compute ~row_hits (s : Mdcore.System.t) =
   let n = s.Mdcore.System.n in
   let p = F32_kernel.of_system s in
-  let px = Array.map F32.round s.Mdcore.System.pos_x in
-  let py = Array.map F32.round s.Mdcore.System.pos_y in
-  let pz = Array.map F32.round s.Mdcore.System.pos_z in
+  (* Binary32 staging through the system's reusable buffers: a Float32
+     bigarray store rounds to nearest single exactly like [F32.round],
+     so the staged values are bit-identical to the old per-call
+     [Array.map F32.round] copies — without the per-evaluation
+     allocation. *)
+  let px, py, pz = Mdcore.System.stage_positions_f32 s in
   let pe2 = ref 0.0 in
   for i = 0 to n - 1 do
     let ax, ay, az, pe_row, hits = f32_row p n px py pz i in
-    s.Mdcore.System.acc_x.(i) <- ax;
-    s.Mdcore.System.acc_y.(i) <- ay;
-    s.Mdcore.System.acc_z.(i) <- az;
+    s.Mdcore.System.acc_x.{i} <- ax;
+    s.Mdcore.System.acc_y.{i} <- ay;
+    s.Mdcore.System.acc_z.{i} <- az;
     pe2 := !pe2 +. pe_row;
     row_hits.(i) <- hits
   done;
@@ -83,14 +87,14 @@ let dp_compute ~row_hits (s : Mdcore.System.t) =
   let inv_mass = 1.0 /. params.Mdcore.Params.mass in
   let pe2 = ref 0.0 in
   for i = 0 to n - 1 do
-    let xi = pos_x.(i) and yi = pos_y.(i) and zi = pos_z.(i) in
+    let xi = pos_x.{i} and yi = pos_y.{i} and zi = pos_z.{i} in
     let fx = ref 0.0 and fy = ref 0.0 and fz = ref 0.0 in
     let hits = ref 0 in
     for j = 0 to n - 1 do
       if j <> i then begin
-        let dx = Mdcore.Min_image.delta ~box (xi -. pos_x.(j))
-        and dy = Mdcore.Min_image.delta ~box (yi -. pos_y.(j))
-        and dz = Mdcore.Min_image.delta ~box (zi -. pos_z.(j)) in
+        let dx = Mdcore.Min_image.delta ~box (xi -. pos_x.{j})
+        and dy = Mdcore.Min_image.delta ~box (yi -. pos_y.{j})
+        and dz = Mdcore.Min_image.delta ~box (zi -. pos_z.{j}) in
         let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
         if r2 < rc2 then begin
           let f_over_r = Mdcore.Params.lj_force_over_r params r2 in
@@ -102,9 +106,9 @@ let dp_compute ~row_hits (s : Mdcore.System.t) =
         end
       end
     done;
-    acc_x.(i) <- !fx *. inv_mass;
-    acc_y.(i) <- !fy *. inv_mass;
-    acc_z.(i) <- !fz *. inv_mass;
+    acc_x.{i} <- !fx *. inv_mass;
+    acc_y.{i} <- !fy *. inv_mass;
+    acc_z.{i} <- !fz *. inv_mass;
     row_hits.(i) <- !hits
   done;
   0.5 *. !pe2
@@ -117,19 +121,17 @@ let dp_compute ~row_hits (s : Mdcore.System.t) =
 let f32_compute_rows ~row_hits rows (s : Mdcore.System.t) =
   let n = s.Mdcore.System.n in
   let p = F32_kernel.of_system s in
-  let px = Array.map F32.round s.Mdcore.System.pos_x in
-  let py = Array.map F32.round s.Mdcore.System.pos_y in
-  let pz = Array.map F32.round s.Mdcore.System.pos_z in
+  let px, py, pz = Mdcore.System.stage_positions_f32 s in
   let pe2 = ref 0.0 in
   for i = 0 to n - 1 do
-    let xi = px.(i) and yi = py.(i) and zi = pz.(i) in
+    let xi = px.{i} and yi = py.{i} and zi = pz.{i} in
     let ax = ref 0.0 and ay = ref 0.0 and az = ref 0.0 in
     let pe = ref 0.0 and hits = ref 0 in
     Array.iter
       (fun j ->
-        let dx = F32_kernel.min_image p (F32.sub xi px.(j)) in
-        let dy = F32_kernel.min_image p (F32.sub yi py.(j)) in
-        let dz = F32_kernel.min_image p (F32.sub zi pz.(j)) in
+        let dx = F32_kernel.min_image p (F32.sub xi px.{j}) in
+        let dy = F32_kernel.min_image p (F32.sub yi py.{j}) in
+        let dz = F32_kernel.min_image p (F32.sub zi pz.{j}) in
         let r2 = F32_kernel.r2 p ~dx ~dy ~dz in
         match F32_kernel.pair_terms p r2 with
         | Some (coeff, pe_term) ->
@@ -140,9 +142,9 @@ let f32_compute_rows ~row_hits rows (s : Mdcore.System.t) =
           incr hits
         | None -> ())
       (rows.(i) : int array);
-    s.Mdcore.System.acc_x.(i) <- !ax;
-    s.Mdcore.System.acc_y.(i) <- !ay;
-    s.Mdcore.System.acc_z.(i) <- !az;
+    s.Mdcore.System.acc_x.{i} <- !ax;
+    s.Mdcore.System.acc_y.{i} <- !ay;
+    s.Mdcore.System.acc_z.{i} <- !az;
     pe2 := !pe2 +. !pe;
     row_hits.(i) <- !hits
   done;
@@ -157,14 +159,14 @@ let dp_compute_rows ~row_hits rows (s : Mdcore.System.t) =
   let inv_mass = 1.0 /. params.Mdcore.Params.mass in
   let pe2 = ref 0.0 in
   for i = 0 to n - 1 do
-    let xi = pos_x.(i) and yi = pos_y.(i) and zi = pos_z.(i) in
+    let xi = pos_x.{i} and yi = pos_y.{i} and zi = pos_z.{i} in
     let fx = ref 0.0 and fy = ref 0.0 and fz = ref 0.0 in
     let hits = ref 0 in
     Array.iter
       (fun j ->
-        let dx = Mdcore.Min_image.delta ~box (xi -. pos_x.(j))
-        and dy = Mdcore.Min_image.delta ~box (yi -. pos_y.(j))
-        and dz = Mdcore.Min_image.delta ~box (zi -. pos_z.(j)) in
+        let dx = Mdcore.Min_image.delta ~box (xi -. pos_x.{j})
+        and dy = Mdcore.Min_image.delta ~box (yi -. pos_y.{j})
+        and dz = Mdcore.Min_image.delta ~box (zi -. pos_z.{j}) in
         let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
         if r2 < rc2 then begin
           let f_over_r = Mdcore.Params.lj_force_over_r params r2 in
@@ -175,9 +177,9 @@ let dp_compute_rows ~row_hits rows (s : Mdcore.System.t) =
           incr hits
         end)
       (rows.(i) : int array);
-    acc_x.(i) <- !fx *. inv_mass;
-    acc_y.(i) <- !fy *. inv_mass;
-    acc_z.(i) <- !fz *. inv_mass;
+    acc_x.{i} <- !fx *. inv_mass;
+    acc_y.{i} <- !fy *. inv_mass;
+    acc_z.{i} <- !fz *. inv_mass;
     row_hits.(i) <- !hits
   done;
   0.5 *. !pe2

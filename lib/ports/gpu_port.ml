@@ -224,11 +224,13 @@ let run ?(steps = 10) ?(machine = Gpustream.Config.geforce_7900gtx)
     Mdcore.Engine.make ~name:"gpu" ~compute:(fun sys ->
         incr invocations;
         let p = F32_kernel.of_system sys in
-        (* CPU stages the position texture (double -> float4). *)
+        (* CPU stages the position texture (double -> float4) through the
+           system's reusable binary32 buffers; [Vec4f.make]'s rounding is
+           idempotent on already-rounded singles, so the texels are
+           bit-identical to staging straight from the doubles. *)
+        let px, py, pz = Mdcore.System.stage_positions_f32 sys in
         for i = 0 to n - 1 do
-          staging.(i) <-
-            Vec4f.make sys.Mdcore.System.pos_x.(i) sys.Mdcore.System.pos_y.(i)
-              sys.Mdcore.System.pos_z.(i) 0.0
+          staging.(i) <- Vec4f.make px.{i} py.{i} pz.{i} 0.0
         done;
         charge_host_block m Kernels.ppe_stage_block ~iterations:n;
         Machine.upload m positions staging;
@@ -257,9 +259,9 @@ let run ?(steps = 10) ?(machine = Gpustream.Config.geforce_7900gtx)
         hits_total := !hits_total + !hits;
         let result = Machine.readback m accels in
         for i = 0 to n - 1 do
-          sys.Mdcore.System.acc_x.(i) <- Vec4f.x result.(i);
-          sys.Mdcore.System.acc_y.(i) <- Vec4f.y result.(i);
-          sys.Mdcore.System.acc_z.(i) <- Vec4f.z result.(i)
+          sys.Mdcore.System.acc_x.{i} <- Vec4f.x result.(i);
+          sys.Mdcore.System.acc_y.{i} <- Vec4f.y result.(i);
+          sys.Mdcore.System.acc_z.{i} <- Vec4f.z result.(i)
         done;
         charge_host_block m Kernels.ppe_stage_block ~iterations:n;
         match pe_strategy with

@@ -83,17 +83,17 @@ let test_bond_zero_at_equilibrium () =
   let s, t = two_bonded ~r:1.0 in
   let pe = Bonded.accumulate_bonds t s in
   Alcotest.(check (float 1e-12)) "no PE" 0.0 pe;
-  Alcotest.(check (float 1e-12)) "no force" 0.0 s.System.acc_x.(0)
+  Alcotest.(check (float 1e-12)) "no force" 0.0 s.System.acc_x.{0}
 
 let test_bond_restoring_direction () =
   let stretched, t = two_bonded ~r:1.4 in
   ignore (Bonded.accumulate_bonds t stretched);
   Alcotest.(check bool) "stretched bond pulls atoms together" true
-    (stretched.System.acc_x.(0) > 0.0 && stretched.System.acc_x.(1) < 0.0);
+    (stretched.System.acc_x.{0} > 0.0 && stretched.System.acc_x.{1} < 0.0);
   let compressed, t2 = two_bonded ~r:0.7 in
   ignore (Bonded.accumulate_bonds t2 compressed);
   Alcotest.(check bool) "compressed bond pushes apart" true
-    (compressed.System.acc_x.(0) < 0.0 && compressed.System.acc_x.(1) > 0.0)
+    (compressed.System.acc_x.{0} < 0.0 && compressed.System.acc_x.{1} > 0.0)
 
 let test_bond_energy () =
   let s, t = two_bonded ~r:1.3 in
@@ -114,7 +114,7 @@ let test_bond_oscillation_period () =
   let crossings = ref [] in
   let prev_sign = ref 0.0 in
   let record (r : Verlet.step_record) =
-    let sep = s.System.pos_x.(1) -. s.System.pos_x.(0) -. 1.0 in
+    let sep = s.System.pos_x.{1} -. s.System.pos_x.{0} -. 1.0 in
     if !prev_sign <> 0.0 && sep *. !prev_sign < 0.0 then
       crossings := r.Verlet.sim_time :: !crossings;
     prev_sign := sep
@@ -155,13 +155,13 @@ let test_angle_zero_at_equilibrium () =
   let pe = Bonded.accumulate_angles t s in
   Alcotest.(check (float 1e-9)) "no PE at theta0" 0.0 pe;
   for i = 0 to 2 do
-    Alcotest.(check (float 1e-9)) "no force" 0.0 s.System.acc_x.(i)
+    Alcotest.(check (float 1e-9)) "no force" 0.0 s.System.acc_x.{i}
   done
 
 let test_angle_forces_sum_to_zero () =
   let s, t = bent_triplet ~theta:1.2 in
   ignore (Bonded.accumulate_angles t s);
-  let sum arr = arr.(0) +. arr.(1) +. arr.(2) in
+  let sum (arr : System.buf) = arr.{0} +. arr.{1} +. arr.{2} in
   Alcotest.(check (float 1e-10)) "x momentum conserved" 0.0 (sum s.System.acc_x);
   Alcotest.(check (float 1e-10)) "y momentum conserved" 0.0 (sum s.System.acc_y);
   Alcotest.(check (float 1e-10)) "z momentum conserved" 0.0 (sum s.System.acc_z)
@@ -196,11 +196,11 @@ let test_angle_force_is_gradient () =
           | 1 -> p.System.pos_y
           | _ -> p.System.pos_z
         in
-        arr.(atom) <- arr.(atom) +. delta;
+        arr.{atom} <- arr.{atom} +. delta;
         Bonded.accumulate_angles t p
       in
       let dvdx = (probe h -. probe (-.h)) /. (2.0 *. h) in
-      let analytic = forces.(axis).(atom) in
+      let analytic = forces.(axis).{atom} in
       ignore axes;
       Alcotest.(check bool)
         (Printf.sprintf "atom %d axis %d: F = -dV/dx (%.6f vs %.6f)" atom
@@ -257,13 +257,13 @@ let test_molecular_bonds_hold () =
     (fun (b : Topology.bond) ->
       let dx =
         Mdcore.Min_image.delta ~box:s.System.box
-          (s.System.pos_x.(b.Topology.i) -. s.System.pos_x.(b.Topology.j))
+          (s.System.pos_x.{b.Topology.i} -. s.System.pos_x.{b.Topology.j})
       and dy =
         Mdcore.Min_image.delta ~box:s.System.box
-          (s.System.pos_y.(b.Topology.i) -. s.System.pos_y.(b.Topology.j))
+          (s.System.pos_y.{b.Topology.i} -. s.System.pos_y.{b.Topology.j})
       and dz =
         Mdcore.Min_image.delta ~box:s.System.box
-          (s.System.pos_z.(b.Topology.i) -. s.System.pos_z.(b.Topology.j))
+          (s.System.pos_z.{b.Topology.i} -. s.System.pos_z.{b.Topology.j})
       in
       let r = sqrt ((dx *. dx) +. (dy *. dy) +. (dz *. dz)) in
       if r < 0.6 || r > 2.0 then

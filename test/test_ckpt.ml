@@ -137,6 +137,36 @@ let test_roundtrip () =
     Alcotest.(check bool) "rng stream round trip" true
       (st.Mdckpt.rngs = d.Mdckpt.rngs)
 
+(* The bulk little-endian blit and the per-element portable encoder must
+   produce the same bytes — that is the whole contract that lets the
+   fast path ship the wire format unchanged.  Poison the buffers with
+   the float edge cases (negative zero, subnormal, NaN payload,
+   infinities) so the comparison is not vacuous. *)
+let test_blit_matches_portable () =
+  let st = sample_state () in
+  let s = st.Mdckpt.system in
+  s.System.vel_x.{0} <- -0.0;
+  s.System.vel_x.{1} <- 4.9e-324;
+  s.System.vel_y.{0} <- Float.infinity;
+  s.System.vel_z.{0} <- Float.neg_infinity;
+  s.System.acc_y.{0} <- Int64.float_of_bits 0x7FF0_0000_DEAD_BEEFL;
+  let fast = Mdckpt.encode st in
+  Mdckpt.Wire.force_portable := true;
+  let portable =
+    Fun.protect
+      ~finally:(fun () -> Mdckpt.Wire.force_portable := false)
+      (fun () -> Mdckpt.encode st)
+  in
+  Alcotest.(check bool) "encoders byte-identical" true
+    (String.equal fast portable);
+  (* Decode and re-encode: every poisoned bit pattern (including the
+     NaN payload) must survive the round trip exactly. *)
+  match Mdckpt.decode portable with
+  | Error msg -> Alcotest.failf "decode failed: %s" msg
+  | Ok d ->
+    Alcotest.(check bool) "re-encoding bitwise" true
+      (String.equal fast (Mdckpt.encode d))
+
 let test_rng_state_resumes_gaussian_cache () =
   (* The Box–Muller cache is part of the stream state: a checkpoint taken
      after an odd number of gaussian draws must replay the cached half. *)
@@ -315,7 +345,7 @@ let corrupting_engine ~corrupt_calls =
       incr calls;
       let pe = Mdcore.Forces.gather_engine.Mdcore.Engine.compute s in
       if List.mem !calls corrupt_calls then
-        s.System.acc_x.(0) <- Float.nan;
+        s.System.acc_x.{0} <- Float.nan;
       pe)
 
 let test_guard_restores_silent_corruption () =
@@ -342,7 +372,7 @@ let test_guard_escalates_persistent_corruption () =
   let engine =
     Mdcore.Engine.make ~name:"always-corrupt" ~compute:(fun s ->
         let pe = Mdcore.Forces.gather_engine.Mdcore.Engine.compute s in
-        s.System.acc_x.(0) <- Float.nan;
+        s.System.acc_x.{0} <- Float.nan;
         pe)
   in
   match
@@ -513,6 +543,8 @@ let tests =
   ( "ckpt",
     [ Alcotest.test_case "crc32 vectors" `Quick test_crc32_vectors;
       Alcotest.test_case "encode/decode round trip" `Quick test_roundtrip;
+      Alcotest.test_case "blit encoder matches portable" `Quick
+        test_blit_matches_portable;
       Alcotest.test_case "rng gaussian cache resumes" `Quick
         test_rng_state_resumes_gaussian_cache;
       Alcotest.test_case "corrupt byte rejected" `Quick

@@ -217,14 +217,14 @@ let test_verlet_checkpoint_restore () =
 let test_system_restore () =
   let a = sys () in
   let b = Mdcore.System.copy a in
-  b.Mdcore.System.pos_x.(0) <- 0.25;
-  b.Mdcore.System.vel_y.(1) <- -1.5;
-  b.Mdcore.System.acc_z.(2) <- 3.0;
+  b.Mdcore.System.pos_x.{0} <- 0.25;
+  b.Mdcore.System.vel_y.{1} <- -1.5;
+  b.Mdcore.System.acc_z.{2} <- 3.0;
   Mdcore.System.restore ~dst:b ~src:a;
   Alcotest.(check bool) "restore reverts all arrays" true
     (Mdcore.System.equal_positions a b
-    && b.Mdcore.System.vel_y.(1) = a.Mdcore.System.vel_y.(1)
-    && b.Mdcore.System.acc_z.(2) = a.Mdcore.System.acc_z.(2));
+    && b.Mdcore.System.vel_y.{1} = a.Mdcore.System.vel_y.{1}
+    && b.Mdcore.System.acc_z.{2} = a.Mdcore.System.acc_z.{2});
   let small = Init.build ~seed:31 ~n:216 () in
   match Mdcore.System.restore ~dst:small ~src:a with
   | () -> Alcotest.fail "expected size-mismatch rejection"

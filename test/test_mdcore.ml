@@ -127,6 +127,94 @@ let test_dist2_symmetry () =
   Alcotest.(check (float 1e-12)) "symmetric"
     (Min_image.dist2 ~box a b) (Min_image.dist2 ~box b a)
 
+(* The documented contract is a half-open interval: wrap must return a
+   value strictly below box for EVERY finite input, including the
+   adversarial ones where Float.rem's tiny negative remainder makes
+   [r +. box] round to box exactly. *)
+let test_wrap_boundary_adversarial () =
+  let check_one box x =
+    let r = Min_image.wrap ~box x in
+    let r' = System.wrap_coord box x in
+    if not (r >= 0.0 && r < box) then
+      Alcotest.failf "wrap ~box:%h %h = %h outside [0, box)" box x r;
+    Alcotest.(check (float 0.0))
+      (Printf.sprintf "System.wrap_coord agrees at %h" x)
+      r r'
+  in
+  List.iter
+    (fun box ->
+      List.iter (check_one box)
+        [ 0.0; -0.0; -1e-17; -1e-300; -4.9e-324;
+          box; -.box; Float.pred box; -.Float.pred box; Float.succ box;
+          2.0 *. box; -2.0 *. box;
+          1e9 *. box; (-1e9 *. box) +. 0.3;
+          (1e9 *. box) -. (box *. 1e-8) ])
+    [ 1.0; 10.0; 0.1; 3.7 ]
+
+(* Regression demonstration: the pre-fix formula (fold negative
+   remainders up by one box, no clamp) really does return exactly [box]
+   for a tiny negative input — the bug the clamp closes. *)
+let test_wrap_old_path_returned_box () =
+  let old_wrap ~box x =
+    let r = Float.rem x box in
+    if r < 0.0 then r +. box else r
+  in
+  Alcotest.(check (float 0.0)) "old path leaks box" 1.0
+    (old_wrap ~box:1.0 (-1e-17));
+  Alcotest.(check (float 0.0)) "fixed path clamps to 0" 0.0
+    (Min_image.wrap ~box:1.0 (-1e-17))
+
+(* Epsilon-tolerant cell sizing: a box that is an exact real multiple of
+   the cell width must never lose a cell to the floating division
+   landing one ulp under the integer.  The sweep also certifies that the
+   naive [int_of_float (box /. width)] floor does fail on some widths —
+   i.e. that the tolerance is load-bearing, not decorative. *)
+let test_axis_cells_exact_multiples () =
+  let naive_failures = ref 0 in
+  for k = 1 to 2000 do
+    let w = 0.1 +. (float_of_int k *. 1e-3) in
+    let box = 3.0 *. w in
+    if int_of_float (box /. w) < 3 then incr naive_failures;
+    let m = Cell_list.axis_cells ~box ~width:w in
+    if m <> 3 then
+      Alcotest.failf "axis_cells ~box:(3 * %h) ~width:%h = %d (want 3)" w w m;
+    (* A clearly-non-multiple box must not get rounded up. *)
+    Alcotest.(check int)
+      (Printf.sprintf "3.5 cells stays 3 at width %g" w)
+      3
+      (Cell_list.axis_cells ~box:(3.5 *. w) ~width:w)
+  done;
+  Alcotest.(check bool) "naive floor fails somewhere in the sweep" true
+    (!naive_failures > 0);
+  Alcotest.(check bool) "width validation" true
+    (try
+       ignore (Cell_list.axis_cells ~box:1.0 ~width:0.0);
+       false
+     with Invalid_argument _ -> true)
+
+(* Atoms parked on the bin-index edges — exactly 0 and one ulp below box
+   on each axis — must bin in range for both the cell-list engine and
+   the pairlist's cell-binned build (runs with assertions enabled, so an
+   out-of-range index would abort). *)
+let test_binning_boundary_atoms () =
+  let s = Init.build ~seed:11 ~n:1000 () in
+  let edge = Float.pred s.System.box in
+  s.System.pos_x.{0} <- 0.0; s.System.pos_y.{0} <- edge;
+  s.System.pos_z.{0} <- 0.0;
+  s.System.pos_x.{1} <- edge; s.System.pos_y.{1} <- edge;
+  s.System.pos_z.{1} <- edge;
+  s.System.pos_x.{2} <- System.wrap_coord s.System.box (-1e-17);
+  let pe_cells = Cell_list.compute s in
+  Alcotest.(check bool) "cell-list PE finite" true (Float.is_finite pe_cells);
+  let pl = Pairlist.create s in
+  Alcotest.(check bool) "pairlist uses cells" true (Pairlist.uses_cells pl);
+  let pe_list = (Pairlist.engine pl).Mdcore.Engine.compute s in
+  Alcotest.(check bool) "pairlist PE finite" true (Float.is_finite pe_list);
+  (* Same positions, same physics: the two engines agree to roundoff
+     (relative — the parked atoms can sit deep in the r^-12 wall). *)
+  Alcotest.(check bool) "engines agree" true
+    (abs_float (pe_cells -. pe_list) <= 1e-9 *. (1.0 +. abs_float pe_cells))
+
 (* ---------------- System / Init ---------------- *)
 
 let test_system_minimum_image_criterion () =
@@ -183,7 +271,7 @@ let test_init_deterministic () =
 let test_system_copy_independent () =
   let s = small_system () in
   let c = System.copy s in
-  c.System.pos_x.(0) <- c.System.pos_x.(0) +. 1.0;
+  c.System.pos_x.{0} <- c.System.pos_x.{0} +. 1.0;
   Alcotest.(check bool) "copy does not alias" false
     (System.equal_positions s c)
 
@@ -248,7 +336,13 @@ let test_gather_domains_validation () =
 let test_forces_net_zero () =
   let s = small_system () in
   ignore (Forces.compute_gather s);
-  let sum axis = Array.fold_left ( +. ) 0.0 axis in
+  let sum (axis : System.buf) =
+    let acc = ref 0.0 in
+    for i = 0 to Bigarray.Array1.dim axis - 1 do
+      acc := !acc +. axis.{i}
+    done;
+    !acc
+  in
   (* Newton's third law: total force (= mass * sum of accelerations)
      vanishes. *)
   Alcotest.(check bool) "net force ~ 0" true
@@ -271,8 +365,8 @@ let test_two_atom_force () =
   System.set_position sys 1 (Vec3.make 2.0 5.0 5.0);
   ignore (Forces.compute_gather sys);
   Alcotest.(check bool) "atoms at r=1 repel along x" true
-    (sys.System.acc_x.(0) < 0.0 && sys.System.acc_x.(1) > 0.0);
-  Alcotest.(check (float 1e-12)) "no y force" 0.0 sys.System.acc_y.(0)
+    (sys.System.acc_x.{0} < 0.0 && sys.System.acc_x.{1} > 0.0);
+  Alcotest.(check (float 1e-12)) "no y force" 0.0 sys.System.acc_y.{0}
 
 let test_cutoff_respected () =
   let params = { p with Params.cutoff = 2.5 } in
@@ -593,9 +687,9 @@ let test_verlet_time_reversible () =
   let start = System.copy s in
   ignore (Verlet.run s ~engine:Forces.gather_engine ~steps:25 ());
   for i = 0 to s.System.n - 1 do
-    s.System.vel_x.(i) <- -.s.System.vel_x.(i);
-    s.System.vel_y.(i) <- -.s.System.vel_y.(i);
-    s.System.vel_z.(i) <- -.s.System.vel_z.(i)
+    s.System.vel_x.{i} <- -.s.System.vel_x.{i};
+    s.System.vel_y.{i} <- -.s.System.vel_y.{i};
+    s.System.vel_z.{i} <- -.s.System.vel_z.{i}
   done;
   ignore (Verlet.run s ~engine:Forces.gather_engine ~steps:25 ());
   Alcotest.(check bool)
@@ -760,6 +854,14 @@ let tests =
       Alcotest.test_case "min image boundary ties" `Quick
         test_min_image_boundary_ties;
       Alcotest.test_case "wrap" `Quick test_wrap;
+      Alcotest.test_case "wrap boundary adversarial" `Quick
+        test_wrap_boundary_adversarial;
+      Alcotest.test_case "wrap old path returned box" `Quick
+        test_wrap_old_path_returned_box;
+      Alcotest.test_case "axis cells exact multiples" `Quick
+        test_axis_cells_exact_multiples;
+      Alcotest.test_case "binning boundary atoms" `Quick
+        test_binning_boundary_atoms;
       Alcotest.test_case "dist2 symmetry" `Quick test_dist2_symmetry;
       Alcotest.test_case "minimum-image criterion" `Quick
         test_system_minimum_image_criterion;
