@@ -333,6 +333,38 @@ let test_ablation_ckpt =
              Mdckpt.Runner.run
                (ckpt_cfg ~every:1 ~dir:(Lazy.force ckpt_bench_dir)))) ]
 
+(* Telemetry-overhead ablation (Mdtel): the same direct Opteron run with
+   no telemetry installed (the default — the per-step cost in Verlet is
+   one atomic load) and with a JSONL stream sampling every step, which
+   prices a full interval read + physics observables + a formatted,
+   flushed line per step.  The acceptance bar is telemetry-off within
+   noise of the seed path. *)
+let tel_bench_path =
+  lazy
+    (Filename.concat
+       (Filename.get_temp_dir_name ())
+       (Printf.sprintf "mdsim-bench-tel-%d.jsonl" (Unix.getpid ())))
+
+let test_ablation_tel =
+  Test.make_grouped ~name:"ablation-tel"
+    [ Test.make ~name:"opteron-tel-disabled"
+        (Staged.stage (fun () ->
+             let s = Mdcore.Init.build ~n:bench_atoms () in
+             Mdports.Opteron_port.run ~steps:2 s));
+      Test.make ~name:"opteron-tel-every1"
+        (Staged.stage (fun () ->
+             Mdtel.install
+               { Mdtel.tel_path = Some (Lazy.force tel_bench_path);
+                 tel_every = 1;
+                 tel_total_steps = 2;
+                 tel_progress = false;
+                 tel_deadline = None;
+                 tel_stall_s = Mdtel.default_stall_s;
+                 tel_resume = false };
+             Fun.protect ~finally:Mdtel.uninstall (fun () ->
+                 let s = Mdcore.Init.build ~n:bench_atoms () in
+                 Mdports.Opteron_port.run ~steps:2 s))) ]
+
 let test_substrates =
   let rng = Sim_util.Rng.create 7 in
   let seq_a = Seqalign.Dna.random rng ~length:64 in
@@ -359,7 +391,7 @@ let all_tests =
       test_ablation_engines; test_ablation_precision; test_ablation_search;
       test_ablation_pool; test_ablation_pairlist_build; test_ablation_skin;
       test_pairlist_vs_brute; test_ablation_obs;
-      test_ablation_fault; test_ablation_ckpt;
+      test_ablation_fault; test_ablation_ckpt; test_ablation_tel;
       test_substrates ]
 
 (* Bechamel sampling config, surfaced in the results metadata so a

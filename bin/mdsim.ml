@@ -200,6 +200,66 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
+let telemetry_arg =
+  let doc =
+    "Stream run telemetry to $(docv) as JSONL (schema \
+     mdsim-telemetry-v1): one record per sampling interval with energy, \
+     temperature, momentum, per-interval virtual counter deltas, derived \
+     bandwidth/occupancy metrics and pairlist rebuild cadence, plus \
+     threshold alert records.  Everything before each record's trailing \
+     $(b,host) object is byte-identical for any $(b,--domains) value and \
+     across kill + $(b,--resume) (see $(b,mdsim tail --virtual)).  \
+     Combinable with $(b,--resume): the stream is reconciled with the \
+     checkpoint and appended to."
+  in
+  Arg.(value & opt (some string) None & info [ "telemetry" ] ~docv:"FILE" ~doc)
+
+let telemetry_every_arg =
+  let doc =
+    "Telemetry sampling cadence in steps (default 100).  Requires \
+     $(b,--telemetry)."
+  in
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "telemetry-every" ] ~docv:"STEPS" ~doc)
+
+let progress_arg =
+  let doc =
+    "Live progress line on stderr (steps/s, ETA against $(b,--deadline), \
+     energy drift, fault and guard-restore counts).  Only drawn when \
+     stderr is a terminal."
+  in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
+(* Telemetry streams counter deltas, so install must happen after
+   start_counters (an explicit --counters keeps its end-of-run export)
+   and before any machine exists. *)
+let start_telemetry ~telemetry ~tel_every ~progress ~steps ~deadline ~resume =
+  (match (telemetry, tel_every) with
+  | None, Some _ ->
+    usage_error "--telemetry-every requires --telemetry FILE"
+  | _, Some n when n < 1 ->
+    usage_error "--telemetry-every must be a positive step count (got %d)" n
+  | _ -> ());
+  if telemetry <> None || progress then
+    Mdtel.install
+      { Mdtel.tel_path = telemetry;
+        tel_every = Option.value tel_every ~default:100;
+        tel_total_steps = (if resume then 0 else steps);
+        tel_progress = progress;
+        tel_deadline = deadline;
+        tel_stall_s = Mdtel.default_stall_s;
+        tel_resume = resume }
+
+let finish_telemetry ~quiet telemetry =
+  if Mdtel.active () then begin
+    Mdtel.finish ();
+    match telemetry with
+    | Some path when not quiet -> Printf.printf "wrote %s\n" path
+    | _ -> ()
+  end
+
 let metrics_arg =
   let doc =
     "Write machine-readable metrics JSON to $(docv).  Contains only \
@@ -383,7 +443,7 @@ let runner_device = function
 let run_cmd =
   let action atoms steps seed density temperature device engine skin
       xyz_path domains trace metrics counters faults fault_log every
-      ckpt_dir keep resume deadline guard =
+      ckpt_dir keep resume deadline guard telemetry tel_every progress =
     apply_domains domains;
     validate_run_args ~atoms ~steps ~density ~temperature;
     validate_checkpoint_args ~every ~keep ~deadline ~resume;
@@ -405,6 +465,8 @@ let run_cmd =
     in
     start_trace trace;
     start_counters counters;
+    start_telemetry ~telemetry ~tel_every ~progress ~steps ~deadline
+      ~resume:(resume <> None);
     start_faults faults;
     apply_guard guard;
     (* Even with checkpointed step retries a high enough rate can exhaust
@@ -421,6 +483,9 @@ let run_cmd =
     let finish_complete result =
       print_result result;
       print_fault_summary ();
+      (* Before finish_trace: the final telemetry sample also lands in
+         the Mdobs timeline. *)
+      finish_telemetry ~quiet:false telemetry;
       finish_trace trace;
       finish_counters counters;
       finish_fault_log fault_log;
@@ -437,6 +502,9 @@ let run_cmd =
       (match s.Mdckpt.Runner.sus_path with
       | Some path -> Printf.eprintf "mdsim: resume with --resume %s\n" path
       | None -> Printf.eprintf "mdsim: no checkpoint written\n");
+      (* Quiet: a suspended run's stdout must not gain lines an
+         uninterrupted run would lack. *)
+      finish_telemetry ~quiet:true telemetry;
       finish_trace trace;
       finish_counters counters;
       finish_fault_log fault_log;
@@ -460,16 +528,19 @@ let run_cmd =
       (match xyz_path with
       | Some path ->
         (* The timing ports integrate internal copies, so dump the
-           trajectory from a plain reference run with the same start. *)
-        let traj_system = Mdcore.System.copy system in
-        let frames = ref [] in
-        ignore
-          (Mdcore.Verlet.run traj_system ~engine:Mdcore.Forces.gather_engine
-             ~steps
-             ~record:(fun _ ->
-               frames := Mdcore.System.copy traj_system :: !frames)
-             ());
-        Mdcore.Xyz.write_trajectory ~path ~frames:(List.rev !frames) ();
+           trajectory from a plain reference run with the same start —
+           suspended so this auxiliary run never reaches the telemetry
+           stream. *)
+        Mdtel.with_suspended (fun () ->
+            let traj_system = Mdcore.System.copy system in
+            let frames = ref [] in
+            ignore
+              (Mdcore.Verlet.run traj_system
+                 ~engine:Mdcore.Forces.gather_engine ~steps
+                 ~record:(fun _ ->
+                   frames := Mdcore.System.copy traj_system :: !frames)
+                 ());
+            Mdcore.Xyz.write_trajectory ~path ~frames:(List.rev !frames) ());
         Printf.printf "wrote %d frames to %s\n" (steps + 1) path
       | None -> ());
       if every > 0 || deadline <> None then begin
@@ -511,7 +582,8 @@ let run_cmd =
       $ temperature_arg $ device_arg $ engine_arg $ skin_arg $ xyz_arg
       $ domains_arg $ trace_arg $ metrics_arg $ counters_arg $ faults_arg
       $ fault_log_arg $ checkpoint_every_arg $ checkpoint_dir_arg
-      $ checkpoint_keep_arg $ resume_arg $ deadline_arg $ guard_arg)
+      $ checkpoint_keep_arg $ resume_arg $ deadline_arg $ guard_arg
+      $ telemetry_arg $ telemetry_every_arg $ progress_arg)
   in
   let doc = "Run the MD kernel on one device model." in
   Cmd.v (Cmd.info "run" ~doc) term
@@ -772,6 +844,89 @@ let align_cmd =
   Cmd.v (Cmd.info "align" ~doc)
     Term.(const action $ seed_arg $ len_arg 0 "first" $ len_arg 1 "second")
 
+let read_file_or_exit path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | content -> content
+  | exception Sys_error msg -> usage_error "cannot read %s: %s" path msg
+
+let tail_cmd =
+  let file_arg =
+    let doc = "Telemetry stream (JSONL) written by $(b,run --telemetry)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let limit_arg =
+    let doc = "Show the last $(docv) samples (default 12)." in
+    Arg.(value & opt int 12 & info [ "limit" ] ~docv:"N" ~doc)
+  in
+  let virtual_arg =
+    let doc =
+      "Print the deterministic virtual projection of the stream instead \
+       of the summary: host-clock alerts dropped, the trailing $(b,host) \
+       object stripped from every record.  Byte-identical across \
+       $(b,--domains) values and across kill + $(b,--resume)."
+    in
+    Arg.(value & flag & info [ "virtual" ] ~doc)
+  in
+  let action path limit virt =
+    if limit < 1 then usage_error "--limit must be positive (got %d)" limit;
+    let content = read_file_or_exit path in
+    if virt then print_string (Mdtel.virtual_projection content)
+    else print_string (Mdtel.render_tail ~limit content)
+  in
+  let doc =
+    "Summarize a telemetry stream (works on in-flight files: a torn \
+     final line is skipped)."
+  in
+  Cmd.v (Cmd.info "tail" ~doc)
+    Term.(const action $ file_arg $ limit_arg $ virtual_arg)
+
+let report_cmd =
+  let pos_file index name =
+    let doc =
+      Printf.sprintf
+        "The %s: a telemetry stream (JSONL) or an mdsim-counters-v1 \
+         export." name
+    in
+    Arg.(required & pos index (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let tolerance_arg =
+    let doc =
+      "Relative tolerance: a candidate metric above baseline * (1 + \
+       $(docv)) is a regression (default 0.05)."
+    in
+    Arg.(value & opt float 0.05 & info [ "tolerance" ] ~docv:"T" ~doc)
+  in
+  let action baseline candidate tolerance =
+    if (not (Float.is_finite tolerance)) || tolerance < 0.0 then
+      usage_error "--tolerance must be a finite non-negative number (got %g)"
+        tolerance;
+    let outcome =
+      Mdtel.diff ~tolerance
+        ~baseline:(read_file_or_exit baseline)
+        ~candidate:(read_file_or_exit candidate)
+        ()
+    in
+    print_string (Sim_util.Bench_check.render outcome);
+    if outcome.Sim_util.Bench_check.failed then exit 1
+  in
+  let diff_cmd =
+    let doc =
+      "Compare two runs' telemetry/counter metrics; exit 1 when the \
+       candidate regresses beyond the tolerance."
+    in
+    Cmd.v (Cmd.info "diff" ~doc)
+      Term.(
+        const action $ pos_file 0 "baseline" $ pos_file 1 "candidate"
+        $ tolerance_arg)
+  in
+  let doc = "Analyze and compare recorded run metrics." in
+  Cmd.group (Cmd.info "report" ~doc) [ diff_cmd ]
+
 let main_cmd =
   let doc =
     "Reproduction of 'Analysis of a Computational Biology Simulation \
@@ -779,6 +934,6 @@ let main_cmd =
   in
   Cmd.group (Cmd.info "mdsim" ~version:"1.0.0" ~doc)
     [ run_cmd; experiment_cmd; profile_cmd; list_cmd; devices_cmd;
-      align_cmd ]
+      align_cmd; tail_cmd; report_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -187,6 +187,7 @@ type t = {
   thermostat : Thermostat.csvr_state option;
   rngs : (string * Rng.state) list;
   fault : Mdfault.state option;
+  counters : Mdprof.cell_state list option;
 }
 
 (* --- section payloads --- *)
@@ -401,6 +402,40 @@ let dec_fault r =
     cs_streams;
     cs_recovered_steps }
 
+let enc_cell buf (c : Mdprof.cell_state) =
+  Wire.str buf c.Mdprof.p_name;
+  Wire.str buf c.Mdprof.p_unit;
+  Wire.i64 buf
+    (match c.Mdprof.p_kind with
+    | Mdprof.Counter -> 0
+    | Mdprof.Gauge -> 1
+    | Mdprof.Histogram -> 2);
+  Wire.f64 buf c.Mdprof.p_value;
+  Wire.f64 buf c.Mdprof.p_hwm;
+  Wire.farr buf c.Mdprof.p_bounds;
+  Wire.list buf Wire.i64 (Array.to_list c.Mdprof.p_counts);
+  Wire.i64 buf c.Mdprof.p_obs;
+  Wire.f64 buf c.Mdprof.p_sum
+
+let dec_cell r =
+  let p_name = Wire.rstr r in
+  let p_unit = Wire.rstr r in
+  let p_kind =
+    match Wire.rint r with
+    | 0 -> Mdprof.Counter
+    | 1 -> Mdprof.Gauge
+    | 2 -> Mdprof.Histogram
+    | k -> raise (Corrupt (Printf.sprintf "unknown instrument kind %d" k))
+  in
+  let p_value = Wire.rf64 r in
+  let p_hwm = Wire.rf64 r in
+  let p_bounds = Wire.rfarr r in
+  let p_counts = Array.of_list (Wire.rlist r Wire.rint) in
+  let p_obs = Wire.rint r in
+  let p_sum = Wire.rf64 r in
+  { Mdprof.p_name; p_unit; p_kind; p_value; p_hwm; p_bounds; p_counts;
+    p_obs; p_sum }
+
 (* ------------------------------------------------------------------ *)
 (* Section container                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -476,7 +511,13 @@ let encode st =
              rngs)
          st.rngs);
       ("thermostat", payload_of (fun buf -> Wire.opt buf enc_thermostat) st.thermostat);
-      ("faults", payload_of (fun buf -> Wire.opt buf enc_fault) st.fault) ]
+      ("faults", payload_of (fun buf -> Wire.opt buf enc_fault) st.fault);
+      (* Virtual-clock Mdprof cells, sorted by name — deterministic
+         bytes, so checkpoint files stay byte-comparable across runs. *)
+      ("counters",
+       payload_of
+         (fun buf -> Wire.opt buf (fun buf -> Wire.list buf enc_cell))
+         st.counters) ]
   in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf magic;
@@ -549,10 +590,18 @@ let decode data =
       in
       let thermostat = Wire.ropt (get "thermostat") dec_thermostat in
       let fault = Wire.ropt (get "faults") dec_fault in
+      (* Optional section: checkpoints written before counters were
+         serialized simply lack it and decode to [None]. *)
+      let counters =
+        match Hashtbl.find_opt sections "counters" with
+        | None -> None
+        | Some payload ->
+          Wire.ropt (Wire.reader payload) (fun r -> Wire.rlist r dec_cell)
+      in
       Ok
         { device; atoms; total_steps; completed; seed; density; temperature;
           engine; skin; every; keep; guard_restores; system; progress;
-          thermostat; rngs; fault }
+          thermostat; rngs; fault; counters }
     end
   with
   | Corrupt msg -> Error msg
@@ -742,13 +791,15 @@ module Runner = struct
      escalates. *)
   let max_segment_retries = 2
 
-  let segment_guarded device ~force_path system ~steps =
+  let segment_guarded ?(on_retry = fun () -> ()) device ~force_path system
+      ~steps =
     let rec go attempt =
       match segment device ~force_path system ~steps with
       | r -> r
       | exception Verlet.Invariant_violation _
         when attempt < max_segment_retries ->
         Mdfault.note_guard_restore ();
+        on_retry ();
         go (attempt + 1)
     in
     go 0
@@ -806,7 +857,8 @@ module Runner = struct
       system;
       progress;
       guard_restores = Mdfault.guard_restores ();
-      fault = Mdfault.capture_state () }
+      fault = Mdfault.capture_state ();
+      counters = Mdprof.capture_cells () }
 
   let result_of_state st =
     { Run_result.device = st.progress.device_label;
@@ -837,7 +889,8 @@ module Runner = struct
       progress = empty_progress;
       thermostat = None;
       rngs = [];
-      fault = Mdfault.capture_state () }
+      fault = Mdfault.capture_state ();
+      counters = Mdprof.capture_cells () }
 
   let config_of_state ~dir device ~force_path st =
     { cfg_device = device;
@@ -863,12 +916,21 @@ module Runner = struct
           sus_reason = reason }
     in
     let body () =
+      Mdtel.set_total !st.total_steps;
       if cfg.cfg_every <= 0 then
-        (* Checkpointing disabled: one straight port run, the seed path. *)
+        (* Checkpointing disabled: one straight port run, the seed path.
+           Telemetry (if any) writes through per line so an in-flight
+           [mdsim tail] sees live data. *)
         Complete
           (segment_guarded cfg.cfg_device ~force_path:cfg.cfg_force_path
              !st.system ~steps:!st.total_steps)
       else begin
+        (* Segmented runs buffer telemetry records in memory and flush at
+           each boundary (just before the save), so a guard-retried
+           segment can be rolled back before anything hits the file and
+           a kill-9 leaves the stream ending exactly at the newest
+           durable checkpoint. *)
+        Mdtel.set_buffered true;
         (* A generation-0 file makes resume possible however early the
            process dies; for resumed runs the newest generation already
            covers it. *)
@@ -881,11 +943,20 @@ module Runner = struct
             let seg_steps =
               min cfg.cfg_every (!st.total_steps - !st.completed)
             in
+            let boundary = !st.completed in
+            Mdtel.set_segment ~base:boundary ~steps:seg_steps;
             let r =
-              segment_guarded cfg.cfg_device
-                ~force_path:cfg.cfg_force_path !st.system ~steps:seg_steps
+              segment_guarded
+                ~on_retry:(fun () -> Mdtel.rollback ~to_:boundary)
+                cfg.cfg_device ~force_path:cfg.cfg_force_path !st.system
+                ~steps:seg_steps
             in
             st := absorb_segment !st r ~seg_steps;
+            (* Boundary sample BEFORE the save: the restored Mdprof
+               state is then exactly the last durable sample's delta
+               baseline, which is what makes resumed interval reads
+               continue the uninterrupted sequence. *)
+            Mdtel.sync ~completed:!st.completed;
             last_path := Some (save ~dir:cfg.cfg_dir !st);
             incr segs_done;
             match abort_after_segments with
@@ -939,6 +1010,15 @@ module Runner = struct
         | Some fs -> Mdfault.restore_state fs
         | None -> ());
         Mdfault.set_guard_restores st.guard_restores;
+        (* Counter state only matters to runs that observe it (an active
+           --counters/--telemetry already enabled profiling); restoring
+           it otherwise would silently switch recording on. *)
+        (match st.counters with
+        | Some cells when Mdprof.enabled () -> Mdprof.restore_cells cells
+        | _ -> ());
+        (* After restore_cells so the fresh delta baseline sits on the
+           checkpointed cumulative values. *)
+        Mdtel.on_resume ~completed:st.completed;
         let dir = Filename.dirname file in
         let cfg = config_of_state ~dir device ~force_path st in
         Ok (advance ?abort_after_segments ?deadline cfg st))

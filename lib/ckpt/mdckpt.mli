@@ -125,6 +125,10 @@ type t = {
   rngs : (string * Sim_util.Rng.state) list;
       (** named auxiliary RNG streams *)
   fault : Mdfault.state option;
+  counters : Mdprof.cell_state list option;
+      (** virtual-clock Mdprof instrument state ({!Mdprof.capture_cells});
+          [None] when profiling was disabled, and for checkpoints written
+          before the section existed (they still decode) *)
 }
 
 val encode : t -> string

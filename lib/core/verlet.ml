@@ -71,6 +71,29 @@ let install_guard g = Atomic.set installed_guard (Some g)
 let clear_guard () = Atomic.set installed_guard None
 let current_guard () = Atomic.get installed_guard
 
+(* Observation hooks: telemetry lives above mdcore (it depends on the
+   ports' counters), so it registers closures here instead of being
+   called directly.  Same single-atomic-load cost profile as the
+   installed guard when nothing is registered. *)
+
+let step_listener : (System.t -> step_record -> unit) option Atomic.t =
+  Atomic.make None
+
+let set_step_listener f = Atomic.set step_listener f
+
+let notify_step s r =
+  match Atomic.get step_listener with None -> () | Some f -> f s r
+
+let alert_listener : (step:int -> reason:string -> unit) option Atomic.t =
+  Atomic.make None
+
+let set_alert_listener f = Atomic.set alert_listener f
+
+let notify_alert ~step ~reason =
+  match Atomic.get alert_listener with
+  | None -> ()
+  | Some f -> f ~step ~reason
+
 let check_invariants g s ~prev ~(r : step_record) ~p0 =
   if
     not
@@ -167,6 +190,7 @@ let run s ~engine ~steps ?(max_step_retries = 0) ?guard ?(record = fun _ -> ())
         match check_invariants g s ~prev ~r ~p0 with
         | None -> r
         | Some reason ->
+          notify_alert ~step:step_index ~reason;
           if step_index > 0 && restores < g.max_restores then begin
             System.restore ~dst:s ~src:snap;
             Mdfault.note_guard_restore ();
@@ -180,6 +204,7 @@ let run s ~engine ~steps ?(max_step_retries = 0) ?guard ?(record = fun _ -> ())
   Sim_util.Deadline.check ();
   let first = guarded ~prev:None ~p0 (fun () -> prepare s ~engine) ~step_index:0 in
   record first;
+  notify_step s first;
   let prev = ref first in
   let rest =
     List.init steps (fun k ->
@@ -190,6 +215,7 @@ let run s ~engine ~steps ?(max_step_retries = 0) ?guard ?(record = fun _ -> ())
             ~step_index:(k + 1)
         in
         record r;
+        notify_step s r;
         prev := r;
         r)
   in

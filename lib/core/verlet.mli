@@ -72,6 +72,23 @@ val install_guard : guard -> unit
 val clear_guard : unit -> unit
 val current_guard : unit -> guard option
 
+(** {1 Observation hooks}
+
+    Registration points for the telemetry layer (Mdtel), which lives
+    above [mdcore] and cannot be called directly.  Both cost a single
+    atomic load per step when nothing is registered. *)
+
+val set_step_listener : (System.t -> step_record -> unit) option -> unit
+(** Called once per produced step record (after any fault retries and
+    guard restores have settled — never for a rolled-back attempt),
+    with the system in the state the record describes.  Step indices
+    are local to the [run] call; segmented callers rebase them. *)
+
+val set_alert_listener : (step:int -> reason:string -> unit) option -> unit
+(** Called on every invariant-guard violation, including ones healed by
+    a snapshot restore.  [reason] is the {!Invariant_violation}
+    message; deterministic for a fixed workload. *)
+
 val run : System.t -> engine:Engine.t -> steps:int ->
   ?max_step_retries:int -> ?guard:guard ->
   ?record:(step_record -> unit) -> unit -> step_record list

@@ -199,6 +199,141 @@ let find name =
   Mutex.unlock registry_mutex;
   Option.map sample_of_cell c
 
+(* {1 Interval reads}
+
+   A baseline table of the last-read cumulative values per instrument;
+   [read] returns only what changed since, as delta samples, and
+   advances the baseline.  The cells themselves are untouched, so
+   cumulative exports keep working alongside streaming consumers. *)
+
+module Interval = struct
+  type baseline = {
+    b_value : float;
+    b_hwm : float;
+    b_obs : int;
+    b_sum : float;
+    b_buckets : (float * int) list;
+  }
+
+  type t = (string, baseline) Hashtbl.t
+
+  let baseline_of_sample s =
+    { b_value = s.s_value;
+      b_hwm = s.s_high_water;
+      b_obs = s.s_observations;
+      b_sum = s.s_sum;
+      b_buckets = s.s_buckets }
+
+  let zero =
+    { b_value = 0.; b_hwm = 0.; b_obs = 0; b_sum = 0.; b_buckets = [] }
+
+  let create () =
+    let t = Hashtbl.create 64 in
+    List.iter
+      (fun s -> Hashtbl.replace t s.s_name (baseline_of_sample s))
+      (samples ());
+    t
+
+  let read ?(host = false) t =
+    samples ()
+    |> List.filter (fun s -> host || s.s_clock = Virtual)
+    |> List.filter_map (fun s ->
+           let prev =
+             Option.value (Hashtbl.find_opt t s.s_name) ~default:zero
+           in
+           Hashtbl.replace t s.s_name (baseline_of_sample s);
+           match s.s_kind with
+           | Counter ->
+             let d = s.s_value -. prev.b_value in
+             if d = 0. then None
+             else Some { s with s_value = d; s_high_water = d }
+           | Gauge ->
+             if s.s_value = prev.b_value && s.s_high_water = prev.b_hwm
+             then None
+             else Some s
+           | Histogram ->
+             let dobs = s.s_observations - prev.b_obs in
+             if dobs = 0 then None
+             else
+               let prev_buckets =
+                 if prev.b_buckets = [] then
+                   List.map (fun (b, _) -> (b, 0)) s.s_buckets
+                 else prev.b_buckets
+               in
+               Some
+                 { s with
+                   s_observations = dobs;
+                   s_sum = s.s_sum -. prev.b_sum;
+                   s_buckets =
+                     List.map2
+                       (fun (bound, c) (_, pc) -> (bound, c - pc))
+                       s.s_buckets prev_buckets })
+end
+
+(* {1 Checkpoint capture}
+
+   Virtual-clock cells only: they are the deterministic part of the
+   registry (byte-identical across --domains and across identical
+   runs), which keeps checkpoint files bitwise reproducible.  Host
+   cells restart from zero after a resume, exactly like host trace
+   tracks. *)
+
+type cell_state = {
+  p_name : string;
+  p_unit : string;
+  p_kind : kind;
+  p_value : float;
+  p_hwm : float;
+  p_bounds : float array;
+  p_counts : int array;
+  p_obs : int;
+  p_sum : float;
+}
+
+let capture_cells () =
+  if not (enabled ()) then None
+  else begin
+    Mutex.lock registry_mutex;
+    let cells = Hashtbl.fold (fun _ c acc -> c :: acc) registry [] in
+    Mutex.unlock registry_mutex;
+    Some
+      (cells
+      |> List.filter (fun c -> c.c_clock = Virtual)
+      |> List.sort (fun a b -> String.compare a.c_name b.c_name)
+      |> List.map (fun c ->
+             { p_name = c.c_name;
+               p_unit = c.c_unit;
+               p_kind = c.c_kind;
+               p_value = c.c_value;
+               p_hwm = c.c_hwm;
+               p_bounds = Array.copy c.c_bounds;
+               p_counts = Array.copy c.c_counts;
+               p_obs = c.c_obs;
+               p_sum = c.c_sum }))
+  end
+
+let restore_cells states =
+  enable ();
+  Mutex.lock registry_mutex;
+  List.iter
+    (fun p ->
+      let c =
+        { c_name = p.p_name;
+          c_clock = Virtual;
+          c_unit = p.p_unit;
+          c_kind = p.p_kind;
+          c_value = p.p_value;
+          c_hwm = p.p_hwm;
+          c_bounds = Array.copy p.p_bounds;
+          c_counts = Array.copy p.p_counts;
+          c_obs = p.p_obs;
+          c_sum = p.p_sum;
+          c_live = true }
+      in
+      Hashtbl.replace registry p.p_name c)
+    states;
+  Mutex.unlock registry_mutex
+
 (* {1 Derived metrics}
 
    Rules fire on name suffixes within a shared prefix: the counters a
@@ -212,10 +347,7 @@ let split_suffix name =
   | Some i ->
       (String.sub name 0 i, String.sub name (i + 1) (String.length name - i - 1))
 
-let derived ?(host = false) () =
-  let ss =
-    samples () |> List.filter (fun s -> host || s.s_clock = Virtual)
-  in
+let derived_of_samples ss =
   let by_name = Hashtbl.create 64 in
   List.iter (fun s -> Hashtbl.replace by_name s.s_name s) ss;
   let sibling prefix base =
@@ -265,6 +397,10 @@ let derived ?(host = false) () =
           s.s_unit)
     ss;
   List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) !out
+
+let derived ?(host = false) () =
+  derived_of_samples
+    (samples () |> List.filter (fun s -> host || s.s_clock = Virtual))
 
 (* {1 Export} *)
 

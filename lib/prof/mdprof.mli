@@ -107,6 +107,65 @@ val derived : ?host:bool -> unit -> (string * float * string) list
     SPE occupancy, virtual MFLOPS, arithmetic intensity, and histogram
     means.  Deterministic order; virtual-only unless [host]. *)
 
+val derived_of_samples : sample list -> (string * float * string) list
+(** The rule engine behind {!derived}, applied to an arbitrary sample
+    list — Mdtel feeds it interval deltas to get per-interval
+    bandwidth/occupancy figures. *)
+
+(** {1 Interval reads}
+
+    Streaming consumers (Mdtel) need {e deltas} — what happened since
+    the last sample — without resetting the cumulative cells the
+    end-of-run exports read.  An {!Interval.t} remembers the cumulative
+    values at its last read; {!Interval.read} returns only the
+    instruments that changed, as delta samples, and advances the
+    baseline.  Counter/histogram samples carry interval deltas
+    ([s_value], [s_observations], [s_sum], bucket counts); gauge
+    samples pass through the current level and high-water mark
+    (levels have no meaningful delta). *)
+
+module Interval : sig
+  type t
+
+  val create : unit -> t
+  (** Baseline = the current cumulative values of every registered
+      instrument (so the first [read] reports changes from now, not
+      from zero).  Create after restoring checkpointed counter state
+      so resumed interval reads continue the original sequence. *)
+
+  val read : ?host:bool -> t -> sample list
+  (** Delta samples for every instrument that changed since the last
+      [read] (or [create]), in the deterministic {!samples} order;
+      virtual-clock only unless [host].  Cumulative totals are
+      untouched. *)
+end
+
+(** {1 Checkpoint capture} *)
+
+type cell_state = {
+  p_name : string;
+  p_unit : string;
+  p_kind : kind;
+  p_value : float;
+  p_hwm : float;
+  p_bounds : float array;
+  p_counts : int array;
+  p_obs : int;
+  p_sum : float;
+}
+
+val capture_cells : unit -> cell_state list option
+(** Serializable snapshot of every {e virtual-clock} instrument, sorted
+    by name (deterministic bytes for checkpoint files); [None] when
+    profiling is disabled.  Host-clock cells are excluded: they depend
+    on real scheduling and would break checkpoint byte-identity. *)
+
+val restore_cells : cell_state list -> unit
+(** Re-create the captured cells (replacing same-named ones) and enable
+    recording — the resumed process continues accumulating exactly
+    where the checkpointed one stopped, so end-of-run exports report
+    whole-run cumulative totals. *)
+
 (** {1 Export} *)
 
 val to_json : ?host:bool -> unit -> string

@@ -1,0 +1,152 @@
+(** Streaming time-series telemetry for runs — the paper's figures are
+    trajectories, and this is the subsystem that can watch one evolve.
+
+    Where {!Mdobs} records events and {!Mdprof} accumulates end-of-run
+    totals, [Mdtel] samples the run every N steps and appends one JSONL
+    record per interval (schema ["mdsim-telemetry-v1"]) carrying:
+
+    - the global step index and virtual [sim_time];
+    - physics observables (PE/KE/total energy, temperature, net
+      momentum components);
+    - {e delta} reads of every virtual Mdprof counter since the
+      previous sample (via {!Mdprof.Interval}, cumulative totals
+      untouched), plus per-interval derived bandwidth/occupancy
+      metrics and the pairlist rebuild cadence;
+    - fault-injection and guard-restore counts;
+    - a trailing ["host"] object (wall-clock timestamp, elapsed
+      seconds, steps/s) — always the {e last} field of the line.
+
+    {b Determinism.}  Everything before the ["host"] field is a pure
+    function of the simulated workload: byte-identical across
+    [--domains] and across kill-9 + [--resume] (see
+    {!virtual_projection}).  Alert records carry a ["clock"] field;
+    host-clock alerts (stalls) are excluded from the projection.
+
+    {b Resume continuity.}  The stream is append-only.  A sample is
+    forced at every Mdckpt.Runner segment boundary ({!sync}), i.e. at
+    every durable checkpoint, so the restored Mdprof state {e is} the
+    previous sample's delta baseline.  On resume, {!on_resume}
+    truncates records beyond the checkpointed step (they belong to a
+    lost segment that will be re-executed) and appending continues
+    seamlessly.  Segment-level guard retries roll pending records back
+    ({!rollback}) so a rolled-back attempt never reaches the file.
+
+    Installation registers {!Mdcore.Verlet} step/alert listeners; when
+    nothing is installed the per-step cost in the integrator is one
+    atomic load. *)
+
+val schema : string
+(** ["mdsim-telemetry-v1"]. *)
+
+type config = {
+  tel_path : string option;
+      (** JSONL stream destination; [None] = progress line only. *)
+  tel_every : int;  (** sample cadence in steps (>= 1) *)
+  tel_total_steps : int;
+      (** planned total (progress/ETA and final-step samples);
+          segmented runners override it via {!set_total}. *)
+  tel_progress : bool;
+      (** live status line on stderr — only when stderr is a tty *)
+  tel_deadline : float option;
+      (** wall-clock budget surfaced next to the ETA *)
+  tel_stall_s : float;
+      (** host-clock threshold above which a single step emits a
+          ["stall"] alert record *)
+  tel_resume : bool;
+      (** [true] defers opening the stream to {!on_resume}, which
+          reconciles the existing file instead of truncating it *)
+}
+
+val default_stall_s : float
+(** 5 seconds. *)
+
+val install : config -> unit
+(** Validate the config, open the stream (fresh runs truncate an
+    existing file; resumes defer to {!on_resume}), enable {!Mdprof}
+    when streaming (counter deltas need live cells — install {e before}
+    machines exist, like [--counters]), and register the Verlet
+    listeners.  Raises [Invalid_argument] on a non-positive cadence. *)
+
+val active : unit -> bool
+
+val uninstall : unit -> unit
+(** Flush and close the stream, deregister the listeners, and restore
+    the {!Mdprof} enabled state found at {!install}. *)
+
+val finish : unit -> unit
+(** Emit a final sample for the last observed step (if not already
+    sampled), finish the progress line with a newline, then
+    {!uninstall}.  Safe to call when inactive. *)
+
+val with_suspended : (unit -> 'a) -> 'a
+(** Run the thunk with sampling paused — used around auxiliary Verlet
+    runs (the [--dump-xyz] reference trajectory) that must not pollute
+    the stream. *)
+
+(** {1 Segmented-runner protocol} — called by [Mdckpt.Runner]; all are
+    no-ops when telemetry is inactive. *)
+
+val set_total : int -> unit
+(** Total steps of the (possibly resumed) run. *)
+
+val set_buffered : bool -> unit
+(** Buffer records in memory until {!sync} instead of writing through —
+    segmented runs need {!rollback} to be able to drop records from a
+    guard-retried segment. *)
+
+val set_segment : base:int -> steps:int -> unit
+(** Called before each segment: global step = [base] + Verlet-local
+    step, and the segment's final step ([base + steps]) is {e not}
+    sampled from the step listener — ports flush summary counters after
+    their integration loop, so the boundary sample is deferred to
+    {!sync} to land after that flush. *)
+
+val sync : completed:int -> unit
+(** Force a sample at the segment boundary [completed] (unless that
+    step is already sampled) and flush pending records to disk.  Called
+    after the segment's port run returns (summary counters flushed) and
+    {e before} the checkpoint save, so the stream never lacks the
+    boundary sample of a durable checkpoint and the checkpointed
+    counter state {e is} that sample's delta baseline. *)
+
+val rollback : to_:int -> unit
+(** Drop pending (unflushed) records with step > [to_] — the segment
+    that produced them is being re-executed. *)
+
+val on_resume : completed:int -> unit
+(** Reconcile the stream with the checkpoint being resumed: keep
+    records with step <= [completed], atomically rewrite the file,
+    reopen it in append mode, rebase the delta baseline on the (just
+    restored) cumulative counter state, and continue. *)
+
+(** {1 Stream analysis} — pure functions over file contents, shared by
+    the [mdsim tail] / [mdsim report diff] subcommands and the tests. *)
+
+val virtual_projection : string -> string
+(** The deterministic projection of a stream: host-clock alert records
+    dropped, the trailing ["host"] object stripped from every other
+    record.  Byte-identical across [--domains] and across resumes. *)
+
+val render_tail : ?limit:int -> string -> string
+(** Human-readable summary + table of the last [limit] (default 12)
+    samples of a finished or in-flight stream.  Unparseable lines
+    (e.g. a torn in-flight tail) are skipped. *)
+
+val metric_rows : string -> (string * float) list
+(** Per-metric totals for {!diff}: a [mdsim-counters-v1] export yields
+    its counter values (histograms as [name/observations] and
+    [name/sum], derived metrics under [derived/]); a telemetry stream
+    yields each counter's summed deltas plus [telemetry/samples] and
+    [telemetry/alerts] counts.  Sorted by name. *)
+
+val diff :
+  ?tolerance:float ->
+  baseline:string ->
+  candidate:string ->
+  unit ->
+  Sim_util.Bench_check.outcome
+(** Compare two streams/exports with the Bench_check machinery: a
+    candidate metric exceeding baseline * (1 + tolerance) (default
+    0.05) is a regression ([outcome.failed]).  Baseline metrics <= 0
+    are skipped (ratios are meaningless); metrics present on one side
+    only are reported as notes, not failures. *)

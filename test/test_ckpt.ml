@@ -115,7 +115,16 @@ let sample_state () =
         device_label = "Opteron 2.2 GHz" };
     thermostat = Some (Mdcore.Thermostat.csvr_state cv);
     rngs = [ ("aux", Rng.state rng) ];
-    fault = None }
+    fault = None;
+    counters =
+      Some
+        [ { Mdprof.p_name = "gpu/dma/bytes_in"; p_unit = "bytes";
+            p_kind = Mdprof.Counter; p_value = 4096.0; p_hwm = 4096.0;
+            p_bounds = [||]; p_counts = [||]; p_obs = 0; p_sum = 0.0 };
+          { Mdprof.p_name = "spe/chunk"; p_unit = "pairs";
+            p_kind = Mdprof.Histogram; p_value = 0.0; p_hwm = 0.0;
+            p_bounds = [| 16.0; 64.0 |]; p_counts = [| 3; 2; 1 |];
+            p_obs = 6; p_sum = 312.0 } ] }
 
 let test_roundtrip () =
   let st = sample_state () in
@@ -135,7 +144,31 @@ let test_roundtrip () =
     Alcotest.(check bool) "thermostat round trip" true
       (st.Mdckpt.thermostat = d.Mdckpt.thermostat);
     Alcotest.(check bool) "rng stream round trip" true
-      (st.Mdckpt.rngs = d.Mdckpt.rngs)
+      (st.Mdckpt.rngs = d.Mdckpt.rngs);
+    Alcotest.(check bool) "counters round trip" true
+      (st.Mdckpt.counters = d.Mdckpt.counters)
+
+(* Checkpoints written before the counters section existed must still
+   decode — drop the section from a fresh container and expect [None],
+   not a decode error. *)
+let test_decode_without_counters_section () =
+  let st = sample_state () in
+  let magic = Mdckpt.schema ^ "\n" in
+  match Mdckpt.decode_container ~magic (Mdckpt.encode st) with
+  | Error msg -> Alcotest.failf "container decode failed: %s" msg
+  | Ok sections ->
+    Alcotest.(check bool) "fresh container carries counters" true
+      (List.mem_assoc "counters" sections);
+    let stripped =
+      List.filter (fun (name, _) -> name <> "counters") sections
+    in
+    (match Mdckpt.decode (Mdckpt.encode_container ~magic stripped) with
+    | Error msg -> Alcotest.failf "pre-counters checkpoint rejected: %s" msg
+    | Ok d ->
+      Alcotest.(check bool) "counters default to None" true
+        (d.Mdckpt.counters = None);
+      Alcotest.(check int) "rest of the state intact" st.Mdckpt.completed
+        d.Mdckpt.completed)
 
 (* The bulk little-endian blit and the per-element portable encoder must
    produce the same bytes — that is the whole contract that lets the
@@ -543,6 +576,8 @@ let tests =
   ( "ckpt",
     [ Alcotest.test_case "crc32 vectors" `Quick test_crc32_vectors;
       Alcotest.test_case "encode/decode round trip" `Quick test_roundtrip;
+      Alcotest.test_case "pre-counters checkpoints decode" `Quick
+        test_decode_without_counters_section;
       Alcotest.test_case "blit encoder matches portable" `Quick
         test_blit_matches_portable;
       Alcotest.test_case "rng gaussian cache resumes" `Quick

@@ -20,4 +20,5 @@ let () =
       Test_calibration.tests;
       Test_fault.tests;
       Test_harness.tests;
-      Test_ckpt.tests ]
+      Test_ckpt.tests;
+      Test_tel.tests ]

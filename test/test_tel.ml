@@ -1,0 +1,457 @@
+(* Streaming telemetry (lib/tel): JSONL schema validity, virtual-clock
+   byte-identity across --domains and across kill-and-resume, interval
+   delta/cumulative consistency, Mdprof capture/restore, threshold
+   alerts, and the report-diff regression gate. *)
+
+module Runner = Mdckpt.Runner
+module System = Mdcore.System
+module Verlet = Mdcore.Verlet
+module Minijson = Sim_util.Minijson
+
+let tmp_counter = ref 0
+
+let fresh_path () =
+  incr tmp_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "mdsim-tel-test-%d-%d.jsonl" (Unix.getpid ()) !tmp_counter)
+
+let fresh_dir () =
+  incr tmp_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mdsim-tel-test-%d-%d" (Unix.getpid ()) !tmp_counter)
+  in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  dir
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let tel_config ?(every = 3) ?(total = 0) ?(resume = false) path =
+  { Mdtel.tel_path = Some path;
+    tel_every = every;
+    tel_total_steps = total;
+    tel_progress = false;
+    tel_deadline = None;
+    tel_stall_s = Mdtel.default_stall_s;
+    tel_resume = resume }
+
+let cfg ?(atoms = 128) ?(steps = 12) ?(every = 4) ~dir () =
+  { Runner.cfg_device = Runner.Opteron;
+    cfg_atoms = atoms;
+    cfg_steps = steps;
+    cfg_seed = 11;
+    cfg_density = 0.8;
+    cfg_temperature = 1.0;
+    cfg_force_path = Mdports.Force_path.default;
+    cfg_every = every;
+    cfg_keep = 8;
+    cfg_dir = dir }
+
+let complete = function
+  | Runner.Complete r -> r
+  | Runner.Suspended s ->
+    Alcotest.failf "expected completion, suspended at %d/%d: %s"
+      s.Runner.sus_completed s.Runner.sus_total s.Runner.sus_reason
+
+(* Fresh global observation state, telemetry to [path], run [f], tear
+   everything down again (telemetry installed, registry cleared before
+   and profiling left off after). *)
+let with_telemetry ?every ?resume path f =
+  Mdfault.set_guard_restores 0;
+  Mdprof.clear ();
+  Mdtel.install (tel_config ?every ?resume path);
+  Fun.protect ~finally:Mdtel.uninstall (fun () ->
+      let r = f () in
+      Mdtel.finish ();
+      r)
+
+let lines content =
+  String.split_on_char '\n' content
+  |> List.filter (fun l -> String.trim l <> "")
+
+(* ------------------------------------------------------------------ *)
+(* Schema                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_stream_schema () =
+  let path = fresh_path () in
+  ignore
+    (with_telemetry path (fun () ->
+         complete (Runner.run (cfg ~dir:(fresh_dir ()) ()))));
+  let ls = lines (read_file path) in
+  Alcotest.(check bool) "has samples" true (List.length ls >= 3);
+  let prev_step = ref (-1) in
+  List.iter
+    (fun line ->
+      let j =
+        match Minijson.parse line with
+        | j -> j
+        | exception Minijson.Parse_error msg ->
+          Alcotest.failf "unparseable record %s: %s" line msg
+      in
+      let str k = Option.bind (Minijson.member k j) Minijson.to_string in
+      Alcotest.(check (option string)) "schema" (Some Mdtel.schema)
+        (str "schema");
+      let step =
+        match Option.bind (Minijson.member "step" j) Minijson.to_float with
+        | Some s -> int_of_float s
+        | None -> Alcotest.failf "record without step: %s" line
+      in
+      (match str "type" with
+      | Some "sample" ->
+        Alcotest.(check bool) "samples monotonic in step" true
+          (step > !prev_step);
+        prev_step := step;
+        List.iter
+          (fun field ->
+            if Minijson.member field j = None then
+              Alcotest.failf "sample lacks %S: %s" field line)
+          [ "sim_time"; "energy"; "momentum"; "faults"; "guard_restores";
+            "rebuilds"; "counters"; "derived"; "host" ]
+      | Some "alert" ->
+        Alcotest.(check bool) "alert has clock" true
+          (str "clock" = Some "virtual" || str "clock" = Some "host")
+      | other ->
+        Alcotest.failf "unknown record type %s"
+          (Option.value other ~default:"<none>"));
+      (* the host object is textually the last field, so the virtual
+         projection can strip it without parsing *)
+      match str "type" with
+      | Some "sample" ->
+        let marker = ",\"host\":{" in
+        let has_marker =
+          let n = String.length marker and m = String.length line in
+          let rec go i =
+            i + n <= m && (String.sub line i n = marker || go (i + 1))
+          in
+          go 0
+        in
+        Alcotest.(check bool) "host object present and trailing" true
+          (has_marker && String.length line >= 2
+          && String.sub line (String.length line - 2) 2 = "}}")
+      | _ -> ())
+    ls;
+  Alcotest.(check int) "final sample lands on the final step" 12 !prev_step;
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Determinism across --domains and across kill-and-resume             *)
+(* ------------------------------------------------------------------ *)
+
+let stream_with_domains ~domains path =
+  Mdpar.set_default_domains domains;
+  ignore
+    (with_telemetry path (fun () ->
+         complete (Runner.run (cfg ~dir:(fresh_dir ()) ()))));
+  Mdtel.virtual_projection (read_file path)
+
+let test_domains_byte_identity () =
+  let saved = Mdpar.default_domains () in
+  Fun.protect
+    ~finally:(fun () -> Mdpar.set_default_domains saved)
+    (fun () ->
+      let p1 = fresh_path () and p4 = fresh_path () in
+      let v1 = stream_with_domains ~domains:1 p1 in
+      let v4 = stream_with_domains ~domains:4 p4 in
+      Alcotest.(check bool) "projection non-empty" true
+        (String.length v1 > 0);
+      Alcotest.(check string) "virtual projection byte-identical" v1 v4;
+      Sys.remove p1;
+      Sys.remove p4)
+
+let test_resume_stream_continuity () =
+  (* Uninterrupted reference. *)
+  let ref_path = fresh_path () in
+  ignore
+    (with_telemetry ~every:5 ref_path (fun () ->
+         complete (Runner.run (cfg ~dir:(fresh_dir ()) ()))));
+  (* Killed run: suspend after 2 of 3 segments — the stream ends at the
+     last durable boundary, like SIGKILL (buffered records die with the
+     process; uninstall, not finish, mimics that). *)
+  let kill_path = fresh_path () in
+  let dir = fresh_dir () in
+  Mdfault.set_guard_restores 0;
+  Mdprof.clear ();
+  Mdtel.install (tel_config ~every:5 kill_path);
+  (match Runner.run ~abort_after_segments:2 (cfg ~dir ()) with
+  | Runner.Suspended s ->
+    Alcotest.(check int) "suspended mid-run" 8 s.Runner.sus_completed
+  | Runner.Complete _ -> Alcotest.fail "expected suspension");
+  Mdtel.uninstall ();
+  (* New process: fresh registry, telemetry in resume mode, resume. *)
+  Mdprof.clear ();
+  Mdtel.install (tel_config ~every:5 ~resume:true kill_path);
+  Fun.protect ~finally:Mdtel.uninstall (fun () ->
+      (match Runner.resume dir with
+      | Ok o -> ignore (complete o)
+      | Error msg -> Alcotest.failf "resume failed: %s" msg);
+      Mdtel.finish ());
+  let v_ref = Mdtel.virtual_projection (read_file ref_path) in
+  let v_kill = Mdtel.virtual_projection (read_file kill_path) in
+  Alcotest.(check string) "resumed stream virtually byte-identical" v_ref
+    v_kill;
+  Sys.remove ref_path;
+  Sys.remove kill_path
+
+(* ------------------------------------------------------------------ *)
+(* Interval deltas                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let sum_stream_deltas content =
+  let totals : (string, float) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun line ->
+      let j = Minijson.parse line in
+      if Option.bind (Minijson.member "type" j) Minijson.to_string
+         = Some "sample"
+      then
+        match Option.bind (Minijson.member "counters" j) Minijson.to_obj with
+        | Some fields ->
+          List.iter
+            (fun (name, v) ->
+              match Minijson.to_float v with
+              | Some x ->
+                Hashtbl.replace totals name
+                  (x
+                  +. Option.value ~default:0.0 (Hashtbl.find_opt totals name))
+              | None -> ())
+            fields
+        | None -> ())
+    (lines content);
+  totals
+
+let test_deltas_sum_to_cumulative () =
+  let path = fresh_path () in
+  ignore
+    (with_telemetry ~every:5 path (fun () ->
+         complete (Runner.run (cfg ~dir:(fresh_dir ()) ()))));
+  let sums = sum_stream_deltas (read_file path) in
+  (* Registry still holds the run's cumulative totals (uninstall turns
+     recording off but keeps values). *)
+  let checked = ref 0 in
+  List.iter
+    (fun (s : Mdprof.sample) ->
+      if s.Mdprof.s_clock = Mdprof.Virtual then
+        match s.Mdprof.s_kind with
+        | Mdprof.Counter when s.Mdprof.s_value > 0.0 ->
+          incr checked;
+          let streamed =
+            Option.value ~default:0.0 (Hashtbl.find_opt sums s.Mdprof.s_name)
+          in
+          Alcotest.(check (float 1e-9))
+            (s.Mdprof.s_name ^ " deltas sum to cumulative")
+            s.Mdprof.s_value streamed
+        | Mdprof.Histogram when s.Mdprof.s_observations > 0 ->
+          incr checked;
+          let streamed =
+            Option.value ~default:0.0
+              (Hashtbl.find_opt sums (s.Mdprof.s_name ^ "/observations"))
+          in
+          Alcotest.(check (float 1e-9))
+            (s.Mdprof.s_name ^ " observation deltas sum")
+            (float_of_int s.Mdprof.s_observations)
+            streamed
+        | _ -> ())
+    (Mdprof.samples ());
+  Alcotest.(check bool) "checked a real set of instruments" true
+    (!checked >= 5);
+  Sys.remove path
+
+let test_interval_reads () =
+  Mdprof.clear ();
+  Mdprof.enable ();
+  Fun.protect ~finally:Mdprof.clear (fun () ->
+      let c = Mdprof.counter ~clock:Mdprof.Virtual "tel-test/ops" in
+      Mdprof.add c 5;
+      let iv = Mdprof.Interval.create () in
+      Mdprof.add c 3;
+      (match Mdprof.Interval.read iv with
+      | [ s ] ->
+        Alcotest.(check string) "name" "tel-test/ops" s.Mdprof.s_name;
+        Alcotest.(check (float 0.0)) "delta excludes pre-baseline" 3.0
+          s.Mdprof.s_value
+      | other ->
+        Alcotest.failf "expected one delta sample, got %d"
+          (List.length other));
+      Alcotest.(check int) "idle interval reads empty" 0
+        (List.length (Mdprof.Interval.read iv));
+      Mdprof.add c 2;
+      (match Mdprof.Interval.read iv with
+      | [ s ] -> Alcotest.(check (float 0.0)) "next delta" 2.0 s.Mdprof.s_value
+      | other ->
+        Alcotest.failf "expected one delta sample, got %d"
+          (List.length other));
+      match Mdprof.find "tel-test/ops" with
+      | Some s ->
+        Alcotest.(check (float 0.0)) "cumulative untouched" 10.0
+          s.Mdprof.s_value
+      | None -> Alcotest.fail "cumulative sample vanished")
+
+let test_capture_restore_roundtrip () =
+  Mdprof.clear ();
+  Mdprof.enable ();
+  Fun.protect ~finally:Mdprof.clear (fun () ->
+      let c = Mdprof.counter ~clock:Mdprof.Virtual "tel-test/restore" in
+      Mdprof.add c 7;
+      let h =
+        Mdprof.histogram ~clock:Mdprof.Virtual ~buckets:[| 1.0; 4.0 |]
+          "tel-test/hist"
+      in
+      Mdprof.observe h 0.5;
+      Mdprof.observe h 9.0;
+      let before = Mdprof.samples () in
+      let cells =
+        match Mdprof.capture_cells () with
+        | Some cells -> cells
+        | None -> Alcotest.fail "capture returned None while enabled"
+      in
+      Mdprof.clear ();
+      Alcotest.(check int) "registry empty after clear" 0
+        (List.length (Mdprof.samples ()));
+      Mdprof.restore_cells cells;
+      Alcotest.(check bool) "restore re-enables recording" true
+        (Mdprof.enabled ());
+      Alcotest.(check bool) "samples restored bitwise" true
+        (Mdprof.samples () = before);
+      (* restored cells are live, not inert snapshots *)
+      let c' = Mdprof.counter ~clock:Mdprof.Virtual "tel-test/restore" in
+      Mdprof.add c' 1;
+      match Mdprof.find "tel-test/restore" with
+      | Some s -> Alcotest.(check (float 0.0)) "accumulates" 8.0 s.Mdprof.s_value
+      | None -> Alcotest.fail "restored counter vanished")
+
+(* ------------------------------------------------------------------ *)
+(* Alerts                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_guard_violation_emits_alert () =
+  let path = fresh_path () in
+  ignore
+    (with_telemetry ~every:2 path (fun () ->
+         let s = Mdcore.Init.build ~seed:21 ~n:128 () in
+         let calls = ref 0 in
+         let engine =
+           Mdcore.Engine.make ~name:"corrupting" ~compute:(fun s ->
+               let pe = Mdcore.Forces.gather_engine.Mdcore.Engine.compute s in
+               incr calls;
+               if !calls = 4 then s.System.acc_x.{0} <- Float.nan;
+               pe)
+         in
+         Verlet.run s ~engine ~steps:6 ~guard:Verlet.default_guard ()));
+  let alerts =
+    List.filter_map
+      (fun line ->
+        let j = Minijson.parse line in
+        if Option.bind (Minijson.member "type" j) Minijson.to_string
+           = Some "alert"
+        then Option.bind (Minijson.member "kind" j) Minijson.to_string
+        else None)
+      (lines (read_file path))
+  in
+  Alcotest.(check bool) "healed violation still recorded" true
+    (List.mem "non_finite" alerts);
+  (* virtual-clock alerts survive the deterministic projection *)
+  let v = Mdtel.virtual_projection (read_file path) in
+  Alcotest.(check bool) "alert survives virtual projection" true
+    (List.exists
+       (fun l ->
+         match Minijson.parse l with
+         | j ->
+           Option.bind (Minijson.member "type" j) Minijson.to_string
+           = Some "alert"
+         | exception Minijson.Parse_error _ -> false)
+       (lines v));
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* report diff                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let sample_line ~step ~counters =
+  Printf.sprintf
+    "{\"schema\":\"%s\",\"type\":\"sample\",\"step\":%d,\"sim_time\":0,\"energy\":{\"pe\":0,\"ke\":0,\"total\":0,\"temperature\":0},\"momentum\":[0,0,0],\"faults\":{\"injected\":0,\"recovered\":0},\"guard_restores\":0,\"rebuilds\":0,\"counters\":{%s},\"derived\":{},\"host\":{\"unix\":0,\"elapsed_s\":0,\"steps_per_s\":0}}"
+    Mdtel.schema step counters
+
+let test_report_diff_gates_regressions () =
+  let baseline =
+    sample_line ~step:0 ~counters:"\"work/ops\":10,\"work/bytes\":100"
+    ^ "\n"
+    ^ sample_line ~step:5 ~counters:"\"work/ops\":10,\"work/bytes\":100"
+    ^ "\n"
+  in
+  let same = Mdtel.diff ~baseline ~candidate:baseline () in
+  Alcotest.(check bool) "identical streams pass" false
+    same.Sim_util.Bench_check.failed;
+  let slower =
+    sample_line ~step:0 ~counters:"\"work/ops\":10,\"work/bytes\":100"
+    ^ "\n"
+    ^ sample_line ~step:5 ~counters:"\"work/ops\":40,\"work/bytes\":100"
+    ^ "\n"
+  in
+  let out = Mdtel.diff ~baseline ~candidate:slower () in
+  Alcotest.(check bool) "inflated counter fails the gate" true
+    out.Sim_util.Bench_check.failed;
+  (* a generous tolerance admits the same candidate *)
+  let loose = Mdtel.diff ~tolerance:9.0 ~baseline ~candidate:slower () in
+  Alcotest.(check bool) "within tolerance passes" false
+    loose.Sim_util.Bench_check.failed
+
+let test_metric_rows_reads_counter_exports () =
+  let export =
+    "{\"schema\":\"mdsim-counters-v1\",\n\"counters\":[\n{\"name\":\"a/ops\",\"clock\":\"virtual\",\"kind\":\"counter\",\"value\":42},\n{\"name\":\"a/lat\",\"clock\":\"virtual\",\"kind\":\"histogram\",\"observations\":3,\"sum\":12.5}],\n\"derived\":[{\"name\":\"a/bw\",\"value\":2.5,\"unit\":\"MB/s\"}]}"
+  in
+  let rows = Mdtel.metric_rows export in
+  let get n = List.assoc_opt n rows in
+  Alcotest.(check (option (float 0.0))) "counter value" (Some 42.0)
+    (get "a/ops");
+  Alcotest.(check (option (float 0.0))) "histogram observations" (Some 3.0)
+    (get "a/lat/observations");
+  Alcotest.(check (option (float 0.0))) "histogram sum" (Some 12.5)
+    (get "a/lat/sum");
+  Alcotest.(check (option (float 0.0))) "derived metric" (Some 2.5)
+    (get "derived/a/bw")
+
+let contains_sub hay needle =
+  let n = String.length needle and m = String.length hay in
+  let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_tail_renders_and_skips_torn_lines () =
+  let content =
+    sample_line ~step:0 ~counters:"\"work/ops\":10"
+    ^ "\n"
+    ^ sample_line ~step:5 ~counters:"\"work/ops\":10"
+    ^ "\n{\"schema\":\"mdsim-telemetry-v1\",\"type\":\"sample\",\"step\":10,\"trunca"
+  in
+  let rendered = Mdtel.render_tail content in
+  Alcotest.(check bool) "mentions both intact samples" true
+    (contains_sub rendered "2 samples");
+  Alcotest.(check bool) "torn tail skipped, steps reported" true
+    (contains_sub rendered "steps 0..5")
+
+let tests =
+  ( "tel",
+    [ Alcotest.test_case "stream schema" `Quick test_stream_schema;
+      Alcotest.test_case "domains byte-identity" `Quick
+        test_domains_byte_identity;
+      Alcotest.test_case "resume stream continuity" `Quick
+        test_resume_stream_continuity;
+      Alcotest.test_case "deltas sum to cumulative" `Quick
+        test_deltas_sum_to_cumulative;
+      Alcotest.test_case "interval reads" `Quick test_interval_reads;
+      Alcotest.test_case "capture/restore roundtrip" `Quick
+        test_capture_restore_roundtrip;
+      Alcotest.test_case "guard violation emits alert" `Quick
+        test_guard_violation_emits_alert;
+      Alcotest.test_case "report diff gates regressions" `Quick
+        test_report_diff_gates_regressions;
+      Alcotest.test_case "metric rows read counter exports" `Quick
+        test_metric_rows_reads_counter_exports;
+      Alcotest.test_case "tail renders torn streams" `Quick
+        test_tail_renders_and_skips_torn_lines ] )
