@@ -305,26 +305,7 @@ let finish_trace trace =
   | None -> ()
 
 let write_run_metrics path (r : Mdports.Run_result.t) =
-  let buf = Buffer.create 512 in
-  Buffer.add_string buf
-    (Printf.sprintf
-       "{\n\"device\":\"%s\",\"atoms\":%d,\"steps\":%d,\"virtual_seconds\":%.17g,\n"
-       (Mdobs.json_escape r.Mdports.Run_result.device)
-       r.Mdports.Run_result.n_atoms r.Mdports.Run_result.steps
-       r.Mdports.Run_result.seconds);
-  Buffer.add_string buf "\"breakdown\":{";
-  List.iteri
-    (fun i (k, v) ->
-      if i > 0 then Buffer.add_char buf ',';
-      Buffer.add_string buf
-        (Printf.sprintf "\"%s\":%.17g" (Mdobs.json_escape k) v))
-    r.Mdports.Run_result.breakdown;
-  Buffer.add_string buf
-    (Printf.sprintf
-       "},\n\"pairs_evaluated\":%d,\"interactions\":%d,\"energy_drift\":%.17g\n}\n"
-       r.Mdports.Run_result.pairs_evaluated r.Mdports.Run_result.interactions
-       (Mdports.Run_result.energy_drift r));
-  Mdobs.write_file ~path (Buffer.contents buf);
+  Mdobs.write_file ~path (Mdports.Run_result.metrics_json r);
   Printf.printf "wrote %s\n" path
 
 let csv_dir_arg =
@@ -413,23 +394,7 @@ let build_system ~atoms ~seed ~density ~temperature =
   Mdcore.Init.build ~seed ~density ~temperature ~n:atoms ()
 
 let print_result (r : Mdports.Run_result.t) =
-  Format.printf "%a@." Mdports.Run_result.pp_summary r;
-  List.iter
-    (fun (k, v) ->
-      if v > 0.0 then
-        Printf.printf "  %-10s %s\n" k (Sim_util.Table.fmt_seconds v))
-    r.Mdports.Run_result.breakdown;
-  (match (List.rev r.Mdports.Run_result.records, r.Mdports.Run_result.records)
-   with
-  | last :: _, first :: _ ->
-    Printf.printf
-      "  energy: initial %.4f, final %.4f (drift %.2e); final T %.4f\n"
-      first.Mdcore.Verlet.total_energy last.Mdcore.Verlet.total_energy
-      (Mdports.Run_result.energy_drift r)
-      last.Mdcore.Verlet.temperature
-  | _ -> ());
-  Printf.printf "  virtual runtime: %s\n"
-    (Sim_util.Table.fmt_seconds r.Mdports.Run_result.seconds)
+  print_string (Mdports.Run_result.render_summary r)
 
 let runner_device = function
   | `Opteron -> Mdckpt.Runner.Opteron
@@ -439,6 +404,30 @@ let runner_device = function
   | `Gpu -> Mdckpt.Runner.Gpu
   | `Mta -> Mdckpt.Runner.Mta
   | `Mta_partial -> Mdckpt.Runner.Mta_partial
+
+(* Segmented runs hold the checkpoint directory's single-writer guard
+   for their whole lifetime (released by process exit): two runs
+   checkpointing into the same directory would GC each other's
+   generations.  The Lock.t is deliberately dropped — the descriptor
+   stays open and locked until exit. *)
+let guard_ckpt_dir_or_exit dir =
+  match Mdckpt.Lock.guard_dir ~dir with
+  | Ok lock -> ignore (lock : Mdckpt.Lock.t)
+  | Error msg ->
+    Printf.eprintf "mdsim: %s\n" msg;
+    exit 1
+
+(* SIGTERM/SIGINT on a segmented run become a graceful suspend: the
+   in-flight segment finishes, its checkpoint is made durable, stdout
+   telemetry is flushed, and the process exits 3 with the --resume
+   hint — same path as a deadline expiry. *)
+let install_suspend_handlers () =
+  let handler name =
+    Sys.Signal_handle
+      (fun _ -> Mdckpt.Runner.request_suspend ~reason:(name ^ " received"))
+  in
+  Sys.set_signal Sys.sigterm (handler "SIGTERM");
+  Sys.set_signal Sys.sigint (handler "SIGINT")
 
 let run_cmd =
   let action atoms steps seed density temperature device engine skin
@@ -469,6 +458,17 @@ let run_cmd =
       ~resume:(resume <> None);
     start_faults faults;
     apply_guard guard;
+    (match resume with
+    | Some path ->
+      guard_ckpt_dir_or_exit
+        (if Sys.file_exists path && Sys.is_directory path then path
+         else Filename.dirname path);
+      install_suspend_handlers ()
+    | None ->
+      if every > 0 then begin
+        guard_ckpt_dir_or_exit ckpt_dir;
+        install_suspend_handlers ()
+      end);
     (* Even with checkpointed step retries a high enough rate can exhaust
        recovery; report the failure cleanly, with whatever fault log was
        requested, instead of a backtrace. *)
@@ -642,7 +642,13 @@ let experiment_cmd =
           | Some spec -> ",faults=" ^ Mdfault.spec_to_string spec
           | None -> ""
         in
-        let m = Harness.Manifest.load_or_create ~path ~key in
+        let m =
+          match Harness.Manifest.load_or_create ~path ~key with
+          | Ok m -> m
+          | Error msg ->
+            Printf.eprintf "mdsim: %s\n" msg;
+            exit 1
+        in
         let n = Harness.Manifest.entry_count m in
         if n > 0 then
           Printf.eprintf
@@ -927,6 +933,277 @@ let report_cmd =
   let doc = "Analyze and compare recorded run metrics." in
   Cmd.group (Cmd.info "report" ~doc) [ diff_cmd ]
 
+(* --- serve daemon and its client ---------------------------------- *)
+
+let serve_dir_arg =
+  let doc =
+    "Serve directory: the job ledger ($(b,ledger.jsonl)), per-job \
+     checkpoints and artifacts ($(b,jobs/)$(i,ID)), and the \
+     single-writer lock live here."
+  in
+  Arg.(
+    value & opt string "mdsim-serve" & info [ "dir" ] ~docv:"DIR" ~doc)
+
+let socket_arg =
+  let doc =
+    "Unix-domain socket path (default $(b,--dir)/serve.sock)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let resolve_socket ~dir = function
+  | Some s -> s
+  | None -> Filename.concat dir "serve.sock"
+
+let serve_cmd =
+  let max_queue_arg =
+    let doc = "Admission bound: reject submits beyond $(docv) live jobs." in
+    Arg.(value & opt int 64 & info [ "max-queue" ] ~docv:"N" ~doc)
+  in
+  let retries_arg =
+    let doc =
+      "Retry budget per job for unrecovered fault deaths; the retried \
+       segment restarts from its durable checkpoint with fresh fault \
+       draws."
+    in
+    Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let backoff_arg =
+    let doc = "Base retry backoff in seconds, doubled per attempt." in
+    Arg.(value & opt float 0.5 & info [ "retry-backoff" ] ~docv:"SECONDS" ~doc)
+  in
+  let resume_queue_arg =
+    let doc =
+      "Replay an existing ledger and re-adopt every unfinished job at \
+       its newest valid checkpoint generation.  Without this flag an \
+       existing ledger is refused, never silently forked."
+    in
+    Arg.(value & flag & info [ "resume-queue" ] ~doc)
+  in
+  let action socket dir max_queue retries backoff resume domains =
+    apply_domains domains;
+    if max_queue <= 0 then
+      usage_error "--max-queue must be positive (got %d)" max_queue;
+    if retries < 0 then
+      usage_error "--retries must be non-negative (got %d)" retries;
+    if (not (Float.is_finite backoff)) || backoff < 0.0 then
+      usage_error "--retry-backoff must be finite and non-negative (got %g)"
+        backoff;
+    let cfg =
+      { Mdserve.Daemon.d_socket = resolve_socket ~dir socket;
+        d_engine =
+          { Mdserve.Engine.cfg_dir = dir; cfg_max_queue = max_queue;
+            cfg_retries = retries; cfg_backoff_s = backoff;
+            cfg_resume = resume } }
+    in
+    match Mdserve.Daemon.serve cfg with
+    | Ok () -> ()
+    | Error msg ->
+      Printf.eprintf "mdsim: serve: %s\n" msg;
+      exit 1
+  in
+  let doc =
+    "Serve checkpointed MD jobs over a Unix socket: fair round-robin \
+     scheduling across tenants, durable job ledger \
+     (mdsim-ledger-v1), per-job deadlines and bounded fault-death \
+     retries.  SIGTERM drains gracefully; kill -9 plus \
+     $(b,--resume-queue) converges every job bitwise with its \
+     uninterrupted run."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const action $ socket_arg $ serve_dir_arg $ max_queue_arg
+      $ retries_arg $ backoff_arg $ resume_queue_arg $ domains_arg)
+
+let socket_arg' =
+  let doc = "Daemon Unix socket path." in
+  Arg.(
+    value
+    & opt string (Filename.concat "mdsim-serve" "serve.sock")
+    & info [ "socket" ] ~docv:"PATH" ~doc)
+
+(* Job client: send one request line, print the reply JSON, exit 0/1 by
+   its "ok" field. *)
+let client_exec ~socket request =
+  match Mdserve.Protocol.roundtrip ~socket request with
+  | Error msg ->
+    Printf.eprintf "mdsim: %s\n" msg;
+    exit 1
+  | Ok reply ->
+    print_endline reply;
+    let ok =
+      match Sim_util.Minijson.parse reply with
+      | exception Sim_util.Minijson.Parse_error _ -> false
+      | j ->
+        Option.bind (Sim_util.Minijson.member "ok" j)
+          Sim_util.Minijson.to_bool
+        = Some true
+    in
+    if not ok then exit 1
+
+let job_cmd =
+  let jescape = Mdobs.json_escape in
+  let job_pos_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"JOB")
+  in
+  let submit_cmd =
+    let id_arg =
+      let doc = "Job id (generated when omitted); becomes jobs/$(docv)." in
+      Arg.(value & opt (some string) None & info [ "id" ] ~docv:"ID" ~doc)
+    in
+    let tenant_arg =
+      let doc = "Tenant for fair round-robin scheduling." in
+      Arg.(value & opt string "default" & info [ "tenant" ] ~docv:"NAME" ~doc)
+    in
+    let priority_arg =
+      let doc =
+        "Scheduler quantum: consecutive segments the job keeps the slot \
+         for when picked (1..64)."
+      in
+      Arg.(value & opt int 1 & info [ "priority" ] ~docv:"N" ~doc)
+    in
+    let device_arg =
+      let doc = "Device model (see $(b,mdsim devices))." in
+      Arg.(value & opt string "opteron" & info [ "device" ] ~docv:"NAME" ~doc)
+    in
+    let engine_arg =
+      let doc = "Force engine: $(b,default), $(b,pairlist) or $(b,n2)." in
+      Arg.(value & opt string "default" & info [ "engine" ] ~docv:"NAME" ~doc)
+    in
+    let atoms_arg =
+      Arg.(value & opt int 256 & info [ "atoms" ] ~docv:"N")
+    in
+    let steps_arg =
+      Arg.(value & opt int 100 & info [ "steps" ] ~docv:"N")
+    in
+    let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N") in
+    let density_arg =
+      Arg.(value & opt float 0.8 & info [ "density" ] ~docv:"RHO")
+    in
+    let temperature_arg =
+      Arg.(value & opt float 1.0 & info [ "temperature" ] ~docv:"T")
+    in
+    let skin_arg =
+      Arg.(value & opt float 0.4 & info [ "skin" ] ~docv:"SIGMA")
+    in
+    let every_arg =
+      let doc = "Checkpoint segment length in steps." in
+      Arg.(value & opt int 25 & info [ "every" ] ~docv:"STEPS" ~doc)
+    in
+    let keep_arg =
+      Arg.(value & opt int 4 & info [ "keep" ] ~docv:"K")
+    in
+    let faults_arg =
+      let doc = "Fault-injection plan (same spec as $(b,mdsim run))." in
+      Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
+    in
+    let deadline_arg =
+      let doc = "Host-seconds budget across all the job's segments." in
+      Arg.(
+        value
+        & opt (some float) None
+        & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+    in
+    let telemetry_arg =
+      let doc = "Stream the job's telemetry to jobs/$(i,ID)/telemetry.jsonl." in
+      Arg.(value & flag & info [ "telemetry" ] ~doc)
+    in
+    let tel_every_arg =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "telemetry-every" ] ~docv:"STEPS")
+    in
+    let action socket id tenant priority device engine atoms steps seed
+        density temperature skin every keep faults deadline telemetry
+        tel_every =
+      let b = Buffer.create 256 in
+      Buffer.add_string b "{\"op\":\"submit\"";
+      let str k v = Printf.bprintf b ",\"%s\":\"%s\"" k (jescape v) in
+      let int k v = Printf.bprintf b ",\"%s\":%d" k v in
+      let num k v = Printf.bprintf b ",\"%s\":%.17g" k v in
+      Option.iter (str "id") id;
+      str "tenant" tenant;
+      int "priority" priority;
+      str "device" device;
+      str "engine" engine;
+      int "atoms" atoms;
+      int "steps" steps;
+      int "seed" seed;
+      num "density" density;
+      num "temperature" temperature;
+      num "skin" skin;
+      int "every" every;
+      int "keep" keep;
+      Option.iter (str "faults") faults;
+      Option.iter (num "deadline") deadline;
+      if telemetry then Buffer.add_string b ",\"telemetry\":true";
+      int "tel_every" (Option.value tel_every ~default:every);
+      Buffer.add_char b '}';
+      client_exec ~socket (Buffer.contents b)
+    in
+    let doc = "Submit a checkpointed job to the daemon." in
+    Cmd.v (Cmd.info "submit" ~doc)
+      Term.(
+        const action $ socket_arg' $ id_arg $ tenant_arg $ priority_arg
+        $ device_arg $ engine_arg $ atoms_arg $ steps_arg $ seed_arg
+        $ density_arg $ temperature_arg $ skin_arg $ every_arg $ keep_arg
+        $ faults_arg $ deadline_arg $ telemetry_arg $ tel_every_arg)
+  in
+  let status_cmd =
+    let action socket job =
+      client_exec ~socket
+        (match job with
+        | Some id -> Printf.sprintf "{\"op\":\"status\",\"job\":\"%s\"}"
+                       (jescape id)
+        | None -> "{\"op\":\"status\"}")
+    in
+    let doc = "Queue status, or one job's when $(i,JOB) is given." in
+    Cmd.v (Cmd.info "status" ~doc)
+      Term.(const action $ socket_arg' $ job_pos_arg)
+  in
+  let cancel_cmd =
+    let job_req_arg =
+      Arg.(required & pos 0 (some string) None & info [] ~docv:"JOB")
+    in
+    let action socket job =
+      client_exec ~socket
+        (Printf.sprintf "{\"op\":\"cancel\",\"job\":\"%s\"}" (jescape job))
+    in
+    let doc = "Cancel a queued or running job at its next segment boundary." in
+    Cmd.v (Cmd.info "cancel" ~doc)
+      Term.(const action $ socket_arg' $ job_req_arg)
+  in
+  let tail_cmd =
+    let limit_arg =
+      Arg.(value & opt int 20 & info [ "limit" ] ~docv:"N")
+    in
+    let action socket job limit =
+      client_exec ~socket
+        (Printf.sprintf "{\"op\":\"tail\",\"job\":\"%s\",\"limit\":%d}"
+           (jescape (Option.value job ~default:"")) limit)
+    in
+    let doc = "Last ledger records, optionally for one $(i,JOB)." in
+    Cmd.v (Cmd.info "tail" ~doc)
+      Term.(const action $ socket_arg' $ job_pos_arg $ limit_arg)
+  in
+  let drain_cmd =
+    let action socket = client_exec ~socket "{\"op\":\"drain\"}" in
+    let doc =
+      "Ask the daemon to drain: finish the in-flight segment, \
+       checkpoint every live job, flush the ledger, exit."
+    in
+    Cmd.v (Cmd.info "drain" ~doc) Term.(const action $ socket_arg')
+  in
+  let ping_cmd =
+    let action socket = client_exec ~socket "{\"op\":\"ping\"}" in
+    let doc = "Liveness check." in
+    Cmd.v (Cmd.info "ping" ~doc) Term.(const action $ socket_arg')
+  in
+  let doc = "Client operations against a running $(b,mdsim serve) daemon." in
+  Cmd.group (Cmd.info "job" ~doc)
+    [ submit_cmd; status_cmd; cancel_cmd; tail_cmd; drain_cmd; ping_cmd ]
+
 let main_cmd =
   let doc =
     "Reproduction of 'Analysis of a Computational Biology Simulation \
@@ -934,6 +1211,6 @@ let main_cmd =
   in
   Cmd.group (Cmd.info "mdsim" ~version:"1.0.0" ~doc)
     [ run_cmd; experiment_cmd; profile_cmd; list_cmd; devices_cmd;
-      align_cmd; tail_cmd; report_cmd ]
+      align_cmd; tail_cmd; report_cmd; serve_cmd; job_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

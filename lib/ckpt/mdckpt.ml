@@ -697,6 +697,69 @@ let load_latest ~dir =
   | gens -> try_gens gens
 
 (* ------------------------------------------------------------------ *)
+(* Single-writer locks                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Lock = struct
+  type t = { lk_key : string; lk_fd : Unix.file_descr }
+
+  (* POSIX record locks never conflict within one process (a second
+     lockf on the same file by the same process silently succeeds), so
+     an in-process registry of held lock paths backs the OS lock: a
+     second acquirer in the same process fails exactly like a second
+     process would.  That is what makes the guard testable in-process
+     and what protects a daemon from a same-process second engine. *)
+  let held : (string, unit) Hashtbl.t = Hashtbl.create 8
+  let held_mu = Mutex.create ()
+
+  let normalize path =
+    match Unix.realpath path with
+    | p -> p
+    | exception (Unix.Unix_error _ | Invalid_argument _) -> path
+
+  let acquire ~path =
+    mkdir_p (Filename.dirname path);
+    match Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 with
+    | exception Unix.Unix_error (e, _, _) ->
+      Error
+        (Printf.sprintf "cannot open lock file %s: %s" path
+           (Unix.error_message e))
+    | fd ->
+      let key = normalize path in
+      Mutex.lock held_mu;
+      let in_process = Hashtbl.mem held key in
+      if not in_process then Hashtbl.replace held key ();
+      Mutex.unlock held_mu;
+      if in_process then begin
+        Unix.close fd;
+        Error
+          (Printf.sprintf "%s is already locked by this process" path)
+      end
+      else begin
+        match Unix.lockf fd Unix.F_TLOCK 0 with
+        | () -> Ok { lk_key = key; lk_fd = fd }
+        | exception Unix.Unix_error _ ->
+          Mutex.lock held_mu;
+          Hashtbl.remove held key;
+          Mutex.unlock held_mu;
+          Unix.close fd;
+          Error
+            (Printf.sprintf "%s is locked by another mdsim process" path)
+      end
+
+  let release t =
+    Mutex.lock held_mu;
+    Hashtbl.remove held t.lk_key;
+    Mutex.unlock held_mu;
+    (try Unix.lockf t.lk_fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ());
+    try Unix.close t.lk_fd with Unix.Unix_error _ -> ()
+
+  let guard_dir ~dir =
+    mkdir_p dir;
+    acquire ~path:(Filename.concat dir ".lock")
+end
+
+(* ------------------------------------------------------------------ *)
 (* Segmented runner                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -760,6 +823,15 @@ module Runner = struct
   type outcome =
     | Complete of Run_result.t
     | Suspended of suspension
+
+  (* External suspension requests (SIGTERM/SIGINT handlers, daemon
+     drain).  Signal handlers only set this atomic; [advance] checks it
+     between segments, so the in-flight segment always completes and
+     its checkpoint is durable before the run suspends. *)
+  let suspend_flag : string option Atomic.t = Atomic.make None
+  let request_suspend ~reason = Atomic.set suspend_flag (Some reason)
+  let suspend_requested () = Atomic.get suspend_flag
+  let clear_suspend_request () = Atomic.set suspend_flag None
 
   (* Pairlist state is deliberately NOT serialized: each segment starts
      a fresh list, which forces a rebuild on the segment's first force
@@ -904,6 +976,45 @@ module Runner = struct
       cfg_keep = st.keep;
       cfg_dir = dir }
 
+  let prepare cfg =
+    let system =
+      Mdcore.Init.build ~seed:cfg.cfg_seed ~density:cfg.cfg_density
+        ~temperature:cfg.cfg_temperature ~n:cfg.cfg_atoms ()
+    in
+    initial_state cfg system
+
+  type step_result =
+    | Seg_complete of Run_result.t
+    | Seg_checkpointed of t * string
+
+  (* One segment of a segmented run (precondition: cfg_every > 0).
+     Shared by [advance] and the serve engine, which interleaves
+     segments of many jobs: everything per-segment (telemetry segment
+     window, guard-retry rollback, the boundary sample, the durable
+     save) happens here, so a job driven one segment at a time executes
+     the exact schedule an uninterrupted [advance] would. *)
+  let segment_step cfg st =
+    if st.completed >= st.total_steps then Seg_complete (result_of_state st)
+    else begin
+      let seg_steps = min cfg.cfg_every (st.total_steps - st.completed) in
+      let boundary = st.completed in
+      Mdtel.set_segment ~base:boundary ~steps:seg_steps;
+      let r =
+        segment_guarded
+          ~on_retry:(fun () -> Mdtel.rollback ~to_:boundary)
+          cfg.cfg_device ~force_path:cfg.cfg_force_path st.system
+          ~steps:seg_steps
+      in
+      let st = absorb_segment st r ~seg_steps in
+      (* Boundary sample BEFORE the save: the restored Mdprof state is
+         then exactly the last durable sample's delta baseline, which
+         is what makes resumed interval reads continue the
+         uninterrupted sequence. *)
+      Mdtel.sync ~completed:st.completed;
+      let path = save ~dir:cfg.cfg_dir st in
+      Seg_checkpointed (st, path)
+    end
+
   let advance ?abort_after_segments ?deadline cfg st0 =
     let st = ref st0 in
     let segs_done = ref 0 in
@@ -939,30 +1050,20 @@ module Runner = struct
         let rec loop () =
           if !st.completed >= !st.total_steps then
             Complete (result_of_state !st)
-          else begin
-            let seg_steps =
-              min cfg.cfg_every (!st.total_steps - !st.completed)
-            in
-            let boundary = !st.completed in
-            Mdtel.set_segment ~base:boundary ~steps:seg_steps;
-            let r =
-              segment_guarded
-                ~on_retry:(fun () -> Mdtel.rollback ~to_:boundary)
-                cfg.cfg_device ~force_path:cfg.cfg_force_path !st.system
-                ~steps:seg_steps
-            in
-            st := absorb_segment !st r ~seg_steps;
-            (* Boundary sample BEFORE the save: the restored Mdprof
-               state is then exactly the last durable sample's delta
-               baseline, which is what makes resumed interval reads
-               continue the uninterrupted sequence. *)
-            Mdtel.sync ~completed:!st.completed;
-            last_path := Some (save ~dir:cfg.cfg_dir !st);
-            incr segs_done;
-            match abort_after_segments with
-            | Some k when !segs_done >= k -> suspend "aborted by test hook"
-            | _ -> loop ()
-          end
+          else
+            match suspend_requested () with
+            | Some reason -> suspend reason
+            | None -> (
+              match segment_step cfg !st with
+              | Seg_complete r -> Complete r
+              | Seg_checkpointed (st', path) -> (
+                st := st';
+                last_path := Some path;
+                incr segs_done;
+                match abort_after_segments with
+                | Some k when !segs_done >= k ->
+                  suspend "aborted by test hook"
+                | _ -> loop ()))
         in
         loop ()
       end

@@ -155,6 +155,32 @@ val load_latest : dir:string -> (t * string, string) result
     truncated, wrong schema) get a one-line stderr diagnostic each, then
     the previous generation is tried. *)
 
+(** {1 Single-writer locks} *)
+
+(** Advisory single-writer guard over durable artifacts (checkpoint
+    directories, the run manifest, a daemon's serve directory), built on
+    [lockf]/[F_TLOCK] plus an in-process registry — POSIX record locks
+    never conflict within one process, so the registry makes a second
+    same-process acquirer fail exactly like a second process would.
+    Two concurrent runs can therefore never interleave atomic rewrites
+    or GC each other's checkpoint generations: the second acquirer gets
+    a one-line [Error]. *)
+module Lock : sig
+  type t
+
+  val acquire : path:string -> (t, string) result
+  (** Create (if needed) and exclusively lock [path].  [Error] with a
+      one-line reason when another process — or this one — holds it. *)
+
+  val guard_dir : dir:string -> (t, string) result
+  (** [acquire] on [dir ^ "/.lock"], creating [dir] as needed — the
+      conventional guard for a checkpoint directory. *)
+
+  val release : t -> unit
+  (** Unlock and close.  The lock file itself is left in place (unlink
+      would race a concurrent acquirer). *)
+end
+
 (** {1 Segmented runner} *)
 
 module Runner : sig
@@ -193,6 +219,17 @@ module Runner : sig
     | Complete of Mdports.Run_result.t
     | Suspended of suspension
 
+  val request_suspend : reason:string -> unit
+  (** Ask the in-flight {!run}/{!resume} to suspend at the next segment
+      boundary.  Async-signal-safe (one atomic store): SIGTERM/SIGINT
+      handlers call this, the current segment completes, its checkpoint
+      is made durable, and {!advance} returns [Suspended] with the
+      final checkpoint path — the graceful shutdown twin of the SIGKILL
+      story. *)
+
+  val suspend_requested : unit -> string option
+  val clear_suspend_request : unit -> unit
+
   val run : ?abort_after_segments:int -> ?deadline:float -> config -> outcome
   (** Run [cfg_steps] in [cfg_every]-step segments, checkpointing after
       each (plus a generation-0 file before the first, so resume is
@@ -219,4 +256,28 @@ module Runner : sig
   (** Synthesize the final result of a completed state ([completed =
       total_steps]) — also used by {!resume} when the checkpoint already
       covers the whole run. *)
+
+  (** {2 Single-segment stepping} — the serve engine's entry points:
+      a scheduler interleaving many jobs drives each one segment at a
+      time, with exactly the per-segment protocol {!run} uses, so a job
+      stepped externally converges bitwise with an uninterrupted run. *)
+
+  val prepare : config -> t
+  (** Build the initial (step-0) state for [config]: the seeded system
+      plus a capture of the current process-global fault/counter state.
+      Install the job's fault plan {e before} calling this. *)
+
+  type step_result =
+    | Seg_complete of Mdports.Run_result.t
+        (** the state already covered the whole run *)
+    | Seg_checkpointed of t * string
+        (** one more segment executed, absorbed, and durably saved *)
+
+  val segment_step : config -> t -> step_result
+  (** Execute exactly one [cfg_every]-step segment (guard retries and
+      telemetry segment protocol included) and checkpoint it.
+      Precondition: [cfg_every > 0].  The caller owns gen-0 saves,
+      deadline budgets and exception handling ({!Mdfault.Unrecovered},
+      {!Sim_util.Deadline.Expired}, persistent
+      {!Mdcore.Verlet.Invariant_violation}). *)
 end

@@ -123,6 +123,7 @@ type t = {
   path : string;
   key : string;
   lock : Mutex.t;
+  flock : Mdckpt.Lock.t;   (* single-writer guard, held until [close] *)
   entries : (string, entry) Hashtbl.t;  (* by experiment id *)
 }
 
@@ -147,30 +148,39 @@ let decode_entries data =
    different configuration key are dropped (the file is then rewritten
    on the first [record]), and an unreadable or corrupt file is rejected
    with a one-line diagnostic and treated as empty — resuming from
-   nothing is always safe. *)
+   nothing is always safe.  The manifest is single-writer: a [lockf]
+   guard on [path ^ ".lock"] is taken here and held until {!close}, so
+   two concurrent report runs can never interleave atomic rewrites of
+   the same file — the second acquirer gets a one-line [Error]. *)
 let load_or_create ~path ~key =
-  let entries = Hashtbl.create 16 in
-  (if Sys.file_exists path then
-     match
-       let ic = open_in_bin path in
-       Fun.protect
-         ~finally:(fun () -> close_in_noerr ic)
-         (fun () -> really_input_string ic (in_channel_length ic))
-     with
-     | exception Sys_error msg ->
-       Printf.eprintf "mdsim: ignoring manifest %s: %s\n%!" path msg
-     | exception End_of_file ->
-       Printf.eprintf "mdsim: ignoring manifest %s: truncated file\n%!" path
-     | data -> (
-       match decode_entries data with
-       | Error msg ->
+  match Mdckpt.Lock.acquire ~path:(path ^ ".lock") with
+  | Error msg ->
+    Error (Printf.sprintf "manifest %s: %s" path msg)
+  | Ok flock ->
+    let entries = Hashtbl.create 16 in
+    (if Sys.file_exists path then
+       match
+         let ic = open_in_bin path in
+         Fun.protect
+           ~finally:(fun () -> close_in_noerr ic)
+           (fun () -> really_input_string ic (in_channel_length ic))
+       with
+       | exception Sys_error msg ->
          Printf.eprintf "mdsim: ignoring manifest %s: %s\n%!" path msg
-       | Ok es ->
-         List.iter
-           (fun e ->
-             if e.ent_key = key then Hashtbl.replace entries e.ent_id e)
-           es));
-  { path; key; lock = Mutex.create (); entries }
+       | exception End_of_file ->
+         Printf.eprintf "mdsim: ignoring manifest %s: truncated file\n%!" path
+       | data -> (
+         match decode_entries data with
+         | Error msg ->
+           Printf.eprintf "mdsim: ignoring manifest %s: %s\n%!" path msg
+         | Ok es ->
+           List.iter
+             (fun e ->
+               if e.ent_key = key then Hashtbl.replace entries e.ent_id e)
+             es));
+    Ok { path; key; lock = Mutex.create (); flock; entries }
+
+let close t = Mdckpt.Lock.release t.flock
 
 let find t id =
   Mutex.lock t.lock;

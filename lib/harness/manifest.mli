@@ -31,9 +31,16 @@ val reusable : entry -> bool
 
 type t
 
-val load_or_create : path:string -> key:string -> t
+val load_or_create : path:string -> key:string -> (t, string) result
 (** Open [path] (which need not exist yet), keeping only entries
-    recorded under [key]. *)
+    recorded under [key].  Takes the single-writer [lockf] guard on
+    [path ^ ".lock"], held until {!close}: a second concurrent opener —
+    same process or another — gets a one-line [Error] instead of a
+    manifest whose rewrites would interleave. *)
+
+val close : t -> unit
+(** Release the single-writer guard (the entries stay usable in
+    memory, but further {!record} calls are the caller's risk). *)
 
 val find : t -> string -> entry option
 (** The reusable entry for an experiment id, if any. *)

@@ -29,3 +29,67 @@ let breakdown_get t name =
 let pp_summary fmt t =
   Format.fprintf fmt "%s: %d atoms, %d steps, %.4f s (%d pairs, %d hits)"
     t.device t.n_atoms t.steps t.seconds t.pairs_evaluated t.interactions
+
+(* The human-readable run report and the machine-readable metrics JSON
+   live here — not in bin/mdsim — so every producer of a run (the CLI,
+   the serve daemon's per-job report files) emits byte-identical
+   artifacts for the same result.  Byte equality of these renderings is
+   the serve convergence acceptance bar, so change them carefully. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_summary t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Format.asprintf "%a" pp_summary t);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (k, v) ->
+      if v > 0.0 then
+        Buffer.add_string buf
+          (Printf.sprintf "  %-10s %s\n" k (Sim_util.Table.fmt_seconds v)))
+    t.breakdown;
+  (match (List.rev t.records, t.records) with
+  | last :: _, first :: _ ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  energy: initial %.4f, final %.4f (drift %.2e); final T %.4f\n"
+         first.Mdcore.Verlet.total_energy last.Mdcore.Verlet.total_energy
+         (energy_drift t) last.Mdcore.Verlet.temperature)
+  | _ -> ());
+  Buffer.add_string buf
+    (Printf.sprintf "  virtual runtime: %s\n"
+       (Sim_util.Table.fmt_seconds t.seconds));
+  Buffer.contents buf
+
+let metrics_json t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\n\"device\":\"%s\",\"atoms\":%d,\"steps\":%d,\"virtual_seconds\":%.17g,\n"
+       (json_escape t.device) t.n_atoms t.steps t.seconds);
+  Buffer.add_string buf "\"breakdown\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\"%s\":%.17g" (json_escape k) v))
+    t.breakdown;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "},\n\"pairs_evaluated\":%d,\"interactions\":%d,\"energy_drift\":%.17g\n}\n"
+       t.pairs_evaluated t.interactions (energy_drift t));
+  Buffer.contents buf

@@ -31,3 +31,14 @@ val breakdown_get : t -> string -> float
 (** 0.0 when the category is absent. *)
 
 val pp_summary : Format.formatter -> t -> unit
+
+val render_summary : t -> string
+(** The canonical human-readable run report (summary line, non-zero
+    breakdown categories, energy line, virtual runtime) — the exact
+    bytes `mdsim run` prints and the serve daemon writes per job, so
+    the two are [cmp]-comparable. *)
+
+val metrics_json : t -> string
+(** The canonical machine-readable metrics document `--metrics` writes
+    — deterministic ([%.17g] floats, fixed field order) and shared with
+    the serve daemon's per-job [metrics.json]. *)

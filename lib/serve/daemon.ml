@@ -1,0 +1,175 @@
+(* The serve daemon: a Unix-domain socket front end over {!Engine}.
+
+   One cooperative loop alternates between accepting a single request
+   (select with a short timeout — zero when a job segment is ready to
+   run, so a busy daemon never sleeps) and running one engine tick.
+   SIGTERM/SIGINT set the drain flag from the handler; the loop observes
+   it between segments, so shutdown always lands on a durable segment
+   boundary: every in-flight job's newest checkpoint is already on disk,
+   drained records are appended, the ledger is flushed, and the process
+   exits cleanly — the graceful twin of the kill -9 story that
+   [--resume-queue] covers. *)
+
+type config = {
+  d_socket : string;
+  d_engine : Engine.config;
+}
+
+let drain_flag = Atomic.make false
+
+let handle_request eng line =
+  match Protocol.parse_request line with
+  | Error msg -> Protocol.error_reply msg
+  | Ok Protocol.Ping ->
+    Protocol.ok_reply (Printf.sprintf "\"pong\":true,\"pid\":%d" (Unix.getpid ()))
+  | Ok (Protocol.Submit js) -> (
+    match Engine.submit eng js with
+    | Ok (id, dir) ->
+      Protocol.ok_reply
+        (Printf.sprintf "\"job\":\"%s\",\"dir\":\"%s\""
+           (Mdobs.json_escape id) (Mdobs.json_escape dir))
+    | Error msg -> Protocol.error_reply msg)
+  | Ok (Protocol.Status job) -> (
+    match Engine.status_json eng job with
+    | Ok reply -> reply
+    | Error msg -> Protocol.error_reply msg)
+  | Ok (Protocol.Cancel job) -> (
+    match Engine.cancel eng job with
+    | Ok completed ->
+      Protocol.ok_reply (Printf.sprintf "\"completed\":%d" completed)
+    | Error msg -> Protocol.error_reply msg)
+  | Ok (Protocol.Tail (job, limit)) ->
+    let lines = Engine.tail eng ~job ~limit in
+    Protocol.ok_reply
+      (Printf.sprintf "\"records\":[%s]" (String.concat "," lines))
+  | Ok Protocol.Drain ->
+    Engine.request_drain eng;
+    Protocol.ok_reply "\"draining\":true"
+
+(* Read one request line from an accepted connection (bounded, with a
+   receive timeout so a stalled client cannot wedge the scheduler),
+   reply, close. *)
+let serve_one eng conn =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close conn with Unix.Unix_error _ -> ())
+    (fun () ->
+      (try
+         Unix.setsockopt_float conn Unix.SO_RCVTIMEO 2.0;
+         Unix.setsockopt_float conn Unix.SO_SNDTIMEO 2.0
+       with Unix.Unix_error _ -> ());
+      let buf = Buffer.create 512 in
+      let chunk = Bytes.create 4096 in
+      let rec recv () =
+        if Buffer.length buf > 1_048_576 then ()
+        else
+          match Unix.read conn chunk 0 (Bytes.length chunk) with
+          | 0 -> ()
+          | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            if not (String.contains (Buffer.contents buf) '\n') then recv ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv ()
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+            -> ()
+      in
+      recv ();
+      let line =
+        let s = Buffer.contents buf in
+        match String.index_opt s '\n' with
+        | Some i -> String.sub s 0 i
+        | None -> s
+      in
+      if String.trim line <> "" then begin
+        let reply = handle_request eng line ^ "\n" in
+        let payload = Bytes.of_string reply in
+        let rec send off =
+          if off < Bytes.length payload then
+            match Unix.write conn payload off (Bytes.length payload - off) with
+            | n -> send (off + n)
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> send off
+            | exception Unix.Unix_error _ -> ()
+        in
+        send 0
+      end)
+
+(* A socket file can be left behind by a killed daemon.  If something
+   answers a connect it is live — refuse to fight it; otherwise the
+   socket is stale and safe to replace. *)
+let claim_socket path =
+  if Sys.file_exists path then begin
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if live then
+      Error (Printf.sprintf "a daemon is already listening on %s" path)
+    else begin
+      (try Sys.remove path with Sys_error _ -> ());
+      Ok ()
+    end
+  end
+  else Ok ()
+
+let install_signals () =
+  Atomic.set drain_flag false;
+  let drain _ = Atomic.set drain_flag true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle drain);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle drain);
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ())
+
+let serve cfg =
+  match Engine.create cfg.d_engine with
+  | Error msg -> Error msg
+  | Ok eng -> (
+    match claim_socket cfg.d_socket with
+    | Error msg ->
+      Engine.abandon eng;
+      Error msg
+    | Ok () ->
+      let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind sock (Unix.ADDR_UNIX cfg.d_socket);
+      Unix.listen sock 16;
+      install_signals ();
+      Printf.eprintf "mdsim: serving on %s (dir %s, pid %d)\n%!" cfg.d_socket
+        cfg.d_engine.Engine.cfg_dir (Unix.getpid ());
+      let cleanup () =
+        (try Unix.close sock with Unix.Unix_error _ -> ());
+        try Sys.remove cfg.d_socket with Sys_error _ -> ()
+      in
+      let rec loop () =
+        if Atomic.get drain_flag then Engine.request_drain eng;
+        if Engine.draining eng then begin
+          Printf.eprintf
+            "mdsim: draining: checkpointing in-flight jobs and flushing \
+             the ledger\n%!";
+          Engine.shutdown eng;
+          cleanup ();
+          Ok ()
+        end
+        else begin
+          let now = Unix.gettimeofday () in
+          let timeout =
+            if Engine.has_runnable eng ~now then 0.0
+            else
+              (* idle, or every live job is gated by retry backoff:
+                 sleep until the gate (capped) so backoff is honored
+                 without a busy loop *)
+              match Engine.next_eligible eng with
+              | Some e when e > now -> Float.min 0.25 (e -. now)
+              | Some _ -> 0.05
+              | None -> 0.25
+          in
+          (match Unix.select [ sock ] [] [] timeout with
+          | [ _ ], _, _ ->
+            let conn, _ = Unix.accept sock in
+            serve_one eng conn
+          | _ -> ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          ignore (Engine.tick eng ~now:(Unix.gettimeofday ()));
+          loop ()
+        end
+      in
+      loop ())

@@ -1,0 +1,19 @@
+(** Unix-domain socket daemon over {!Engine}.
+
+    One cooperative loop alternates one accepted request with one engine
+    tick; SIGTERM/SIGINT request a drain that lands on a durable segment
+    boundary (checkpoints flushed, [drained] ledger records appended)
+    before a clean exit. *)
+
+type config = {
+  d_socket : string;
+  d_engine : Engine.config;
+}
+
+val handle_request : Engine.t -> string -> string
+(** Parse one request line and run it; always returns a reply line.
+    Exposed for tests driving an engine without a socket. *)
+
+val serve : config -> (unit, string) result
+(** Run the daemon until drained ([Ok]) or startup fails ([Error]:
+    locked serve dir, live socket, unreadable ledger). *)

@@ -1,0 +1,103 @@
+(* The serve wire protocol: one JSON request per connection, one JSON
+   reply, over a Unix-domain stream socket.
+
+     {"op":"ping"}
+     {"op":"submit","id":"eq-1","tenant":"alice","atoms":256,...}
+     {"op":"status"}            {"op":"status","job":"eq-1"}
+     {"op":"cancel","job":"eq-1"}
+     {"op":"tail","job":"eq-1","limit":20}
+     {"op":"drain"}
+
+   Submit carries the jobspec fields at top level (same names as the
+   ledger's [spec] object); absent fields take the submit defaults.
+   Replies are `{"ok":true,...}` or `{"ok":false,"error":"..."}`. *)
+
+module Minijson = Sim_util.Minijson
+
+type request =
+  | Ping
+  | Submit of Ledger.jobspec
+  | Status of string option
+  | Cancel of string
+  | Tail of string * int
+  | Drain
+
+let jstr_of j name = Option.bind (Minijson.member name j) Minijson.to_string
+
+let jint_of j name =
+  match Option.bind (Minijson.member name j) Minijson.to_float with
+  | Some f -> Some (int_of_float f)
+  | None -> None
+
+let parse_request line =
+  match Minijson.parse line with
+  | exception Minijson.Parse_error msg -> Error ("bad request: " ^ msg)
+  | j -> (
+    match jstr_of j "op" with
+    | Some "ping" -> Ok Ping
+    | Some "submit" ->
+      let id = Option.value ~default:"" (jstr_of j "id") in
+      Ok (Submit (Ledger.spec_of_json ~id j))
+    | Some "status" -> Ok (Status (jstr_of j "job"))
+    | Some "cancel" -> (
+      match jstr_of j "job" with
+      | Some job -> Ok (Cancel job)
+      | None -> Error "cancel needs a \"job\" field")
+    | Some "tail" ->
+      Ok
+        (Tail
+           ( Option.value ~default:"" (jstr_of j "job"),
+             Option.value ~default:20 (jint_of j "limit") ))
+    | Some "drain" -> Ok Drain
+    | Some other -> Error (Printf.sprintf "unknown op %S" other)
+    | None -> Error "request without \"op\"")
+
+let ok_reply fields =
+  match fields with
+  | "" -> "{\"ok\":true}"
+  | f -> Printf.sprintf "{\"ok\":true,%s}" f
+
+let error_reply msg =
+  Printf.sprintf "{\"ok\":false,\"error\":\"%s\"}" (Mdobs.json_escape msg)
+
+(* --- client side --- *)
+
+(* One request/one reply over the daemon socket.  Sends the line, half-
+   closes, reads to the reply's newline (or EOF). *)
+let roundtrip ~socket line =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error
+      (Printf.sprintf "cannot reach daemon at %s: %s" socket
+         (Unix.error_message e))
+  | () ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let payload = Bytes.of_string (line ^ "\n") in
+        let rec send off =
+          if off < Bytes.length payload then
+            send (off + Unix.write fd payload off (Bytes.length payload - off))
+        in
+        send 0;
+        (try Unix.shutdown fd Unix.SHUTDOWN_SEND
+         with Unix.Unix_error _ -> ());
+        let buf = Buffer.create 256 in
+        let chunk = Bytes.create 4096 in
+        let rec recv () =
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> ()
+          | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            if not (String.contains (Buffer.contents buf) '\n') then recv ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv ()
+        in
+        recv ();
+        match String.index_opt (Buffer.contents buf) '\n' with
+        | Some i -> Ok (String.sub (Buffer.contents buf) 0 i)
+        | None -> (
+          match Buffer.contents buf with
+          | "" -> Error "daemon closed the connection without a reply"
+          | s -> Ok s))

@@ -1,0 +1,27 @@
+(** Serve wire protocol: one JSON request per connection, one JSON
+    reply, over a Unix-domain stream socket.
+
+    Requests are single-line JSON objects with an ["op"] field —
+    [ping], [submit] (jobspec fields at top level, absent fields take
+    submit defaults), [status] (optionally one ["job"]), [cancel],
+    [tail], [drain].  Replies are [{"ok":true,...}] or
+    [{"ok":false,"error":"..."}]. *)
+
+type request =
+  | Ping
+  | Submit of Ledger.jobspec
+  | Status of string option
+  | Cancel of string
+  | Tail of string * int  (** job ("" = all), limit *)
+  | Drain
+
+val parse_request : string -> (request, string) result
+
+val ok_reply : string -> string
+(** [ok_reply fields] is [{"ok":true,<fields>}]; [""] for a bare ok. *)
+
+val error_reply : string -> string
+
+val roundtrip : socket:string -> string -> (string, string) result
+(** Client side: send one request line to the daemon socket, return the
+    reply line. *)

@@ -505,6 +505,36 @@ let on_resume ~completed =
     st.interval <- Mdprof.Interval.create ()
 
 (* ------------------------------------------------------------------ *)
+(* Per-job multiplexing                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The serve daemon interleaves segments of many jobs inside one
+   process, but the telemetry singleton serves one run at a time.  The
+   daemon therefore opens a job's stream around each of its segments:
+   [open_job] goes through the resume path unconditionally — reconcile
+   the file with the job's checkpointed step (a no-op for a fresh file),
+   reopen in append mode, rebase the delta baseline on the just-restored
+   Mdprof cells — so a job's stream grows exactly as a kill-9 + --resume
+   sequence would grow a single-shot run's, and [close_job] flushes and
+   releases the singleton for the next job's segment. *)
+module Mux = struct
+  let open_job ~path ~every ~total ~completed =
+    install
+      { tel_path = Some path;
+        tel_every = every;
+        tel_total_steps = total;
+        tel_progress = false;
+        tel_deadline = None;
+        tel_stall_s = default_stall_s;
+        tel_resume = true };
+    on_resume ~completed;
+    set_total total;
+    set_buffered true
+
+  let close_job () = uninstall ()
+end
+
+(* ------------------------------------------------------------------ *)
 (* Stream analysis                                                     *)
 (* ------------------------------------------------------------------ *)
 

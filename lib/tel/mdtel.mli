@@ -119,6 +119,23 @@ val on_resume : completed:int -> unit
     reopen it in append mode, rebase the delta baseline on the (just
     restored) cumulative counter state, and continue. *)
 
+(** {1 Per-job multiplexing} — the serve daemon's view of the
+    singleton: one stream open at a time, swapped per job segment. *)
+
+module Mux : sig
+  val open_job :
+    path:string -> every:int -> total:int -> completed:int -> unit
+  (** Attach telemetry to one job around a segment: install with the
+      resume protocol (the existing file is reconciled to [completed]
+      and appended to; a fresh file starts empty), rebase the counter
+      delta baseline on the currently restored {!Mdprof} cells, and
+      enable segment buffering.  Call {e after} restoring the job's
+      fault/counter state and {e before} running its segment. *)
+
+  val close_job : unit -> unit
+  (** Flush and close the job's stream and release the singleton. *)
+end
+
 (** {1 Stream analysis} — pure functions over file contents, shared by
     the [mdsim tail] / [mdsim report diff] subcommands and the tests. *)
 

@@ -504,12 +504,18 @@ let manifest_entry ~id ~status =
         figure = Some "fig";
         virtual_seconds = [ ("opteron", 0.25) ] } }
 
+let open_manifest ~path ~key =
+  match Harness.Manifest.load_or_create ~path ~key with
+  | Ok m -> m
+  | Error msg -> Alcotest.failf "manifest open failed: %s" msg
+
 let test_manifest_roundtrip_and_reuse () =
   let path = Filename.concat (fresh_dir ()) "manifest.bin" in
-  let m = Harness.Manifest.load_or_create ~path ~key:"k1" in
+  let m = open_manifest ~path ~key:"k1" in
   Harness.Manifest.record m (manifest_entry ~id:"table1" ~status:"ok");
   Harness.Manifest.record m (manifest_entry ~id:"fig5" ~status:"degraded");
-  let m2 = Harness.Manifest.load_or_create ~path ~key:"k1" in
+  Harness.Manifest.close m;
+  let m2 = open_manifest ~path ~key:"k1" in
   Alcotest.(check int) "both entries persisted" 2
     (Harness.Manifest.entry_count m2);
   (match Harness.Manifest.find m2 "table1" with
@@ -521,25 +527,51 @@ let test_manifest_roundtrip_and_reuse () =
   | None -> Alcotest.fail "finished entry not reusable");
   (* degraded entries are retried, not reused *)
   Alcotest.(check bool) "degraded entry is not reusable" true
-    (Harness.Manifest.find m2 "fig5" = None)
+    (Harness.Manifest.find m2 "fig5" = None);
+  Harness.Manifest.close m2
+
+(* The manifest is single-writer: while one holder has it open, a second
+   load_or_create — same process or another — must fail with a one-line
+   error rather than hand out a manifest whose rewrites would
+   interleave. *)
+let test_manifest_second_writer_rejected () =
+  let path = Filename.concat (fresh_dir ()) "manifest.bin" in
+  let m = open_manifest ~path ~key:"k1" in
+  (match Harness.Manifest.load_or_create ~path ~key:"k1" with
+  | Ok _ -> Alcotest.fail "second manifest writer should have been rejected"
+  | Error msg ->
+    let contains sub =
+      let n = String.length sub and m = String.length msg in
+      let rec go i =
+        i + n <= m && (String.sub msg i n = sub || go (i + 1))
+      in
+      go 0
+    in
+    Alcotest.(check bool) "error mentions lock" true (contains "lock"));
+  Harness.Manifest.close m;
+  let m2 = open_manifest ~path ~key:"k1" in
+  Harness.Manifest.close m2
 
 let test_manifest_rejects_wrong_key_and_corruption () =
   let dir = fresh_dir () in
   let path = Filename.concat dir "manifest.bin" in
-  let m = Harness.Manifest.load_or_create ~path ~key:"k1" in
+  let m = open_manifest ~path ~key:"k1" in
   Harness.Manifest.record m (manifest_entry ~id:"table1" ~status:"ok");
+  Harness.Manifest.close m;
   (* a different configuration key must not reuse anything *)
-  let other = Harness.Manifest.load_or_create ~path ~key:"k2" in
+  let other = open_manifest ~path ~key:"k2" in
   Alcotest.(check int) "foreign-key entries dropped" 0
     (Harness.Manifest.entry_count other);
+  Harness.Manifest.close other;
   (* corrupt file: one-line rejection, treated as empty *)
   let oc = open_out_gen [ Open_wronly; Open_binary ] 0o644 path in
   seek_out oc 40;
   output_string oc "\xff\xff\xff\xff";
   close_out oc;
-  let recovered = Harness.Manifest.load_or_create ~path ~key:"k1" in
+  let recovered = open_manifest ~path ~key:"k1" in
   Alcotest.(check int) "corrupt manifest treated as empty" 0
-    (Harness.Manifest.entry_count recovered)
+    (Harness.Manifest.entry_count recovered);
+  Harness.Manifest.close recovered
 
 let test_manifest_resume_skips_finished () =
   let ctx = Harness.Context.create ~scale:Harness.Context.quick_scale () in
@@ -549,11 +581,12 @@ let test_manifest_resume_skips_finished () =
     | None -> Alcotest.fail "table1 experiment missing"
   in
   let path = Filename.concat (fresh_dir ()) "manifest.bin" in
-  let m = Harness.Manifest.load_or_create ~path ~key:"quick" in
+  let m = open_manifest ~path ~key:"quick" in
   let first = Harness.Report.run_list_classified ~manifest:m ctx [ e ] in
+  Harness.Manifest.close m;
   (* second run must reuse the entry: plant a marker title to prove the
      stored result (not a re-run) is returned *)
-  let m2 = Harness.Manifest.load_or_create ~path ~key:"quick" in
+  let m2 = open_manifest ~path ~key:"quick" in
   (match Harness.Manifest.find m2 "table1" with
   | Some entry ->
     Harness.Manifest.record m2
@@ -562,8 +595,10 @@ let test_manifest_resume_skips_finished () =
           { entry.Harness.Manifest.ent_outcome with
             Harness.Experiment.title = "FROM-MANIFEST" } }
   | None -> Alcotest.fail "entry missing after first run");
-  let m3 = Harness.Manifest.load_or_create ~path ~key:"quick" in
+  Harness.Manifest.close m2;
+  let m3 = open_manifest ~path ~key:"quick" in
   let second = Harness.Report.run_list_classified ~manifest:m3 ctx [ e ] in
+  Harness.Manifest.close m3;
   (match (first, second) with
   | [ a ], [ b ] ->
     Alcotest.(check bool) "first run executed (not from manifest)" false
@@ -616,5 +651,7 @@ let tests =
         test_manifest_roundtrip_and_reuse;
       Alcotest.test_case "manifest rejects wrong key / corruption" `Quick
         test_manifest_rejects_wrong_key_and_corruption;
+      Alcotest.test_case "manifest second writer rejected" `Quick
+        test_manifest_second_writer_rejected;
       Alcotest.test_case "manifest resume skips finished" `Quick
         test_manifest_resume_skips_finished ] )

@@ -21,4 +21,5 @@ let () =
       Test_fault.tests;
       Test_harness.tests;
       Test_ckpt.tests;
-      Test_tel.tests ]
+      Test_tel.tests;
+      Test_serve.tests ]
