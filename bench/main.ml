@@ -365,6 +365,67 @@ let test_ablation_tel =
                  let s = Mdcore.Init.build ~n:bench_atoms () in
                  Mdports.Opteron_port.run ~steps:2 s))) ]
 
+(* Storage-shim ablation (Mdio): the two durable-write shapes every
+   writer reduces to — atomic replace (tmp + fsync + rename) and
+   append + fsync — with no fault plan vs a plan whose io rates are all
+   zero.  The acceptance bar is the zero-rate path within noise of the
+   direct path: with every rate at zero the shim takes the no-draw
+   fast path and issues exactly the same syscalls. *)
+let io_bench_dir =
+  lazy
+    (let dir =
+       Filename.concat
+         (Filename.get_temp_dir_name ())
+         (Printf.sprintf "mdsim-bench-io-%d" (Unix.getpid ()))
+     in
+     (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+     dir)
+
+let io_zero_spec =
+  lazy
+    (match
+       Mdfault.parse_spec
+         "io-short-write:0,io-eio:0,io-enospc:0,io-fsync-fail:0,io-rename-fail:0"
+     with
+    | Ok s -> s
+    | Error msg -> failwith msg)
+
+let io_payload = String.make 4096 'x'
+
+let test_ablation_io =
+  let atomic_path =
+    lazy (Filename.concat (Lazy.force io_bench_dir) "atomic.bin")
+  in
+  let append_handle suffix =
+    lazy
+      (Mdio.openw ~append:true
+         (Filename.concat (Lazy.force io_bench_dir) ("append-" ^ suffix)))
+  in
+  let direct_h = append_handle "direct" and zero_h = append_handle "zero" in
+  let under_zero_plan f =
+    Mdfault.install (Lazy.force io_zero_spec);
+    Fun.protect ~finally:Mdfault.uninstall f
+  in
+  Test.make_grouped ~name:"ablation-io"
+    [ Test.make ~name:"write-atomic-direct"
+        (Staged.stage (fun () ->
+             Mdio.write_atomic ~path:(Lazy.force atomic_path) io_payload));
+      Test.make ~name:"write-atomic-zero-rate"
+        (Staged.stage (fun () ->
+             under_zero_plan (fun () ->
+                 Mdio.write_atomic ~path:(Lazy.force atomic_path) io_payload)));
+      Test.make ~name:"append-fsync-direct"
+        (Staged.stage (fun () ->
+             let h = Lazy.force direct_h in
+             Mdio.write h io_payload;
+             Mdio.fsync h));
+      Test.make ~name:"append-fsync-zero-rate"
+        (Staged.stage (fun () ->
+             under_zero_plan (fun () ->
+                 let h = Lazy.force zero_h in
+                 Mdio.write h io_payload;
+                 Mdio.fsync h))) ]
+
 let test_substrates =
   let rng = Sim_util.Rng.create 7 in
   let seq_a = Seqalign.Dna.random rng ~length:64 in
@@ -392,7 +453,7 @@ let all_tests =
       test_ablation_pool; test_ablation_pairlist_build; test_ablation_skin;
       test_pairlist_vs_brute; test_ablation_obs;
       test_ablation_fault; test_ablation_ckpt; test_ablation_tel;
-      test_substrates ]
+      test_ablation_io; test_substrates ]
 
 (* Bechamel sampling config, surfaced in the results metadata so a
    baseline records how many samples produced it. *)

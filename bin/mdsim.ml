@@ -1022,10 +1022,23 @@ let socket_arg' =
     & opt string (Filename.concat "mdsim-serve" "serve.sock")
     & info [ "socket" ] ~docv:"PATH" ~doc)
 
+let connect_retries_arg =
+  let doc =
+    "Connect retries when the daemon socket is missing or refusing \
+     (exponential backoff from 50 ms); scripts racing a daemon start \
+     should raise this."
+  in
+  Arg.(value & opt int 5 & info [ "connect-retries" ] ~docv:"N" ~doc)
+
+let connect_timeout_arg =
+  let doc = "Overall connect retry window, seconds." in
+  Arg.(
+    value & opt float 10.0 & info [ "connect-timeout" ] ~docv:"SECONDS" ~doc)
+
 (* Job client: send one request line, print the reply JSON, exit 0/1 by
    its "ok" field. *)
-let client_exec ~socket request =
-  match Mdserve.Protocol.roundtrip ~socket request with
+let client_exec ~socket ~retries ~timeout request =
+  match Mdserve.Protocol.roundtrip ~retries ~timeout ~socket request with
   | Error msg ->
     Printf.eprintf "mdsim: %s\n" msg;
     exit 1
@@ -1114,9 +1127,9 @@ let job_cmd =
         & opt (some int) None
         & info [ "telemetry-every" ] ~docv:"STEPS")
     in
-    let action socket id tenant priority device engine atoms steps seed
-        density temperature skin every keep faults deadline telemetry
-        tel_every =
+    let action socket retries timeout id tenant priority device engine
+        atoms steps seed density temperature skin every keep faults
+        deadline telemetry tel_every =
       let b = Buffer.create 256 in
       Buffer.add_string b "{\"op\":\"submit\"";
       let str k v = Printf.bprintf b ",\"%s\":\"%s\"" k (jescape v) in
@@ -1140,19 +1153,20 @@ let job_cmd =
       if telemetry then Buffer.add_string b ",\"telemetry\":true";
       int "tel_every" (Option.value tel_every ~default:every);
       Buffer.add_char b '}';
-      client_exec ~socket (Buffer.contents b)
+      client_exec ~socket ~retries ~timeout (Buffer.contents b)
     in
     let doc = "Submit a checkpointed job to the daemon." in
     Cmd.v (Cmd.info "submit" ~doc)
       Term.(
-        const action $ socket_arg' $ id_arg $ tenant_arg $ priority_arg
+        const action $ socket_arg' $ connect_retries_arg
+        $ connect_timeout_arg $ id_arg $ tenant_arg $ priority_arg
         $ device_arg $ engine_arg $ atoms_arg $ steps_arg $ seed_arg
         $ density_arg $ temperature_arg $ skin_arg $ every_arg $ keep_arg
         $ faults_arg $ deadline_arg $ telemetry_arg $ tel_every_arg)
   in
   let status_cmd =
-    let action socket job =
-      client_exec ~socket
+    let action socket retries timeout job =
+      client_exec ~socket ~retries ~timeout
         (match job with
         | Some id -> Printf.sprintf "{\"op\":\"status\",\"job\":\"%s\"}"
                        (jescape id)
@@ -1160,49 +1174,126 @@ let job_cmd =
     in
     let doc = "Queue status, or one job's when $(i,JOB) is given." in
     Cmd.v (Cmd.info "status" ~doc)
-      Term.(const action $ socket_arg' $ job_pos_arg)
+      Term.(
+        const action $ socket_arg' $ connect_retries_arg
+        $ connect_timeout_arg $ job_pos_arg)
   in
   let cancel_cmd =
     let job_req_arg =
       Arg.(required & pos 0 (some string) None & info [] ~docv:"JOB")
     in
-    let action socket job =
-      client_exec ~socket
+    let action socket retries timeout job =
+      client_exec ~socket ~retries ~timeout
         (Printf.sprintf "{\"op\":\"cancel\",\"job\":\"%s\"}" (jescape job))
     in
     let doc = "Cancel a queued or running job at its next segment boundary." in
     Cmd.v (Cmd.info "cancel" ~doc)
-      Term.(const action $ socket_arg' $ job_req_arg)
+      Term.(
+        const action $ socket_arg' $ connect_retries_arg
+        $ connect_timeout_arg $ job_req_arg)
   in
   let tail_cmd =
     let limit_arg =
       Arg.(value & opt int 20 & info [ "limit" ] ~docv:"N")
     in
-    let action socket job limit =
-      client_exec ~socket
+    let action socket retries timeout job limit =
+      client_exec ~socket ~retries ~timeout
         (Printf.sprintf "{\"op\":\"tail\",\"job\":\"%s\",\"limit\":%d}"
            (jescape (Option.value job ~default:"")) limit)
     in
     let doc = "Last ledger records, optionally for one $(i,JOB)." in
     Cmd.v (Cmd.info "tail" ~doc)
-      Term.(const action $ socket_arg' $ job_pos_arg $ limit_arg)
+      Term.(
+        const action $ socket_arg' $ connect_retries_arg
+        $ connect_timeout_arg $ job_pos_arg $ limit_arg)
   in
   let drain_cmd =
-    let action socket = client_exec ~socket "{\"op\":\"drain\"}" in
+    let action socket retries timeout =
+      client_exec ~socket ~retries ~timeout "{\"op\":\"drain\"}"
+    in
     let doc =
       "Ask the daemon to drain: finish the in-flight segment, \
        checkpoint every live job, flush the ledger, exit."
     in
-    Cmd.v (Cmd.info "drain" ~doc) Term.(const action $ socket_arg')
+    Cmd.v (Cmd.info "drain" ~doc)
+      Term.(
+        const action $ socket_arg' $ connect_retries_arg
+        $ connect_timeout_arg)
   in
   let ping_cmd =
-    let action socket = client_exec ~socket "{\"op\":\"ping\"}" in
+    let action socket retries timeout =
+      client_exec ~socket ~retries ~timeout "{\"op\":\"ping\"}"
+    in
     let doc = "Liveness check." in
-    Cmd.v (Cmd.info "ping" ~doc) Term.(const action $ socket_arg')
+    Cmd.v (Cmd.info "ping" ~doc)
+      Term.(
+        const action $ socket_arg' $ connect_retries_arg
+        $ connect_timeout_arg)
   in
   let doc = "Client operations against a running $(b,mdsim serve) daemon." in
   Cmd.group (Cmd.info "job" ~doc)
     [ submit_cmd; status_cmd; cancel_cmd; tail_cmd; drain_cmd; ping_cmd ]
+
+let crashcheck_cmd =
+  let dir_arg =
+    let doc = "Scratch root for the reference pass and per-op trials." in
+    Arg.(value & opt string "mdsim-crashcheck" & info [ "dir" ] ~docv:"DIR" ~doc)
+  in
+  let mode_arg =
+    let doc =
+      "What to sweep: $(b,serve) (the full daemon: ledger, checkpoints, \
+       artifacts, telemetry) or $(b,run) (the single-shot segmented \
+       runner)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("serve", Mdserve.Crashcheck.Serve);
+                    ("run", Mdserve.Crashcheck.Run) ])
+          Mdserve.Crashcheck.Serve
+      & info [ "mode" ] ~docv:"MODE" ~doc)
+  in
+  let jobs_arg =
+    let doc = "Jobs in the serve-mode queue (two tenants)." in
+    Arg.(value & opt int 3 & info [ "jobs" ] ~docv:"N" ~doc)
+  in
+  let atoms_arg = Arg.(value & opt int 128 & info [ "atoms" ] ~docv:"N") in
+  let steps_arg = Arg.(value & opt int 12 & info [ "steps" ] ~docv:"N") in
+  let every_arg =
+    let doc = "Checkpoint segment length in steps." in
+    Arg.(value & opt int 4 & info [ "every" ] ~docv:"STEPS" ~doc)
+  in
+  let limit_arg =
+    let doc = "Sweep only the first $(docv) op indices (default: all)." in
+    Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"K" ~doc)
+  in
+  let verbose_arg =
+    let doc = "Per-trial progress on stderr." in
+    Arg.(value & flag & info [ "verbose" ] ~doc)
+  in
+  let action dir mode jobs atoms steps every limit verbose =
+    let cfg =
+      { Mdserve.Crashcheck.cc_dir = dir; cc_mode = mode; cc_jobs = jobs;
+        cc_atoms = atoms; cc_steps = steps; cc_every = every;
+        cc_limit = limit; cc_verbose = verbose }
+    in
+    match Mdserve.Crashcheck.run cfg with
+    | Ok summary -> print_endline summary
+    | Error msg ->
+      Printf.eprintf "mdsim: crashcheck: %s\n" msg;
+      exit 1
+  in
+  let doc =
+    "Exhaustive crash-point consistency sweep: run a reference \
+     serve/run scenario counting every durable I/O operation through \
+     the Mdio shim, then re-run it once per operation index with a \
+     simulated process death armed there, recover with \
+     $(b,--resume-queue) semantics, and verify no acked job is lost or \
+     duplicated and every artifact converges byte-identically."
+  in
+  Cmd.v (Cmd.info "crashcheck" ~doc)
+    Term.(
+      const action $ dir_arg $ mode_arg $ jobs_arg $ atoms_arg $ steps_arg
+      $ every_arg $ limit_arg $ verbose_arg)
 
 let main_cmd =
   let doc =
@@ -1211,6 +1302,6 @@ let main_cmd =
   in
   Cmd.group (Cmd.info "mdsim" ~version:"1.0.0" ~doc)
     [ run_cmd; experiment_cmd; profile_cmd; list_cmd; devices_cmd;
-      align_cmd; tail_cmd; report_cmd; serve_cmd; job_cmd ]
+      align_cmd; tail_cmd; report_cmd; serve_cmd; job_cmd; crashcheck_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

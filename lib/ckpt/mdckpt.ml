@@ -398,7 +398,10 @@ let dec_fault r =
         rates;
         policy =
           { Mdfault.max_retries; base_backoff_s; backoff_multiplier;
-            watchdog_limit } };
+            watchdog_limit };
+        (* never persisted: a crash point belongs to the process that
+           armed it, not to the resumed run *)
+        io_crash_at = None };
     cs_streams;
     cs_recovered_steps }
 
@@ -619,20 +622,11 @@ let rec mkdir_p dir =
 
 (* tmp + fsync + rename + directory fsync: after [write_atomic] returns,
    either the old file or the complete new file survives a crash — never
-   a torn write. *)
-let write_atomic ~path data =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  output_string oc data;
-  flush oc;
-  Unix.fsync (Unix.descr_of_out_channel oc);
-  close_out oc;
-  Sys.rename tmp path;
-  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
-  | fd ->
-    (try Unix.fsync fd with Unix.Unix_error _ -> ());
-    Unix.close fd
-  | exception Unix.Unix_error _ -> ()
+   a torn write.  Routed through the Mdio shim, so every one of its six
+   syscalls is a counted crash point and a storage-fault site; on an
+   injected (or real) error the .tmp is cleaned up, while a simulated
+   crash leaves it behind exactly as kill -9 would. *)
+let write_atomic ~path data = Mdio.write_atomic ~path data
 
 let generation_of_filename name =
   if
@@ -658,8 +652,26 @@ let gc ~dir ~keep =
   let gens = List.rev (generations ~dir) in
   List.iteri
     (fun i (_, path) ->
-      if i >= keep then try Sys.remove path with Sys_error _ -> ())
-    gens
+      if i >= keep then
+        try Mdio.remove path with
+        | Unix.Unix_error _ | Sys_error _ -> ())
+    gens;
+  (* Stale write_atomic temporaries — left by a crash mid-save — are
+     never valid generations ([generation_of_filename] rejects them),
+     so the first post-recovery GC sweeps them out. *)
+  (match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | names ->
+    Array.iter
+      (fun name ->
+        if
+          String.length name > 5
+          && String.sub name 0 5 = "ckpt-"
+          && Filename.check_suffix name ".mdsim.tmp"
+        then
+          try Mdio.remove (Filename.concat dir name) with
+          | Unix.Unix_error _ | Sys_error _ -> ())
+      names)
 
 let save ~dir st =
   mkdir_p dir;

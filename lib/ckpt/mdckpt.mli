@@ -89,8 +89,10 @@ val decode_container :
 
 val write_atomic : path:string -> string -> unit
 (** Durable atomic replace: write to [path ^ ".tmp"], fsync, rename over
-    [path], fsync the directory.  A crash leaves either the old or the
-    complete new file, never a torn write. *)
+    [path], fsync the directory — all through the {!Mdio} shim, so each
+    syscall is a counted crash point and a storage-fault site.  A crash
+    leaves either the old or the complete new file, never a torn write;
+    an I/O error cleans up the [.tmp] before re-raising. *)
 
 (** {1 Run state} *)
 

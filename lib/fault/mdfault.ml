@@ -11,9 +11,19 @@ type site =
   | Gpu_texture
   | Mta_retry
   | Mem_bitflip
+  | Io_short_write
+  | Io_eio
+  | Io_enospc
+  | Io_fsync_fail
+  | Io_rename_fail
 
-let all_sites =
+let device_sites =
   [ Cell_dma; Cell_mailbox; Gpu_pcie; Gpu_texture; Mta_retry; Mem_bitflip ]
+
+let io_sites =
+  [ Io_short_write; Io_eio; Io_enospc; Io_fsync_fail; Io_rename_fail ]
+
+let all_sites = device_sites @ io_sites
 
 let site_name = function
   | Cell_dma -> "cell-dma"
@@ -22,6 +32,11 @@ let site_name = function
   | Gpu_texture -> "gpu-texture"
   | Mta_retry -> "mta-retry"
   | Mem_bitflip -> "mem-bitflip"
+  | Io_short_write -> "io-short-write"
+  | Io_eio -> "io-eio"
+  | Io_enospc -> "io-enospc"
+  | Io_fsync_fail -> "io-fsync-fail"
+  | Io_rename_fail -> "io-rename-fail"
 
 let site_of_name name =
   List.find_opt (fun s -> site_name s = name) all_sites
@@ -43,7 +58,14 @@ let default_policy =
     backoff_multiplier = 2.0;
     watchdog_limit = 64 }
 
-type spec = { seed : int; rates : (site * float) list; policy : policy }
+type spec = {
+  seed : int;
+  rates : (site * float) list;
+  policy : policy;
+  io_crash_at : int option;
+      (* simulated process death at the k-th Mdio op (0-based); a
+         process-lifetime property, never checkpointed *)
+}
 
 let spec_rate spec site =
   match List.assoc_opt site spec.rates with Some r -> r | None -> 0.0
@@ -51,7 +73,7 @@ let spec_rate spec site =
 let parse_spec text =
   let ( let* ) = Result.bind in
   let parse_item acc item =
-    let* seed, rates, policy = acc in
+    let* seed, rates, policy, crash = acc in
     let item = String.trim item in
     if item = "" then Error "empty item in fault spec"
     else
@@ -63,24 +85,34 @@ let parse_spec text =
           match key with
           | "seed" -> begin
             match int_of_string_opt v with
-            | Some s -> Ok (s, rates, policy)
+            | Some s -> Ok (s, rates, policy, crash)
             | None -> Error (Printf.sprintf "seed=%s is not an integer" v)
           end
           | "retries" -> begin
             match int_of_string_opt v with
-            | Some r when r >= 0 -> Ok (seed, rates, { policy with max_retries = r })
+            | Some r when r >= 0 ->
+              Ok (seed, rates, { policy with max_retries = r }, crash)
             | _ -> Error (Printf.sprintf "retries=%s must be a non-negative integer" v)
           end
           | "backoff" -> begin
             match float_of_string_opt v with
             | Some b when Float.is_finite b && b >= 0.0 ->
-              Ok (seed, rates, { policy with base_backoff_s = b })
+              Ok (seed, rates, { policy with base_backoff_s = b }, crash)
             | _ -> Error (Printf.sprintf "backoff=%s must be a finite non-negative number of seconds" v)
           end
           | "watchdog" -> begin
             match int_of_string_opt v with
-            | Some w when w > 0 -> Ok (seed, rates, { policy with watchdog_limit = w })
+            | Some w when w > 0 ->
+              Ok (seed, rates, { policy with watchdog_limit = w }, crash)
             | _ -> Error (Printf.sprintf "watchdog=%s must be a positive integer" v)
+          end
+          | "io-crash-point" -> begin
+            match int_of_string_opt v with
+            | Some k when k >= 0 -> Ok (seed, rates, policy, Some k)
+            | _ ->
+              Error
+                (Printf.sprintf
+                   "io-crash-point=%s must be a non-negative I/O-op index" v)
           end
           | _ -> Error (Printf.sprintf "unknown fault option %S" key)
         end
@@ -104,7 +136,10 @@ let parse_spec text =
                    name)
           in
           let* sites =
-            if name = "all" then Ok all_sites
+            (* "all" covers the device sites only: storage faults are
+               opt-in per site, so existing all:RATE plans keep their
+               exact historical meaning (and bytes). *)
+            if name = "all" then Ok device_sites
             else
               match site_of_name name with
               | Some s -> Ok [ s ]
@@ -118,14 +153,14 @@ let parse_spec text =
               (fun rates s -> (s, rate) :: List.remove_assoc s rates)
               rates sites
           in
-          Ok (seed, rates, policy)
+          Ok (seed, rates, policy, crash)
       end
   in
   let items = String.split_on_char ',' text in
-  let* seed, rates, policy =
-    List.fold_left parse_item (Ok (42, [], default_policy)) items
+  let* seed, rates, policy, io_crash_at =
+    List.fold_left parse_item (Ok (42, [], default_policy, None)) items
   in
-  Ok { seed; rates; policy }
+  Ok { seed; rates; policy; io_crash_at }
 
 (* Canonical spec text: parseable by [parse_spec] and stable for a given
    spec, so checkpoints can persist the active plan as one line.  Only
@@ -136,6 +171,9 @@ let spec_to_string spec =
     (Printf.sprintf "seed=%d,retries=%d,backoff=%.17g,watchdog=%d" spec.seed
        spec.policy.max_retries spec.policy.base_backoff_s
        spec.policy.watchdog_limit);
+  (match spec.io_crash_at with
+  | Some k -> Buffer.add_string buf (Printf.sprintf ",io-crash-point=%d" k)
+  | None -> ());
   List.iter
     (fun site ->
       let r = spec_rate spec site in
@@ -512,7 +550,10 @@ let capture_state () =
       |> List.map capture
     in
     Some
-      { cs_spec = plan.spec;
+      (* [io_crash_at] is a property of this process's lifetime (the
+         simulated kill), not of the simulation: a resumed run must not
+         re-crash at the recorded op, so the capture clears it. *)
+      { cs_spec = { plan.spec with io_crash_at = None };
         cs_streams = streams;
         cs_recovered_steps = Atomic.get plan.recovered_steps }
 
@@ -622,12 +663,17 @@ let events_json () =
   (match current_spec () with
   | Some spec ->
     Buffer.add_string buf (Printf.sprintf ",\n\"seed\":%d,\n\"rates\":{" spec.seed);
+    (* Device sites print unconditionally (the historical byte layout);
+       storage sites are opt-in and appear only when armed. *)
+    let printed =
+      device_sites @ List.filter (fun s -> spec_rate spec s > 0.0) io_sites
+    in
     List.iteri
       (fun i site ->
         if i > 0 then Buffer.add_char buf ',';
         Buffer.add_string buf
           (Printf.sprintf "\"%s\":%.17g" (site_name site) (spec_rate spec site)))
-      all_sites;
+      printed;
     Buffer.add_string buf
       (Printf.sprintf
          "},\n\"policy\":{\"max_retries\":%d,\"base_backoff_s\":%.17g,\"backoff_multiplier\":%.17g,\"watchdog_limit\":%d}"

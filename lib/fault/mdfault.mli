@@ -39,11 +39,29 @@ type site =
                        livelock. *)
   | Mem_bitflip    (** DRAM payload bit flip caught by ECC scrub; the
                        line is re-fetched. *)
+  | Io_short_write (** [write(2)] persists only a prefix of the buffer
+                       (torn record) and the shim reports a failure. *)
+  | Io_eio         (** [write(2)] fails with [EIO] before any byte
+                       lands — a dying disk or a remounted-ro volume. *)
+  | Io_enospc      (** [write(2)] persists a prefix then fails with
+                       [ENOSPC] — a filesystem filling up mid-record. *)
+  | Io_fsync_fail  (** [fsync(2)] fails with [EIO]: the page cache
+                       accepted the bytes but the platter never did. *)
+  | Io_rename_fail (** [rename(2)] fails with [EIO]: the atomic commit
+                       of a tmp-file rewrite never happens. *)
+
+val device_sites : site list
+(** The six device-model sites — what ["all:RATE"] covers. *)
+
+val io_sites : site list
+(** The storage sites consulted by the {!Mdio} write-path shim; opt-in
+    per site, never part of ["all"]. *)
 
 val all_sites : site list
 val site_name : site -> string
 (** "cell-dma", "cell-mailbox", "gpu-pcie", "gpu-texture", "mta-retry",
-    "mem-bitflip". *)
+    "mem-bitflip", "io-short-write", "io-eio", "io-enospc",
+    "io-fsync-fail", "io-rename-fail". *)
 
 val site_of_name : string -> site option
 
@@ -67,6 +85,13 @@ type spec = {
   rates : (site * float) list;  (** per-operation fault probability;
                                     absent sites are 0.0 *)
   policy : policy;
+  io_crash_at : int option;
+      (** simulated process death at the k-th {!Mdio} op (0-based):
+          the op applies its torn-write prefix (writes only), then the
+          shim goes dead — every later op is silently dropped, exactly
+          as kill -9 mid-syscall would leave the filesystem.  A process-
+          lifetime property: {!capture_state} clears it, so a resumed
+          run never re-crashes at the recorded op. *)
 }
 
 val parse_spec : string -> (spec, string) result
@@ -74,13 +99,16 @@ val parse_spec : string -> (spec, string) result
     out-of-range rates are rejected with a one-line error):
 
     {v item := SITE ":" RATE     per-site fault probability in [0,1]
-            | "all" ":" RATE     every site at once
+            | "all" ":" RATE     every device site at once (storage
+                                 sites are opt-in per site)
             | "seed" "=" INT     plan seed (default 42)
             | "retries" "=" INT  policy.max_retries (>= 0)
             | "backoff" "=" SECS policy.base_backoff_s (>= 0, finite)
-            | "watchdog" "=" INT policy.watchdog_limit (> 0) v}
+            | "watchdog" "=" INT policy.watchdog_limit (> 0)
+            | "io-crash-point" "=" INT  die at the k-th I/O op (>= 0) v}
 
-    e.g. ["all:1e-3"], ["cell-dma:0.01,gpu-pcie:0.005,seed=7"]. *)
+    e.g. ["all:1e-3"], ["cell-dma:0.01,gpu-pcie:0.005,seed=7"],
+    ["io-fsync-fail:0.05,io-enospc:0.02,seed=11"]. *)
 
 val spec_to_string : spec -> string
 (** Canonical one-line form of [spec], parseable by {!parse_spec} (e.g.

@@ -368,17 +368,33 @@ let virtual_events_string () =
     (events ());
   Buffer.contents buf
 
-(* Write-to-temp then rename: an export interrupted mid-write (crash,
-   aborted run) must never leave a truncated artifact where CI or a
-   byte-compare would read it. *)
-let write_file ~path contents =
+(* Write-to-temp, fsync, then rename: an export interrupted mid-write
+   (crash, aborted run) must never leave a truncated artifact where CI
+   or a byte-compare would read it, and the fsync keeps the rename from
+   publishing a name whose bytes are still only in the page cache.  A
+   stale .tmp from a previous crash is removed up front (open_out would
+   truncate it anyway; removing keeps failure paths from confusing it
+   with our own). *)
+let default_write_file ~path contents =
   let tmp = path ^ ".tmp" in
+  if Sys.file_exists tmp then (try Sys.remove tmp with Sys_error _ -> ());
   let oc = open_out tmp in
   (try
      Fun.protect
        ~finally:(fun () -> close_out oc)
-       (fun () -> output_string oc contents)
+       (fun () ->
+         output_string oc contents;
+         flush oc;
+         Unix.fsync (Unix.descr_of_out_channel oc))
    with e ->
      (try Sys.remove tmp with Sys_error _ -> ());
      raise e);
   Sys.rename tmp path
+
+(* Mdobs sits below the fault layer in the library graph, so the Mdio
+   shim cannot be called from here directly; instead Mdio's module
+   initializer installs its shimmed atomic write as the file writer.
+   Binaries that don't link Mdio keep the direct implementation. *)
+let file_writer : (path:string -> string -> unit) ref = ref default_write_file
+let set_file_writer f = file_writer := f
+let write_file ~path contents = !file_writer ~path contents

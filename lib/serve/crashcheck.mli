@@ -1,0 +1,48 @@
+(** Exhaustive crash-point consistency sweep over the durability stack.
+
+    Every durable write in the daemon flows through {!Mdio}, which
+    numbers each I/O operation deterministically.  The sweep runs a
+    reference scenario once to learn the operation schedule, then
+    replays it once per operation index with a simulated process death
+    ({!Mdio.Crashed}) armed at that index, recovers the way the real
+    daemon would ([--resume-queue] for serve, [Runner.resume] for
+    single-shot runs), and verifies the recovered end state:
+
+    - no acked job is lost and none runs to two terminal records
+      (exactly one [submitted] and one [done] per job in the final
+      ledger, torn tails truncated at recovery);
+    - per-job reports, metrics, and counters converge byte-identically
+      with the uninterrupted reference;
+    - telemetry streams converge in {!Mdtel.virtual_projection};
+    - unacked submissions are re-submitted (the client retry) and
+      duplicate acks are impossible.
+
+    Crash indices that land on close operations (counted, never a crash
+    point) run through without dying; those trials still verify against
+    the reference. *)
+
+type mode =
+  | Run    (** single-shot segmented runner: checkpoint save/GC path *)
+  | Serve  (** the full daemon: ledger, checkpoints, artifacts, telemetry *)
+
+type cfg = {
+  cc_dir : string;      (** scratch root: reference/ + trial-<k>/ *)
+  cc_mode : mode;
+  cc_jobs : int;        (** serve mode: queue size (two tenants) *)
+  cc_atoms : int;
+  cc_steps : int;
+  cc_every : int;       (** checkpoint segment length *)
+  cc_limit : int option;(** sweep only the first [k] op indices *)
+  cc_verbose : bool;    (** per-trial progress on stderr *)
+}
+
+val default_cfg : dir:string -> cfg
+(** Serve mode, 3 jobs, 128 atoms, 12 steps, segment 4 — a few dozen
+    I/O ops, small enough to sweep exhaustively in CI. *)
+
+val run : cfg -> (string, string) result
+(** Execute the sweep.  [Ok summary] when every trial recovered
+    bitwise; [Error msg] names the first failing op index and leaves
+    that trial's directory behind for inspection.  Refuses to run under
+    an active ambient fault plan (the sweep must own {!Mdio}'s
+    schedule).  Resets {!Mdio} counters on exit. *)

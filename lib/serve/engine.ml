@@ -247,6 +247,16 @@ let set_terminal t job status =
   clear_active t job;
   release_job_lock job
 
+(* Informational appends (terminal records, retry/resume/drain notices)
+   must not take the daemon down when the ledger disk is failing: the
+   in-memory state is already correct, and a restart replays the ledger
+   and re-runs the job to the same terminal state from its durable
+   checkpoint.  [Mdio.Crashed] is not an error — it propagates. *)
+let append_noted t ev =
+  try Ledger.append t.e_ledger ev
+  with Ledger.Write_failed msg ->
+    Printf.eprintf "mdsim: serve: ledger: %s\n%!" msg
+
 (* Completed run: artifacts first (report/metrics match the single-shot
    CLI byte for byte), then the terminal ledger record.  Runs inside the
    job's swap window — the fault summary and counters read the job's own
@@ -283,7 +293,7 @@ let finalize_done t job (r : Run_result.t) =
       (Mdfault.events_json ());
   job.j_completed <- js.Ledger.js_steps;
   set_terminal t job name;
-  Ledger.append t.e_ledger
+  append_noted t
     (Ledger.Done
        { ev_job = js.Ledger.js_id; ev_status = name;
          ev_completed = job.j_completed })
@@ -291,7 +301,7 @@ let finalize_done t job (r : Run_result.t) =
 let finalize_degraded t job ~reason =
   job.j_error <- Some reason;
   set_terminal t job "degraded";
-  Ledger.append t.e_ledger
+  append_noted t
     (Ledger.Degraded
        { ev_job = job.j_spec.Ledger.js_id; ev_reason = reason;
          ev_completed = job.j_completed })
@@ -299,7 +309,7 @@ let finalize_degraded t job ~reason =
 let finalize_failed t job ~reason =
   job.j_error <- Some reason;
   set_terminal t job "failed";
-  Ledger.append t.e_ledger
+  append_noted t
     (Ledger.Failed
        { ev_job = job.j_spec.Ledger.js_id; ev_reason = reason;
          ev_completed = job.j_completed })
@@ -372,24 +382,38 @@ let reload_from_checkpoint job =
   | Ok (st, _) -> Some st
   | Error _ -> None
 
+(* Bounded-retry restart from the durable input checkpoint, shared by
+   fault deaths and storage errors.  The restarted segment carries the
+   {e post}-failure fault-stream positions: fresh draws, not a
+   deterministic replay of the same death. *)
+let retry_with_backoff t job ~now ~reason =
+  job.j_attempts <- job.j_attempts + 1;
+  if job.j_attempts > t.e_cfg.cfg_retries then finalize_failed t job ~reason
+  else
+    match reload_from_checkpoint job with
+    | None -> finalize_failed t job ~reason
+    | Some st0 ->
+      job.j_state <-
+        Some
+          { st0 with
+            Mdckpt.fault = Mdfault.capture_state ();
+            guard_restores = Mdfault.guard_restores () };
+      job.j_completed <- st0.Mdckpt.completed;
+      let backoff =
+        t.e_cfg.cfg_backoff_s *. (2.0 ** float_of_int (job.j_attempts - 1))
+      in
+      job.j_eligible <- now +. backoff;
+      clear_active t job;
+      append_noted t
+        (Ledger.Retrying
+           { ev_job = job.j_spec.Ledger.js_id; ev_attempt = job.j_attempts;
+             ev_reason = reason })
+
 let run_segment t job ~now =
   let js = job.j_spec in
   swap_in job;
   Fun.protect ~finally:(fun () -> swap_out job) @@ fun () ->
   let cfg = runner_cfg job in
-  let st =
-    match job.j_state with
-    | Some st -> st
-    | None ->
-      (* First touch: build step-0 state (the fault plan is already
-         swapped in, so its capture lands in the checkpoint) and make
-         generation 0 durable before any work — resumable however early
-         the daemon dies. *)
-      let st = Runner.prepare cfg in
-      ignore (Mdckpt.save ~dir:cfg.Runner.cfg_dir st);
-      job.j_state <- Some st;
-      st
-  in
   job.j_status <- "running";
   let budget =
     match js.Ledger.js_deadline with
@@ -405,33 +429,61 @@ let run_segment t job ~now =
            job.j_completed js.Ledger.js_steps)
   | _ -> (
     let t0 = Unix.gettimeofday () in
+    (* Everything that can touch storage — the gen-0 first touch, the
+       segment save, artifact writes, the segment ledger record — sits
+       inside this try: an injected (or real) I/O error routes to the
+       same bounded-retry path as a fault death, because in both cases
+       the durable input checkpoint is intact and nothing was acked.
+       [Mdio.Crashed] is deliberately NOT caught — a dead process does
+       not recover itself. *)
     let outcome =
       try
-        `Step
-          (match budget with
+        let st =
+          match job.j_state with
+          | Some st -> st
+          | None ->
+            (* First touch: build step-0 state (the fault plan is
+               already swapped in, so its capture lands in the
+               checkpoint) and make generation 0 durable before any
+               work — resumable however early the daemon dies. *)
+            let st = Runner.prepare cfg in
+            ignore (Mdckpt.save ~dir:cfg.Runner.cfg_dir st);
+            job.j_state <- Some st;
+            st
+        in
+        let step =
+          match budget with
           | None -> Runner.segment_step cfg st
           | Some b ->
             Sim_util.Deadline.with_budget ~seconds:b (fun () ->
-                Runner.segment_step cfg st))
+                Runner.segment_step cfg st)
+        in
+        (match step with
+        | Runner.Seg_complete r -> finalize_done t job r
+        | Runner.Seg_checkpointed (st', _path) ->
+          (* Checkpoint is durable; only now may the ledger claim it. *)
+          job.j_state <- Some st';
+          job.j_completed <- st'.Mdckpt.completed;
+          Ledger.append t.e_ledger
+            (Ledger.Segment
+               { ev_job = js.Ledger.js_id;
+                 ev_completed = st'.Mdckpt.completed;
+                 ev_total = st'.Mdckpt.total_steps });
+          if st'.Mdckpt.completed >= st'.Mdckpt.total_steps then
+            finalize_done t job (Runner.result_of_state st')
+          else consume_quantum t job);
+        `Done
       with
       | Sim_util.Deadline.Expired _ -> `Deadline
       | Mdfault.Unrecovered f -> `Unrecovered f
       | Mdcore.Verlet.Invariant_violation msg -> `Invariant msg
+      | Unix.Unix_error (e, fn, _) ->
+        `Io (Printf.sprintf "storage: %s in %s" (Unix.error_message e) fn)
+      | Ledger.Write_failed msg -> `Io msg
     in
     job.j_spent <- job.j_spent +. (Unix.gettimeofday () -. t0);
     match outcome with
-    | `Step (Runner.Seg_complete r) -> finalize_done t job r
-    | `Step (Runner.Seg_checkpointed (st', _path)) ->
-      (* Checkpoint is durable; only now may the ledger claim it. *)
-      job.j_state <- Some st';
-      job.j_completed <- st'.Mdckpt.completed;
-      Ledger.append t.e_ledger
-        (Ledger.Segment
-           { ev_job = js.Ledger.js_id; ev_completed = st'.Mdckpt.completed;
-             ev_total = st'.Mdckpt.total_steps });
-      if st'.Mdckpt.completed >= st'.Mdckpt.total_steps then
-        finalize_done t job (Runner.result_of_state st')
-      else consume_quantum t job
+    | `Done -> ()
     | `Deadline ->
       finalize_degraded t job
         ~reason:
@@ -451,32 +503,8 @@ let run_segment t job ~now =
           finalize_failed t job
             ~reason:("invariant violation (no checkpoint to retry): " ^ msg))
     | `Unrecovered f ->
-      let reason = Mdfault.failure_message f in
-      job.j_attempts <- job.j_attempts + 1;
-      if job.j_attempts > t.e_cfg.cfg_retries then
-        finalize_failed t job ~reason
-      else (
-        (* Restart the segment from its durable input state, but with
-           the post-failure fault-stream positions: fresh draws, not a
-           deterministic replay of the same death. *)
-        match reload_from_checkpoint job with
-        | None -> finalize_failed t job ~reason
-        | Some st0 ->
-          job.j_state <-
-            Some
-              { st0 with
-                Mdckpt.fault = Mdfault.capture_state ();
-                guard_restores = Mdfault.guard_restores () };
-          let backoff =
-            t.e_cfg.cfg_backoff_s
-            *. (2.0 ** float_of_int (job.j_attempts - 1))
-          in
-          job.j_eligible <- now +. backoff;
-          clear_active t job;
-          Ledger.append t.e_ledger
-            (Ledger.Retrying
-               { ev_job = js.Ledger.js_id; ev_attempt = job.j_attempts;
-                 ev_reason = reason })))
+      retry_with_backoff t job ~now ~reason:(Mdfault.failure_message f)
+    | `Io reason -> retry_with_backoff t job ~now ~reason)
 
 (* --- public operations --- *)
 
@@ -528,16 +556,27 @@ let submit t (js : Ledger.jobspec) =
         let dir = job_dir t id in
         match Mdckpt.Lock.guard_dir ~dir with
         | Error msg -> Error (Printf.sprintf "rejected: %s" msg)
-        | Ok lk ->
+        | Ok lk -> (
           let job =
             { j_spec = js; j_dir = dir; j_status = "queued";
               j_state = None; j_cfg = None; j_completed = 0;
               j_attempts = 0; j_inv_retries = 0; j_eligible = 0.0;
               j_spent = 0.0; j_lock = Some lk; j_error = None }
           in
-          add_job t job;
-          Ledger.append t.e_ledger (Ledger.Submitted js);
-          Ok (id, dir))
+          (* Durable-before-acked: the submit record must survive a
+             crash before the job enters the queue, otherwise a client
+             holds an ack for a job no restart will ever re-adopt.  A
+             ledger that cannot be written is a rejection the client can
+             retry, not a silent data loss. *)
+          match Ledger.append t.e_ledger (Ledger.Submitted js) with
+          | () ->
+            add_job t job;
+            Ok (id, dir)
+          | exception e ->
+            Mdckpt.Lock.release lk;
+            (match e with
+            | Ledger.Write_failed msg -> Error ("rejected: " ^ msg)
+            | e -> raise e)))
 
 let cancel t id =
   match Hashtbl.find_opt t.e_jobs id with
@@ -547,7 +586,7 @@ let cancel t id =
       Error (Printf.sprintf "job %S already %s" id job.j_status)
     else begin
       set_terminal t job "cancelled";
-      Ledger.append t.e_ledger
+      append_noted t
         (Ledger.Cancelled { ev_job = id; ev_completed = job.j_completed });
       Ok job.j_completed
     end
@@ -594,7 +633,7 @@ let shutdown t =
     List.iter
       (fun j ->
         if not (terminal j) then begin
-          Ledger.append t.e_ledger
+          append_noted t
             (Ledger.Drained
                { ev_job = j.j_spec.Ledger.js_id;
                  ev_completed = j.j_completed });
@@ -653,7 +692,7 @@ let adopt t (v : Ledger.job_view) =
         job.j_completed <- st.Mdckpt.completed
       | Error _ -> ());
       add_job t job;
-      Ledger.append t.e_ledger
+      append_noted t
         (Ledger.Resumed { ev_job = id; ev_completed = job.j_completed }))
 
 let create cfg =
@@ -672,22 +711,36 @@ let create cfg =
            dir)
     end
     else begin
-      let replay =
-        if existing then Ledger.replay_file lpath
-        else { Ledger.r_jobs = []; r_next_seq = 0; r_notes = [] }
-      in
-      List.iter
-        (fun note -> Printf.eprintf "mdsim: serve: ledger: %s\n%!" note)
-        replay.Ledger.r_notes;
-      let t =
-        { e_cfg = cfg; e_lock = lock;
-          e_ledger =
-            Ledger.open_writer ~path:lpath
-              ~next_seq:replay.Ledger.r_next_seq;
-          e_jobs = Hashtbl.create 16; e_order = []; e_tenants = [];
-          e_rr = 0; e_active = None; e_draining = false; e_auto = 0;
-          e_closed = false }
-      in
-      List.iter (adopt t) replay.Ledger.r_jobs;
-      Ok t
+      (* Exception safety for the in-process crash sweep: a simulated
+         death (or real error) mid-construction must not leave the serve
+         lock, job locks, or the ledger fd registered — a revived trial
+         reopens the same directory in the same process. *)
+      match
+        let replay =
+          if existing then Ledger.replay_file lpath
+          else { Ledger.r_jobs = []; r_next_seq = 0; r_notes = [] }
+        in
+        List.iter
+          (fun note -> Printf.eprintf "mdsim: serve: ledger: %s\n%!" note)
+          replay.Ledger.r_notes;
+        let t =
+          { e_cfg = cfg; e_lock = lock;
+            e_ledger =
+              Ledger.open_writer ~path:lpath
+                ~next_seq:replay.Ledger.r_next_seq;
+            e_jobs = Hashtbl.create 16; e_order = []; e_tenants = [];
+            e_rr = 0; e_active = None; e_draining = false; e_auto = 0;
+            e_closed = false }
+        in
+        (try List.iter (adopt t) replay.Ledger.r_jobs
+         with e ->
+           List.iter release_job_lock (jobs_in_order t);
+           Ledger.close_writer t.e_ledger;
+           raise e);
+        t
+      with
+      | t -> Ok t
+      | exception e ->
+        Mdckpt.Lock.release lock;
+        raise e
     end)

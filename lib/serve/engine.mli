@@ -14,7 +14,13 @@
     backoff on {!Mdfault.Unrecovered} (the retried segment restarts from
     its durable input checkpoint with post-failure fault-stream
     positions — fresh draws); invariant violations re-execute the
-    segment up to twice, then [failed]. *)
+    segment up to twice, then [failed]; storage errors (injected by
+    {!Mdio} or real) during a segment, its checkpoint save, artifact
+    writes, or the segment ledger record route to the same bounded
+    retry — the durable input checkpoint is intact and nothing was
+    acked.  {!Mdio.Crashed} (simulated process death) is never caught:
+    it unwinds through every operation so the crash sweep can observe
+    exactly what a kill -9 leaves on disk. *)
 
 type config = {
   cfg_dir : string;      (** serve root: ledger.jsonl + jobs/<id>/ *)
@@ -37,9 +43,12 @@ val create : config -> (t, string) result
 
 val submit : t -> Ledger.jobspec -> (string * string, string) result
 (** Validate, admit (bounded queue — [Error "rejected: overload ..."]
-    when full), lock the job directory, and append the [submitted]
-    record.  An empty [js_id] gets a generated one.  Returns
-    [(id, job_dir)]. *)
+    when full), lock the job directory, append the [submitted] record,
+    and only then enqueue: an [Ok] ack means the record is durable, so
+    a crash after the ack can never lose the job, and a ledger that
+    cannot be written ({!Ledger.Write_failed}) is a retryable
+    rejection, never a silent loss.  An empty [js_id] gets a generated
+    one.  Returns [(id, job_dir)]. *)
 
 val cancel : t -> string -> (int, string) result
 (** Cancel a live job between segments; returns its completed step. *)

@@ -337,35 +337,118 @@ let replay_file path =
 
 (* --- writer --- *)
 
+exception Write_failed of string
+
+let () =
+  Printexc.register_printer (function
+    | Write_failed msg -> Some ("Ledger.Write_failed: " ^ msg)
+    | _ -> None)
+
 type writer = {
-  w_fd : Unix.file_descr;
+  w_io : Mdio.t;
   mutable w_seq : int;
+  mutable w_good : int;
+      (* byte offset of the durable good tail: everything below it is
+         complete, fsynced records *)
+  mutable w_poisoned : bool;
+      (* a write or fsync failed after w_good; the file may carry a torn
+         or non-durable tail that must be truncated away before any
+         further append *)
   mutable w_closed : bool;
 }
 
+(* Every record we write ends in '\n' and is issued as one write(2), so
+   a torn tail (crash or failed append) is exactly the bytes after the
+   last newline.  Truncating them at open keeps torn records confined to
+   the final position forever: without this, appending after a crash
+   would bury the torn record mid-file. *)
+let truncate_torn_tail ~path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error _ -> ()
+  | content ->
+    let len = String.length content in
+    if len > 0 && content.[len - 1] <> '\n' then begin
+      let good =
+        match String.rindex_opt content '\n' with
+        | Some i -> i + 1
+        | None -> 0
+      in
+      match Unix.openfile path [ Unix.O_WRONLY ] 0o644 with
+      | exception Unix.Unix_error _ -> ()
+      | fd ->
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            (try Unix.ftruncate fd good with Unix.Unix_error _ -> ());
+            try Unix.fsync fd with Unix.Unix_error _ -> ())
+    end
+
 let open_writer ~path ~next_seq =
-  let fd =
-    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
-  in
-  { w_fd = fd; w_seq = next_seq; w_closed = false }
+  if Sys.file_exists path then truncate_torn_tail ~path;
+  let io = Mdio.openw ~append:true path in
+  { w_io = io;
+    w_seq = next_seq;
+    w_good = Mdio.size io;
+    w_poisoned = false;
+    w_closed = false }
+
+(* Repair after a failed append: drop everything past the last known
+   good record.  ftruncate itself is the unshimmed repair primitive (a
+   repair path must converge), but the fsync that makes the truncation
+   durable goes through the shim — if it faults, the retry loop repairs
+   again. *)
+let repair w =
+  Mdio.truncate w.w_io w.w_good;
+  Mdio.fsync w.w_io;
+  w.w_poisoned <- false
+
+let append_attempts = 4
 
 (* One write(2) per record (O_APPEND keeps it a single atomic-ish tail
-   extension), then fsync: a crash can tear at most the final record,
-   which replay detects by CRC and drops. *)
+   extension), then fsync — both through the Mdio shim.  A failed write
+   or fsync poisons the writer (the tail may be torn or non-durable),
+   repair truncates back to the good tail, and the append is retried; if
+   [append_attempts] rounds all fail, [Write_failed] is raised with the
+   writer left poisoned — the next append repairs first, and the caller
+   must NOT treat the record as durable.  Mdio.Crashed always
+   propagates: a dead process doesn't retry. *)
 let append w ev =
   if not w.w_closed then begin
     let line = encode_line ~seq:w.w_seq ev ^ "\n" in
-    let b = Bytes.of_string line in
-    let n = Unix.write w.w_fd b 0 (Bytes.length b) in
-    if n <> Bytes.length b then failwith "ledger: short write";
-    (try Unix.fsync w.w_fd with Unix.Unix_error _ -> ());
-    w.w_seq <- w.w_seq + 1
+    let rec attempt k last_err =
+      if k >= append_attempts then begin
+        w.w_poisoned <- true;
+        raise
+          (Write_failed
+             (Printf.sprintf "ledger append failed after %d attempts: %s"
+                append_attempts last_err))
+      end
+      else
+        match
+          if w.w_poisoned then repair w;
+          Mdio.write w.w_io line;
+          Mdio.fsync w.w_io
+        with
+        | () ->
+          w.w_good <- w.w_good + String.length line;
+          w.w_seq <- w.w_seq + 1
+        | exception Unix.Unix_error (e, fn, _) ->
+          w.w_poisoned <- true;
+          attempt (k + 1)
+            (Printf.sprintf "%s in %s" (Unix.error_message e) fn)
+    in
+    attempt 0 "no attempt made"
   end
 
 let close_writer w =
   if not w.w_closed then begin
     w.w_closed <- true;
-    try Unix.close w.w_fd with Unix.Unix_error _ -> ()
+    try Mdio.close w.w_io with Unix.Unix_error _ -> ()
   end
 
 (* Last [limit] intact records mentioning [job] (all jobs if [job] is

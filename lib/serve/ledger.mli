@@ -91,8 +91,25 @@ val tail_lines : string -> job:string -> limit:int -> string list
 
 (** {1 Writer} *)
 
+exception Write_failed of string
+(** An append could not be made durable: the write or fsync failed
+    [append_attempts] times in a row (injected or real).  The writer is
+    left poisoned — the next append truncate-repairs the tail first —
+    and the caller must not ack the record. *)
+
 type writer
 
 val open_writer : path:string -> next_seq:int -> writer
+(** Open for appending (through the {!Mdio} shim).  A torn final record
+    left by a crash — the bytes after the last newline — is truncated
+    away first, so torn tails stay confined to the final position
+    instead of being buried mid-file by later appends. *)
+
 val append : writer -> event -> unit
+(** One shimmed write + fsync.  On failure: poison, truncate back to
+    the last durable good tail, retry (bounded); raises {!Write_failed}
+    when the budget is exhausted — a failed fsync is never swallowed,
+    so the daemon can never ack a record the platter doesn't have.
+    {!Mdio.Crashed} propagates untouched. *)
+
 val close_writer : writer -> unit

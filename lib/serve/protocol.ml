@@ -62,17 +62,49 @@ let error_reply msg =
 
 (* --- client side --- *)
 
+(* A daemon that is starting up, restarting, or momentarily saturated
+   shows up as ENOENT (socket not bound yet), ECONNREFUSED (bound but
+   not accepting), or ECONNRESET; anything else (EACCES, ENOTSOCK, ...)
+   is a real configuration error and retrying would only hide it. *)
+let transient = function
+  | Unix.ENOENT | Unix.ECONNREFUSED | Unix.ECONNRESET -> true
+  | _ -> false
+
+let connect_with_retry ~retries ~timeout socket =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go attempt =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> Ok fd
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      let backoff = 0.05 *. (2.0 ** float_of_int attempt) in
+      if
+        attempt >= retries
+        || (not (transient e))
+        || Unix.gettimeofday () +. backoff > deadline
+      then
+        Error
+          (Printf.sprintf "cannot reach daemon at %s: %s%s" socket
+             (Unix.error_message e)
+             (if attempt > 0 then
+                Printf.sprintf " (after %d connect attempts)" (attempt + 1)
+              else ""))
+      else begin
+        Unix.sleepf backoff;
+        go (attempt + 1)
+      end
+  in
+  go 0
+
 (* One request/one reply over the daemon socket.  Sends the line, half-
-   closes, reads to the reply's newline (or EOF). *)
-let roundtrip ~socket line =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  match Unix.connect fd (Unix.ADDR_UNIX socket) with
-  | exception Unix.Unix_error (e, _, _) ->
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    Error
-      (Printf.sprintf "cannot reach daemon at %s: %s" socket
-         (Unix.error_message e))
-  | () ->
+   closes, reads to the reply's newline (or EOF).  [retries] bounds
+   exponential-backoff reconnects on transient connect failures;
+   [timeout] caps the whole retry window in seconds. *)
+let roundtrip ?(retries = 0) ?(timeout = 10.0) ~socket line =
+  match connect_with_retry ~retries ~timeout socket with
+  | Error _ as e -> e
+  | Ok fd ->
     Fun.protect
       ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
       (fun () ->

@@ -22,6 +22,12 @@ val ok_reply : string -> string
 
 val error_reply : string -> string
 
-val roundtrip : socket:string -> string -> (string, string) result
+val roundtrip :
+  ?retries:int -> ?timeout:float -> socket:string -> string ->
+  (string, string) result
 (** Client side: send one request line to the daemon socket, return the
-    reply line. *)
+    reply line.  Transient connect failures — the socket not bound yet
+    (ENOENT), the daemon not accepting (ECONNREFUSED), or a reset —
+    are retried up to [retries] times (default 0) with exponential
+    backoff from 50 ms, bounded by [timeout] seconds (default 10) for
+    the whole window; non-transient errors fail immediately. *)

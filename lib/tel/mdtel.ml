@@ -20,7 +20,7 @@ type config = {
 
 type state = {
   cfg : config;
-  mutable chan : out_channel option;
+  mutable chan : Mdio.t option;
   mutable pending : (int * string) list; (* newest first *)
   mutable buffered : bool;
   mutable base : int;
@@ -63,42 +63,35 @@ let jstr s = "\"" ^ Mdobs.json_escape s ^ "\""
 (* Stream plumbing                                                     *)
 (* ------------------------------------------------------------------ *)
 
+(* Stream writes go through the Mdio shim on an unbuffered descriptor:
+   one shimmed write per line, which is exactly the old per-line
+   write+flush durability — and makes every telemetry append a counted
+   crash point and a storage-fault site. *)
 let open_stream st ~truncate =
   match st.cfg.tel_path with
   | None -> ()
-  | Some path ->
-    let flags =
-      if truncate then [ Open_wronly; Open_creat; Open_trunc ]
-      else [ Open_wronly; Open_creat; Open_append ]
-    in
-    st.chan <- Some (open_out_gen flags 0o644 path)
+  | Some path -> st.chan <- Some (Mdio.openw ~append:(not truncate) path)
 
 let close_stream st =
   match st.chan with
-  | Some oc ->
-    (try flush oc with Sys_error _ -> ());
-    close_out_noerr oc;
+  | Some wr ->
+    Mdio.close_noerr wr;
     st.chan <- None
   | None -> ()
 
-let write_line oc line =
-  output_string oc line;
-  output_char oc '\n'
+let write_line wr line = Mdio.write wr (line ^ "\n")
 
 let push st ~step line =
   if st.buffered then st.pending <- (step, line) :: st.pending
   else
     match st.chan with
-    | Some oc ->
-      write_line oc line;
-      flush oc
+    | Some wr -> write_line wr line
     | None -> ()
 
 let flush_pending st =
   (match st.chan with
-  | Some oc ->
-    List.iter (fun (_, line) -> write_line oc line) (List.rev st.pending);
-    flush oc
+  | Some wr ->
+    List.iter (fun (_, line) -> write_line wr line) (List.rev st.pending)
   | None -> ());
   st.pending <- []
 
@@ -454,7 +447,13 @@ let rollback ~to_ =
     if st.last_sample_step > to_ then st.last_sample_step <- to_
 
 (* Keep records whose step is covered by the checkpoint being resumed;
-   anything beyond it belongs to a lost segment that will re-execute. *)
+   anything beyond it belongs to a lost segment that will re-execute.
+   A resume at [completed = 0] restarts the first segment from
+   [prepare], and the step-0 sample is taken *after* the gen-0 save (it
+   includes the initial force evaluation), so the restored cells do not
+   cover it: keep nothing and let the re-executed segment re-emit the
+   whole stream, or the boundary sample's delta would double-count the
+   initial evaluation. *)
 let reconcile_file path ~completed =
   match
     let ic = open_in_bin path in
@@ -475,7 +474,7 @@ let reconcile_file path ~completed =
                match
                  Option.bind (Minijson.member "step" j) Minijson.to_float
                with
-               | Some s when int_of_float s <= completed ->
+               | Some s when completed > 0 && int_of_float s <= completed ->
                  kept := line :: !kept;
                  if
                    Option.bind (Minijson.member "type" j) Minijson.to_string

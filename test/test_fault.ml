@@ -41,13 +41,23 @@ let test_parse_spec_all () =
   match Mdfault.parse_spec "all:1e-3" with
   | Error msg -> Alcotest.failf "expected Ok, got Error %s" msg
   | Ok spec ->
+    (* "all" arms every device site; storage sites must be named
+       explicitly so device chaos plans keep their exact historical
+       behavior (and bytes). *)
     List.iter
       (fun site ->
         Alcotest.(check (float 0.0))
           (Mdfault.site_name site ^ " rate")
           1e-3
           (List.assoc site spec.Mdfault.rates))
-      Mdfault.all_sites
+      Mdfault.device_sites;
+    List.iter
+      (fun site ->
+        Alcotest.(check bool)
+          (Mdfault.site_name site ^ " absent")
+          true
+          (List.assoc_opt site spec.Mdfault.rates = None))
+      Mdfault.io_sites
 
 let test_parse_spec_invalid () =
   let rejected text =

@@ -1,0 +1,289 @@
+(* The Mdio durable-write shim (lib/io): zero-rate transparency,
+   injected storage faults on the real write paths, ledger
+   poison/repair, stale-temporary hygiene, simulated process death,
+   and a bounded crash-point sweep. *)
+
+module Ledger = Mdserve.Ledger
+module Crashcheck = Mdserve.Crashcheck
+
+let tmp_counter = ref 0
+
+let fresh_dir () =
+  incr tmp_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mdsim-io-test-%d-%d" (Unix.getpid ()) !tmp_counter)
+  in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  dir
+
+let with_plan spec_text f =
+  (match Mdfault.parse_spec spec_text with
+  | Ok spec -> Mdfault.install spec
+  | Error msg -> Alcotest.failf "bad spec %S: %s" spec_text msg);
+  Fun.protect
+    ~finally:(fun () ->
+      Mdfault.uninstall ();
+      Mdio.reset ())
+    f
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let spec ~id =
+  { Ledger.js_id = id;
+    js_tenant = "t0";
+    js_priority = 1;
+    js_device = "opteron";
+    js_atoms = 128;
+    js_steps = 12;
+    js_seed = 11;
+    js_density = 0.8;
+    js_temperature = 1.0;
+    js_engine = "default";
+    js_skin = 0.4;
+    js_every = 4;
+    js_keep = 8;
+    js_faults = None;
+    js_deadline = None;
+    js_telemetry = false;
+    js_tel_every = 4 }
+
+(* ------------------------------------------------------------------ *)
+(* Zero-rate transparency                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A fault plan with every io rate at zero must leave the shimmed
+   write path byte-identical to the no-plan path, and must not log any
+   io fault events. *)
+let test_zero_rate_byte_identical () =
+  let dir = fresh_dir () in
+  let bare = Filename.concat dir "bare.bin" in
+  let planned = Filename.concat dir "planned.bin" in
+  let payload = String.init 4096 (fun i -> Char.chr (i mod 251)) in
+  Mdio.reset ();
+  Mdio.write_atomic ~path:bare payload;
+  let bare_ops = Mdio.op_count () in
+  with_plan "io-eio:0,io-short-write:0,io-enospc:0,seed=7" (fun () ->
+      Mdio.reset ();
+      Mdio.write_atomic ~path:planned payload;
+      Alcotest.(check int) "same op count" bare_ops (Mdio.op_count ());
+      Alcotest.(check bool)
+        "no io fault events" true
+        (Mdfault.events ~prefix:"io-" () = []));
+  Alcotest.(check string) "bytes identical" (read_file bare)
+    (read_file planned);
+  Alcotest.(check bool) "no stale tmp" false
+    (Sys.file_exists (planned ^ ".tmp"))
+
+(* ------------------------------------------------------------------ *)
+(* Injected storage faults                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Certain write failure surfaces as a genuine Unix_error, the torn
+   prefix is persisted (short write), and the .tmp never reaches the
+   destination path. *)
+let test_write_atomic_error_cleans_tmp () =
+  let dir = fresh_dir () in
+  let path = Filename.concat dir "artifact.json" in
+  Mdio.write_atomic ~path "first version\n";
+  with_plan "io-enospc:1,seed=3" (fun () ->
+      match Mdio.write_atomic ~path "second version\n" with
+      | () -> Alcotest.fail "expected ENOSPC"
+      | exception Unix.Unix_error (Unix.ENOSPC, _, _) -> ());
+  Alcotest.(check string) "old contents intact" "first version\n"
+    (read_file path);
+  Alcotest.(check bool) "tmp removed on error" false
+    (Sys.file_exists (path ^ ".tmp"))
+
+(* Fsync failure on the ledger is not swallowed: the writer is
+   poisoned, the append raises, and once the fault plan is gone the
+   next append repairs the tail and the replayed queue contains only
+   the acknowledged records. *)
+let test_ledger_poison_repair () =
+  let dir = fresh_dir () in
+  let path = Filename.concat dir "ledger.jsonl" in
+  let w = Ledger.open_writer ~path ~next_seq:0 in
+  Ledger.append w (Ledger.Submitted (spec ~id:"ok-1"));
+  (with_plan "io-short-write:1,seed=5" (fun () ->
+       match Ledger.append w (Ledger.Submitted (spec ~id:"doomed")) with
+       | () -> Alcotest.fail "expected Write_failed"
+       | exception Ledger.Write_failed _ -> ()));
+  Ledger.append w (Ledger.Submitted (spec ~id:"ok-2"));
+  Ledger.close_writer w;
+  let replay = Ledger.replay_file path in
+  let ids =
+    List.map (fun jv -> jv.Ledger.v_spec.Ledger.js_id) replay.Ledger.r_jobs
+  in
+  Alcotest.(check (list string)) "acked records survive, torn tail gone"
+    [ "ok-1"; "ok-2" ] ids;
+  (* every surviving line verifies: the repair left no torn bytes *)
+  String.split_on_char '\n' (read_file path)
+  |> List.iter (fun line ->
+         if String.trim line <> "" then
+           match Ledger.verify_line line with
+           | Ok _ -> ()
+           | Error msg -> Alcotest.failf "torn line survived repair: %s" msg)
+
+(* Silent mid-file corruption (a flipped byte, not a torn tail) is
+   detected by CRC, skipped with a note, and later valid records still
+   replay. *)
+let test_ledger_midfile_corruption () =
+  let dir = fresh_dir () in
+  let path = Filename.concat dir "ledger.jsonl" in
+  let lines =
+    [ Ledger.encode_line ~seq:0 (Ledger.Submitted (spec ~id:"a"));
+      Ledger.encode_line ~seq:1 (Ledger.Submitted (spec ~id:"b"));
+      Ledger.encode_line ~seq:2
+        (Ledger.Done { ev_job = "a"; ev_status = "ok"; ev_completed = 12 }) ]
+  in
+  let corrupt s =
+    let b = Bytes.of_string s in
+    Bytes.set b (Bytes.length b / 2)
+      (Char.chr (Char.code (Bytes.get b (Bytes.length b / 2)) lxor 0x20));
+    Bytes.to_string b
+  in
+  let oc = open_out_bin path in
+  output_string oc (List.nth lines 0 ^ "\n");
+  output_string oc (corrupt (List.nth lines 1) ^ "\n");
+  output_string oc (List.nth lines 2 ^ "\n");
+  close_out oc;
+  let replay = Ledger.replay_file path in
+  let ids =
+    List.map (fun jv -> jv.Ledger.v_spec.Ledger.js_id) replay.Ledger.r_jobs
+  in
+  Alcotest.(check (list string)) "corrupt record skipped" [ "a" ] ids;
+  Alcotest.(check bool) "skip is noted" true
+    (List.exists
+       (fun n ->
+         String.length n >= 7 && String.sub n 0 7 = "ignored")
+       replay.Ledger.r_notes);
+  Alcotest.(check int) "next_seq past valid records" 3
+    replay.Ledger.r_next_seq
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint-store hygiene                                            *)
+(* ------------------------------------------------------------------ *)
+
+let runner_cfg ~dir =
+  { Mdckpt.Runner.cfg_device = Mdckpt.Runner.Opteron;
+    cfg_atoms = 128;
+    cfg_steps = 12;
+    cfg_seed = 11;
+    cfg_density = 0.8;
+    cfg_temperature = 1.0;
+    cfg_force_path = Mdports.Force_path.default;
+    cfg_every = 4;
+    cfg_keep = 8;
+    cfg_dir = dir }
+
+(* A crash mid-save leaves a .tmp behind; load_latest must ignore it
+   and the next save's GC must sweep it out. *)
+let test_stale_tmp_ignored_and_swept () =
+  let dir = fresh_dir () in
+  let st = Mdckpt.Runner.prepare (runner_cfg ~dir) in
+  let _ = Mdckpt.save ~dir st in
+  let stale = Filename.concat dir "ckpt-000000099.mdsim.tmp" in
+  let oc = open_out_bin stale in
+  output_string oc "garbage left by a crash mid-save";
+  close_out oc;
+  (match Mdckpt.load_latest ~dir with
+  | Ok (loaded, _) ->
+    Alcotest.(check int) "latest is the real generation" 0
+      loaded.Mdckpt.completed
+  | Error msg -> Alcotest.failf "load_latest failed: %s" msg);
+  let _ = Mdckpt.save ~dir st in
+  Alcotest.(check bool) "gc swept the stale tmp" false
+    (Sys.file_exists stale)
+
+(* ENOSPC while writing a new generation must leave every previously
+   durable generation intact and loadable. *)
+let test_enospc_keeps_prior_generations () =
+  let dir = fresh_dir () in
+  let st = Mdckpt.Runner.prepare (runner_cfg ~dir) in
+  let first = Mdckpt.save ~dir st in
+  let bumped = { st with Mdckpt.completed = 4 } in
+  with_plan "io-enospc:1,seed=9" (fun () ->
+      match Mdckpt.save ~dir bumped with
+      | _ -> Alcotest.fail "expected ENOSPC"
+      | exception Unix.Unix_error (Unix.ENOSPC, _, _) -> ());
+  Alcotest.(check (list int)) "only the durable generation remains"
+    [ 0 ]
+    (List.map fst (Mdckpt.generations ~dir));
+  match Mdckpt.load_latest ~dir with
+  | Ok (loaded, path) ->
+    Alcotest.(check string) "prior generation path" first path;
+    Alcotest.(check int) "prior generation decodes" 0
+      loaded.Mdckpt.completed
+  | Error msg -> Alcotest.failf "prior generation lost: %s" msg
+
+(* ------------------------------------------------------------------ *)
+(* Simulated process death                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Crash at op k raises Crashed k, drops every later op (nothing new
+   becomes durable), and reset revives the shim. *)
+let test_crash_point_semantics () =
+  let dir = fresh_dir () in
+  let a = Filename.concat dir "a.bin" in
+  let b = Filename.concat dir "b.bin" in
+  Mdio.reset ();
+  Mdio.write_atomic ~path:a "alpha";
+  let per_file = Mdio.op_count () in
+  Alcotest.(check bool) "shim alive" true (Mdio.alive ());
+  Mdio.reset ();
+  (* arm inside the second write_atomic *)
+  Mdio.set_crash_point (Some per_file);
+  (match
+     Mdio.write_atomic ~path:a "ALPHA2";
+     Mdio.write_atomic ~path:b "beta"
+   with
+  | () -> Alcotest.fail "expected Crashed"
+  | exception Mdio.Crashed k ->
+    Alcotest.(check int) "crash at the armed index" per_file k);
+  Alcotest.(check bool) "shim dead" false (Mdio.alive ());
+  (* dead ops are dropped silently *)
+  Mdio.write_atomic ~path:b "post-mortem";
+  Alcotest.(check bool) "nothing durable while dead" false
+    (Sys.file_exists b);
+  Alcotest.(check string) "first write survived" "ALPHA2" (read_file a);
+  Mdio.reset ();
+  Alcotest.(check bool) "reset revives" true (Mdio.alive ());
+  Mdio.write_atomic ~path:b "beta";
+  Alcotest.(check string) "writes work again" "beta" (read_file b)
+
+(* A bounded slice of the exhaustive sweep in run mode: every trial in
+   the slice must recover bitwise. *)
+let test_bounded_crashcheck_sweep () =
+  let dir = fresh_dir () in
+  let cfg =
+    { (Crashcheck.default_cfg ~dir) with
+      Crashcheck.cc_mode = Crashcheck.Run;
+      cc_limit = Some 8 }
+  in
+  match Crashcheck.run cfg with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "sweep failed: %s" msg
+
+let tests =
+  ( "io",
+    [ Alcotest.test_case "zero-rate byte-identical" `Quick
+        test_zero_rate_byte_identical;
+      Alcotest.test_case "write_atomic error cleans tmp" `Quick
+        test_write_atomic_error_cleans_tmp;
+      Alcotest.test_case "ledger poison and repair" `Quick
+        test_ledger_poison_repair;
+      Alcotest.test_case "ledger mid-file corruption" `Quick
+        test_ledger_midfile_corruption;
+      Alcotest.test_case "stale tmp ignored and swept" `Quick
+        test_stale_tmp_ignored_and_swept;
+      Alcotest.test_case "enospc keeps prior generations" `Quick
+        test_enospc_keeps_prior_generations;
+      Alcotest.test_case "crash point semantics" `Quick
+        test_crash_point_semantics;
+      Alcotest.test_case "bounded crashcheck sweep" `Slow
+        test_bounded_crashcheck_sweep ] )

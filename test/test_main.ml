@@ -22,4 +22,5 @@ let () =
       Test_harness.tests;
       Test_ckpt.tests;
       Test_tel.tests;
+      Test_io.tests;
       Test_serve.tests ]
